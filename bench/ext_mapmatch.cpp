@@ -1,0 +1,68 @@
+// Extension bench: the paper's closing remark of §IV-C — "Such errors can
+// be further reduced via map matching [27]" — made quantitative. The
+// reconstructed trajectories from I(TS,CS) are snapped to the road network
+// with an HMM map matcher; the table reports the MAE of the reconstructed
+// cells before and after snapping.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/itscs.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/methods.hpp"
+#include "eval/table.hpp"
+#include "mapmatch/map_matcher.hpp"
+#include "metrics/reconstruction_error.hpp"
+#include "trace/simulator.hpp"
+
+int main() {
+    std::cout << "=== Extension: map matching on top of I(TS,CS) "
+                 "(paper §IV-C, [27]) ===\n";
+    // The matcher needs the road network the fleet actually drives on;
+    // use a mid-size fleet so per-point candidate search stays cheap.
+    mcs::SimulatorConfig sim;
+    sim.participants = 60;
+    sim.slots = 160;
+    sim.seed = 2024;
+    sim.network.width_m = 40000.0;
+    sim.network.height_m = 40000.0;
+    const mcs::TraceDataset fleet = mcs::simulate_fleet(sim);
+    const mcs::RoadNetwork network(sim.network);
+    std::cout << "dataset: " << fleet.participants() << " x "
+              << fleet.slots() << " on a "
+              << (sim.network.width_m / 1000.0) << " km grid\n\n";
+
+    mcs::Table table({"alpha/beta", "MAE raw (m)", "MAE matched (m)",
+                      "improvement"});
+    const std::pair<double, double> scenarios[] = {
+        {0.2, 0.1}, {0.2, 0.3}, {0.4, 0.2}, {0.4, 0.4}};
+    for (const auto& [alpha, beta] : scenarios) {
+        mcs::CorruptionConfig corruption;
+        corruption.missing_ratio = alpha;
+        corruption.fault_ratio = beta;
+        corruption.seed = 6000 + static_cast<std::uint64_t>(alpha * 100) +
+                          static_cast<std::uint64_t>(beta * 10);
+        const mcs::CorruptedDataset data = mcs::corrupt(fleet, corruption);
+        const mcs::ItscsResult result =
+            mcs::run_itscs(mcs::to_itscs_input(data), mcs::ItscsConfig{});
+
+        const double raw = mcs::reconstruction_mae(
+            fleet.x, fleet.y, result.reconstructed_x,
+            result.reconstructed_y, data.existence, result.detection);
+
+        const mcs::MatchedMatrices matched = mcs::map_match_fleet(
+            network, result.reconstructed_x, result.reconstructed_y);
+        const double snapped = mcs::reconstruction_mae(
+            fleet.x, fleet.y, matched.x, matched.y, data.existence,
+            result.detection);
+
+        table.add_row(
+            {mcs::format_percent(alpha, 0) + "/" +
+                 mcs::format_percent(beta, 0),
+             mcs::format_fixed(raw, 0), mcs::format_fixed(snapped, 0),
+             mcs::format_percent(raw > 0.0 ? (raw - snapped) / raw : 0.0)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(positive improvement = map matching moved the "
+                 "reconstruction closer to the true on-road positions)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 8 reproduction — convergence of I(TS,CS): detection precision and
+// reconstruction MAE after each DETECT→CORRECT→CHECK iteration.
+//
+// Expected shape: a large improvement between iterations 1 and 2, tiny
+// gains afterwards, convergence within a handful of iterations even at
+// α = β = 40%.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/itscs.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/methods.hpp"
+#include "eval/table.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
+#include "trace/simulator.hpp"
+
+int main() {
+    std::cout << "=== Fig. 8: converging rate of I(TS,CS) ===\n";
+    const mcs::TraceDataset fleet = mcs::make_paper_scale_dataset(1);
+    std::cout << "dataset: " << fleet.participants() << " x "
+              << fleet.slots() << "\n";
+
+    const std::pair<double, double> scenarios[] = {
+        {0.2, 0.2}, {0.2, 0.4}, {0.4, 0.2}, {0.4, 0.4}};
+
+    for (const auto& [alpha, beta] : scenarios) {
+        std::cout << "\n--- alpha = " << mcs::format_percent(alpha, 0)
+                  << ", beta = " << mcs::format_percent(beta, 0) << " ---\n";
+        mcs::CorruptionConfig corruption;
+        corruption.missing_ratio = alpha;
+        corruption.fault_ratio = beta;
+        corruption.seed = 4000 + static_cast<std::uint64_t>(alpha * 100) +
+                          static_cast<std::uint64_t>(beta * 10);
+        const mcs::CorruptedDataset data = mcs::corrupt(fleet, corruption);
+
+        mcs::Table table({"iteration", "precision", "recall", "MAE (m)"});
+        mcs::ItscsConfig config;
+        config.change_tolerance = 0.0;  // run to the strict fixed point
+        config.max_iterations = 10;
+        const mcs::ItscsResult result = mcs::run_itscs(
+            mcs::to_itscs_input(data), config,
+            [&](std::size_t iteration, const mcs::Matrix& detection,
+                const mcs::Matrix& rx, const mcs::Matrix& ry) {
+                const mcs::ConfusionCounts counts = mcs::evaluate_detection(
+                    detection, data.fault, data.existence);
+                const double mae = mcs::reconstruction_mae(
+                    fleet.x, fleet.y, rx, ry, data.existence, detection);
+                table.add_row({std::to_string(iteration),
+                               mcs::format_percent(counts.precision()),
+                               mcs::format_percent(counts.recall()),
+                               mcs::format_fixed(mae, 0)});
+            });
+        table.print(std::cout);
+        std::cout << "detection changes per iteration:";
+        for (const auto& h : result.history) {
+            std::cout << " " << h.detection_changes;
+        }
+        std::cout << "\nconverged after " << result.iterations
+                  << " iterations"
+                  << (result.converged ? "" : " (cap reached)") << "\n";
+    }
+    return 0;
+}

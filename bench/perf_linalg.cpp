@@ -1,0 +1,105 @@
+// Microbenchmarks for the dense linear-algebra kernels at the shapes the
+// I(TS,CS) pipeline actually uses (n = 158 participants, t = 240 slots,
+// r = rank).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/temporal.hpp"
+
+namespace {
+
+mcs::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+    mcs::Rng rng(seed);
+    mcs::Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-1.0, 1.0);
+    }
+    return m;
+}
+
+void BM_MultiplyTransposed(benchmark::State& state) {
+    const auto r = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix l = random_matrix(158, r, 1);
+    const mcs::Matrix rm = random_matrix(240, r, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::multiply_transposed(l, rm));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 158 * 240 *
+        static_cast<std::int64_t>(r));
+}
+BENCHMARK(BM_MultiplyTransposed)->Arg(8)->Arg(16)->Arg(40);
+
+void BM_Multiply(benchmark::State& state) {
+    const auto r = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix m = random_matrix(158, 240, 3);
+    const mcs::Matrix rm = random_matrix(240, r, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::multiply(m, rm));
+    }
+}
+BENCHMARK(BM_Multiply)->Arg(8)->Arg(40);
+
+void BM_MaskedResidual(benchmark::State& state) {
+    const auto r = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix l = random_matrix(158, r, 5);
+    const mcs::Matrix rm = random_matrix(240, r, 6);
+    const mcs::Matrix s = random_matrix(158, 240, 7);
+    mcs::Rng rng(8);
+    mcs::Matrix mask(158, 240);
+    for (auto& x : mask.data()) {
+        x = rng.bernoulli(0.6) ? 1.0 : 0.0;
+    }
+    const mcs::Matrix masked_s = mcs::hadamard(s, mask);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mcs::masked_residual(l, rm, mask, masked_s));
+    }
+}
+BENCHMARK(BM_MaskedResidual)->Arg(8)->Arg(40);
+
+void BM_TemporalDiff(benchmark::State& state) {
+    const mcs::Matrix x = random_matrix(158, 240, 9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::temporal_diff(x));
+    }
+}
+BENCHMARK(BM_TemporalDiff);
+
+void BM_CholeskySolve(benchmark::State& state) {
+    const auto r = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix g = random_matrix(240, r, 10);
+    const mcs::Matrix gram = mcs::gram_with_ridge(g, 1.0);
+    const mcs::Matrix b = random_matrix(r, 158, 11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::solve_spd(gram, b));
+    }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(8)->Arg(40);
+
+void BM_Orthonormalize(benchmark::State& state) {
+    const auto r = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix a = random_matrix(240, r, 12);
+    for (auto _ : state) {
+        mcs::Matrix copy = a;
+        benchmark::DoNotOptimize(mcs::orthonormalize_columns(copy));
+    }
+}
+BENCHMARK(BM_Orthonormalize)->Arg(16)->Arg(48);
+
+void BM_FrobeniusDot(benchmark::State& state) {
+    const mcs::Matrix a = random_matrix(158, 240, 13);
+    const mcs::Matrix b = random_matrix(158, 240, 14);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::frobenius_dot(a, b));
+    }
+}
+BENCHMARK(BM_FrobeniusDot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

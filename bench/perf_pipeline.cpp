@@ -1,0 +1,130 @@
+// Microbenchmarks for the algorithmic stages: TS_Detect, CS_Reconstruct
+// (per temporal mode), the CHECK pass, and the full framework. Also
+// demonstrates the O(n·t) scaling of the detector claimed in §III-D.
+#include <benchmark/benchmark.h>
+
+#include "core/itscs.hpp"
+#include "corruption/scenario.hpp"
+#include "detect/local_median.hpp"
+#include "detect/tmm.hpp"
+#include "eval/methods.hpp"
+#include "linalg/temporal.hpp"
+#include "trace/simulator.hpp"
+
+namespace {
+
+struct Fixture {
+    mcs::TraceDataset truth;
+    mcs::CorruptedDataset data;
+    mcs::Matrix avg_vx;
+};
+
+const Fixture& paper_fixture() {
+    static const Fixture fixture = [] {
+        Fixture f{mcs::make_paper_scale_dataset(1), {}, {}};
+        mcs::CorruptionConfig config;
+        config.missing_ratio = 0.2;
+        config.fault_ratio = 0.2;
+        config.seed = 5;
+        f.data = mcs::corrupt(f.truth, config);
+        f.avg_vx = mcs::average_velocity(f.data.vx);
+        return f;
+    }();
+    return fixture;
+}
+
+void BM_TsDetectFirstPass(benchmark::State& state) {
+    const Fixture& f = paper_fixture();
+    const std::size_t n = f.data.participants();
+    const std::size_t t = f.data.slots();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::ts_detect(
+            f.data.sx, mcs::Matrix(), f.avg_vx,
+            mcs::Matrix::constant(n, t, 1.0), f.data.existence, f.data.tau_s,
+            mcs::LocalMedianConfig{}, /*first_execution=*/true));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * t));
+}
+BENCHMARK(BM_TsDetectFirstPass)->Unit(benchmark::kMillisecond);
+
+// O(n·t) scaling: items/second should be flat across sizes.
+void BM_TsDetectScaling(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const mcs::TraceDataset truth = mcs::make_small_dataset(2, n, 120);
+    mcs::CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, config);
+    const mcs::Matrix avg = mcs::average_velocity(data.vx);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::ts_detect(
+            data.sx, mcs::Matrix(), avg,
+            mcs::Matrix::constant(n, 120, 1.0), data.existence, data.tau_s,
+            mcs::LocalMedianConfig{}, true));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n * 120));
+}
+BENCHMARK(BM_TsDetectScaling)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TmmDetect(benchmark::State& state) {
+    const Fixture& f = paper_fixture();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::tmm_detect_xy(
+            f.data.sx, f.data.sy, f.data.existence, mcs::TmmConfig{}));
+    }
+}
+BENCHMARK(BM_TmmDetect)->Unit(benchmark::kMillisecond);
+
+void BM_CsReconstruct(benchmark::State& state) {
+    const Fixture& f = paper_fixture();
+    mcs::CsConfig config;
+    switch (state.range(0)) {
+        case 0:
+            config.mode = mcs::TemporalMode::kNone;
+            break;
+        case 1:
+            config.mode = mcs::TemporalMode::kTemporalOnly;
+            break;
+        default:
+            config.mode = mcs::TemporalMode::kVelocity;
+            break;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mcs::cs_reconstruct(f.data.sx, f.data.existence, f.avg_vx,
+                                f.data.tau_s, config));
+    }
+}
+BENCHMARK(BM_CsReconstruct)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullFramework(benchmark::State& state) {
+    // Mid-size fleet so a full DETECT→CORRECT→CHECK run fits the budget.
+    const mcs::TraceDataset truth = mcs::make_small_dataset(3, 40, 120);
+    mcs::CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    config.fault_ratio = 0.2;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, config);
+    const mcs::ItscsInput input = mcs::to_itscs_input(data);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::run_itscs(input, mcs::ItscsConfig{}));
+    }
+}
+BENCHMARK(BM_FullFramework)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+void BM_FleetSimulation(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::make_small_dataset(seed++, n, 120));
+    }
+}
+BENCHMARK(BM_FleetSimulation)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

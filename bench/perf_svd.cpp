@@ -1,0 +1,52 @@
+// Microbenchmarks for the SVD paths: exact one-sided Jacobi (used by the
+// Fig. 4 analyses) versus the randomized truncated factorisation (used to
+// warm-start ASD).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/svd.hpp"
+
+namespace {
+
+mcs::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+    mcs::Rng rng(seed);
+    mcs::Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-1.0, 1.0);
+    }
+    return m;
+}
+
+void BM_JacobiSvd(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix a = random_matrix(n, n + n / 2, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::svd(a));
+    }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(40)->Arg(80)->Arg(158)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TruncatedFactorsExact(benchmark::State& state) {
+    const mcs::Matrix a = random_matrix(158, 240, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcs::truncated_factors(a, 40));
+    }
+}
+BENCHMARK(BM_TruncatedFactorsExact)->Unit(benchmark::kMillisecond);
+
+void BM_TruncatedFactorsRandomized(benchmark::State& state) {
+    const auto rank = static_cast<std::size_t>(state.range(0));
+    const mcs::Matrix a = random_matrix(158, 240, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mcs::truncated_factors_randomized(a, rank));
+    }
+}
+BENCHMARK(BM_TruncatedFactorsRandomized)->Arg(16)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Ablation explorer — a small CLI for studying how the framework's design
+// choices move the metrics on one scenario. Sweeps one knob at a time
+// around the calibrated defaults:
+//
+//   * CS rank bound r,
+//   * temporal weight λ₂ (and the temporal mode),
+//   * detector trade-off ξ,
+//   * detector window w,
+//   * CHECK thresholds.
+//
+// Usage: ablation_explorer [alpha] [beta]   (defaults 0.2 0.2)
+#include <cstdlib>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/experiment.hpp"
+#include "eval/table.hpp"
+#include "trace/simulator.hpp"
+
+namespace {
+
+mcs::ExperimentPoint run_with(const mcs::TraceDataset& fleet, double alpha,
+                              double beta,
+                              const mcs::MethodSettings& settings) {
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = alpha;
+    corruption.fault_ratio = beta;
+    corruption.seed = 11;
+    return mcs::run_scenario(fleet, corruption, mcs::Method::kItscsFull,
+                             settings);
+}
+
+std::vector<std::string> score_row(const std::string& label,
+                                   const mcs::ExperimentPoint& point) {
+    return {label, mcs::format_percent(point.precision),
+            mcs::format_percent(point.recall),
+            mcs::format_fixed(point.mae_m, 0),
+            std::to_string(point.iterations),
+            mcs::format_fixed(point.elapsed_s, 2) + "s"};
+}
+
+const std::vector<std::string> kHeaders{"setting",   "precision", "recall",
+                                        "MAE (m)",   "iters",     "time"};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double alpha = argc > 1 ? std::atof(argv[1]) : 0.2;
+    const double beta = argc > 2 ? std::atof(argv[2]) : 0.2;
+    std::cout << "ablation explorer: alpha = "
+              << mcs::format_percent(alpha, 0)
+              << ", beta = " << mcs::format_percent(beta, 0) << "\n";
+
+    // Mid-size fleet: big enough to be representative, small enough that
+    // every sweep point runs in about a second.
+    mcs::SimulatorConfig sim;
+    sim.participants = 60;
+    sim.slots = 160;
+    sim.seed = 2024;
+    sim.network.width_m = 40000.0;
+    sim.network.height_m = 40000.0;
+    const mcs::TraceDataset fleet = mcs::simulate_fleet(sim);
+
+    {
+        std::cout << "\n== CS rank bound r ==\n";
+        mcs::Table table(kHeaders);
+        for (const std::size_t rank : {8u, 16u, 24u, 32u, 40u}) {
+            mcs::MethodSettings settings;
+            settings.itscs_base.cs.rank = rank;
+            table.add_row(score_row("r = " + std::to_string(rank),
+                                    run_with(fleet, alpha, beta, settings)));
+        }
+        table.print(std::cout);
+    }
+    {
+        std::cout << "\n== temporal weight lambda2 (velocity mode) ==\n";
+        mcs::Table table(kHeaders);
+        for (const double lambda2 : {0.0, 0.1, 0.5, 1.0, 5.0}) {
+            mcs::MethodSettings settings;
+            settings.itscs_base.cs.lambda2 = lambda2;
+            if (lambda2 == 0.0) {
+                settings.itscs_base.cs.mode = mcs::TemporalMode::kNone;
+            }
+            table.add_row(
+                score_row("lambda2 = " + mcs::format_fixed(lambda2, 1),
+                          run_with(fleet, alpha, beta, settings)));
+        }
+        table.print(std::cout);
+    }
+    {
+        std::cout << "\n== detector trade-off xi (Eq. 12) ==\n";
+        mcs::Table table(kHeaders);
+        for (const double xi : {0.8, 1.2, 1.5, 2.0, 3.0}) {
+            mcs::MethodSettings settings;
+            settings.itscs_base.detector.xi = xi;
+            table.add_row(score_row("xi = " + mcs::format_fixed(xi, 1),
+                                    run_with(fleet, alpha, beta, settings)));
+        }
+        table.print(std::cout);
+    }
+    {
+        std::cout << "\n== detector window w ==\n";
+        mcs::Table table(kHeaders);
+        for (const std::size_t w : {3u, 5u, 7u, 9u}) {
+            mcs::MethodSettings settings;
+            settings.itscs_base.detector.window = w;
+            table.add_row(score_row("w = " + std::to_string(w),
+                                    run_with(fleet, alpha, beta, settings)));
+        }
+        table.print(std::cout);
+    }
+    {
+        std::cout << "\n== CHECK thresholds (lower / upper, metres) ==\n";
+        mcs::Table table(kHeaders);
+        const std::pair<double, double> thresholds[] = {
+            {150.0, 600.0}, {300.0, 1200.0}, {500.0, 2000.0}};
+        for (const auto& [lower, upper] : thresholds) {
+            mcs::MethodSettings settings;
+            settings.itscs_base.check.lower_m = lower;
+            settings.itscs_base.check.upper_m = upper;
+            table.add_row(score_row(mcs::format_fixed(lower, 0) + " / " +
+                                        mcs::format_fixed(upper, 0),
+                                    run_with(fleet, alpha, beta, settings)));
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: generate a fleet, corrupt it, clean it with I(TS,CS).
+//
+// This is the README walk-through: ~40 lines from raw sensory matrices to
+// a fault report and a reconstructed dataset.
+#include <iostream>
+
+#include "common/format.hpp"
+#include "core/itscs.hpp"
+#include "core/variants.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/methods.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
+#include "trace/simulator.hpp"
+
+int main() {
+    // 1. Ground truth: a small synthetic taxi fleet (stand-in for SUVnet).
+    const mcs::TraceDataset truth = mcs::make_small_dataset(
+        /*seed=*/1, /*participants=*/40, /*slots=*/120);
+
+    // 2. What the server receives: 20% of readings missing, 20% faulty.
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = 0.20;
+    corruption.fault_ratio = 0.20;
+    corruption.seed = 99;
+    const mcs::CorruptedDataset received = mcs::corrupt(truth, corruption);
+
+    // 3. Run the full I(TS,CS) framework.
+    const mcs::ItscsConfig config =
+        mcs::make_config(mcs::ItscsVariant::kFull);
+    const mcs::ItscsResult result =
+        mcs::run_itscs(mcs::to_itscs_input(received), config);
+
+    // 4. Score against ground truth (possible here because we injected the
+    //    corruption ourselves).
+    const mcs::ConfusionCounts counts = mcs::evaluate_detection(
+        result.detection, received.fault, received.existence);
+    const double mae = mcs::reconstruction_mae(
+        truth.x, truth.y, result.reconstructed_x, result.reconstructed_y,
+        received.existence, result.detection);
+
+    std::cout << "I(TS,CS) quickstart\n";
+    std::cout << "  fleet: " << truth.participants() << " taxis x "
+              << truth.slots() << " slots (tau = " << truth.tau_s << " s)\n";
+    std::cout << "  corruption: alpha = 20% missing, beta = 20% faulty\n\n";
+    std::cout << "  converged in " << result.iterations << " iteration(s)"
+              << (result.converged ? "" : " (hit iteration cap)") << "\n";
+    std::cout << "  detection precision: "
+              << mcs::format_percent(counts.precision()) << "\n";
+    std::cout << "  detection recall:    "
+              << mcs::format_percent(counts.recall()) << "\n";
+    std::cout << "  reconstruction MAE:  " << mcs::format_fixed(mae, 1)
+              << " m over "
+              << counts.true_positive + counts.false_positive
+              << " flagged + missing cells\n";
+    return 0;
+}

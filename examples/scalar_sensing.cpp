@@ -1,0 +1,133 @@
+// Scalar sensing — the paper's §I claim that I(TS,CS) "can be easily
+// extended to other kinds of sensory data", demonstrated end to end.
+//
+// A fleet of mobile participants samples an environmental field (think
+// urban temperature or noise level) while driving. The sensory matrix is
+// one scalar per (participant, slot); the measured *rate of change* of
+// the signal plays the role that velocity plays for locations. Faults are
+// biased readings (a failing sensor), missing values are upload gaps.
+//
+// Everything below uses run_itscs_single() — the generic one-axis entry
+// point — with thresholds rescaled from metres to degrees.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/itscs.hpp"
+#include "corruption/existence.hpp"
+#include "eval/table.hpp"
+#include "metrics/confusion.hpp"
+#include "trace/simulator.hpp"
+
+namespace {
+
+// A smooth synthetic field: spatial sinusoids + a slow temporal drift.
+// F in "degrees"; participants read F at their current position.
+double field(double x_m, double y_m, double t_s) {
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    return 20.0 + 6.0 * std::sin(two_pi * x_m / 30000.0) *
+                      std::cos(two_pi * y_m / 35000.0) +
+           3.0 * std::sin(two_pi * t_s / 7200.0);
+}
+
+// Analytic total derivative dF/dt along a trajectory moving at (vx, vy).
+double field_rate(double x_m, double y_m, double t_s, double vx, double vy) {
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    const double dfdx = 6.0 * (two_pi / 30000.0) *
+                        std::cos(two_pi * x_m / 30000.0) *
+                        std::cos(two_pi * y_m / 35000.0);
+    const double dfdy = -6.0 * (two_pi / 35000.0) *
+                        std::sin(two_pi * x_m / 30000.0) *
+                        std::sin(two_pi * y_m / 35000.0);
+    const double dfdt = 3.0 * (two_pi / 7200.0) *
+                        std::cos(two_pi * t_s / 7200.0);
+    return dfdt + dfdx * vx + dfdy * vy;
+}
+
+}  // namespace
+
+int main() {
+    // Mobility comes from the same fleet substrate as the location demos.
+    mcs::SimulatorConfig sim;
+    sim.participants = 50;
+    sim.slots = 160;
+    sim.seed = 17;
+    sim.network.width_m = 40000.0;
+    sim.network.height_m = 40000.0;
+    const mcs::TraceDataset fleet = mcs::simulate_fleet(sim);
+    const std::size_t n = fleet.participants();
+    const std::size_t t = fleet.slots();
+
+    // True field readings + measured rates along each trajectory.
+    mcs::Matrix truth(n, t);
+    mcs::Matrix rate(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            const double time_s = static_cast<double>(j) * fleet.tau_s;
+            truth(i, j) =
+                field(fleet.x(i, j), fleet.y(i, j), time_s);
+            rate(i, j) = field_rate(fleet.x(i, j), fleet.y(i, j), time_s,
+                                    fleet.vx(i, j), fleet.vy(i, j));
+        }
+    }
+
+    // Corrupt: 20% missing, 15% faulty (sensor bias of 5–20 degrees).
+    mcs::Rng rng(5);
+    const mcs::Matrix existence =
+        mcs::make_existence_mask(n, t, 0.20, rng);
+    mcs::Matrix sensed(n, t);
+    mcs::Matrix fault(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;
+            }
+            if (rng.bernoulli(0.15)) {
+                fault(i, j) = 1.0;
+                const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+                sensed(i, j) = truth(i, j) + sign * rng.uniform(5.0, 20.0);
+            } else {
+                sensed(i, j) = truth(i, j) + rng.normal(0.0, 0.1);
+            }
+        }
+    }
+
+    // Rescale the framework's thresholds from metres to degrees.
+    mcs::ItscsConfig config;
+    config.detector.min_tolerance_m = 0.5;  // half a degree of slack
+    config.check.lower_m = 1.0;
+    config.check.upper_m = 3.0;
+    config.cs.rank = 12;
+
+    const mcs::ItscsSingleResult result = mcs::run_itscs_single(
+        {sensed, rate, existence, fleet.tau_s}, config);
+
+    const mcs::ConfusionCounts counts =
+        mcs::evaluate_detection(result.detection, fault, existence);
+    double mae = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0 || result.detection(i, j) == 1.0) {
+                mae += std::abs(result.reconstructed(i, j) - truth(i, j));
+                ++cells;
+            }
+        }
+    }
+    mae /= static_cast<double>(cells);
+
+    std::cout << "scalar sensing with I(TS,CS) (single-axis API)\n";
+    std::cout << "  field: synthetic urban temperature, " << n
+              << " mobile sensors x " << t << " slots\n";
+    std::cout << "  corruption: 20% missing, 15% faulty (bias 5-20 deg)\n\n";
+    mcs::Table table({"metric", "value"});
+    table.add_row({"precision", mcs::format_percent(counts.precision())});
+    table.add_row({"recall", mcs::format_percent(counts.recall())});
+    table.add_row({"reconstruction MAE",
+                   mcs::format_fixed(mae, 2) + " deg"});
+    table.add_row({"iterations", std::to_string(result.iterations)});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace mcs::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+    std::ostringstream os;
+    os << "MCS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+    if (!msg.empty()) {
+        os << " — " << msg;
+    }
+    throw Error(os.str());
+}
+
+}  // namespace mcs::detail

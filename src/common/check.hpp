@@ -1,0 +1,42 @@
+// Precondition / invariant checking for the mcs library.
+//
+// Following the C++ Core Guidelines (I.5, I.10, P.7): violated preconditions
+// and invariants are reported early, via exceptions that carry the failing
+// expression and location. MCS_CHECK is always on (the matrices involved are
+// small; the cost is negligible next to the numerical kernels).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs {
+
+/// Exception thrown on any precondition, postcondition or invariant failure
+/// inside the mcs library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace mcs
+
+/// Check `expr`; on failure throw mcs::Error mentioning expression + location.
+#define MCS_CHECK(expr)                                                     \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::mcs::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+        }                                                                   \
+    } while (false)
+
+/// Same, with an extra human-readable message (any streamable expression).
+#define MCS_CHECK_MSG(expr, msg)                                            \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::mcs::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+        }                                                                   \
+    } while (false)

@@ -1,0 +1,44 @@
+// Minimal CSV reading/writing used by the trace import/export pipeline.
+//
+// Supports quoted fields (RFC 4180 style: fields containing the delimiter,
+// quotes, or newlines are wrapped in double quotes; embedded quotes are
+// doubled). This is enough to round-trip every file the library produces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// In-memory CSV document: optional header plus data rows.
+struct CsvDocument {
+    CsvRow header;               ///< empty if the document has no header
+    std::vector<CsvRow> rows;    ///< data rows, each a vector of fields
+
+    /// Index of a header column by name; throws mcs::Error if absent.
+    std::size_t column_index(const std::string& name) const;
+};
+
+/// Parse CSV text from a stream. If `has_header` the first row becomes
+/// `header`. Handles quoted fields and both \n and \r\n line endings.
+CsvDocument read_csv(std::istream& in, bool has_header, char delimiter = ',');
+
+/// Parse a CSV file from disk; throws mcs::Error if the file cannot be read.
+CsvDocument read_csv_file(const std::string& path, bool has_header,
+                          char delimiter = ',');
+
+/// Write a document (header first if non-empty), quoting fields as needed.
+void write_csv(std::ostream& out, const CsvDocument& doc, char delimiter = ',');
+
+/// Write a document to a file; throws mcs::Error if the file cannot open.
+void write_csv_file(const std::string& path, const CsvDocument& doc,
+                    char delimiter = ',');
+
+/// Quote a single field if it contains the delimiter, quotes, or newlines.
+std::string csv_escape(const std::string& field, char delimiter = ',');
+
+}  // namespace mcs

@@ -1,0 +1,81 @@
+#include "common/format.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+std::string format_fixed(double value, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string format_percent(double ratio, int precision) {
+    return format_fixed(ratio * 100.0, precision) + "%";
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+    if (s.size() >= width) {
+        return s;
+    }
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+    if (s.size() >= width) {
+        return s;
+    }
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) {
+            out += separator;
+        }
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string> split(const std::string& s, char delimiter) {
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : s) {
+        if (c == delimiter) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+double parse_double(const std::string& s) {
+    MCS_CHECK_MSG(!s.empty(), "parse_double: empty string");
+    char* end = nullptr;
+    const double value = std::strtod(s.c_str(), &end);
+    MCS_CHECK_MSG(end == s.c_str() + s.size(),
+                  "parse_double: invalid number: '" + s + "'");
+    return value;
+}
+
+long parse_long(const std::string& s) {
+    MCS_CHECK_MSG(!s.empty(), "parse_long: empty string");
+    char* end = nullptr;
+    const long value = std::strtol(s.c_str(), &end, 10);
+    MCS_CHECK_MSG(end == s.c_str() + s.size(),
+                  "parse_long: invalid integer: '" + s + "'");
+    return value;
+}
+
+}  // namespace mcs

@@ -1,0 +1,34 @@
+// Small string-formatting helpers shared by the eval harness and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Format a double with `precision` digits after the decimal point.
+std::string format_fixed(double value, int precision);
+
+/// Format a ratio in [0,1] as a percentage string, e.g. 0.954 -> "95.4%".
+std::string format_percent(double ratio, int precision = 1);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Split a string on a single-character delimiter (keeps empty fields).
+std::vector<std::string> split(const std::string& s, char delimiter);
+
+/// Parse a double; throws mcs::Error if the whole string is not consumed.
+double parse_double(const std::string& s);
+
+/// Parse a long; throws mcs::Error if the whole string is not consumed.
+long parse_long(const std::string& s);
+
+}  // namespace mcs

@@ -1,0 +1,74 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every source of randomness in the library flows through mcs::Rng, a
+// xoshiro256** generator seeded via SplitMix64. Distribution helpers are
+// implemented by hand (not <random> distributions) so streams are identical
+// across standard-library implementations — a requirement for bit-for-bit
+// reproducible experiment tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Deterministic given the seed; period 2^256 − 1; passes BigCrush. Supports
+/// `split()` to derive independent child streams for sub-components.
+class Rng {
+public:
+    /// Seeds the four-word state from `seed` via SplitMix64 expansion.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi). Requires lo <= hi.
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Standard normal via Box–Muller (deterministic two-call cache).
+    double normal();
+
+    /// Normal with the given mean and standard deviation (sigma >= 0).
+    double normal(double mean, double sigma);
+
+    /// Bernoulli draw with success probability p in [0, 1].
+    bool bernoulli(double p);
+
+    /// Exponential with rate lambda > 0.
+    double exponential(double lambda);
+
+    /// Derive an independent child generator (uses SplitMix64 on a fresh
+    /// draw, so parent and child streams do not overlap in practice).
+    Rng split();
+
+    /// Fisher–Yates shuffle of `v` in place.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(
+                uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Sample `k` distinct indices from [0, n) in random order.
+    /// Requires k <= n.
+    std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                        std::size_t k);
+
+private:
+    std::uint64_t state_[4];
+    bool has_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+}  // namespace mcs

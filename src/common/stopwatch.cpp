@@ -1,0 +1,20 @@
+#include "common/stopwatch.hpp"
+
+namespace mcs {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::restart() {
+    start_ = std::chrono::steady_clock::now();
+}
+
+double Stopwatch::elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+double Stopwatch::elapsed_ms() const {
+    return elapsed_seconds() * 1000.0;
+}
+
+}  // namespace mcs

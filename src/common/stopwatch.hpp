@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by benches and the evaluation harness.
+#pragma once
+
+#include <chrono>
+
+namespace mcs {
+
+/// Simple monotonic stopwatch. Starts on construction; `restart()` resets.
+class Stopwatch {
+public:
+    Stopwatch();
+
+    /// Reset the start point to now.
+    void restart();
+
+    /// Seconds elapsed since construction or last restart().
+    double elapsed_seconds() const;
+
+    /// Milliseconds elapsed since construction or last restart().
+    double elapsed_ms() const;
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcs

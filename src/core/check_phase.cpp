@@ -1,0 +1,44 @@
+#include "core/check_phase.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+
+namespace mcs {
+
+Matrix check_axis(const Matrix& s, const Matrix& reconstructed,
+                  Matrix detection, const Matrix& existence,
+                  const CheckConfig& config) {
+    MCS_CHECK_MSG(config.lower_m >= 0.0 && config.upper_m >= config.lower_m,
+                  "CheckConfig: need 0 <= lower <= upper");
+    MCS_CHECK_MSG(s.rows() == reconstructed.rows() &&
+                      s.cols() == reconstructed.cols(),
+                  "check_axis: S/Ŝ shape mismatch");
+    MCS_CHECK_MSG(s.rows() == detection.rows() &&
+                      s.cols() == detection.cols(),
+                  "check_axis: detection shape mismatch");
+    MCS_CHECK_MSG(s.rows() == existence.rows() &&
+                      s.cols() == existence.cols(),
+                  "check_axis: existence shape mismatch");
+    require_binary(detection, "check_axis: detection");
+    require_binary(existence, "check_axis: existence");
+
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+        for (std::size_t j = 0; j < s.cols(); ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;  // no reading to judge
+            }
+            const double deviation = std::abs(s(i, j) - reconstructed(i, j));
+            if (deviation < config.lower_m && detection(i, j) == 1.0) {
+                detection(i, j) = 0.0;
+            } else if (deviation > config.upper_m &&
+                       detection(i, j) == 0.0) {
+                detection(i, j) = 1.0;
+            }
+        }
+    }
+    return detection;
+}
+
+}  // namespace mcs

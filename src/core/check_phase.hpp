@@ -1,0 +1,32 @@
+// Check() — Algorithm 3: reconcile the detection matrix with the
+// reconstruction.
+//
+// After the CORRECT phase the reconstruction Ŝ serves as a reference: an
+// observed reading within thres_l of Ŝ cannot be faulty (clear its flag —
+// this is how the DETECT phase's deliberate false positives are paid back),
+// and a reading further than thres_u from Ŝ must be faulty (raise the flag
+// — catching faults the windowed median missed). Readings in between keep
+// their current flag (hysteresis, which prevents oscillation).
+//
+// Deviation from the printed pseudo-code (see DESIGN.md §2): Algorithm 3
+// iterates over every cell, but a missing cell stores the placeholder 0,
+// not a reading; comparing it against Ŝ would always "detect" it. We skip
+// cells with ℰ = 0 — there is no reading to judge.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Thresholds of Algorithm 3.
+struct CheckConfig {
+    double lower_m = 300.0;  ///< thres_l: closer than this ⇒ surely normal
+    double upper_m = 1200.0;  ///< thres_u: farther than this ⇒ surely faulty
+};
+
+/// One axis's Check() pass: returns the updated detection matrix.
+Matrix check_axis(const Matrix& s, const Matrix& reconstructed,
+                  Matrix detection, const Matrix& existence,
+                  const CheckConfig& config);
+
+}  // namespace mcs

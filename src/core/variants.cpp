@@ -1,0 +1,35 @@
+#include "core/variants.hpp"
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+std::string to_string(ItscsVariant variant) {
+    switch (variant) {
+        case ItscsVariant::kFull:
+            return "I(TS,CS)";
+        case ItscsVariant::kWithoutV:
+            return "I(TS,CS) w/o V";
+        case ItscsVariant::kWithoutVT:
+            return "I(TS,CS) w/o VT";
+    }
+    throw Error("to_string: unknown ItscsVariant");
+}
+
+ItscsConfig make_config(ItscsVariant variant) {
+    ItscsConfig config;  // shared detector / check / rank defaults
+    switch (variant) {
+        case ItscsVariant::kFull:
+            config.cs.mode = TemporalMode::kVelocity;
+            break;
+        case ItscsVariant::kWithoutV:
+            config.cs.mode = TemporalMode::kTemporalOnly;
+            break;
+        case ItscsVariant::kWithoutVT:
+            config.cs.mode = TemporalMode::kNone;
+            break;
+    }
+    return config;
+}
+
+}  // namespace mcs

@@ -1,0 +1,27 @@
+// Named framework variants evaluated in the paper (§IV-A):
+//   * full I(TS,CS)        — temporal + velocity improved CS (Eq. 23),
+//   * I(TS,CS) without V   — temporal-improved CS only (velocity target 0),
+//   * I(TS,CS) without VT  — plain low-rank CS (Eq. 20, λ₂ unused).
+#pragma once
+
+#include <string>
+
+#include "core/itscs.hpp"
+
+namespace mcs {
+
+/// The three I(TS,CS) ablation variants of the paper.
+enum class ItscsVariant {
+    kFull,
+    kWithoutV,
+    kWithoutVT,
+};
+
+/// Human-readable variant name as used in the paper's figures.
+std::string to_string(ItscsVariant variant);
+
+/// Default configuration for a variant (identical detector/check settings;
+/// only the CS temporal mode differs, so comparisons isolate that choice).
+ItscsConfig make_config(ItscsVariant variant);
+
+}  // namespace mcs

@@ -1,0 +1,81 @@
+#include "corruption/existence.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Matrix make_existence_mask(std::size_t participants, std::size_t slots,
+                           double missing_ratio, Rng& rng) {
+    MCS_CHECK_MSG(participants > 0 && slots > 0,
+                  "make_existence_mask: empty shape");
+    MCS_CHECK_MSG(missing_ratio >= 0.0 && missing_ratio <= 1.0,
+                  "make_existence_mask: ratio out of [0,1]");
+    const std::size_t total = participants * slots;
+    const auto missing = static_cast<std::size_t>(
+        std::llround(missing_ratio * static_cast<double>(total)));
+    Matrix mask = Matrix::constant(participants, slots, 1.0);
+    for (const std::size_t flat :
+         rng.sample_without_replacement(total, missing)) {
+        mask(flat / slots, flat % slots) = 0.0;
+    }
+    return mask;
+}
+
+Matrix make_burst_existence_mask(std::size_t participants,
+                                 std::size_t slots, double missing_ratio,
+                                 double mean_burst_slots, Rng& rng) {
+    MCS_CHECK_MSG(participants > 0 && slots > 0,
+                  "make_burst_existence_mask: empty shape");
+    MCS_CHECK_MSG(missing_ratio >= 0.0 && missing_ratio <= 1.0,
+                  "make_burst_existence_mask: ratio out of [0,1]");
+    MCS_CHECK_MSG(mean_burst_slots >= 1.0,
+                  "make_burst_existence_mask: bursts must average >= 1 slot");
+    const std::size_t total = participants * slots;
+    const auto target = static_cast<std::size_t>(
+        std::llround(missing_ratio * static_cast<double>(total)));
+    Matrix mask = Matrix::constant(participants, slots, 1.0);
+    std::size_t missing = 0;
+    // Drop geometric-length bursts at random row positions until the
+    // target count is reached (re-hitting an already-missing cell makes
+    // no progress, so cap the attempts defensively).
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 50 * (total + 1);
+    while (missing < target && attempts < max_attempts) {
+        ++attempts;
+        const auto i = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(participants) - 1));
+        const auto start = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(slots) - 1));
+        // Geometric length with the requested mean.
+        std::size_t length = 1;
+        while (rng.uniform() < 1.0 - 1.0 / mean_burst_slots) {
+            ++length;
+        }
+        for (std::size_t j = start;
+             j < std::min(start + length, slots) && missing < target; ++j) {
+            if (mask(i, j) != 0.0) {
+                mask(i, j) = 0.0;
+                ++missing;
+            }
+        }
+    }
+    return mask;
+}
+
+double missing_fraction(const Matrix& existence) {
+    MCS_CHECK_MSG(!existence.empty(), "missing_fraction: empty mask");
+    std::size_t zeros = 0;
+    for (const double v : existence.data()) {
+        MCS_CHECK_MSG(v == 0.0 || v == 1.0,
+                      "missing_fraction: mask must be 0/1");
+        if (v == 0.0) {
+            ++zeros;
+        }
+    }
+    return static_cast<double>(zeros) /
+           static_cast<double>(existence.size());
+}
+
+}  // namespace mcs

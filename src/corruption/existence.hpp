@@ -1,0 +1,27 @@
+// Existence Matrix generation (Definition 3).
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Random n x t 0/1 Existence Matrix with exactly round(missing_ratio·n·t)
+/// zeros, uniformly placed. missing_ratio must be in [0, 1].
+Matrix make_existence_mask(std::size_t participants, std::size_t slots,
+                           double missing_ratio, Rng& rng);
+
+/// Random n x t 0/1 Existence Matrix where missing cells arrive in
+/// contiguous per-participant outages (device offline, tunnel, upload
+/// failure) of geometric mean length `mean_burst_slots`, totalling
+/// approximately round(missing_ratio·n·t) zeros. This matches the banded
+/// missingness visible in the paper's Fig. 1(b) more closely than
+/// uniform drops.
+Matrix make_burst_existence_mask(std::size_t participants,
+                                 std::size_t slots, double missing_ratio,
+                                 double mean_burst_slots, Rng& rng);
+
+/// Fraction of zeros in a 0/1 mask.
+double missing_fraction(const Matrix& existence);
+
+}  // namespace mcs

@@ -1,0 +1,181 @@
+#include "corruption/fault_injector.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+FaultInjection inject_faults(const Matrix& x, const Matrix& y,
+                             const Matrix& existence, double fault_ratio,
+                             double bias_min_m, double bias_max_m,
+                             double noise_sigma_m, Rng& rng) {
+    MCS_CHECK_MSG(x.rows() == y.rows() && x.cols() == y.cols(),
+                  "inject_faults: X/Y shape mismatch");
+    MCS_CHECK_MSG(existence.rows() == x.rows() &&
+                      existence.cols() == x.cols(),
+                  "inject_faults: existence shape mismatch");
+    MCS_CHECK_MSG(fault_ratio >= 0.0 && fault_ratio <= 1.0,
+                  "inject_faults: ratio out of [0,1]");
+    MCS_CHECK_MSG(bias_min_m > 0.0 && bias_max_m >= bias_min_m,
+                  "inject_faults: bias range invalid");
+    MCS_CHECK_MSG(noise_sigma_m >= 0.0, "inject_faults: negative noise");
+
+    const std::size_t n = x.rows();
+    const std::size_t t = x.cols();
+    const std::size_t total = n * t;
+
+    // Collect observed flat indices; faults may only hit real readings.
+    std::vector<std::size_t> observed;
+    observed.reserve(total);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+        if (existence(flat / t, flat % t) != 0.0) {
+            observed.push_back(flat);
+        }
+    }
+    const auto fault_count = static_cast<std::size_t>(
+        std::llround(fault_ratio * static_cast<double>(total)));
+    MCS_CHECK_MSG(fault_count <= observed.size(),
+                  "inject_faults: α + β leave too few observed cells");
+
+    FaultInjection out{Matrix(n, t), Matrix(n, t), Matrix(n, t)};
+
+    // Mark the fault cells.
+    for (const std::size_t pick :
+         rng.sample_without_replacement(observed.size(), fault_count)) {
+        const std::size_t flat = observed[pick];
+        out.fault(flat / t, flat % t) = 1.0;
+    }
+
+    // Build the sensory matrices.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;  // missing: stays 0 per Eq. (6)
+            }
+            if (out.fault(i, j) != 0.0) {
+                const double angle =
+                    rng.uniform(0.0, 2.0 * std::numbers::pi);
+                const double radius = rng.uniform(bias_min_m, bias_max_m);
+                out.sx(i, j) = x(i, j) + radius * std::cos(angle);
+                out.sy(i, j) = y(i, j) + radius * std::sin(angle);
+            } else {
+                out.sx(i, j) = x(i, j) + rng.normal(0.0, noise_sigma_m);
+                out.sy(i, j) = y(i, j) + rng.normal(0.0, noise_sigma_m);
+            }
+        }
+    }
+    return out;
+}
+
+FaultInjection inject_drift_faults(const Matrix& x, const Matrix& y,
+                                   const Matrix& existence,
+                                   double fault_ratio, double bias_min_m,
+                                   double bias_max_m, double noise_sigma_m,
+                                   double mean_burst_slots, Rng& rng) {
+    MCS_CHECK_MSG(x.rows() == y.rows() && x.cols() == y.cols(),
+                  "inject_drift_faults: X/Y shape mismatch");
+    MCS_CHECK_MSG(existence.rows() == x.rows() &&
+                      existence.cols() == x.cols(),
+                  "inject_drift_faults: existence shape mismatch");
+    MCS_CHECK_MSG(fault_ratio >= 0.0 && fault_ratio <= 1.0,
+                  "inject_drift_faults: ratio out of [0,1]");
+    MCS_CHECK_MSG(bias_min_m > 0.0 && bias_max_m >= bias_min_m,
+                  "inject_drift_faults: bias range invalid");
+    MCS_CHECK_MSG(noise_sigma_m >= 0.0,
+                  "inject_drift_faults: negative noise");
+    MCS_CHECK_MSG(mean_burst_slots >= 1.0,
+                  "inject_drift_faults: bursts must average >= 1 slot");
+
+    const std::size_t n = x.rows();
+    const std::size_t t = x.cols();
+    const std::size_t total = n * t;
+    const auto target = static_cast<std::size_t>(
+        std::llround(fault_ratio * static_cast<double>(total)));
+    std::size_t observed_count = 0;
+    for (const double v : existence.data()) {
+        if (v != 0.0) {
+            ++observed_count;
+        }
+    }
+    MCS_CHECK_MSG(target <= observed_count,
+                  "inject_drift_faults: α + β leave too few observed cells");
+
+    FaultInjection out{Matrix(n, t), Matrix(n, t), Matrix(n, t)};
+    // Per-cell bias values accumulated while placing bursts.
+    Matrix bias_x(n, t);
+    Matrix bias_y(n, t);
+
+    std::size_t placed = 0;
+    const std::size_t max_attempts = 50 * (total + 1);
+    std::size_t attempts = 0;
+    while (placed < target && attempts < max_attempts) {
+        ++attempts;
+        const auto i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto start = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(t) - 1));
+        std::size_t length = 1;
+        while (rng.uniform() < 1.0 - 1.0 / mean_burst_slots) {
+            ++length;
+        }
+        // Initial offset, then a per-slot random walk.
+        const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        const double radius = rng.uniform(bias_min_m, bias_max_m);
+        double dx = radius * std::cos(angle);
+        double dy = radius * std::sin(angle);
+        const double step = bias_min_m / 4.0;
+        for (std::size_t j = start;
+             j < std::min(start + length, t) && placed < target; ++j) {
+            if (existence(i, j) != 0.0 && out.fault(i, j) == 0.0) {
+                out.fault(i, j) = 1.0;
+                bias_x(i, j) = dx;
+                bias_y(i, j) = dy;
+                ++placed;
+            }
+            dx += rng.normal(0.0, step);
+            dy += rng.normal(0.0, step);
+            // Keep the burst genuinely faulty (Definition 4: |ε| > T): if
+            // the walk wanders below the minimum bias, rescale back out.
+            const double magnitude = std::hypot(dx, dy);
+            if (magnitude > 0.0 && magnitude < bias_min_m) {
+                const double rescale = bias_min_m / magnitude;
+                dx *= rescale;
+                dy *= rescale;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;
+            }
+            if (out.fault(i, j) != 0.0) {
+                out.sx(i, j) = x(i, j) + bias_x(i, j);
+                out.sy(i, j) = y(i, j) + bias_y(i, j);
+            } else {
+                out.sx(i, j) = x(i, j) + rng.normal(0.0, noise_sigma_m);
+                out.sy(i, j) = y(i, j) + rng.normal(0.0, noise_sigma_m);
+            }
+        }
+    }
+    return out;
+}
+
+double fault_fraction(const Matrix& fault) {
+    MCS_CHECK_MSG(!fault.empty(), "fault_fraction: empty matrix");
+    std::size_t ones = 0;
+    for (const double v : fault.data()) {
+        MCS_CHECK_MSG(v == 0.0 || v == 1.0,
+                      "fault_fraction: matrix must be 0/1");
+        if (v == 1.0) {
+            ++ones;
+        }
+    }
+    return static_cast<double>(ones) / static_cast<double>(fault.size());
+}
+
+}  // namespace mcs

@@ -1,0 +1,43 @@
+// Fault injection (Definitions 4–5): km-scale biases on observed readings.
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Result of fault injection on one (S_X, S_Y) pair.
+struct FaultInjection {
+    Matrix sx;     ///< biased + noised x readings (0 where missing)
+    Matrix sy;     ///< biased + noised y readings (0 where missing)
+    Matrix fault;  ///< ℱ: 1 on injected faults
+};
+
+/// Build Sensory Matrices from ground truth coordinates:
+///  * missing cells (existence == 0) become 0,
+///  * round(fault_ratio·n·t) observed cells receive a planar bias with
+///    magnitude U[bias_min, bias_max] and uniform direction (both axes
+///    biased together, per the paper's joint x/y fault model),
+///  * remaining observed cells receive N(0, noise_sigma²) per axis.
+/// Throws if the requested fault count exceeds the observed cell count.
+FaultInjection inject_faults(const Matrix& x, const Matrix& y,
+                             const Matrix& existence, double fault_ratio,
+                             double bias_min_m, double bias_max_m,
+                             double noise_sigma_m, Rng& rng);
+
+/// Drift-fault variant (FaultModel::kDrift): faults arrive in contiguous
+/// per-participant bursts of geometric mean length `mean_burst_slots`;
+/// within a burst the bias starts at magnitude U[bias_min, bias_max] in a
+/// random direction and random-walks with step N(0, (bias_min/4)²) per
+/// axis, so every burst cell stays km-scale. The total fault count is
+/// round(fault_ratio·n·t), placed on observed cells only.
+FaultInjection inject_drift_faults(const Matrix& x, const Matrix& y,
+                                   const Matrix& existence,
+                                   double fault_ratio, double bias_min_m,
+                                   double bias_max_m, double noise_sigma_m,
+                                   double mean_burst_slots, Rng& rng);
+
+/// Fraction of ones in a 0/1 fault matrix.
+double fault_fraction(const Matrix& fault);
+
+}  // namespace mcs

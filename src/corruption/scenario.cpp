@@ -1,0 +1,66 @@
+#include "corruption/scenario.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "corruption/existence.hpp"
+#include "corruption/fault_injector.hpp"
+#include "corruption/velocity_faults.hpp"
+
+namespace mcs {
+
+void CorruptionConfig::validate() const {
+    MCS_CHECK_MSG(missing_ratio >= 0.0 && missing_ratio <= 1.0,
+                  "CorruptionConfig: missing_ratio out of [0,1]");
+    MCS_CHECK_MSG(fault_ratio >= 0.0 && fault_ratio <= 1.0,
+                  "CorruptionConfig: fault_ratio out of [0,1]");
+    MCS_CHECK_MSG(missing_ratio + fault_ratio <= 1.0,
+                  "CorruptionConfig: α + β must not exceed 1");
+    MCS_CHECK_MSG(velocity_fault_ratio >= 0.0 && velocity_fault_ratio <= 1.0,
+                  "CorruptionConfig: velocity_fault_ratio out of [0,1]");
+    MCS_CHECK_MSG(fault_bias_min_m > 0.0 &&
+                      fault_bias_max_m >= fault_bias_min_m,
+                  "CorruptionConfig: bias range invalid");
+    MCS_CHECK_MSG(noise_sigma_m >= 0.0,
+                  "CorruptionConfig: noise sigma negative");
+    MCS_CHECK_MSG(drift_mean_slots >= 1.0,
+                  "CorruptionConfig: drift bursts must average >= 1 slot");
+}
+
+CorruptedDataset corrupt(const TraceDataset& truth,
+                         const CorruptionConfig& config) {
+    truth.validate();
+    config.validate();
+    Rng master(config.seed);
+    Rng existence_rng = master.split();
+    Rng fault_rng = master.split();
+    Rng velocity_rng = master.split();
+
+    CorruptedDataset out;
+    out.tau_s = truth.tau_s;
+    out.existence =
+        make_existence_mask(truth.participants(), truth.slots(),
+                            config.missing_ratio, existence_rng);
+    FaultInjection injected =
+        config.fault_model == FaultModel::kDrift
+            ? inject_drift_faults(truth.x, truth.y, out.existence,
+                                  config.fault_ratio,
+                                  config.fault_bias_min_m,
+                                  config.fault_bias_max_m,
+                                  config.noise_sigma_m,
+                                  config.drift_mean_slots, fault_rng)
+            : inject_faults(truth.x, truth.y, out.existence,
+                            config.fault_ratio, config.fault_bias_min_m,
+                            config.fault_bias_max_m, config.noise_sigma_m,
+                            fault_rng);
+    out.sx = std::move(injected.sx);
+    out.sy = std::move(injected.sy);
+    out.fault = std::move(injected.fault);
+
+    VelocityFaults velocity = inject_velocity_faults(
+        truth.vx, truth.vy, config.velocity_fault_ratio, velocity_rng);
+    out.vx = std::move(velocity.vx);
+    out.vy = std::move(velocity.vy);
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,73 @@
+// Corruption scenarios: turning a ground-truth dataset into Sensory
+// Matrices with missing values and faults, exactly as §IV-A of the paper:
+//
+//   S_X = X ∘ ℰ + ℱ ∘ [ε_{i,j}],   S_Y likewise,
+//
+// with missing ratio α controlling zeros in ℰ, fault ratio β controlling
+// ones in ℱ (faults are km-scale biases), small zero-mean sensor noise on
+// normal observations, and (for Fig. 7) a fraction γ of velocity readings
+// scaled by U[0, 2].
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs {
+
+/// How injected faults are shaped in time.
+enum class FaultModel {
+    kBias,   ///< independent per-cell biases (the paper's §IV-A model)
+    kDrift,  ///< contiguous bursts whose bias random-walks slot to slot —
+             ///< a stuck/multipath sensor; consecutive faults vouch for
+             ///< each other inside the detector's window, the harder case
+};
+
+/// Parameters of one corruption scenario.
+struct CorruptionConfig {
+    double missing_ratio = 0.0;        ///< α: fraction of cells missing
+    double fault_ratio = 0.0;          ///< β: fraction of cells faulty
+    double velocity_fault_ratio = 0.0; ///< γ: fraction of velocity cells hit
+
+    /// Fault bias magnitude range (paper: faults are "at least kilometers
+    /// away from the normal data").
+    double fault_bias_min_m = 3000.0;
+    double fault_bias_max_m = 30000.0;
+
+    FaultModel fault_model = FaultModel::kBias;
+    /// kDrift only: mean burst length in slots (geometric distribution).
+    double drift_mean_slots = 6.0;
+
+    /// Std-dev of zero-mean sensor noise on normal (non-faulty) readings.
+    double noise_sigma_m = 10.0;
+
+    std::uint64_t seed = 1;
+
+    /// Throws mcs::Error on invalid parameters (ratios outside [0,1],
+    /// α + β > 1, inverted bias range, negative noise).
+    void validate() const;
+};
+
+/// A corrupted dataset: what the MCS server actually receives.
+struct CorruptedDataset {
+    Matrix sx;         ///< Sensory Matrix S_X (0 where missing)
+    Matrix sy;         ///< Sensory Matrix S_Y (0 where missing)
+    Matrix vx;         ///< uploaded x velocity (faulted when γ > 0)
+    Matrix vy;         ///< uploaded y velocity (faulted when γ > 0)
+    Matrix existence;  ///< ℰ: 1 observed, 0 missing
+    Matrix fault;      ///< ℱ: ground-truth fault indicator
+    double tau_s = 30.0;
+
+    std::size_t participants() const { return sx.rows(); }
+    std::size_t slots() const { return sx.cols(); }
+};
+
+/// Apply a corruption scenario to ground truth. Deterministic in the seed.
+/// Faults are injected only into observed cells (a missing cell has no
+/// reading to corrupt); the fault count is β·n·t, so at α = β = 40% two
+/// thirds of the surviving observations are faulty.
+CorruptedDataset corrupt(const TraceDataset& truth,
+                         const CorruptionConfig& config);
+
+}  // namespace mcs

@@ -1,0 +1,34 @@
+#include "corruption/velocity_faults.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+VelocityFaults inject_velocity_faults(const Matrix& vx, const Matrix& vy,
+                                      double ratio, Rng& rng) {
+    MCS_CHECK_MSG(vx.rows() == vy.rows() && vx.cols() == vy.cols(),
+                  "inject_velocity_faults: shape mismatch");
+    MCS_CHECK_MSG(ratio >= 0.0 && ratio <= 1.0,
+                  "inject_velocity_faults: ratio out of [0,1]");
+    const std::size_t n = vx.rows();
+    const std::size_t t = vx.cols();
+    const std::size_t total = n * t;
+    const auto count = static_cast<std::size_t>(
+        std::llround(ratio * static_cast<double>(total)));
+
+    VelocityFaults out{vx, vy, Matrix(n, t)};
+    for (const std::size_t flat :
+         rng.sample_without_replacement(total, count)) {
+        const std::size_t i = flat / t;
+        const std::size_t j = flat % t;
+        const double factor = rng.uniform(0.0, 2.0);
+        out.vx(i, j) *= factor;
+        out.vy(i, j) *= factor;
+        out.faulted(i, j) = 1.0;
+    }
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,25 @@
+// Velocity fault injection for the Fig. 7 experiment (§IV-D): a fraction γ
+// of velocity readings is scaled by U[0, 2] — "suppose the original velocity
+// is v, the modified velocity with error is randomly selected between 0 and
+// 2v". Both components of a reading are hit together (one GNSS/odometer
+// sample produces both).
+#pragma once
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Velocity matrices after fault injection.
+struct VelocityFaults {
+    Matrix vx;
+    Matrix vy;
+    Matrix faulted;  ///< 1 where the reading was scaled
+};
+
+/// Scale round(ratio·n·t) velocity readings by an independent U[0, 2]
+/// factor. ratio must be in [0, 1].
+VelocityFaults inject_velocity_faults(const Matrix& vx, const Matrix& vy,
+                                      double ratio, Rng& rng);
+
+}  // namespace mcs

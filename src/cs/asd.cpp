@@ -1,0 +1,105 @@
+#include "cs/asd.hpp"
+
+#include "common/check.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Scaled direction D = G·W⁻¹ with W = other-factor Gram (+ ridge). The
+// ridge is scaled by the Gram trace so it is dimensionless.
+Matrix scaled_direction(const Matrix& grad, const Matrix& other_factor,
+                        double ridge) {
+    Matrix gram = gram_with_ridge(other_factor, 0.0);
+    double trace = 0.0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+        trace += gram(i, i);
+    }
+    const double effective_ridge =
+        ridge * (trace > 0.0 ? trace : 1.0) + 1e-300;
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+        gram(i, i) += effective_ridge;
+    }
+    // D·W = G  ⇔  W·Dᵀ = Gᵀ (W symmetric).
+    return transpose(solve_spd(gram, transpose(grad)));
+}
+
+}  // namespace
+
+AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
+                       const AsdOptions& options) {
+    MCS_CHECK_MSG(l0.rows() == objective.rows(),
+                  "asd_minimize: L rows must match data rows");
+    MCS_CHECK_MSG(r0.rows() == objective.cols(),
+                  "asd_minimize: R rows must match data cols");
+    MCS_CHECK_MSG(l0.cols() == r0.cols(),
+                  "asd_minimize: factor ranks differ");
+    MCS_CHECK_MSG(options.max_iterations > 0,
+                  "asd_minimize: max_iterations must be positive");
+    MCS_CHECK_MSG(options.relative_tolerance >= 0.0,
+                  "asd_minimize: negative tolerance");
+
+    AsdResult result;
+    result.l = std::move(l0);
+    result.r = std::move(r0);
+    result.objective_history.reserve(options.max_iterations + 1);
+
+    // The objective is quadratic along every search line, so each exact
+    // line search reports its own decrease; we track f analytically and
+    // only pay for one full evaluation, at the start.
+    double current = objective.value(result.l, result.r);
+    result.objective_history.push_back(current);
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        const double previous = current;
+        // Algorithm 2 lines 11–13: descent in R with L fixed.
+        {
+            const CsObjective::Residuals res =
+                objective.residuals(result.l, result.r);
+            const Matrix grad =
+                objective.gradient_r_from(res, result.l, result.r);
+            Matrix direction =
+                options.scaled
+                    ? scaled_direction(grad, result.l, options.gram_ridge)
+                    : grad;
+            const CsObjective::LineSearch step =
+                objective.line_search_r(res, result.l, result.r, direction);
+            direction *= step.alpha;
+            result.r -= direction;
+            current -= step.decrease;
+        }
+        // Algorithm 2 lines 14–16: descent in L with R fixed.
+        {
+            const CsObjective::Residuals res =
+                objective.residuals(result.l, result.r);
+            const Matrix grad =
+                objective.gradient_l_from(res, result.l, result.r);
+            Matrix direction =
+                options.scaled
+                    ? scaled_direction(grad, result.r, options.gram_ridge)
+                    : grad;
+            const CsObjective::LineSearch step =
+                objective.line_search_l(res, result.l, result.r, direction);
+            direction *= step.alpha;
+            result.l -= direction;
+            current -= step.decrease;
+        }
+
+        result.objective_history.push_back(current);
+        ++result.iterations;
+
+        // Exact line search guarantees non-increase; terminate on small
+        // relative progress (Algorithm 2 line 18).
+        const double progress =
+            previous > 0.0 ? (previous - current) / previous : 0.0;
+        if (progress < options.relative_tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace mcs

@@ -1,0 +1,23 @@
+// Warm start for the ASD solver — Algorithm 2 lines 1–8.
+//
+// ASD on a non-convex factorisation can stall in poor local minima from a
+// random start; the paper fills each untrusted cell with its nearest trusted
+// value in time (an approximation of the coordinate matrix), then takes the
+// truncated SVD factors of the filled matrix as (L₀, R₀).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace mcs {
+
+/// Replace every cell with mask == 0 by the nearest (in time, same row)
+/// cell with mask == 1; ties prefer the earlier slot. Rows with no trusted
+/// cell at all are filled with 0. Returns the filled copy S'.
+Matrix nearest_fill(const Matrix& s, const Matrix& mask);
+
+/// Full Algorithm-2 warm start: nearest_fill followed by rank-r truncated
+/// SVD factors L = U_r·Σ_r^½, R = V_r·Σ_r^½.
+FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank);
+
+}  // namespace mcs

@@ -1,0 +1,59 @@
+#include "cs/interpolation.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "cs/init.hpp"
+#include "detect/detection.hpp"
+
+namespace mcs {
+
+Matrix linear_interpolate(const Matrix& s, const Matrix& mask) {
+    MCS_CHECK_MSG(s.rows() == mask.rows() && s.cols() == mask.cols(),
+                  "linear_interpolate: shape mismatch");
+    require_binary(mask, "linear_interpolate: mask");
+    const std::size_t n = s.rows();
+    const std::size_t t = s.cols();
+    Matrix filled = s;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::size_t> trusted;
+        trusted.reserve(t);
+        for (std::size_t j = 0; j < t; ++j) {
+            if (mask(i, j) != 0.0) {
+                trusted.push_back(j);
+            }
+        }
+        if (trusted.empty()) {
+            for (std::size_t j = 0; j < t; ++j) {
+                filled(i, j) = 0.0;
+            }
+            continue;
+        }
+        // Leading and trailing gaps: hold the boundary value.
+        for (std::size_t j = 0; j < trusted.front(); ++j) {
+            filled(i, j) = s(i, trusted.front());
+        }
+        for (std::size_t j = trusted.back() + 1; j < t; ++j) {
+            filled(i, j) = s(i, trusted.back());
+        }
+        // Interior gaps: linear in slot index between bracketing samples.
+        for (std::size_t k = 0; k + 1 < trusted.size(); ++k) {
+            const std::size_t a = trusted[k];
+            const std::size_t b = trusted[k + 1];
+            const double va = s(i, a);
+            const double vb = s(i, b);
+            for (std::size_t j = a + 1; j < b; ++j) {
+                const double frac = static_cast<double>(j - a) /
+                                    static_cast<double>(b - a);
+                filled(i, j) = va + frac * (vb - va);
+            }
+        }
+    }
+    return filled;
+}
+
+Matrix nearest_interpolate(const Matrix& s, const Matrix& mask) {
+    return nearest_fill(s, mask);
+}
+
+}  // namespace mcs

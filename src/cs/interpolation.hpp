@@ -1,0 +1,22 @@
+// Classical per-row interpolation baselines for missing-value filling.
+//
+// The paper motivates CS by noting classical interpolation degrades as the
+// missing ratio grows [21]; these baselines let users (and the ablation
+// example) quantify that on their own data.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Linear interpolation along each row: untrusted cells between two trusted
+/// neighbours are linearly interpolated in slot index; cells before the
+/// first / after the last trusted slot are held constant at it. Rows with
+/// no trusted cell become 0.
+Matrix linear_interpolate(const Matrix& s, const Matrix& mask);
+
+/// Nearest-neighbour fill (re-exported from the CS warm start for
+/// discoverability; identical semantics).
+Matrix nearest_interpolate(const Matrix& s, const Matrix& mask);
+
+}  // namespace mcs

@@ -1,0 +1,167 @@
+#include "cs/objective.hpp"
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/temporal.hpp"
+
+namespace mcs {
+
+CsObjective::CsObjective(const Matrix& s, const Matrix& gbim,
+                         const Matrix& avg_velocity, double tau_s,
+                         double lambda1, double lambda2, TemporalMode mode)
+    : gbim_(gbim), lambda1_(lambda1), lambda2_(lambda2), mode_(mode) {
+    MCS_CHECK_MSG(s.rows() == gbim.rows() && s.cols() == gbim.cols(),
+                  "CsObjective: S/ℬ shape mismatch");
+    MCS_CHECK_MSG(lambda1 >= 0.0 && lambda2 >= 0.0,
+                  "CsObjective: negative regularisation weight");
+    MCS_CHECK_MSG(tau_s > 0.0, "CsObjective: tau must be positive");
+    require_binary(gbim_, "CsObjective: ℬ");
+
+    // Zero out untrusted entries so that masked_residual() may treat S and
+    // (LRᵀ)∘ℬ uniformly (missing cells contribute nothing to f₁).
+    s_ = hadamard(s, gbim_);
+
+    if (mode_ == TemporalMode::kVelocity) {
+        MCS_CHECK_MSG(avg_velocity.rows() == s.rows() &&
+                          avg_velocity.cols() == s.cols(),
+                      "CsObjective: V̄ shape mismatch");
+        target_ = scale(avg_velocity, tau_s);
+        // The first slot has no preceding displacement; do not constrain it
+        // (matches the zeroed first column of the 𝕋 operator).
+        for (std::size_t i = 0; i < target_.rows(); ++i) {
+            target_(i, 0) = 0.0;
+        }
+    } else {
+        target_ = Matrix(s.rows(), s.cols());
+    }
+}
+
+CsObjective::Residuals CsObjective::residuals(const Matrix& l,
+                                              const Matrix& r) const {
+    Residuals res;
+    if (temporal_active()) {
+        // One L·Rᵀ product feeds both residuals.
+        const Matrix x = multiply_transposed(l, r);
+        res.m = subtract(hadamard(x, gbim_), s_);
+        res.e3 = temporal_diff(x);
+        res.e3 -= target_;
+    } else {
+        res.m = masked_residual(l, r, gbim_, s_);
+    }
+    return res;
+}
+
+double CsObjective::value_from(const Residuals& res, const Matrix& l,
+                               const Matrix& r) const {
+    double f = frobenius_norm_squared(res.m) +
+               lambda1_ * (frobenius_norm_squared(l) +
+                           frobenius_norm_squared(r));
+    if (temporal_active()) {
+        f += lambda2_ * frobenius_norm_squared(res.e3);
+    }
+    return f;
+}
+
+double CsObjective::value(const Matrix& l, const Matrix& r) const {
+    return value_from(residuals(l, r), l, r);
+}
+
+Matrix CsObjective::gradient_l_from(const Residuals& res, const Matrix& l,
+                                    const Matrix& r) const {
+    Matrix grad = multiply(res.m, r);  // M·R
+    grad *= 2.0;
+    if (lambda1_ != 0.0) {
+        Matrix reg = l;
+        reg *= 2.0 * lambda1_;
+        grad += reg;
+    }
+    if (temporal_active() && lambda2_ != 0.0) {
+        Matrix temporal_grad =
+            multiply(temporal_diff_adjoint(res.e3), r);  // Δᵀ(E₃)·R
+        temporal_grad *= 2.0 * lambda2_;
+        grad += temporal_grad;
+    }
+    return grad;
+}
+
+Matrix CsObjective::gradient_r_from(const Residuals& res, const Matrix& l,
+                                    const Matrix& r) const {
+    Matrix grad = transpose_multiply(res.m, l);  // Mᵀ·L
+    grad *= 2.0;
+    if (lambda1_ != 0.0) {
+        Matrix reg = r;
+        reg *= 2.0 * lambda1_;
+        grad += reg;
+    }
+    if (temporal_active() && lambda2_ != 0.0) {
+        Matrix temporal_grad =
+            transpose_multiply(temporal_diff_adjoint(res.e3), l);
+        temporal_grad *= 2.0 * lambda2_;
+        grad += temporal_grad;
+    }
+    return grad;
+}
+
+Matrix CsObjective::gradient_l(const Matrix& l, const Matrix& r) const {
+    return gradient_l_from(residuals(l, r), l, r);
+}
+
+Matrix CsObjective::gradient_r(const Matrix& l, const Matrix& r) const {
+    return gradient_r_from(residuals(l, r), l, r);
+}
+
+CsObjective::LineSearch CsObjective::line_search_l(const Residuals& res,
+                                                   const Matrix& l,
+                                                   const Matrix& r,
+                                                   const Matrix& dir) const {
+    // g(α) = f(L − α·D, R) = aα² + bα + c; α* = −b/2a, decrease b²/4a.
+    const Matrix p_raw = multiply_transposed(dir, r);  // D·Rᵀ
+    const Matrix p = hadamard(p_raw, gbim_);
+    double a = frobenius_norm_squared(p) +
+               lambda1_ * frobenius_norm_squared(dir);
+    double b =
+        -2.0 * (frobenius_dot(res.m, p) + lambda1_ * frobenius_dot(l, dir));
+    if (temporal_active() && lambda2_ != 0.0) {
+        const Matrix dp = temporal_diff(p_raw);
+        a += lambda2_ * frobenius_norm_squared(dp);
+        b += -2.0 * lambda2_ * frobenius_dot(res.e3, dp);
+    }
+    if (a <= 0.0) {
+        return {};
+    }
+    return {-b / (2.0 * a), b * b / (4.0 * a)};
+}
+
+CsObjective::LineSearch CsObjective::line_search_r(const Residuals& res,
+                                                   const Matrix& l,
+                                                   const Matrix& r,
+                                                   const Matrix& dir) const {
+    const Matrix p_raw = multiply_transposed(l, dir);  // L·Dᵀ
+    const Matrix p = hadamard(p_raw, gbim_);
+    double a = frobenius_norm_squared(p) +
+               lambda1_ * frobenius_norm_squared(dir);
+    double b =
+        -2.0 * (frobenius_dot(res.m, p) + lambda1_ * frobenius_dot(r, dir));
+    if (temporal_active() && lambda2_ != 0.0) {
+        const Matrix dp = temporal_diff(p_raw);
+        a += lambda2_ * frobenius_norm_squared(dp);
+        b += -2.0 * lambda2_ * frobenius_dot(res.e3, dp);
+    }
+    if (a <= 0.0) {
+        return {};
+    }
+    return {-b / (2.0 * a), b * b / (4.0 * a)};
+}
+
+double CsObjective::exact_step_l(const Matrix& l, const Matrix& r,
+                                 const Matrix& g) const {
+    return line_search_l(residuals(l, r), l, r, g).alpha;
+}
+
+double CsObjective::exact_step_r(const Matrix& l, const Matrix& r,
+                                 const Matrix& g) const {
+    return line_search_r(residuals(l, r), l, r, g).alpha;
+}
+
+}  // namespace mcs

@@ -1,0 +1,40 @@
+#include "detect/detection.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Matrix detection_union(const Matrix& dx, const Matrix& dy) {
+    MCS_CHECK_MSG(dx.rows() == dy.rows() && dx.cols() == dy.cols(),
+                  "detection_union: shape mismatch");
+    require_binary(dx, "detection_union: dx");
+    require_binary(dy, "detection_union: dy");
+    Matrix out(dx.rows(), dx.cols());
+    for (std::size_t i = 0; i < dx.rows(); ++i) {
+        for (std::size_t j = 0; j < dx.cols(); ++j) {
+            out(i, j) = (dx(i, j) != 0.0 || dy(i, j) != 0.0) ? 1.0 : 0.0;
+        }
+    }
+    return out;
+}
+
+Matrix make_gbim(const Matrix& existence, const Matrix& detection) {
+    MCS_CHECK_MSG(existence.rows() == detection.rows() &&
+                      existence.cols() == detection.cols(),
+                  "make_gbim: shape mismatch");
+    require_binary(existence, "make_gbim: existence");
+    require_binary(detection, "make_gbim: detection");
+    Matrix out(existence.rows(), existence.cols());
+    for (std::size_t i = 0; i < existence.rows(); ++i) {
+        for (std::size_t j = 0; j < existence.cols(); ++j) {
+            out(i, j) =
+                (existence(i, j) == 1.0 && detection(i, j) == 0.0) ? 1.0
+                                                                   : 0.0;
+        }
+    }
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,19 @@
+// Detection-matrix utilities shared by the detector, the CHECK phase and
+// the framework driver: 𝒟 combination (X/Y union), the Generalized Binary
+// Index Matrix ℬ (Definition 7), and change tracking for convergence.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"  // require_binary
+
+namespace mcs {
+
+/// 𝒟 = 𝒟_X ∪ 𝒟_Y, element-wise OR of two 0/1 matrices (the paper runs
+/// Algorithm 1 on both axes and a point is faulty if either axis flags it).
+Matrix detection_union(const Matrix& dx, const Matrix& dy);
+
+/// ℬ(i,j) = 1 iff ℰ(i,j) = 1 and 𝒟(i,j) = 0 (Definition 7): the cells the
+/// CS reconstruction is allowed to trust.
+Matrix make_gbim(const Matrix& existence, const Matrix& detection);
+
+}  // namespace mcs

@@ -1,0 +1,130 @@
+#include "detect/local_median.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/stats.hpp"
+
+namespace mcs {
+
+namespace {
+
+void check_config(const LocalMedianConfig& config, std::size_t total_slots) {
+    MCS_CHECK_MSG(config.window >= 3 && config.window % 2 == 1,
+                  "LocalMedianConfig: window must be odd and >= 3");
+    MCS_CHECK_MSG(config.window <= total_slots,
+                  "LocalMedianConfig: window larger than the time series");
+    MCS_CHECK_MSG(config.xi > 0.0, "LocalMedianConfig: xi must be positive");
+    MCS_CHECK_MSG(config.min_tolerance_m >= 0.0,
+                  "LocalMedianConfig: negative tolerance floor");
+}
+
+}  // namespace
+
+std::size_t window_start(std::size_t slot, std::size_t window,
+                         std::size_t total_slots) {
+    MCS_CHECK(window <= total_slots);
+    const std::size_t half = (window - 1) / 2;
+    const std::size_t unclamped = slot > half ? slot - half : 0;
+    return std::min(unclamped, total_slots - window);
+}
+
+double dynamic_tolerance(const Matrix& avg_velocity, const Matrix& existence,
+                         std::size_t participant, std::size_t slot,
+                         double tau_s, const LocalMedianConfig& config) {
+    const std::size_t t = avg_velocity.cols();
+    check_config(config, t);
+    MCS_CHECK(participant < avg_velocity.rows() && slot < t);
+    MCS_CHECK(existence.rows() == avg_velocity.rows() &&
+              existence.cols() == t);
+    MCS_CHECK(tau_s > 0.0);
+
+    const std::size_t l = window_start(slot, config.window, t);
+    // The window median is the position at *some* slot p in the window, so
+    // the legitimate deviation |x_j − m| is bounded by the signed distance
+    // travelled between slot j and slot p. We take the maximum |cumulative
+    // displacement| reachable from slot j in either direction within the
+    // window (missing slots contribute no velocity observation).
+    double max_drift = 0.0;
+    double cumulative = 0.0;
+    for (std::size_t p = slot + 1; p < l + config.window; ++p) {  // forward
+        if (existence(participant, p) == 0.0) {
+            continue;
+        }
+        cumulative += avg_velocity(participant, p) * tau_s;
+        max_drift = std::max(max_drift, std::abs(cumulative));
+    }
+    cumulative = 0.0;
+    for (std::size_t p = slot; p > l; --p) {  // backward: x_{p-1} − x_j
+        if (existence(participant, p) == 0.0) {
+            continue;
+        }
+        cumulative -= avg_velocity(participant, p) * tau_s;
+        max_drift = std::max(max_drift, std::abs(cumulative));
+    }
+    return std::max(config.xi * max_drift, config.min_tolerance_m);
+}
+
+Matrix ts_detect(const Matrix& s, const Matrix& reconstructed,
+                 const Matrix& avg_velocity, Matrix detection,
+                 const Matrix& existence, double tau_s,
+                 const LocalMedianConfig& config, bool first_execution) {
+    const std::size_t n = s.rows();
+    const std::size_t t = s.cols();
+    check_config(config, t);
+    MCS_CHECK_MSG(avg_velocity.rows() == n && avg_velocity.cols() == t,
+                  "ts_detect: velocity shape mismatch");
+    MCS_CHECK_MSG(detection.rows() == n && detection.cols() == t,
+                  "ts_detect: detection shape mismatch");
+    MCS_CHECK_MSG(existence.rows() == n && existence.cols() == t,
+                  "ts_detect: existence shape mismatch");
+    MCS_CHECK_MSG(tau_s > 0.0, "ts_detect: tau must be positive");
+
+    // Algorithm 1 lines 1–5: after the first execution, fill missing cells
+    // with the reconstruction and treat every cell as existing.
+    Matrix working = s;
+    Matrix effective_existence = existence;
+    if (!first_execution) {
+        MCS_CHECK_MSG(reconstructed.rows() == n && reconstructed.cols() == t,
+                      "ts_detect: reconstruction shape mismatch");
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < t; ++j) {
+                if (existence(i, j) == 0.0) {
+                    working(i, j) = reconstructed(i, j);
+                }
+            }
+        }
+        effective_existence = Matrix::constant(n, t, 1.0);
+    }
+
+    std::vector<double> window_values;
+    window_values.reserve(config.window);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (effective_existence(i, j) == 0.0) {
+                continue;  // Algorithm 1 line 8–9: skip missing cells
+            }
+            const std::size_t l = window_start(j, config.window, t);
+            window_values.clear();
+            for (std::size_t k = l; k < l + config.window; ++k) {
+                if (effective_existence(i, k) != 0.0) {
+                    window_values.push_back(working(i, k));
+                }
+            }
+            if (window_values.size() < 2) {
+                continue;  // median of the point alone proves nothing
+            }
+            const double m = median(window_values);
+            const double delta = dynamic_tolerance(
+                avg_velocity, effective_existence, i, j, tau_s, config);
+            if (std::abs(working(i, j) - m) < delta) {
+                detection(i, j) = 0.0;  // concluded normal
+            }
+        }
+    }
+    return detection;
+}
+
+}  // namespace mcs

@@ -1,0 +1,61 @@
+// Optimized Local Median Method — TS_Detect(), Algorithm 1 of the paper.
+//
+// Each participant's row is scanned with an odd-sized window; the tested
+// point is compared against the window median, and the tolerance δ is
+// *dynamic*: it scales with the distance the participant could plausibly
+// cover inside the window given its measured velocity (Eq. 12). On the
+// first execution missing values are skipped (and excluded from medians);
+// on later iterations the framework substitutes reconstructed values for
+// them, so every cell is tested.
+//
+// Eq. 12 note (see DESIGN.md §2): the printed formula sums a constant.
+// We implement the evident intent — the maximum distance the participant
+// can legitimately sit from the window median, which is the maximum
+// |cumulative displacement| reachable from slot j in either direction
+// inside the window (observed slots only), scaled by ξ and floored at
+// `min_tolerance_m` so a parked vehicle's sensor noise is not flagged
+// wholesale.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Tuning of the Optimized Local Median Method.
+struct LocalMedianConfig {
+    std::size_t window = 5;        ///< odd window size w
+    double xi = 1.5;               ///< ξ, FN/FP trade-off coefficient
+    double min_tolerance_m = 60.0; ///< floor on δ (sensor-noise allowance)
+};
+
+/// One TS_Detect() pass over a single axis (X-version or Y-version).
+///
+/// Inputs mirror Algorithm 1: the sensory matrix S, the latest
+/// reconstruction Ŝ (ignored when `first_execution`), the Average Velocity
+/// Matrix V̄ (Eq. 11), the current detection matrix 𝒟 (all-ones on the
+/// first execution, per the paper), and the Existence Matrix ℰ.
+///
+/// Returns the updated 𝒟: entries are only ever *cleared* here (set to 0
+/// when the point lies within δ of the window median); Check() is the only
+/// place that re-raises them. This one-directional update is what makes the
+/// framework's convergence argument work.
+Matrix ts_detect(const Matrix& s, const Matrix& reconstructed,
+                 const Matrix& avg_velocity, Matrix detection,
+                 const Matrix& existence, double tau_s,
+                 const LocalMedianConfig& config, bool first_execution);
+
+/// The dynamic tolerance δᵢ⁽ʲ⁾ of Eq. 12 for one cell (exposed for tests
+/// and the ablation example). `existence` masks which window slots carry a
+/// velocity observation. 0-based indices.
+double dynamic_tolerance(const Matrix& avg_velocity, const Matrix& existence,
+                         std::size_t participant, std::size_t slot,
+                         double tau_s, const LocalMedianConfig& config);
+
+/// Window start l per Eq. 12, translated to 0-based indexing:
+/// l = min(max(0, j − (w−1)/2), t − w).
+std::size_t window_start(std::size_t slot, std::size_t window,
+                         std::size_t total_slots);
+
+}  // namespace mcs

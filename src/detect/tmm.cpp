@@ -1,0 +1,59 @@
+#include "detect/tmm.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+#include "detect/local_median.hpp"
+#include "linalg/stats.hpp"
+
+namespace mcs {
+
+Matrix tmm_detect(const Matrix& s, const Matrix& existence,
+                  const TmmConfig& config) {
+    const std::size_t n = s.rows();
+    const std::size_t t = s.cols();
+    MCS_CHECK_MSG(config.window >= 3 && config.window % 2 == 1,
+                  "TmmConfig: window must be odd and >= 3");
+    MCS_CHECK_MSG(config.window <= t,
+                  "TmmConfig: window larger than the time series");
+    MCS_CHECK_MSG(config.threshold_m > 0.0,
+                  "TmmConfig: threshold must be positive");
+    MCS_CHECK_MSG(existence.rows() == n && existence.cols() == t,
+                  "tmm_detect: existence shape mismatch");
+
+    Matrix detection(n, t);
+    std::vector<double> window_values;
+    window_values.reserve(config.window);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;  // nothing observed, nothing to flag
+            }
+            const std::size_t l = window_start(j, config.window, t);
+            window_values.clear();
+            for (std::size_t k = l; k < l + config.window; ++k) {
+                if (existence(i, k) != 0.0) {
+                    window_values.push_back(s(i, k));
+                }
+            }
+            if (window_values.size() < 2) {
+                continue;
+            }
+            const double m = median(window_values);
+            if (std::abs(s(i, j) - m) > config.threshold_m) {
+                detection(i, j) = 1.0;
+            }
+        }
+    }
+    return detection;
+}
+
+Matrix tmm_detect_xy(const Matrix& sx, const Matrix& sy,
+                     const Matrix& existence, const TmmConfig& config) {
+    return detection_union(tmm_detect(sx, existence, config),
+                           tmm_detect(sy, existence, config));
+}
+
+}  // namespace mcs

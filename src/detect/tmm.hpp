@@ -1,0 +1,35 @@
+// Two-sided Median Method (TMM) — the paper's detection baseline [26]
+// (Basu & Meckesheimer, "Automatic outlier detection for time series").
+//
+// Like the local median method it compares each point against the median of
+// a two-sided window, but the outlier range is a *predefined constant*
+// rather than velocity-adaptive, and there is no iterative correction. The
+// paper shows this degrades as the fault ratio and missing ratio grow
+// (Fig. 5) — missing cells shrink the usable window and the fixed threshold
+// cannot adapt to vehicle speed.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Tuning of the TMM baseline.
+struct TmmConfig {
+    std::size_t window = 5;      ///< odd window size
+    double threshold_m = 1000.0;  ///< fixed outlier range δ
+};
+
+/// One TMM pass over a single axis. Missing cells (existence == 0) are
+/// skipped and never flagged; they are also excluded from window medians.
+/// Returns a 0/1 detection matrix (1 = flagged faulty).
+Matrix tmm_detect(const Matrix& s, const Matrix& existence,
+                  const TmmConfig& config);
+
+/// Both axes combined: a point is faulty if either axis deviates by more
+/// than the threshold from its window median.
+Matrix tmm_detect_xy(const Matrix& sx, const Matrix& sy,
+                     const Matrix& existence, const TmmConfig& config);
+
+}  // namespace mcs

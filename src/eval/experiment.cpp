@@ -1,0 +1,80 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
+
+namespace mcs {
+
+ExperimentPoint run_scenario(const TraceDataset& truth,
+                             const CorruptionConfig& corruption,
+                             Method method, const MethodSettings& settings) {
+    const Stopwatch timer;
+    const CorruptedDataset data = corrupt(truth, corruption);
+    const MethodResult result = run_method(method, data, settings);
+
+    ExperimentPoint point;
+    point.alpha = corruption.missing_ratio;
+    point.beta = corruption.fault_ratio;
+    point.gamma = corruption.velocity_fault_ratio;
+    point.method = method;
+    point.iterations = result.iterations;
+
+    const ConfusionCounts counts =
+        evaluate_detection(result.detection, data.fault, data.existence);
+    point.precision = counts.precision();
+    point.recall = counts.recall();
+    point.f1 = counts.f1();
+
+    if (reconstructs(method)) {
+        point.mae_m = reconstruction_mae(truth.x, truth.y,
+                                         result.reconstructed_x,
+                                         result.reconstructed_y,
+                                         data.existence, result.detection);
+        point.rmse_m = reconstruction_rmse(truth.x, truth.y,
+                                           result.reconstructed_x,
+                                           result.reconstructed_y,
+                                           data.existence, result.detection);
+    }
+    point.elapsed_s = timer.elapsed_seconds();
+    return point;
+}
+
+ExperimentPoint run_scenario_averaged(const TraceDataset& truth,
+                                      CorruptionConfig corruption,
+                                      Method method,
+                                      const MethodSettings& settings,
+                                      std::size_t repetitions) {
+    MCS_CHECK_MSG(repetitions >= 1,
+                  "run_scenario_averaged: need at least one repetition");
+    ExperimentPoint mean;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        const ExperimentPoint point =
+            run_scenario(truth, corruption, method, settings);
+        mean.alpha = point.alpha;
+        mean.beta = point.beta;
+        mean.gamma = point.gamma;
+        mean.method = point.method;
+        mean.precision += point.precision;
+        mean.recall += point.recall;
+        mean.f1 += point.f1;
+        mean.mae_m += point.mae_m;
+        mean.rmse_m += point.rmse_m;
+        mean.elapsed_s += point.elapsed_s;
+        mean.iterations = std::max(mean.iterations, point.iterations);
+        ++corruption.seed;  // fresh mask/fault placement per repetition
+    }
+    const auto k = static_cast<double>(repetitions);
+    mean.precision /= k;
+    mean.recall /= k;
+    mean.f1 /= k;
+    mean.mae_m /= k;
+    mean.rmse_m /= k;
+    mean.elapsed_s /= k;
+    return mean;
+}
+
+}  // namespace mcs

@@ -1,0 +1,47 @@
+// Scenario runner: corrupt a ground-truth dataset, run a method, score it.
+//
+// This is the shared engine behind every figure bench: each figure is a
+// grid of (α, β, γ, method) points, and each point is one ExperimentPoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corruption/scenario.hpp"
+#include "eval/methods.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs {
+
+/// One scored (scenario, method) cell.
+struct ExperimentPoint {
+    double alpha = 0.0;  ///< missing ratio
+    double beta = 0.0;   ///< fault ratio
+    double gamma = 0.0;  ///< velocity fault ratio
+    Method method = Method::kItscsFull;
+
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    double mae_m = 0.0;   ///< Eq. (29); 0 when the method can't reconstruct
+    double rmse_m = 0.0;
+    std::size_t iterations = 0;
+    double elapsed_s = 0.0;
+};
+
+/// Corrupt `truth` per `corruption`, run `method`, and score detection
+/// against the injected fault matrix and reconstruction against truth.
+ExperimentPoint run_scenario(const TraceDataset& truth,
+                             const CorruptionConfig& corruption,
+                             Method method, const MethodSettings& settings);
+
+/// Average `run_scenario` over several corruption seeds (seed, seed+1, …)
+/// to smooth the randomness of mask/fault placement. precision/recall/
+/// mae/rmse are means; iterations is the maximum observed.
+ExperimentPoint run_scenario_averaged(const TraceDataset& truth,
+                                      CorruptionConfig corruption,
+                                      Method method,
+                                      const MethodSettings& settings,
+                                      std::size_t repetitions);
+
+}  // namespace mcs

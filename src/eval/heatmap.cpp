@@ -1,0 +1,75 @@
+#include "eval/heatmap.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Average-pool `m` down to at most (rows x cols).
+Matrix pool(const Matrix& m, std::size_t rows, std::size_t cols) {
+    const std::size_t out_rows = std::min(rows, m.rows());
+    const std::size_t out_cols = std::min(cols, m.cols());
+    Matrix pooled(out_rows, out_cols);
+    Matrix counts(out_rows, out_cols);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        const std::size_t pi = i * out_rows / m.rows();
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            const std::size_t pj = j * out_cols / m.cols();
+            pooled(pi, pj) += m(i, j);
+            counts(pi, pj) += 1.0;
+        }
+    }
+    for (std::size_t i = 0; i < out_rows; ++i) {
+        for (std::size_t j = 0; j < out_cols; ++j) {
+            pooled(i, j) /= counts(i, j);
+        }
+    }
+    return pooled;
+}
+
+void render(std::ostream& out, const Matrix& pooled,
+            const std::string& ramp) {
+    MCS_CHECK_MSG(!ramp.empty(), "render_heatmap: empty glyph ramp");
+    double lo = pooled(0, 0);
+    double hi = pooled(0, 0);
+    for (const double v : pooled.data()) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    for (std::size_t i = 0; i < pooled.rows(); ++i) {
+        for (std::size_t j = 0; j < pooled.cols(); ++j) {
+            const double norm =
+                span > 0.0 ? (pooled(i, j) - lo) / span : 0.0;
+            const auto index = std::min(
+                ramp.size() - 1,
+                static_cast<std::size_t>(norm *
+                                         static_cast<double>(ramp.size())));
+            out << ramp[index];
+        }
+        out << '\n';
+    }
+}
+
+}  // namespace
+
+void render_heatmap(std::ostream& out, const Matrix& m,
+                    const HeatmapOptions& options) {
+    MCS_CHECK_MSG(!m.empty(), "render_heatmap: empty matrix");
+    MCS_CHECK_MSG(options.max_rows >= 1 && options.max_cols >= 1,
+                  "render_heatmap: output size must be positive");
+    render(out, pool(m, options.max_rows, options.max_cols), options.ramp);
+}
+
+void render_indicator_heatmap(std::ostream& out, const Matrix& indicator,
+                              const HeatmapOptions& options) {
+    require_binary(indicator, "render_indicator_heatmap: indicator");
+    render_heatmap(out, indicator, options);
+}
+
+}  // namespace mcs

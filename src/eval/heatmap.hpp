@@ -1,0 +1,32 @@
+// ASCII heatmap rendering for matrix-shaped diagnostics — the terminal
+// equivalent of the paper's Fig. 1(b) missing-data raster.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Options for ASCII heatmap rendering.
+struct HeatmapOptions {
+    std::size_t max_rows = 40;   ///< downsample to at most this many rows
+    std::size_t max_cols = 120;  ///< ... and this many columns
+    /// Glyph ramp from low to high cell value (each byte one glyph).
+    std::string ramp = " .:-=+*#%@";
+};
+
+/// Render `m` as an ASCII heatmap: the matrix is average-pooled down to
+/// the configured size, normalised to [0, 1], and each pooled cell mapped
+/// onto the glyph ramp. Constant matrices render as the lowest glyph.
+void render_heatmap(std::ostream& out, const Matrix& m,
+                    const HeatmapOptions& options = {});
+
+/// Convenience for 0/1 indicator matrices (missing masks, detections):
+/// renders the *fraction of ones* per pooled cell, so banded structure is
+/// visible exactly as in the paper's figure.
+void render_indicator_heatmap(std::ostream& out, const Matrix& indicator,
+                              const HeatmapOptions& options = {});
+
+}  // namespace mcs

@@ -1,0 +1,99 @@
+#include "eval/methods.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+
+namespace mcs {
+
+std::string to_string(Method method) {
+    switch (method) {
+        case Method::kTmm:
+            return "TMM";
+        case Method::kCsOnly:
+            return "CS";
+        case Method::kLrsd:
+            return "LRSD";
+        case Method::kItscsWithoutVT:
+            return to_string(ItscsVariant::kWithoutVT);
+        case Method::kItscsWithoutV:
+            return to_string(ItscsVariant::kWithoutV);
+        case Method::kItscsFull:
+            return to_string(ItscsVariant::kFull);
+    }
+    throw Error("to_string: unknown Method");
+}
+
+bool reconstructs(Method method) {
+    return method != Method::kTmm;
+}
+
+ItscsInput to_itscs_input(const CorruptedDataset& data) {
+    return ItscsInput{data.sx, data.sy, data.vx, data.vy, data.existence,
+                      data.tau_s};
+}
+
+namespace {
+
+TemporalMode mode_for(Method method) {
+    switch (method) {
+        case Method::kItscsWithoutVT:
+            return TemporalMode::kNone;
+        case Method::kItscsWithoutV:
+            return TemporalMode::kTemporalOnly;
+        default:
+            return TemporalMode::kVelocity;
+    }
+}
+
+}  // namespace
+
+MethodResult run_method(Method method, const CorruptedDataset& data,
+                        const MethodSettings& settings) {
+    MethodResult out;
+    switch (method) {
+        case Method::kTmm: {
+            out.detection =
+                tmm_detect_xy(data.sx, data.sy, data.existence, settings.tmm);
+            out.iterations = 1;
+            return out;
+        }
+        case Method::kCsOnly: {
+            const ItscsResult result =
+                run_cs_only(to_itscs_input(data), settings.cs_only);
+            out.detection = result.detection;
+            out.reconstructed_x = result.reconstructed_x;
+            out.reconstructed_y = result.reconstructed_y;
+            out.iterations = result.iterations;
+            return out;
+        }
+        case Method::kLrsd: {
+            const LrsdResult rx = lrsd_decompose(data.sx, data.existence,
+                                                 data.tau_s, settings.lrsd);
+            const LrsdResult ry = lrsd_decompose(data.sy, data.existence,
+                                                 data.tau_s, settings.lrsd);
+            out.detection = detection_union(rx.outliers, ry.outliers);
+            out.reconstructed_x = rx.estimate;
+            out.reconstructed_y = ry.estimate;
+            out.iterations = std::max(rx.iterations, ry.iterations);
+            return out;
+        }
+        case Method::kItscsWithoutVT:
+        case Method::kItscsWithoutV:
+        case Method::kItscsFull: {
+            ItscsConfig config = settings.itscs_base;
+            config.cs.mode = mode_for(method);
+            const ItscsResult result =
+                run_itscs(to_itscs_input(data), config);
+            out.detection = result.detection;
+            out.reconstructed_x = result.reconstructed_x;
+            out.reconstructed_y = result.reconstructed_y;
+            out.iterations = result.iterations;
+            return out;
+        }
+    }
+    throw Error("run_method: unknown Method");
+}
+
+}  // namespace mcs

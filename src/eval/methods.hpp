@@ -1,0 +1,58 @@
+// Method registry for the evaluation harness: every detector/reconstructor
+// compared in the paper's figures, behind one uniform interface.
+#pragma once
+
+#include <string>
+
+#include "core/itscs.hpp"
+#include "core/variants.hpp"
+#include "cs/lrsd.hpp"
+#include "corruption/scenario.hpp"
+#include "detect/tmm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Every method appearing in Figs. 5–7, plus the LRSD comparator from
+/// the paper's related work ([18], evaluated in bench/ext_baselines).
+enum class Method {
+    kTmm,             ///< two-sided median, fixed threshold (detection only)
+    kCsOnly,          ///< modified CS, no detection (reconstruction only)
+    kLrsd,            ///< low-rank + sparse decomposition baseline [18]
+    kItscsWithoutVT,  ///< I(TS,CS), plain CS
+    kItscsWithoutV,   ///< I(TS,CS), temporal-improved CS
+    kItscsFull,       ///< I(TS,CS), temporal+velocity improved CS
+};
+
+/// Figure-style method name.
+std::string to_string(Method method);
+
+/// True when the method produces a reconstruction (all but TMM).
+bool reconstructs(Method method);
+
+/// Uniform outcome: detection matrix (all-zero for kCsOnly) and, when
+/// available, the reconstructed coordinate matrices.
+struct MethodResult {
+    Matrix detection;
+    Matrix reconstructed_x;  ///< empty when !reconstructs(method)
+    Matrix reconstructed_y;  ///< empty when !reconstructs(method)
+    std::size_t iterations = 0;
+};
+
+/// Adapt a corrupted dataset to the framework's input type.
+ItscsInput to_itscs_input(const CorruptedDataset& data);
+
+/// Tunables shared across methods in one experiment run.
+struct MethodSettings {
+    TmmConfig tmm;
+    CsConfig cs_only;            ///< used by kCsOnly
+    LrsdConfig lrsd;             ///< used by kLrsd
+    ItscsConfig itscs_base;      ///< detector/check/CS defaults; the CS
+                                 ///< temporal mode is overridden per variant
+};
+
+/// Run `method` on `data`. Deterministic (no hidden randomness).
+MethodResult run_method(Method method, const CorruptedDataset& data,
+                        const MethodSettings& settings);
+
+}  // namespace mcs

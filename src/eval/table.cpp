@@ -1,0 +1,55 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+
+namespace mcs {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    MCS_CHECK_MSG(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    MCS_CHECK_MSG(cells.size() == headers_.size(),
+                  "Table: row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) {
+                out << "  ";
+            }
+            out << (c == 0 ? pad_right(row[c], widths[c])
+                           : pad_left(row[c], widths[c]));
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c > 0 ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+}
+
+}  // namespace mcs

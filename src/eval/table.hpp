@@ -1,0 +1,29 @@
+// Plain-text table rendering shared by the figure benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Column-aligned ASCII table with a header row and separator.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Add a data row; must have exactly as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with single-space-padded, right-aligned numeric-style cells
+    /// (the first column is left-aligned as a label column).
+    void print(std::ostream& out) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,73 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+
+Matrix cholesky(const Matrix& a) {
+    MCS_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) {
+            diag -= l(j, k) * l(j, k);
+        }
+        MCS_CHECK_MSG(diag > 0.0, "cholesky: matrix is not positive definite");
+        l(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) {
+                sum -= l(i, k) * l(j, k);
+            }
+            l(i, j) = sum / l(j, j);
+        }
+    }
+    return l;
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.rows() == b.rows(),
+                  "solve_spd: dimension mismatch between A and B");
+    const Matrix l = cholesky(a);
+    const std::size_t n = a.rows();
+    const std::size_t m = b.cols();
+    // Forward substitution: L·Y = B.
+    Matrix y(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < m; ++c) {
+            double sum = b(i, c);
+            for (std::size_t k = 0; k < i; ++k) {
+                sum -= l(i, k) * y(k, c);
+            }
+            y(i, c) = sum / l(i, i);
+        }
+    }
+    // Back substitution: Lᵀ·X = Y.
+    Matrix x(n, m);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        for (std::size_t c = 0; c < m; ++c) {
+            double sum = y(i, c);
+            for (std::size_t k = i + 1; k < n; ++k) {
+                sum -= l(k, i) * x(k, c);
+            }
+            x(i, c) = sum / l(i, i);
+        }
+    }
+    return x;
+}
+
+Matrix gram_with_ridge(const Matrix& a, double ridge) {
+    MCS_CHECK_MSG(ridge >= 0.0, "gram_with_ridge: negative ridge");
+    Matrix gram = transpose_multiply(a, a);
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+        gram(i, i) += ridge;
+    }
+    return gram;
+}
+
+}  // namespace mcs

@@ -1,0 +1,21 @@
+// Cholesky factorisation and SPD solves for small (rank x rank) systems.
+//
+// Used by the scaled-ASD preconditioner: the Gram matrices RᵀR and LᵀL are
+// r x r with r ≤ a few dozen, so an unblocked Cholesky is ideal.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix: A = L·Lᵀ. Throws mcs::Error if A is not (numerically) SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A·X = B for SPD A via Cholesky. B may have any column count.
+Matrix solve_spd(const Matrix& a, const Matrix& b);
+
+/// Gram matrix AᵀA + ridge·I (always SPD for ridge > 0).
+Matrix gram_with_ridge(const Matrix& a, double ridge);
+
+}  // namespace mcs

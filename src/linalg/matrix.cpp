@@ -1,0 +1,141 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        MCS_CHECK_MSG(row.size() == cols_,
+                      "Matrix initializer rows must have equal length");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+    MCS_CHECK_MSG(data_.size() == rows_ * cols_,
+                  "Matrix data size does not match rows*cols");
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+    MCS_CHECK_MSG(i < rows_ && j < cols_,
+                  "Matrix::at out of range in " + shape_string());
+    return data_[i * cols_ + j];
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+    MCS_CHECK_MSG(i < rows_ && j < cols_,
+                  "Matrix::at out of range in " + shape_string());
+    return data_[i * cols_ + j];
+}
+
+std::span<double> Matrix::row(std::size_t i) {
+    MCS_CHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t i) const {
+    MCS_CHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+}
+
+std::vector<double> Matrix::column(std::size_t j) const {
+    MCS_CHECK(j < cols_);
+    std::vector<double> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        out[i] = data_[i * cols_ + j];
+    }
+    return out;
+}
+
+void Matrix::fill(double value) {
+    for (auto& x : data_) {
+        x = value;
+    }
+}
+
+Matrix Matrix::block(std::size_t row0, std::size_t col0, std::size_t nrows,
+                     std::size_t ncols) const {
+    MCS_CHECK(row0 + nrows <= rows_ && col0 + ncols <= cols_);
+    Matrix out(nrows, ncols);
+    for (std::size_t i = 0; i < nrows; ++i) {
+        for (std::size_t j = 0; j < ncols; ++j) {
+            out(i, j) = (*this)(row0 + i, col0 + j);
+        }
+    }
+    return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    MCS_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                  "operator+= shape mismatch: " + shape_string() + " vs " +
+                      other.shape_string());
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+        data_[k] += other.data_[k];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    MCS_CHECK_MSG(rows_ == other.rows_ && cols_ == other.cols_,
+                  "operator-= shape mismatch: " + shape_string() + " vs " +
+                      other.shape_string());
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+        data_[k] -= other.data_[k];
+    }
+    return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+    for (auto& x : data_) {
+        x *= scalar;
+    }
+    return *this;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out(i, i) = 1.0;
+    }
+    return out;
+}
+
+Matrix Matrix::constant(std::size_t rows, std::size_t cols, double value) {
+    return Matrix(rows, cols, value);
+}
+
+std::string Matrix::shape_string() const {
+    return "Matrix(" + std::to_string(rows_) + "x" + std::to_string(cols_) +
+           ")";
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return false;
+    }
+    const auto da = a.data();
+    const auto db = b.data();
+    for (std::size_t k = 0; k < da.size(); ++k) {
+        if (std::abs(da[k] - db[k]) > tolerance) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mcs

@@ -1,0 +1,100 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numerical workhorse of the library. Matrices in the I(TS,CS)
+// problem are small (participants × timeslots, e.g. 158 × 240), so a simple
+// contiguous row-major layout with cache-naive kernels is entirely adequate;
+// see bench/perf_linalg for measurements.
+//
+// Access convention: operator()(i, j) is unchecked in release builds (assert
+// in debug), at(i, j) always bounds-checks and throws mcs::Error.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+    /// Empty 0x0 matrix.
+    Matrix() = default;
+
+    /// rows x cols matrix, all elements initialised to `fill`.
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /// Build from nested initializer list; all rows must have equal length.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /// rows x cols matrix taking ownership of `data` (size rows*cols).
+    Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /// Unchecked element access (assert-guarded in debug builds).
+    double& operator()(std::size_t i, std::size_t j) {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const {
+        assert(i < rows_ && j < cols_);
+        return data_[i * cols_ + j];
+    }
+
+    /// Checked element access; throws mcs::Error when out of range.
+    double& at(std::size_t i, std::size_t j);
+    double at(std::size_t i, std::size_t j) const;
+
+    /// Contiguous storage (row-major).
+    std::span<double> data() { return data_; }
+    std::span<const double> data() const { return data_; }
+
+    /// View of row `i` (throws if out of range).
+    std::span<double> row(std::size_t i);
+    std::span<const double> row(std::size_t i) const;
+
+    /// Copy of column `j` (throws if out of range).
+    std::vector<double> column(std::size_t j) const;
+
+    /// Set every element to `value`.
+    void fill(double value);
+
+    /// Copy a rectangular block [row0, row0+nrows) x [col0, col0+ncols).
+    Matrix block(std::size_t row0, std::size_t col0, std::size_t nrows,
+                 std::size_t ncols) const;
+
+    /// In-place element-wise operations with a same-shaped matrix.
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator-=(const Matrix& other);
+    /// In-place scalar multiply.
+    Matrix& operator*=(double scalar);
+
+    /// Exact element-wise equality (useful in tests; prefer approx_equal).
+    bool operator==(const Matrix& other) const;
+
+    /// n x n identity.
+    static Matrix identity(std::size_t n);
+
+    /// Matrix with every element = value.
+    static Matrix constant(std::size_t rows, std::size_t cols, double value);
+
+    /// Short human-readable description, e.g. "Matrix(158x240)".
+    std::string shape_string() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// True if shapes match and all elements differ by at most `tolerance`.
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance);
+
+}  // namespace mcs

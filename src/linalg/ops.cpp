@@ -1,0 +1,228 @@
+#include "linalg/ops.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+namespace {
+
+void check_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+    MCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  std::string(op) + ": shape mismatch " + a.shape_string() +
+                      " vs " + b.shape_string());
+}
+
+}  // namespace
+
+Matrix add(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "add");
+    Matrix c = a;
+    c += b;
+    return c;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "subtract");
+    Matrix c = a;
+    c -= b;
+    return c;
+}
+
+Matrix scale(const Matrix& a, double s) {
+    Matrix c = a;
+    c *= s;
+    return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "hadamard");
+    Matrix c(a.rows(), a.cols());
+    const auto da = a.data();
+    const auto db = b.data();
+    auto dc = c.data();
+    for (std::size_t k = 0; k < da.size(); ++k) {
+        dc[k] = da[k] * db[k];
+    }
+    return c;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.cols() == b.rows(),
+                  "multiply: inner dimensions differ: " + a.shape_string() +
+                      " * " + b.shape_string());
+    Matrix c(a.rows(), b.cols());
+    // i-k-j loop order: unit-stride access on both B and C rows.
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0) {
+                continue;
+            }
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+                c(i, j) += aik * b(k, j);
+            }
+        }
+    }
+    return c;
+}
+
+Matrix multiply_transposed(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.cols() == b.cols(),
+                  "multiply_transposed: inner dimensions differ: " +
+                      a.shape_string() + " * " + b.shape_string() + "ᵀ");
+    Matrix c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        const auto ra = a.row(i);
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            const auto rb = b.row(j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < ra.size(); ++k) {
+                acc += ra[k] * rb[k];
+            }
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix transpose_multiply(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.rows() == b.rows(),
+                  "transpose_multiply: inner dimensions differ: " +
+                      a.shape_string() + "ᵀ * " + b.shape_string());
+    Matrix c(a.cols(), b.cols());
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        const auto ra = a.row(k);
+        const auto rb = b.row(k);
+        for (std::size_t i = 0; i < ra.size(); ++i) {
+            const double aki = ra[i];
+            if (aki == 0.0) {
+                continue;
+            }
+            for (std::size_t j = 0; j < rb.size(); ++j) {
+                c(i, j) += aki * rb[j];
+            }
+        }
+    }
+    return c;
+}
+
+Matrix transpose(const Matrix& a) {
+    Matrix c(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            c(j, i) = a(i, j);
+        }
+    }
+    return c;
+}
+
+Matrix masked_residual(const Matrix& l, const Matrix& r, const Matrix& mask,
+                       const Matrix& s) {
+    MCS_CHECK_MSG(l.cols() == r.cols(),
+                  "masked_residual: factor ranks differ: " + l.shape_string() +
+                      " vs " + r.shape_string());
+    MCS_CHECK_MSG(mask.rows() == l.rows() && mask.cols() == r.rows(),
+                  "masked_residual: mask shape mismatch");
+    check_same_shape(mask, s, "masked_residual");
+    Matrix out(mask.rows(), mask.cols());
+    for (std::size_t i = 0; i < mask.rows(); ++i) {
+        const auto li = l.row(i);
+        for (std::size_t j = 0; j < mask.cols(); ++j) {
+            if (mask(i, j) != 0.0) {
+                const auto rj = r.row(j);
+                double acc = 0.0;
+                for (std::size_t k = 0; k < li.size(); ++k) {
+                    acc += li[k] * rj[k];
+                }
+                out(i, j) = acc * mask(i, j) - s(i, j);
+            } else {
+                out(i, j) = -s(i, j);
+            }
+        }
+    }
+    return out;
+}
+
+double frobenius_norm(const Matrix& a) {
+    return std::sqrt(frobenius_norm_squared(a));
+}
+
+double frobenius_norm_squared(const Matrix& a) {
+    double acc = 0.0;
+    for (const double x : a.data()) {
+        acc += x * x;
+    }
+    return acc;
+}
+
+double frobenius_dot(const Matrix& a, const Matrix& b) {
+    check_same_shape(a, b, "frobenius_dot");
+    const auto da = a.data();
+    const auto db = b.data();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < da.size(); ++k) {
+        acc += da[k] * db[k];
+    }
+    return acc;
+}
+
+double max_abs(const Matrix& a) {
+    double best = 0.0;
+    for (const double x : a.data()) {
+        best = std::max(best, std::abs(x));
+    }
+    return best;
+}
+
+double element_sum(const Matrix& a) {
+    double acc = 0.0;
+    for (const double x : a.data()) {
+        acc += x;
+    }
+    return acc;
+}
+
+std::size_t count_equal(const Matrix& a, double value) {
+    std::size_t n = 0;
+    for (const double x : a.data()) {
+        if (x == value) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void require_binary(const Matrix& m, const char* name) {
+    for (const double v : m.data()) {
+        MCS_CHECK_MSG(v == 0.0 || v == 1.0,
+                      std::string(name) + " must be a 0/1 matrix");
+    }
+}
+
+std::size_t count_differences(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "count_differences: shape mismatch");
+    std::size_t count = 0;
+    const auto da = a.data();
+    const auto db = b.data();
+    for (std::size_t k = 0; k < da.size(); ++k) {
+        if (da[k] != db[k]) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t count_flagged(const Matrix& detection) {
+    std::size_t count = 0;
+    for (const double v : detection.data()) {
+        if (v != 0.0) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace mcs

@@ -1,0 +1,73 @@
+// Matrix arithmetic kernels: products, Hadamard ops, norms, reductions.
+//
+// Shapes are checked via MCS_CHECK at kernel entry; inner loops use
+// unchecked access. Dedicated fused kernels (multiply_transposed,
+// masked_residual, ...) exist because the ASD solver calls them in its inner
+// loop and avoiding explicit transposes/temporaries keeps it simple and fast.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// C = A + B (same shape).
+Matrix add(const Matrix& a, const Matrix& b);
+
+/// C = A - B (same shape).
+Matrix subtract(const Matrix& a, const Matrix& b);
+
+/// C = s * A.
+Matrix scale(const Matrix& a, double s);
+
+/// C = A ∘ B, element-wise (Hadamard) product (same shape).
+Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// C = A * B, standard matrix product (a.cols == b.rows).
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ without forming the transpose (a.cols == b.cols).
+Matrix multiply_transposed(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B without forming the transpose (a.rows == b.rows).
+Matrix transpose_multiply(const Matrix& a, const Matrix& b);
+
+/// Aᵀ.
+Matrix transpose(const Matrix& a);
+
+/// R = (L * Rᵀ) ∘ mask − S, the masked fitting residual of the CS objective:
+/// entries where mask == 0 contribute (−S(i,j)); S is expected to be zero
+/// there, which the CS pipeline guarantees (missing entries are stored as 0).
+/// Shapes: L n×r, R t×r, mask n×t, S n×t.
+Matrix masked_residual(const Matrix& l, const Matrix& r, const Matrix& mask,
+                       const Matrix& s);
+
+/// Frobenius norm ‖A‖_F.
+double frobenius_norm(const Matrix& a);
+
+/// Squared Frobenius norm ‖A‖²_F (avoids the sqrt).
+double frobenius_norm_squared(const Matrix& a);
+
+/// Frobenius inner product ⟨A, B⟩ = Σ A(i,j)·B(i,j) (same shape).
+double frobenius_dot(const Matrix& a, const Matrix& b);
+
+/// max |A(i,j)|.
+double max_abs(const Matrix& a);
+
+/// Σ A(i,j).
+double element_sum(const Matrix& a);
+
+/// Number of elements equal to `value` exactly (for 0/1 index matrices).
+std::size_t count_equal(const Matrix& a, double value);
+
+/// Throws mcs::Error unless every element of `m` is exactly 0 or 1 — the
+/// contract of the index matrices ℰ, 𝒟, ℱ and ℬ.
+void require_binary(const Matrix& m, const char* name);
+
+/// Number of cells where two same-shaped matrices differ exactly (drives
+/// the "until 𝒟 never changes" loop of Fig. 2).
+std::size_t count_differences(const Matrix& a, const Matrix& b);
+
+/// Number of non-zero elements (ones, for a 0/1 detection matrix).
+std::size_t count_flagged(const Matrix& detection);
+
+}  // namespace mcs

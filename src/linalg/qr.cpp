@@ -1,0 +1,46 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Matrix orthonormalize_columns(Matrix a) {
+    MCS_CHECK_MSG(a.rows() >= a.cols(),
+                  "orthonormalize_columns: need rows >= cols");
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+
+    // Modified Gram–Schmidt, re-orthogonalised ("twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t j = 0; j < k; ++j) {
+            for (std::size_t p = 0; p < j; ++p) {
+                double dot = 0.0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    dot += a(i, p) * a(i, j);
+                }
+                for (std::size_t i = 0; i < m; ++i) {
+                    a(i, j) -= dot * a(i, p);
+                }
+            }
+            double norm_sq = 0.0;
+            for (std::size_t i = 0; i < m; ++i) {
+                norm_sq += a(i, j) * a(i, j);
+            }
+            const double norm = std::sqrt(norm_sq);
+            if (norm > 1e-12) {
+                for (std::size_t i = 0; i < m; ++i) {
+                    a(i, j) /= norm;
+                }
+            } else {
+                for (std::size_t i = 0; i < m; ++i) {
+                    a(i, j) = 0.0;  // dependent direction: drop it
+                }
+            }
+        }
+    }
+    return a;
+}
+
+}  // namespace mcs

@@ -1,0 +1,15 @@
+// Thin QR (orthonormalisation) used by the randomized range finder.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Orthonormalise the columns of `a` (m x k, m >= k) with modified
+/// Gram–Schmidt (two passes for numerical robustness). Columns that are
+/// numerically dependent are replaced by zero columns (callers in the
+/// randomized SVD tolerate this: a zero direction simply contributes no
+/// range). Returns the m x k Q factor.
+Matrix orthonormalize_columns(Matrix a);
+
+}  // namespace mcs

@@ -1,0 +1,102 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+double median(std::span<const double> values) {
+    MCS_CHECK_MSG(!values.empty(), "median: empty range");
+    std::vector<double> copy(values.begin(), values.end());
+    const std::size_t n = copy.size();
+    const std::size_t mid = n / 2;
+    std::nth_element(copy.begin(), copy.begin() + static_cast<long>(mid),
+                     copy.end());
+    const double upper = copy[mid];
+    if (n % 2 == 1) {
+        return upper;
+    }
+    const double lower =
+        *std::max_element(copy.begin(), copy.begin() + static_cast<long>(mid));
+    return 0.5 * (lower + upper);
+}
+
+double mean(std::span<const double> values) {
+    MCS_CHECK_MSG(!values.empty(), "mean: empty range");
+    double acc = 0.0;
+    for (const double x : values) {
+        acc += x;
+    }
+    return acc / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+    MCS_CHECK_MSG(values.size() >= 2, "variance: need at least 2 values");
+    const double m = mean(values);
+    double acc = 0.0;
+    for (const double x : values) {
+        acc += (x - m) * (x - m);
+    }
+    return acc / static_cast<double>(values.size() - 1);
+}
+
+double quantile(std::span<const double> values, double q) {
+    MCS_CHECK_MSG(!values.empty(), "quantile: empty range");
+    MCS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+    std::vector<double> copy(values.begin(), values.end());
+    std::sort(copy.begin(), copy.end());
+    if (copy.size() == 1) {
+        return copy[0];
+    }
+    const double pos = q * static_cast<double>(copy.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+    MCS_CHECK_MSG(!values.empty(), "empirical_cdf: empty range");
+    std::vector<double> copy(values.begin(), values.end());
+    std::sort(copy.begin(), copy.end());
+    std::vector<CdfPoint> cdf;
+    cdf.reserve(copy.size());
+    const auto n = static_cast<double>(copy.size());
+    for (std::size_t i = 0; i < copy.size(); ++i) {
+        // Collapse duplicates onto the last occurrence.
+        if (i + 1 < copy.size() && copy[i + 1] == copy[i]) {
+            continue;
+        }
+        cdf.push_back({copy[i], static_cast<double>(i + 1) / n});
+    }
+    return cdf;
+}
+
+double cdf_at(const std::vector<CdfPoint>& cdf, double x) {
+    MCS_CHECK_MSG(!cdf.empty(), "cdf_at: empty CDF");
+    // Last point with value <= x.
+    double prob = 0.0;
+    for (const auto& point : cdf) {
+        if (point.value <= x) {
+            prob = point.probability;
+        } else {
+            break;
+        }
+    }
+    return prob;
+}
+
+double cdf_inverse(const std::vector<CdfPoint>& cdf, double p) {
+    MCS_CHECK_MSG(!cdf.empty(), "cdf_inverse: empty CDF");
+    MCS_CHECK_MSG(p >= 0.0 && p <= 1.0, "cdf_inverse: p out of [0,1]");
+    for (const auto& point : cdf) {
+        if (point.probability >= p) {
+            return point.value;
+        }
+    }
+    return cdf.back().value;
+}
+
+}  // namespace mcs

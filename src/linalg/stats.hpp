@@ -1,0 +1,41 @@
+// Descriptive statistics used by the detector (medians) and the
+// trace-analysis figures (quantiles, empirical CDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcs {
+
+/// Median of a non-empty range (copies; does not reorder the input).
+/// Even-sized ranges return the average of the two central values.
+double median(std::span<const double> values);
+
+/// Arithmetic mean of a non-empty range.
+double mean(std::span<const double> values);
+
+/// Sample variance (n−1 denominator); requires at least 2 values.
+double variance(std::span<const double> values);
+
+/// Empirical quantile (linear interpolation between order statistics).
+/// q must be in [0, 1]; the range must be non-empty.
+double quantile(std::span<const double> values, double q);
+
+/// One point of an empirical CDF: (value, cumulative probability).
+struct CdfPoint {
+    double value;
+    double probability;
+};
+
+/// Empirical CDF of a non-empty sample, evaluated at each sorted sample
+/// point: probability = (#values <= value) / n.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values);
+
+/// Evaluate an empirical CDF at `x`: fraction of samples <= x.
+double cdf_at(const std::vector<CdfPoint>& cdf, double x);
+
+/// Smallest value v such that fraction of samples <= v is >= p.
+double cdf_inverse(const std::vector<CdfPoint>& cdf, double p);
+
+}  // namespace mcs

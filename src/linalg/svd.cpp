@@ -1,0 +1,258 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+
+namespace mcs {
+
+Matrix SvdResult::reconstruct() const {
+    return reconstruct(singular_values.size());
+}
+
+Matrix SvdResult::reconstruct(std::size_t rank) const {
+    MCS_CHECK(rank <= singular_values.size());
+    const std::size_t m = u.rows();
+    const std::size_t n = v.rows();
+    Matrix out(m, n);
+    for (std::size_t k = 0; k < rank; ++k) {
+        const double s = singular_values[k];
+        if (s == 0.0) {
+            continue;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            const double us = u(i, k) * s;
+            for (std::size_t j = 0; j < n; ++j) {
+                out(i, j) += us * v(j, k);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+// One-sided Jacobi on W (m x n, m >= n): orthogonalise columns of W while
+// accumulating the right rotations into V. On exit the column norms of W are
+// the singular values and the normalised columns are U.
+struct JacobiState {
+    Matrix w;  // m x n working copy
+    Matrix v;  // n x n accumulated rotations
+};
+
+// Applies Jacobi rotations until all column pairs are numerically orthogonal.
+void jacobi_sweeps(JacobiState& st, const SvdOptions& options) {
+    const std::size_t m = st.w.rows();
+    const std::size_t n = st.w.cols();
+    for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                double app = 0.0;
+                double aqq = 0.0;
+                double apq = 0.0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const double wp = st.w(i, p);
+                    const double wq = st.w(i, q);
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if (std::abs(apq) <=
+                    options.tolerance * std::sqrt(app * aqq)) {
+                    continue;
+                }
+                rotated = true;
+                // 2x2 symmetric Schur decomposition (Golub & Van Loan §8.5).
+                const double zeta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (zeta >= 0.0)
+                        ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                        : 1.0 / (zeta - std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const double wp = st.w(i, p);
+                    const double wq = st.w(i, q);
+                    st.w(i, p) = c * wp - s * wq;
+                    st.w(i, q) = s * wp + c * wq;
+                }
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double vp = st.v(i, p);
+                    const double vq = st.v(i, q);
+                    st.v(i, p) = c * vp - s * vq;
+                    st.v(i, q) = s * vp + c * vq;
+                }
+            }
+        }
+        if (!rotated) {
+            return;
+        }
+    }
+    // One-sided Jacobi converges quadratically; running out of sweeps means
+    // the tolerance is unachievable for this matrix (e.g. NaNs in input).
+    throw Error("svd: Jacobi iteration failed to converge within " +
+                std::to_string(options.max_sweeps) + " sweeps");
+}
+
+SvdResult svd_tall(const Matrix& a, const SvdOptions& options) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    JacobiState st{a, Matrix::identity(n)};
+    jacobi_sweeps(st, options);
+
+    // Extract singular values (column norms) and sort descending.
+    std::vector<double> sigma(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            acc += st.w(i, j) * st.w(i, j);
+        }
+        sigma[j] = std::sqrt(acc);
+    }
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&sigma](std::size_t x,
+                                                   std::size_t y) {
+        return sigma[x] > sigma[y];
+    });
+
+    SvdResult out;
+    out.u = Matrix(m, n);
+    out.v = Matrix(n, n);
+    out.singular_values.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t j = order[k];
+        const double s = sigma[j];
+        out.singular_values[k] = s;
+        if (s > 0.0) {
+            for (std::size_t i = 0; i < m; ++i) {
+                out.u(i, k) = st.w(i, j) / s;
+            }
+        }
+        // For zero singular values u-column stays 0; V is still orthonormal.
+        for (std::size_t i = 0; i < n; ++i) {
+            out.v(i, k) = st.v(i, j);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a, const SvdOptions& options) {
+    MCS_CHECK_MSG(!a.empty(), "svd: empty matrix");
+    if (a.rows() >= a.cols()) {
+        return svd_tall(a, options);
+    }
+    // Wide matrix: factor Aᵀ = U'ΣV'ᵀ, so A = V'ΣU'ᵀ.
+    SvdResult t = svd_tall(transpose(a), options);
+    SvdResult out;
+    out.u = std::move(t.v);
+    out.v = std::move(t.u);
+    out.singular_values = std::move(t.singular_values);
+    return out;
+}
+
+FactorPair truncated_factors(const Matrix& a, std::size_t rank,
+                             const SvdOptions& options) {
+    MCS_CHECK_MSG(rank >= 1 && rank <= std::min(a.rows(), a.cols()),
+                  "truncated_factors: rank out of range for " +
+                      a.shape_string());
+    const SvdResult full = svd(a, options);
+    FactorPair out{Matrix(a.rows(), rank), Matrix(a.cols(), rank)};
+    for (std::size_t k = 0; k < rank; ++k) {
+        const double root = std::sqrt(full.singular_values[k]);
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            out.l(i, k) = full.u(i, k) * root;
+        }
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            out.r(j, k) = full.v(j, k) * root;
+        }
+    }
+    return out;
+}
+
+FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
+                                        std::size_t oversample,
+                                        std::size_t power_iterations,
+                                        std::uint64_t seed) {
+    MCS_CHECK_MSG(rank >= 1 && rank <= std::min(a.rows(), a.cols()),
+                  "truncated_factors_randomized: rank out of range for " +
+                      a.shape_string());
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    const std::size_t k = std::min(rank + oversample, std::min(m, n));
+
+    // Range finder: Q spans (approximately) the top-k column space of A.
+    Rng rng(seed);
+    Matrix omega(n, k);
+    for (auto& x : omega.data()) {
+        x = rng.normal();
+    }
+    Matrix q = orthonormalize_columns(multiply(a, omega));  // m x k
+    for (std::size_t p = 0; p < power_iterations; ++p) {
+        // Subspace iteration sharpens the spectrum: Q <- orth(A·(Aᵀ·Q)).
+        const Matrix z = orthonormalize_columns(transpose_multiply(a, q));
+        q = orthonormalize_columns(multiply(a, z));
+    }
+
+    // Small projected problem: B = Qᵀ·A is k x n; its exact SVD is cheap.
+    const Matrix b = transpose_multiply(q, a);
+    const SvdResult small = svd(b);
+
+    FactorPair out{Matrix(m, rank), Matrix(n, rank)};
+    for (std::size_t c = 0; c < rank; ++c) {
+        const double root = std::sqrt(small.singular_values[c]);
+        // U = Q·U_small; L = U·√Σ.
+        for (std::size_t i = 0; i < m; ++i) {
+            double acc = 0.0;
+            for (std::size_t j = 0; j < k; ++j) {
+                acc += q(i, j) * small.u(j, c);
+            }
+            out.l(i, c) = acc * root;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            out.r(j, c) = small.v(j, c) * root;
+        }
+    }
+    return out;
+}
+
+std::size_t numerical_rank(const std::vector<double>& singular_values,
+                           double relative_threshold) {
+    if (singular_values.empty() || singular_values.front() == 0.0) {
+        return 0;
+    }
+    const double cutoff = singular_values.front() * relative_threshold;
+    std::size_t rank = 0;
+    for (const double s : singular_values) {
+        if (s > cutoff) {
+            ++rank;
+        }
+    }
+    return rank;
+}
+
+std::vector<double> singular_energy_cdf(
+    const std::vector<double>& singular_values) {
+    std::vector<double> cdf(singular_values.size(), 0.0);
+    const double total = std::accumulate(singular_values.begin(),
+                                         singular_values.end(), 0.0);
+    if (total == 0.0) {
+        return cdf;
+    }
+    double running = 0.0;
+    for (std::size_t k = 0; k < singular_values.size(); ++k) {
+        running += singular_values[k];
+        cdf[k] = running / total;
+    }
+    return cdf;
+}
+
+}  // namespace mcs

@@ -1,0 +1,72 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// One-sided Jacobi is simple, numerically robust, and O(m·n²) per sweep —
+// more than fast enough for the ≤ few-hundred-per-side matrices of the
+// I(TS,CS) problem (see bench/perf_svd). It also computes small singular
+// values to high relative accuracy, which matters for the singular-energy
+// CDF reproduced in Fig. 4(a).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Thin SVD of an m x n matrix A = U · diag(σ) · Vᵀ with k = min(m, n):
+/// U is m x k with orthonormal columns, V is n x k with orthonormal columns,
+/// σ holds the k singular values sorted in decreasing order (all ≥ 0).
+struct SvdResult {
+    Matrix u;
+    std::vector<double> singular_values;
+    Matrix v;
+
+    /// Reassemble U · diag(σ) · Vᵀ (for tests / truncation).
+    Matrix reconstruct() const;
+
+    /// Reassemble using only the top `rank` singular triplets.
+    Matrix reconstruct(std::size_t rank) const;
+};
+
+/// Options controlling the Jacobi iteration.
+struct SvdOptions {
+    /// Off-diagonal convergence tolerance, relative to column norms.
+    double tolerance = 1e-12;
+    /// Safety bound on the number of full sweeps.
+    std::size_t max_sweeps = 60;
+};
+
+/// Full thin SVD. Throws mcs::Error on empty input or non-convergence.
+SvdResult svd(const Matrix& a, const SvdOptions& options = {});
+
+/// Factor pair (L, R) with A ≈ L · Rᵀ where L = U_r·Σ_r^{1/2} (m x r) and
+/// R = V_r·Σ_r^{1/2} (n x r), from the top-r singular triplets of A.
+/// This is the SVD-like warm start of Algorithm 2 (lines 6–8 of the paper).
+/// Requires 1 <= rank <= min(m, n).
+struct FactorPair {
+    Matrix l;
+    Matrix r;
+};
+FactorPair truncated_factors(const Matrix& a, std::size_t rank,
+                             const SvdOptions& options = {});
+
+/// Randomized variant of truncated_factors (Halko/Martinsson/Tropp range
+/// finder with power iterations): O(m·n·rank) instead of a full Jacobi
+/// SVD, accurate enough for a warm start. Deterministic for a fixed seed.
+FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
+                                        std::size_t oversample = 8,
+                                        std::size_t power_iterations = 2,
+                                        std::uint64_t seed = 0x5eed);
+
+/// Effective numerical rank: number of σᵢ > threshold · σ₁.
+std::size_t numerical_rank(const std::vector<double>& singular_values,
+                           double relative_threshold = 1e-10);
+
+/// Fraction of cumulative singular "energy" (Σ_{i<k} σᵢ / Σ σᵢ) captured by
+/// the top k values, for each k = 1..size — the quantity plotted in
+/// Fig. 4(a) of the paper.
+std::vector<double> singular_energy_cdf(
+    const std::vector<double>& singular_values);
+
+}  // namespace mcs

@@ -1,0 +1,51 @@
+#include "linalg/temporal.hpp"
+
+namespace mcs {
+
+Matrix temporal_diff(const Matrix& x) {
+    Matrix y(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        for (std::size_t j = 1; j < x.cols(); ++j) {
+            y(i, j) = x(i, j) - x(i, j - 1);
+        }
+    }
+    return y;
+}
+
+Matrix temporal_diff_adjoint(const Matrix& e) {
+    const std::size_t t = e.cols();
+    Matrix out(e.rows(), t);
+    for (std::size_t i = 0; i < e.rows(); ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            double value = (j >= 1) ? e(i, j) : 0.0;
+            if (j + 1 < t) {
+                value -= e(i, j + 1);
+            }
+            out(i, j) = value;
+        }
+    }
+    return out;
+}
+
+Matrix average_velocity(const Matrix& v) {
+    Matrix avg(v.rows(), v.cols());
+    for (std::size_t i = 0; i < v.rows(); ++i) {
+        avg(i, 0) = v(i, 0);  // paper convention: v(i,0) extends backwards
+        for (std::size_t j = 1; j < v.cols(); ++j) {
+            avg(i, j) = 0.5 * (v(i, j - 1) + v(i, j));
+        }
+    }
+    return avg;
+}
+
+Matrix temporal_operator_dense(std::size_t t) {
+    Matrix op(t, t);
+    for (std::size_t j = 1; j < t; ++j) {
+        op(j, j) = 1.0;       // diagonal
+        op(j - 1, j) = -1.0;  // superdiagonal
+    }
+    // Column 0 left all-zero: the first slot's displacement is unconstrained.
+    return op;
+}
+
+}  // namespace mcs

@@ -1,0 +1,34 @@
+// The temporal-difference operator 𝕋 of Eq. (24) and its adjoint.
+//
+// The paper right-multiplies the reconstruction L·Rᵀ by the t×t upper
+// bidiagonal matrix 𝕋 (ones on the diagonal, −1 on the superdiagonal) so
+// that (X𝕋)(i,j) = x(i,j) − x(i,j−1) — the per-slot displacement matched
+// against τ·V̄ in the objective (23). As printed, Eq. (24) would also anchor
+// column 1 of X to the velocity (see DESIGN.md §2); we therefore zero the
+// first column of the difference. Both directions are applied matrix-free
+// (no t×t matrix is ever formed): O(n·t) instead of O(n·t²).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Y = X·𝕋 with the first column zeroed:
+/// Y(i,0) = 0, Y(i,j) = X(i,j) − X(i,j−1) for j ≥ 1.
+Matrix temporal_diff(const Matrix& x);
+
+/// Adjoint of temporal_diff under the Frobenius inner product:
+/// ⟨temporal_diff(X), E⟩ = ⟨X, temporal_diff_adjoint(E)⟩ for all X, E.
+/// Explicitly: out(i,j) = [j≥1]·E(i,j) − [j+1<t]·E(i,j+1).
+Matrix temporal_diff_adjoint(const Matrix& e);
+
+/// Dense t×t realisation of the operator (first column zeroed), used only
+/// by tests to validate the matrix-free kernels against plain GEMM.
+Matrix temporal_operator_dense(std::size_t t);
+
+/// Average Velocity Matrix V̄ per Eq. (11): column 0 is the instantaneous
+/// velocity of slot 0; column j >= 1 averages slots j-1 and j. V̄(i,j)
+/// estimates the mean velocity over the interval (j-1, j].
+Matrix average_velocity(const Matrix& instantaneous_velocity);
+
+}  // namespace mcs

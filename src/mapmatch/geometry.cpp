@@ -1,0 +1,24 @@
+#include "mapmatch/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcs {
+
+SegmentProjection project_onto_segment(LocalPoint query, LocalPoint a,
+                                       LocalPoint b) {
+    const double abx = b.x_m - a.x_m;
+    const double aby = b.y_m - a.y_m;
+    const double length_sq = abx * abx + aby * aby;
+    double fraction = 0.0;
+    if (length_sq > 0.0) {
+        const double dot =
+            (query.x_m - a.x_m) * abx + (query.y_m - a.y_m) * aby;
+        fraction = std::clamp(dot / length_sq, 0.0, 1.0);
+    }
+    const LocalPoint closest{a.x_m + fraction * abx,
+                             a.y_m + fraction * aby};
+    return {closest, Projection::distance_m(query, closest), fraction};
+}
+
+}  // namespace mcs

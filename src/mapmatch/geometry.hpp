@@ -1,0 +1,20 @@
+// Planar geometry primitives for map matching.
+#pragma once
+
+#include "trace/projection.hpp"
+
+namespace mcs {
+
+/// Result of projecting a point onto a segment.
+struct SegmentProjection {
+    LocalPoint point;    ///< closest point on the segment
+    double distance_m;   ///< planar distance from the query to `point`
+    double fraction;     ///< position along the segment in [0, 1]
+};
+
+/// Orthogonal projection of `query` onto segment [a, b], clamped to the
+/// segment. Degenerate segments (a == b) project onto a.
+SegmentProjection project_onto_segment(LocalPoint query, LocalPoint a,
+                                       LocalPoint b);
+
+}  // namespace mcs

@@ -1,0 +1,176 @@
+#include "mapmatch/map_matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "mapmatch/geometry.hpp"
+
+namespace mcs {
+
+namespace {
+
+// A candidate road position for one estimate.
+struct Candidate {
+    MatchedPoint matched;
+    double log_emission;
+};
+
+// Manhattan distance — the exact network distance between two on-road
+// points of a complete grid (any monotone staircase path realises it).
+double network_distance(LocalPoint a, LocalPoint b) {
+    return std::abs(a.x_m - b.x_m) + std::abs(a.y_m - b.y_m);
+}
+
+// Enumerate candidate edges near `estimate` and project onto each.
+std::vector<Candidate> candidates_for(const RoadNetwork& network,
+                                      LocalPoint estimate,
+                                      const MapMatchConfig& config) {
+    const NodeId centre = network.nearest_node(estimate);
+    const long cx = static_cast<long>(network.node_ix(centre));
+    const long cy = static_cast<long>(network.node_iy(centre));
+    const long radius = static_cast<long>(config.candidate_radius_blocks);
+
+    std::vector<Candidate> candidates;
+    const double two_sigma_sq =
+        2.0 * config.emission_sigma_m * config.emission_sigma_m;
+    for (long iy = cy - radius; iy <= cy + radius; ++iy) {
+        if (iy < 0 || iy >= static_cast<long>(network.grid_height())) {
+            continue;
+        }
+        for (long ix = cx - radius; ix <= cx + radius; ++ix) {
+            if (ix < 0 || ix >= static_cast<long>(network.grid_width())) {
+                continue;
+            }
+            const NodeId node =
+                network.node_at(static_cast<std::size_t>(ix),
+                                static_cast<std::size_t>(iy));
+            // Edges east and north of `node` (covers each edge once).
+            for (const bool east : {true, false}) {
+                const long nx = ix + (east ? 1 : 0);
+                const long ny = iy + (east ? 0 : 1);
+                if (nx >= static_cast<long>(network.grid_width()) ||
+                    ny >= static_cast<long>(network.grid_height())) {
+                    continue;
+                }
+                const NodeId other =
+                    network.node_at(static_cast<std::size_t>(nx),
+                                    static_cast<std::size_t>(ny));
+                const SegmentProjection proj = project_onto_segment(
+                    estimate, network.position(node),
+                    network.position(other));
+                Candidate c;
+                c.matched.position = proj.point;
+                c.matched.edge_from = node;
+                c.matched.edge_to = other;
+                c.matched.snap_distance_m = proj.distance_m;
+                c.log_emission =
+                    -(proj.distance_m * proj.distance_m) / two_sigma_sq;
+                candidates.push_back(c);
+            }
+        }
+    }
+    // Keep the closest `max_candidates`.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  return a.matched.snap_distance_m <
+                         b.matched.snap_distance_m;
+              });
+    if (candidates.size() > config.max_candidates) {
+        candidates.resize(config.max_candidates);
+    }
+    return candidates;
+}
+
+}  // namespace
+
+std::vector<MatchedPoint> map_match(const RoadNetwork& network,
+                                    const std::vector<LocalPoint>& estimates,
+                                    const MapMatchConfig& config) {
+    MCS_CHECK_MSG(!estimates.empty(), "map_match: empty trajectory");
+    MCS_CHECK_MSG(config.emission_sigma_m > 0.0 &&
+                      config.transition_beta_m > 0.0,
+                  "map_match: scales must be positive");
+    MCS_CHECK_MSG(config.max_candidates >= 1,
+                  "map_match: need at least one candidate");
+
+    const std::size_t t = estimates.size();
+    std::vector<std::vector<Candidate>> lattice(t);
+    for (std::size_t j = 0; j < t; ++j) {
+        lattice[j] = candidates_for(network, estimates[j], config);
+        MCS_CHECK_MSG(!lattice[j].empty(),
+                      "map_match: no road candidates near estimate");
+    }
+
+    // Viterbi in log space.
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> score(t);
+    std::vector<std::vector<std::size_t>> parent(t);
+    score[0].resize(lattice[0].size());
+    parent[0].assign(lattice[0].size(), 0);
+    for (std::size_t k = 0; k < lattice[0].size(); ++k) {
+        score[0][k] = lattice[0][k].log_emission;
+    }
+    for (std::size_t j = 1; j < t; ++j) {
+        const double hop =
+            Projection::distance_m(estimates[j - 1], estimates[j]);
+        score[j].assign(lattice[j].size(), kNegInf);
+        parent[j].assign(lattice[j].size(), 0);
+        for (std::size_t k = 0; k < lattice[j].size(); ++k) {
+            const Candidate& here = lattice[j][k];
+            for (std::size_t p = 0; p < lattice[j - 1].size(); ++p) {
+                const Candidate& prev = lattice[j - 1][p];
+                const double route = network_distance(
+                    prev.matched.position, here.matched.position);
+                const double log_transition =
+                    -std::abs(route - hop) / config.transition_beta_m;
+                const double total =
+                    score[j - 1][p] + log_transition + here.log_emission;
+                if (total > score[j][k]) {
+                    score[j][k] = total;
+                    parent[j][k] = p;
+                }
+            }
+        }
+    }
+
+    // Backtrack the best path.
+    std::vector<MatchedPoint> matched(t);
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < score[t - 1].size(); ++k) {
+        if (score[t - 1][k] > score[t - 1][best]) {
+            best = k;
+        }
+    }
+    for (std::size_t jj = t; jj > 0; --jj) {
+        const std::size_t j = jj - 1;
+        matched[j] = lattice[j][best].matched;
+        best = parent[j][best];
+    }
+    return matched;
+}
+
+MatchedMatrices map_match_fleet(const RoadNetwork& network, const Matrix& x,
+                                const Matrix& y,
+                                const MapMatchConfig& config) {
+    MCS_CHECK_MSG(x.rows() == y.rows() && x.cols() == y.cols(),
+                  "map_match_fleet: shape mismatch");
+    MatchedMatrices out{Matrix(x.rows(), x.cols()),
+                        Matrix(x.rows(), x.cols())};
+    std::vector<LocalPoint> trajectory(x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        for (std::size_t j = 0; j < x.cols(); ++j) {
+            trajectory[j] = {x(i, j), y(i, j)};
+        }
+        const std::vector<MatchedPoint> matched =
+            map_match(network, trajectory, config);
+        for (std::size_t j = 0; j < x.cols(); ++j) {
+            out.x(i, j) = matched[j].position.x_m;
+            out.y(i, j) = matched[j].position.y_m;
+        }
+    }
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,64 @@
+// HMM map matching onto the road network (White/Bernstein/Kornhauser [27],
+// formulated as the Newson–Krumm hidden Markov model).
+//
+// The paper closes §IV-C with "Such errors can be further reduced via map
+// matching [27]" — this module implements that post-processing step: the
+// reconstructed trajectory is snapped to the road network by choosing, per
+// timeslot, the candidate road position that best balances
+//   * emission likelihood — how close the candidate is to the estimate
+//     (Gaussian in the planar distance), and
+//   * transition likelihood — how consistent consecutive candidates are
+//     (exponential in |network distance − trajectory distance|),
+// solved exactly per participant with Viterbi dynamic programming.
+//
+// On the grid network the network distance between two road points is the
+// Manhattan distance (every staircase path realises it), which keeps the
+// transition term exact without running a router per state pair.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "trace/road_network.hpp"
+
+namespace mcs {
+
+/// Tuning of the HMM map matcher.
+struct MapMatchConfig {
+    /// Emission noise: std-dev of the estimate's planar error in metres
+    /// (≈ the reconstruction MAE feeding the matcher).
+    double emission_sigma_m = 250.0;
+    /// Transition scale β of the Newson–Krumm exponential, metres.
+    double transition_beta_m = 200.0;
+    /// Candidate search radius around each estimate, in grid blocks.
+    std::size_t candidate_radius_blocks = 2;
+    /// Hard cap on candidates per point (closest kept).
+    std::size_t max_candidates = 12;
+};
+
+/// One matched point: the snapped position and its supporting edge.
+struct MatchedPoint {
+    LocalPoint position;
+    NodeId edge_from = 0;
+    NodeId edge_to = 0;
+    double snap_distance_m = 0.0;  ///< distance moved by the snapping
+};
+
+/// Map-match one trajectory (sequence of planar estimates).
+/// Returns one matched point per input point. Throws on empty input.
+std::vector<MatchedPoint> map_match(const RoadNetwork& network,
+                                    const std::vector<LocalPoint>& estimates,
+                                    const MapMatchConfig& config = {});
+
+/// Fleet convenience: match every row of (x, y) and return the snapped
+/// coordinate matrices.
+struct MatchedMatrices {
+    Matrix x;
+    Matrix y;
+};
+MatchedMatrices map_match_fleet(const RoadNetwork& network, const Matrix& x,
+                                const Matrix& y,
+                                const MapMatchConfig& config = {});
+
+}  // namespace mcs

@@ -1,0 +1,24 @@
+#include "metrics/cdf.hpp"
+
+#include "common/check.hpp"
+#include "linalg/stats.hpp"
+
+namespace mcs {
+
+SampledCdf sample_cdf(std::span<const double> values, std::size_t points) {
+    MCS_CHECK_MSG(points >= 1, "sample_cdf: need at least one point");
+    MCS_CHECK_MSG(!values.empty(), "sample_cdf: empty data");
+    const std::vector<CdfPoint> cdf = empirical_cdf(values);
+    SampledCdf out;
+    out.probability.reserve(points);
+    out.value.reserve(points);
+    for (std::size_t k = 1; k <= points; ++k) {
+        const double p =
+            static_cast<double>(k) / static_cast<double>(points);
+        out.probability.push_back(p);
+        out.value.push_back(cdf_inverse(cdf, p));
+    }
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,20 @@
+// Sampled-CDF helpers for figure-style output (Fig. 4 reproductions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mcs {
+
+/// A CDF sampled at evenly spaced probability levels, convenient to print
+/// as a figure series.
+struct SampledCdf {
+    std::vector<double> probability;  ///< p₁ < p₂ < … (e.g. 0.05 … 1.0)
+    std::vector<double> value;        ///< inverse CDF at each pᵢ
+};
+
+/// Sample the empirical CDF of `values` at `points` evenly spaced
+/// probability levels in (0, 1]. Requires points >= 1 and non-empty data.
+SampledCdf sample_cdf(std::span<const double> values, std::size_t points);
+
+}  // namespace mcs

@@ -1,0 +1,78 @@
+#include "metrics/confusion.hpp"
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+
+namespace mcs {
+
+double ConfusionCounts::precision() const {
+    const std::size_t flagged = true_positive + false_positive;
+    if (flagged == 0) {
+        return 1.0;
+    }
+    return static_cast<double>(true_positive) /
+           static_cast<double>(flagged);
+}
+
+double ConfusionCounts::recall() const {
+    const std::size_t faulty = true_positive + false_negative;
+    if (faulty == 0) {
+        return 1.0;
+    }
+    return static_cast<double>(true_positive) /
+           static_cast<double>(faulty);
+}
+
+double ConfusionCounts::f1() const {
+    const double p = precision();
+    const double r = recall();
+    if (p + r == 0.0) {
+        return 0.0;
+    }
+    return 2.0 * p * r / (p + r);
+}
+
+double ConfusionCounts::false_positive_rate() const {
+    const std::size_t negatives = false_positive + true_negative;
+    if (negatives == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(false_positive) /
+           static_cast<double>(negatives);
+}
+
+ConfusionCounts evaluate_detection(const Matrix& detection,
+                                   const Matrix& fault,
+                                   const Matrix& existence) {
+    MCS_CHECK_MSG(detection.rows() == fault.rows() &&
+                      detection.cols() == fault.cols() &&
+                      detection.rows() == existence.rows() &&
+                      detection.cols() == existence.cols(),
+                  "evaluate_detection: shape mismatch");
+    require_binary(detection, "evaluate_detection: detection");
+    require_binary(fault, "evaluate_detection: fault");
+    require_binary(existence, "evaluate_detection: existence");
+
+    ConfusionCounts counts;
+    for (std::size_t i = 0; i < detection.rows(); ++i) {
+        for (std::size_t j = 0; j < detection.cols(); ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;  // no reading, nothing to judge
+            }
+            const bool flagged = detection(i, j) != 0.0;
+            const bool faulty = fault(i, j) != 0.0;
+            if (flagged && faulty) {
+                ++counts.true_positive;
+            } else if (flagged && !faulty) {
+                ++counts.false_positive;
+            } else if (!flagged && faulty) {
+                ++counts.false_negative;
+            } else {
+                ++counts.true_negative;
+            }
+        }
+    }
+    return counts;
+}
+
+}  // namespace mcs

@@ -1,0 +1,42 @@
+// Detection quality metrics (§IV-A): confusion counts, precision, recall.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Confusion counts of a detection matrix 𝒟 against ground truth ℱ.
+/// Only observed cells (ℰ = 1) are counted: a missing cell carries no
+/// reading, so it can be neither a true nor a false detection.
+struct ConfusionCounts {
+    std::size_t true_positive = 0;
+    std::size_t false_positive = 0;
+    std::size_t true_negative = 0;
+    std::size_t false_negative = 0;
+
+    std::size_t total() const {
+        return true_positive + false_positive + true_negative +
+               false_negative;
+    }
+
+    /// #TP / (#TP + #FP); defined as 1 when nothing was flagged.
+    double precision() const;
+
+    /// #TP / (#TP + #FN); defined as 1 when nothing was faulty.
+    double recall() const;
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    double f1() const;
+
+    /// (#FP) / (#FP + #TN): Type-I error rate; 0 when no negatives exist.
+    double false_positive_rate() const;
+};
+
+/// Count detections against ground truth over the observed cells.
+ConfusionCounts evaluate_detection(const Matrix& detection,
+                                   const Matrix& fault,
+                                   const Matrix& existence);
+
+}  // namespace mcs

@@ -1,0 +1,83 @@
+#include "metrics/reconstruction_error.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+namespace {
+
+void check_shapes(const Matrix& a, const Matrix& b, const char* what) {
+    MCS_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  std::string("reconstruction error: shape mismatch in ") +
+                      what);
+}
+
+// Accumulates planar errors over the reconstructed cell set; `squared`
+// selects RMSE-style accumulation.
+double accumulate_error(const Matrix& tx, const Matrix& ty, const Matrix& ex,
+                        const Matrix& ey, const Matrix& existence,
+                        const Matrix& detection, bool squared) {
+    check_shapes(tx, ty, "truth");
+    check_shapes(tx, ex, "estimate x");
+    check_shapes(tx, ey, "estimate y");
+    check_shapes(tx, existence, "existence");
+    check_shapes(tx, detection, "detection");
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < tx.rows(); ++i) {
+        for (std::size_t j = 0; j < tx.cols(); ++j) {
+            const bool reconstructed =
+                existence(i, j) == 0.0 || detection(i, j) != 0.0;
+            if (!reconstructed) {
+                continue;
+            }
+            const double dx = tx(i, j) - ex(i, j);
+            const double dy = ty(i, j) - ey(i, j);
+            const double planar = std::sqrt(dx * dx + dy * dy);
+            total += squared ? planar * planar : planar;
+            ++count;
+        }
+    }
+    if (count == 0) {
+        return 0.0;
+    }
+    const double mean = total / static_cast<double>(count);
+    return squared ? std::sqrt(mean) : mean;
+}
+
+}  // namespace
+
+double reconstruction_mae(const Matrix& truth_x, const Matrix& truth_y,
+                          const Matrix& estimate_x, const Matrix& estimate_y,
+                          const Matrix& existence, const Matrix& detection) {
+    return accumulate_error(truth_x, truth_y, estimate_x, estimate_y,
+                            existence, detection, /*squared=*/false);
+}
+
+double reconstruction_rmse(const Matrix& truth_x, const Matrix& truth_y,
+                           const Matrix& estimate_x,
+                           const Matrix& estimate_y, const Matrix& existence,
+                           const Matrix& detection) {
+    return accumulate_error(truth_x, truth_y, estimate_x, estimate_y,
+                            existence, detection, /*squared=*/true);
+}
+
+double full_matrix_mae(const Matrix& truth_x, const Matrix& truth_y,
+                       const Matrix& estimate_x, const Matrix& estimate_y) {
+    check_shapes(truth_x, truth_y, "truth");
+    check_shapes(truth_x, estimate_x, "estimate x");
+    check_shapes(truth_x, estimate_y, "estimate y");
+    double total = 0.0;
+    for (std::size_t i = 0; i < truth_x.rows(); ++i) {
+        for (std::size_t j = 0; j < truth_x.cols(); ++j) {
+            const double dx = truth_x(i, j) - estimate_x(i, j);
+            const double dy = truth_y(i, j) - estimate_y(i, j);
+            total += std::sqrt(dx * dx + dy * dy);
+        }
+    }
+    return total / static_cast<double>(truth_x.size());
+}
+
+}  // namespace mcs

@@ -1,0 +1,28 @@
+// Reconstruction accuracy — the MAE of Eq. (29).
+//
+// The error is averaged over exactly the reconstructed cells: those that
+// were missing (ℰ = 0) or detected as faulty (𝒟 = 1); each cell contributes
+// the planar distance √(errₓ² + err_y²) between truth and estimate.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Mean absolute (planar) reconstruction error per Eq. (29), in metres.
+/// Returns 0 when no cell was reconstructed.
+double reconstruction_mae(const Matrix& truth_x, const Matrix& truth_y,
+                          const Matrix& estimate_x, const Matrix& estimate_y,
+                          const Matrix& existence, const Matrix& detection);
+
+/// Root-mean-square variant over the same cell set (supplementary metric).
+double reconstruction_rmse(const Matrix& truth_x, const Matrix& truth_y,
+                           const Matrix& estimate_x,
+                           const Matrix& estimate_y, const Matrix& existence,
+                           const Matrix& detection);
+
+/// Planar error over *all* cells (diagnostic; not the paper's metric).
+double full_matrix_mae(const Matrix& truth_x, const Matrix& truth_y,
+                       const Matrix& estimate_x, const Matrix& estimate_y);
+
+}  // namespace mcs

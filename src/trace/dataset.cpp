@@ -1,0 +1,83 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+void TraceDataset::validate() const {
+    const std::size_t n = x.rows();
+    const std::size_t t = x.cols();
+    MCS_CHECK_MSG(n > 0 && t > 0, "TraceDataset: empty dataset");
+    MCS_CHECK_MSG(y.rows() == n && y.cols() == t,
+                  "TraceDataset: Y shape mismatch");
+    MCS_CHECK_MSG(vx.rows() == n && vx.cols() == t,
+                  "TraceDataset: Vx shape mismatch");
+    MCS_CHECK_MSG(vy.rows() == n && vy.cols() == t,
+                  "TraceDataset: Vy shape mismatch");
+    MCS_CHECK_MSG(tau_s > 0.0, "TraceDataset: tau must be positive");
+}
+
+Matrix estimate_velocity(const Matrix& coordinate, const Matrix& existence,
+                         double tau_s, double max_speed_mps) {
+    MCS_CHECK_MSG(coordinate.rows() == existence.rows() &&
+                      coordinate.cols() == existence.cols(),
+                  "estimate_velocity: shape mismatch");
+    MCS_CHECK_MSG(tau_s > 0.0, "estimate_velocity: tau must be positive");
+    MCS_CHECK_MSG(max_speed_mps >= 0.0,
+                  "estimate_velocity: negative speed cap");
+    const std::size_t n = coordinate.rows();
+    const std::size_t t = coordinate.cols();
+    Matrix velocity(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Observed slot indices for this row.
+        std::vector<std::size_t> observed;
+        observed.reserve(t);
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) != 0.0) {
+                observed.push_back(j);
+            }
+        }
+        if (observed.size() < 2) {
+            continue;  // nothing to difference; leave zeros
+        }
+        for (std::size_t k = 0; k < observed.size(); ++k) {
+            const std::size_t j = observed[k];
+            const std::size_t prev = observed[k > 0 ? k - 1 : k];
+            const std::size_t next =
+                observed[k + 1 < observed.size() ? k + 1 : k];
+            const double span =
+                static_cast<double>(next - prev) * tau_s;
+            double estimate =
+                (coordinate(i, next) - coordinate(i, prev)) / span;
+            if (max_speed_mps > 0.0) {
+                estimate = std::clamp(estimate, -max_speed_mps,
+                                      max_speed_mps);
+            }
+            velocity(i, j) = estimate;
+        }
+        // Unobserved slots inherit the nearest observed estimate so the
+        // Average Velocity Matrix stays meaningful across gaps.
+        std::size_t cursor = 0;
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) != 0.0) {
+                continue;
+            }
+            while (cursor + 1 < observed.size() &&
+                   observed[cursor + 1] <= j) {
+                ++cursor;
+            }
+            std::size_t source = observed[cursor];
+            if (cursor + 1 < observed.size() &&
+                observed[cursor + 1] - j < j - observed[cursor]) {
+                source = observed[cursor + 1];
+            }
+            velocity(i, j) = velocity(i, source);
+        }
+    }
+    return velocity;
+}
+
+}  // namespace mcs

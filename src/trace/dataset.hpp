@@ -1,0 +1,45 @@
+// The trace dataset: Coordinate Matrices and velocity matrices.
+//
+// Mirrors Definitions 1 and the velocity matrices of §III-B of the paper:
+// X, Y hold each participant's true coordinates per timeslot (metres);
+// Vx, Vy hold the instantaneous velocity components sampled at the same
+// instants (m/s); tau is the slot duration in seconds.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "linalg/temporal.hpp"  // average_velocity (Eq. 11)
+
+namespace mcs {
+
+/// Ground-truth location dataset for n participants over t timeslots.
+struct TraceDataset {
+    Matrix x;    ///< n x t, x coordinate in metres
+    Matrix y;    ///< n x t, y coordinate in metres
+    Matrix vx;   ///< n x t, instantaneous x velocity in m/s
+    Matrix vy;   ///< n x t, instantaneous y velocity in m/s
+    double tau_s = 30.0;  ///< slot duration
+
+    std::size_t participants() const { return x.rows(); }
+    std::size_t slots() const { return x.cols(); }
+
+    /// Throws mcs::Error unless all four matrices agree in shape and
+    /// tau_s > 0.
+    void validate() const;
+};
+
+/// Estimate instantaneous velocities from positions by central finite
+/// differences over *observed* slots: v(i,j) ≈ (x(i,next) − x(i,prev)) /
+/// ((next − prev)·τ) using the nearest observed neighbours of slot j
+/// (one-sided at the boundaries; 0 when a row has < 2 observations).
+/// Lets deployments without velocity uploads still run the full
+/// velocity-improved pipeline — at reduced fidelity, since differencing a
+/// faulty position poisons the local velocity estimate. Passing a
+/// positive `max_speed_mps` clamps each estimate to that physical cap,
+/// which defuses the km-scale estimates a faulty position would
+/// otherwise inject (vehicles have a top speed; use it).
+Matrix estimate_velocity(const Matrix& coordinate, const Matrix& existence,
+                         double tau_s, double max_speed_mps = 0.0);
+
+}  // namespace mcs

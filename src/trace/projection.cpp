@@ -1,0 +1,43 @@
+#include "trace/projection.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcs {
+
+namespace {
+
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+}  // namespace
+
+Projection::Projection() : Projection(GeoPoint{31.23, 121.47}) {}
+
+Projection::Projection(GeoPoint reference) : reference_(reference) {
+    metres_per_deg_lat_ = kEarthRadiusM * kDegToRad;
+    metres_per_deg_lon_ =
+        kEarthRadiusM * kDegToRad * std::cos(reference.latitude_deg * kDegToRad);
+}
+
+LocalPoint Projection::to_local(GeoPoint p) const {
+    return {
+        (p.longitude_deg - reference_.longitude_deg) * metres_per_deg_lon_,
+        (p.latitude_deg - reference_.latitude_deg) * metres_per_deg_lat_,
+    };
+}
+
+GeoPoint Projection::to_geo(LocalPoint p) const {
+    return {
+        reference_.latitude_deg + p.y_m / metres_per_deg_lat_,
+        reference_.longitude_deg + p.x_m / metres_per_deg_lon_,
+    };
+}
+
+double Projection::distance_m(LocalPoint a, LocalPoint b) {
+    const double dx = a.x_m - b.x_m;
+    const double dy = a.y_m - b.y_m;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace mcs

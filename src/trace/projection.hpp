@@ -1,0 +1,48 @@
+// Geographic projection between (latitude, longitude) and local metres.
+//
+// The paper works in metres (reconstruction error "about 200m", spatial size
+// "110 x 140 km"). We use an equirectangular projection about a reference
+// point (default: central Shanghai, matching SUVnet's coverage) — accurate to
+// well under 0.5% over a metropolitan extent, which is far below the fault
+// magnitudes (kilometres) the detector must find.
+#pragma once
+
+namespace mcs {
+
+/// WGS-84 style geographic coordinate in degrees.
+struct GeoPoint {
+    double latitude_deg;
+    double longitude_deg;
+};
+
+/// Planar position in metres relative to a projection origin.
+struct LocalPoint {
+    double x_m;  ///< east
+    double y_m;  ///< north
+};
+
+/// Equirectangular projection anchored at a reference geographic point.
+class Projection {
+public:
+    /// Default reference: central Shanghai (31.23 N, 121.47 E).
+    Projection();
+    explicit Projection(GeoPoint reference);
+
+    GeoPoint reference() const { return reference_; }
+
+    /// Geographic -> local metres.
+    LocalPoint to_local(GeoPoint p) const;
+
+    /// Local metres -> geographic.
+    GeoPoint to_geo(LocalPoint p) const;
+
+    /// Planar distance in metres between two local points.
+    static double distance_m(LocalPoint a, LocalPoint b);
+
+private:
+    GeoPoint reference_;
+    double metres_per_deg_lat_;
+    double metres_per_deg_lon_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,104 @@
+#include "trace/road_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+RoadNetwork::RoadNetwork(const RoadNetworkConfig& config) : config_(config) {
+    MCS_CHECK_MSG(config.block_m > 0.0, "block size must be positive");
+    MCS_CHECK_MSG(config.width_m >= config.block_m &&
+                      config.height_m >= config.block_m,
+                  "network extent must cover at least one block");
+    MCS_CHECK_MSG(config.arterial_every >= 1, "arterial_every must be >= 1");
+    MCS_CHECK_MSG(config.local_speed_mps > 0.0 &&
+                      config.arterial_speed_mps > 0.0,
+                  "speed limits must be positive");
+    nx_ = static_cast<std::size_t>(config.width_m / config.block_m) + 1;
+    ny_ = static_cast<std::size_t>(config.height_m / config.block_m) + 1;
+    MCS_CHECK(nx_ >= 2 && ny_ >= 2);
+}
+
+LocalPoint RoadNetwork::position(NodeId node) const {
+    MCS_CHECK_MSG(node < num_nodes(), "invalid node id");
+    return {static_cast<double>(node_ix(node)) * config_.block_m,
+            static_cast<double>(node_iy(node)) * config_.block_m};
+}
+
+std::vector<NodeId> RoadNetwork::neighbours(NodeId node) const {
+    MCS_CHECK_MSG(node < num_nodes(), "invalid node id");
+    const std::size_t ix = node_ix(node);
+    const std::size_t iy = node_iy(node);
+    std::vector<NodeId> out;
+    out.reserve(4);
+    if (ix > 0) {
+        out.push_back(node_at(ix - 1, iy));
+    }
+    if (ix + 1 < nx_) {
+        out.push_back(node_at(ix + 1, iy));
+    }
+    if (iy > 0) {
+        out.push_back(node_at(ix, iy - 1));
+    }
+    if (iy + 1 < ny_) {
+        out.push_back(node_at(ix, iy + 1));
+    }
+    return out;
+}
+
+RoadClass RoadNetwork::edge_class(NodeId from, NodeId to) const {
+    MCS_CHECK_MSG(from < num_nodes() && to < num_nodes(), "invalid node id");
+    const std::size_t fx = node_ix(from);
+    const std::size_t fy = node_iy(from);
+    const std::size_t tx = node_ix(to);
+    const std::size_t ty = node_iy(to);
+    const bool horizontal = (fy == ty) && (fx + 1 == tx || tx + 1 == fx);
+    const bool vertical = (fx == tx) && (fy + 1 == ty || ty + 1 == fy);
+    MCS_CHECK_MSG(horizontal || vertical,
+                  "edge_class: nodes are not lattice-adjacent");
+    // A horizontal edge lies on grid row fy; a vertical edge on column fx.
+    const std::size_t line = horizontal ? fy : fx;
+    return is_arterial_line(line) ? RoadClass::kArterial : RoadClass::kLocal;
+}
+
+double RoadNetwork::edge_speed_mps(NodeId from, NodeId to) const {
+    return edge_class(from, to) == RoadClass::kArterial
+               ? config_.arterial_speed_mps
+               : config_.local_speed_mps;
+}
+
+NodeId RoadNetwork::nearest_node(LocalPoint p) const {
+    const auto clamp_index = [](double value, std::size_t count) {
+        const long idx = std::lround(value);
+        return static_cast<std::size_t>(
+            std::clamp<long>(idx, 0, static_cast<long>(count) - 1));
+    };
+    const std::size_t ix = clamp_index(p.x_m / config_.block_m, nx_);
+    const std::size_t iy = clamp_index(p.y_m / config_.block_m, ny_);
+    return node_at(ix, iy);
+}
+
+double RoadNetwork::euclidean_m(NodeId a, NodeId b) const {
+    return Projection::distance_m(position(a), position(b));
+}
+
+NodeId RoadNetwork::node_at(std::size_t ix, std::size_t iy) const {
+    MCS_CHECK_MSG(ix < nx_ && iy < ny_, "grid index out of range");
+    return static_cast<NodeId>(iy * nx_ + ix);
+}
+
+std::size_t RoadNetwork::node_ix(NodeId node) const {
+    return node % nx_;
+}
+
+std::size_t RoadNetwork::node_iy(NodeId node) const {
+    return node / nx_;
+}
+
+bool RoadNetwork::is_arterial_line(std::size_t index) const {
+    return index % config_.arterial_every == 0;
+}
+
+}  // namespace mcs

@@ -1,0 +1,79 @@
+// Grid road network: the substrate taxis drive on.
+//
+// SUVnet is a Shanghai taxi trace; we replace it with a synthetic urban grid
+// (DESIGN.md §2). Intersections form an nx × ny lattice with configurable
+// block size. Every `arterial_every`-th grid line is an arterial road with a
+// higher speed limit (the paper's highway-vs-local-road motivation for the
+// dynamic tolerance in Eq. 12 depends on this speed heterogeneity).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/projection.hpp"
+
+namespace mcs {
+
+/// Index of an intersection in the grid network.
+using NodeId = std::uint32_t;
+
+/// Classification of a road segment, determining its speed limit.
+enum class RoadClass {
+    kLocal,
+    kArterial,
+};
+
+/// Configuration of the synthetic road grid.
+struct RoadNetworkConfig {
+    double width_m = 110000.0;     ///< east-west extent (paper: 110 km)
+    double height_m = 140000.0;    ///< north-south extent (paper: 140 km)
+    double block_m = 1000.0;       ///< intersection spacing
+    std::size_t arterial_every = 4;  ///< every k-th grid line is arterial
+    double local_speed_mps = 8.33;     ///< ~30 km/h
+    double arterial_speed_mps = 16.7;  ///< ~60 km/h
+};
+
+/// Immutable grid road network with per-edge speed limits.
+class RoadNetwork {
+public:
+    explicit RoadNetwork(const RoadNetworkConfig& config);
+
+    const RoadNetworkConfig& config() const { return config_; }
+
+    std::size_t num_nodes() const { return nx_ * ny_; }
+    std::size_t grid_width() const { return nx_; }
+    std::size_t grid_height() const { return ny_; }
+
+    /// Planar position of an intersection (throws on invalid id).
+    LocalPoint position(NodeId node) const;
+
+    /// Up to four lattice neighbours of `node`.
+    std::vector<NodeId> neighbours(NodeId node) const;
+
+    /// Speed limit on the edge between two adjacent intersections.
+    /// Throws mcs::Error if the nodes are not adjacent.
+    double edge_speed_mps(NodeId from, NodeId to) const;
+
+    /// Class of the edge between two adjacent intersections.
+    RoadClass edge_class(NodeId from, NodeId to) const;
+
+    /// Intersection nearest to an arbitrary planar point (clamped to grid).
+    NodeId nearest_node(LocalPoint p) const;
+
+    /// Straight-line distance between two intersections, in metres.
+    double euclidean_m(NodeId a, NodeId b) const;
+
+    NodeId node_at(std::size_t ix, std::size_t iy) const;
+    std::size_t node_ix(NodeId node) const;
+    std::size_t node_iy(NodeId node) const;
+
+private:
+    bool is_arterial_line(std::size_t index) const;
+
+    RoadNetworkConfig config_;
+    std::size_t nx_;
+    std::size_t ny_;
+};
+
+}  // namespace mcs

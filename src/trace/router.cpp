@@ -1,0 +1,97 @@
+#include "trace/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Router::Router(const RoadNetwork& network) : network_(network) {}
+
+Route Router::route(NodeId origin, NodeId destination) const {
+    MCS_CHECK_MSG(origin < network_.num_nodes() &&
+                      destination < network_.num_nodes(),
+                  "route: invalid node id");
+    if (origin == destination) {
+        return {origin};
+    }
+
+    const double max_speed = std::max(network_.config().local_speed_mps,
+                                      network_.config().arterial_speed_mps);
+    const auto heuristic = [&](NodeId node) {
+        return network_.euclidean_m(node, destination) / max_speed;
+    };
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const NodeId invalid = static_cast<NodeId>(network_.num_nodes());
+    std::vector<double> best_cost(network_.num_nodes(), kInf);
+    std::vector<NodeId> parent(network_.num_nodes(), invalid);
+
+    struct QueueEntry {
+        double priority;  // g + h
+        double cost;      // g
+        NodeId node;
+        bool operator>(const QueueEntry& other) const {
+            return priority > other.priority;
+        }
+    };
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        open;
+
+    best_cost[origin] = 0.0;
+    open.push({heuristic(origin), 0.0, origin});
+
+    while (!open.empty()) {
+        const QueueEntry entry = open.top();
+        open.pop();
+        if (entry.cost > best_cost[entry.node]) {
+            continue;  // stale entry
+        }
+        if (entry.node == destination) {
+            break;
+        }
+        for (const NodeId next : network_.neighbours(entry.node)) {
+            const double edge_time =
+                network_.euclidean_m(entry.node, next) /
+                network_.edge_speed_mps(entry.node, next);
+            const double cost = entry.cost + edge_time;
+            if (cost < best_cost[next]) {
+                best_cost[next] = cost;
+                parent[next] = entry.node;
+                open.push({cost + heuristic(next), cost, next});
+            }
+        }
+    }
+
+    MCS_CHECK_MSG(parent[destination] != invalid,
+                  "route: destination unreachable (grid should be connected)");
+    Route path;
+    for (NodeId node = destination; node != origin; node = parent[node]) {
+        path.push_back(node);
+    }
+    path.push_back(origin);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+double Router::travel_time_s(const Route& route) const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < route.size(); ++i) {
+        total += network_.euclidean_m(route[i - 1], route[i]) /
+                 network_.edge_speed_mps(route[i - 1], route[i]);
+    }
+    return total;
+}
+
+double Router::length_m(const Route& route) const {
+    double total = 0.0;
+    for (std::size_t i = 1; i < route.size(); ++i) {
+        total += network_.euclidean_m(route[i - 1], route[i]);
+    }
+    return total;
+}
+
+}  // namespace mcs

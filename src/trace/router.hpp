@@ -1,0 +1,33 @@
+// Fastest-path routing over the road network (A* on travel time).
+#pragma once
+
+#include <vector>
+
+#include "trace/road_network.hpp"
+
+namespace mcs {
+
+/// A route: a sequence of adjacent intersections, origin first.
+using Route = std::vector<NodeId>;
+
+/// A* router minimising travel time, with the straight-line-at-max-speed
+/// heuristic (admissible because no edge is faster than the arterial limit).
+class Router {
+public:
+    explicit Router(const RoadNetwork& network);
+
+    /// Fastest route from `origin` to `destination`; both inclusive.
+    /// Returns {origin} when origin == destination.
+    Route route(NodeId origin, NodeId destination) const;
+
+    /// Total travel time of a route at the speed limits, in seconds.
+    double travel_time_s(const Route& route) const;
+
+    /// Total length of a route in metres.
+    double length_m(const Route& route) const;
+
+private:
+    const RoadNetwork& network_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,104 @@
+#include "trace/simulator.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "trace/router.hpp"
+
+namespace mcs {
+
+TraceDataset simulate_fleet(const SimulatorConfig& config) {
+    MCS_CHECK_MSG(config.participants > 0, "simulate_fleet: no participants");
+    MCS_CHECK_MSG(config.slots > 0, "simulate_fleet: no slots");
+    MCS_CHECK_MSG(config.tau_s > 0.0, "simulate_fleet: tau must be positive");
+    MCS_CHECK_MSG(config.integration_step_s > 0.0 &&
+                      config.integration_step_s <= config.tau_s,
+                  "simulate_fleet: integration step must be in (0, tau]");
+    MCS_CHECK_MSG(config.min_speed_factor > 0.0 &&
+                      config.max_speed_factor >= config.min_speed_factor,
+                  "simulate_fleet: speed factor range invalid");
+
+    const RoadNetwork network(config.network);
+    const Router router(network);
+    Rng master(config.seed);
+    TripGenerator trips(network, router, config.trips, master.split());
+    Rng vehicle_rng = master.split();
+
+    std::vector<Vehicle> fleet;
+    fleet.reserve(config.participants);
+    for (std::size_t i = 0; i < config.participants; ++i) {
+        VehicleConfig vc;
+        vc.speed_factor = vehicle_rng.uniform(config.min_speed_factor,
+                                              config.max_speed_factor);
+        fleet.emplace_back(network, trips.random_node(), vc);
+    }
+
+    const std::size_t n = config.participants;
+    const std::size_t t = config.slots;
+    TraceDataset dataset{Matrix(n, t), Matrix(n, t), Matrix(n, t),
+                         Matrix(n, t), config.tau_s};
+
+    // Warm-up: let every vehicle start its first trip and drive a little so
+    // slot 0 is not a synchronized all-stopped snapshot.
+    for (auto& vehicle : fleet) {
+        auto trip = trips.next_trip(vehicle.current_node());
+        vehicle.assign_route(std::move(trip.route), trip.dwell_s);
+    }
+    const double warmup_s = 120.0;
+    for (double s = 0.0; s < warmup_s; s += config.integration_step_s) {
+        for (auto& vehicle : fleet) {
+            vehicle.step(config.integration_step_s);
+        }
+    }
+
+    for (std::size_t j = 0; j < t; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            auto& vehicle = fleet[i];
+            if (vehicle.needs_trip()) {
+                auto trip = trips.next_trip(vehicle.current_node());
+                vehicle.assign_route(std::move(trip.route), trip.dwell_s);
+            }
+            const VehicleSample s = vehicle.sample();
+            dataset.x(i, j) = s.position.x_m;
+            dataset.y(i, j) = s.position.y_m;
+            dataset.vx(i, j) = s.vx_mps;
+            dataset.vy(i, j) = s.vy_mps;
+        }
+        if (j + 1 < t) {
+            const std::size_t steps = static_cast<std::size_t>(
+                config.tau_s / config.integration_step_s);
+            for (std::size_t k = 0; k < steps; ++k) {
+                for (auto& vehicle : fleet) {
+                    vehicle.step(config.integration_step_s);
+                }
+            }
+        }
+    }
+
+    dataset.validate();
+    return dataset;
+}
+
+TraceDataset make_paper_scale_dataset(std::uint64_t seed) {
+    SimulatorConfig config;
+    config.seed = seed;
+    // Paper scale: 158 participants x 240 slots, tau = 30 s, 110 x 140 km.
+    return simulate_fleet(config);
+}
+
+TraceDataset make_small_dataset(std::uint64_t seed, std::size_t participants,
+                                std::size_t slots) {
+    SimulatorConfig config;
+    config.participants = participants;
+    config.slots = slots;
+    config.seed = seed;
+    config.network.width_m = 20000.0;
+    config.network.height_m = 20000.0;
+    config.network.block_m = 1000.0;
+    config.trips.min_trip_m = 1500.0;
+    config.trips.max_trip_m = 8000.0;
+    return simulate_fleet(config);
+}
+
+}  // namespace mcs

@@ -1,0 +1,47 @@
+// Fleet simulator producing SUVnet-like trace datasets.
+//
+// Orchestrates n vehicles on the road network for t timeslots of duration
+// tau, integrating motion at a fine internal step and sampling position and
+// instantaneous velocity at each slot boundary — exactly the acquisition
+// model of the paper (§II-A: uploads every tau = 30 s, velocity readily
+// available on the device).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/dataset.hpp"
+#include "trace/road_network.hpp"
+#include "trace/trip_generator.hpp"
+#include "trace/vehicle.hpp"
+
+namespace mcs {
+
+/// Full configuration of a synthetic fleet simulation.
+struct SimulatorConfig {
+    std::size_t participants = 158;  ///< paper's selected SUVnet subset
+    std::size_t slots = 240;         ///< 2 hours at 30 s
+    double tau_s = 30.0;
+    double integration_step_s = 1.0;
+    std::uint64_t seed = 42;
+
+    RoadNetworkConfig network;
+    TripConfig trips;
+
+    /// Range of per-vehicle driver speed factors (uniform draw).
+    double min_speed_factor = 0.7;
+    double max_speed_factor = 1.05;
+};
+
+/// Simulate a fleet and return the ground-truth dataset (deterministic for
+/// a fixed config, including the seed).
+TraceDataset simulate_fleet(const SimulatorConfig& config);
+
+/// Convenience: the paper-scale dataset (158 x 240, tau = 30 s) at a given
+/// seed, on a city-scale grid. Used by benches and examples.
+TraceDataset make_paper_scale_dataset(std::uint64_t seed);
+
+/// Convenience: a small dataset for unit tests (fast to generate).
+TraceDataset make_small_dataset(std::uint64_t seed, std::size_t participants,
+                                std::size_t slots);
+
+}  // namespace mcs

@@ -1,0 +1,97 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/format.hpp"
+
+namespace mcs {
+
+void write_trace_csv(std::ostream& out, const TraceDataset& dataset,
+                     const Matrix& mask) {
+    dataset.validate();
+    MCS_CHECK_MSG(mask.rows() == dataset.participants() &&
+                      mask.cols() == dataset.slots(),
+                  "write_trace_csv: mask shape mismatch");
+    out << "participant,slot,x_m,y_m,vx_mps,vy_mps\n";
+    for (std::size_t i = 0; i < dataset.participants(); ++i) {
+        for (std::size_t j = 0; j < dataset.slots(); ++j) {
+            if (mask(i, j) == 0.0) {
+                continue;
+            }
+            out << i << ',' << j << ',' << format_fixed(dataset.x(i, j), 3)
+                << ',' << format_fixed(dataset.y(i, j), 3) << ','
+                << format_fixed(dataset.vx(i, j), 4) << ','
+                << format_fixed(dataset.vy(i, j), 4) << '\n';
+        }
+    }
+}
+
+void write_trace_csv(std::ostream& out, const TraceDataset& dataset) {
+    const Matrix all_ones =
+        Matrix::constant(dataset.participants(), dataset.slots(), 1.0);
+    write_trace_csv(out, dataset, all_ones);
+}
+
+void write_trace_csv_file(const std::string& path, const TraceDataset& dataset,
+                          const Matrix& mask) {
+    std::ofstream out(path);
+    MCS_CHECK_MSG(out.good(), "cannot open trace CSV for writing: " + path);
+    write_trace_csv(out, dataset, mask);
+    MCS_CHECK_MSG(out.good(), "error while writing trace CSV: " + path);
+}
+
+ImportedTrace read_trace_csv(std::istream& in, std::size_t participants,
+                             std::size_t slots, double tau_s) {
+    MCS_CHECK_MSG(participants > 0 && slots > 0,
+                  "read_trace_csv: empty shape");
+    const CsvDocument doc = read_csv(in, /*has_header=*/true);
+    const std::size_t col_participant = doc.column_index("participant");
+    const std::size_t col_slot = doc.column_index("slot");
+    const std::size_t col_x = doc.column_index("x_m");
+    const std::size_t col_y = doc.column_index("y_m");
+    const std::size_t col_vx = doc.column_index("vx_mps");
+    const std::size_t col_vy = doc.column_index("vy_mps");
+
+    ImportedTrace out;
+    out.dataset.x = Matrix(participants, slots);
+    out.dataset.y = Matrix(participants, slots);
+    out.dataset.vx = Matrix(participants, slots);
+    out.dataset.vy = Matrix(participants, slots);
+    out.dataset.tau_s = tau_s;
+    out.existence = Matrix(participants, slots);
+
+    for (const auto& row : doc.rows) {
+        MCS_CHECK_MSG(row.size() >= 6, "read_trace_csv: short record");
+        const long i = parse_long(row[col_participant]);
+        const long j = parse_long(row[col_slot]);
+        MCS_CHECK_MSG(i >= 0 && static_cast<std::size_t>(i) < participants,
+                      "read_trace_csv: participant index out of range");
+        MCS_CHECK_MSG(j >= 0 && static_cast<std::size_t>(j) < slots,
+                      "read_trace_csv: slot index out of range");
+        const auto ui = static_cast<std::size_t>(i);
+        const auto uj = static_cast<std::size_t>(j);
+        MCS_CHECK_MSG(out.existence(ui, uj) == 0.0,
+                      "read_trace_csv: duplicate cell (" + row[0] + "," +
+                          row[1] + ")");
+        out.existence(ui, uj) = 1.0;
+        out.dataset.x(ui, uj) = parse_double(row[col_x]);
+        out.dataset.y(ui, uj) = parse_double(row[col_y]);
+        out.dataset.vx(ui, uj) = parse_double(row[col_vx]);
+        out.dataset.vy(ui, uj) = parse_double(row[col_vy]);
+    }
+    out.dataset.validate();
+    return out;
+}
+
+ImportedTrace read_trace_csv_file(const std::string& path,
+                                  std::size_t participants, std::size_t slots,
+                                  double tau_s) {
+    std::ifstream in(path);
+    MCS_CHECK_MSG(in.good(), "cannot open trace CSV for reading: " + path);
+    return read_trace_csv(in, participants, slots, tau_s);
+}
+
+}  // namespace mcs

@@ -1,0 +1,41 @@
+// CSV import/export of trace datasets.
+//
+// Long format, one record per (participant, slot) observation:
+//   participant,slot,x_m,y_m,vx_mps,vy_mps
+// Missing observations may simply be absent from the file (the importer
+// fills an existence mask). This is the interchange format used by the
+// fleet_cleaning example.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs {
+
+/// A dataset read from CSV: matrices plus the observed/missing mask
+/// (1 = present in the file, 0 = absent; absent entries are 0 in x/y/vx/vy).
+struct ImportedTrace {
+    TraceDataset dataset;
+    Matrix existence;  ///< n x t, 1 where a record existed
+};
+
+/// Write all (i, j) cells where mask(i,j) == 1; pass an all-ones mask (or
+/// use the overload) to export a complete dataset.
+void write_trace_csv(std::ostream& out, const TraceDataset& dataset,
+                     const Matrix& mask);
+void write_trace_csv(std::ostream& out, const TraceDataset& dataset);
+void write_trace_csv_file(const std::string& path, const TraceDataset& dataset,
+                          const Matrix& mask);
+
+/// Read a long-format trace CSV. `participants`/`slots` fix the matrix
+/// shape; records outside the shape or duplicated cells throw mcs::Error.
+ImportedTrace read_trace_csv(std::istream& in, std::size_t participants,
+                             std::size_t slots, double tau_s);
+ImportedTrace read_trace_csv_file(const std::string& path,
+                                  std::size_t participants, std::size_t slots,
+                                  double tau_s);
+
+}  // namespace mcs

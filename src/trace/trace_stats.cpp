@@ -1,0 +1,78 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/svd.hpp"
+
+namespace mcs {
+
+SingularEnergyCurve singular_energy_curve(const Matrix& coordinate_matrix) {
+    const SvdResult decomposition = svd(coordinate_matrix);
+    const std::vector<double> cdf =
+        singular_energy_cdf(decomposition.singular_values);
+    SingularEnergyCurve curve;
+    const auto k = static_cast<double>(cdf.size());
+    curve.normalized_index.reserve(cdf.size());
+    curve.cumulative_energy = cdf;
+    for (std::size_t i = 0; i < cdf.size(); ++i) {
+        curve.normalized_index.push_back(static_cast<double>(i + 1) / k);
+    }
+    return curve;
+}
+
+double energy_fraction_needed(const SingularEnergyCurve& curve,
+                              double energy) {
+    MCS_CHECK_MSG(energy >= 0.0 && energy <= 1.0,
+                  "energy_fraction_needed: energy out of [0,1]");
+    for (std::size_t i = 0; i < curve.cumulative_energy.size(); ++i) {
+        if (curve.cumulative_energy[i] >= energy) {
+            return curve.normalized_index[i];
+        }
+    }
+    return 1.0;
+}
+
+std::vector<double> temporal_deltas(const Matrix& m) {
+    std::vector<double> deltas;
+    deltas.reserve(m.rows() * (m.cols() - 1));
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        for (std::size_t j = 1; j < m.cols(); ++j) {
+            deltas.push_back(std::abs(m(i, j) - m(i, j - 1)));
+        }
+    }
+    return deltas;
+}
+
+std::vector<double> velocity_improved_deltas(const Matrix& m,
+                                             const Matrix& avg_velocity,
+                                             double tau_s) {
+    MCS_CHECK_MSG(avg_velocity.rows() == m.rows() &&
+                      avg_velocity.cols() == m.cols(),
+                  "velocity_improved_deltas: shape mismatch");
+    MCS_CHECK_MSG(tau_s > 0.0, "velocity_improved_deltas: tau must be > 0");
+    std::vector<double> deltas;
+    deltas.reserve(m.rows() * (m.cols() - 1));
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        for (std::size_t j = 1; j < m.cols(); ++j) {
+            const double displacement = std::abs(m(i, j) - m(i, j - 1));
+            deltas.push_back(
+                std::abs(displacement -
+                         std::abs(avg_velocity(i, j)) * tau_s));
+        }
+    }
+    return deltas;
+}
+
+DeltaQuantiles delta_quantiles(const Matrix& coordinate_matrix,
+                               const Matrix& instantaneous_velocity,
+                               double tau_s, double quantile_p) {
+    const Matrix avg = average_velocity(instantaneous_velocity);
+    const std::vector<double> plain = temporal_deltas(coordinate_matrix);
+    const std::vector<double> improved =
+        velocity_improved_deltas(coordinate_matrix, avg, tau_s);
+    return {quantile(plain, quantile_p), quantile(improved, quantile_p)};
+}
+
+}  // namespace mcs

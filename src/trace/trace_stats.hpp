@@ -1,0 +1,45 @@
+// Structural statistics of a trace dataset — the quantities the paper uses
+// to justify its design (Fig. 4): the singular-energy distribution showing
+// low rank, and the temporal-stability deltas with/without velocity.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/stats.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs {
+
+/// Fig. 4(a): cumulative singular-energy CDF of a coordinate matrix,
+/// indexed by normalised singular-value position k / min(n, t).
+struct SingularEnergyCurve {
+    std::vector<double> normalized_index;  ///< (k+1)/min(n,t), k = 0..
+    std::vector<double> cumulative_energy; ///< Σ_{i<=k} σᵢ / Σᵢ σᵢ
+};
+SingularEnergyCurve singular_energy_curve(const Matrix& coordinate_matrix);
+
+/// Fraction of singular values needed to capture `energy` (e.g. 0.95) of the
+/// total — the "top 9% of singular values hold 95% of the energy" statistic.
+double energy_fraction_needed(const SingularEnergyCurve& curve, double energy);
+
+/// |x(i,j) − x(i,j−1)| for all i, j >= 1 (Eq. 21), flattened.
+std::vector<double> temporal_deltas(const Matrix& coordinate_matrix);
+
+/// | |x(i,j) − x(i,j−1)| − V̄(i,j)·τ | for all i, j >= 1 (Eq. 22, magnitudes),
+/// flattened. `avg_velocity` is the Eq. (11) matrix for the same axis.
+std::vector<double> velocity_improved_deltas(const Matrix& coordinate_matrix,
+                                             const Matrix& avg_velocity,
+                                             double tau_s);
+
+/// Summary row used by the Fig. 4(b) bench: the p-quantile of both delta
+/// distributions for one axis.
+struct DeltaQuantiles {
+    double plain;
+    double velocity_improved;
+};
+DeltaQuantiles delta_quantiles(const Matrix& coordinate_matrix,
+                               const Matrix& instantaneous_velocity,
+                               double tau_s, double quantile_p);
+
+}  // namespace mcs

@@ -1,0 +1,62 @@
+#include "trace/trip_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+TripGenerator::TripGenerator(const RoadNetwork& network, const Router& router,
+                             TripConfig config, Rng rng)
+    : network_(network), router_(router), config_(config), rng_(rng) {
+    MCS_CHECK_MSG(config.min_trip_m > 0.0 &&
+                      config.max_trip_m >= config.min_trip_m,
+                  "trip length bounds invalid");
+    MCS_CHECK_MSG(config.mean_dwell_s >= 0.0, "mean dwell must be >= 0");
+}
+
+NodeId TripGenerator::random_node() {
+    return static_cast<NodeId>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(network_.num_nodes()) - 1));
+}
+
+NodeId TripGenerator::pick_destination(NodeId from) {
+    const LocalPoint origin = network_.position(from);
+    for (std::size_t attempt = 0;
+         attempt < config_.max_destination_attempts; ++attempt) {
+        // Uniform direction, uniform radius within the trip ring.
+        const double angle = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+        const double radius =
+            rng_.uniform(config_.min_trip_m, config_.max_trip_m);
+        const LocalPoint target{origin.x_m + radius * std::cos(angle),
+                                origin.y_m + radius * std::sin(angle)};
+        const NodeId candidate = network_.nearest_node(target);
+        // nearest_node clamps to the grid; re-check the distance constraint.
+        if (candidate != from &&
+            network_.euclidean_m(from, candidate) >= config_.min_trip_m) {
+            return candidate;
+        }
+    }
+    // Corner case (vehicle wedged in a grid corner with a tight ring):
+    // fall back to any sufficiently distant random node.
+    for (;;) {
+        const NodeId candidate = random_node();
+        if (candidate != from) {
+            return candidate;
+        }
+    }
+}
+
+TripGenerator::Trip TripGenerator::next_trip(NodeId from) {
+    const NodeId destination = pick_destination(from);
+    Trip trip;
+    trip.route = router_.route(from, destination);
+    trip.dwell_s = config_.mean_dwell_s > 0.0
+                       ? rng_.exponential(1.0 / config_.mean_dwell_s)
+                       : 0.0;
+    return trip;
+}
+
+}  // namespace mcs

@@ -1,0 +1,49 @@
+// Taxi trip generation: destination choice and dwell times.
+//
+// Taxis alternate between driving a fare to a destination and dwelling
+// (pickup / waiting). Destinations are drawn from a bounded ring around the
+// current position — matching how real taxi fleets stay inside a working
+// area rather than teleporting across the whole city — with exponentially
+// distributed dwell times.
+#pragma once
+
+#include "common/rng.hpp"
+#include "trace/road_network.hpp"
+#include "trace/router.hpp"
+
+namespace mcs {
+
+/// Parameters controlling trip generation.
+struct TripConfig {
+    double min_trip_m = 2000.0;   ///< minimum straight-line trip length
+    double max_trip_m = 15000.0;  ///< maximum straight-line trip length
+    double mean_dwell_s = 150.0;   ///< mean exponential dwell after arriving
+    std::size_t max_destination_attempts = 64;
+};
+
+/// Draws trips for vehicles that have gone idle.
+class TripGenerator {
+public:
+    TripGenerator(const RoadNetwork& network, const Router& router,
+                  TripConfig config, Rng rng);
+
+    /// Next route starting at `from`, together with the post-arrival dwell.
+    struct Trip {
+        Route route;
+        double dwell_s;
+    };
+    Trip next_trip(NodeId from);
+
+    /// A uniformly random intersection, for initial vehicle placement.
+    NodeId random_node();
+
+private:
+    NodeId pick_destination(NodeId from);
+
+    const RoadNetwork& network_;
+    const Router& router_;
+    TripConfig config_;
+    Rng rng_;
+};
+
+}  // namespace mcs

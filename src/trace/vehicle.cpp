@@ -1,0 +1,138 @@
+#include "trace/vehicle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+Vehicle::Vehicle(const RoadNetwork& network, NodeId start,
+                 VehicleConfig config)
+    : network_(network), config_(config), current_node_(start) {
+    MCS_CHECK_MSG(start < network.num_nodes(), "vehicle start node invalid");
+    MCS_CHECK_MSG(config.accel_mps2 > 0.0 && config.brake_mps2 > 0.0,
+                  "vehicle accel/brake must be positive");
+    MCS_CHECK_MSG(config.speed_factor > 0.0,
+                  "vehicle speed factor must be positive");
+}
+
+bool Vehicle::needs_trip() const {
+    return route_.empty() && dwell_remaining_s_ <= 0.0;
+}
+
+void Vehicle::assign_route(Route route, double dwell_after_s) {
+    MCS_CHECK_MSG(!route.empty(), "assign_route: empty route");
+    MCS_CHECK_MSG(route.front() == current_node_,
+                  "assign_route: route must start at the current node");
+    MCS_CHECK_MSG(dwell_after_s >= 0.0, "assign_route: negative dwell");
+    if (route.size() == 1) {
+        // Degenerate trip: stay put and dwell.
+        route_.clear();
+        dwell_remaining_s_ = dwell_after_s;
+        return;
+    }
+    route_ = std::move(route);
+    segment_ = 0;
+    offset_m_ = 0.0;
+    dwell_after_route_s_ = dwell_after_s;
+}
+
+double Vehicle::current_speed_limit() const {
+    if (route_.empty()) {
+        return 0.0;
+    }
+    return network_.edge_speed_mps(route_[segment_], route_[segment_ + 1]) *
+           config_.speed_factor;
+}
+
+double Vehicle::remaining_route_distance() const {
+    if (route_.empty()) {
+        return 0.0;
+    }
+    double remaining =
+        network_.euclidean_m(route_[segment_], route_[segment_ + 1]) -
+        offset_m_;
+    for (std::size_t s = segment_ + 1; s + 1 < route_.size(); ++s) {
+        remaining += network_.euclidean_m(route_[s], route_[s + 1]);
+    }
+    return remaining;
+}
+
+void Vehicle::advance_distance(double distance) {
+    while (distance > 0.0 && !route_.empty()) {
+        const double segment_length =
+            network_.euclidean_m(route_[segment_], route_[segment_ + 1]);
+        const double segment_remaining = segment_length - offset_m_;
+        if (distance < segment_remaining) {
+            offset_m_ += distance;
+            return;
+        }
+        distance -= segment_remaining;
+        ++segment_;
+        offset_m_ = 0.0;
+        if (segment_ + 1 >= route_.size()) {
+            // Arrived: become dwelling at the destination.
+            current_node_ = route_.back();
+            route_.clear();
+            speed_mps_ = 0.0;
+            dwell_remaining_s_ = dwell_after_route_s_;
+            return;
+        }
+    }
+}
+
+void Vehicle::step(double dt) {
+    MCS_CHECK_MSG(dt > 0.0, "step: dt must be positive");
+    if (dwell_remaining_s_ > 0.0) {
+        dwell_remaining_s_ = std::max(0.0, dwell_remaining_s_ - dt);
+        speed_mps_ = 0.0;
+        return;
+    }
+    if (route_.empty()) {
+        speed_mps_ = 0.0;
+        return;  // idle, waiting for a trip
+    }
+
+    // Target speed: the edge limit, except when close enough to the route
+    // end that braking must begin (v^2 / 2b >= remaining distance).
+    const double limit = current_speed_limit();
+    const double remaining = remaining_route_distance();
+    const double braking_speed =
+        std::sqrt(std::max(0.0, 2.0 * config_.brake_mps2 * remaining));
+    const double target = std::min(limit, braking_speed);
+
+    if (speed_mps_ < target) {
+        speed_mps_ =
+            std::min(target, speed_mps_ + config_.accel_mps2 * dt);
+    } else {
+        speed_mps_ =
+            std::max(target, speed_mps_ - config_.brake_mps2 * dt);
+    }
+    // Keep a minimal crawl so the vehicle always reaches the destination.
+    const double effective_speed = std::max(speed_mps_, 0.5);
+    advance_distance(effective_speed * dt);
+}
+
+VehicleSample Vehicle::sample() const {
+    if (route_.empty()) {
+        const LocalPoint p = network_.position(current_node_);
+        return {p, 0.0, 0.0, 0.0};
+    }
+    const LocalPoint from = network_.position(route_[segment_]);
+    const LocalPoint to = network_.position(route_[segment_ + 1]);
+    const double segment_length = Projection::distance_m(from, to);
+    const double fraction =
+        segment_length > 0.0 ? offset_m_ / segment_length : 0.0;
+    const LocalPoint position{from.x_m + fraction * (to.x_m - from.x_m),
+                              from.y_m + fraction * (to.y_m - from.y_m)};
+    double ux = 0.0;
+    double uy = 0.0;
+    if (segment_length > 0.0) {
+        ux = (to.x_m - from.x_m) / segment_length;
+        uy = (to.y_m - from.y_m) / segment_length;
+    }
+    return {position, speed_mps_ * ux, speed_mps_ * uy, speed_mps_};
+}
+
+}  // namespace mcs

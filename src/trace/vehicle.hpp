@@ -1,0 +1,70 @@
+// Kinematic vehicle model driving along routed polylines.
+//
+// Motion is integrated with bounded acceleration towards the per-edge speed
+// limit (scaled by a per-vehicle driver factor), with braking so the vehicle
+// comes to rest at the route end. This yields piecewise-smooth trajectories
+// whose velocity matches displacement — the two properties the I(TS,CS)
+// algorithm exploits (low-rank coordinate matrices, velocity-consistent
+// temporal differences).
+#pragma once
+
+#include "trace/road_network.hpp"
+#include "trace/router.hpp"
+
+namespace mcs {
+
+/// Per-vehicle motion parameters.
+struct VehicleConfig {
+    double accel_mps2 = 2.0;     ///< max acceleration
+    double brake_mps2 = 3.0;     ///< max (comfortable) deceleration
+    double speed_factor = 1.0;   ///< driver-specific multiple of the limit
+};
+
+/// Instantaneous kinematic state sampled by the simulator.
+struct VehicleSample {
+    LocalPoint position;
+    double vx_mps;
+    double vy_mps;
+    double speed_mps;
+};
+
+/// A single vehicle following assigned routes with dwell stops in between.
+class Vehicle {
+public:
+    Vehicle(const RoadNetwork& network, NodeId start, VehicleConfig config);
+
+    /// True when the vehicle has finished its route and its dwell, and is
+    /// waiting for the trip generator to assign the next trip.
+    bool needs_trip() const;
+
+    /// Assign a new route (must start at the vehicle's current node) and the
+    /// dwell duration to observe after arriving.
+    void assign_route(Route route, double dwell_after_s);
+
+    /// Advance the simulation by dt seconds (dt > 0).
+    void step(double dt);
+
+    /// Current kinematic state.
+    VehicleSample sample() const;
+
+    /// Node the vehicle occupies when idle (route origin / last arrival).
+    NodeId current_node() const { return current_node_; }
+
+private:
+    double current_speed_limit() const;
+    double remaining_route_distance() const;
+    void advance_distance(double distance);
+
+    const RoadNetwork& network_;
+    VehicleConfig config_;
+
+    Route route_;               // active route; empty when idle/dwelling
+    std::size_t segment_ = 0;   // index into route_ of the segment origin
+    double offset_m_ = 0.0;     // distance travelled along current segment
+    double speed_mps_ = 0.0;
+    double dwell_remaining_s_ = 0.0;
+    double dwell_after_route_s_ = 0.0;  // dwell to start once route completes
+    NodeId current_node_;
+};
+
+}  // namespace mcs

@@ -1,0 +1,115 @@
+// Unit tests for the CSV reader/writer.
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Csv, ParsesSimpleRowsWithHeader) {
+    std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+    const CsvDocument doc = read_csv(in, /*has_header=*/true);
+    ASSERT_EQ(doc.header.size(), 3u);
+    EXPECT_EQ(doc.header[0], "a");
+    ASSERT_EQ(doc.rows.size(), 2u);
+    EXPECT_EQ(doc.rows[0][1], "2");
+    EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(Csv, ParsesWithoutHeader) {
+    std::istringstream in("1,2\n3,4\n");
+    const CsvDocument doc = read_csv(in, /*has_header=*/false);
+    EXPECT_TRUE(doc.header.empty());
+    ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, HandlesQuotedFields) {
+    std::istringstream in("name,note\nalice,\"hello, world\"\n");
+    const CsvDocument doc = read_csv(in, true);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][1], "hello, world");
+}
+
+TEST(Csv, HandlesEscapedQuotes) {
+    std::istringstream in("v\n\"say \"\"hi\"\"\"\n");
+    const CsvDocument doc = read_csv(in, true);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "say \"hi\"");
+}
+
+TEST(Csv, HandlesQuotedNewline) {
+    std::istringstream in("v\n\"line1\nline2\"\n");
+    const CsvDocument doc = read_csv(in, true);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, HandlesCrLf) {
+    std::istringstream in("a,b\r\n1,2\r\n");
+    const CsvDocument doc = read_csv(in, true);
+    ASSERT_EQ(doc.rows.size(), 1u);
+    EXPECT_EQ(doc.rows[0][0], "1");
+    EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, SkipsBlankLines) {
+    std::istringstream in("a\n1\n\n2\n");
+    const CsvDocument doc = read_csv(in, true);
+    EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(Csv, PreservesEmptyFields) {
+    std::istringstream in("a,b,c\n1,,3\n");
+    const CsvDocument doc = read_csv(in, true);
+    ASSERT_EQ(doc.rows[0].size(), 3u);
+    EXPECT_EQ(doc.rows[0][1], "");
+}
+
+TEST(Csv, ColumnIndexLookup) {
+    std::istringstream in("x,y,z\n1,2,3\n");
+    const CsvDocument doc = read_csv(in, true);
+    EXPECT_EQ(doc.column_index("y"), 1u);
+    EXPECT_THROW(doc.column_index("missing"), Error);
+}
+
+TEST(Csv, EscapePassesPlainFieldsThrough) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeQuotesSpecialFields) {
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+    EXPECT_EQ(csv_escape("nl\n"), "\"nl\n\"");
+}
+
+TEST(Csv, RoundTripThroughWriteAndRead) {
+    CsvDocument doc;
+    doc.header = {"id", "text"};
+    doc.rows = {{"1", "simple"}, {"2", "with, comma"}, {"3", "with \"q\""}};
+    std::ostringstream out;
+    write_csv(out, doc);
+    std::istringstream in(out.str());
+    const CsvDocument parsed = read_csv(in, true);
+    EXPECT_EQ(parsed.header, doc.header);
+    ASSERT_EQ(parsed.rows.size(), doc.rows.size());
+    for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+        EXPECT_EQ(parsed.rows[i], doc.rows[i]) << "row " << i;
+    }
+}
+
+TEST(Csv, CustomDelimiter) {
+    std::istringstream in("a;b\n1;2\n");
+    const CsvDocument doc = read_csv(in, true, ';');
+    EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+    EXPECT_THROW(read_csv_file("/nonexistent/file.csv", true), Error);
+}
+
+}  // namespace
+}  // namespace mcs

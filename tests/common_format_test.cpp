@@ -1,0 +1,78 @@
+// Unit tests for formatting helpers and the stopwatch.
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Format, FixedPrecision) {
+    EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(format_fixed(2.0, 0), "2");
+    EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(format_percent(0.954), "95.4%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, Padding) {
+    EXPECT_EQ(pad_left("ab", 4), "  ab");
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_left("abcd", 2), "abcd");
+    EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Format, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Format, Split) {
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Format, SplitNoDelimiter) {
+    const auto parts = split("plain", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(Format, ParseDouble) {
+    EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+    EXPECT_DOUBLE_EQ(parse_double("-2e3"), -2000.0);
+    EXPECT_THROW(parse_double("abc"), Error);
+    EXPECT_THROW(parse_double("1.5x"), Error);
+    EXPECT_THROW(parse_double(""), Error);
+}
+
+TEST(Format, ParseLong) {
+    EXPECT_EQ(parse_long("42"), 42);
+    EXPECT_EQ(parse_long("-7"), -7);
+    EXPECT_THROW(parse_long("4.2"), Error);
+    EXPECT_THROW(parse_long(""), Error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+    Stopwatch sw;
+    // Busy-wait a short, measurable interval.
+    volatile double sink = 0.0;
+    while (sw.elapsed_ms() < 5.0) {
+        sink += 1.0;
+    }
+    EXPECT_GE(sw.elapsed_seconds(), 0.005);
+    sw.restart();
+    EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,225 @@
+// Unit and statistical property tests for mcs::Rng.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+    Rng rng(11);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.005);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-5.0, 3.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformRangeRejectsInvertedBounds) {
+    Rng rng(3);
+    EXPECT_THROW(rng.uniform(1.0, 0.0), Error);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniform_int(2, 6);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(rng.uniform_int(42, 42), 42);
+    }
+}
+
+TEST(Rng, UniformIntUnbiased) {
+    Rng rng(17);
+    const int buckets = 7;
+    std::vector<int> counts(buckets, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[static_cast<std::size_t>(rng.uniform_int(0, buckets - 1))];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), n / 7.0, 500.0);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(23);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum_sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+    Rng rng(29);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.normal(10.0, 2.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+    Rng rng(29);
+    EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) {
+            ++hits;
+        }
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+    EXPECT_THROW(rng.bernoulli(1.5), Error);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng(37);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(0.5);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+    Rng parent(41);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    // Streams should differ from each other and from the parent.
+    EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(43);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+    Rng rng(47);
+    const auto sample = rng.sample_without_replacement(100, 30);
+    EXPECT_EQ(sample.size(), 30u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (const std::size_t s : sample) {
+        EXPECT_LT(s, 100u);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+    Rng rng(47);
+    const auto sample = rng.sample_without_replacement(10, 10);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+    Rng rng(47);
+    EXPECT_THROW(rng.sample_without_replacement(5, 6), Error);
+}
+
+TEST(Rng, SampleWithoutReplacementUniformCoverage) {
+    // Each index should be picked with probability k/n.
+    Rng rng(53);
+    std::vector<int> counts(20, 0);
+    const int trials = 20000;
+    for (int tr = 0; tr < trials; ++tr) {
+        for (const std::size_t s : rng.sample_without_replacement(20, 5)) {
+            ++counts[s];
+        }
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), trials * 0.25, 300.0);
+    }
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,90 @@
+// Tests for the CHECK phase (Algorithm 3).
+#include "core/check_phase.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+CheckConfig config_100_500() {
+    CheckConfig config;
+    config.lower_m = 100.0;
+    config.upper_m = 500.0;
+    return config;
+}
+
+TEST(Check, ClearsFlagWhenCloseToReconstruction) {
+    const Matrix s{{1000.0}};
+    const Matrix reconstructed{{1050.0}};  // 50 m deviation < 100
+    Matrix detection{{1.0}};
+    const Matrix existence{{1.0}};
+    const Matrix out = check_axis(s, reconstructed, detection, existence,
+                                  config_100_500());
+    EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+}
+
+TEST(Check, RaisesFlagWhenFarFromReconstruction) {
+    const Matrix s{{1000.0}};
+    const Matrix reconstructed{{2000.0}};  // 1000 m > 500
+    Matrix detection{{0.0}};
+    const Matrix existence{{1.0}};
+    const Matrix out = check_axis(s, reconstructed, detection, existence,
+                                  config_100_500());
+    EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+}
+
+TEST(Check, HysteresisKeepsStateBetweenThresholds) {
+    // 300 m deviation: between lower (100) and upper (500) — flag sticks.
+    const Matrix s{{1000.0, 1000.0}};
+    const Matrix reconstructed{{1300.0, 1300.0}};
+    Matrix detection{{1.0, 0.0}};
+    const Matrix existence{{1.0, 1.0}};
+    const Matrix out = check_axis(s, reconstructed, detection, existence,
+                                  config_100_500());
+    EXPECT_DOUBLE_EQ(out(0, 0), 1.0);  // stays flagged
+    EXPECT_DOUBLE_EQ(out(0, 1), 0.0);  // stays clear
+}
+
+TEST(Check, SkipsMissingCells) {
+    // A missing cell holds placeholder 0; its |S − Ŝ| is meaningless and
+    // must not raise the flag.
+    const Matrix s{{0.0}};
+    const Matrix reconstructed{{5000.0}};
+    Matrix detection{{0.0}};
+    const Matrix existence{{0.0}};
+    const Matrix out = check_axis(s, reconstructed, detection, existence,
+                                  config_100_500());
+    EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+}
+
+TEST(Check, ExactThresholdsAreExclusive) {
+    // Algorithm 3 uses strict comparisons: exactly lower / exactly upper
+    // keep the current state.
+    const Matrix s{{0.0, 0.0}};
+    const Matrix reconstructed{{100.0, 500.0}};
+    Matrix detection{{1.0, 0.0}};
+    const Matrix existence{{1.0, 1.0}};
+    const Matrix out = check_axis(s, reconstructed, detection, existence,
+                                  config_100_500());
+    EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out(0, 1), 0.0);
+}
+
+TEST(Check, Validation) {
+    const Matrix m(2, 2);
+    const Matrix ones = Matrix::constant(2, 2, 1.0);
+    CheckConfig bad;
+    bad.lower_m = 500.0;
+    bad.upper_m = 100.0;
+    EXPECT_THROW(check_axis(m, m, m, ones, bad), Error);
+    EXPECT_THROW(
+        check_axis(m, Matrix(2, 3), m, ones, CheckConfig{}), Error);
+    Matrix non_binary = ones;
+    non_binary(0, 0) = 0.5;
+    EXPECT_THROW(check_axis(m, m, non_binary, ones, CheckConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,244 @@
+// Integration tests for the I(TS,CS) framework driver.
+#include "core/itscs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/variants.hpp"
+#include "corruption/scenario.hpp"
+#include "detect/detection.hpp"
+#include "eval/methods.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+struct Fixture {
+    TraceDataset truth;
+    CorruptedDataset data;
+    ItscsInput input;
+};
+
+Fixture make_fixture(double alpha, double beta, std::uint64_t seed) {
+    Fixture f{make_small_dataset(seed, 24, 80), {}, {}};
+    CorruptionConfig config;
+    config.missing_ratio = alpha;
+    config.fault_ratio = beta;
+    config.seed = seed * 31 + 7;
+    f.data = corrupt(f.truth, config);
+    f.input = to_itscs_input(f.data);
+    return f;
+}
+
+TEST(Itscs, DetectsInjectedFaultsWithHighRecallAndPrecision) {
+    Fixture f = make_fixture(0.2, 0.2, 1);
+    const ItscsResult result = run_itscs(f.input, ItscsConfig{});
+    const ConfusionCounts c =
+        evaluate_detection(result.detection, f.data.fault, f.data.existence);
+    EXPECT_GE(c.recall(), 0.95);
+    EXPECT_GE(c.precision(), 0.85);
+}
+
+TEST(Itscs, ReconstructionBeatsRawCorruption) {
+    Fixture f = make_fixture(0.2, 0.2, 2);
+    const ItscsResult result = run_itscs(f.input, ItscsConfig{});
+    const double mae = reconstruction_mae(
+        f.truth.x, f.truth.y, result.reconstructed_x, result.reconstructed_y,
+        f.data.existence, result.detection);
+    EXPECT_LT(mae, 1000.0);  // faults are >= 3 km; reconstruction is sub-km
+}
+
+TEST(Itscs, ConvergesWithinIterationCap) {
+    Fixture f = make_fixture(0.3, 0.2, 3);
+    ItscsConfig config;
+    config.max_iterations = 10;
+    const ItscsResult result = run_itscs(f.input, config);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.iterations, 8u);
+    // History bookkeeping matches the iteration count.
+    EXPECT_EQ(result.history.size(), result.iterations);
+    EXPECT_EQ(result.history.back().iteration, result.iterations);
+}
+
+TEST(Itscs, FlaggedCountShrinksAfterFirstIteration) {
+    // Iteration 1 deliberately over-flags (DETECT phase); CHECK pays the
+    // false positives back, so the flagged count must drop.
+    Fixture f = make_fixture(0.2, 0.1, 4);
+    const ItscsResult result = run_itscs(f.input, ItscsConfig{});
+    ASSERT_GE(result.history.size(), 2u);
+    EXPECT_LT(result.history[1].flagged, result.history[0].flagged * 1.01);
+}
+
+TEST(Itscs, ObserverSeesEveryIteration) {
+    Fixture f = make_fixture(0.1, 0.1, 5);
+    std::size_t calls = 0;
+    std::size_t last_iteration = 0;
+    const ItscsResult result = run_itscs(
+        f.input, ItscsConfig{},
+        [&](std::size_t iteration, const Matrix& detection, const Matrix& rx,
+            const Matrix& ry) {
+            ++calls;
+            last_iteration = iteration;
+            EXPECT_EQ(detection.rows(), 24u);
+            EXPECT_EQ(rx.cols(), 80u);
+            EXPECT_EQ(ry.cols(), 80u);
+        });
+    EXPECT_EQ(calls, result.iterations);
+    EXPECT_EQ(last_iteration, result.iterations);
+}
+
+TEST(Itscs, NoCorruptionFlagsAlmostNothing) {
+    Fixture f = make_fixture(0.0, 0.0, 6);
+    const ItscsResult result = run_itscs(f.input, ItscsConfig{});
+    const ConfusionCounts c =
+        evaluate_detection(result.detection, f.data.fault, f.data.existence);
+    // No faults exist, so every flag is a false positive.
+    EXPECT_LT(c.false_positive_rate(), 0.05);
+}
+
+TEST(Itscs, StrictChangeToleranceAlsoConverges) {
+    Fixture f = make_fixture(0.2, 0.2, 7);
+    ItscsConfig config;
+    config.change_tolerance = 0.0;  // the paper's literal stopping rule
+    config.max_iterations = 12;
+    const ItscsResult result = run_itscs(f.input, config);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(Itscs, DeterministicAcrossRuns) {
+    Fixture f = make_fixture(0.2, 0.2, 8);
+    const ItscsResult a = run_itscs(f.input, ItscsConfig{});
+    const ItscsResult b = run_itscs(f.input, ItscsConfig{});
+    EXPECT_TRUE(a.detection == b.detection);
+    EXPECT_TRUE(a.reconstructed_x == b.reconstructed_x);
+}
+
+TEST(Itscs, InputValidation) {
+    Fixture f = make_fixture(0.1, 0.1, 9);
+    ItscsInput bad = f.input;
+    bad.sy = Matrix(3, 3);
+    EXPECT_THROW(run_itscs(bad, ItscsConfig{}), Error);
+    bad = f.input;
+    bad.tau_s = 0.0;
+    EXPECT_THROW(run_itscs(bad, ItscsConfig{}), Error);
+    bad = f.input;
+    bad.existence(0, 0) = 0.7;
+    EXPECT_THROW(run_itscs(bad, ItscsConfig{}), Error);
+    ItscsConfig config;
+    config.max_iterations = 0;
+    EXPECT_THROW(run_itscs(f.input, config), Error);
+}
+
+TEST(Itscs, CsOnlyBaselineReconstructsButDetectsNothing) {
+    Fixture f = make_fixture(0.2, 0.1, 10);
+    const ItscsResult result = run_cs_only(f.input, CsConfig{});
+    EXPECT_EQ(count_flagged(result.detection), 0u);
+    EXPECT_EQ(result.reconstructed_x.rows(), 24u);
+    // With faults in the trusted set, CS-only reconstruction is poisoned:
+    // its error exceeds the full framework's.
+    const ItscsResult full = run_itscs(f.input, ItscsConfig{});
+    const double mae_cs_only = full_matrix_mae(
+        f.truth.x, f.truth.y, result.reconstructed_x,
+        result.reconstructed_y);
+    const double mae_full = full_matrix_mae(
+        f.truth.x, f.truth.y, full.reconstructed_x, full.reconstructed_y);
+    EXPECT_LT(mae_full, mae_cs_only);
+}
+
+TEST(Variants, NamesAndModes) {
+    EXPECT_EQ(to_string(ItscsVariant::kFull), "I(TS,CS)");
+    EXPECT_EQ(to_string(ItscsVariant::kWithoutV), "I(TS,CS) w/o V");
+    EXPECT_EQ(to_string(ItscsVariant::kWithoutVT), "I(TS,CS) w/o VT");
+    EXPECT_EQ(make_config(ItscsVariant::kFull).cs.mode,
+              TemporalMode::kVelocity);
+    EXPECT_EQ(make_config(ItscsVariant::kWithoutV).cs.mode,
+              TemporalMode::kTemporalOnly);
+    EXPECT_EQ(make_config(ItscsVariant::kWithoutVT).cs.mode,
+              TemporalMode::kNone);
+}
+
+
+TEST(ItscsSingle, ScalarModalityDetectsAndReconstructs) {
+    // A smooth scalar signal per participant with injected biases: the
+    // single-axis entry point must behave like the location pipeline.
+    const std::size_t n = 16;
+    const std::size_t t = 60;
+    Matrix truth(n, t);
+    Matrix rate(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            const double phase = 0.13 * static_cast<double>(i);
+            truth(i, j) = 20.0 + 5.0 * std::sin(0.05 * j + phase);
+            rate(i, j) = 5.0 * 0.05 * std::cos(0.05 * j + phase) / 30.0;
+        }
+    }
+    Rng rng(3);
+    Matrix existence = Matrix::constant(n, t, 1.0);
+    Matrix fault(n, t);
+    Matrix sensed = truth;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (rng.bernoulli(0.15)) {
+                existence(i, j) = 0.0;
+                sensed(i, j) = 0.0;
+            } else if (rng.bernoulli(0.15)) {
+                fault(i, j) = 1.0;
+                sensed(i, j) += rng.bernoulli(0.5) ? 12.0 : -12.0;
+            }
+        }
+    }
+    ItscsConfig config;
+    config.detector.min_tolerance_m = 0.5;
+    config.check.lower_m = 1.0;
+    config.check.upper_m = 4.0;
+    config.cs.rank = 6;
+    const ItscsSingleResult result =
+        run_itscs_single({sensed, rate, existence, 30.0}, config);
+    const ConfusionCounts counts =
+        evaluate_detection(result.detection, fault, existence);
+    EXPECT_GE(counts.recall(), 0.9);
+    EXPECT_GE(counts.precision(), 0.8);
+    EXPECT_TRUE(result.converged);
+    // Reconstruction tracks the clean signal.
+    double mae = 0.0;
+    for (std::size_t k = 0; k < truth.size(); ++k) {
+        mae += std::abs(result.reconstructed.data()[k] -
+                        truth.data()[k]);
+    }
+    mae /= static_cast<double>(truth.size());
+    EXPECT_LT(mae, 2.0);
+}
+
+TEST(ItscsSingle, Validation) {
+    ItscsSingleInput bad;
+    bad.s = Matrix(4, 10, 1.0);
+    bad.rate = Matrix(4, 9);  // wrong shape
+    bad.existence = Matrix::constant(4, 10, 1.0);
+    EXPECT_THROW(run_itscs_single(bad, ItscsConfig{}), Error);
+    bad.rate = Matrix(4, 10);
+    bad.tau_s = -1.0;
+    EXPECT_THROW(run_itscs_single(bad, ItscsConfig{}), Error);
+}
+
+TEST(ItscsSingle, MatchesTwoAxisRunWhenAxesIdentical) {
+    // Feeding the same matrix as both x and y must flag the same cells as
+    // the single-axis run (the union of identical detections).
+    Fixture f = make_fixture(0.2, 0.15, 42);
+    ItscsConfig config;
+    const ItscsSingleResult single = run_itscs_single(
+        {f.input.sx, f.input.vx, f.input.existence, f.input.tau_s}, config);
+    ItscsInput doubled = f.input;
+    doubled.sy = f.input.sx;
+    doubled.vy = f.input.vx;
+    const ItscsResult both = run_itscs(doubled, config);
+    EXPECT_TRUE(single.detection == both.detection);
+    EXPECT_TRUE(single.reconstructed == both.reconstructed_x);
+}
+
+}  // namespace
+}  // namespace mcs
+

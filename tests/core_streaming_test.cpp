@@ -1,0 +1,161 @@
+// Tests for the streaming (sliding-window) detector.
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "corruption/scenario.hpp"
+#include "metrics/confusion.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+// Feed a corrupted dataset slot by slot into the detector.
+SlotUpload slot_of(const CorruptedDataset& data, std::size_t j) {
+    const std::size_t n = data.participants();
+    SlotUpload upload;
+    upload.x.resize(n);
+    upload.y.resize(n);
+    upload.vx.resize(n);
+    upload.vy.resize(n);
+    upload.observed.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        upload.x[i] = data.sx(i, j);
+        upload.y[i] = data.sy(i, j);
+        upload.vx[i] = data.vx(i, j);
+        upload.vy[i] = data.vy(i, j);
+        upload.observed[i] = data.existence(i, j) != 0.0 ? 1 : 0;
+    }
+    return upload;
+}
+
+TEST(Streaming, ReportsArriveAtWindowBoundaries) {
+    const TraceDataset truth = make_small_dataset(1, 12, 100);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.1;
+    corruption.fault_ratio = 0.1;
+    const CorruptedDataset data = corrupt(truth, corruption);
+
+    StreamingDetector::Config config;
+    config.window = 40;
+    config.stride = 20;
+    StreamingDetector detector(12, truth.tau_s, config);
+
+    std::size_t reports = 0;
+    for (std::size_t j = 0; j < truth.slots(); ++j) {
+        detector.push_slot(slot_of(data, j));
+        while (auto report = detector.poll()) {
+            ++reports;
+            EXPECT_EQ(report->detection.rows(), 12u);
+            EXPECT_EQ(report->detection.cols(), 40u);
+            // Windows start at 0, 20, 40, ...
+            EXPECT_EQ(report->first_slot % 20, 0u);
+        }
+    }
+    // 100 slots, window 40, stride 20 -> windows at slots 40, 60, 80, 100.
+    EXPECT_EQ(reports, 4u);
+    EXPECT_EQ(detector.slots_received(), 100u);
+    EXPECT_EQ(detector.reports_pending(), 0u);
+}
+
+TEST(Streaming, DetectionQualityPerWindow) {
+    const TraceDataset truth = make_small_dataset(2, 20, 120);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.15;
+    const CorruptedDataset data = corrupt(truth, corruption);
+
+    StreamingDetector::Config config;
+    config.window = 60;
+    config.stride = 30;
+    StreamingDetector detector(20, truth.tau_s, config);
+
+    std::size_t windows = 0;
+    for (std::size_t j = 0; j < truth.slots(); ++j) {
+        detector.push_slot(slot_of(data, j));
+        while (auto report = detector.poll()) {
+            ++windows;
+            // Score against ground truth for exactly this window.
+            ConfusionCounts counts;
+            for (std::size_t i = 0; i < 20; ++i) {
+                for (std::size_t k = 0; k < config.window; ++k) {
+                    const std::size_t column = report->first_slot + k;
+                    if (data.existence(i, column) == 0.0) {
+                        continue;
+                    }
+                    const bool flagged = report->detection(i, k) != 0.0;
+                    const bool faulty = data.fault(i, column) != 0.0;
+                    if (flagged && faulty) {
+                        ++counts.true_positive;
+                    } else if (flagged) {
+                        ++counts.false_positive;
+                    } else if (faulty) {
+                        ++counts.false_negative;
+                    } else {
+                        ++counts.true_negative;
+                    }
+                }
+            }
+            EXPECT_GE(counts.recall(), 0.9)
+                << "window at slot " << report->first_slot;
+            EXPECT_GE(counts.precision(), 0.8)
+                << "window at slot " << report->first_slot;
+        }
+    }
+    EXPECT_EQ(windows, 3u);  // slots 60, 90, 120
+}
+
+TEST(Streaming, BoundedMemory) {
+    // Pushing far more slots than the window must not grow state: probe
+    // indirectly by checking reports keep coming with stable shapes.
+    StreamingDetector::Config config;
+    config.window = 16;
+    config.stride = 16;
+    StreamingDetector detector(4, 30.0, config);
+    SlotUpload upload;
+    upload.x.assign(4, 100.0);
+    upload.y.assign(4, 100.0);
+    upload.vx.assign(4, 0.0);
+    upload.vy.assign(4, 0.0);
+    upload.observed.assign(4, 1);
+    for (int j = 0; j < 160; ++j) {
+        detector.push_slot(upload);
+    }
+    std::size_t reports = 0;
+    while (auto report = detector.poll()) {
+        ++reports;
+        EXPECT_EQ(report->detection.cols(), 16u);
+    }
+    EXPECT_EQ(reports, 10u);
+}
+
+TEST(Streaming, Validation) {
+    EXPECT_THROW(StreamingDetector(0, 30.0), Error);
+    EXPECT_THROW(StreamingDetector(4, 0.0), Error);
+    StreamingDetector::Config bad;
+    bad.window = 3;  // smaller than the detector's median window
+    EXPECT_THROW(StreamingDetector(4, 30.0, bad), Error);
+    bad = StreamingDetector::Config{};
+    bad.stride = bad.window + 1;
+    EXPECT_THROW(StreamingDetector(4, 30.0, bad), Error);
+
+    StreamingDetector detector(4, 30.0);
+    SlotUpload wrong;
+    wrong.x.assign(3, 0.0);  // wrong participant count
+    wrong.y.assign(4, 0.0);
+    wrong.vx.assign(4, 0.0);
+    wrong.vy.assign(4, 0.0);
+    wrong.observed.assign(4, 1);
+    EXPECT_THROW(detector.push_slot(wrong), Error);
+}
+
+TEST(Streaming, PollOnEmptyReturnsNullopt) {
+    StreamingDetector detector(4, 30.0);
+    EXPECT_FALSE(detector.poll().has_value());
+}
+
+}  // namespace
+}  // namespace mcs

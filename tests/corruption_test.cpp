@@ -1,0 +1,283 @@
+// Tests for the corruption substrate: existence masks, fault injection,
+// velocity faults, and the end-to-end scenario builder.
+#include "corruption/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/ops.hpp"
+#include "corruption/existence.hpp"
+#include "corruption/fault_injector.hpp"
+#include "corruption/velocity_faults.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Existence, ExactMissingCount) {
+    Rng rng(1);
+    const Matrix mask = make_existence_mask(10, 20, 0.25, rng);
+    EXPECT_EQ(count_equal(mask, 0.0), 50u);
+    EXPECT_DOUBLE_EQ(missing_fraction(mask), 0.25);
+}
+
+TEST(Existence, ZeroAndFullRatios) {
+    Rng rng(2);
+    EXPECT_DOUBLE_EQ(missing_fraction(make_existence_mask(5, 5, 0.0, rng)),
+                     0.0);
+    EXPECT_DOUBLE_EQ(missing_fraction(make_existence_mask(5, 5, 1.0, rng)),
+                     1.0);
+}
+
+TEST(Existence, InvalidRatioRejected) {
+    Rng rng(3);
+    EXPECT_THROW(make_existence_mask(5, 5, -0.1, rng), Error);
+    EXPECT_THROW(make_existence_mask(5, 5, 1.1, rng), Error);
+    EXPECT_THROW(make_existence_mask(0, 5, 0.5, rng), Error);
+}
+
+TEST(Existence, MissingFractionValidatesBinary) {
+    Matrix m(2, 2, 0.5);
+    EXPECT_THROW(missing_fraction(m), Error);
+}
+
+TEST(FaultInjector, ExactFaultCountOnObservedCells) {
+    Rng rng(4);
+    const Matrix x(8, 25, 100.0);
+    const Matrix y(8, 25, 200.0);
+    Rng mask_rng(5);
+    const Matrix existence = make_existence_mask(8, 25, 0.2, mask_rng);
+    const FaultInjection inj =
+        inject_faults(x, y, existence, 0.3, 3000.0, 30000.0, 10.0, rng);
+    EXPECT_EQ(count_equal(inj.fault, 1.0),
+              static_cast<std::size_t>(std::llround(0.3 * 8 * 25)));
+    // No fault on a missing cell.
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 25; ++j) {
+            if (existence(i, j) == 0.0) {
+                EXPECT_DOUBLE_EQ(inj.fault(i, j), 0.0);
+                EXPECT_DOUBLE_EQ(inj.sx(i, j), 0.0);
+                EXPECT_DOUBLE_EQ(inj.sy(i, j), 0.0);
+            }
+        }
+    }
+}
+
+TEST(FaultInjector, FaultMagnitudesInRange) {
+    Rng rng(6);
+    const Matrix x(5, 40, 0.0);
+    const Matrix y(5, 40, 0.0);
+    const Matrix existence = Matrix::constant(5, 40, 1.0);
+    const FaultInjection inj =
+        inject_faults(x, y, existence, 0.5, 2000.0, 8000.0, 0.0, rng);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 40; ++j) {
+            const double offset = std::hypot(inj.sx(i, j), inj.sy(i, j));
+            if (inj.fault(i, j) == 1.0) {
+                EXPECT_GE(offset, 2000.0 - 1e-6);
+                EXPECT_LE(offset, 8000.0 + 1e-6);
+            } else {
+                EXPECT_DOUBLE_EQ(offset, 0.0);  // noise sigma 0
+            }
+        }
+    }
+}
+
+TEST(FaultInjector, NormalNoiseIsSmall) {
+    Rng rng(7);
+    const Matrix x(4, 50, 1000.0);
+    const Matrix y(4, 50, 1000.0);
+    const Matrix existence = Matrix::constant(4, 50, 1.0);
+    const FaultInjection inj =
+        inject_faults(x, y, existence, 0.0, 3000.0, 30000.0, 10.0, rng);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 50; ++j) {
+            EXPECT_NEAR(inj.sx(i, j), 1000.0, 60.0);  // 6 sigma
+        }
+    }
+}
+
+TEST(FaultInjector, TooManyFaultsRejected) {
+    Rng rng(8);
+    const Matrix x(4, 10, 0.0);
+    const Matrix y(4, 10, 0.0);
+    Rng mask_rng(9);
+    const Matrix existence = make_existence_mask(4, 10, 0.5, mask_rng);
+    EXPECT_THROW(
+        inject_faults(x, y, existence, 0.8, 1000.0, 2000.0, 0.0, rng),
+        Error);
+}
+
+TEST(VelocityFaults, ExactCountAndScaleRange) {
+    Rng rng(10);
+    const Matrix vx(6, 30, 10.0);
+    const Matrix vy(6, 30, -5.0);
+    const VelocityFaults vf = inject_velocity_faults(vx, vy, 0.25, rng);
+    EXPECT_EQ(count_equal(vf.faulted, 1.0),
+              static_cast<std::size_t>(std::llround(0.25 * 6 * 30)));
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 30; ++j) {
+            if (vf.faulted(i, j) == 1.0) {
+                const double factor = vf.vx(i, j) / 10.0;
+                EXPECT_GE(factor, 0.0);
+                EXPECT_LE(factor, 2.0);
+                // Both components scaled by the same factor.
+                EXPECT_NEAR(vf.vy(i, j) / -5.0, factor, 1e-12);
+            } else {
+                EXPECT_DOUBLE_EQ(vf.vx(i, j), 10.0);
+                EXPECT_DOUBLE_EQ(vf.vy(i, j), -5.0);
+            }
+        }
+    }
+}
+
+TEST(Scenario, ConfigValidation) {
+    CorruptionConfig config;
+    EXPECT_NO_THROW(config.validate());
+    config.missing_ratio = 0.7;
+    config.fault_ratio = 0.5;  // alpha + beta > 1
+    EXPECT_THROW(config.validate(), Error);
+    config = CorruptionConfig{};
+    config.fault_bias_min_m = 5000.0;
+    config.fault_bias_max_m = 1000.0;
+    EXPECT_THROW(config.validate(), Error);
+    config = CorruptionConfig{};
+    config.noise_sigma_m = -1.0;
+    EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(Scenario, EndToEndBookkeeping) {
+    const TraceDataset truth = make_small_dataset(11, 12, 40);
+    CorruptionConfig config;
+    config.missing_ratio = 0.3;
+    config.fault_ratio = 0.2;
+    config.velocity_fault_ratio = 0.1;
+    config.seed = 77;
+    const CorruptedDataset data = corrupt(truth, config);
+
+    EXPECT_EQ(data.participants(), 12u);
+    EXPECT_EQ(data.slots(), 40u);
+    EXPECT_DOUBLE_EQ(missing_fraction(data.existence), 0.3);
+    EXPECT_DOUBLE_EQ(fault_fraction(data.fault), 0.2);
+    EXPECT_DOUBLE_EQ(data.tau_s, truth.tau_s);
+
+    // Eq. (6): S = X ∘ ℰ + faults; normal observed cells stay near truth.
+    for (std::size_t i = 0; i < 12; ++i) {
+        for (std::size_t j = 0; j < 40; ++j) {
+            if (data.existence(i, j) == 0.0) {
+                EXPECT_DOUBLE_EQ(data.sx(i, j), 0.0);
+            } else if (data.fault(i, j) == 0.0) {
+                EXPECT_NEAR(data.sx(i, j), truth.x(i, j), 80.0);
+            } else {
+                const double offset = std::hypot(
+                    data.sx(i, j) - truth.x(i, j),
+                    data.sy(i, j) - truth.y(i, j));
+                EXPECT_GE(offset, config.fault_bias_min_m - 1e-6);
+            }
+        }
+    }
+}
+
+TEST(Scenario, DeterministicInSeed) {
+    const TraceDataset truth = make_small_dataset(12, 8, 30);
+    CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    config.fault_ratio = 0.2;
+    config.seed = 5;
+    const CorruptedDataset a = corrupt(truth, config);
+    const CorruptedDataset b = corrupt(truth, config);
+    EXPECT_TRUE(a.sx == b.sx);
+    EXPECT_TRUE(a.fault == b.fault);
+    config.seed = 6;
+    const CorruptedDataset c = corrupt(truth, config);
+    EXPECT_FALSE(a.sx == c.sx);
+}
+
+TEST(DriftFaults, ExactCountAndMagnitudes) {
+    Rng rng(20);
+    const Matrix x(10, 60, 50000.0);
+    const Matrix y(10, 60, 50000.0);
+    const Matrix existence = Matrix::constant(10, 60, 1.0);
+    const FaultInjection inj = inject_drift_faults(
+        x, y, existence, 0.2, 3000.0, 10000.0, 0.0, 6.0, rng);
+    EXPECT_EQ(count_equal(inj.fault, 1.0),
+              static_cast<std::size_t>(std::llround(0.2 * 600)));
+    // Every fault cell is km-scale away from truth.
+    for (std::size_t i = 0; i < 10; ++i) {
+        for (std::size_t j = 0; j < 60; ++j) {
+            if (inj.fault(i, j) == 1.0) {
+                const double offset =
+                    std::hypot(inj.sx(i, j) - 50000.0,
+                               inj.sy(i, j) - 50000.0);
+                EXPECT_GT(offset, 1000.0);
+            }
+        }
+    }
+}
+
+TEST(DriftFaults, FaultsArriveInBursts) {
+    Rng rng(21);
+    const Matrix x(10, 100, 0.0);
+    const Matrix y(10, 100, 0.0);
+    const Matrix existence = Matrix::constant(10, 100, 1.0);
+    const FaultInjection inj = inject_drift_faults(
+        x, y, existence, 0.15, 3000.0, 10000.0, 0.0, 8.0, rng);
+    // Count fault cells whose temporal neighbour is also faulty; bursts
+    // make this fraction much higher than under independent placement.
+    std::size_t adjacent = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        for (std::size_t j = 0; j < 100; ++j) {
+            if (inj.fault(i, j) != 1.0) {
+                continue;
+            }
+            ++total;
+            const bool left = j > 0 && inj.fault(i, j - 1) == 1.0;
+            const bool right = j + 1 < 100 && inj.fault(i, j + 1) == 1.0;
+            if (left || right) {
+                ++adjacent;
+            }
+        }
+    }
+    EXPECT_GT(static_cast<double>(adjacent) / static_cast<double>(total),
+              0.6);
+}
+
+TEST(DriftFaults, ScenarioIntegration) {
+    const TraceDataset truth = make_small_dataset(22, 12, 60);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    config.fault_ratio = 0.2;
+    config.fault_model = FaultModel::kDrift;
+    config.seed = 8;
+    const CorruptedDataset data = corrupt(truth, config);
+    EXPECT_NEAR(fault_fraction(data.fault), 0.2, 0.02);
+    config.drift_mean_slots = 0.5;  // invalid
+    EXPECT_THROW(config.validate(), Error);
+}
+
+// Property sweep: mask/fault ratios are exact across the (α, β) grid.
+class ScenarioProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ScenarioProperty, RatiosExact) {
+    const auto [alpha, beta] = GetParam();
+    const TraceDataset truth = make_small_dataset(13, 10, 30);
+    CorruptionConfig config;
+    config.missing_ratio = alpha;
+    config.fault_ratio = beta;
+    config.seed = 123;
+    const CorruptedDataset data = corrupt(truth, config);
+    EXPECT_NEAR(missing_fraction(data.existence), alpha, 0.002);
+    EXPECT_NEAR(fault_fraction(data.fault), beta, 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScenarioProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.5),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.5)));
+
+}  // namespace
+}  // namespace mcs

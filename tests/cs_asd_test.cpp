@@ -1,0 +1,268 @@
+// Tests for the ASD solver, the warm start, and the Cholesky/QR helpers
+// behind the scaled variant.
+#include "cs/asd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "cs/init.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+
+namespace mcs {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     double scale = 1.0) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-scale, scale);
+    }
+    return m;
+}
+
+TEST(Cholesky, FactorisesSpdMatrix) {
+    const Matrix a{{4, 2}, {2, 3}};
+    const Matrix l = cholesky(a);
+    EXPECT_TRUE(approx_equal(multiply_transposed(l, l), a, 1e-12));
+    EXPECT_DOUBLE_EQ(l(0, 1), 0.0);  // lower triangular
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+    EXPECT_THROW(cholesky(Matrix{{1, 2}, {2, 1}}), Error);
+    EXPECT_THROW(cholesky(Matrix(2, 3)), Error);
+}
+
+TEST(Cholesky, SolveSpdMatchesDirectCheck) {
+    Rng rng(1);
+    const Matrix g = random_matrix(5, 5, rng);
+    const Matrix a = gram_with_ridge(g, 0.5);  // SPD by construction
+    const Matrix b = random_matrix(5, 3, rng);
+    const Matrix x = solve_spd(a, b);
+    EXPECT_TRUE(approx_equal(multiply(a, x), b, 1e-9));
+}
+
+TEST(Cholesky, GramWithRidge) {
+    const Matrix a{{1, 0}, {0, 2}, {1, 1}};
+    const Matrix g = gram_with_ridge(a, 0.1);
+    EXPECT_NEAR(g(0, 0), 2.1, 1e-12);
+    EXPECT_NEAR(g(1, 1), 5.1, 1e-12);
+    EXPECT_NEAR(g(0, 1), 1.0, 1e-12);
+    EXPECT_THROW(gram_with_ridge(a, -0.1), Error);
+}
+
+TEST(Qr, OrthonormalisesFullRankInput) {
+    Rng rng(2);
+    const Matrix a = random_matrix(8, 4, rng);
+    const Matrix q = orthonormalize_columns(a);
+    const Matrix gram = transpose_multiply(q, q);
+    EXPECT_TRUE(approx_equal(gram, Matrix::identity(4), 1e-10));
+}
+
+TEST(Qr, DropsDependentColumns) {
+    Matrix a(5, 2);
+    for (std::size_t i = 0; i < 5; ++i) {
+        a(i, 0) = static_cast<double>(i + 1);
+        a(i, 1) = 2.0 * static_cast<double>(i + 1);  // same direction
+    }
+    const Matrix q = orthonormalize_columns(a);
+    // Second column collapses to zero.
+    double norm1 = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+        norm1 += q(i, 1) * q(i, 1);
+    }
+    EXPECT_NEAR(norm1, 0.0, 1e-12);
+}
+
+TEST(NearestFill, FillsFromNearestTrustedSlot) {
+    const Matrix s{{10, 0, 0, 40, 0}};
+    const Matrix mask{{1, 0, 0, 1, 0}};
+    const Matrix filled = nearest_fill(s, mask);
+    EXPECT_DOUBLE_EQ(filled(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(filled(0, 1), 10.0);  // closer to slot 0
+    EXPECT_DOUBLE_EQ(filled(0, 2), 40.0);  // closer to slot 3
+    EXPECT_DOUBLE_EQ(filled(0, 3), 40.0);
+    EXPECT_DOUBLE_EQ(filled(0, 4), 40.0);  // trailing gap
+}
+
+TEST(NearestFill, TiePrefersEarlierSlot) {
+    const Matrix s{{10, 0, 30}};
+    const Matrix mask{{1, 0, 1}};
+    const Matrix filled = nearest_fill(s, mask);
+    EXPECT_DOUBLE_EQ(filled(0, 1), 10.0);
+}
+
+TEST(NearestFill, EmptyRowBecomesZero) {
+    const Matrix s{{5, 6}, {7, 8}};
+    const Matrix mask{{0, 0}, {1, 1}};
+    const Matrix filled = nearest_fill(s, mask);
+    EXPECT_DOUBLE_EQ(filled(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(filled(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(filled(1, 0), 7.0);
+}
+
+// Build a completion problem with known low-rank ground truth.
+struct CompletionProblem {
+    Matrix truth;
+    Matrix s;
+    Matrix mask;
+    CsObjective objective;
+};
+
+CompletionProblem make_completion(std::size_t n, std::size_t t,
+                                  std::size_t rank, double observe_p,
+                                  std::uint64_t seed) {
+    Rng rng(seed);
+    const Matrix l = random_matrix(n, rank, rng, 3.0);
+    const Matrix r = random_matrix(t, rank, rng, 3.0);
+    Matrix truth = multiply_transposed(l, r);
+    Matrix mask(n, t);
+    for (auto& x : mask.data()) {
+        x = rng.bernoulli(observe_p) ? 1.0 : 0.0;
+    }
+    Matrix s = hadamard(truth, mask);
+    CsObjective objective(s, mask, Matrix(), 30.0, 1e-9, 0.0,
+                          TemporalMode::kNone);
+    return {std::move(truth), std::move(s), std::move(mask),
+            std::move(objective)};
+}
+
+TEST(Asd, ObjectiveDecreasesMonotonically) {
+    auto problem = make_completion(12, 18, 3, 0.6, 3);
+    const FactorPair start = warm_start(problem.s, problem.mask, 3);
+    AsdOptions options;
+    options.max_iterations = 50;
+    options.relative_tolerance = 0.0;  // force all iterations
+    const AsdResult result =
+        asd_minimize(problem.objective, start.l, start.r, options);
+    for (std::size_t i = 1; i < result.objective_history.size(); ++i) {
+        EXPECT_LE(result.objective_history[i],
+                  result.objective_history[i - 1] + 1e-9)
+            << "objective increased at iteration " << i;
+    }
+}
+
+TEST(Asd, PlainVariantAlsoDescends) {
+    auto problem = make_completion(10, 14, 2, 0.7, 4);
+    const FactorPair start = warm_start(problem.s, problem.mask, 2);
+    AsdOptions options;
+    options.scaled = false;
+    options.max_iterations = 80;
+    options.relative_tolerance = 0.0;
+    const AsdResult result =
+        asd_minimize(problem.objective, start.l, start.r, options);
+    for (std::size_t i = 1; i < result.objective_history.size(); ++i) {
+        EXPECT_LE(result.objective_history[i],
+                  result.objective_history[i - 1] + 1e-9);
+    }
+}
+
+TEST(Asd, RecoversExactlyLowRankMatrix) {
+    auto problem = make_completion(15, 20, 2, 0.75, 5);
+    const FactorPair start = warm_start(problem.s, problem.mask, 2);
+    AsdOptions options;
+    options.max_iterations = 500;
+    options.relative_tolerance = 1e-12;
+    const AsdResult result =
+        asd_minimize(problem.objective, start.l, start.r, options);
+    const Matrix estimate = multiply_transposed(result.l, result.r);
+    // Relative reconstruction error on ALL cells (including unobserved).
+    const double rel = frobenius_norm(subtract(estimate, problem.truth)) /
+                       frobenius_norm(problem.truth);
+    EXPECT_LT(rel, 0.05);
+}
+
+TEST(Asd, ScaledConvergesFasterThanPlain) {
+    auto problem = make_completion(15, 20, 3, 0.6, 6);
+    const FactorPair start = warm_start(problem.s, problem.mask, 3);
+    AsdOptions scaled;
+    scaled.max_iterations = 400;
+    scaled.relative_tolerance = 1e-9;
+    AsdOptions plain = scaled;
+    plain.scaled = false;
+    const AsdResult fast =
+        asd_minimize(problem.objective, start.l, start.r, scaled);
+    const AsdResult slow =
+        asd_minimize(problem.objective, start.l, start.r, plain);
+    EXPECT_LE(fast.iterations, slow.iterations);
+}
+
+TEST(Asd, ReportsConvergence) {
+    auto problem = make_completion(8, 10, 2, 0.9, 7);
+    const FactorPair start = warm_start(problem.s, problem.mask, 2);
+    AsdOptions options;
+    options.max_iterations = 300;
+    options.relative_tolerance = 1e-8;
+    const AsdResult result =
+        asd_minimize(problem.objective, start.l, start.r, options);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.iterations, 300u);
+    EXPECT_EQ(result.objective_history.size(), result.iterations + 1);
+}
+
+TEST(Asd, ShapeValidation) {
+    auto problem = make_completion(8, 10, 2, 0.9, 8);
+    EXPECT_THROW(
+        asd_minimize(problem.objective, Matrix(7, 2), Matrix(10, 2), {}),
+        Error);
+    EXPECT_THROW(
+        asd_minimize(problem.objective, Matrix(8, 2), Matrix(10, 3), {}),
+        Error);
+}
+
+// Property sweep: SPD solve correctness across random sizes and ridges.
+class CholeskyProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(CholeskyProperty, SolveSatisfiesSystem) {
+    const auto [size, ridge] = GetParam();
+    Rng rng(size * 7 + 1);
+    const Matrix g = random_matrix(size + 3, size, rng);
+    const Matrix a = gram_with_ridge(g, ridge);
+    const Matrix b = random_matrix(size, 2, rng);
+    const Matrix x = solve_spd(a, b);
+    EXPECT_TRUE(approx_equal(multiply(a, x), b, 1e-8))
+        << "size " << size << " ridge " << ridge;
+    // Factor check: L·Lᵀ == A.
+    const Matrix l = cholesky(a);
+    EXPECT_TRUE(approx_equal(multiply_transposed(l, l), a, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CholeskyProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 12, 24),
+                       ::testing::Values(1e-6, 1.0, 100.0)));
+
+// Property sweep: ASD monotone descent across ranks and observation rates.
+class AsdDescentProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(AsdDescentProperty, MonotoneAndConvergent) {
+    const auto [rank, observe_p] = GetParam();
+    auto problem = make_completion(14, 22, rank, observe_p,
+                                   rank * 31 + 5);
+    const FactorPair start = warm_start(problem.s, problem.mask, rank);
+    AsdOptions options;
+    options.max_iterations = 150;
+    options.relative_tolerance = 1e-9;
+    const AsdResult result =
+        asd_minimize(problem.objective, start.l, start.r, options);
+    for (std::size_t i = 1; i < result.objective_history.size(); ++i) {
+        EXPECT_LE(result.objective_history[i],
+                  result.objective_history[i - 1] + 1e-9);
+    }
+    EXPECT_LT(result.objective_history.back(),
+              result.objective_history.front() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankAndDensity, AsdDescentProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4),
+                       ::testing::Values(0.4, 0.6, 0.9)));
+
+}  // namespace
+}  // namespace mcs

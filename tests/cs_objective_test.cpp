@@ -1,0 +1,231 @@
+// Tests for the modified-CS objective: values, analytic gradients checked
+// against finite differences, and exact line searches.
+#include "cs/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     double scale = 1.0) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-scale, scale);
+    }
+    return m;
+}
+
+struct Problem {
+    Matrix s;
+    Matrix gbim;
+    Matrix velocity;
+    Matrix l;
+    Matrix r;
+};
+
+Problem make_problem(std::size_t n, std::size_t t, std::size_t rank,
+                     std::uint64_t seed) {
+    Rng rng(seed);
+    Problem p;
+    p.s = random_matrix(n, t, rng, 100.0);
+    p.gbim = Matrix(n, t);
+    for (auto& x : p.gbim.data()) {
+        x = rng.bernoulli(0.7) ? 1.0 : 0.0;
+    }
+    p.velocity = random_matrix(n, t, rng, 5.0);
+    p.l = random_matrix(n, rank, rng, 2.0);
+    p.r = random_matrix(t, rank, rng, 2.0);
+    return p;
+}
+
+// Central finite-difference gradient check for one entry.
+double fd_gradient_l(const CsObjective& objective, Problem p, std::size_t i,
+                     std::size_t k, double h) {
+    Matrix plus = p.l;
+    plus(i, k) += h;
+    Matrix minus = p.l;
+    minus(i, k) -= h;
+    return (objective.value(plus, p.r) - objective.value(minus, p.r)) /
+           (2.0 * h);
+}
+
+double fd_gradient_r(const CsObjective& objective, Problem p, std::size_t j,
+                     std::size_t k, double h) {
+    Matrix plus = p.r;
+    plus(j, k) += h;
+    Matrix minus = p.r;
+    minus(j, k) -= h;
+    return (objective.value(p.l, plus) - objective.value(p.l, minus)) /
+           (2.0 * h);
+}
+
+TEST(CsObjective, ValueIsSumOfThreeTerms) {
+    Problem p = make_problem(6, 10, 3, 1);
+    const CsObjective with_all(p.s, p.gbim, p.velocity, 30.0, 0.5, 0.25,
+                               TemporalMode::kVelocity);
+    const CsObjective no_temporal(p.s, p.gbim, p.velocity, 30.0, 0.5, 0.25,
+                                  TemporalMode::kNone);
+    const CsObjective no_reg(p.s, p.gbim, p.velocity, 30.0, 0.0, 0.0,
+                             TemporalMode::kNone);
+    const double f_all = with_all.value(p.l, p.r);
+    const double f_fit_reg = no_temporal.value(p.l, p.r);
+    const double f_fit = no_reg.value(p.l, p.r);
+    EXPECT_GT(f_all, f_fit_reg);
+    EXPECT_GT(f_fit_reg, f_fit);
+    // f2 contribution is exactly λ1(‖L‖² + ‖R‖²).
+    EXPECT_NEAR(f_fit_reg - f_fit,
+                0.5 * (frobenius_norm_squared(p.l) +
+                       frobenius_norm_squared(p.r)),
+                1e-8);
+}
+
+TEST(CsObjective, PerfectFitZeroObjective) {
+    // S = (L·Rᵀ)∘ℬ with λ's zero -> objective is exactly 0.
+    Rng rng(2);
+    const Matrix l = random_matrix(5, 2, rng);
+    const Matrix r = random_matrix(8, 2, rng);
+    Matrix gbim(5, 8);
+    for (auto& x : gbim.data()) {
+        x = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    }
+    const Matrix s = hadamard(multiply_transposed(l, r), gbim);
+    const CsObjective objective(s, gbim, Matrix(), 30.0, 0.0, 0.0,
+                                TemporalMode::kNone);
+    EXPECT_NEAR(objective.value(l, r), 0.0, 1e-18);
+}
+
+class GradientProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradientProperty, AnalyticMatchesFiniteDifferenceL) {
+    const auto mode = static_cast<TemporalMode>(GetParam() % 3);
+    Problem p = make_problem(5, 9, 3, 100 + GetParam());
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.3, 0.2,
+                                mode);
+    const Matrix grad = objective.gradient_l(p.l, p.r);
+    for (const auto& [i, k] :
+         {std::pair<std::size_t, std::size_t>{0, 0}, {2, 1}, {4, 2}}) {
+        const double fd = fd_gradient_l(objective, p, i, k, 1e-5);
+        EXPECT_NEAR(grad(i, k), fd, 1e-3 * std::max(1.0, std::abs(fd)))
+            << "mode " << GetParam() % 3 << " entry (" << i << "," << k
+            << ")";
+    }
+}
+
+TEST_P(GradientProperty, AnalyticMatchesFiniteDifferenceR) {
+    const auto mode = static_cast<TemporalMode>(GetParam() % 3);
+    Problem p = make_problem(5, 9, 3, 200 + GetParam());
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.3, 0.2,
+                                mode);
+    const Matrix grad = objective.gradient_r(p.l, p.r);
+    for (const auto& [j, k] :
+         {std::pair<std::size_t, std::size_t>{0, 0}, {4, 1}, {8, 2}}) {
+        const double fd = fd_gradient_r(objective, p, j, k, 1e-5);
+        EXPECT_NEAR(grad(j, k), fd, 1e-3 * std::max(1.0, std::abs(fd)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, GradientProperty,
+                         ::testing::Range(0, 9));
+
+TEST(CsObjective, ExactStepMinimisesAlongGradient) {
+    Problem p = make_problem(6, 10, 3, 3);
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.1, 0.1,
+                                TemporalMode::kVelocity);
+    const Matrix grad = objective.gradient_l(p.l, p.r);
+    const double alpha = objective.exact_step_l(p.l, p.r, grad);
+    ASSERT_GT(alpha, 0.0);
+    const auto value_at = [&](double a) {
+        Matrix moved = p.l;
+        Matrix step = grad;
+        step *= a;
+        moved -= step;
+        return objective.value(moved, p.r);
+    };
+    const double at_opt = value_at(alpha);
+    EXPECT_LT(at_opt, objective.value(p.l, p.r));
+    // Quadratic optimality: nearby alphas are worse.
+    EXPECT_LE(at_opt, value_at(alpha * 0.8));
+    EXPECT_LE(at_opt, value_at(alpha * 1.2));
+}
+
+TEST(CsObjective, LineSearchDecreaseIsExact) {
+    Problem p = make_problem(6, 10, 3, 4);
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.1, 0.1,
+                                TemporalMode::kVelocity);
+    const auto res = objective.residuals(p.l, p.r);
+    const Matrix grad = objective.gradient_l_from(res, p.l, p.r);
+    const auto step = objective.line_search_l(res, p.l, p.r, grad);
+    Matrix moved = p.l;
+    Matrix delta = grad;
+    delta *= step.alpha;
+    moved -= delta;
+    const double actual_decrease =
+        objective.value(p.l, p.r) - objective.value(moved, p.r);
+    EXPECT_NEAR(actual_decrease, step.decrease,
+                1e-9 * std::max(1.0, step.decrease));
+}
+
+TEST(CsObjective, ResidualsMatchDefinitions) {
+    Problem p = make_problem(4, 7, 2, 5);
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.1, 0.1,
+                                TemporalMode::kVelocity);
+    const auto res = objective.residuals(p.l, p.r);
+    const Matrix expected_m =
+        subtract(hadamard(multiply_transposed(p.l, p.r), p.gbim),
+                 hadamard(p.s, p.gbim));
+    EXPECT_TRUE(approx_equal(res.m, expected_m, 1e-10));
+    EXPECT_EQ(res.e3.rows(), 4u);
+    EXPECT_EQ(res.e3.cols(), 7u);
+}
+
+TEST(CsObjective, ZeroDirectionGivesZeroStep) {
+    Problem p = make_problem(4, 7, 2, 6);
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.0, 0.0,
+                                TemporalMode::kNone);
+    const Matrix zero(4, 2);
+    EXPECT_DOUBLE_EQ(objective.exact_step_l(p.l, p.r, zero), 0.0);
+}
+
+TEST(CsObjective, MasksSensoryValuesAtUntrustedCells) {
+    Problem p = make_problem(4, 7, 2, 7);
+    const CsObjective objective(p.s, p.gbim, p.velocity, 30.0, 0.0, 0.0,
+                                TemporalMode::kNone);
+    const Matrix& masked = objective.masked_sensory();
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 7; ++j) {
+            if (p.gbim(i, j) == 0.0) {
+                EXPECT_DOUBLE_EQ(masked(i, j), 0.0);
+            } else {
+                EXPECT_DOUBLE_EQ(masked(i, j), p.s(i, j));
+            }
+        }
+    }
+}
+
+TEST(CsObjective, InvalidInputsRejected) {
+    Problem p = make_problem(4, 7, 2, 8);
+    EXPECT_THROW(CsObjective(p.s, Matrix(3, 7), p.velocity, 30.0, 0.1, 0.1,
+                             TemporalMode::kNone),
+                 Error);
+    EXPECT_THROW(CsObjective(p.s, p.gbim, p.velocity, 30.0, -0.1, 0.1,
+                             TemporalMode::kNone),
+                 Error);
+    EXPECT_THROW(CsObjective(p.s, p.gbim, Matrix(1, 1), 30.0, 0.1, 0.1,
+                             TemporalMode::kVelocity),
+                 Error);
+    Matrix bad_gbim = p.gbim;
+    bad_gbim(0, 0) = 0.5;
+    EXPECT_THROW(CsObjective(p.s, bad_gbim, p.velocity, 30.0, 0.1, 0.1,
+                             TemporalMode::kNone),
+                 Error);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,195 @@
+// Tests for the Optimized Local Median Method (Algorithm 1, Eq. 12).
+#include "detect/local_median.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "detect/detection.hpp"
+
+namespace mcs {
+namespace {
+
+// A stationary 1 x t row with a single spike at `spike_slot`.
+struct SpikeFixture {
+    Matrix s;
+    Matrix velocity;  // all zeros: vehicle parked
+    Matrix existence;
+    Matrix detection;
+
+    SpikeFixture(std::size_t t, std::size_t spike_slot, double spike) {
+        s = Matrix(1, t, 1000.0);
+        s(0, spike_slot) = 1000.0 + spike;
+        velocity = Matrix(1, t);
+        existence = Matrix::constant(1, t, 1.0);
+        detection = Matrix::constant(1, t, 1.0);
+    }
+};
+
+TEST(WindowStart, ClampsAtBothEnds) {
+    EXPECT_EQ(window_start(0, 5, 20), 0u);
+    EXPECT_EQ(window_start(1, 5, 20), 0u);
+    EXPECT_EQ(window_start(2, 5, 20), 0u);
+    EXPECT_EQ(window_start(3, 5, 20), 1u);
+    EXPECT_EQ(window_start(10, 5, 20), 8u);
+    EXPECT_EQ(window_start(19, 5, 20), 15u);
+    EXPECT_EQ(window_start(18, 5, 20), 15u);
+}
+
+TEST(DynamicTolerance, FloorForParkedVehicle) {
+    const Matrix velocity(1, 20);
+    const Matrix existence = Matrix::constant(1, 20, 1.0);
+    LocalMedianConfig config;
+    const double delta =
+        dynamic_tolerance(velocity, existence, 0, 10, 30.0, config);
+    EXPECT_DOUBLE_EQ(delta, config.min_tolerance_m);
+}
+
+TEST(DynamicTolerance, ScalesWithSpeed) {
+    Matrix slow(1, 20, 2.0);   // 2 m/s
+    Matrix fast(1, 20, 20.0);  // 20 m/s
+    const Matrix existence = Matrix::constant(1, 20, 1.0);
+    LocalMedianConfig config;
+    const double d_slow =
+        dynamic_tolerance(slow, existence, 0, 10, 30.0, config);
+    const double d_fast =
+        dynamic_tolerance(fast, existence, 0, 10, 30.0, config);
+    EXPECT_GT(d_fast, d_slow);
+    // Constant velocity v: max drift from slot j inside a w=5 window is
+    // 2 slots of travel in either direction -> 2·v·τ·ξ.
+    EXPECT_NEAR(d_fast, config.xi * 2.0 * 20.0 * 30.0, 1e-9);
+}
+
+TEST(DynamicTolerance, MissingSlotsReduceTolerance) {
+    Matrix velocity(1, 20, 10.0);
+    const Matrix all = Matrix::constant(1, 20, 1.0);
+    Matrix holey = all;
+    // Shrink the reachable drift on BOTH sides of the tested slot (the
+    // tolerance takes the max of backward and forward spans).
+    holey(0, 8) = 0.0;
+    holey(0, 9) = 0.0;
+    holey(0, 11) = 0.0;
+    holey(0, 12) = 0.0;
+    LocalMedianConfig config;
+    const double d_full = dynamic_tolerance(velocity, all, 0, 10, 30.0,
+                                            config);
+    const double d_holey = dynamic_tolerance(velocity, holey, 0, 10, 30.0,
+                                             config);
+    EXPECT_LT(d_holey, d_full);
+}
+
+TEST(TsDetect, ClearsNormalStationaryData) {
+    SpikeFixture f(20, 10, 0.0);  // no spike at all
+    const Matrix d =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  LocalMedianConfig{}, /*first_execution=*/true);
+    EXPECT_EQ(count_flagged(d), 0u);
+}
+
+TEST(TsDetect, FlagsLargeSpike) {
+    SpikeFixture f(20, 10, 5000.0);
+    const Matrix d =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  LocalMedianConfig{}, true);
+    EXPECT_DOUBLE_EQ(d(0, 10), 1.0);
+    // Neighbours remain normal (median robust to one spike).
+    EXPECT_DOUBLE_EQ(d(0, 9), 0.0);
+    EXPECT_DOUBLE_EQ(d(0, 11), 0.0);
+}
+
+TEST(TsDetect, ToleratesSpikeWithinDynamicTolerance) {
+    // A fast vehicle's legitimate displacement must not be flagged: give
+    // the row a linear motion consistent with its velocity.
+    const std::size_t t = 20;
+    Matrix s(1, t);
+    Matrix velocity(1, t, 15.0);
+    for (std::size_t j = 0; j < t; ++j) {
+        s(0, j) = 15.0 * 30.0 * static_cast<double>(j);
+    }
+    const Matrix existence = Matrix::constant(1, t, 1.0);
+    const Matrix detection = Matrix::constant(1, t, 1.0);
+    const Matrix d = ts_detect(s, Matrix(), velocity, detection, existence,
+                               30.0, LocalMedianConfig{}, true);
+    EXPECT_EQ(count_flagged(d), 0u);
+}
+
+TEST(TsDetect, SkipsMissingCellsOnFirstPass) {
+    SpikeFixture f(20, 10, 5000.0);
+    f.existence(0, 5) = 0.0;  // missing cell keeps its initial flag
+    const Matrix d =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  LocalMedianConfig{}, true);
+    EXPECT_DOUBLE_EQ(d(0, 5), 1.0);   // untouched
+    EXPECT_DOUBLE_EQ(d(0, 10), 1.0);  // spike still caught
+}
+
+TEST(TsDetect, SecondPassUsesReconstruction) {
+    SpikeFixture f(20, 10, 5000.0);
+    f.existence(0, 4) = 0.0;
+    // Reconstruction fills the missing cell with the true value.
+    Matrix reconstructed(1, 20, 1000.0);
+    const Matrix d =
+        ts_detect(f.s, reconstructed, f.velocity, f.detection, f.existence,
+                  30.0, LocalMedianConfig{}, /*first_execution=*/false);
+    // On the second pass every cell is tested; the filled cell is normal.
+    EXPECT_DOUBLE_EQ(d(0, 4), 0.0);
+    EXPECT_DOUBLE_EQ(d(0, 10), 1.0);
+}
+
+TEST(TsDetect, OnlyClearsNeverRaises) {
+    // Cells starting at 0 stay 0 even if they look anomalous: TS_Detect
+    // only moves flags in one direction (Check() is the raising path).
+    SpikeFixture f(20, 10, 5000.0);
+    f.detection.fill(0.0);
+    const Matrix d =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  LocalMedianConfig{}, true);
+    EXPECT_EQ(count_flagged(d), 0u);
+}
+
+TEST(TsDetect, ConfigValidation) {
+    SpikeFixture f(20, 10, 0.0);
+    LocalMedianConfig config;
+    config.window = 4;  // even
+    EXPECT_THROW(ts_detect(f.s, Matrix(), f.velocity, f.detection,
+                           f.existence, 30.0, config, true),
+                 Error);
+    config = LocalMedianConfig{};
+    config.window = 25;  // larger than t
+    EXPECT_THROW(ts_detect(f.s, Matrix(), f.velocity, f.detection,
+                           f.existence, 30.0, config, true),
+                 Error);
+    config = LocalMedianConfig{};
+    config.xi = 0.0;
+    EXPECT_THROW(ts_detect(f.s, Matrix(), f.velocity, f.detection,
+                           f.existence, 30.0, config, true),
+                 Error);
+}
+
+// Property: ξ monotonicity — a larger ξ never flags more cells.
+class XiProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(XiProperty, LargerXiFlagsNoMore) {
+    SpikeFixture f(40, 20, 700.0);
+    // Give the vehicle some motion so the tolerance is velocity-driven.
+    for (std::size_t j = 0; j < 40; ++j) {
+        f.s(0, j) += 5.0 * 30.0 * static_cast<double>(j);
+        f.velocity(0, j) = 5.0;
+    }
+    LocalMedianConfig tight;
+    tight.xi = GetParam();
+    LocalMedianConfig loose = tight;
+    loose.xi = GetParam() * 2.0;
+    const Matrix d_tight =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  tight, true);
+    const Matrix d_loose =
+        ts_detect(f.s, Matrix(), f.velocity, f.detection, f.existence, 30.0,
+                  loose, true);
+    EXPECT_LE(count_flagged(d_loose), count_flagged(d_tight));
+}
+
+INSTANTIATE_TEST_SUITE_P(XiSweep, XiProperty,
+                         ::testing::Values(0.5, 1.0, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace mcs

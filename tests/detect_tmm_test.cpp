@@ -1,0 +1,108 @@
+// Tests for the TMM baseline and the detection-matrix utilities.
+#include "detect/detection.hpp"
+#include "detect/tmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Tmm, FlagsSpikeAboveFixedThreshold) {
+    Matrix s(1, 15, 500.0);
+    s(0, 7) = 500.0 + 5000.0;
+    const Matrix existence = Matrix::constant(1, 15, 1.0);
+    TmmConfig config;
+    config.threshold_m = 1000.0;
+    const Matrix d = tmm_detect(s, existence, config);
+    EXPECT_DOUBLE_EQ(d(0, 7), 1.0);
+    EXPECT_EQ(count_flagged(d), 1u);
+}
+
+TEST(Tmm, FixedThresholdMissesSlowDrift) {
+    // Unlike the dynamic method, TMM with a large threshold ignores
+    // deviations below it regardless of vehicle speed.
+    Matrix s(1, 15, 500.0);
+    s(0, 7) = 500.0 + 800.0;  // below the 1000 m threshold
+    const Matrix existence = Matrix::constant(1, 15, 1.0);
+    TmmConfig config;
+    config.threshold_m = 1000.0;
+    const Matrix d = tmm_detect(s, existence, config);
+    EXPECT_EQ(count_flagged(d), 0u);
+}
+
+TEST(Tmm, SkipsMissingCells) {
+    Matrix s(1, 15, 500.0);
+    s(0, 7) = 99999.0;
+    Matrix existence = Matrix::constant(1, 15, 1.0);
+    existence(0, 7) = 0.0;  // the spike cell is missing: no reading
+    const Matrix d = tmm_detect(s, existence, TmmConfig{});
+    EXPECT_EQ(count_flagged(d), 0u);
+}
+
+TEST(Tmm, XyUnionFlagsEitherAxis) {
+    Matrix sx(1, 15, 0.0);
+    Matrix sy(1, 15, 0.0);
+    sx(0, 3) = 5000.0;  // x-axis fault
+    sy(0, 9) = 5000.0;  // y-axis fault
+    const Matrix existence = Matrix::constant(1, 15, 1.0);
+    const Matrix d = tmm_detect_xy(sx, sy, existence, TmmConfig{});
+    EXPECT_DOUBLE_EQ(d(0, 3), 1.0);
+    EXPECT_DOUBLE_EQ(d(0, 9), 1.0);
+    EXPECT_EQ(count_flagged(d), 2u);
+}
+
+TEST(Tmm, ConfigValidation) {
+    const Matrix s(1, 15, 0.0);
+    const Matrix existence = Matrix::constant(1, 15, 1.0);
+    TmmConfig config;
+    config.window = 2;
+    EXPECT_THROW(tmm_detect(s, existence, config), Error);
+    config = TmmConfig{};
+    config.threshold_m = 0.0;
+    EXPECT_THROW(tmm_detect(s, existence, config), Error);
+}
+
+TEST(Detection, UnionSemantics) {
+    const Matrix a{{1, 0, 0, 1}};
+    const Matrix b{{0, 0, 1, 1}};
+    const Matrix u = detection_union(a, b);
+    EXPECT_DOUBLE_EQ(u(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(u(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(u(0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(u(0, 3), 1.0);
+}
+
+TEST(Detection, UnionRejectsNonBinary) {
+    const Matrix a{{0.5, 0.0}};
+    const Matrix b{{0.0, 0.0}};
+    EXPECT_THROW(detection_union(a, b), Error);
+}
+
+TEST(Detection, GbimDefinition7) {
+    const Matrix existence{{1, 1, 0, 0}};
+    const Matrix detection{{0, 1, 0, 1}};
+    const Matrix gbim = make_gbim(existence, detection);
+    EXPECT_DOUBLE_EQ(gbim(0, 0), 1.0);  // observed, not detected
+    EXPECT_DOUBLE_EQ(gbim(0, 1), 0.0);  // observed but detected
+    EXPECT_DOUBLE_EQ(gbim(0, 2), 0.0);  // missing
+    EXPECT_DOUBLE_EQ(gbim(0, 3), 0.0);  // missing and detected
+}
+
+TEST(Detection, CountDifferences) {
+    const Matrix a{{1, 0, 1}};
+    const Matrix b{{1, 1, 0}};
+    EXPECT_EQ(count_differences(a, b), 2u);
+    EXPECT_EQ(count_differences(a, a), 0u);
+    EXPECT_THROW(count_differences(a, Matrix(2, 3)), Error);
+}
+
+TEST(Detection, CountFlagged) {
+    const Matrix a{{1, 0, 1, 1}};
+    EXPECT_EQ(count_flagged(a), 3u);
+    EXPECT_EQ(count_flagged(Matrix(2, 2)), 0u);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,176 @@
+// Tests for the evaluation harness: method registry, scenario runner,
+// and the table renderer.
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "detect/detection.hpp"
+#include "eval/heatmap.hpp"
+#include "eval/table.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Methods, NamesAreFigureLabels) {
+    EXPECT_EQ(to_string(Method::kTmm), "TMM");
+    EXPECT_EQ(to_string(Method::kCsOnly), "CS");
+    EXPECT_EQ(to_string(Method::kItscsFull), "I(TS,CS)");
+    EXPECT_EQ(to_string(Method::kItscsWithoutV), "I(TS,CS) w/o V");
+    EXPECT_EQ(to_string(Method::kItscsWithoutVT), "I(TS,CS) w/o VT");
+}
+
+TEST(Methods, ReconstructionCapability) {
+    EXPECT_FALSE(reconstructs(Method::kTmm));
+    EXPECT_TRUE(reconstructs(Method::kCsOnly));
+    EXPECT_TRUE(reconstructs(Method::kItscsFull));
+}
+
+TEST(Methods, AdapterCopiesShapes) {
+    const TraceDataset truth = make_small_dataset(1, 6, 20);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    const CorruptedDataset data = corrupt(truth, config);
+    const ItscsInput input = to_itscs_input(data);
+    EXPECT_EQ(input.sx.rows(), 6u);
+    EXPECT_EQ(input.existence.cols(), 20u);
+    EXPECT_DOUBLE_EQ(input.tau_s, truth.tau_s);
+}
+
+TEST(Methods, TmmRunsWithoutReconstruction) {
+    const TraceDataset truth = make_small_dataset(2, 8, 30);
+    CorruptionConfig config;
+    config.fault_ratio = 0.2;
+    const CorruptedDataset data = corrupt(truth, config);
+    const MethodResult result =
+        run_method(Method::kTmm, data, MethodSettings{});
+    EXPECT_EQ(result.detection.rows(), 8u);
+    EXPECT_TRUE(result.reconstructed_x.empty());
+    EXPECT_GT(count_flagged(result.detection), 0u);
+}
+
+TEST(Methods, VariantsUseDistinctTemporalModes) {
+    // Smoke test: all three variants run and produce reconstructions.
+    const TraceDataset truth = make_small_dataset(3, 10, 40);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    config.fault_ratio = 0.1;
+    const CorruptedDataset data = corrupt(truth, config);
+    MethodSettings settings;
+    settings.itscs_base.max_iterations = 3;
+    for (const Method m : {Method::kItscsWithoutVT, Method::kItscsWithoutV,
+                           Method::kItscsFull}) {
+        const MethodResult result = run_method(m, data, settings);
+        EXPECT_EQ(result.reconstructed_x.rows(), 10u) << to_string(m);
+        EXPECT_GE(result.iterations, 1u);
+    }
+}
+
+TEST(Experiment, ScenarioProducesSensibleScores) {
+    const TraceDataset truth = make_small_dataset(4, 16, 60);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.2;
+    corruption.seed = 9;
+    const ExperimentPoint point = run_scenario(
+        truth, corruption, Method::kItscsFull, MethodSettings{});
+    EXPECT_DOUBLE_EQ(point.alpha, 0.2);
+    EXPECT_DOUBLE_EQ(point.beta, 0.2);
+    EXPECT_EQ(point.method, Method::kItscsFull);
+    EXPECT_GT(point.precision, 0.5);
+    EXPECT_GT(point.recall, 0.9);
+    EXPECT_GT(point.mae_m, 0.0);
+    EXPECT_GE(point.rmse_m, point.mae_m);  // RMSE dominates MAE
+    EXPECT_GT(point.elapsed_s, 0.0);
+}
+
+TEST(Experiment, TmmScenarioHasNoMae) {
+    const TraceDataset truth = make_small_dataset(5, 10, 40);
+    CorruptionConfig corruption;
+    corruption.fault_ratio = 0.2;
+    const ExperimentPoint point =
+        run_scenario(truth, corruption, Method::kTmm, MethodSettings{});
+    EXPECT_DOUBLE_EQ(point.mae_m, 0.0);
+}
+
+TEST(Experiment, AveragingUsesDistinctSeeds) {
+    const TraceDataset truth = make_small_dataset(6, 10, 40);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.1;
+    corruption.seed = 3;
+    MethodSettings settings;
+    settings.itscs_base.max_iterations = 3;
+    const ExperimentPoint avg = run_scenario_averaged(
+        truth, corruption, Method::kItscsFull, settings, 3);
+    // The mean of three runs sits inside the hull of individual runs; a
+    // cheap sanity proxy: it is a valid probability.
+    EXPECT_GE(avg.precision, 0.0);
+    EXPECT_LE(avg.precision, 1.0);
+    EXPECT_GE(avg.recall, 0.0);
+    EXPECT_LE(avg.recall, 1.0);
+    EXPECT_THROW(run_scenario_averaged(truth, corruption,
+                                       Method::kItscsFull, settings, 0),
+                 Error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+    Table table({"method", "precision"});
+    table.add_row({"TMM", "91.0%"});
+    table.add_row({"I(TS,CS)", "98.5%"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("method"), std::string::npos);
+    EXPECT_NE(text.find("I(TS,CS)"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsMalformedRows) {
+    Table table({"a", "b"});
+    EXPECT_THROW(table.add_row({"only-one"}), Error);
+    EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Heatmap, RendersExpectedShape) {
+    Matrix m(10, 40);
+    for (std::size_t j = 0; j < 40; ++j) {
+        m(3, j) = static_cast<double>(j);  // one hot row
+    }
+    HeatmapOptions options;
+    options.max_rows = 5;
+    options.max_cols = 20;
+    std::ostringstream out;
+    render_heatmap(out, m, options);
+    const auto lines = split(out.str(), '\n');
+    ASSERT_EQ(lines.size(), 6u);  // 5 rows + trailing empty
+    EXPECT_EQ(lines[0].size(), 20u);
+    // The hot row renders brighter glyphs than an all-zero row.
+    EXPECT_NE(lines[1], lines[0]);
+}
+
+TEST(Heatmap, ConstantMatrixRendersLowestGlyph) {
+    const Matrix m(4, 8, 3.0);
+    std::ostringstream out;
+    render_heatmap(out, m);
+    for (const char c : out.str()) {
+        if (c != '\n') {
+            EXPECT_EQ(c, ' ');
+        }
+    }
+}
+
+TEST(Heatmap, IndicatorValidatesBinary) {
+    std::ostringstream out;
+    EXPECT_THROW(render_indicator_heatmap(out, Matrix(2, 2, 0.5)), Error);
+    EXPECT_NO_THROW(render_indicator_heatmap(out, Matrix(2, 2, 1.0)));
+    EXPECT_THROW(render_heatmap(out, Matrix()), Error);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,201 @@
+// Failure-injection and degenerate-input tests: the framework must stay
+// well-behaved (no crashes, no NaNs, sane outputs) under pathological
+// data — whole participants offline, bursts, parked fleets, adversarial
+// fault placement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/itscs.hpp"
+#include "corruption/existence.hpp"
+#include "corruption/scenario.hpp"
+#include "detect/detection.hpp"
+#include "eval/methods.hpp"
+#include "linalg/temporal.hpp"
+#include "metrics/confusion.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+bool all_finite(const Matrix& m) {
+    for (const double v : m.data()) {
+        if (!std::isfinite(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+ItscsInput input_from(const CorruptedDataset& data) {
+    return to_itscs_input(data);
+}
+
+TEST(FailureInjection, WholeParticipantOffline) {
+    const TraceDataset truth = make_small_dataset(1, 16, 60);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    CorruptedDataset data = corrupt(truth, config);
+    // Participant 3 never uploads anything.
+    for (std::size_t j = 0; j < truth.slots(); ++j) {
+        data.existence(3, j) = 0.0;
+        data.sx(3, j) = 0.0;
+        data.sy(3, j) = 0.0;
+    }
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+    EXPECT_TRUE(all_finite(result.reconstructed_y));
+}
+
+TEST(FailureInjection, WholeSlotMissing) {
+    const TraceDataset truth = make_small_dataset(2, 16, 60);
+    CorruptionConfig config;
+    CorruptedDataset data = corrupt(truth, config);
+    // A server outage: slot 30 lost for everyone.
+    for (std::size_t i = 0; i < truth.participants(); ++i) {
+        data.existence(i, 30) = 0.0;
+        data.sx(i, 30) = 0.0;
+        data.sy(i, 30) = 0.0;
+    }
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+    // The lost column is recoverable from temporal structure: the
+    // reconstruction at slot 30 must sit between the neighbours' scale.
+    for (std::size_t i = 0; i < truth.participants(); ++i) {
+        EXPECT_NEAR(result.reconstructed_x(i, 30), truth.x(i, 30), 2000.0);
+    }
+}
+
+TEST(FailureInjection, AllReadingsOfOneParticipantFaulty) {
+    // An adversarial participant uploads garbage everywhere. The row's
+    // "time series" is consistent garbage, so time-series detection alone
+    // cannot condemn it — but the reconstruction stays finite, and honest
+    // participants are unaffected.
+    const TraceDataset truth = make_small_dataset(3, 16, 60);
+    CorruptionConfig config;
+    CorruptedDataset data = corrupt(truth, config);
+    Rng rng(4);
+    for (std::size_t j = 0; j < truth.slots(); ++j) {
+        data.sx(5, j) = truth.x(5, j) + rng.uniform(20000.0, 40000.0);
+        data.sy(5, j) = truth.y(5, j) + rng.uniform(20000.0, 40000.0);
+        data.fault(5, j) = 1.0;
+    }
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+    // Honest rows keep a high detection quality.
+    ConfusionCounts honest;
+    for (std::size_t i = 0; i < truth.participants(); ++i) {
+        if (i == 5) {
+            continue;
+        }
+        for (std::size_t j = 0; j < truth.slots(); ++j) {
+            if (data.existence(i, j) == 0.0) {
+                continue;
+            }
+            const bool flagged = result.detection(i, j) != 0.0;
+            const bool faulty = data.fault(i, j) != 0.0;
+            if (flagged && !faulty) {
+                ++honest.false_positive;
+            } else if (!flagged && !faulty) {
+                ++honest.true_negative;
+            }
+        }
+    }
+    EXPECT_LT(honest.false_positive_rate(), 0.10);
+}
+
+TEST(FailureInjection, BurstOutagesStillConverge) {
+    const TraceDataset truth = make_small_dataset(4, 20, 80);
+    Rng rng(5);
+    const Matrix existence =
+        make_burst_existence_mask(20, 80, 0.3, 10.0, rng);
+    CorruptionConfig config;
+    CorruptedDataset data = corrupt(truth, config);  // no uniform missing
+    // Overlay the burst mask.
+    for (std::size_t i = 0; i < 20; ++i) {
+        for (std::size_t j = 0; j < 80; ++j) {
+            if (existence(i, j) == 0.0) {
+                data.existence(i, j) = 0.0;
+                data.sx(i, j) = 0.0;
+                data.sy(i, j) = 0.0;
+            }
+        }
+    }
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_TRUE(result.converged);
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+}
+
+TEST(FailureInjection, ParkedFleetWithNoise) {
+    // Everyone parked: velocities zero, positions constant + noise. The
+    // tolerance floor must keep false positives near zero.
+    const std::size_t n = 10;
+    const std::size_t t = 50;
+    Rng rng(6);
+    Matrix sx(n, t);
+    Matrix sy(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 10000.0);
+        const double y0 = rng.uniform(0.0, 10000.0);
+        for (std::size_t j = 0; j < t; ++j) {
+            sx(i, j) = x0 + rng.normal(0.0, 10.0);
+            sy(i, j) = y0 + rng.normal(0.0, 10.0);
+        }
+    }
+    ItscsInput input{sx, sy, Matrix(n, t), Matrix(n, t),
+                     Matrix::constant(n, t, 1.0), 30.0};
+    const ItscsResult result = run_itscs(input, ItscsConfig{});
+    EXPECT_LT(count_flagged(result.detection), n * t / 50);  // < 2%
+}
+
+TEST(FailureInjection, TwoCollocatedFaultsInOneWindow) {
+    // Two faults close to each other inside one detector window could
+    // vouch for each other at the median level; CHECK must still catch
+    // them against the reconstruction.
+    const TraceDataset truth = make_small_dataset(7, 16, 60);
+    CorruptionConfig config;
+    CorruptedDataset data = corrupt(truth, config);
+    // Place two faults next to each other, biased to the same point.
+    data.sx(2, 20) = truth.x(2, 20) + 8000.0;
+    data.sy(2, 20) = truth.y(2, 20) + 8000.0;
+    data.sx(2, 21) = truth.x(2, 21) + 8000.0;
+    data.sy(2, 21) = truth.y(2, 21) + 8000.0;
+    data.fault(2, 20) = 1.0;
+    data.fault(2, 21) = 1.0;
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_DOUBLE_EQ(result.detection(2, 20), 1.0);
+    EXPECT_DOUBLE_EQ(result.detection(2, 21), 1.0);
+}
+
+TEST(FailureInjection, ExtremeCorruptionStaysFinite) {
+    // α + β = 0.9: only 10% of the data is trustworthy. Quality claims
+    // stop here, but the library must not produce NaNs or crash.
+    const TraceDataset truth = make_small_dataset(8, 16, 60);
+    CorruptionConfig config;
+    config.missing_ratio = 0.5;
+    config.fault_ratio = 0.4;
+    const CorruptedDataset data = corrupt(truth, config);
+    const ItscsResult result = run_itscs(input_from(data), ItscsConfig{});
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+    EXPECT_TRUE(all_finite(result.reconstructed_y));
+    const ConfusionCounts counts =
+        evaluate_detection(result.detection, data.fault, data.existence);
+    EXPECT_GE(counts.recall(), 0.8);  // faults are still km-scale outliers
+}
+
+TEST(FailureInjection, SingleParticipantDataset) {
+    // n = 1: no cross-participant structure at all; the pipeline must
+    // degrade gracefully to pure temporal reasoning.
+    const TraceDataset truth = make_small_dataset(9, 1, 60);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    config.fault_ratio = 0.1;
+    const CorruptedDataset data = corrupt(truth, config);
+    ItscsConfig fw;
+    fw.cs.rank = 1;
+    const ItscsResult result = run_itscs(input_from(data), fw);
+    EXPECT_TRUE(all_finite(result.reconstructed_x));
+}
+
+}  // namespace
+}  // namespace mcs

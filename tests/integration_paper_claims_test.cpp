@@ -1,0 +1,158 @@
+// Paper-level integration tests: the qualitative claims of §IV, asserted
+// on a mid-sized synthetic fleet (larger than the unit-test fixtures,
+// smaller than the paper-scale benches, so the suite stays fast).
+//
+//  * Fig. 5 — I(TS,CS) detection beats TMM and stays high as α, β grow.
+//  * Fig. 6 — CS-only reconstruction collapses under faults; I(TS,CS)
+//             stays sub-kilometre; full < without-V < without-VT.
+//  * Fig. 7 — faulty velocity barely hurts; dropping velocity hurts more.
+//  * Fig. 8 — convergence in a handful of iterations, with the bulk of
+//             the improvement between iterations 1 and 2.
+#include <gtest/gtest.h>
+
+#include "core/itscs.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/experiment.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+// Shared mid-sized fleet (generated once; gtest environments would be
+// overkill for a single object).
+const TraceDataset& fleet() {
+    static const TraceDataset dataset = [] {
+        SimulatorConfig config;
+        config.participants = 60;
+        config.slots = 160;
+        config.seed = 2024;
+        config.network.width_m = 40000.0;
+        config.network.height_m = 40000.0;
+        return simulate_fleet(config);
+    }();
+    return dataset;
+}
+
+CorruptionConfig scenario(double alpha, double beta, std::uint64_t seed) {
+    CorruptionConfig config;
+    config.missing_ratio = alpha;
+    config.fault_ratio = beta;
+    config.seed = seed;
+    return config;
+}
+
+TEST(PaperClaims, Fig5_ItscsBeatsTmmUnderHeavyCorruption) {
+    const auto corruption = scenario(0.4, 0.4, 1);
+    const ExperimentPoint tmm = run_scenario(fleet(), corruption,
+                                             Method::kTmm, MethodSettings{});
+    const ExperimentPoint itscs = run_scenario(
+        fleet(), corruption, Method::kItscsFull, MethodSettings{});
+    EXPECT_GT(itscs.precision, tmm.precision);
+    EXPECT_GT(itscs.recall, tmm.recall);
+    EXPECT_GE(itscs.precision, 0.90);
+    EXPECT_GE(itscs.recall, 0.95);
+}
+
+TEST(PaperClaims, Fig5_DetectionStableAcrossAlpha) {
+    // Precision/recall of I(TS,CS) barely move as the missing ratio grows
+    // (the paper's "very stable" observation).
+    const ExperimentPoint low = run_scenario(
+        fleet(), scenario(0.0, 0.2, 2), Method::kItscsFull,
+        MethodSettings{});
+    const ExperimentPoint high = run_scenario(
+        fleet(), scenario(0.4, 0.2, 2), Method::kItscsFull,
+        MethodSettings{});
+    EXPECT_GE(high.recall, low.recall - 0.03);
+    EXPECT_GE(high.precision, low.precision - 0.08);
+}
+
+TEST(PaperClaims, Fig6_FaultsDestroyPlainCsButNotItscs) {
+    const auto clean = scenario(0.2, 0.0, 3);
+    const auto faulty = scenario(0.2, 0.3, 3);
+    const ExperimentPoint cs_clean = run_scenario(
+        fleet(), clean, Method::kCsOnly, MethodSettings{});
+    const ExperimentPoint cs_faulty = run_scenario(
+        fleet(), faulty, Method::kCsOnly, MethodSettings{});
+    const ExperimentPoint itscs_faulty = run_scenario(
+        fleet(), faulty, Method::kItscsFull, MethodSettings{});
+    // Faults blow plain CS up by a large factor...
+    EXPECT_GT(cs_faulty.mae_m, 3.0 * cs_clean.mae_m);
+    // ...while the framework absorbs them.
+    EXPECT_LT(itscs_faulty.mae_m, 0.5 * cs_faulty.mae_m);
+}
+
+TEST(PaperClaims, Fig6_VariantOrderingOnReconstruction) {
+    const auto corruption = scenario(0.2, 0.2, 4);
+    const ExperimentPoint full = run_scenario(
+        fleet(), corruption, Method::kItscsFull, MethodSettings{});
+    const ExperimentPoint without_v = run_scenario(
+        fleet(), corruption, Method::kItscsWithoutV, MethodSettings{});
+    const ExperimentPoint without_vt = run_scenario(
+        fleet(), corruption, Method::kItscsWithoutVT, MethodSettings{});
+    // Full <= without-V <= without-VT (small tolerance for tie noise).
+    EXPECT_LE(full.mae_m, without_v.mae_m * 1.05);
+    EXPECT_LT(without_v.mae_m, without_vt.mae_m);
+    // The paper: full is roughly half of without-VT.
+    EXPECT_LT(full.mae_m, 0.75 * without_vt.mae_m);
+}
+
+TEST(PaperClaims, Fig7_FaultyVelocityBarelyHurts) {
+    auto corruption = scenario(0.2, 0.2, 5);
+    const ExperimentPoint clean_velocity = run_scenario(
+        fleet(), corruption, Method::kItscsFull, MethodSettings{});
+    corruption.velocity_fault_ratio = 0.2;
+    const ExperimentPoint faulty_velocity = run_scenario(
+        fleet(), corruption, Method::kItscsFull, MethodSettings{});
+    corruption.velocity_fault_ratio = 0.0;
+    const ExperimentPoint no_velocity = run_scenario(
+        fleet(), corruption, Method::kItscsWithoutV, MethodSettings{});
+    // 20% faulty velocity costs far less than dropping velocity entirely.
+    const double penalty_faulty =
+        faulty_velocity.mae_m - clean_velocity.mae_m;
+    const double penalty_dropped = no_velocity.mae_m - clean_velocity.mae_m;
+    EXPECT_LT(faulty_velocity.mae_m, no_velocity.mae_m);
+    EXPECT_LT(penalty_faulty, penalty_dropped);
+}
+
+TEST(PaperClaims, Fig8_ConvergesFastWithFrontLoadedImprovement) {
+    const auto corruption = scenario(0.3, 0.3, 6);
+    const CorruptedDataset data = corrupt(fleet(), corruption);
+    const ItscsResult result =
+        run_itscs(to_itscs_input(data), ItscsConfig{});
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.iterations, 8u);
+    ASSERT_GE(result.history.size(), 2u);
+    // The bulk of the detection-set movement happens by iteration 2.
+    const std::size_t first_changes = result.history[0].detection_changes +
+                                      result.history[1].detection_changes;
+    std::size_t later_changes = 0;
+    for (std::size_t k = 2; k < result.history.size(); ++k) {
+        later_changes += result.history[k].detection_changes;
+    }
+    EXPECT_GT(first_changes, 5 * std::max<std::size_t>(later_changes, 1));
+}
+
+// Sweep the paper's corruption grid and require the headline bounds of
+// §IV-B on every point (precision/recall thresholds relaxed slightly for
+// the synthetic substrate at the extreme corner; see EXPERIMENTS.md).
+class DetectionGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DetectionGrid, PrecisionRecallFloor) {
+    const auto [alpha, beta] = GetParam();
+    const ExperimentPoint point = run_scenario(
+        fleet(), scenario(alpha, beta, 7), Method::kItscsFull,
+        MethodSettings{});
+    EXPECT_GE(point.precision, 0.88)
+        << "alpha=" << alpha << " beta=" << beta;
+    EXPECT_GE(point.recall, 0.95) << "alpha=" << alpha << " beta=" << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaBeta, DetectionGrid,
+    ::testing::Values(std::make_tuple(0.0, 0.1), std::make_tuple(0.0, 0.4),
+                      std::make_tuple(0.2, 0.2), std::make_tuple(0.4, 0.1),
+                      std::make_tuple(0.4, 0.4)));
+
+}  // namespace
+}  // namespace mcs

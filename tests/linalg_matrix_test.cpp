@@ -1,0 +1,143 @@
+// Unit tests for the dense Matrix type.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+    const Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructWithFill) {
+    const Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+        }
+    }
+}
+
+TEST(Matrix, InitializerList) {
+    const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, InitializerListRejectsRaggedRows) {
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), Error);
+}
+
+TEST(Matrix, FromVectorChecksSize) {
+    const Matrix m(2, 2, std::vector<double>{1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}), Error);
+}
+
+TEST(Matrix, RowMajorLayout) {
+    Matrix m(2, 3);
+    m(0, 0) = 1;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    const auto data = m.data();
+    EXPECT_DOUBLE_EQ(data[0], 1.0);
+    EXPECT_DOUBLE_EQ(data[2], 3.0);
+    EXPECT_DOUBLE_EQ(data[3], 4.0);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+    Matrix m(2, 2);
+    EXPECT_NO_THROW(m.at(1, 1));
+    EXPECT_THROW(m.at(2, 0), Error);
+    EXPECT_THROW(m.at(0, 2), Error);
+    const Matrix& cm = m;
+    EXPECT_THROW(cm.at(2, 0), Error);
+}
+
+TEST(Matrix, RowView) {
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    auto row = m.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[2], 6.0);
+    row[0] = 9.0;
+    EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+    EXPECT_THROW(m.row(2), Error);
+}
+
+TEST(Matrix, ColumnCopy) {
+    const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    const auto col = m.column(1);
+    ASSERT_EQ(col.size(), 3u);
+    EXPECT_DOUBLE_EQ(col[2], 6.0);
+    EXPECT_THROW(m.column(2), Error);
+}
+
+TEST(Matrix, Fill) {
+    Matrix m(2, 2, 1.0);
+    m.fill(7.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+}
+
+TEST(Matrix, Block) {
+    const Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+    const Matrix b = m.block(1, 1, 2, 2);
+    EXPECT_EQ(b.rows(), 2u);
+    EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(b(1, 1), 9.0);
+    EXPECT_THROW(m.block(2, 2, 2, 2), Error);
+}
+
+TEST(Matrix, CompoundArithmetic) {
+    Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{10, 20}, {30, 40}};
+    a += b;
+    EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+    a -= b;
+    EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+    a *= 2.0;
+    EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Matrix, CompoundArithmeticShapeChecked) {
+    Matrix a(2, 2);
+    const Matrix b(2, 3);
+    EXPECT_THROW(a += b, Error);
+    EXPECT_THROW(a -= b, Error);
+}
+
+TEST(Matrix, Identity) {
+    const Matrix id = Matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+        }
+    }
+}
+
+TEST(Matrix, EqualityAndApprox) {
+    const Matrix a{{1, 2}, {3, 4}};
+    Matrix b = a;
+    EXPECT_TRUE(a == b);
+    b(0, 0) += 1e-9;
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(approx_equal(a, b, 1e-8));
+    EXPECT_FALSE(approx_equal(a, b, 1e-10));
+    EXPECT_FALSE(approx_equal(a, Matrix(2, 3), 1.0));
+}
+
+TEST(Matrix, ShapeString) {
+    EXPECT_EQ(Matrix(3, 5).shape_string(), "Matrix(3x5)");
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,180 @@
+// Unit and property tests for the matrix kernels.
+#include "linalg/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mcs {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-2.0, 2.0);
+    }
+    return m;
+}
+
+TEST(Ops, AddSubtractScale) {
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{4, 3}, {2, 1}};
+    const Matrix sum = add(a, b);
+    EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+    const Matrix diff = subtract(sum, b);
+    EXPECT_TRUE(approx_equal(diff, a, 1e-15));
+    const Matrix scaled = scale(a, -2.0);
+    EXPECT_DOUBLE_EQ(scaled(1, 1), -8.0);
+}
+
+TEST(Ops, Hadamard) {
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{0, 1}, {1, 0}};
+    const Matrix h = hadamard(a, b);
+    EXPECT_DOUBLE_EQ(h(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(h(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(h(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(h(1, 1), 0.0);
+    EXPECT_THROW(hadamard(a, Matrix(1, 2)), Error);
+}
+
+TEST(Ops, MultiplyKnownValues) {
+    const Matrix a{{1, 2}, {3, 4}};
+    const Matrix b{{5, 6}, {7, 8}};
+    const Matrix c = multiply(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Ops, MultiplyShapeChecked) {
+    EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3)), Error);
+}
+
+TEST(Ops, MultiplyIdentityIsNoop) {
+    Rng rng(1);
+    const Matrix a = random_matrix(4, 4, rng);
+    EXPECT_TRUE(approx_equal(multiply(a, Matrix::identity(4)), a, 1e-14));
+    EXPECT_TRUE(approx_equal(multiply(Matrix::identity(4), a), a, 1e-14));
+}
+
+TEST(Ops, MultiplyTransposedMatchesExplicit) {
+    Rng rng(2);
+    const Matrix a = random_matrix(3, 5, rng);
+    const Matrix b = random_matrix(4, 5, rng);
+    const Matrix direct = multiply_transposed(a, b);
+    const Matrix reference = multiply(a, transpose(b));
+    EXPECT_TRUE(approx_equal(direct, reference, 1e-12));
+}
+
+TEST(Ops, TransposeMultiplyMatchesExplicit) {
+    Rng rng(3);
+    const Matrix a = random_matrix(5, 3, rng);
+    const Matrix b = random_matrix(5, 4, rng);
+    const Matrix direct = transpose_multiply(a, b);
+    const Matrix reference = multiply(transpose(a), b);
+    EXPECT_TRUE(approx_equal(direct, reference, 1e-12));
+}
+
+TEST(Ops, TransposeInvolution) {
+    Rng rng(4);
+    const Matrix a = random_matrix(3, 7, rng);
+    EXPECT_TRUE(approx_equal(transpose(transpose(a)), a, 0.0));
+}
+
+TEST(Ops, MaskedResidualMatchesDefinition) {
+    Rng rng(5);
+    const Matrix l = random_matrix(4, 2, rng);
+    const Matrix r = random_matrix(6, 2, rng);
+    Matrix mask(4, 6);
+    for (auto& x : mask.data()) {
+        x = rng.bernoulli(0.6) ? 1.0 : 0.0;
+    }
+    Matrix s = hadamard(multiply_transposed(random_matrix(4, 2, rng),
+                                            random_matrix(6, 2, rng)),
+                        mask);
+    const Matrix residual = masked_residual(l, r, mask, s);
+    const Matrix reference =
+        subtract(hadamard(multiply_transposed(l, r), mask), s);
+    EXPECT_TRUE(approx_equal(residual, reference, 1e-12));
+}
+
+TEST(Ops, MaskedResidualShapeChecked) {
+    EXPECT_THROW(
+        masked_residual(Matrix(4, 2), Matrix(6, 3), Matrix(4, 6),
+                        Matrix(4, 6)),
+        Error);
+    EXPECT_THROW(
+        masked_residual(Matrix(4, 2), Matrix(6, 2), Matrix(4, 5),
+                        Matrix(4, 5)),
+        Error);
+}
+
+TEST(Ops, FrobeniusNormKnown) {
+    const Matrix a{{3, 0}, {0, 4}};
+    EXPECT_DOUBLE_EQ(frobenius_norm_squared(a), 25.0);
+    EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Ops, FrobeniusDotMatchesNorm) {
+    Rng rng(6);
+    const Matrix a = random_matrix(3, 3, rng);
+    EXPECT_NEAR(frobenius_dot(a, a), frobenius_norm_squared(a), 1e-12);
+}
+
+TEST(Ops, FrobeniusDotBilinear) {
+    Rng rng(7);
+    const Matrix a = random_matrix(3, 4, rng);
+    const Matrix b = random_matrix(3, 4, rng);
+    const Matrix c = random_matrix(3, 4, rng);
+    EXPECT_NEAR(frobenius_dot(add(a, b), c),
+                frobenius_dot(a, c) + frobenius_dot(b, c), 1e-12);
+}
+
+TEST(Ops, MaxAbsAndSum) {
+    const Matrix a{{-5, 2}, {3, -1}};
+    EXPECT_DOUBLE_EQ(max_abs(a), 5.0);
+    EXPECT_DOUBLE_EQ(element_sum(a), -1.0);
+}
+
+TEST(Ops, CountEqual) {
+    const Matrix a{{0, 1}, {1, 1}};
+    EXPECT_EQ(count_equal(a, 1.0), 3u);
+    EXPECT_EQ(count_equal(a, 0.0), 1u);
+    EXPECT_EQ(count_equal(a, 2.0), 0u);
+}
+
+// Property sweep: (A·Bᵀ)ᵀ == B·Aᵀ for random shapes.
+class OpsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpsProperty, TransposeOfProductIdentity) {
+    Rng rng(GetParam());
+    const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const auto cols = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const auto inner = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const Matrix a = random_matrix(rows, inner, rng);
+    const Matrix b = random_matrix(cols, inner, rng);
+    const Matrix left = transpose(multiply_transposed(a, b));
+    const Matrix right = multiply_transposed(b, a);
+    EXPECT_TRUE(approx_equal(left, right, 1e-12));
+}
+
+TEST_P(OpsProperty, MultiplyAssociativity) {
+    Rng rng(GetParam() + 1000);
+    const Matrix a = random_matrix(3, 4, rng);
+    const Matrix b = random_matrix(4, 5, rng);
+    const Matrix c = random_matrix(5, 2, rng);
+    const Matrix left = multiply(multiply(a, b), c);
+    const Matrix right = multiply(a, multiply(b, c));
+    EXPECT_TRUE(approx_equal(left, right, 1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, OpsProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace mcs

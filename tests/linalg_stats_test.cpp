@@ -1,0 +1,127 @@
+// Unit tests for descriptive statistics.
+#include "linalg/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Stats, MedianOdd) {
+    const std::vector<double> v{5, 1, 3};
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, MedianEven) {
+    const std::vector<double> v{4, 1, 3, 2};
+    EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, MedianSingleAndRobustness) {
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{7}), 7.0);
+    // The median ignores one huge outlier in five points.
+    const std::vector<double> v{1, 2, 3, 4, 1e9};
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+    const std::vector<double> v{3, 1, 2};
+    (void)median(v);
+    EXPECT_EQ(v[0], 3.0);
+    EXPECT_EQ(v[1], 1.0);
+}
+
+TEST(Stats, MedianEmptyThrows) {
+    EXPECT_THROW(median(std::vector<double>{}), Error);
+}
+
+TEST(Stats, MeanAndVariance) {
+    const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_THROW(variance(std::vector<double>{1.0}), Error);
+}
+
+TEST(Stats, QuantileInterpolates) {
+    const std::vector<double> v{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+    EXPECT_NEAR(quantile(v, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(Stats, QuantileValidation) {
+    const std::vector<double> v{1.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.7), 1.0);
+    EXPECT_THROW(quantile(v, -0.1), Error);
+    EXPECT_THROW(quantile(v, 1.1), Error);
+    EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+}
+
+TEST(Stats, EmpiricalCdfBasics) {
+    const std::vector<double> v{1, 2, 2, 3};
+    const auto cdf = empirical_cdf(v);
+    ASSERT_EQ(cdf.size(), 3u);  // duplicates collapsed
+    EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[0].probability, 0.25);
+    EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+    EXPECT_DOUBLE_EQ(cdf[1].probability, 0.75);
+    EXPECT_DOUBLE_EQ(cdf[2].probability, 1.0);
+}
+
+TEST(Stats, CdfAtEvaluation) {
+    const std::vector<double> v{1, 2, 3, 4};
+    const auto cdf = empirical_cdf(v);
+    EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf_at(cdf, 100.0), 1.0);
+}
+
+TEST(Stats, CdfInverse) {
+    const std::vector<double> v{10, 20, 30, 40};
+    const auto cdf = empirical_cdf(v);
+    EXPECT_DOUBLE_EQ(cdf_inverse(cdf, 0.25), 10.0);
+    EXPECT_DOUBLE_EQ(cdf_inverse(cdf, 0.5), 20.0);
+    EXPECT_DOUBLE_EQ(cdf_inverse(cdf, 0.51), 30.0);
+    EXPECT_DOUBLE_EQ(cdf_inverse(cdf, 1.0), 40.0);
+}
+
+TEST(Stats, CdfRoundTripProperty) {
+    Rng rng(9);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i) {
+        v.push_back(rng.normal());
+    }
+    const auto cdf = empirical_cdf(v);
+    // For every sample point, cdf_at(inverse(p)) >= p.
+    for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        EXPECT_GE(cdf_at(cdf, cdf_inverse(cdf, p)), p);
+    }
+}
+
+// Property: median lies between min and max; 50% quantile == median for
+// odd-sized samples.
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsProperty, MedianWithinRange) {
+    Rng rng(GetParam());
+    std::vector<double> v;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 50));
+    for (std::size_t i = 0; i < n; ++i) {
+        v.push_back(rng.uniform(-100.0, 100.0));
+    }
+    const double m = median(v);
+    EXPECT_GE(m, *std::min_element(v.begin(), v.end()));
+    EXPECT_LE(m, *std::max_element(v.begin(), v.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, StatsProperty,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,238 @@
+// Unit and property tests for the one-sided Jacobi SVD.
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-1.0, 1.0);
+    }
+    return m;
+}
+
+// Checks Uᵀ·U == I for the non-zero columns of U.
+void expect_orthonormal_columns(const Matrix& u, double tol) {
+    const Matrix gram = transpose_multiply(u, u);
+    for (std::size_t i = 0; i < gram.rows(); ++i) {
+        for (std::size_t j = 0; j < gram.cols(); ++j) {
+            const double expected = (i == j) ? 1.0 : 0.0;
+            EXPECT_NEAR(gram(i, j), expected, tol)
+                << "gram(" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(Svd, DiagonalMatrix) {
+    const Matrix a{{3, 0}, {0, 2}};
+    const SvdResult r = svd(a);
+    ASSERT_EQ(r.singular_values.size(), 2u);
+    EXPECT_NEAR(r.singular_values[0], 3.0, 1e-12);
+    EXPECT_NEAR(r.singular_values[1], 2.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesSortedDescending) {
+    Rng rng(1);
+    const Matrix a = random_matrix(8, 6, rng);
+    const SvdResult r = svd(a);
+    for (std::size_t i = 1; i < r.singular_values.size(); ++i) {
+        EXPECT_LE(r.singular_values[i], r.singular_values[i - 1]);
+        EXPECT_GE(r.singular_values[i], 0.0);
+    }
+}
+
+TEST(Svd, ReconstructsTallMatrix) {
+    Rng rng(2);
+    const Matrix a = random_matrix(10, 4, rng);
+    const SvdResult r = svd(a);
+    EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-10));
+}
+
+TEST(Svd, ReconstructsWideMatrix) {
+    Rng rng(3);
+    const Matrix a = random_matrix(4, 12, rng);
+    const SvdResult r = svd(a);
+    EXPECT_EQ(r.u.rows(), 4u);
+    EXPECT_EQ(r.v.rows(), 12u);
+    EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-10));
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+    Rng rng(4);
+    const Matrix a = random_matrix(9, 5, rng);
+    const SvdResult r = svd(a);
+    expect_orthonormal_columns(r.u, 1e-10);
+    expect_orthonormal_columns(r.v, 1e-10);
+}
+
+TEST(Svd, FrobeniusNormIsL2OfSingularValues) {
+    Rng rng(5);
+    const Matrix a = random_matrix(7, 7, rng);
+    const SvdResult r = svd(a);
+    double sum_sq = 0.0;
+    for (const double s : r.singular_values) {
+        sum_sq += s * s;
+    }
+    EXPECT_NEAR(sum_sq, frobenius_norm_squared(a), 1e-9);
+}
+
+TEST(Svd, ExactlyLowRankMatrix) {
+    // Rank-2 matrix: outer-product construction.
+    Rng rng(6);
+    const Matrix l = random_matrix(8, 2, rng);
+    const Matrix r = random_matrix(6, 2, rng);
+    const Matrix a = multiply_transposed(l, r);
+    const SvdResult result = svd(a);
+    EXPECT_EQ(numerical_rank(result.singular_values, 1e-9), 2u);
+    // Rank-2 truncation reproduces the matrix.
+    EXPECT_TRUE(approx_equal(result.reconstruct(2), a, 1e-9));
+}
+
+TEST(Svd, ZeroMatrix) {
+    const Matrix a(4, 3);
+    const SvdResult r = svd(a);
+    for (const double s : r.singular_values) {
+        EXPECT_DOUBLE_EQ(s, 0.0);
+    }
+    EXPECT_EQ(numerical_rank(r.singular_values), 0u);
+}
+
+TEST(Svd, EmptyMatrixThrows) {
+    EXPECT_THROW(svd(Matrix()), Error);
+}
+
+TEST(Svd, KnownRankOneValues) {
+    // A = u·vᵀ with |u| = 5, |v| = √2 ⇒ σ₁ = 5√2.
+    const Matrix a{{3 * 1.0, 3 * 1.0}, {4 * 1.0, 4 * 1.0}};
+    const SvdResult r = svd(a);
+    EXPECT_NEAR(r.singular_values[0], 5.0 * std::sqrt(2.0), 1e-10);
+    EXPECT_NEAR(r.singular_values[1], 0.0, 1e-10);
+}
+
+TEST(Svd, TruncatedFactorsReconstructLowRankInput) {
+    Rng rng(7);
+    const Matrix l = random_matrix(10, 3, rng);
+    const Matrix r = random_matrix(8, 3, rng);
+    const Matrix a = multiply_transposed(l, r);
+    const FactorPair factors = truncated_factors(a, 3);
+    EXPECT_EQ(factors.l.rows(), 10u);
+    EXPECT_EQ(factors.l.cols(), 3u);
+    EXPECT_EQ(factors.r.rows(), 8u);
+    const Matrix rebuilt = multiply_transposed(factors.l, factors.r);
+    EXPECT_TRUE(approx_equal(rebuilt, a, 1e-9));
+}
+
+TEST(Svd, TruncatedFactorsIsBestApproximation) {
+    // Eckart–Young: the rank-k truncation error equals √(Σ_{i>k} σᵢ²).
+    Rng rng(8);
+    const Matrix a = random_matrix(9, 7, rng);
+    const SvdResult r = svd(a);
+    const std::size_t k = 3;
+    const FactorPair factors = truncated_factors(a, k);
+    const Matrix approx = multiply_transposed(factors.l, factors.r);
+    double tail = 0.0;
+    for (std::size_t i = k; i < r.singular_values.size(); ++i) {
+        tail += r.singular_values[i] * r.singular_values[i];
+    }
+    EXPECT_NEAR(frobenius_norm_squared(subtract(a, approx)), tail, 1e-8);
+}
+
+TEST(Svd, TruncatedFactorsRankChecked) {
+    const Matrix a(4, 3, 1.0);
+    EXPECT_THROW(truncated_factors(a, 0), Error);
+    EXPECT_THROW(truncated_factors(a, 4), Error);
+}
+
+TEST(Svd, EnergyCdfMonotoneEndingAtOne) {
+    const std::vector<double> sigma{5.0, 3.0, 1.0, 1.0};
+    const auto cdf = singular_energy_cdf(sigma);
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_NEAR(cdf[0], 0.5, 1e-12);
+    EXPECT_NEAR(cdf.back(), 1.0, 1e-12);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i], cdf[i - 1]);
+    }
+}
+
+TEST(Svd, EnergyCdfOfZeros) {
+    const auto cdf = singular_energy_cdf({0.0, 0.0});
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.0);
+}
+
+// Property sweep over random shapes: reconstruction + orthonormality.
+class SvdProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SvdProperty, ReconstructionAndOrthogonality) {
+    const auto [rows, cols] = GetParam();
+    Rng rng(rows * 100 + cols);
+    const Matrix a = random_matrix(rows, cols, rng);
+    const SvdResult r = svd(a);
+    EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-9));
+    expect_orthonormal_columns(r.v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdProperty,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 1),
+                      std::make_tuple(1, 5), std::make_tuple(3, 3),
+                      std::make_tuple(12, 5), std::make_tuple(5, 12),
+                      std::make_tuple(20, 20), std::make_tuple(2, 17)));
+
+
+TEST(RandomizedSvd, RecoversLowRankMatrixExactly) {
+    Rng rng(9);
+    const Matrix l = random_matrix(30, 4, rng);
+    const Matrix r = random_matrix(50, 4, rng);
+    const Matrix a = multiply_transposed(l, r);
+    const FactorPair f = truncated_factors_randomized(a, 4);
+    const Matrix rebuilt = multiply_transposed(f.l, f.r);
+    const double rel = frobenius_norm(subtract(rebuilt, a)) /
+                       frobenius_norm(a);
+    EXPECT_LT(rel, 1e-8);
+}
+
+TEST(RandomizedSvd, ApproximatesFullRankTruncation) {
+    // On a general matrix the randomized rank-k factors must land close to
+    // the optimal (Eckart-Young) rank-k error.
+    Rng rng(10);
+    const Matrix a = random_matrix(40, 60, rng);
+    const std::size_t k = 10;
+    const FactorPair exact = truncated_factors(a, k);
+    const FactorPair approx = truncated_factors_randomized(a, k);
+    const double err_exact = frobenius_norm(
+        subtract(multiply_transposed(exact.l, exact.r), a));
+    const double err_approx = frobenius_norm(
+        subtract(multiply_transposed(approx.l, approx.r), a));
+    EXPECT_LE(err_approx, 1.15 * err_exact);
+}
+
+TEST(RandomizedSvd, DeterministicForFixedSeed) {
+    Rng rng(11);
+    const Matrix a = random_matrix(20, 30, rng);
+    const FactorPair f1 = truncated_factors_randomized(a, 5, 8, 2, 777);
+    const FactorPair f2 = truncated_factors_randomized(a, 5, 8, 2, 777);
+    EXPECT_TRUE(f1.l == f2.l);
+    EXPECT_TRUE(f1.r == f2.r);
+}
+
+TEST(RandomizedSvd, RankValidated) {
+    const Matrix a(4, 3, 1.0);
+    EXPECT_THROW(truncated_factors_randomized(a, 0), Error);
+    EXPECT_THROW(truncated_factors_randomized(a, 4), Error);
+}
+
+}  // namespace
+}  // namespace mcs
+

@@ -1,0 +1,94 @@
+// Tests for the temporal-difference operator and its adjoint.
+#include "linalg/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data()) {
+        x = rng.uniform(-3.0, 3.0);
+    }
+    return m;
+}
+
+TEST(Temporal, DiffKnownValues) {
+    const Matrix x{{1, 3, 6}, {2, 2, 5}};
+    const Matrix d = temporal_diff(x);
+    EXPECT_DOUBLE_EQ(d(0, 0), 0.0);  // first column unconstrained
+    EXPECT_DOUBLE_EQ(d(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(d(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(d(1, 2), 3.0);
+}
+
+TEST(Temporal, DiffOfConstantRowsIsZero) {
+    const Matrix x(3, 5, 7.0);
+    EXPECT_TRUE(approx_equal(temporal_diff(x), Matrix(3, 5), 0.0));
+}
+
+TEST(Temporal, MatrixFreeMatchesDenseOperator) {
+    Rng rng(10);
+    const Matrix x = random_matrix(4, 7, rng);
+    const Matrix dense = multiply(x, temporal_operator_dense(7));
+    EXPECT_TRUE(approx_equal(temporal_diff(x), dense, 1e-12));
+}
+
+TEST(Temporal, AdjointMatchesDenseTranspose) {
+    Rng rng(11);
+    const Matrix e = random_matrix(4, 7, rng);
+    const Matrix dense = multiply(e, transpose(temporal_operator_dense(7)));
+    EXPECT_TRUE(approx_equal(temporal_diff_adjoint(e), dense, 1e-12));
+}
+
+TEST(Temporal, AdjointIdentityHolds) {
+    // ⟨Δ(X), E⟩ == ⟨X, Δᵀ(E)⟩ for random X, E.
+    Rng rng(12);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Matrix x = random_matrix(5, 9, rng);
+        const Matrix e = random_matrix(5, 9, rng);
+        EXPECT_NEAR(frobenius_dot(temporal_diff(x), e),
+                    frobenius_dot(x, temporal_diff_adjoint(e)), 1e-10);
+    }
+}
+
+TEST(Temporal, SingleColumnEdgeCase) {
+    const Matrix x{{5.0}, {7.0}};
+    EXPECT_TRUE(approx_equal(temporal_diff(x), Matrix(2, 1), 0.0));
+    const Matrix e{{2.0}, {3.0}};
+    EXPECT_TRUE(approx_equal(temporal_diff_adjoint(e), Matrix(2, 1), 0.0));
+}
+
+TEST(Temporal, AverageVelocityEquation11) {
+    const Matrix v{{2, 4, 6}, {1, 1, 3}};
+    const Matrix avg = average_velocity(v);
+    EXPECT_DOUBLE_EQ(avg(0, 0), 2.0);  // column 0: instantaneous
+    EXPECT_DOUBLE_EQ(avg(0, 1), 3.0);  // (2+4)/2
+    EXPECT_DOUBLE_EQ(avg(0, 2), 5.0);  // (4+6)/2
+    EXPECT_DOUBLE_EQ(avg(1, 2), 2.0);  // (1+3)/2
+}
+
+TEST(Temporal, AverageVelocityOfConstantIsConstant) {
+    const Matrix v(3, 6, 4.2);
+    EXPECT_TRUE(approx_equal(average_velocity(v), v, 1e-15));
+}
+
+TEST(Temporal, DenseOperatorStructure) {
+    const Matrix op = temporal_operator_dense(4);
+    // Column 0 zero; diagonal 1 elsewhere; superdiagonal -1.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(op(i, 0), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(op(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(op(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(op(2, 3), -1.0);
+    EXPECT_DOUBLE_EQ(op(3, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace mcs

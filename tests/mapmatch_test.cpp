@@ -1,0 +1,191 @@
+// Tests for the map-matching extension (geometry + HMM matcher).
+#include "mapmatch/map_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mapmatch/geometry.hpp"
+#include "trace/router.hpp"
+
+namespace mcs {
+namespace {
+
+RoadNetworkConfig grid_config() {
+    RoadNetworkConfig config;
+    config.width_m = 10000.0;
+    config.height_m = 10000.0;
+    config.block_m = 1000.0;
+    return config;
+}
+
+TEST(Geometry, ProjectsOntoSegmentInterior) {
+    const SegmentProjection p = project_onto_segment(
+        {5.0, 3.0}, {0.0, 0.0}, {10.0, 0.0});
+    EXPECT_DOUBLE_EQ(p.point.x_m, 5.0);
+    EXPECT_DOUBLE_EQ(p.point.y_m, 0.0);
+    EXPECT_DOUBLE_EQ(p.distance_m, 3.0);
+    EXPECT_DOUBLE_EQ(p.fraction, 0.5);
+}
+
+TEST(Geometry, ClampsToEndpoints) {
+    const SegmentProjection before = project_onto_segment(
+        {-4.0, 3.0}, {0.0, 0.0}, {10.0, 0.0});
+    EXPECT_DOUBLE_EQ(before.fraction, 0.0);
+    EXPECT_DOUBLE_EQ(before.distance_m, 5.0);
+    const SegmentProjection after = project_onto_segment(
+        {14.0, 3.0}, {0.0, 0.0}, {10.0, 0.0});
+    EXPECT_DOUBLE_EQ(after.fraction, 1.0);
+    EXPECT_DOUBLE_EQ(after.distance_m, 5.0);
+}
+
+TEST(Geometry, DegenerateSegment) {
+    const SegmentProjection p = project_onto_segment(
+        {3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0});
+    EXPECT_DOUBLE_EQ(p.distance_m, 5.0);
+    EXPECT_DOUBLE_EQ(p.fraction, 0.0);
+}
+
+TEST(MapMatch, PointOnRoadStaysPut) {
+    const RoadNetwork network(grid_config());
+    // A point exactly on the horizontal road y = 2000.
+    const std::vector<LocalPoint> trajectory{{3500.0, 2000.0}};
+    const auto matched = map_match(network, trajectory);
+    ASSERT_EQ(matched.size(), 1u);
+    EXPECT_NEAR(matched[0].position.x_m, 3500.0, 1e-9);
+    EXPECT_NEAR(matched[0].position.y_m, 2000.0, 1e-9);
+    EXPECT_NEAR(matched[0].snap_distance_m, 0.0, 1e-9);
+}
+
+TEST(MapMatch, OffRoadPointSnapsToNearestRoad) {
+    const RoadNetwork network(grid_config());
+    // 120 m north of the y = 2000 road, mid-block (x = 3500): the nearest
+    // road position is straight down.
+    const std::vector<LocalPoint> trajectory{{3500.0, 2120.0}};
+    const auto matched = map_match(network, trajectory);
+    EXPECT_NEAR(matched[0].position.x_m, 3500.0, 1e-6);
+    EXPECT_NEAR(matched[0].position.y_m, 2000.0, 1e-6);
+    EXPECT_NEAR(matched[0].snap_distance_m, 120.0, 1e-6);
+}
+
+TEST(MapMatch, NoisyStraightDriveRecovered) {
+    // A vehicle driving along y = 3000 with ~60 m GPS noise: the matched
+    // path must hug that road. A noised point passing right next to a
+    // crossing road may legitimately snap onto the crossing (both are
+    // metres away), so the assertion is on distance to the true position
+    // plus a large on-road majority, not on perfection.
+    const RoadNetwork network(grid_config());
+    Rng rng(1);
+    std::vector<LocalPoint> trajectory;
+    std::vector<LocalPoint> truth;
+    for (int k = 0; k < 20; ++k) {
+        truth.push_back({1150.0 + 300.0 * k, 3000.0});
+        trajectory.push_back({truth.back().x_m + rng.normal(0.0, 60.0),
+                              3000.0 + rng.normal(0.0, 60.0)});
+    }
+    MapMatchConfig config;
+    config.emission_sigma_m = 100.0;
+    const auto matched = map_match(network, trajectory, config);
+    std::size_t on_road = 0;
+    for (std::size_t k = 0; k < matched.size(); ++k) {
+        if (std::abs(matched[k].position.y_m - 3000.0) < 1.0) {
+            ++on_road;
+        }
+        EXPECT_LT(Projection::distance_m(matched[k].position, truth[k]),
+                  250.0);
+    }
+    EXPECT_GE(on_road, 18u);
+}
+
+TEST(MapMatch, TurnFollowsBothLegs) {
+    // Drive east along y = 2000, then north along x = 6000.
+    const RoadNetwork network(grid_config());
+    std::vector<LocalPoint> trajectory;
+    for (int k = 0; k <= 10; ++k) {
+        trajectory.push_back({1000.0 + 500.0 * k, 2000.0});
+    }
+    for (int k = 1; k <= 8; ++k) {
+        trajectory.push_back({6000.0, 2000.0 + 500.0 * k});
+    }
+    const auto matched = map_match(network, trajectory);
+    EXPECT_NEAR(matched[3].position.y_m, 2000.0, 1e-6);
+    EXPECT_NEAR(matched.back().position.x_m, 6000.0, 1e-6);
+    EXPECT_NEAR(matched.back().position.y_m, 6000.0, 1e-6);
+}
+
+TEST(MapMatch, LargeOutlierDoesNotDragItsNeighbours) {
+    const RoadNetwork network(grid_config());
+    std::vector<LocalPoint> trajectory;
+    for (int k = 0; k < 10; ++k) {
+        trajectory.push_back({1000.0 + 400.0 * k, 5000.0});
+    }
+    trajectory[5] = {2600.0, 8200.0};  // 3 km off-route spike
+    const auto matched = map_match(network, trajectory);
+    // Neighbours of the spike stay on the y = 5000 road.
+    EXPECT_NEAR(matched[4].position.y_m, 5000.0, 1.0);
+    EXPECT_NEAR(matched[6].position.y_m, 5000.0, 1.0);
+}
+
+TEST(MapMatch, FleetWrapperShapes) {
+    const RoadNetwork network(grid_config());
+    Matrix x(3, 5, 2500.0);  // mid-block: nearest road is y = 3000
+    Matrix y(3, 5, 3050.0);  // 50 m off the y = 3000 road
+    const MatchedMatrices matched = map_match_fleet(network, x, y);
+    EXPECT_EQ(matched.x.rows(), 3u);
+    EXPECT_EQ(matched.y.cols(), 5u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            EXPECT_NEAR(matched.y(i, j), 3000.0, 1e-6);
+        }
+    }
+}
+
+TEST(MapMatch, Validation) {
+    const RoadNetwork network(grid_config());
+    EXPECT_THROW(map_match(network, {}), Error);
+    MapMatchConfig config;
+    config.emission_sigma_m = 0.0;
+    EXPECT_THROW(map_match(network, {{0.0, 0.0}}, config), Error);
+    config = MapMatchConfig{};
+    config.max_candidates = 0;
+    EXPECT_THROW(map_match(network, {{0.0, 0.0}}, config), Error);
+}
+
+// Property: a trajectory that already lies on roads is a fixed point of
+// the matcher (zero snap distance everywhere).
+class OnRoadProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnRoadProperty, OnRoadTrajectoriesAreFixedPoints) {
+    // A *physically consecutive* drive along one road: every sample lies
+    // on the road and consecutive hops are axis-aligned, so the on-road
+    // candidates dominate both the emission (zero snap) and transition
+    // (network distance == hop distance) terms — the matcher must leave
+    // the trajectory untouched. (Teleporting or diagonal trajectories do
+    // NOT have this property: the HMM legitimately trades snap distance
+    // for route consistency there.)
+    const RoadNetwork network(grid_config());
+    Rng rng(GetParam());
+    const double row_y =
+        1000.0 * static_cast<double>(rng.uniform_int(1, 9));
+    std::vector<LocalPoint> trajectory;
+    double x = rng.uniform(200.0, 1500.0);
+    for (int step = 0; step < 14 && x < 9800.0; ++step) {
+        trajectory.push_back({x, row_y});
+        x += rng.uniform(100.0, 400.0);
+    }
+    const auto matched = map_match(network, trajectory);
+    for (std::size_t k = 0; k < matched.size(); ++k) {
+        EXPECT_NEAR(matched[k].snap_distance_m, 0.0, 1e-6)
+            << "point " << k;
+        EXPECT_NEAR(matched[k].position.x_m, trajectory[k].x_m, 1e-6);
+        EXPECT_NEAR(matched[k].position.y_m, trajectory[k].y_m, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnRoadProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,125 @@
+// Tests for the evaluation metrics (precision/recall, Eq. 29 MAE, CDFs).
+#include "metrics/confusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "metrics/cdf.hpp"
+#include "metrics/reconstruction_error.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Confusion, CountsKnownCase) {
+    const Matrix detection{{1, 1, 0, 0}};
+    const Matrix fault{{1, 0, 1, 0}};
+    const Matrix existence{{1, 1, 1, 1}};
+    const ConfusionCounts c = evaluate_detection(detection, fault, existence);
+    EXPECT_EQ(c.true_positive, 1u);
+    EXPECT_EQ(c.false_positive, 1u);
+    EXPECT_EQ(c.false_negative, 1u);
+    EXPECT_EQ(c.true_negative, 1u);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+    EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+    EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.5);
+}
+
+TEST(Confusion, MissingCellsExcluded) {
+    const Matrix detection{{1, 1}};
+    const Matrix fault{{0, 1}};
+    const Matrix existence{{0, 1}};  // first cell missing
+    const ConfusionCounts c = evaluate_detection(detection, fault, existence);
+    EXPECT_EQ(c.total(), 1u);
+    EXPECT_EQ(c.true_positive, 1u);
+    EXPECT_EQ(c.false_positive, 0u);
+}
+
+TEST(Confusion, DegenerateDefinitions) {
+    ConfusionCounts none;
+    EXPECT_DOUBLE_EQ(none.precision(), 1.0);  // nothing flagged
+    EXPECT_DOUBLE_EQ(none.recall(), 1.0);     // nothing faulty
+    EXPECT_DOUBLE_EQ(none.f1(), 1.0);
+    EXPECT_DOUBLE_EQ(none.false_positive_rate(), 0.0);
+
+    ConfusionCounts all_wrong;
+    all_wrong.false_positive = 5;
+    EXPECT_DOUBLE_EQ(all_wrong.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(all_wrong.f1(), 0.0);
+}
+
+TEST(Confusion, ValidatesBinaryInputs) {
+    const Matrix half{{0.5}};
+    const Matrix bin{{1.0}};
+    EXPECT_THROW(evaluate_detection(half, bin, bin), Error);
+    EXPECT_THROW(evaluate_detection(bin, half, bin), Error);
+    EXPECT_THROW(evaluate_detection(bin, bin, half), Error);
+    EXPECT_THROW(evaluate_detection(bin, bin, Matrix(2, 2)), Error);
+}
+
+TEST(ReconstructionError, Equation29OnKnownCase) {
+    // Two reconstructed cells: one missing (err 3,4 -> 5), one detected
+    // (err 6,8 -> 10); MAE = 7.5. The untouched cell contributes nothing.
+    const Matrix tx{{0, 0, 0}};
+    const Matrix ty{{0, 0, 0}};
+    const Matrix ex{{3, 6, 100}};
+    const Matrix ey{{4, 8, 100}};
+    const Matrix existence{{0, 1, 1}};
+    const Matrix detection{{0, 1, 0}};
+    EXPECT_DOUBLE_EQ(
+        reconstruction_mae(tx, ty, ex, ey, existence, detection), 7.5);
+    EXPECT_DOUBLE_EQ(
+        reconstruction_rmse(tx, ty, ex, ey, existence, detection),
+        std::sqrt((25.0 + 100.0) / 2.0));
+}
+
+TEST(ReconstructionError, NoReconstructedCellsIsZero) {
+    const Matrix z(2, 2);
+    const Matrix ones = Matrix::constant(2, 2, 1.0);
+    EXPECT_DOUBLE_EQ(reconstruction_mae(z, z, z, z, ones, z), 0.0);
+}
+
+TEST(ReconstructionError, FullMatrixMae) {
+    const Matrix tx{{0, 0}};
+    const Matrix ty{{0, 0}};
+    const Matrix ex{{3, 0}};
+    const Matrix ey{{4, 0}};
+    EXPECT_DOUBLE_EQ(full_matrix_mae(tx, ty, ex, ey), 2.5);
+}
+
+TEST(ReconstructionError, ShapeChecked) {
+    const Matrix a(2, 2);
+    const Matrix b(2, 3);
+    EXPECT_THROW(reconstruction_mae(a, a, a, a, a, b), Error);
+    EXPECT_THROW(full_matrix_mae(a, a, b, a), Error);
+}
+
+TEST(SampledCdf, QuartilesOfUniformSample) {
+    std::vector<double> values;
+    for (int i = 1; i <= 100; ++i) {
+        values.push_back(static_cast<double>(i));
+    }
+    const SampledCdf cdf = sample_cdf(values, 4);
+    ASSERT_EQ(cdf.probability.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf.probability[0], 0.25);
+    EXPECT_DOUBLE_EQ(cdf.value[0], 25.0);
+    EXPECT_DOUBLE_EQ(cdf.value[3], 100.0);
+}
+
+TEST(SampledCdf, MonotoneValues) {
+    std::vector<double> values{5, 1, 9, 3, 7, 2, 8};
+    const SampledCdf cdf = sample_cdf(values, 10);
+    for (std::size_t i = 1; i < cdf.value.size(); ++i) {
+        EXPECT_GE(cdf.value[i], cdf.value[i - 1]);
+    }
+}
+
+TEST(SampledCdf, Validation) {
+    EXPECT_THROW(sample_cdf(std::vector<double>{}, 4), Error);
+    EXPECT_THROW(sample_cdf(std::vector<double>{1.0}, 0), Error);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,92 @@
+// Round-trip tests for the trace CSV import/export.
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "corruption/existence.hpp"
+#include "linalg/ops.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(TraceIo, FullRoundTrip) {
+    const TraceDataset ds = make_small_dataset(1, 6, 20);
+    std::ostringstream out;
+    write_trace_csv(out, ds);
+    std::istringstream in(out.str());
+    const ImportedTrace imported = read_trace_csv(in, 6, 20, ds.tau_s);
+    EXPECT_TRUE(approx_equal(imported.dataset.x, ds.x, 1e-3));
+    EXPECT_TRUE(approx_equal(imported.dataset.y, ds.y, 1e-3));
+    EXPECT_TRUE(approx_equal(imported.dataset.vx, ds.vx, 1e-3));
+    EXPECT_EQ(count_equal(imported.existence, 1.0), 6u * 20u);
+}
+
+TEST(TraceIo, MaskedExportSkipsMissing) {
+    const TraceDataset ds = make_small_dataset(2, 5, 15);
+    Rng rng(9);
+    const Matrix mask = make_existence_mask(5, 15, 0.4, rng);
+    std::ostringstream out;
+    write_trace_csv(out, ds, mask);
+    std::istringstream in(out.str());
+    const ImportedTrace imported = read_trace_csv(in, 5, 15, ds.tau_s);
+    EXPECT_TRUE(imported.existence == mask);
+    // Missing cells must be zero after import.
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 15; ++j) {
+            if (mask(i, j) == 0.0) {
+                EXPECT_DOUBLE_EQ(imported.dataset.x(i, j), 0.0);
+            }
+        }
+    }
+}
+
+TEST(TraceIo, HeaderIsStable) {
+    const TraceDataset ds = make_small_dataset(3, 2, 5);
+    std::ostringstream out;
+    write_trace_csv(out, ds);
+    EXPECT_EQ(out.str().substr(0, 42),
+              "participant,slot,x_m,y_m,vx_mps,vy_mps\n0,0");
+}
+
+TEST(TraceIo, RejectsOutOfRangeRecords) {
+    std::istringstream in(
+        "participant,slot,x_m,y_m,vx_mps,vy_mps\n9,0,1,2,3,4\n");
+    EXPECT_THROW(read_trace_csv(in, 5, 15, 30.0), Error);
+    std::istringstream in2(
+        "participant,slot,x_m,y_m,vx_mps,vy_mps\n0,99,1,2,3,4\n");
+    EXPECT_THROW(read_trace_csv(in2, 5, 15, 30.0), Error);
+}
+
+TEST(TraceIo, RejectsDuplicateCells) {
+    std::istringstream in(
+        "participant,slot,x_m,y_m,vx_mps,vy_mps\n"
+        "0,0,1,2,3,4\n0,0,5,6,7,8\n");
+    EXPECT_THROW(read_trace_csv(in, 2, 2, 30.0), Error);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+    std::istringstream in("participant,slot,x_m\n0,0,1\n");
+    EXPECT_THROW(read_trace_csv(in, 2, 2, 30.0), Error);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers) {
+    std::istringstream in(
+        "participant,slot,x_m,y_m,vx_mps,vy_mps\n0,0,abc,2,3,4\n");
+    EXPECT_THROW(read_trace_csv(in, 2, 2, 30.0), Error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+    const TraceDataset ds = make_small_dataset(4, 3, 8);
+    const std::string path = "/tmp/mcs_trace_io_test.csv";
+    write_trace_csv_file(path, ds,
+                         Matrix::constant(ds.participants(), ds.slots(), 1.0));
+    const ImportedTrace imported = read_trace_csv_file(path, 3, 8, ds.tau_s);
+    EXPECT_TRUE(approx_equal(imported.dataset.y, ds.y, 1e-3));
+}
+
+}  // namespace
+}  // namespace mcs

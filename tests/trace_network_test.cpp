@@ -1,0 +1,187 @@
+// Unit tests for the road network and the router.
+#include "trace/road_network.hpp"
+#include "trace/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace mcs {
+namespace {
+
+RoadNetworkConfig small_config() {
+    RoadNetworkConfig config;
+    config.width_m = 5000.0;
+    config.height_m = 4000.0;
+    config.block_m = 1000.0;
+    config.arterial_every = 2;
+    return config;
+}
+
+TEST(RoadNetwork, GridDimensions) {
+    const RoadNetwork net(small_config());
+    EXPECT_EQ(net.grid_width(), 6u);   // 0..5000 in 1000 m steps
+    EXPECT_EQ(net.grid_height(), 5u);  // 0..4000
+    EXPECT_EQ(net.num_nodes(), 30u);
+}
+
+TEST(RoadNetwork, NodePositions) {
+    const RoadNetwork net(small_config());
+    const NodeId node = net.node_at(2, 3);
+    const LocalPoint p = net.position(node);
+    EXPECT_DOUBLE_EQ(p.x_m, 2000.0);
+    EXPECT_DOUBLE_EQ(p.y_m, 3000.0);
+    EXPECT_EQ(net.node_ix(node), 2u);
+    EXPECT_EQ(net.node_iy(node), 3u);
+}
+
+TEST(RoadNetwork, CornerNodesHaveTwoNeighbours) {
+    const RoadNetwork net(small_config());
+    EXPECT_EQ(net.neighbours(net.node_at(0, 0)).size(), 2u);
+    EXPECT_EQ(net.neighbours(net.node_at(5, 4)).size(), 2u);
+}
+
+TEST(RoadNetwork, InteriorNodesHaveFourNeighbours) {
+    const RoadNetwork net(small_config());
+    const auto nbrs = net.neighbours(net.node_at(2, 2));
+    EXPECT_EQ(nbrs.size(), 4u);
+    const std::set<NodeId> unique(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(RoadNetwork, ArterialClassification) {
+    const RoadNetwork net(small_config());  // every 2nd line arterial
+    // Horizontal edge on row 0 (arterial line).
+    EXPECT_EQ(net.edge_class(net.node_at(0, 0), net.node_at(1, 0)),
+              RoadClass::kArterial);
+    // Horizontal edge on row 1 (local line).
+    EXPECT_EQ(net.edge_class(net.node_at(0, 1), net.node_at(1, 1)),
+              RoadClass::kLocal);
+    // Vertical edge on column 2 (arterial).
+    EXPECT_EQ(net.edge_class(net.node_at(2, 0), net.node_at(2, 1)),
+              RoadClass::kArterial);
+    // Vertical edge on column 3 (local).
+    EXPECT_EQ(net.edge_class(net.node_at(3, 0), net.node_at(3, 1)),
+              RoadClass::kLocal);
+}
+
+TEST(RoadNetwork, EdgeSpeedsMatchClass) {
+    const auto config = small_config();
+    const RoadNetwork net(config);
+    EXPECT_DOUBLE_EQ(net.edge_speed_mps(net.node_at(0, 0), net.node_at(1, 0)),
+                     config.arterial_speed_mps);
+    EXPECT_DOUBLE_EQ(net.edge_speed_mps(net.node_at(0, 1), net.node_at(1, 1)),
+                     config.local_speed_mps);
+}
+
+TEST(RoadNetwork, NonAdjacentEdgeThrows) {
+    const RoadNetwork net(small_config());
+    EXPECT_THROW(net.edge_class(net.node_at(0, 0), net.node_at(2, 0)), Error);
+    EXPECT_THROW(net.edge_class(net.node_at(0, 0), net.node_at(1, 1)), Error);
+    EXPECT_THROW(net.edge_class(net.node_at(0, 0), net.node_at(0, 0)), Error);
+}
+
+TEST(RoadNetwork, NearestNodeClampsToGrid) {
+    const RoadNetwork net(small_config());
+    EXPECT_EQ(net.nearest_node({-500.0, -500.0}), net.node_at(0, 0));
+    EXPECT_EQ(net.nearest_node({1e9, 1e9}), net.node_at(5, 4));
+    EXPECT_EQ(net.nearest_node({1499.0, 2501.0}), net.node_at(1, 3));
+}
+
+TEST(RoadNetwork, InvalidConfigRejected) {
+    RoadNetworkConfig config = small_config();
+    config.block_m = 0.0;
+    EXPECT_THROW(RoadNetwork{config}, Error);
+    config = small_config();
+    config.arterial_every = 0;
+    EXPECT_THROW(RoadNetwork{config}, Error);
+    config = small_config();
+    config.local_speed_mps = -1.0;
+    EXPECT_THROW(RoadNetwork{config}, Error);
+}
+
+TEST(Router, TrivialRoute) {
+    const RoadNetwork net(small_config());
+    const Router router(net);
+    const Route r = router.route(3, 3);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], 3u);
+}
+
+TEST(Router, RouteEndpointsAndAdjacency) {
+    const RoadNetwork net(small_config());
+    const Router router(net);
+    const NodeId from = net.node_at(0, 0);
+    const NodeId to = net.node_at(5, 4);
+    const Route r = router.route(from, to);
+    ASSERT_GE(r.size(), 2u);
+    EXPECT_EQ(r.front(), from);
+    EXPECT_EQ(r.back(), to);
+    for (std::size_t i = 1; i < r.size(); ++i) {
+        // Throws if not adjacent.
+        EXPECT_NO_THROW(net.edge_class(r[i - 1], r[i]));
+    }
+}
+
+TEST(Router, ManhattanLengthIsMinimal) {
+    // On a uniform grid the route length is exactly the Manhattan distance.
+    const RoadNetwork net(small_config());
+    const Router router(net);
+    const Route r = router.route(net.node_at(1, 1), net.node_at(4, 3));
+    EXPECT_DOUBLE_EQ(router.length_m(r), 5000.0);  // 3 + 2 blocks
+}
+
+TEST(Router, PrefersFasterArterials) {
+    // With arterials twice as fast, the fastest path detours onto them
+    // whenever the detour is short enough; the route time must never
+    // exceed the all-local-road time of the direct path.
+    const auto config = small_config();
+    const RoadNetwork net(config);
+    const Router router(net);
+    const Route r = router.route(net.node_at(0, 1), net.node_at(5, 1));
+    const double direct_local_time = 5000.0 / config.local_speed_mps;
+    EXPECT_LE(router.travel_time_s(r) , direct_local_time + 1e-9);
+}
+
+TEST(Router, TravelTimeConsistentWithLength) {
+    const auto config = small_config();
+    const RoadNetwork net(config);
+    const Router router(net);
+    const Route r = router.route(net.node_at(0, 0), net.node_at(3, 2));
+    const double time = router.travel_time_s(r);
+    const double length = router.length_m(r);
+    // Time must be between length/fastest and length/slowest.
+    EXPECT_GE(time, length / config.arterial_speed_mps - 1e-9);
+    EXPECT_LE(time, length / config.local_speed_mps + 1e-9);
+}
+
+TEST(Router, InvalidNodesRejected) {
+    const RoadNetwork net(small_config());
+    const Router router(net);
+    EXPECT_THROW(router.route(0, static_cast<NodeId>(net.num_nodes())),
+                 Error);
+}
+
+// Property: routes between random node pairs are valid paths with length
+// >= Euclidean distance.
+class RouterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterProperty, RandomPairsProduceValidPaths) {
+    const RoadNetwork net(small_config());
+    const Router router(net);
+    const NodeId from = static_cast<NodeId>(GetParam() % net.num_nodes());
+    const NodeId to =
+        static_cast<NodeId>((GetParam() * 7 + 3) % net.num_nodes());
+    const Route r = router.route(from, to);
+    EXPECT_EQ(r.front(), from);
+    EXPECT_EQ(r.back(), to);
+    EXPECT_GE(router.length_m(r), net.euclidean_m(from, to) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RouterProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,65 @@
+// Unit tests for the equirectangular projection.
+#include "trace/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcs {
+namespace {
+
+TEST(Projection, ReferenceMapsToOrigin) {
+    const Projection proj;
+    const LocalPoint p = proj.to_local(proj.reference());
+    EXPECT_NEAR(p.x_m, 0.0, 1e-9);
+    EXPECT_NEAR(p.y_m, 0.0, 1e-9);
+}
+
+TEST(Projection, RoundTrip) {
+    const Projection proj;
+    const GeoPoint g{31.30, 121.55};
+    const GeoPoint back = proj.to_geo(proj.to_local(g));
+    EXPECT_NEAR(back.latitude_deg, g.latitude_deg, 1e-12);
+    EXPECT_NEAR(back.longitude_deg, g.longitude_deg, 1e-12);
+}
+
+TEST(Projection, OneDegreeLatitudeIsAbout111Km) {
+    const Projection proj;
+    const LocalPoint p =
+        proj.to_local({proj.reference().latitude_deg + 1.0,
+                       proj.reference().longitude_deg});
+    EXPECT_NEAR(p.y_m, 111194.0, 100.0);
+    EXPECT_NEAR(p.x_m, 0.0, 1e-9);
+}
+
+TEST(Projection, LongitudeShrinksWithLatitude) {
+    // At 31°N, a degree of longitude is ~cos(31°) of a degree of latitude.
+    const Projection proj;
+    const LocalPoint p =
+        proj.to_local({proj.reference().latitude_deg,
+                       proj.reference().longitude_deg + 1.0});
+    const double expected = 111194.0 * std::cos(31.23 * M_PI / 180.0);
+    EXPECT_NEAR(p.x_m, expected, 200.0);
+}
+
+TEST(Projection, CustomReference) {
+    const Projection proj(GeoPoint{0.0, 0.0});  // equator: square grid
+    const LocalPoint lat = proj.to_local({1.0, 0.0});
+    const LocalPoint lon = proj.to_local({0.0, 1.0});
+    EXPECT_NEAR(lat.y_m, lon.x_m, 1.0);
+}
+
+TEST(Projection, DistanceIsEuclidean) {
+    EXPECT_DOUBLE_EQ(Projection::distance_m({0.0, 0.0}, {3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(Projection::distance_m({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Projection, DistanceSymmetry) {
+    const LocalPoint a{10.0, -20.0};
+    const LocalPoint b{-5.0, 7.0};
+    EXPECT_DOUBLE_EQ(Projection::distance_m(a, b),
+                     Projection::distance_m(b, a));
+}
+
+}  // namespace
+}  // namespace mcs

@@ -1,0 +1,216 @@
+// Tests for the fleet simulator and the dataset-level statistics the
+// I(TS,CS) algorithm relies on (the paper's Fig. 4 properties).
+#include "trace/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/stats.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(Simulator, ShapesAndValidation) {
+    const TraceDataset ds = make_small_dataset(1, 10, 50);
+    EXPECT_EQ(ds.participants(), 10u);
+    EXPECT_EQ(ds.slots(), 50u);
+    EXPECT_NO_THROW(ds.validate());
+    EXPECT_DOUBLE_EQ(ds.tau_s, 30.0);
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+    const TraceDataset a = make_small_dataset(7, 5, 30);
+    const TraceDataset b = make_small_dataset(7, 5, 30);
+    EXPECT_TRUE(a.x == b.x);
+    EXPECT_TRUE(a.y == b.y);
+    EXPECT_TRUE(a.vx == b.vx);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+    const TraceDataset a = make_small_dataset(1, 5, 30);
+    const TraceDataset b = make_small_dataset(2, 5, 30);
+    EXPECT_FALSE(a.x == b.x);
+}
+
+TEST(Simulator, PositionsInsideNetwork) {
+    SimulatorConfig config;
+    config.participants = 8;
+    config.slots = 40;
+    config.network.width_m = 15000.0;
+    config.network.height_m = 12000.0;
+    const TraceDataset ds = simulate_fleet(config);
+    for (std::size_t i = 0; i < ds.participants(); ++i) {
+        for (std::size_t j = 0; j < ds.slots(); ++j) {
+            EXPECT_GE(ds.x(i, j), -1e-6);
+            EXPECT_LE(ds.x(i, j), config.network.width_m + 1e-6);
+            EXPECT_GE(ds.y(i, j), -1e-6);
+            EXPECT_LE(ds.y(i, j), config.network.height_m + 1e-6);
+        }
+    }
+}
+
+TEST(Simulator, SpeedsBounded) {
+    SimulatorConfig config;
+    config.participants = 6;
+    config.slots = 60;
+    config.network.width_m = 20000.0;
+    config.network.height_m = 20000.0;
+    const TraceDataset ds = simulate_fleet(config);
+    const double cap = config.network.arterial_speed_mps *
+                       config.max_speed_factor;
+    for (std::size_t i = 0; i < ds.participants(); ++i) {
+        for (std::size_t j = 0; j < ds.slots(); ++j) {
+            const double speed = std::hypot(ds.vx(i, j), ds.vy(i, j));
+            EXPECT_LE(speed, cap + 1e-6);
+        }
+    }
+}
+
+TEST(Simulator, VehiclesActuallyMove) {
+    const TraceDataset ds = make_small_dataset(3, 10, 60);
+    std::size_t moving_rows = 0;
+    for (std::size_t i = 0; i < ds.participants(); ++i) {
+        double travelled = 0.0;
+        for (std::size_t j = 1; j < ds.slots(); ++j) {
+            travelled += std::hypot(ds.x(i, j) - ds.x(i, j - 1),
+                                    ds.y(i, j) - ds.y(i, j - 1));
+        }
+        if (travelled > 1000.0) {
+            ++moving_rows;
+        }
+    }
+    // At least 70% of taxis cover more than a kilometre in half an hour.
+    EXPECT_GE(moving_rows, ds.participants() * 7 / 10);
+}
+
+TEST(Simulator, DisplacementMatchesVelocityClosely) {
+    // The velocity-improved temporal deltas (Eq. 22) must be much smaller
+    // than the raw deltas (Eq. 21) — Fig. 4(b)'s headline property.
+    const TraceDataset ds = make_small_dataset(5, 20, 80);
+    const auto qx = delta_quantiles(ds.x, ds.vx, ds.tau_s, 0.95);
+    EXPECT_LT(qx.velocity_improved, 0.6 * qx.plain);
+}
+
+TEST(Simulator, CoordinateMatricesAreApproximatelyLowRank) {
+    // Fig. 4(a): a small fraction of singular values carries most energy.
+    const TraceDataset ds = make_small_dataset(6, 30, 100);
+    const SingularEnergyCurve curve = singular_energy_curve(ds.x);
+    EXPECT_LE(energy_fraction_needed(curve, 0.95), 0.5);
+    // The energy curve is a CDF: monotone, ending at 1.
+    EXPECT_NEAR(curve.cumulative_energy.back(), 1.0, 1e-9);
+    for (std::size_t i = 1; i < curve.cumulative_energy.size(); ++i) {
+        EXPECT_GE(curve.cumulative_energy[i],
+                  curve.cumulative_energy[i - 1] - 1e-12);
+    }
+}
+
+TEST(Simulator, InvalidConfigRejected) {
+    SimulatorConfig config;
+    config.participants = 0;
+    EXPECT_THROW(simulate_fleet(config), Error);
+    config = SimulatorConfig{};
+    config.slots = 0;
+    EXPECT_THROW(simulate_fleet(config), Error);
+    config = SimulatorConfig{};
+    config.integration_step_s = 60.0;  // > tau
+    EXPECT_THROW(simulate_fleet(config), Error);
+    config = SimulatorConfig{};
+    config.min_speed_factor = 1.5;
+    config.max_speed_factor = 1.0;
+    EXPECT_THROW(simulate_fleet(config), Error);
+}
+
+TEST(TraceStats, TemporalDeltasCountAndNonNegativity) {
+    const TraceDataset ds = make_small_dataset(2, 4, 25);
+    const auto deltas = temporal_deltas(ds.x);
+    EXPECT_EQ(deltas.size(), 4u * 24u);
+    for (const double d : deltas) {
+        EXPECT_GE(d, 0.0);
+    }
+}
+
+TEST(TraceStats, VelocityImprovedDeltasShapeChecked) {
+    const TraceDataset ds = make_small_dataset(2, 4, 25);
+    const Matrix avg = average_velocity(ds.vx);
+    EXPECT_NO_THROW(velocity_improved_deltas(ds.x, avg, ds.tau_s));
+    EXPECT_THROW(velocity_improved_deltas(ds.x, Matrix(3, 25), ds.tau_s),
+                 Error);
+    EXPECT_THROW(velocity_improved_deltas(ds.x, avg, 0.0), Error);
+}
+
+TEST(TraceStats, EnergyFractionBounds) {
+    const TraceDataset ds = make_small_dataset(2, 8, 30);
+    const SingularEnergyCurve curve = singular_energy_curve(ds.x);
+    EXPECT_THROW(energy_fraction_needed(curve, 1.5), Error);
+    EXPECT_LE(energy_fraction_needed(curve, 0.0),
+              energy_fraction_needed(curve, 1.0));
+}
+
+TEST(EstimateVelocity, MatchesConstantMotion) {
+    // x(j) = 100 + 9*tau*j -> central differences recover exactly 9 m/s.
+    const std::size_t t = 20;
+    Matrix x(2, t);
+    for (std::size_t j = 0; j < t; ++j) {
+        x(0, j) = 100.0 + 9.0 * 30.0 * static_cast<double>(j);
+        x(1, j) = 5000.0;  // parked
+    }
+    const Matrix existence = Matrix::constant(2, t, 1.0);
+    const Matrix v = estimate_velocity(x, existence, 30.0);
+    for (std::size_t j = 0; j < t; ++j) {
+        EXPECT_NEAR(v(0, j), 9.0, 1e-9);
+        EXPECT_NEAR(v(1, j), 0.0, 1e-12);
+    }
+}
+
+TEST(EstimateVelocity, BridgesMissingSlots) {
+    const std::size_t t = 10;
+    Matrix x(1, t);
+    for (std::size_t j = 0; j < t; ++j) {
+        x(0, j) = 4.0 * 30.0 * static_cast<double>(j);
+    }
+    Matrix existence = Matrix::constant(1, t, 1.0);
+    existence(0, 4) = 0.0;
+    existence(0, 5) = 0.0;
+    Matrix masked = x;
+    masked(0, 4) = 0.0;
+    masked(0, 5) = 0.0;
+    const Matrix v = estimate_velocity(masked, existence, 30.0);
+    // Observed cells still difference across the gap correctly.
+    EXPECT_NEAR(v(0, 3), 4.0, 1e-9);
+    EXPECT_NEAR(v(0, 6), 4.0, 1e-9);
+    // The missing slots inherit a nearby estimate, not garbage.
+    EXPECT_NEAR(v(0, 4), 4.0, 1e-9);
+}
+
+TEST(EstimateVelocity, DegenerateRows) {
+    Matrix x(2, 5, 7.0);
+    Matrix existence(2, 5);
+    existence(0, 2) = 1.0;  // a single observation
+    const Matrix v = estimate_velocity(x, existence, 30.0);
+    for (const double value : v.data()) {
+        EXPECT_DOUBLE_EQ(value, 0.0);
+    }
+    EXPECT_THROW(estimate_velocity(x, Matrix(1, 5), 30.0), Error);
+    EXPECT_THROW(estimate_velocity(x, existence, 0.0), Error);
+}
+
+TEST(EstimateVelocity, ApproximatesUploadedVelocities) {
+    // On a simulated fleet, position-derived velocities track the uploaded
+    // ones closely enough to drive the framework (small median error).
+    const TraceDataset ds = make_small_dataset(9, 10, 60);
+    const Matrix existence = Matrix::constant(10, 60, 1.0);
+    const Matrix vx = estimate_velocity(ds.x, existence, ds.tau_s);
+    std::vector<double> errors;
+    for (std::size_t i = 0; i < 10; ++i) {
+        for (std::size_t j = 1; j + 1 < 60; ++j) {
+            errors.push_back(std::abs(vx(i, j) - ds.vx(i, j)));
+        }
+    }
+    EXPECT_LT(median(errors), 3.0);  // m/s
+}
+
+}  // namespace
+}  // namespace mcs

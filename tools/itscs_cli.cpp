@@ -1,0 +1,336 @@
+// itscs — command-line front end to the I(TS,CS) library.
+//
+// Subcommands (all I/O is the long-format trace CSV of trace/trace_io.hpp;
+// reports are JSON):
+//
+//   itscs simulate --participants N --slots T [--seed S] [--extent-km W H]
+//                  --out trace.csv
+//       Generate a synthetic ground-truth fleet.
+//
+//   itscs corrupt  --in trace.csv --participants N --slots T
+//                  [--alpha A] [--beta B] [--gamma G] [--seed S]
+//                  [--drift] --out corrupted.csv [--truth-faults faults.csv]
+//       Inject missing values and faults; missing readings are dropped
+//       from the output file. --truth-faults records the injected fault
+//       cells for later scoring.
+//
+//   itscs clean    --in corrupted.csv --participants N --slots T
+//                  [--variant full|no-v|no-vt] [--estimate-velocity]
+//                  --out cleaned.csv [--flags flags.csv]
+//                  [--report report.json]
+//       Run the framework: write the reconstructed trace, the flagged
+//       cells, and a JSON run report.
+//
+//   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
+//       End-to-end in-memory pipeline with ground-truth scoring.
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "common/json.hpp"
+#include "core/itscs.hpp"
+#include "core/variants.hpp"
+#include "corruption/scenario.hpp"
+#include "eval/methods.hpp"
+#include "linalg/ops.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
+#include "trace/simulator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+// ---- tiny flag parser ---------------------------------------------------
+
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int k = first; k < argc; ++k) {
+            std::string token = argv[k];
+            if (token.rfind("--", 0) != 0) {
+                throw mcs::Error("unexpected argument: " + token);
+            }
+            token = token.substr(2);
+            if (k + 1 < argc &&
+                std::string(argv[k + 1]).rfind("--", 0) != 0) {
+                values_[token] = argv[++k];
+            } else {
+                values_[token] = "";  // boolean flag
+            }
+        }
+    }
+
+    bool has(const std::string& name) const {
+        return values_.count(name) > 0;
+    }
+    std::string get(const std::string& name) const {
+        const auto it = values_.find(name);
+        if (it == values_.end() || it->second.empty()) {
+            throw mcs::Error("missing required flag --" + name);
+        }
+        return it->second;
+    }
+    std::string get_or(const std::string& name,
+                       const std::string& fallback) const {
+        const auto it = values_.find(name);
+        return it == values_.end() || it->second.empty() ? fallback
+                                                         : it->second;
+    }
+    double number(const std::string& name, double fallback) const {
+        return has(name) ? mcs::parse_double(get(name)) : fallback;
+    }
+    std::size_t count(const std::string& name) const {
+        const long v = mcs::parse_long(get(name));
+        if (v <= 0) {
+            throw mcs::Error("--" + name + " must be positive");
+        }
+        return static_cast<std::size_t>(v);
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+void write_flags_csv(const std::string& path, const mcs::Matrix& detection,
+                     const mcs::Matrix& existence) {
+    std::ofstream out(path);
+    MCS_CHECK_MSG(out.good(), "cannot open flags CSV: " + path);
+    out << "participant,slot\n";
+    for (std::size_t i = 0; i < detection.rows(); ++i) {
+        for (std::size_t j = 0; j < detection.cols(); ++j) {
+            if (existence(i, j) == 1.0 && detection(i, j) == 1.0) {
+                out << i << ',' << j << '\n';
+            }
+        }
+    }
+}
+
+// ---- subcommands ----------------------------------------------------------
+
+int cmd_simulate(const Args& args) {
+    mcs::SimulatorConfig config;
+    config.participants = args.count("participants");
+    config.slots = args.count("slots");
+    config.seed =
+        static_cast<std::uint64_t>(args.number("seed", 42.0));
+    if (args.has("extent-km")) {
+        // --extent-km takes "W" (square) via single value for simplicity.
+        const double extent = args.number("extent-km", 110.0) * 1000.0;
+        config.network.width_m = extent;
+        config.network.height_m = extent;
+    }
+    const mcs::TraceDataset dataset = mcs::simulate_fleet(config);
+    mcs::write_trace_csv_file(
+        args.get("out"), dataset,
+        mcs::Matrix::constant(dataset.participants(), dataset.slots(), 1.0));
+    std::cout << "wrote " << dataset.participants() << "x"
+              << dataset.slots() << " ground-truth trace to "
+              << args.get("out") << "\n";
+    return 0;
+}
+
+int cmd_corrupt(const Args& args) {
+    const std::size_t n = args.count("participants");
+    const std::size_t t = args.count("slots");
+    const mcs::ImportedTrace imported =
+        mcs::read_trace_csv_file(args.get("in"), n, t, 30.0);
+    MCS_CHECK_MSG(mcs::count_equal(imported.existence, 1.0) == n * t,
+                  "corrupt: input trace must be complete ground truth");
+
+    mcs::CorruptionConfig config;
+    config.missing_ratio = args.number("alpha", 0.2);
+    config.fault_ratio = args.number("beta", 0.2);
+    config.velocity_fault_ratio = args.number("gamma", 0.0);
+    config.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+    if (args.has("drift")) {
+        config.fault_model = mcs::FaultModel::kDrift;
+    }
+    const mcs::CorruptedDataset corrupted =
+        mcs::corrupt(imported.dataset, config);
+
+    mcs::TraceDataset upload{corrupted.sx, corrupted.sy, corrupted.vx,
+                             corrupted.vy, corrupted.tau_s};
+    mcs::write_trace_csv_file(args.get("out"), upload, corrupted.existence);
+    if (args.has("truth-faults")) {
+        write_flags_csv(args.get("truth-faults"), corrupted.fault,
+                        corrupted.existence);
+    }
+    std::cout << "wrote corrupted trace ("
+              << mcs::format_percent(config.missing_ratio, 0) << " missing, "
+              << mcs::format_percent(config.fault_ratio, 0) << " faulty"
+              << (args.has("drift") ? ", drift bursts" : "") << ") to "
+              << args.get("out") << "\n";
+    return 0;
+}
+
+mcs::ItscsVariant parse_variant(const std::string& name) {
+    if (name == "full") {
+        return mcs::ItscsVariant::kFull;
+    }
+    if (name == "no-v") {
+        return mcs::ItscsVariant::kWithoutV;
+    }
+    if (name == "no-vt") {
+        return mcs::ItscsVariant::kWithoutVT;
+    }
+    throw mcs::Error("unknown variant '" + name +
+                     "' (expected full | no-v | no-vt)");
+}
+
+int cmd_clean(const Args& args) {
+    const std::size_t n = args.count("participants");
+    const std::size_t t = args.count("slots");
+    const mcs::ImportedTrace imported =
+        mcs::read_trace_csv_file(args.get("in"), n, t, 30.0);
+
+    mcs::ItscsInput input{imported.dataset.x, imported.dataset.y,
+                          imported.dataset.vx, imported.dataset.vy,
+                          imported.existence, imported.dataset.tau_s};
+    if (args.has("estimate-velocity")) {
+        // 25 m/s (90 km/h) cap: prevents faulty positions from injecting
+        // km-scale velocity estimates.
+        input.vx = mcs::estimate_velocity(imported.dataset.x,
+                                          imported.existence, 30.0, 25.0);
+        input.vy = mcs::estimate_velocity(imported.dataset.y,
+                                          imported.existence, 30.0, 25.0);
+    }
+    const mcs::ItscsConfig config =
+        mcs::make_config(parse_variant(args.get_or("variant", "full")));
+    const mcs::ItscsResult result = mcs::run_itscs(input, config);
+
+    mcs::TraceDataset cleaned{result.reconstructed_x, result.reconstructed_y,
+                              input.vx, input.vy, input.tau_s};
+    mcs::write_trace_csv_file(args.get("out"), cleaned,
+                              mcs::Matrix::constant(n, t, 1.0));
+    if (args.has("flags")) {
+        write_flags_csv(args.get("flags"), result.detection,
+                        imported.existence);
+    }
+    std::size_t flagged = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (imported.existence(i, j) == 1.0 &&
+                result.detection(i, j) == 1.0) {
+                ++flagged;
+            }
+        }
+    }
+    if (args.has("report")) {
+        mcs::Json report = mcs::Json::object();
+        report["input"] = args.get("in");
+        report["participants"] = n;
+        report["slots"] = t;
+        report["variant"] = args.get_or("variant", "full");
+        report["iterations"] = result.iterations;
+        report["converged"] = result.converged;
+        report["flagged_readings"] = flagged;
+        mcs::Json history = mcs::Json::array();
+        for (const auto& h : result.history) {
+            mcs::Json row = mcs::Json::object();
+            row["iteration"] = h.iteration;
+            row["flagged"] = h.flagged;
+            row["detection_changes"] = h.detection_changes;
+            history.push_back(row);
+        }
+        report["history"] = history;
+        mcs::write_json_file(args.get("report"), report);
+    }
+    std::cout << "cleaned trace written to " << args.get("out") << " ("
+              << flagged << " readings flagged, " << result.iterations
+              << " iterations)\n";
+    return 0;
+}
+
+int cmd_demo(const Args& args) {
+    const double alpha = args.number("alpha", 0.2);
+    const double beta = args.number("beta", 0.2);
+    const auto seed =
+        static_cast<std::uint64_t>(args.number("seed", 1.0));
+
+    const mcs::TraceDataset truth = mcs::make_small_dataset(seed, 40, 120);
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = alpha;
+    corruption.fault_ratio = beta;
+    corruption.seed = seed + 1;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+    const mcs::ItscsResult result = mcs::run_itscs(
+        mcs::to_itscs_input(data), mcs::make_config(mcs::ItscsVariant::kFull));
+    const mcs::ConfusionCounts counts = mcs::evaluate_detection(
+        result.detection, data.fault, data.existence);
+    const double mae = mcs::reconstruction_mae(
+        truth.x, truth.y, result.reconstructed_x, result.reconstructed_y,
+        data.existence, result.detection);
+
+    if (args.has("json")) {
+        mcs::Json report = mcs::Json::object();
+        report["alpha"] = alpha;
+        report["beta"] = beta;
+        report["precision"] = counts.precision();
+        report["recall"] = counts.recall();
+        report["f1"] = counts.f1();
+        report["mae_m"] = mae;
+        report["iterations"] = result.iterations;
+        std::cout << report.dump(2) << "\n";
+    } else {
+        std::cout << "demo (alpha=" << mcs::format_percent(alpha, 0)
+                  << ", beta=" << mcs::format_percent(beta, 0)
+                  << "): precision "
+                  << mcs::format_percent(counts.precision()) << ", recall "
+                  << mcs::format_percent(counts.recall()) << ", MAE "
+                  << mcs::format_fixed(mae, 0) << " m, "
+                  << result.iterations << " iterations\n";
+    }
+    return 0;
+}
+
+int usage() {
+    std::cerr
+        << "usage: itscs <simulate|corrupt|clean|demo> [--flags...]\n"
+           "  simulate --participants N --slots T [--seed S] "
+           "[--extent-km E] --out trace.csv\n"
+           "  corrupt  --in trace.csv --participants N --slots T "
+           "[--alpha A] [--beta B]\n"
+           "           [--gamma G] [--seed S] [--drift] --out c.csv "
+           "[--truth-faults f.csv]\n"
+           "  clean    --in c.csv --participants N --slots T "
+           "[--variant full|no-v|no-vt]\n"
+           "           [--estimate-velocity] --out cleaned.csv "
+           "[--flags flags.csv] [--report r.json]\n"
+           "  demo     [--alpha A] [--beta B] [--seed S] [--json]\n";
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    try {
+        const Args args(argc, argv, 2);
+        if (command == "simulate") {
+            return cmd_simulate(args);
+        }
+        if (command == "corrupt") {
+            return cmd_corrupt(args);
+        }
+        if (command == "clean") {
+            return cmd_clean(args);
+        }
+        if (command == "demo") {
+            return cmd_demo(args);
+        }
+        return usage();
+    } catch (const std::exception& error) {
+        std::cerr << "itscs " << command << ": " << error.what() << "\n";
+        return 2;
+    }
+}

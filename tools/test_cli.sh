@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the itscs CLI: simulate -> corrupt -> clean,
+# through real files, checking outputs exist and the report parses.
+set -euo pipefail
+
+ITSCS="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "== simulate =="
+"$ITSCS" simulate --participants 20 --slots 60 --seed 3 --extent-km 20 \
+    --out "$WORKDIR/truth.csv"
+test -s "$WORKDIR/truth.csv"
+# header + 20*60 records
+LINES=$(wc -l < "$WORKDIR/truth.csv")
+test "$LINES" -eq 1201
+
+echo "== corrupt =="
+"$ITSCS" corrupt --in "$WORKDIR/truth.csv" --participants 20 --slots 60 \
+    --alpha 0.2 --beta 0.2 --seed 7 \
+    --out "$WORKDIR/corrupted.csv" --truth-faults "$WORKDIR/faults.csv"
+test -s "$WORKDIR/corrupted.csv"
+test -s "$WORKDIR/faults.csv"
+# 20% missing -> about 960 data rows (+1 header)
+CORRUPTED=$(wc -l < "$WORKDIR/corrupted.csv")
+test "$CORRUPTED" -eq 961
+
+echo "== clean =="
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --variant full --out "$WORKDIR/cleaned.csv" \
+    --flags "$WORKDIR/flags.csv" --report "$WORKDIR/report.json"
+test -s "$WORKDIR/cleaned.csv"
+test -s "$WORKDIR/flags.csv"
+test -s "$WORKDIR/report.json"
+# cleaned trace is complete again
+CLEANED=$(wc -l < "$WORKDIR/cleaned.csv")
+test "$CLEANED" -eq 1201
+grep -q '"converged": true' "$WORKDIR/report.json"
+
+echo "== clean with estimated velocity =="
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --estimate-velocity --out "$WORKDIR/cleaned2.csv"
+test -s "$WORKDIR/cleaned2.csv"
+
+echo "== demo =="
+"$ITSCS" demo --alpha 0.1 --beta 0.1 --json | grep -q '"precision"'
+
+echo "== usage errors =="
+if "$ITSCS" frobnicate 2>/dev/null; then
+    echo "expected usage failure"; exit 1
+fi
+if "$ITSCS" clean --in /nonexistent.csv --participants 2 --slots 2 \
+    --out /tmp/x.csv 2>/dev/null; then
+    echo "expected runtime failure"; exit 1
+fi
+
+echo "CLI pipeline OK"
