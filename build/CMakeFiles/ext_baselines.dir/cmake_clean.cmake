@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baselines.dir/bench/ext_baselines.cpp.o"
+  "CMakeFiles/ext_baselines.dir/bench/ext_baselines.cpp.o.d"
+  "bench/ext_baselines"
+  "bench/ext_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

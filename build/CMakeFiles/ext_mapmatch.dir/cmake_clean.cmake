@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mapmatch.dir/bench/ext_mapmatch.cpp.o"
+  "CMakeFiles/ext_mapmatch.dir/bench/ext_mapmatch.cpp.o.d"
+  "bench/ext_mapmatch"
+  "bench/ext_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_robustness.dir/bench/ext_robustness.cpp.o"
+  "CMakeFiles/ext_robustness.dir/bench/ext_robustness.cpp.o.d"
+  "bench/ext_robustness"
+  "bench/ext_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_data_quality.dir/bench/fig1_data_quality.cpp.o"
+  "CMakeFiles/fig1_data_quality.dir/bench/fig1_data_quality.cpp.o.d"
+  "bench/fig1_data_quality"
+  "bench/fig1_data_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_data_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

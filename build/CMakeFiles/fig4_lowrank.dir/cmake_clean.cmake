@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lowrank.dir/bench/fig4_lowrank.cpp.o"
+  "CMakeFiles/fig4_lowrank.dir/bench/fig4_lowrank.cpp.o.d"
+  "bench/fig4_lowrank"
+  "bench/fig4_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_detection.dir/bench/fig5_detection.cpp.o"
+  "CMakeFiles/fig5_detection.dir/bench/fig5_detection.cpp.o.d"
+  "bench/fig5_detection"
+  "bench/fig5_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reconstruction.dir/bench/fig6_reconstruction.cpp.o"
+  "CMakeFiles/fig6_reconstruction.dir/bench/fig6_reconstruction.cpp.o.d"
+  "bench/fig6_reconstruction"
+  "bench/fig6_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

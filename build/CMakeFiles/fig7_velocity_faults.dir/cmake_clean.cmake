@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_velocity_faults.dir/bench/fig7_velocity_faults.cpp.o"
+  "CMakeFiles/fig7_velocity_faults.dir/bench/fig7_velocity_faults.cpp.o.d"
+  "bench/fig7_velocity_faults"
+  "bench/fig7_velocity_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_velocity_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_convergence.dir/bench/fig8_convergence.cpp.o"
+  "CMakeFiles/fig8_convergence.dir/bench/fig8_convergence.cpp.o.d"
+  "bench/fig8_convergence"
+  "bench/fig8_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_linalg.dir/bench/perf_linalg.cpp.o"
+  "CMakeFiles/perf_linalg.dir/bench/perf_linalg.cpp.o.d"
+  "bench/perf_linalg"
+  "bench/perf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_svd.dir/bench/perf_svd.cpp.o"
+  "CMakeFiles/perf_svd.dir/bench/perf_svd.cpp.o.d"
+  "bench/perf_svd"
+  "bench/perf_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_explorer.dir/ablation_explorer.cpp.o"
+  "CMakeFiles/ablation_explorer.dir/ablation_explorer.cpp.o.d"
+  "ablation_explorer"
+  "ablation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_cleaning.dir/fleet_cleaning.cpp.o"
+  "CMakeFiles/fleet_cleaning.dir/fleet_cleaning.cpp.o.d"
+  "fleet_cleaning"
+  "fleet_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

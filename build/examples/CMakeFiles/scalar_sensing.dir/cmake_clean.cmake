@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_sensing.dir/scalar_sensing.cpp.o"
+  "CMakeFiles/scalar_sensing.dir/scalar_sensing.cpp.o.d"
+  "scalar_sensing"
+  "scalar_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scalar_sensing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cpp" "src/CMakeFiles/mcs_common.dir/common/check.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/check.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/mcs_common.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/format.cpp" "src/CMakeFiles/mcs_common.dir/common/format.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/format.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/mcs_common.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/mcs_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stopwatch.cpp" "src/CMakeFiles/mcs_common.dir/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/mcs_common.dir/common/stopwatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_common.dir/common/check.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/csv.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/format.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/format.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/json.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/json.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/stopwatch.cpp.o.d"
+  "libmcs_common.a"
+  "libmcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/check_phase.cpp" "src/CMakeFiles/mcs_core.dir/core/check_phase.cpp.o" "gcc" "src/CMakeFiles/mcs_core.dir/core/check_phase.cpp.o.d"
+  "/root/repo/src/core/itscs.cpp" "src/CMakeFiles/mcs_core.dir/core/itscs.cpp.o" "gcc" "src/CMakeFiles/mcs_core.dir/core/itscs.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/CMakeFiles/mcs_core.dir/core/streaming.cpp.o" "gcc" "src/CMakeFiles/mcs_core.dir/core/streaming.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/CMakeFiles/mcs_core.dir/core/variants.cpp.o" "gcc" "src/CMakeFiles/mcs_core.dir/core/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

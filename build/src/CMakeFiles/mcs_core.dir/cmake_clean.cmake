@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_core.dir/core/check_phase.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/check_phase.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/core/itscs.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/itscs.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/core/streaming.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/streaming.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/core/variants.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/variants.cpp.o.d"
+  "libmcs_core.a"
+  "libmcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcs_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corruption/existence.cpp" "src/CMakeFiles/mcs_corruption.dir/corruption/existence.cpp.o" "gcc" "src/CMakeFiles/mcs_corruption.dir/corruption/existence.cpp.o.d"
+  "/root/repo/src/corruption/fault_injector.cpp" "src/CMakeFiles/mcs_corruption.dir/corruption/fault_injector.cpp.o" "gcc" "src/CMakeFiles/mcs_corruption.dir/corruption/fault_injector.cpp.o.d"
+  "/root/repo/src/corruption/scenario.cpp" "src/CMakeFiles/mcs_corruption.dir/corruption/scenario.cpp.o" "gcc" "src/CMakeFiles/mcs_corruption.dir/corruption/scenario.cpp.o.d"
+  "/root/repo/src/corruption/velocity_faults.cpp" "src/CMakeFiles/mcs_corruption.dir/corruption/velocity_faults.cpp.o" "gcc" "src/CMakeFiles/mcs_corruption.dir/corruption/velocity_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

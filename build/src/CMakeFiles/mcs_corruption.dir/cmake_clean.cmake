@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_corruption.dir/corruption/existence.cpp.o"
+  "CMakeFiles/mcs_corruption.dir/corruption/existence.cpp.o.d"
+  "CMakeFiles/mcs_corruption.dir/corruption/fault_injector.cpp.o"
+  "CMakeFiles/mcs_corruption.dir/corruption/fault_injector.cpp.o.d"
+  "CMakeFiles/mcs_corruption.dir/corruption/scenario.cpp.o"
+  "CMakeFiles/mcs_corruption.dir/corruption/scenario.cpp.o.d"
+  "CMakeFiles/mcs_corruption.dir/corruption/velocity_faults.cpp.o"
+  "CMakeFiles/mcs_corruption.dir/corruption/velocity_faults.cpp.o.d"
+  "libmcs_corruption.a"
+  "libmcs_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

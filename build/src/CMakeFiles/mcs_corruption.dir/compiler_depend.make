@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcs_corruption.
+# This may be replaced when dependencies are built.

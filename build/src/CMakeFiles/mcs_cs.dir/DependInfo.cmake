@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/asd.cpp" "src/CMakeFiles/mcs_cs.dir/cs/asd.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/asd.cpp.o.d"
+  "/root/repo/src/cs/init.cpp" "src/CMakeFiles/mcs_cs.dir/cs/init.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/init.cpp.o.d"
+  "/root/repo/src/cs/interpolation.cpp" "src/CMakeFiles/mcs_cs.dir/cs/interpolation.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/interpolation.cpp.o.d"
+  "/root/repo/src/cs/lrsd.cpp" "src/CMakeFiles/mcs_cs.dir/cs/lrsd.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/lrsd.cpp.o.d"
+  "/root/repo/src/cs/objective.cpp" "src/CMakeFiles/mcs_cs.dir/cs/objective.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/objective.cpp.o.d"
+  "/root/repo/src/cs/reconstruct.cpp" "src/CMakeFiles/mcs_cs.dir/cs/reconstruct.cpp.o" "gcc" "src/CMakeFiles/mcs_cs.dir/cs/reconstruct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

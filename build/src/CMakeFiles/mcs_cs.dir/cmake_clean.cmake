@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_cs.dir/cs/asd.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/asd.cpp.o.d"
+  "CMakeFiles/mcs_cs.dir/cs/init.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/init.cpp.o.d"
+  "CMakeFiles/mcs_cs.dir/cs/interpolation.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/interpolation.cpp.o.d"
+  "CMakeFiles/mcs_cs.dir/cs/lrsd.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/lrsd.cpp.o.d"
+  "CMakeFiles/mcs_cs.dir/cs/objective.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/objective.cpp.o.d"
+  "CMakeFiles/mcs_cs.dir/cs/reconstruct.cpp.o"
+  "CMakeFiles/mcs_cs.dir/cs/reconstruct.cpp.o.d"
+  "libmcs_cs.a"
+  "libmcs_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/detection.cpp" "src/CMakeFiles/mcs_detect.dir/detect/detection.cpp.o" "gcc" "src/CMakeFiles/mcs_detect.dir/detect/detection.cpp.o.d"
+  "/root/repo/src/detect/local_median.cpp" "src/CMakeFiles/mcs_detect.dir/detect/local_median.cpp.o" "gcc" "src/CMakeFiles/mcs_detect.dir/detect/local_median.cpp.o.d"
+  "/root/repo/src/detect/tmm.cpp" "src/CMakeFiles/mcs_detect.dir/detect/tmm.cpp.o" "gcc" "src/CMakeFiles/mcs_detect.dir/detect/tmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_detect.dir/detect/detection.cpp.o"
+  "CMakeFiles/mcs_detect.dir/detect/detection.cpp.o.d"
+  "CMakeFiles/mcs_detect.dir/detect/local_median.cpp.o"
+  "CMakeFiles/mcs_detect.dir/detect/local_median.cpp.o.d"
+  "CMakeFiles/mcs_detect.dir/detect/tmm.cpp.o"
+  "CMakeFiles/mcs_detect.dir/detect/tmm.cpp.o.d"
+  "libmcs_detect.a"
+  "libmcs_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

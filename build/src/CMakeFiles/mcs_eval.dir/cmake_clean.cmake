@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_eval.dir/eval/experiment.cpp.o"
+  "CMakeFiles/mcs_eval.dir/eval/experiment.cpp.o.d"
+  "CMakeFiles/mcs_eval.dir/eval/heatmap.cpp.o"
+  "CMakeFiles/mcs_eval.dir/eval/heatmap.cpp.o.d"
+  "CMakeFiles/mcs_eval.dir/eval/methods.cpp.o"
+  "CMakeFiles/mcs_eval.dir/eval/methods.cpp.o.d"
+  "CMakeFiles/mcs_eval.dir/eval/table.cpp.o"
+  "CMakeFiles/mcs_eval.dir/eval/table.cpp.o.d"
+  "libmcs_eval.a"
+  "libmcs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/ops.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/ops.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/ops.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/qr.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/stats.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/stats.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/stats.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/svd.cpp.o.d"
+  "/root/repo/src/linalg/temporal.cpp" "src/CMakeFiles/mcs_linalg.dir/linalg/temporal.cpp.o" "gcc" "src/CMakeFiles/mcs_linalg.dir/linalg/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/ops.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/ops.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/qr.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/qr.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/stats.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/stats.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/svd.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/svd.cpp.o.d"
+  "CMakeFiles/mcs_linalg.dir/linalg/temporal.cpp.o"
+  "CMakeFiles/mcs_linalg.dir/linalg/temporal.cpp.o.d"
+  "libmcs_linalg.a"
+  "libmcs_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

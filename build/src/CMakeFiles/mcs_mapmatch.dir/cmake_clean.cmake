@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_mapmatch.dir/mapmatch/geometry.cpp.o"
+  "CMakeFiles/mcs_mapmatch.dir/mapmatch/geometry.cpp.o.d"
+  "CMakeFiles/mcs_mapmatch.dir/mapmatch/map_matcher.cpp.o"
+  "CMakeFiles/mcs_mapmatch.dir/mapmatch/map_matcher.cpp.o.d"
+  "libmcs_mapmatch.a"
+  "libmcs_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_metrics.dir/metrics/cdf.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/cdf.cpp.o.d"
+  "CMakeFiles/mcs_metrics.dir/metrics/confusion.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/confusion.cpp.o.d"
+  "CMakeFiles/mcs_metrics.dir/metrics/reconstruction_error.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/reconstruction_error.cpp.o.d"
+  "libmcs_metrics.a"
+  "libmcs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dataset.cpp" "src/CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o.d"
+  "/root/repo/src/trace/projection.cpp" "src/CMakeFiles/mcs_trace.dir/trace/projection.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/projection.cpp.o.d"
+  "/root/repo/src/trace/road_network.cpp" "src/CMakeFiles/mcs_trace.dir/trace/road_network.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/road_network.cpp.o.d"
+  "/root/repo/src/trace/router.cpp" "src/CMakeFiles/mcs_trace.dir/trace/router.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/router.cpp.o.d"
+  "/root/repo/src/trace/simulator.cpp" "src/CMakeFiles/mcs_trace.dir/trace/simulator.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/simulator.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/mcs_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/mcs_trace.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/trip_generator.cpp" "src/CMakeFiles/mcs_trace.dir/trace/trip_generator.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/trip_generator.cpp.o.d"
+  "/root/repo/src/trace/vehicle.cpp" "src/CMakeFiles/mcs_trace.dir/trace/vehicle.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

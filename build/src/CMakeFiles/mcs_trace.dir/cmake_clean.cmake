@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/projection.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/projection.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/road_network.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/road_network.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/router.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/router.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/simulator.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/simulator.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/trace_io.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/trace_stats.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/trip_generator.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/trip_generator.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/vehicle.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/vehicle.cpp.o.d"
+  "libmcs_trace.a"
+  "libmcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_format_test.dir/common_format_test.cpp.o"
+  "CMakeFiles/common_format_test.dir/common_format_test.cpp.o.d"
+  "common_format_test"
+  "common_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

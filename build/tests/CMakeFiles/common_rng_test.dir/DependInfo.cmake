@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_rng_test.cpp" "tests/CMakeFiles/common_rng_test.dir/common_rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_rng_test.dir/common_rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_corruption.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_check_test.dir/core_check_test.cpp.o"
+  "CMakeFiles/core_check_test.dir/core_check_test.cpp.o.d"
+  "core_check_test"
+  "core_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

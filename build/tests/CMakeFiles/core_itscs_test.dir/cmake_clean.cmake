@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_itscs_test.dir/core_itscs_test.cpp.o"
+  "CMakeFiles/core_itscs_test.dir/core_itscs_test.cpp.o.d"
+  "core_itscs_test"
+  "core_itscs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_itscs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_streaming_test.dir/core_streaming_test.cpp.o"
+  "CMakeFiles/core_streaming_test.dir/core_streaming_test.cpp.o.d"
+  "core_streaming_test"
+  "core_streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_asd_test.dir/cs_asd_test.cpp.o"
+  "CMakeFiles/cs_asd_test.dir/cs_asd_test.cpp.o.d"
+  "cs_asd_test"
+  "cs_asd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_asd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_lrsd_test.dir/cs_lrsd_test.cpp.o"
+  "CMakeFiles/cs_lrsd_test.dir/cs_lrsd_test.cpp.o.d"
+  "cs_lrsd_test"
+  "cs_lrsd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_lrsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_objective_test.dir/cs_objective_test.cpp.o"
+  "CMakeFiles/cs_objective_test.dir/cs_objective_test.cpp.o.d"
+  "cs_objective_test"
+  "cs_objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

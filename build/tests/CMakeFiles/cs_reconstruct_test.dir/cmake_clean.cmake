@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_reconstruct_test.dir/cs_reconstruct_test.cpp.o"
+  "CMakeFiles/cs_reconstruct_test.dir/cs_reconstruct_test.cpp.o.d"
+  "cs_reconstruct_test"
+  "cs_reconstruct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_reconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cs_reconstruct_test.
+# This may be replaced when dependencies are built.

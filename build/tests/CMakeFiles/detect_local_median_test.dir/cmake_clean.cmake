@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_local_median_test.dir/detect_local_median_test.cpp.o"
+  "CMakeFiles/detect_local_median_test.dir/detect_local_median_test.cpp.o.d"
+  "detect_local_median_test"
+  "detect_local_median_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_local_median_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tmm_test.dir/detect_tmm_test.cpp.o"
+  "CMakeFiles/detect_tmm_test.dir/detect_tmm_test.cpp.o.d"
+  "detect_tmm_test"
+  "detect_tmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_claims_test.dir/integration_paper_claims_test.cpp.o"
+  "CMakeFiles/integration_paper_claims_test.dir/integration_paper_claims_test.cpp.o.d"
+  "integration_paper_claims_test"
+  "integration_paper_claims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_stats_test.dir/linalg_stats_test.cpp.o"
+  "CMakeFiles/linalg_stats_test.dir/linalg_stats_test.cpp.o.d"
+  "linalg_stats_test"
+  "linalg_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

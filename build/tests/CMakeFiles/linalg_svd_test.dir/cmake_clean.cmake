@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_svd_test.dir/linalg_svd_test.cpp.o"
+  "CMakeFiles/linalg_svd_test.dir/linalg_svd_test.cpp.o.d"
+  "linalg_svd_test"
+  "linalg_svd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

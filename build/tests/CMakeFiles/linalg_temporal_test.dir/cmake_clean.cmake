@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_temporal_test.dir/linalg_temporal_test.cpp.o"
+  "CMakeFiles/linalg_temporal_test.dir/linalg_temporal_test.cpp.o.d"
+  "linalg_temporal_test"
+  "linalg_temporal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapmatch_test.dir/mapmatch_test.cpp.o"
+  "CMakeFiles/mapmatch_test.dir/mapmatch_test.cpp.o.d"
+  "mapmatch_test"
+  "mapmatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_projection_test.dir/trace_projection_test.cpp.o"
+  "CMakeFiles/trace_projection_test.dir/trace_projection_test.cpp.o.d"
+  "trace_projection_test"
+  "trace_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

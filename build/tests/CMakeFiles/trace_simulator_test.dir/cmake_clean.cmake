@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_simulator_test.dir/trace_simulator_test.cpp.o"
+  "CMakeFiles/trace_simulator_test.dir/trace_simulator_test.cpp.o.d"
+  "trace_simulator_test"
+  "trace_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

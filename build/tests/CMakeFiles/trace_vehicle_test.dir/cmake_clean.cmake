@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_vehicle_test.dir/trace_vehicle_test.cpp.o"
+  "CMakeFiles/trace_vehicle_test.dir/trace_vehicle_test.cpp.o.d"
+  "trace_vehicle_test"
+  "trace_vehicle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_vehicle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

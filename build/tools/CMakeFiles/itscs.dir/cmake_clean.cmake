@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itscs.dir/itscs_cli.cpp.o"
+  "CMakeFiles/itscs.dir/itscs_cli.cpp.o.d"
+  "itscs"
+  "itscs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itscs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
