@@ -1,8 +1,22 @@
 // Microbenchmarks for the algorithmic stages: TS_Detect, CS_Reconstruct
 // (per temporal mode), the CHECK pass, and the full framework. Also
 // demonstrates the O(n·t) scaling of the detector claimed in §III-D.
+//
+// After the Google Benchmark run, main() executes one instrumented
+// paper-scale pipeline (PipelineContext) and prints its counters and phase
+// timings as a JSON document — including the steady-state ASD workspace
+// check (0 buffer allocations per iteration after warm-up). Pass
+// `--stats-only` to skip the microbenchmarks and emit only the JSON.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "common/context.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
 #include "core/itscs.hpp"
 #include "corruption/scenario.hpp"
 #include "detect/local_median.hpp"
@@ -125,6 +139,91 @@ void BM_FleetSimulation(benchmark::State& state) {
 BENCHMARK(BM_FleetSimulation)->Arg(20)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
+// One fully instrumented paper-scale run, reported as JSON. The
+// "asd_workspace" block runs the same CS solve twice (1 iteration vs. the
+// full budget): the Workspace allocates every scratch buffer during the
+// first iteration, so the allocation counters of the two runs must agree —
+// the per-iteration steady-state allocation count is exactly their
+// difference over the extra iterations.
+mcs::Json instrumented_pipeline_report() {
+    const Fixture& f = paper_fixture();
+    const mcs::ItscsInput input = mcs::to_itscs_input(f.data);
+
+    mcs::PipelineContext ctx;
+    const mcs::Stopwatch timer;
+    const mcs::ItscsResult result =
+        mcs::run_itscs(input, mcs::ItscsConfig{}, {}, &ctx);
+    const double wall = timer.elapsed_seconds();
+
+    mcs::PipelineContext one_iter;
+    mcs::PipelineContext full_run;
+    {
+        mcs::CsConfig warmup_only;
+        warmup_only.asd.max_iterations = 1;
+        mcs::cs_reconstruct(f.data.sx, f.data.existence, f.avg_vx,
+                            f.data.tau_s, warmup_only, nullptr, &one_iter);
+    }
+    mcs::cs_reconstruct(f.data.sx, f.data.existence, f.avg_vx, f.data.tau_s,
+                        mcs::CsConfig{}, nullptr, &full_run);
+    const mcs::PipelineCounters& c1 = one_iter.counters();
+    const mcs::PipelineCounters& cn = full_run.counters();
+    const std::uint64_t extra_allocs =
+        cn.workspace_allocations - c1.workspace_allocations;
+    const std::uint64_t extra_iters = cn.asd_iterations - c1.asd_iterations;
+    const double per_iteration =
+        extra_iters > 0
+            ? static_cast<double>(extra_allocs) /
+                  static_cast<double>(extra_iters)
+            : 0.0;
+
+    mcs::Json scenario = mcs::Json::object();
+    scenario["participants"] = mcs::Json(input.sx.rows());
+    scenario["slots"] = mcs::Json(input.sx.cols());
+    scenario["missing_ratio"] = mcs::Json(0.2);
+    scenario["fault_ratio"] = mcs::Json(0.2);
+    scenario["corruption_seed"] = mcs::Json(5);
+
+    mcs::Json asd_ws = mcs::Json::object();
+    asd_ws["allocations_one_iteration"] =
+        mcs::Json(c1.workspace_allocations);
+    asd_ws["allocations_full_solve"] = mcs::Json(cn.workspace_allocations);
+    asd_ws["asd_iterations_full_solve"] = mcs::Json(cn.asd_iterations);
+    asd_ws["allocations_per_iteration_after_warmup"] =
+        mcs::Json(per_iteration);
+
+    mcs::Json report = mcs::Json::object();
+    report["scenario"] = std::move(scenario);
+    report["itscs_iterations"] = mcs::Json(result.iterations);
+    report["itscs_converged"] = mcs::Json(result.converged);
+    report["wall_seconds"] = mcs::Json(wall);
+    report["pipeline"] = ctx.to_json();
+    report["asd_workspace"] = std::move(asd_ws);
+    return report;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    bool stats_only = false;
+    std::vector<char*> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--stats-only") {
+            stats_only = true;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    if (!stats_only) {
+        int filtered_argc = static_cast<int>(args.size());
+        benchmark::Initialize(&filtered_argc, args.data());
+        if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                                   args.data())) {
+            return 1;
+        }
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    std::cout << instrumented_pipeline_report().dump(2) << "\n";
+    return 0;
+}

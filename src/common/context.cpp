@@ -1,0 +1,68 @@
+#include "common/context.hpp"
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace mcs {
+
+PipelineContext::PipelineContext(std::uint64_t seed) : rng_(seed) {}
+
+std::size_t PipelineContext::stat_index(const std::string& name) {
+    for (std::size_t k = 0; k < stats_.size(); ++k) {
+        if (stats_[k].name == name) {
+            return k;
+        }
+    }
+    stats_.push_back({name, 0, 0.0});
+    return stats_.size() - 1;
+}
+
+void PipelineContext::phase_begin(std::string name) {
+    const std::size_t index = stat_index(name);
+    stats_[index].calls += 1;
+    open_.push_back({index, Stopwatch{}});
+}
+
+void PipelineContext::phase_end() {
+    MCS_CHECK_MSG(!open_.empty(),
+                  "PipelineContext: phase_end without matching phase_begin");
+    const OpenPhase& top = open_.back();
+    stats_[top.stat_index].seconds += top.timer.elapsed_seconds();
+    open_.pop_back();
+}
+
+void PipelineContext::reset() {
+    MCS_CHECK_MSG(open_.empty(),
+                  "PipelineContext: reset with phases still open");
+    counters_ = PipelineCounters{};
+    stats_.clear();
+}
+
+Json PipelineContext::to_json() const {
+    Json counters = Json::object();
+    counters["workspace_allocations"] = counters_.workspace_allocations;
+    counters["workspace_checkouts"] = counters_.workspace_checkouts;
+    counters["gemm_flops"] = static_cast<double>(counters_.gemm_flops);
+    counters["svd_sweeps"] = counters_.svd_sweeps;
+    counters["asd_iterations"] = counters_.asd_iterations;
+    counters["cs_solves"] = counters_.cs_solves;
+    counters["itscs_iterations"] = counters_.itscs_iterations;
+    counters["detect_passes"] = counters_.detect_passes;
+    counters["check_passes"] = counters_.check_passes;
+
+    Json phases = Json::array();
+    for (const PhaseStat& stat : stats_) {
+        Json row = Json::object();
+        row["name"] = stat.name;
+        row["calls"] = stat.calls;
+        row["seconds"] = stat.seconds;
+        phases.push_back(row);
+    }
+
+    Json out = Json::object();
+    out["counters"] = counters;
+    out["phases"] = phases;
+    return out;
+}
+
+}  // namespace mcs

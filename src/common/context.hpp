@@ -1,0 +1,117 @@
+// PipelineContext — per-run instrumentation threaded through every layer.
+//
+// One context accompanies one pipeline run (a CS solve, a full I(TS,CS)
+// loop, a streaming window, an experiment grid cell). It carries:
+//
+//   * a deterministic Rng, so components that need randomness draw from one
+//     seeded stream instead of hiding their own seeds,
+//   * a phase-scoped timer stack (phase() opens a RAII scope; nested phases
+//     accumulate inclusive time under their own name),
+//   * monotonic counters for the events that dominate cost: Workspace
+//     buffer allocations vs. recycled checkouts, GEMM FLOPs, Jacobi SVD
+//     sweeps, ASD iterations, CS solves, framework iterations, and
+//     DETECT/CHECK passes.
+//
+// Everything is nullable by convention: hot-path code receives a
+// `PipelineContext*` that may be nullptr, and the helpers here (PhaseScope,
+// counters_of) make the null case free. The context is not thread-safe; use
+// one per thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+
+namespace mcs {
+
+class Json;
+
+/// Monotonic event counters. Plain struct so the linalg layer can bump them
+/// without seeing the full context (see Workspace).
+struct PipelineCounters {
+    std::uint64_t workspace_allocations = 0;  ///< fresh buffers created
+    std::uint64_t workspace_checkouts = 0;    ///< acquisitions (incl. reuse)
+    std::uint64_t gemm_flops = 0;             ///< 2·m·n·k per product
+    std::uint64_t svd_sweeps = 0;             ///< one-sided Jacobi sweeps
+    std::uint64_t asd_iterations = 0;         ///< ASD outer iterations
+    std::uint64_t cs_solves = 0;              ///< cs_reconstruct calls
+    std::uint64_t itscs_iterations = 0;       ///< framework iterations
+    std::uint64_t detect_passes = 0;          ///< TS_Detect axis passes
+    std::uint64_t check_passes = 0;           ///< Check() axis passes
+};
+
+/// Accumulated inclusive wall time for one named phase.
+struct PhaseStat {
+    std::string name;
+    std::uint64_t calls = 0;
+    double seconds = 0.0;
+};
+
+/// Instrumentation carried through a pipeline run.
+class PipelineContext {
+public:
+    explicit PipelineContext(std::uint64_t seed = 0x17c5u);
+
+    Rng& rng() { return rng_; }
+    PipelineCounters& counters() { return counters_; }
+    const PipelineCounters& counters() const { return counters_; }
+
+    /// Open/close a named timing phase. Phases nest; time is attributed
+    /// inclusively to every open phase, keyed by name (first-seen order is
+    /// preserved in phase_stats() and the JSON report).
+    void phase_begin(std::string name);
+    void phase_end();
+
+    /// RAII phase scope; a null context makes it a no-op.
+    class PhaseScope {
+    public:
+        PhaseScope(PipelineContext* ctx, const char* name) : ctx_(ctx) {
+            if (ctx_ != nullptr) {
+                ctx_->phase_begin(name);
+            }
+        }
+        ~PhaseScope() {
+            if (ctx_ != nullptr) {
+                ctx_->phase_end();
+            }
+        }
+        PhaseScope(const PhaseScope&) = delete;
+        PhaseScope& operator=(const PhaseScope&) = delete;
+
+    private:
+        PipelineContext* ctx_;
+    };
+
+    /// Accumulated per-phase totals, in first-use order.
+    const std::vector<PhaseStat>& phase_stats() const { return stats_; }
+
+    /// Zero all counters and phase totals (the RNG stream is untouched).
+    void reset();
+
+    /// {"counters": {...}, "phases": [{"name", "calls", "seconds"}, ...]}.
+    Json to_json() const;
+
+private:
+    struct OpenPhase {
+        std::size_t stat_index;
+        Stopwatch timer;
+    };
+
+    std::size_t stat_index(const std::string& name);
+
+    Rng rng_;
+    PipelineCounters counters_;
+    std::vector<PhaseStat> stats_;
+    std::vector<OpenPhase> open_;
+};
+
+/// Counters of a nullable context (nullptr when ctx is null) — the common
+/// plumbing idiom: `Workspace ws(counters_of(ctx));`.
+inline PipelineCounters* counters_of(PipelineContext* ctx) {
+    return ctx != nullptr ? &ctx->counters() : nullptr;
+}
+
+}  // namespace mcs

@@ -9,7 +9,11 @@ namespace mcs {
 
 Matrix check_axis(const Matrix& s, const Matrix& reconstructed,
                   Matrix detection, const Matrix& existence,
-                  const CheckConfig& config) {
+                  const CheckConfig& config, PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "check_axis");
+    if (ctx != nullptr) {
+        ctx->counters().check_passes += 1;
+    }
     MCS_CHECK_MSG(config.lower_m >= 0.0 && config.upper_m >= config.lower_m,
                   "CheckConfig: need 0 <= lower <= upper");
     MCS_CHECK_MSG(s.rows() == reconstructed.rows() &&

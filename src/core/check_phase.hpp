@@ -14,6 +14,7 @@
 // cells with ℰ = 0 — there is no reading to judge.
 #pragma once
 
+#include "common/context.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mcs {
@@ -27,6 +28,6 @@ struct CheckConfig {
 /// One axis's Check() pass: returns the updated detection matrix.
 Matrix check_axis(const Matrix& s, const Matrix& reconstructed,
                   Matrix detection, const Matrix& existence,
-                  const CheckConfig& config);
+                  const CheckConfig& config, PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

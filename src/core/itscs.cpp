@@ -60,7 +60,7 @@ struct LoopOutcome {
 
 LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
                      double tau_s, const ItscsConfig& config,
-                     const ItscsObserver& observer) {
+                     const ItscsObserver& observer, PipelineContext* ctx) {
     MCS_CHECK_MSG(config.max_iterations >= 1,
                   "ItscsConfig: need at least one iteration");
     MCS_CHECK_MSG(!axes.empty(), "run_axes: no axes");
@@ -74,43 +74,57 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
 
     for (std::size_t iter = 1; iter <= config.max_iterations; ++iter) {
         const bool first = (iter == 1);
+        if (ctx != nullptr) {
+            ctx->counters().itscs_iterations += 1;
+        }
         const Matrix detection_before = out.detection;
 
         // --- DETECT: per-axis local median passes, then union. ---
-        Matrix detect_union;
-        for (auto& axis : axes) {
-            Matrix d = ts_detect(*axis.sensory, axis.reconstructed,
-                                 axis.avg_velocity, out.detection, existence,
-                                 tau_s, config.detector, first);
-            detect_union = detect_union.empty()
-                               ? std::move(d)
-                               : detection_union(detect_union, d);
+        {
+            PipelineContext::PhaseScope phase(ctx, "detect");
+            Matrix detect_union;
+            for (auto& axis : axes) {
+                Matrix d = ts_detect(*axis.sensory, axis.reconstructed,
+                                     axis.avg_velocity, out.detection,
+                                     existence, tau_s, config.detector,
+                                     first, ctx);
+                detect_union = detect_union.empty()
+                                   ? std::move(d)
+                                   : detection_union(detect_union, d);
+            }
+            out.detection = std::move(detect_union);
         }
-        out.detection = std::move(detect_union);
 
         // --- CORRECT: modified CS over the trusted cells (warm-started
         // from the previous iteration's factors, since ℬ changes little
         // between framework iterations). ---
-        const Matrix gbim = make_gbim(existence, out.detection);
-        for (auto& axis : axes) {
-            CsReconstruction rec = cs_reconstruct(
-                *axis.sensory, gbim, axis.avg_velocity, tau_s, config.cs,
-                first ? nullptr : &axis.warm);
-            axis.reconstructed = std::move(rec.estimate);
-            axis.warm = std::move(rec.factors);
-            axis.last_objective = rec.final_objective;
+        {
+            PipelineContext::PhaseScope phase(ctx, "correct");
+            const Matrix gbim = make_gbim(existence, out.detection);
+            for (auto& axis : axes) {
+                CsReconstruction rec = cs_reconstruct(
+                    *axis.sensory, gbim, axis.avg_velocity, tau_s, config.cs,
+                    first ? nullptr : &axis.warm, ctx);
+                axis.reconstructed = std::move(rec.estimate);
+                axis.warm = std::move(rec.factors);
+                axis.last_objective = rec.final_objective;
+            }
         }
 
         // --- CHECK: per-axis reconciliation, then union. ---
-        Matrix check_union;
-        for (const auto& axis : axes) {
-            Matrix d = check_axis(*axis.sensory, axis.reconstructed,
-                                  out.detection, existence, config.check);
-            check_union = check_union.empty()
-                              ? std::move(d)
-                              : detection_union(check_union, d);
+        {
+            PipelineContext::PhaseScope phase(ctx, "check");
+            Matrix check_union;
+            for (const auto& axis : axes) {
+                Matrix d = check_axis(*axis.sensory, axis.reconstructed,
+                                      out.detection, existence, config.check,
+                                      ctx);
+                check_union = check_union.empty()
+                                  ? std::move(d)
+                                  : detection_union(check_union, d);
+            }
+            out.detection = std::move(check_union);
         }
-        out.detection = std::move(check_union);
 
         const std::size_t changes =
             count_differences(detection_before, out.detection);
@@ -138,7 +152,8 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
 }  // namespace
 
 ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
-                      const ItscsObserver& observer) {
+                      const ItscsObserver& observer, PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "run_itscs");
     input.validate();
     const std::size_t n = input.sx.rows();
     const std::size_t t = input.sx.cols();
@@ -152,7 +167,7 @@ ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
     axes[1].reconstructed = Matrix(n, t);
 
     LoopOutcome out =
-        run_axes(axes, input.existence, input.tau_s, config, observer);
+        run_axes(axes, input.existence, input.tau_s, config, observer, ctx);
 
     ItscsResult result;
     result.detection = std::move(out.detection);
@@ -165,7 +180,9 @@ ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
 }
 
 ItscsSingleResult run_itscs_single(const ItscsSingleInput& input,
-                                   const ItscsConfig& config) {
+                                   const ItscsConfig& config,
+                                   PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "run_itscs_single");
     input.validate();
     std::vector<AxisState> axes(1);
     axes[0].sensory = &input.s;
@@ -173,7 +190,7 @@ ItscsSingleResult run_itscs_single(const ItscsSingleInput& input,
     axes[0].reconstructed = Matrix(input.s.rows(), input.s.cols());
 
     LoopOutcome out =
-        run_axes(axes, input.existence, input.tau_s, config, {});
+        run_axes(axes, input.existence, input.tau_s, config, {}, ctx);
 
     ItscsSingleResult result;
     result.detection = std::move(out.detection);
@@ -184,7 +201,9 @@ ItscsSingleResult run_itscs_single(const ItscsSingleInput& input,
     return result;
 }
 
-ItscsResult run_cs_only(const ItscsInput& input, const CsConfig& config) {
+ItscsResult run_cs_only(const ItscsInput& input, const CsConfig& config,
+                        PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "run_cs_only");
     input.validate();
     const Matrix avg_vx = average_velocity(input.vx);
     const Matrix avg_vy = average_velocity(input.vy);
@@ -195,9 +214,9 @@ ItscsResult run_cs_only(const ItscsInput& input, const CsConfig& config) {
     ItscsResult result;
     result.detection = Matrix(n, t);
     CsReconstruction rx = cs_reconstruct(input.sx, input.existence, avg_vx,
-                                         input.tau_s, config);
+                                         input.tau_s, config, nullptr, ctx);
     CsReconstruction ry = cs_reconstruct(input.sy, input.existence, avg_vy,
-                                         input.tau_s, config);
+                                         input.tau_s, config, nullptr, ctx);
     result.reconstructed_x = std::move(rx.estimate);
     result.reconstructed_y = std::move(ry.estimate);
     result.iterations = 1;

@@ -82,9 +82,13 @@ using ItscsObserver = std::function<void(
     std::size_t iteration, const Matrix& detection,
     const Matrix& reconstructed_x, const Matrix& reconstructed_y)>;
 
-/// Run the I(TS,CS) framework to convergence (or max_iterations).
+/// Run the I(TS,CS) framework to convergence (or max_iterations). A
+/// non-null `ctx` accumulates phase timings ("detect"/"correct"/"check"),
+/// an itscs_iterations tick per DETECT→CORRECT→CHECK round, and everything
+/// the CS solver counts below it.
 ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
-                      const ItscsObserver& observer = {});
+                      const ItscsObserver& observer = {},
+                      PipelineContext* ctx = nullptr);
 
 // ---- Single-axis (generic sensory data) entry point --------------------
 //
@@ -118,11 +122,13 @@ struct ItscsSingleResult {
 /// Run the DETECT→CORRECT→CHECK loop on one scalar modality. Identical
 /// logic to run_itscs with a single axis instead of the (x, y) union.
 ItscsSingleResult run_itscs_single(const ItscsSingleInput& input,
-                                   const ItscsConfig& config);
+                                   const ItscsConfig& config,
+                                   PipelineContext* ctx = nullptr);
 
 /// CORRECT phase only: plain modified-CS reconstruction with no detection
 /// (ℬ = ℰ) — the paper's "Modified compressive sensing" baseline for
 /// Fig. 6. Returns X̂, Ŷ and an all-zero detection matrix.
-ItscsResult run_cs_only(const ItscsInput& input, const CsConfig& config);
+ItscsResult run_cs_only(const ItscsInput& input, const CsConfig& config,
+                        PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

@@ -64,6 +64,12 @@ public:
     /// Pop the oldest pending report, if any.
     std::optional<WindowReport> poll();
 
+    /// Attach (or detach, with nullptr) an instrumentation context. Every
+    /// subsequent window evaluation accumulates its phase timings and
+    /// counters there. The context must outlive the detector or be
+    /// detached first; the detector never owns it.
+    void attach_context(PipelineContext* ctx) { ctx_ = ctx; }
+
     std::size_t slots_received() const { return slots_received_; }
     std::size_t reports_pending() const { return reports_.size(); }
     std::size_t participants() const { return participants_; }
@@ -83,6 +89,7 @@ private:
     std::deque<SlotColumn> buffer_;
     std::size_t slots_received_ = 0;
     std::deque<WindowReport> reports_;
+    PipelineContext* ctx_ = nullptr;  // not owned
 };
 
 }  // namespace mcs

@@ -32,4 +32,9 @@ ItscsConfig make_config(ItscsVariant variant) {
     return config;
 }
 
+ItscsResult run_variant(const ItscsInput& input, ItscsVariant variant,
+                        PipelineContext* ctx) {
+    return run_itscs(input, make_config(variant), {}, ctx);
+}
+
 }  // namespace mcs

@@ -24,4 +24,10 @@ std::string to_string(ItscsVariant variant);
 /// only the CS temporal mode differs, so comparisons isolate that choice).
 ItscsConfig make_config(ItscsVariant variant);
 
+/// Convenience: run the framework under a variant's default configuration,
+/// optionally instrumented. Equivalent to
+/// `run_itscs(input, make_config(variant), {}, ctx)`.
+ItscsResult run_variant(const ItscsInput& input, ItscsVariant variant,
+                        PipelineContext* ctx = nullptr);
+
 }  // namespace mcs

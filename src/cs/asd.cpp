@@ -2,34 +2,49 @@
 
 #include "common/check.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 
 namespace mcs {
 
 namespace {
 
-// Scaled direction D = G·W⁻¹ with W = other-factor Gram (+ ridge). The
-// ridge is scaled by the Gram trace so it is dimensionless.
-Matrix scaled_direction(const Matrix& grad, const Matrix& other_factor,
-                        double ridge) {
-    Matrix gram = gram_with_ridge(other_factor, 0.0);
+// Scaled direction D = G·W⁻¹ with W = other-factor Gram plus two ridges:
+// the objective's own λ₁ (the Hessian of f along each factor row is
+// 2·(Gram + λ₁I), so the λ₁ term belongs in the preconditioner — dropping
+// it would precondition a different objective than the one being
+// minimised) and a trace-scaled safety ridge that keeps W invertible when
+// the factor is rank-deficient. With the default λ₁ = 1e-6 the λ₁ term is
+// numerically invisible next to metre-scale Grams; it matters exactly when
+// the caller turns regularisation up.
+void scaled_direction_into(Matrix& dir, const Matrix& grad,
+                           const Matrix& other_factor, double lambda1,
+                           double ridge, Workspace& ws) {
+    const std::size_t rank = other_factor.cols();
+    Scratch gram(ws, rank, rank);
+    gram_with_ridge_into(*gram, other_factor, lambda1, ws.counters());
     double trace = 0.0;
-    for (std::size_t i = 0; i < gram.rows(); ++i) {
-        trace += gram(i, i);
+    for (std::size_t i = 0; i < rank; ++i) {
+        trace += (*gram)(i, i);
     }
     const double effective_ridge =
         ridge * (trace > 0.0 ? trace : 1.0) + 1e-300;
-    for (std::size_t i = 0; i < gram.rows(); ++i) {
-        gram(i, i) += effective_ridge;
+    for (std::size_t i = 0; i < rank; ++i) {
+        (*gram)(i, i) += effective_ridge;
     }
-    // D·W = G  ⇔  W·Dᵀ = Gᵀ (W symmetric).
-    return transpose(solve_spd(gram, transpose(grad)));
+    // D·W = G  ⇔  W·Dᵀ = Gᵀ (W symmetric); factor W in place and solve for
+    // Dᵀ in the transposed-gradient buffer.
+    Scratch gt(ws, rank, grad.rows());
+    transpose_into(*gt, grad);
+    cholesky_in_place(*gram);
+    cholesky_solve_in_place(*gram, *gt);
+    transpose_into(dir, *gt);
 }
 
 }  // namespace
 
 AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
-                       const AsdOptions& options) {
+                       const AsdOptions& options, PipelineContext* ctx) {
     MCS_CHECK_MSG(l0.rows() == objective.rows(),
                   "asd_minimize: L rows must match data rows");
     MCS_CHECK_MSG(r0.rows() == objective.cols(),
@@ -41,49 +56,68 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
     MCS_CHECK_MSG(options.relative_tolerance >= 0.0,
                   "asd_minimize: negative tolerance");
 
+    PipelineContext::PhaseScope phase(ctx, "asd_minimize");
+    Workspace ws(counters_of(ctx));
+
     AsdResult result;
     result.l = std::move(l0);
     result.r = std::move(r0);
     result.objective_history.reserve(options.max_iterations + 1);
+    const std::size_t rank = result.l.cols();
+
+    // Buffers that live across iterations: the shared residuals plus one
+    // gradient/direction pair per factor. Everything else (Gram, transposed
+    // gradient, line-search products) is leased from `ws` inside each half
+    // step and recycled from its pool after the first iteration.
+    CsObjective::Residuals res;
+    Scratch grad_r(ws, result.r.rows(), rank);
+    Scratch dir_r(ws, result.r.rows(), rank);
+    Scratch grad_l(ws, result.l.rows(), rank);
+    Scratch dir_l(ws, result.l.rows(), rank);
 
     // The objective is quadratic along every search line, so each exact
     // line search reports its own decrease; we track f analytically and
     // only pay for one full evaluation, at the start.
-    double current = objective.value(result.l, result.r);
+    objective.residuals_into(res, result.l, result.r, ws);
+    double current = objective.value_from(res, result.l, result.r);
     result.objective_history.push_back(current);
 
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
         const double previous = current;
         // Algorithm 2 lines 11–13: descent in R with L fixed.
         {
-            const CsObjective::Residuals res =
-                objective.residuals(result.l, result.r);
-            const Matrix grad =
-                objective.gradient_r_from(res, result.l, result.r);
-            Matrix direction =
-                options.scaled
-                    ? scaled_direction(grad, result.l, options.gram_ridge)
-                    : grad;
-            const CsObjective::LineSearch step =
-                objective.line_search_r(res, result.l, result.r, direction);
-            direction *= step.alpha;
-            result.r -= direction;
+            objective.residuals_into(res, result.l, result.r, ws);
+            objective.gradient_r_into(*grad_r, res, result.l, result.r, ws);
+            const Matrix& direction = [&]() -> const Matrix& {
+                if (!options.scaled) {
+                    return *grad_r;
+                }
+                scaled_direction_into(*dir_r, *grad_r, result.l,
+                                      objective.lambda1(),
+                                      options.gram_ridge, ws);
+                return *dir_r;
+            }();
+            const CsObjective::LineSearch step = objective.line_search_r(
+                res, result.l, result.r, direction, ws);
+            axpy(result.r, -step.alpha, direction);
             current -= step.decrease;
         }
         // Algorithm 2 lines 14–16: descent in L with R fixed.
         {
-            const CsObjective::Residuals res =
-                objective.residuals(result.l, result.r);
-            const Matrix grad =
-                objective.gradient_l_from(res, result.l, result.r);
-            Matrix direction =
-                options.scaled
-                    ? scaled_direction(grad, result.r, options.gram_ridge)
-                    : grad;
-            const CsObjective::LineSearch step =
-                objective.line_search_l(res, result.l, result.r, direction);
-            direction *= step.alpha;
-            result.l -= direction;
+            objective.residuals_into(res, result.l, result.r, ws);
+            objective.gradient_l_into(*grad_l, res, result.l, result.r, ws);
+            const Matrix& direction = [&]() -> const Matrix& {
+                if (!options.scaled) {
+                    return *grad_l;
+                }
+                scaled_direction_into(*dir_l, *grad_l, result.r,
+                                      objective.lambda1(),
+                                      options.gram_ridge, ws);
+                return *dir_l;
+            }();
+            const CsObjective::LineSearch step = objective.line_search_l(
+                res, result.l, result.r, direction, ws);
+            axpy(result.l, -step.alpha, direction);
             current -= step.decrease;
         }
 
@@ -98,6 +132,9 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
             result.converged = true;
             break;
         }
+    }
+    if (ctx != nullptr) {
+        ctx->counters().asd_iterations += result.iterations;
     }
     return result;
 }

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/context.hpp"
 #include "cs/objective.hpp"
 #include "linalg/matrix.hpp"
 
@@ -42,7 +43,16 @@ struct AsdResult {
 
 /// Minimise `objective` from the warm start (l0, r0). Factor shapes must be
 /// n x rank and t x rank for the objective's n x t data.
+///
+/// All per-iteration temporaries come from an internal Workspace: the first
+/// iteration allocates every scratch buffer once and later iterations only
+/// recycle them, so the warm loop performs zero heap allocations — the
+/// property asserted (via the workspace counters of `ctx`) by
+/// linalg_kernels_test and reported by bench/perf_pipeline. When `ctx` is
+/// non-null it also receives ASD iteration counts, GEMM FLOPs and the
+/// "asd_minimize" phase time.
 AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
-                       const AsdOptions& options = {});
+                       const AsdOptions& options = {},
+                       PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

@@ -49,12 +49,15 @@ Matrix nearest_fill(const Matrix& s, const Matrix& mask) {
     return filled;
 }
 
-FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank) {
+FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank,
+                      PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "warm_start");
     const Matrix filled = nearest_fill(s, mask);
     // Randomized truncated SVD: the warm start only needs the dominant
     // subspace, and the range finder is ~50x cheaper than a full Jacobi
     // SVD at the paper's matrix sizes (deterministic: fixed seed).
-    return truncated_factors_randomized(filled, rank);
+    return truncated_factors_randomized(filled, rank, 8, 2, 0x5eed,
+                                        counters_of(ctx));
 }
 
 }  // namespace mcs

@@ -6,6 +6,7 @@
 // truncated SVD factors of the filled matrix as (L₀, R₀).
 #pragma once
 
+#include "common/context.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/svd.hpp"
 
@@ -17,7 +18,9 @@ namespace mcs {
 Matrix nearest_fill(const Matrix& s, const Matrix& mask);
 
 /// Full Algorithm-2 warm start: nearest_fill followed by rank-r truncated
-/// SVD factors L = U_r·Σ_r^½, R = V_r·Σ_r^½.
-FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank);
+/// SVD factors L = U_r·Σ_r^½, R = V_r·Σ_r^½. A non-null `ctx` receives the
+/// "warm_start" phase time and the Jacobi sweep count of the projected SVD.
+FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank,
+                      PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

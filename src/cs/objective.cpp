@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "detect/detection.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/temporal.hpp"
 
@@ -37,18 +38,132 @@ CsObjective::CsObjective(const Matrix& s, const Matrix& gbim,
     }
 }
 
-CsObjective::Residuals CsObjective::residuals(const Matrix& l,
-                                              const Matrix& r) const {
-    Residuals res;
+// ---- Workspace-backed core (single implementation of the arithmetic) ----
+
+void CsObjective::residuals_into(Residuals& res, const Matrix& l,
+                                 const Matrix& r, Workspace& ws) const {
+    const std::size_t n = rows();
+    const std::size_t t = cols();
+    if (res.m.rows() != n || res.m.cols() != t) {
+        res.m = Matrix(n, t);
+    }
     if (temporal_active()) {
+        if (res.e3.rows() != n || res.e3.cols() != t) {
+            res.e3 = Matrix(n, t);
+        }
         // One L·Rᵀ product feeds both residuals.
-        const Matrix x = multiply_transposed(l, r);
-        res.m = subtract(hadamard(x, gbim_), s_);
-        res.e3 = temporal_diff(x);
+        Scratch x(ws, n, t);
+        multiply_transposed_into(*x, l, r, ws.counters());
+        hadamard_into(res.m, *x, gbim_);
+        res.m -= s_;
+        temporal_diff_into(res.e3, *x);
         res.e3 -= target_;
     } else {
-        res.m = masked_residual(l, r, gbim_, s_);
+        if (!res.e3.empty()) {
+            res.e3 = Matrix();
+        }
+        masked_residual_into(res.m, l, r, gbim_, s_, ws.counters());
     }
+}
+
+void CsObjective::gradient_l_into(Matrix& grad, const Residuals& res,
+                                  const Matrix& l, const Matrix& r,
+                                  Workspace& ws) const {
+    if (grad.rows() != l.rows() || grad.cols() != l.cols()) {
+        grad = Matrix(l.rows(), l.cols());
+    }
+    multiply_into(grad, res.m, r, ws.counters());  // M·R
+    grad *= 2.0;
+    if (lambda1_ != 0.0) {
+        axpy(grad, 2.0 * lambda1_, l);
+    }
+    if (temporal_active() && lambda2_ != 0.0) {
+        Scratch adj(ws, rows(), cols());
+        Scratch tg(ws, l.rows(), l.cols());
+        temporal_diff_adjoint_into(*adj, res.e3);
+        multiply_into(*tg, *adj, r, ws.counters());  // Δᵀ(E₃)·R
+        axpy(grad, 2.0 * lambda2_, *tg);
+    }
+}
+
+void CsObjective::gradient_r_into(Matrix& grad, const Residuals& res,
+                                  const Matrix& l, const Matrix& r,
+                                  Workspace& ws) const {
+    if (grad.rows() != r.rows() || grad.cols() != r.cols()) {
+        grad = Matrix(r.rows(), r.cols());
+    }
+    transpose_multiply_into(grad, res.m, l, ws.counters());  // Mᵀ·L
+    grad *= 2.0;
+    if (lambda1_ != 0.0) {
+        axpy(grad, 2.0 * lambda1_, r);
+    }
+    if (temporal_active() && lambda2_ != 0.0) {
+        Scratch adj(ws, rows(), cols());
+        Scratch tg(ws, r.rows(), r.cols());
+        temporal_diff_adjoint_into(*adj, res.e3);
+        transpose_multiply_into(*tg, *adj, l, ws.counters());
+        axpy(grad, 2.0 * lambda2_, *tg);
+    }
+}
+
+CsObjective::LineSearch CsObjective::line_search_l(const Residuals& res,
+                                                   const Matrix& l,
+                                                   const Matrix& r,
+                                                   const Matrix& dir,
+                                                   Workspace& ws) const {
+    // g(α) = f(L − α·D, R) = aα² + bα + c; α* = −b/2a, decrease b²/4a.
+    Scratch p_raw(ws, rows(), cols());
+    Scratch p(ws, rows(), cols());
+    multiply_transposed_into(*p_raw, dir, r, ws.counters());  // D·Rᵀ
+    hadamard_into(*p, *p_raw, gbim_);
+    double a = frobenius_norm_squared(*p) +
+               lambda1_ * frobenius_norm_squared(dir);
+    double b =
+        -2.0 * (frobenius_dot(res.m, *p) + lambda1_ * frobenius_dot(l, dir));
+    if (temporal_active() && lambda2_ != 0.0) {
+        Scratch dp(ws, rows(), cols());
+        temporal_diff_into(*dp, *p_raw);
+        a += lambda2_ * frobenius_norm_squared(*dp);
+        b += -2.0 * lambda2_ * frobenius_dot(res.e3, *dp);
+    }
+    if (a <= 0.0) {
+        return {};
+    }
+    return {-b / (2.0 * a), b * b / (4.0 * a)};
+}
+
+CsObjective::LineSearch CsObjective::line_search_r(const Residuals& res,
+                                                   const Matrix& l,
+                                                   const Matrix& r,
+                                                   const Matrix& dir,
+                                                   Workspace& ws) const {
+    Scratch p_raw(ws, rows(), cols());
+    Scratch p(ws, rows(), cols());
+    multiply_transposed_into(*p_raw, l, dir, ws.counters());  // L·Dᵀ
+    hadamard_into(*p, *p_raw, gbim_);
+    double a = frobenius_norm_squared(*p) +
+               lambda1_ * frobenius_norm_squared(dir);
+    double b =
+        -2.0 * (frobenius_dot(res.m, *p) + lambda1_ * frobenius_dot(r, dir));
+    if (temporal_active() && lambda2_ != 0.0) {
+        Scratch dp(ws, rows(), cols());
+        temporal_diff_into(*dp, *p_raw);
+        a += lambda2_ * frobenius_norm_squared(*dp);
+        b += -2.0 * lambda2_ * frobenius_dot(res.e3, *dp);
+    }
+    if (a <= 0.0) {
+        return {};
+    }
+    return {-b / (2.0 * a), b * b / (4.0 * a)};
+}
+
+// ---- Value-returning convenience API (wraps the kernels above) ----------
+
+CsObjective::Residuals CsObjective::residuals(const Matrix& l,
+                                              const Matrix& r) const {
+    Workspace ws;
+    Residuals res;
+    residuals_into(res, l, r, ws);
     return res;
 }
 
@@ -69,37 +184,17 @@ double CsObjective::value(const Matrix& l, const Matrix& r) const {
 
 Matrix CsObjective::gradient_l_from(const Residuals& res, const Matrix& l,
                                     const Matrix& r) const {
-    Matrix grad = multiply(res.m, r);  // M·R
-    grad *= 2.0;
-    if (lambda1_ != 0.0) {
-        Matrix reg = l;
-        reg *= 2.0 * lambda1_;
-        grad += reg;
-    }
-    if (temporal_active() && lambda2_ != 0.0) {
-        Matrix temporal_grad =
-            multiply(temporal_diff_adjoint(res.e3), r);  // Δᵀ(E₃)·R
-        temporal_grad *= 2.0 * lambda2_;
-        grad += temporal_grad;
-    }
+    Workspace ws;
+    Matrix grad;
+    gradient_l_into(grad, res, l, r, ws);
     return grad;
 }
 
 Matrix CsObjective::gradient_r_from(const Residuals& res, const Matrix& l,
                                     const Matrix& r) const {
-    Matrix grad = transpose_multiply(res.m, l);  // Mᵀ·L
-    grad *= 2.0;
-    if (lambda1_ != 0.0) {
-        Matrix reg = r;
-        reg *= 2.0 * lambda1_;
-        grad += reg;
-    }
-    if (temporal_active() && lambda2_ != 0.0) {
-        Matrix temporal_grad =
-            transpose_multiply(temporal_diff_adjoint(res.e3), l);
-        temporal_grad *= 2.0 * lambda2_;
-        grad += temporal_grad;
-    }
+    Workspace ws;
+    Matrix grad;
+    gradient_r_into(grad, res, l, r, ws);
     return grad;
 }
 
@@ -115,43 +210,16 @@ CsObjective::LineSearch CsObjective::line_search_l(const Residuals& res,
                                                    const Matrix& l,
                                                    const Matrix& r,
                                                    const Matrix& dir) const {
-    // g(α) = f(L − α·D, R) = aα² + bα + c; α* = −b/2a, decrease b²/4a.
-    const Matrix p_raw = multiply_transposed(dir, r);  // D·Rᵀ
-    const Matrix p = hadamard(p_raw, gbim_);
-    double a = frobenius_norm_squared(p) +
-               lambda1_ * frobenius_norm_squared(dir);
-    double b =
-        -2.0 * (frobenius_dot(res.m, p) + lambda1_ * frobenius_dot(l, dir));
-    if (temporal_active() && lambda2_ != 0.0) {
-        const Matrix dp = temporal_diff(p_raw);
-        a += lambda2_ * frobenius_norm_squared(dp);
-        b += -2.0 * lambda2_ * frobenius_dot(res.e3, dp);
-    }
-    if (a <= 0.0) {
-        return {};
-    }
-    return {-b / (2.0 * a), b * b / (4.0 * a)};
+    Workspace ws;
+    return line_search_l(res, l, r, dir, ws);
 }
 
 CsObjective::LineSearch CsObjective::line_search_r(const Residuals& res,
                                                    const Matrix& l,
                                                    const Matrix& r,
                                                    const Matrix& dir) const {
-    const Matrix p_raw = multiply_transposed(l, dir);  // L·Dᵀ
-    const Matrix p = hadamard(p_raw, gbim_);
-    double a = frobenius_norm_squared(p) +
-               lambda1_ * frobenius_norm_squared(dir);
-    double b =
-        -2.0 * (frobenius_dot(res.m, p) + lambda1_ * frobenius_dot(r, dir));
-    if (temporal_active() && lambda2_ != 0.0) {
-        const Matrix dp = temporal_diff(p_raw);
-        a += lambda2_ * frobenius_norm_squared(dp);
-        b += -2.0 * lambda2_ * frobenius_dot(res.e3, dp);
-    }
-    if (a <= 0.0) {
-        return {};
-    }
-    return {-b / (2.0 * a), b * b / (4.0 * a)};
+    Workspace ws;
+    return line_search_r(res, l, r, dir, ws);
 }
 
 double CsObjective::exact_step_l(const Matrix& l, const Matrix& r,

@@ -14,6 +14,7 @@
 // pieces the solver needs (value, per-factor gradient, per-direction step).
 #pragma once
 
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mcs {
@@ -90,9 +91,36 @@ public:
     LineSearch line_search_r(const Residuals& res, const Matrix& l,
                              const Matrix& r, const Matrix& dir) const;
 
+    // ---- Workspace-backed variants (the zero-allocation kernel API) -----
+    // Same arithmetic as the methods above, but all temporaries come from
+    // the caller's Workspace and results land in caller-owned buffers, so a
+    // warm ASD loop never touches the heap. `res.m` / `res.e3` and `grad`
+    // are (re)shaped on first use and reused verbatim afterwards.
+
+    /// residuals() into caller-owned `res` (allocates inside `res` only on
+    /// shape change — i.e. the first call).
+    void residuals_into(Residuals& res, const Matrix& l, const Matrix& r,
+                        Workspace& ws) const;
+
+    /// gradient_l_from / gradient_r_from into caller-owned `grad`.
+    void gradient_l_into(Matrix& grad, const Residuals& res, const Matrix& l,
+                         const Matrix& r, Workspace& ws) const;
+    void gradient_r_into(Matrix& grad, const Residuals& res, const Matrix& l,
+                         const Matrix& r, Workspace& ws) const;
+
+    /// line_search_l / line_search_r with Workspace scratch.
+    LineSearch line_search_l(const Residuals& res, const Matrix& l,
+                             const Matrix& r, const Matrix& dir,
+                             Workspace& ws) const;
+    LineSearch line_search_r(const Residuals& res, const Matrix& l,
+                             const Matrix& r, const Matrix& dir,
+                             Workspace& ws) const;
+
     std::size_t rows() const { return s_.rows(); }
     std::size_t cols() const { return s_.cols(); }
     TemporalMode mode() const { return mode_; }
+    double lambda1() const { return lambda1_; }
+    double lambda2() const { return lambda2_; }
     const Matrix& masked_sensory() const { return s_; }
     const Matrix& mask() const { return gbim_; }
 

@@ -45,7 +45,12 @@ std::size_t recommended_rank(std::size_t n, std::size_t t,
 CsReconstruction cs_reconstruct(const Matrix& s, const Matrix& gbim,
                                 const Matrix& avg_velocity, double tau_s,
                                 const CsConfig& base_config,
-                                const FactorPair* warm) {
+                                const FactorPair* warm,
+                                PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "cs_reconstruct");
+    if (ctx != nullptr) {
+        ctx->counters().cs_solves += 1;
+    }
     CsConfig config = base_config;
     if (config.rank == 0) {
         config.rank = recommended_rank(s.rows(), s.cols(), config.mode);
@@ -86,10 +91,11 @@ CsReconstruction cs_reconstruct(const Matrix& s, const Matrix& gbim,
     if (warm_usable) {
         start = *warm;
     } else {
-        start = warm_start(objective.masked_sensory(), gbim, config.rank);
+        start = warm_start(objective.masked_sensory(), gbim, config.rank,
+                           ctx);
     }
     AsdResult solved = asd_minimize(objective, std::move(start.l),
-                                    std::move(start.r), config.asd);
+                                    std::move(start.r), config.asd, ctx);
 
     CsReconstruction out;
     out.estimate = multiply_transposed(solved.l, solved.r);

@@ -59,9 +59,12 @@ struct CsReconstruction {
 /// duration. If `warm` is non-null and matches the expected shapes it is
 /// used as the starting point instead of the SVD warm start of Algorithm 2
 /// lines 1–8. Throws mcs::Error on shape mismatches or an invalid rank.
+/// A non-null `ctx` receives the "cs_reconstruct" phase time, a cs_solves
+/// tick, and everything the warm start and ASD solver count below it.
 CsReconstruction cs_reconstruct(const Matrix& s, const Matrix& gbim,
                                 const Matrix& avg_velocity, double tau_s,
                                 const CsConfig& config,
-                                const FactorPair* warm = nullptr);
+                                const FactorPair* warm = nullptr,
+                                PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

@@ -70,7 +70,12 @@ double dynamic_tolerance(const Matrix& avg_velocity, const Matrix& existence,
 Matrix ts_detect(const Matrix& s, const Matrix& reconstructed,
                  const Matrix& avg_velocity, Matrix detection,
                  const Matrix& existence, double tau_s,
-                 const LocalMedianConfig& config, bool first_execution) {
+                 const LocalMedianConfig& config, bool first_execution,
+                 PipelineContext* ctx) {
+    PipelineContext::PhaseScope phase(ctx, "ts_detect");
+    if (ctx != nullptr) {
+        ctx->counters().detect_passes += 1;
+    }
     const std::size_t n = s.rows();
     const std::size_t t = s.cols();
     check_config(config, t);

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 
+#include "common/context.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mcs {
@@ -44,7 +45,8 @@ struct LocalMedianConfig {
 Matrix ts_detect(const Matrix& s, const Matrix& reconstructed,
                  const Matrix& avg_velocity, Matrix detection,
                  const Matrix& existence, double tau_s,
-                 const LocalMedianConfig& config, bool first_execution);
+                 const LocalMedianConfig& config, bool first_execution,
+                 PipelineContext* ctx = nullptr);
 
 /// The dynamic tolerance δᵢ⁽ʲ⁾ of Eq. 12 for one cell (exposed for tests
 /// and the ablation example). `existence` masks which window slots carry a

@@ -11,10 +11,11 @@ namespace mcs {
 
 ExperimentPoint run_scenario(const TraceDataset& truth,
                              const CorruptionConfig& corruption,
-                             Method method, const MethodSettings& settings) {
+                             Method method, const MethodSettings& settings,
+                             PipelineContext* ctx) {
     const Stopwatch timer;
     const CorruptedDataset data = corrupt(truth, corruption);
-    const MethodResult result = run_method(method, data, settings);
+    const MethodResult result = run_method(method, data, settings, ctx);
 
     ExperimentPoint point;
     point.alpha = corruption.missing_ratio;
@@ -47,13 +48,14 @@ ExperimentPoint run_scenario_averaged(const TraceDataset& truth,
                                       CorruptionConfig corruption,
                                       Method method,
                                       const MethodSettings& settings,
-                                      std::size_t repetitions) {
+                                      std::size_t repetitions,
+                                      PipelineContext* ctx) {
     MCS_CHECK_MSG(repetitions >= 1,
                   "run_scenario_averaged: need at least one repetition");
     ExperimentPoint mean;
     for (std::size_t rep = 0; rep < repetitions; ++rep) {
         const ExperimentPoint point =
-            run_scenario(truth, corruption, method, settings);
+            run_scenario(truth, corruption, method, settings, ctx);
         mean.alpha = point.alpha;
         mean.beta = point.beta;
         mean.gamma = point.gamma;

@@ -31,9 +31,12 @@ struct ExperimentPoint {
 
 /// Corrupt `truth` per `corruption`, run `method`, and score detection
 /// against the injected fault matrix and reconstruction against truth.
+/// A non-null `ctx` accumulates the run's phase timings and counters
+/// (scoring itself is not timed into any phase).
 ExperimentPoint run_scenario(const TraceDataset& truth,
                              const CorruptionConfig& corruption,
-                             Method method, const MethodSettings& settings);
+                             Method method, const MethodSettings& settings,
+                             PipelineContext* ctx = nullptr);
 
 /// Average `run_scenario` over several corruption seeds (seed, seed+1, …)
 /// to smooth the randomness of mask/fault placement. precision/recall/
@@ -42,6 +45,7 @@ ExperimentPoint run_scenario_averaged(const TraceDataset& truth,
                                       CorruptionConfig corruption,
                                       Method method,
                                       const MethodSettings& settings,
-                                      std::size_t repetitions);
+                                      std::size_t repetitions,
+                                      PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

@@ -50,7 +50,8 @@ TemporalMode mode_for(Method method) {
 }  // namespace
 
 MethodResult run_method(Method method, const CorruptedDataset& data,
-                        const MethodSettings& settings) {
+                        const MethodSettings& settings,
+                        PipelineContext* ctx) {
     MethodResult out;
     switch (method) {
         case Method::kTmm: {
@@ -61,7 +62,7 @@ MethodResult run_method(Method method, const CorruptedDataset& data,
         }
         case Method::kCsOnly: {
             const ItscsResult result =
-                run_cs_only(to_itscs_input(data), settings.cs_only);
+                run_cs_only(to_itscs_input(data), settings.cs_only, ctx);
             out.detection = result.detection;
             out.reconstructed_x = result.reconstructed_x;
             out.reconstructed_y = result.reconstructed_y;
@@ -85,7 +86,7 @@ MethodResult run_method(Method method, const CorruptedDataset& data,
             ItscsConfig config = settings.itscs_base;
             config.cs.mode = mode_for(method);
             const ItscsResult result =
-                run_itscs(to_itscs_input(data), config);
+                run_itscs(to_itscs_input(data), config, {}, ctx);
             out.detection = result.detection;
             out.reconstructed_x = result.reconstructed_x;
             out.reconstructed_y = result.reconstructed_y;

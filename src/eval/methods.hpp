@@ -51,8 +51,12 @@ struct MethodSettings {
                                  ///< temporal mode is overridden per variant
 };
 
-/// Run `method` on `data`. Deterministic (no hidden randomness).
+/// Run `method` on `data`. Deterministic (no hidden randomness). A
+/// non-null `ctx` collects phase timings and counters for the methods
+/// built on the instrumented pipeline (all but TMM/LRSD, which have no
+/// CS solve inside).
 MethodResult run_method(Method method, const CorruptedDataset& data,
-                        const MethodSettings& settings);
+                        const MethodSettings& settings,
+                        PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

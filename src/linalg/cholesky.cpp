@@ -7,57 +7,78 @@
 
 namespace mcs {
 
-Matrix cholesky(const Matrix& a) {
+void cholesky_in_place(Matrix& a) {
     MCS_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
     const std::size_t n = a.rows();
-    Matrix l(n, n);
+    // Column-by-column left-looking factorisation: when column j is
+    // processed, columns k < j already hold L and column j still holds A.
     for (std::size_t j = 0; j < n; ++j) {
         double diag = a(j, j);
         for (std::size_t k = 0; k < j; ++k) {
-            diag -= l(j, k) * l(j, k);
+            diag -= a(j, k) * a(j, k);
         }
         MCS_CHECK_MSG(diag > 0.0, "cholesky: matrix is not positive definite");
-        l(j, j) = std::sqrt(diag);
+        a(j, j) = std::sqrt(diag);
         for (std::size_t i = j + 1; i < n; ++i) {
             double sum = a(i, j);
             for (std::size_t k = 0; k < j; ++k) {
-                sum -= l(i, k) * l(j, k);
+                sum -= a(i, k) * a(j, k);
             }
-            l(i, j) = sum / l(j, j);
+            a(i, j) = sum / a(j, j);
+        }
+    }
+}
+
+Matrix cholesky(const Matrix& a) {
+    Matrix l = a;
+    cholesky_in_place(l);
+    for (std::size_t i = 0; i < l.rows(); ++i) {
+        for (std::size_t j = i + 1; j < l.cols(); ++j) {
+            l(i, j) = 0.0;
         }
     }
     return l;
 }
 
-Matrix solve_spd(const Matrix& a, const Matrix& b) {
-    MCS_CHECK_MSG(a.rows() == b.rows(),
-                  "solve_spd: dimension mismatch between A and B");
-    const Matrix l = cholesky(a);
-    const std::size_t n = a.rows();
+void cholesky_solve_in_place(const Matrix& factor, Matrix& b) {
+    MCS_CHECK_MSG(factor.rows() == factor.cols(),
+                  "cholesky_solve_in_place: factor must be square");
+    MCS_CHECK_MSG(factor.rows() == b.rows(),
+                  "cholesky_solve_in_place: dimension mismatch");
+    const Matrix& l = factor;
+    const std::size_t n = l.rows();
     const std::size_t m = b.cols();
-    // Forward substitution: L·Y = B.
-    Matrix y(n, m);
+    // Forward substitution L·Y = B, overwriting B top-down (row i only
+    // depends on already-finished rows k < i).
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t c = 0; c < m; ++c) {
             double sum = b(i, c);
             for (std::size_t k = 0; k < i; ++k) {
-                sum -= l(i, k) * y(k, c);
+                sum -= l(i, k) * b(k, c);
             }
-            y(i, c) = sum / l(i, i);
+            b(i, c) = sum / l(i, i);
         }
     }
-    // Back substitution: Lᵀ·X = Y.
-    Matrix x(n, m);
+    // Back substitution Lᵀ·X = Y, overwriting bottom-up.
     for (std::size_t ii = n; ii > 0; --ii) {
         const std::size_t i = ii - 1;
         for (std::size_t c = 0; c < m; ++c) {
-            double sum = y(i, c);
+            double sum = b(i, c);
             for (std::size_t k = i + 1; k < n; ++k) {
-                sum -= l(k, i) * x(k, c);
+                sum -= l(k, i) * b(k, c);
             }
-            x(i, c) = sum / l(i, i);
+            b(i, c) = sum / l(i, i);
         }
     }
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+    MCS_CHECK_MSG(a.rows() == b.rows(),
+                  "solve_spd: dimension mismatch between A and B");
+    Matrix factor = a;
+    cholesky_in_place(factor);
+    Matrix x = b;
+    cholesky_solve_in_place(factor, x);
     return x;
 }
 

@@ -15,6 +15,20 @@ Matrix cholesky(const Matrix& a);
 /// Solve A·X = B for SPD A via Cholesky. B may have any column count.
 Matrix solve_spd(const Matrix& a, const Matrix& b);
 
+// ---- Allocation-free variants (see linalg/kernels.hpp) ------------------
+// Same arithmetic as cholesky()/solve_spd(), but factor and solve happen in
+// the caller's buffers so an iterative solver can run them every iteration
+// without touching the heap.
+
+/// Overwrite the lower triangle of `a` with its Cholesky factor L. The
+/// strict upper triangle is left untouched (the solves below never read
+/// it). Throws mcs::Error if `a` is not (numerically) SPD.
+void cholesky_in_place(Matrix& a);
+
+/// Given a factor whose lower triangle holds L (from cholesky() or
+/// cholesky_in_place()), overwrite `b` with the solution of (L·Lᵀ)·X = B.
+void cholesky_solve_in_place(const Matrix& factor, Matrix& b);
+
 /// Gram matrix AᵀA + ridge·I (always SPD for ridge > 0).
 Matrix gram_with_ridge(const Matrix& a, double ridge);
 

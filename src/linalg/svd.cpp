@@ -45,8 +45,9 @@ struct JacobiState {
     Matrix v;  // n x n accumulated rotations
 };
 
-// Applies Jacobi rotations until all column pairs are numerically orthogonal.
-void jacobi_sweeps(JacobiState& st, const SvdOptions& options) {
+// Applies Jacobi rotations until all column pairs are numerically
+// orthogonal; returns the number of sweeps performed.
+std::size_t jacobi_sweeps(JacobiState& st, const SvdOptions& options) {
     const std::size_t m = st.w.rows();
     const std::size_t n = st.w.cols();
     for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
@@ -91,7 +92,7 @@ void jacobi_sweeps(JacobiState& st, const SvdOptions& options) {
             }
         }
         if (!rotated) {
-            return;
+            return sweep + 1;
         }
     }
     // One-sided Jacobi converges quadratically; running out of sweeps means
@@ -104,7 +105,7 @@ SvdResult svd_tall(const Matrix& a, const SvdOptions& options) {
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
     JacobiState st{a, Matrix::identity(n)};
-    jacobi_sweeps(st, options);
+    const std::size_t sweeps = jacobi_sweeps(st, options);
 
     // Extract singular values (column norms) and sort descending.
     std::vector<double> sigma(n);
@@ -123,6 +124,7 @@ SvdResult svd_tall(const Matrix& a, const SvdOptions& options) {
     });
 
     SvdResult out;
+    out.sweeps = sweeps;
     out.u = Matrix(m, n);
     out.v = Matrix(n, n);
     out.singular_values.resize(n);
@@ -156,6 +158,7 @@ SvdResult svd(const Matrix& a, const SvdOptions& options) {
     out.u = std::move(t.v);
     out.v = std::move(t.u);
     out.singular_values = std::move(t.singular_values);
+    out.sweeps = t.sweeps;
     return out;
 }
 
@@ -181,7 +184,8 @@ FactorPair truncated_factors(const Matrix& a, std::size_t rank,
 FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
                                         std::size_t oversample,
                                         std::size_t power_iterations,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed,
+                                        PipelineCounters* counters) {
     MCS_CHECK_MSG(rank >= 1 && rank <= std::min(a.rows(), a.cols()),
                   "truncated_factors_randomized: rank out of range for " +
                       a.shape_string());
@@ -205,6 +209,9 @@ FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
     // Small projected problem: B = Qᵀ·A is k x n; its exact SVD is cheap.
     const Matrix b = transpose_multiply(q, a);
     const SvdResult small = svd(b);
+    if (counters != nullptr) {
+        counters->svd_sweeps += small.sweeps;
+    }
 
     FactorPair out{Matrix(m, rank), Matrix(n, rank)};
     for (std::size_t c = 0; c < rank; ++c) {

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/context.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mcs {
@@ -21,6 +23,9 @@ struct SvdResult {
     Matrix u;
     std::vector<double> singular_values;
     Matrix v;
+    /// Jacobi sweeps the iteration needed (instrumentation; feeds the
+    /// PipelineCounters::svd_sweeps counter).
+    std::size_t sweeps = 0;
 
     /// Reassemble U · diag(σ) · Vᵀ (for tests / truncation).
     Matrix reconstruct() const;
@@ -57,7 +62,8 @@ FactorPair truncated_factors(const Matrix& a, std::size_t rank,
 FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
                                         std::size_t oversample = 8,
                                         std::size_t power_iterations = 2,
-                                        std::uint64_t seed = 0x5eed);
+                                        std::uint64_t seed = 0x5eed,
+                                        PipelineCounters* counters = nullptr);
 
 /// Effective numerical rank: number of σᵢ > threshold · σ₁.
 std::size_t numerical_rank(const std::vector<double>& singular_values,

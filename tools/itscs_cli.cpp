@@ -17,12 +17,17 @@
 //   itscs clean    --in corrupted.csv --participants N --slots T
 //                  [--variant full|no-v|no-vt] [--estimate-velocity]
 //                  --out cleaned.csv [--flags flags.csv]
-//                  [--report report.json]
+//                  [--report report.json] [--stats-json]
 //       Run the framework: write the reconstructed trace, the flagged
-//       cells, and a JSON run report.
+//       cells, and a JSON run report. --stats-json additionally runs the
+//       framework instrumented (PipelineContext) and prints its counters
+//       and phase timings as JSON on stdout.
 //
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
+//                  [--stats-json]
 //       End-to-end in-memory pipeline with ground-truth scoring.
+//       --stats-json prints (or, with --json, merges as a "stats" member)
+//       the instrumentation counters of the run.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <fstream>
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/context.hpp"
 #include "common/format.hpp"
 #include "common/json.hpp"
 #include "core/itscs.hpp"
@@ -203,7 +209,10 @@ int cmd_clean(const Args& args) {
     }
     const mcs::ItscsConfig config =
         mcs::make_config(parse_variant(args.get_or("variant", "full")));
-    const mcs::ItscsResult result = mcs::run_itscs(input, config);
+    mcs::PipelineContext ctx;
+    const bool want_stats = args.has("stats-json");
+    const mcs::ItscsResult result =
+        mcs::run_itscs(input, config, {}, want_stats ? &ctx : nullptr);
 
     mcs::TraceDataset cleaned{result.reconstructed_x, result.reconstructed_y,
                               input.vx, input.vy, input.tau_s};
@@ -240,7 +249,13 @@ int cmd_clean(const Args& args) {
             history.push_back(row);
         }
         report["history"] = history;
+        if (want_stats) {
+            report["stats"] = ctx.to_json();
+        }
         mcs::write_json_file(args.get("report"), report);
+    }
+    if (want_stats) {
+        std::cout << ctx.to_json().dump(2) << "\n";
     }
     std::cout << "cleaned trace written to " << args.get("out") << " ("
               << flagged << " readings flagged, " << result.iterations
@@ -260,8 +275,11 @@ int cmd_demo(const Args& args) {
     corruption.fault_ratio = beta;
     corruption.seed = seed + 1;
     const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+    mcs::PipelineContext ctx;
+    const bool want_stats = args.has("stats-json");
     const mcs::ItscsResult result = mcs::run_itscs(
-        mcs::to_itscs_input(data), mcs::make_config(mcs::ItscsVariant::kFull));
+        mcs::to_itscs_input(data), mcs::make_config(mcs::ItscsVariant::kFull),
+        {}, want_stats ? &ctx : nullptr);
     const mcs::ConfusionCounts counts = mcs::evaluate_detection(
         result.detection, data.fault, data.existence);
     const double mae = mcs::reconstruction_mae(
@@ -277,7 +295,12 @@ int cmd_demo(const Args& args) {
         report["f1"] = counts.f1();
         report["mae_m"] = mae;
         report["iterations"] = result.iterations;
+        if (want_stats) {
+            report["stats"] = ctx.to_json();
+        }
         std::cout << report.dump(2) << "\n";
+    } else if (want_stats) {
+        std::cout << ctx.to_json().dump(2) << "\n";
     } else {
         std::cout << "demo (alpha=" << mcs::format_percent(alpha, 0)
                   << ", beta=" << mcs::format_percent(beta, 0)
@@ -303,7 +326,9 @@ int usage() {
            "[--variant full|no-v|no-vt]\n"
            "           [--estimate-velocity] --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
-           "  demo     [--alpha A] [--beta B] [--seed S] [--json]\n";
+           "           [--stats-json]\n"
+           "  demo     [--alpha A] [--beta B] [--seed S] [--json] "
+           "[--stats-json]\n";
     return 1;
 }
 

@@ -45,6 +45,20 @@ test -s "$WORKDIR/cleaned2.csv"
 echo "== demo =="
 "$ITSCS" demo --alpha 0.1 --beta 0.1 --json | grep -q '"precision"'
 
+echo "== stats-json =="
+# Instrumented clean: the counters block must reach stdout and the report.
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --out "$WORKDIR/cleaned3.csv" --report "$WORKDIR/report3.json" \
+    --stats-json > "$WORKDIR/clean_stats.out"
+grep -q '"workspace_allocations"' "$WORKDIR/clean_stats.out"
+grep -q '"asd_iterations"' "$WORKDIR/clean_stats.out"
+grep -q '"workspace_allocations"' "$WORKDIR/report3.json"
+# Instrumented demo: --json merges the counters as a "stats" member.
+"$ITSCS" demo --alpha 0.1 --beta 0.1 --json --stats-json \
+    > "$WORKDIR/demo_stats.out"
+grep -q '"stats"' "$WORKDIR/demo_stats.out"
+grep -q '"cs_solves"' "$WORKDIR/demo_stats.out"
+
 echo "== usage errors =="
 if "$ITSCS" frobnicate 2>/dev/null; then
     echo "expected usage failure"; exit 1
