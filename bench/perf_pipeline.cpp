@@ -7,11 +7,21 @@
 // timings as a JSON document — including the steady-state ASD workspace
 // check (0 buffer allocations per iteration after warm-up). Pass
 // `--stats-only` to skip the microbenchmarks and emit only the JSON.
+//
+// Pass `--runtime-sweep` to instead run the runtime-subsystem thread
+// sweep: a 1264 x 240 fleet (8 paper-scale shards of 158 participants)
+// executed by FleetRunner at 1/2/4/8 workers. Results are written to
+// BENCH_runtime.json in the working directory (and stdout): per worker
+// count {threads, shards, wall_ms, speedup, alloc_steady_state} plus a
+// bit-identity check of every parallel run against the 1-worker run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/context.hpp"
@@ -23,6 +33,7 @@
 #include "detect/tmm.hpp"
 #include "eval/methods.hpp"
 #include "linalg/temporal.hpp"
+#include "runtime/fleet_runner.hpp"
 #include "trace/simulator.hpp"
 
 namespace {
@@ -201,10 +212,106 @@ mcs::Json instrumented_pipeline_report() {
     return report;
 }
 
+// ---- runtime thread sweep ------------------------------------------------
+//
+// 8 shards of the paper's 158 participants: big enough that shard work
+// dominates pool overhead, small enough to sweep on a laptop. Every
+// configuration pins shard_size = 158 (kTail), so the block decomposition
+// — and therefore the numerics — is constant across the sweep; only the
+// worker count varies. Each configuration runs twice: the second (warm)
+// run provides the wall time and the steady-state allocation count, since
+// the runner clear()s its arenas between runs.
+bool bitwise_equal(const mcs::Matrix& a, const mcs::Matrix& b) {
+    const auto da = a.data();
+    const auto db = b.data();
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::equal(da.begin(), da.end(), db.begin());
+}
+
+mcs::Json runtime_sweep_report() {
+    constexpr std::size_t kShardSize = 158;
+    constexpr std::size_t kShards = 8;
+    constexpr std::size_t kSlots = 240;
+    const std::size_t participants = kShardSize * kShards;
+
+    std::cerr << "runtime sweep: simulating " << participants << "x"
+              << kSlots << " fleet...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, kSlots);
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.2;
+    corruption.seed = 5;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+    const mcs::ItscsInput input = mcs::to_itscs_input(data);
+
+    mcs::Json rows = mcs::Json::array();
+    double sequential_ms = 0.0;
+    mcs::Matrix reference_detection, reference_x, reference_y;
+    bool all_bitwise_equal = true;
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        mcs::RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = kShardSize;
+        config.remainder = mcs::ShardRemainder::kTail;
+        mcs::FleetRunner runner(config);
+
+        std::cerr << "runtime sweep: threads=" << threads << " (cold)\n";
+        runner.run(input, mcs::ItscsConfig{});  // warm-up
+        std::cerr << "runtime sweep: threads=" << threads << " (timed)\n";
+        mcs::PipelineContext ctx;
+        const mcs::Stopwatch timer;
+        const mcs::FleetResult fleet =
+            runner.run(input, mcs::ItscsConfig{}, &ctx);
+        const double wall_ms = timer.elapsed_seconds() * 1000.0;
+
+        bool equal_to_sequential = true;
+        if (threads == 1) {
+            sequential_ms = wall_ms;
+            reference_detection = fleet.aggregate.detection;
+            reference_x = fleet.aggregate.reconstructed_x;
+            reference_y = fleet.aggregate.reconstructed_y;
+        } else {
+            equal_to_sequential =
+                bitwise_equal(fleet.aggregate.detection,
+                              reference_detection) &&
+                bitwise_equal(fleet.aggregate.reconstructed_x,
+                              reference_x) &&
+                bitwise_equal(fleet.aggregate.reconstructed_y,
+                              reference_y);
+            all_bitwise_equal = all_bitwise_equal && equal_to_sequential;
+        }
+
+        mcs::Json row = mcs::Json::object();
+        row["threads"] = threads;
+        row["shards"] = fleet.shards.size();
+        row["wall_ms"] = wall_ms;
+        row["speedup"] = sequential_ms > 0.0 ? sequential_ms / wall_ms : 1.0;
+        row["alloc_steady_state"] =
+            ctx.counters().workspace_allocations;
+        row["bitwise_equal_to_sequential"] = equal_to_sequential;
+        rows.push_back(row);
+    }
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = kSlots;
+    report["fleet"]["shard_size"] = kShardSize;
+    report["fleet"]["shards"] = kShards;
+    report["hardware_concurrency"] =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+    report["sweep"] = rows;
+    report["all_bitwise_equal_to_sequential"] = all_bitwise_equal;
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool stats_only = false;
+    bool runtime_sweep = false;
     std::vector<char*> args;
     args.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
@@ -212,7 +319,18 @@ int main(int argc, char** argv) {
             stats_only = true;
             continue;
         }
+        if (std::string_view(argv[i]) == "--runtime-sweep") {
+            runtime_sweep = true;
+            continue;
+        }
         args.push_back(argv[i]);
+    }
+    if (runtime_sweep) {
+        const mcs::Json report = runtime_sweep_report();
+        std::ofstream out("BENCH_runtime.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        return 0;
     }
     if (!stats_only) {
         int filtered_argc = static_cast<int>(args.size());

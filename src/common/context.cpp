@@ -17,13 +17,28 @@ std::size_t PipelineContext::stat_index(const std::string& name) {
     return stats_.size() - 1;
 }
 
+void PipelineContext::assert_owner() {
+#ifndef NDEBUG
+    // One-context-per-thread: bind on first use, then insist. Cleared at
+    // merge()/reset(), the sanctioned ownership hand-off points.
+    if (owner_ == std::thread::id{}) {
+        owner_ = std::this_thread::get_id();
+    }
+    MCS_CHECK_MSG(owner_ == std::this_thread::get_id(),
+                  "PipelineContext: used from two threads concurrently "
+                  "(one context per thread; combine with merge())");
+#endif
+}
+
 void PipelineContext::phase_begin(std::string name) {
+    assert_owner();
     const std::size_t index = stat_index(name);
     stats_[index].calls += 1;
     open_.push_back({index, Stopwatch{}});
 }
 
 void PipelineContext::phase_end() {
+    assert_owner();
     MCS_CHECK_MSG(!open_.empty(),
                   "PipelineContext: phase_end without matching phase_begin");
     const OpenPhase& top = open_.back();
@@ -31,11 +46,37 @@ void PipelineContext::phase_end() {
     open_.pop_back();
 }
 
+void PipelineContext::merge(const PipelineContext& other) {
+    MCS_CHECK_MSG(&other != this, "PipelineContext: merge with itself");
+    MCS_CHECK_MSG(open_.empty() && other.open_.empty(),
+                  "PipelineContext: merge with phases still open");
+    counters_.workspace_allocations += other.counters_.workspace_allocations;
+    counters_.workspace_checkouts += other.counters_.workspace_checkouts;
+    counters_.gemm_flops += other.counters_.gemm_flops;
+    counters_.svd_sweeps += other.counters_.svd_sweeps;
+    counters_.asd_iterations += other.counters_.asd_iterations;
+    counters_.cs_solves += other.counters_.cs_solves;
+    counters_.itscs_iterations += other.counters_.itscs_iterations;
+    counters_.detect_passes += other.counters_.detect_passes;
+    counters_.check_passes += other.counters_.check_passes;
+    for (const PhaseStat& stat : other.stats_) {
+        PhaseStat& mine = stats_[stat_index(stat.name)];
+        mine.calls += stat.calls;
+        mine.seconds += stat.seconds;
+    }
+#ifndef NDEBUG
+    owner_ = std::thread::id{};  // ownership hand-off point
+#endif
+}
+
 void PipelineContext::reset() {
     MCS_CHECK_MSG(open_.empty(),
                   "PipelineContext: reset with phases still open");
     counters_ = PipelineCounters{};
     stats_.clear();
+#ifndef NDEBUG
+    owner_ = std::thread::id{};
+#endif
 }
 
 Json PipelineContext::to_json() const {

@@ -14,12 +14,23 @@
 //
 // Everything is nullable by convention: hot-path code receives a
 // `PipelineContext*` that may be nullptr, and the helpers here (PhaseScope,
-// counters_of) make the null case free. The context is not thread-safe; use
-// one per thread.
+// counters_of) make the null case free.
+//
+// Ownership rule (the runtime subsystem's concurrency contract): a context
+// is single-owner — at any instant at most one thread records into it.
+// Concurrent pipelines each get their own context (one per shard in
+// FleetRunner) and the results are combined *after* the joining barrier
+// with merge(), which sums counters and folds phase timers. Ownership may
+// hand off between threads at synchronisation points (a worker finishes a
+// shard, the caller merges); what is forbidden is simultaneous use. Debug
+// builds assert the rule: the first phase_begin() binds the context to the
+// calling thread and later phase operations must come from that thread
+// until merge()/reset() releases the binding.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -88,6 +99,15 @@ public:
     /// Accumulated per-phase totals, in first-use order.
     const std::vector<PhaseStat>& phase_stats() const { return stats_; }
 
+    /// Fold another (quiescent) context into this one: counters are
+    /// summed and each of `other`'s phases is added to the phase of the
+    /// same name here (appended in `other`'s order when unseen). Both
+    /// contexts must have no open phases; `other` is left untouched and
+    /// neither RNG stream moves. Merging in a fixed order (FleetRunner
+    /// merges by shard index) keeps the aggregate report deterministic.
+    /// Also a thread-ownership release point in debug builds.
+    void merge(const PipelineContext& other);
+
     /// Zero all counters and phase totals (the RNG stream is untouched).
     void reset();
 
@@ -101,11 +121,15 @@ private:
     };
 
     std::size_t stat_index(const std::string& name);
+    void assert_owner();
 
     Rng rng_;
     PipelineCounters counters_;
     std::vector<PhaseStat> stats_;
     std::vector<OpenPhase> open_;
+#ifndef NDEBUG
+    std::thread::id owner_;  // bound by first phase op, cleared at merge/reset
+#endif
 };
 
 /// Counters of a nullable context (nullptr when ctx is null) — the common

@@ -72,7 +72,10 @@ void StreamingDetector::evaluate_window() {
             input.existence(i, j) = column.observed[i] ? 1.0 : 0.0;
         }
     }
-    const ItscsResult result = run_itscs(input, config_.framework, {}, ctx_);
+    const ItscsResult result =
+        config_.evaluator != nullptr
+            ? config_.evaluator(input, config_.framework, ctx_)
+            : run_itscs(input, config_.framework, {}, ctx_);
 
     WindowReport report;
     report.first_slot = slots_received_ - w;

@@ -12,12 +12,22 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/itscs.hpp"
 
 namespace mcs {
+
+/// How a StreamingDetector turns one assembled window into a result.
+/// Defaults to run_itscs (sequential). The runtime subsystem's
+/// FleetRunner::window_evaluator() plugs in here to evaluate the window's
+/// participant shards concurrently at each stride boundary; any evaluator
+/// must be a pure function of (input, config, ctx) so streaming stays
+/// deterministic.
+using WindowEvaluator = std::function<ItscsResult(
+    const ItscsInput&, const ItscsConfig&, PipelineContext*)>;
 
 /// One slot of uploads across the fleet. Vectors are indexed by
 /// participant; `observed[i] == 0` marks a missing reading (the
@@ -47,6 +57,9 @@ public:
         std::size_t window = 60;  ///< slots per evaluation
         std::size_t stride = 20;  ///< slots between evaluations
         ItscsConfig framework;
+        /// Window evaluation hook; null = run_itscs. The target (e.g. a
+        /// FleetRunner) must outlive the detector.
+        WindowEvaluator evaluator;
     };
 
     /// `participants` fixes the fleet size; `tau_s` the slot duration.

@@ -25,7 +25,30 @@ void add_gemm_flops(PipelineCounters* counters, std::size_t m, std::size_t n,
     }
 }
 
+RowExecutor* g_row_executor = nullptr;
+
+// Run `body` over [0, rows): through the installed executor when the
+// destination is tall enough to amortise dispatch, serially otherwise.
+// Counters are never touched inside `body` — callers bump them once on
+// their own thread after the loop.
+void for_rows_maybe_parallel(
+    std::size_t rows,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+    RowExecutor* executor = g_row_executor;
+    if (executor == nullptr || rows < kKernelRowBlockThreshold) {
+        body(0, rows);
+        return;
+    }
+    executor->for_rows(rows, body);
+}
+
 }  // namespace
+
+void set_kernel_row_executor(RowExecutor* executor) {
+    g_row_executor = executor;
+}
+
+RowExecutor* kernel_row_executor() { return g_row_executor; }
 
 void copy_into(Matrix& dst, const Matrix& src) {
     check_shape(dst, src.rows(), src.cols(), "copy_into");
@@ -77,19 +100,26 @@ void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
                   "multiply_into: inner dimensions differ: " +
                       a.shape_string() + " * " + b.shape_string());
     check_shape(dst, a.rows(), b.cols(), "multiply_into");
-    dst.fill(0.0);
-    // Same i-k-j order as ops.cpp multiply() so results match bit-for-bit.
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double aik = a(i, k);
-            if (aik == 0.0) {
-                continue;
+    // Same i-k-j order as ops.cpp multiply() so results match bit-for-bit;
+    // each dst row is produced by exactly one block, so the row-parallel
+    // path is bit-identical too.
+    for_rows_maybe_parallel(a.rows(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            auto out = dst.row(i);
+            for (double& v : out) {
+                v = 0.0;
             }
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-                dst(i, j) += aik * b(k, j);
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+                const double aik = a(i, k);
+                if (aik == 0.0) {
+                    continue;
+                }
+                for (std::size_t j = 0; j < b.cols(); ++j) {
+                    out[j] += aik * b(k, j);
+                }
             }
         }
-    }
+    });
     add_gemm_flops(counters, a.rows(), b.cols(), a.cols());
 }
 
@@ -99,17 +129,19 @@ void multiply_transposed_into(Matrix& dst, const Matrix& a, const Matrix& b,
                   "multiply_transposed_into: inner dimensions differ: " +
                       a.shape_string() + " * " + b.shape_string() + "ᵀ");
     check_shape(dst, a.rows(), b.rows(), "multiply_transposed_into");
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        const auto ra = a.row(i);
-        for (std::size_t j = 0; j < b.rows(); ++j) {
-            const auto rb = b.row(j);
-            double acc = 0.0;
-            for (std::size_t k = 0; k < ra.size(); ++k) {
-                acc += ra[k] * rb[k];
+    for_rows_maybe_parallel(a.rows(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const auto ra = a.row(i);
+            for (std::size_t j = 0; j < b.rows(); ++j) {
+                const auto rb = b.row(j);
+                double acc = 0.0;
+                for (std::size_t k = 0; k < ra.size(); ++k) {
+                    acc += ra[k] * rb[k];
+                }
+                dst(i, j) = acc;
             }
-            dst(i, j) = acc;
         }
-    }
+    });
     add_gemm_flops(counters, a.rows(), b.rows(), a.cols());
 }
 
@@ -156,21 +188,23 @@ void masked_residual_into(Matrix& dst, const Matrix& l, const Matrix& r,
     MCS_CHECK_MSG(mask.rows() == s.rows() && mask.cols() == s.cols(),
                   "masked_residual_into: mask/S shape mismatch");
     check_shape(dst, mask.rows(), mask.cols(), "masked_residual_into");
-    for (std::size_t i = 0; i < mask.rows(); ++i) {
-        const auto li = l.row(i);
-        for (std::size_t j = 0; j < mask.cols(); ++j) {
-            if (mask(i, j) != 0.0) {
-                const auto rj = r.row(j);
-                double acc = 0.0;
-                for (std::size_t k = 0; k < li.size(); ++k) {
-                    acc += li[k] * rj[k];
+    for_rows_maybe_parallel(mask.rows(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const auto li = l.row(i);
+            for (std::size_t j = 0; j < mask.cols(); ++j) {
+                if (mask(i, j) != 0.0) {
+                    const auto rj = r.row(j);
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < li.size(); ++k) {
+                        acc += li[k] * rj[k];
+                    }
+                    dst(i, j) = acc * mask(i, j) - s(i, j);
+                } else {
+                    dst(i, j) = -s(i, j);
                 }
-                dst(i, j) = acc * mask(i, j) - s(i, j);
-            } else {
-                dst(i, j) = -s(i, j);
             }
         }
-    }
+    });
     add_gemm_flops(counters, mask.rows(), mask.cols(), l.cols());
 }
 
@@ -233,5 +267,7 @@ void Workspace::release(Matrix&& m) {
     }
     pool_.push_back(std::move(m));
 }
+
+void Workspace::clear() { pool_.clear(); }
 
 }  // namespace mcs

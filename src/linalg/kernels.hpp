@@ -23,12 +23,52 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/context.hpp"
 #include "linalg/matrix.hpp"
 
 namespace mcs {
+
+// ---- Opt-in row-blocked kernel parallelism -----------------------------
+//
+// The linalg layer sits below the runtime subsystem, so it cannot own a
+// thread pool. Instead the GEMM-shaped kernels whose destination rows are
+// independent (multiply_into, multiply_transposed_into,
+// masked_residual_into) expose a seam: when a RowExecutor is installed,
+// the outer i-loop is split into disjoint row blocks and handed to it.
+// Every row is computed by exactly the serial loop's arithmetic — same
+// inner loop order, same term skipping — so results stay bit-identical to
+// the serial path regardless of how blocks are scheduled. Installed by
+// runtime::KernelParallelScope, gated by RuntimeConfig::kernel_threads.
+
+/// Executor for disjoint row blocks of a kernel's destination.
+class RowExecutor {
+public:
+    virtual ~RowExecutor() = default;
+
+    /// Invoke block(begin, end) over a disjoint cover of [0, rows), in any
+    /// order / concurrently; must not return before every block finished.
+    /// Implementations must run the blocks inline when already on a worker
+    /// thread (kernels cannot know their caller's nesting level).
+    virtual void for_rows(
+        std::size_t rows,
+        const std::function<void(std::size_t, std::size_t)>& block) = 0;
+};
+
+/// Install (nullptr: remove) the process-wide kernel row executor. The
+/// pointer is not owned. Installation is not synchronised — install/remove
+/// only while no kernels are running (startup, or the RAII scope in the
+/// runtime subsystem).
+void set_kernel_row_executor(RowExecutor* executor);
+
+/// Currently installed executor (nullptr = serial kernels).
+RowExecutor* kernel_row_executor();
+
+/// Destinations with fewer rows run serially even when an executor is
+/// installed: below this, block-dispatch overhead beats the arithmetic.
+constexpr std::size_t kKernelRowBlockThreshold = 64;
 
 /// dst = src (same shape).
 void copy_into(Matrix& dst, const Matrix& src);
@@ -86,7 +126,15 @@ void temporal_diff_adjoint_into(Matrix& dst, const Matrix& e);
 /// workspace_allocations — the counter pair behind the "zero allocations
 /// after warm-up" regression test and the perf_pipeline JSON report.
 ///
-/// Not thread-safe; use one Workspace per solver instance.
+/// Ownership rule: the arena is single-owner — not thread-safe, one
+/// Workspace per solver instance / per worker. Ownership may hand off
+/// between threads at synchronisation points (FleetRunner's workers each
+/// keep a long-lived arena and the runner clear()s them after the joining
+/// barrier); what is forbidden is concurrent use. Long-lived owners should
+/// clear() between independent runs: the pool retains every
+/// distinct-shape buffer ever released (its high-water mark), and a
+/// worker that just processed an oversized shard would otherwise pin that
+/// peak memory forever.
 class Workspace {
 public:
     explicit Workspace(PipelineCounters* counters = nullptr)
@@ -97,6 +145,12 @@ public:
 
     /// Return a buffer to the pool for later reuse.
     void release(Matrix&& m);
+
+    /// Drop every pooled buffer (checked-out buffers are unaffected),
+    /// releasing the arena's high-water-mark scratch back to the heap.
+    /// Call between independent runs on long-lived workers; created() is
+    /// a lifetime total and keeps counting across clears.
+    void clear();
 
     PipelineCounters* counters() const { return counters_; }
 

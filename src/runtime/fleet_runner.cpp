@@ -1,0 +1,201 @@
+#include "runtime/fleet_runner.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/kernel_parallel.hpp"
+
+namespace mcs {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+    if (requested != 0) {
+        return requested;
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// Copy rows [shard.begin, shard.end) of `src` into the shard-sized `dst`.
+void slice_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        const auto in = src.row(i);
+        auto out = dst.row(i - shard.begin);
+        std::copy(in.begin(), in.end(), out.begin());
+    }
+}
+
+// Copy the shard-sized `src` back into rows [shard.begin, shard.end) of
+// the fleet-sized `dst`. Shards are disjoint row ranges, so concurrent
+// scatters from different workers touch disjoint memory.
+void scatter_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        const auto in = src.row(i - shard.begin);
+        auto out = dst.row(i);
+        std::copy(in.begin(), in.end(), out.begin());
+    }
+}
+
+}  // namespace
+
+FleetRunner::FleetRunner(RuntimeConfig config)
+    : config_(config), threads_(resolve_threads(config.threads)) {
+    if (threads_ > 1) {
+        pool_ = std::make_unique<ThreadPool>(threads_);
+    }
+    // One arena per worker (the inline path is "worker 0"). Workers are
+    // the exclusive owners while a run is in flight; the runner reclaims
+    // ownership at the barrier (see run()).
+    workspaces_.resize(std::max<std::size_t>(1, threads_));
+}
+
+FleetRunner::~FleetRunner() = default;
+
+ShardPlan FleetRunner::plan_for(std::size_t participants) const {
+    if (config_.shard_size > 0) {
+        return ShardPlan::by_size(participants, config_.shard_size,
+                                  config_.remainder);
+    }
+    const std::size_t count =
+        config_.shard_count > 0 ? config_.shard_count : threads_;
+    return ShardPlan::by_count(participants, count, config_.remainder);
+}
+
+FleetResult FleetRunner::run(const ItscsInput& input,
+                             const ItscsConfig& config,
+                             PipelineContext* ctx) {
+    input.validate();
+    const std::size_t n = input.sx.rows();
+    const std::size_t t = input.sx.cols();
+    const ShardPlan plan = plan_for(n);
+    const std::size_t count = plan.count();
+
+    // Per-shard seeds drawn by index on this thread — the decomposition's
+    // seeds never depend on which worker runs which shard.
+    Rng root(config_.seed);
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        seeds[s] = root.next_u64();
+    }
+    std::vector<PipelineContext> contexts;
+    contexts.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        contexts.emplace_back(seeds[s]);
+    }
+
+    FleetResult out;
+    out.aggregate.detection = Matrix(n, t);
+    out.aggregate.reconstructed_x = Matrix(n, t);
+    out.aggregate.reconstructed_y = Matrix(n, t);
+    out.shards.resize(count);
+    std::vector<std::vector<ItscsIterationStats>> histories(count);
+
+    // Opt-in row-blocked kernel parallelism for the duration of the run;
+    // dormant underneath shard workers (they run kernels inline).
+    KernelParallelScope kernel_scope(config_.kernel_threads);
+
+    auto run_shard = [&](std::size_t s) {
+        const Shard& shard = plan.shards()[s];
+        const std::size_t rows = shard.size();
+        const std::size_t worker = ThreadPool::worker_index();
+        Workspace& ws = workspaces_[worker == static_cast<std::size_t>(-1)
+                                        ? 0
+                                        : worker];
+
+        // Stage the shard's input slices in the worker's arena: a worker
+        // running several same-shaped shards allocates the staging
+        // buffers once.
+        ItscsInput si;
+        si.sx = ws.acquire(rows, t);
+        si.sy = ws.acquire(rows, t);
+        si.vx = ws.acquire(rows, t);
+        si.vy = ws.acquire(rows, t);
+        si.existence = ws.acquire(rows, t);
+        si.tau_s = input.tau_s;
+        slice_rows(si.sx, input.sx, shard);
+        slice_rows(si.sy, input.sy, shard);
+        slice_rows(si.vx, input.vx, shard);
+        slice_rows(si.vy, input.vy, shard);
+        slice_rows(si.existence, input.existence, shard);
+
+        ItscsResult result = run_itscs(si, config, {}, &contexts[s]);
+
+        scatter_rows(out.aggregate.detection, result.detection, shard);
+        scatter_rows(out.aggregate.reconstructed_x, result.reconstructed_x,
+                     shard);
+        scatter_rows(out.aggregate.reconstructed_y, result.reconstructed_y,
+                     shard);
+        out.shards[s] = {shard, seeds[s], result.iterations,
+                         result.converged};
+        histories[s] = std::move(result.history);
+
+        ws.release(std::move(si.sx));
+        ws.release(std::move(si.sy));
+        ws.release(std::move(si.vx));
+        ws.release(std::move(si.vy));
+        ws.release(std::move(si.existence));
+    };
+
+    if (pool_ != nullptr && count > 1) {
+        pool_->parallel_for(0, count, 1,
+                            [&](std::size_t lo, std::size_t hi) {
+                                for (std::size_t s = lo; s < hi; ++s) {
+                                    run_shard(s);
+                                }
+                            });
+    } else {
+        for (std::size_t s = 0; s < count; ++s) {
+            run_shard(s);
+        }
+    }
+
+    // ---- joining barrier passed: single-threaded from here on ----
+
+    // Merge instrumentation in shard order (deterministic report), then
+    // release every arena's high-water scratch so long-lived workers do
+    // not pin the peak of this run.
+    if (ctx != nullptr) {
+        for (const PipelineContext& shard_ctx : contexts) {
+            ctx->merge(shard_ctx);
+        }
+    }
+    for (Workspace& ws : workspaces_) {
+        ws.clear();
+    }
+
+    // Aggregate diagnostics: iterations is the slowest shard, converged
+    // the conjunction, history the per-iteration sum over shards (shards
+    // already converged contribute nothing to later iterations).
+    out.aggregate.converged = true;
+    for (const ShardRunReport& report : out.shards) {
+        out.aggregate.iterations =
+            std::max(out.aggregate.iterations, report.iterations);
+        out.aggregate.converged =
+            out.aggregate.converged && report.converged;
+    }
+    out.aggregate.history.resize(out.aggregate.iterations);
+    for (std::size_t k = 0; k < out.aggregate.iterations; ++k) {
+        ItscsIterationStats& merged = out.aggregate.history[k];
+        merged.iteration = k + 1;
+        for (const auto& history : histories) {
+            if (k < history.size()) {
+                merged.flagged += history[k].flagged;
+                merged.detection_changes += history[k].detection_changes;
+                merged.cs_objective_x += history[k].cs_objective_x;
+                merged.cs_objective_y += history[k].cs_objective_y;
+            }
+        }
+    }
+    return out;
+}
+
+WindowEvaluator FleetRunner::window_evaluator() {
+    return [this](const ItscsInput& input, const ItscsConfig& config,
+                  PipelineContext* ctx) -> ItscsResult {
+        return run(input, config, ctx).aggregate;
+    };
+}
+
+}  // namespace mcs

@@ -1,0 +1,119 @@
+// FleetRunner — shard-parallel execution of the I(TS,CS) framework.
+//
+// The paper evaluates one 158 x 240 matrix; a production fleet is orders
+// of magnitude taller. Participants decompose into shards (ShardPlan) that
+// detect/correct independently, so the runner executes run_itscs once per
+// shard across a ThreadPool and stitches the per-shard detections and
+// reconstructions back into fleet-sized matrices.
+//
+// Determinism contract: shard boundaries, not scheduling order, define the
+// numerics. Every shard gets its own PipelineContext whose seed is drawn
+// from a root RNG *by shard index* on the calling thread, each worker owns
+// its private Workspace arena, and the per-shard contexts are merged into
+// the caller's context in shard order after the joining barrier — so for a
+// fixed RuntimeConfig (minus `threads`) the output is bit-identical at any
+// thread count, including 1, and identical to running run_itscs over each
+// shard sequentially.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/itscs.hpp"
+#include "core/streaming.hpp"
+#include "linalg/kernels.hpp"
+#include "runtime/shard_plan.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mcs {
+
+/// Knobs of the runtime subsystem (CLI: --threads / --shard-size /
+/// --kernel-threads).
+struct RuntimeConfig {
+    /// Shard worker threads. 0 = hardware concurrency; 1 = run shards
+    /// inline on the caller (no pool). Never affects results.
+    std::size_t threads = 1;
+
+    /// Participants per shard (0 = derive from shard_count). Part of the
+    /// numerics: changing it changes the block decomposition.
+    std::size_t shard_size = 0;
+
+    /// Shard count when shard_size == 0. 0 = one shard per resolved
+    /// worker thread. NOTE: this default couples the decomposition to the
+    /// machine — set shard_size or shard_count explicitly whenever
+    /// reproducibility across machines matters.
+    std::size_t shard_count = 0;
+
+    ShardRemainder remainder = ShardRemainder::kSpread;
+
+    /// Row-blocked kernel parallelism (KernelParallelScope) during run():
+    /// <= 1 is off. Pays off on the sequential path (threads == 1) with
+    /// tall shards; shard workers always run their kernels inline.
+    std::size_t kernel_threads = 1;
+
+    /// Root seed; shard i's PipelineContext is seeded with the i-th draw
+    /// of Rng(seed), independent of thread count.
+    std::uint64_t seed = 0x17c5u;
+};
+
+/// Outcome of one shard's framework run.
+struct ShardRunReport {
+    Shard shard;
+    std::uint64_t seed = 0;       ///< the shard context's derived seed
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+/// Fleet-level outcome: the stitched result plus per-shard diagnostics.
+struct FleetResult {
+    /// detection / reconstructed_x / reconstructed_y are fleet-sized
+    /// (rows stitched from the shards); iterations is the max over
+    /// shards, converged the conjunction, and history the per-iteration
+    /// sum over shards (flagged cells, changes, objectives).
+    ItscsResult aggregate;
+    std::vector<ShardRunReport> shards;
+};
+
+/// Shard-parallel driver around run_itscs. Owns its worker pool and one
+/// Workspace arena per worker; reusable across runs (long-lived workers
+/// recycle their arenas within a run and the runner clear()s them after
+/// every barrier, so steady-state memory is bounded by the largest
+/// in-flight window, not the all-time peak).
+class FleetRunner {
+public:
+    explicit FleetRunner(RuntimeConfig config = {});
+    ~FleetRunner();
+
+    FleetRunner(const FleetRunner&) = delete;
+    FleetRunner& operator=(const FleetRunner&) = delete;
+
+    /// Run the framework shard-by-shard. A non-null `ctx` receives the
+    /// merged counters and phase timers of every shard context (summed —
+    /// phase seconds aggregate CPU-style across workers, so they can
+    /// exceed wall time), merged in shard order after the barrier.
+    FleetResult run(const ItscsInput& input, const ItscsConfig& config,
+                    PipelineContext* ctx = nullptr);
+
+    /// The shard decomposition run() will use for a fleet of
+    /// `participants` rows.
+    ShardPlan plan_for(std::size_t participants) const;
+
+    /// Worker threads the runner resolved (>= 1).
+    std::size_t threads() const { return threads_; }
+
+    const RuntimeConfig& config() const { return config_; }
+
+    /// Adapter for StreamingDetector: evaluates each window shard-
+    /// concurrently through this runner. The runner must outlive every
+    /// detector holding the hook.
+    WindowEvaluator window_evaluator();
+
+private:
+    RuntimeConfig config_;
+    std::size_t threads_ = 1;
+    std::unique_ptr<ThreadPool> pool_;        // null when threads_ == 1
+    std::vector<Workspace> workspaces_;       // one per worker (>= 1)
+};
+
+}  // namespace mcs

@@ -1,0 +1,43 @@
+// KernelParallelScope — opt-in row-blocked parallelism for the GEMM /
+// masked-residual kernels.
+//
+// The linalg layer exposes a RowExecutor seam (see linalg/kernels.hpp);
+// this RAII scope owns a dedicated ThreadPool and installs a pool-backed
+// executor for its lifetime. Row blocks are computed by the exact serial
+// arithmetic, so enabling the scope never changes results — only where
+// the rows are computed.
+//
+// The executor runs blocks inline when invoked from any ThreadPool worker
+// (a kernel inside a FleetRunner shard worker must not fan out again), so
+// the scope composes safely with shard-level parallelism; it simply goes
+// dormant underneath it. One scope at a time per process — constructing a
+// second concurrent scope throws.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "linalg/kernels.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mcs {
+
+class KernelParallelScope {
+public:
+    /// kernel_threads <= 1 constructs an inactive scope (no pool, no
+    /// executor installed) so callers can pass the knob through unguarded.
+    explicit KernelParallelScope(std::size_t kernel_threads);
+    ~KernelParallelScope();
+
+    KernelParallelScope(const KernelParallelScope&) = delete;
+    KernelParallelScope& operator=(const KernelParallelScope&) = delete;
+
+    /// True when a pool-backed executor is installed.
+    bool active() const { return executor_ != nullptr; }
+
+private:
+    class PoolRowExecutor;
+    std::unique_ptr<PoolRowExecutor> executor_;
+};
+
+}  // namespace mcs

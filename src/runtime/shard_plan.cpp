@@ -1,0 +1,69 @@
+#include "runtime/shard_plan.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Emit `count` shards over `rows`, sizes balanced to within one row (the
+// first rows % count shards get the extra row).
+std::vector<Shard> spread(std::size_t rows, std::size_t count) {
+    const std::size_t base = rows / count;
+    const std::size_t extra = rows % count;
+    std::vector<Shard> shards;
+    shards.reserve(count);
+    std::size_t begin = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t size = base + (k < extra ? 1 : 0);
+        shards.push_back({k, begin, begin + size});
+        begin += size;
+    }
+    return shards;
+}
+
+// Emit shards of exactly `size` rows plus one short tail (if any).
+std::vector<Shard> tail(std::size_t rows, std::size_t size) {
+    std::vector<Shard> shards;
+    shards.reserve((rows + size - 1) / size);
+    std::size_t begin = 0;
+    while (begin < rows) {
+        const std::size_t end = std::min(rows, begin + size);
+        shards.push_back({shards.size(), begin, end});
+        begin = end;
+    }
+    return shards;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::by_size(std::size_t rows, std::size_t shard_size,
+                             ShardRemainder policy) {
+    MCS_CHECK_MSG(rows > 0, "ShardPlan::by_size: no rows");
+    MCS_CHECK_MSG(shard_size > 0, "ShardPlan::by_size: zero shard size");
+    if (policy == ShardRemainder::kTail) {
+        return ShardPlan(rows, tail(rows, shard_size));
+    }
+    const std::size_t count = (rows + shard_size - 1) / shard_size;
+    return ShardPlan(rows, spread(rows, count));
+}
+
+ShardPlan ShardPlan::by_count(std::size_t rows, std::size_t shard_count,
+                              ShardRemainder policy) {
+    MCS_CHECK_MSG(rows > 0, "ShardPlan::by_count: no rows");
+    MCS_CHECK_MSG(shard_count > 0, "ShardPlan::by_count: zero shard count");
+    const std::size_t count = std::min(rows, shard_count);
+    if (policy == ShardRemainder::kTail) {
+        return ShardPlan(rows, tail(rows, (rows + count - 1) / count));
+    }
+    return ShardPlan(rows, spread(rows, count));
+}
+
+ShardPlan ShardPlan::whole(std::size_t rows) {
+    MCS_CHECK_MSG(rows > 0, "ShardPlan::whole: no rows");
+    return ShardPlan(rows, {Shard{0, 0, rows}});
+}
+
+}  // namespace mcs

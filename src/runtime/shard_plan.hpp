@@ -1,0 +1,75 @@
+// ShardPlan — deterministic partitioning of a fleet into participant shards.
+//
+// A city-scale fleet matrix (participants x slots) decomposes by rows:
+// every participant's readings live in one row, DETECT is row-local, and
+// the low-rank CORRECT model holds within any participant subset large
+// enough to span the shared mobility structure. A shard is therefore a
+// contiguous row range [begin, end); a plan is a disjoint cover of
+// [0, rows).
+//
+// Shard boundaries are part of the numerics contract: two runs of the same
+// plan produce bit-identical results at any thread count, but two
+// *different* plans are different block decompositions and legitimately
+// differ in the reconstruction. Plans depend only on (rows, knobs) — never
+// on thread count or scheduling — so results are reproducible from the
+// config alone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcs {
+
+/// One contiguous participant range [begin, end).
+struct Shard {
+    std::size_t index = 0;  ///< position within the plan
+    std::size_t begin = 0;  ///< first row (inclusive)
+    std::size_t end = 0;    ///< one past the last row
+
+    std::size_t size() const { return end - begin; }
+};
+
+/// What to do when `rows` does not divide evenly.
+enum class ShardRemainder {
+    /// Spread the remainder across the leading shards (sizes differ by at
+    /// most one) — the balanced default for homogeneous workers.
+    kSpread,
+    /// Keep every shard at the nominal size and let the last shard run
+    /// short — the right policy when shard size is itself a model knob
+    /// (e.g. "exactly the paper's 158-participant block").
+    kTail,
+};
+
+/// A disjoint, ordered, complete cover of [0, rows) by shards.
+class ShardPlan {
+public:
+    /// Partition `rows` into shards of (nominally) `shard_size` rows.
+    /// kSpread rebalances to ceil(rows/shard_size) near-equal shards;
+    /// kTail emits full shards plus one short tail. Throws on rows == 0 or
+    /// shard_size == 0.
+    static ShardPlan by_size(std::size_t rows, std::size_t shard_size,
+                             ShardRemainder policy = ShardRemainder::kSpread);
+
+    /// Partition `rows` into exactly min(shard_count, rows) shards.
+    /// kSpread balances sizes to within one row; kTail gives the leading
+    /// shards ceil(rows/count) rows each. Throws on rows == 0 or
+    /// shard_count == 0.
+    static ShardPlan by_count(std::size_t rows, std::size_t shard_count,
+                              ShardRemainder policy = ShardRemainder::kSpread);
+
+    /// Trivial single-shard plan covering [0, rows).
+    static ShardPlan whole(std::size_t rows);
+
+    const std::vector<Shard>& shards() const { return shards_; }
+    std::size_t count() const { return shards_.size(); }
+    std::size_t rows() const { return rows_; }
+
+private:
+    ShardPlan(std::size_t rows, std::vector<Shard> shards)
+        : rows_(rows), shards_(std::move(shards)) {}
+
+    std::size_t rows_ = 0;
+    std::vector<Shard> shards_;
+};
+
+}  // namespace mcs

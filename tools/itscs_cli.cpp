@@ -16,12 +16,18 @@
 //
 //   itscs clean    --in corrupted.csv --participants N --slots T
 //                  [--variant full|no-v|no-vt] [--estimate-velocity]
+//                  [--threads N] [--shard-size K] [--kernel-threads M]
 //                  --out cleaned.csv [--flags flags.csv]
 //                  [--report report.json] [--stats-json]
 //       Run the framework: write the reconstructed trace, the flagged
 //       cells, and a JSON run report. --stats-json additionally runs the
 //       framework instrumented (PipelineContext) and prints its counters
-//       and phase timings as JSON on stdout.
+//       and phase timings as JSON on stdout. --threads/--shard-size route
+//       the run through the runtime subsystem's FleetRunner (participant
+//       shards detected/corrected concurrently; the per-shard contexts
+//       are merged so --stats-json stays a single document);
+//       --kernel-threads enables row-blocked kernel parallelism instead
+//       of (or alongside) sharding.
 //
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
 //                  [--stats-json]
@@ -45,6 +51,7 @@
 #include "core/variants.hpp"
 #include "corruption/scenario.hpp"
 #include "eval/methods.hpp"
+#include "runtime/fleet_runner.hpp"
 #include "linalg/ops.hpp"
 #include "metrics/confusion.hpp"
 #include "metrics/reconstruction_error.hpp"
@@ -211,8 +218,36 @@ int cmd_clean(const Args& args) {
         mcs::make_config(parse_variant(args.get_or("variant", "full")));
     mcs::PipelineContext ctx;
     const bool want_stats = args.has("stats-json");
-    const mcs::ItscsResult result =
-        mcs::run_itscs(input, config, {}, want_stats ? &ctx : nullptr);
+
+    // Runtime knobs: any of them routes the run through FleetRunner.
+    const std::size_t threads =
+        args.has("threads") ? args.count("threads") : 1;
+    const std::size_t shard_size =
+        args.has("shard-size") ? args.count("shard-size") : 0;
+    const std::size_t kernel_threads =
+        args.has("kernel-threads") ? args.count("kernel-threads") : 1;
+    const bool use_runner =
+        threads > 1 || shard_size > 0 || kernel_threads > 1;
+
+    mcs::ItscsResult result;
+    std::vector<mcs::ShardRunReport> shard_reports;
+    if (use_runner) {
+        mcs::RuntimeConfig runtime;
+        runtime.threads = threads;
+        runtime.shard_size = shard_size;
+        // Without --shard-size, pin the decomposition to the thread count
+        // so the flags alone reproduce the numerics on any machine.
+        runtime.shard_count = shard_size == 0 ? threads : 0;
+        runtime.kernel_threads = kernel_threads;
+        mcs::FleetRunner runner(runtime);
+        mcs::FleetResult fleet =
+            runner.run(input, config, want_stats ? &ctx : nullptr);
+        result = std::move(fleet.aggregate);
+        shard_reports = std::move(fleet.shards);
+    } else {
+        result = mcs::run_itscs(input, config, {},
+                                want_stats ? &ctx : nullptr);
+    }
 
     mcs::TraceDataset cleaned{result.reconstructed_x, result.reconstructed_y,
                               input.vx, input.vy, input.tau_s};
@@ -249,6 +284,22 @@ int cmd_clean(const Args& args) {
             history.push_back(row);
         }
         report["history"] = history;
+        if (use_runner) {
+            mcs::Json runtime = mcs::Json::object();
+            runtime["threads"] = threads;
+            runtime["kernel_threads"] = kernel_threads;
+            mcs::Json shards = mcs::Json::array();
+            for (const auto& s : shard_reports) {
+                mcs::Json row = mcs::Json::object();
+                row["begin"] = s.shard.begin;
+                row["end"] = s.shard.end;
+                row["iterations"] = s.iterations;
+                row["converged"] = s.converged;
+                shards.push_back(row);
+            }
+            runtime["shards"] = shards;
+            report["runtime"] = runtime;
+        }
         if (want_stats) {
             report["stats"] = ctx.to_json();
         }
@@ -324,7 +375,9 @@ int usage() {
            "[--truth-faults f.csv]\n"
            "  clean    --in c.csv --participants N --slots T "
            "[--variant full|no-v|no-vt]\n"
-           "           [--estimate-velocity] --out cleaned.csv "
+           "           [--estimate-velocity] [--threads N] "
+           "[--shard-size K] [--kernel-threads M]\n"
+           "           --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"
            "  demo     [--alpha A] [--beta B] [--seed S] [--json] "

@@ -59,6 +59,17 @@ grep -q '"workspace_allocations"' "$WORKDIR/report3.json"
 grep -q '"stats"' "$WORKDIR/demo_stats.out"
 grep -q '"cs_solves"' "$WORKDIR/demo_stats.out"
 
+echo "== sharded clean is bit-identical across thread counts =="
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --threads 1 --shard-size 8 --out "$WORKDIR/cleaned_t1.csv" \
+    --report "$WORKDIR/report_t1.json"
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --threads 2 --shard-size 8 --out "$WORKDIR/cleaned_t2.csv" \
+    --report "$WORKDIR/report_t2.json"
+cmp "$WORKDIR/cleaned_t1.csv" "$WORKDIR/cleaned_t2.csv"
+grep -q '"runtime"' "$WORKDIR/report_t2.json"
+grep -q '"shards"' "$WORKDIR/report_t2.json"
+
 echo "== usage errors =="
 if "$ITSCS" frobnicate 2>/dev/null; then
     echo "expected usage failure"; exit 1

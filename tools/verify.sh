@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Repo verification driver.
+#
+#   tools/verify.sh          tier-1: configure + build + full ctest suite
+#   tools/verify.sh tsan     concurrency job: rebuild the runtime-facing
+#                            tests with -fsanitize=thread (MCS_SANITIZE,
+#                            see the `tsan` CMake preset) and run
+#                            runtime_test + core_streaming_test under TSan
+#   tools/verify.sh all      both, tier-1 first
+#
+# Run from the repository root. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tier1() {
+    echo "== tier-1: build =="
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)"
+    echo "== tier-1: ctest =="
+    ctest --preset default
+}
+
+tsan() {
+    echo "== tsan: build (MCS_SANITIZE=thread) =="
+    cmake --preset tsan
+    # Only the targets the tsan test preset runs; a full instrumented
+    # build costs minutes and adds no coverage.
+    cmake --build --preset tsan -j "$(nproc)" \
+        --target runtime_test core_streaming_test
+    echo "== tsan: runtime_test + core_streaming_test =="
+    ctest --preset tsan
+}
+
+case "${1:-tier1}" in
+    tier1) tier1 ;;
+    tsan) tsan ;;
+    all) tier1; tsan ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "verify: OK (${1:-tier1})"
