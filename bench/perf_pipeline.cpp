@@ -14,9 +14,17 @@
 // BENCH_runtime.json in the working directory (and stdout): per worker
 // count {threads, shards, wall_ms, speedup, alloc_steady_state} plus a
 // bit-identity check of every parallel run against the 1-worker run.
+//
+// Pass `--chaos-sweep` to measure the guard layer instead: (1) the health
+// guard's overhead on a fault-free fleet (guards on vs. off, bit-identity
+// checked, target < 2%), and (2) completion behaviour under injected
+// chaos across fault probabilities — every run must end finite, with the
+// per-shard degradation-ladder outcomes tallied. Written to
+// BENCH_chaos.json (and stdout).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -25,9 +33,11 @@
 #include <vector>
 
 #include "common/context.hpp"
+#include "common/failure.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "core/itscs.hpp"
+#include "corruption/chaos.hpp"
 #include "corruption/scenario.hpp"
 #include "detect/local_median.hpp"
 #include "detect/tmm.hpp"
@@ -307,11 +317,143 @@ mcs::Json runtime_sweep_report() {
     return report;
 }
 
+// ---- chaos sweep ---------------------------------------------------------
+//
+// Two questions about the guard layer, answered on a 160 x 120 fleet of
+// four shards: how much the health guards cost when nothing goes wrong
+// (best-of-3 walls, guards on vs. off, outputs compared bit for bit), and
+// whether the degradation ladder always lands on a finite result as the
+// injected fault probability rises. Smaller than the runtime sweep because
+// degraded shards pay conservative retries (2x the ASD budget).
+bool all_finite(const mcs::Matrix& m) {
+    const auto data = m.data();
+    return std::all_of(data.begin(), data.end(),
+                       [](double v) { return std::isfinite(v); });
+}
+
+mcs::Json chaos_sweep_report() {
+    constexpr std::size_t kShardSize = 40;
+    constexpr std::size_t kShards = 4;
+    constexpr std::size_t kSlots = 120;
+    const std::size_t participants = kShardSize * kShards;
+
+    std::cerr << "chaos sweep: simulating " << participants << "x" << kSlots
+              << " fleet...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, kSlots);
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.2;
+    corruption.seed = 5;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+    const mcs::ItscsInput input = mcs::to_itscs_input(data);
+
+    const auto timed_run = [&](bool guard, const mcs::ChaosInjector* chaos,
+                               mcs::PipelineContext* ctx) {
+        mcs::RuntimeConfig config;
+        config.threads = 4;
+        config.shard_size = kShardSize;
+        config.remainder = mcs::ShardRemainder::kTail;
+        config.guard = guard;
+        config.chaos = chaos;
+        mcs::FleetRunner runner(config);
+        runner.run(input, mcs::ItscsConfig{});  // warm-up
+        double best_ms = 0.0;
+        mcs::FleetResult fleet;
+        for (int rep = 0; rep < 3; ++rep) {
+            const mcs::Stopwatch timer;
+            fleet = runner.run(input, mcs::ItscsConfig{},
+                               rep == 0 ? ctx : nullptr);
+            const double wall_ms = timer.elapsed_seconds() * 1000.0;
+            best_ms = rep == 0 ? wall_ms : std::min(best_ms, wall_ms);
+        }
+        return std::make_pair(best_ms, std::move(fleet));
+    };
+
+    std::cerr << "chaos sweep: clean path, guards off\n";
+    auto [plain_ms, plain] = timed_run(false, nullptr, nullptr);
+    std::cerr << "chaos sweep: clean path, guards on\n";
+    auto [guarded_ms, guarded] = timed_run(true, nullptr, nullptr);
+    const double overhead_percent =
+        plain_ms > 0.0 ? (guarded_ms - plain_ms) / plain_ms * 100.0 : 0.0;
+    const bool clean_bitwise_equal =
+        bitwise_equal(plain.aggregate.detection,
+                      guarded.aggregate.detection) &&
+        bitwise_equal(plain.aggregate.reconstructed_x,
+                      guarded.aggregate.reconstructed_x) &&
+        bitwise_equal(plain.aggregate.reconstructed_y,
+                      guarded.aggregate.reconstructed_y);
+
+    mcs::Json overhead = mcs::Json::object();
+    overhead["plain_ms"] = plain_ms;
+    overhead["guarded_ms"] = guarded_ms;
+    overhead["overhead_percent"] = overhead_percent;
+    overhead["target_percent"] = 2.0;
+    overhead["within_target"] = overhead_percent < 2.0;
+    overhead["bitwise_equal"] = clean_bitwise_equal;
+
+    mcs::Json sweep = mcs::Json::array();
+    bool all_runs_finite = true;
+    for (const double p : {0.25, 0.5, 1.0}) {
+        std::cerr << "chaos sweep: fault probability " << p << "\n";
+        mcs::ChaosConfig chaos_config;
+        chaos_config.nan_velocity = p;
+        chaos_config.inf_coordinate = p;
+        chaos_config.force_divergence = p;
+        chaos_config.task_throw = p;
+        chaos_config.seed = 0x5eed;
+        const mcs::ChaosInjector injector(chaos_config);
+
+        mcs::PipelineContext ctx;
+        auto [wall_ms, fleet] = timed_run(true, &injector, &ctx);
+
+        std::size_t by_level[4] = {0, 0, 0, 0};
+        for (const mcs::ShardRunReport& s : fleet.shards) {
+            by_level[static_cast<std::size_t>(s.level)] += 1;
+        }
+        const bool finite = all_finite(fleet.aggregate.detection) &&
+                            all_finite(fleet.aggregate.reconstructed_x) &&
+                            all_finite(fleet.aggregate.reconstructed_y);
+        all_runs_finite = all_runs_finite && finite;
+
+        mcs::Json outcomes = mcs::Json::object();
+        outcomes["nominal"] = by_level[0];
+        outcomes["conservative"] = by_level[1];
+        outcomes["interpolation"] = by_level[2];
+        outcomes["detect_only"] = by_level[3];
+
+        mcs::Json row = mcs::Json::object();
+        row["fault_probability"] = p;
+        row["wall_ms"] = wall_ms;
+        row["shards"] = fleet.shards.size();
+        row["completed_shards"] = fleet.shards.size();  // never fewer: the
+        // ladder's last rung cannot fail, so completion rate is structural.
+        row["outcomes"] = outcomes;
+        row["guard_trips"] = ctx.counters().guard_trips;
+        row["shard_retries"] = ctx.counters().shard_retries;
+        row["shards_degraded"] = ctx.counters().shards_degraded;
+        row["all_finite"] = finite;
+        sweep.push_back(row);
+    }
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = kSlots;
+    report["fleet"]["shard_size"] = kShardSize;
+    report["fleet"]["shards"] = kShards;
+    report["guard_overhead"] = std::move(overhead);
+    report["fault_sweep"] = std::move(sweep);
+    report["all_runs_finite"] = all_runs_finite;
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool stats_only = false;
     bool runtime_sweep = false;
+    bool chaos_sweep = false;
     std::vector<char*> args;
     args.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
@@ -323,11 +465,22 @@ int main(int argc, char** argv) {
             runtime_sweep = true;
             continue;
         }
+        if (std::string_view(argv[i]) == "--chaos-sweep") {
+            chaos_sweep = true;
+            continue;
+        }
         args.push_back(argv[i]);
     }
     if (runtime_sweep) {
         const mcs::Json report = runtime_sweep_report();
         std::ofstream out("BENCH_runtime.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        return 0;
+    }
+    if (chaos_sweep) {
+        const mcs::Json report = chaos_sweep_report();
+        std::ofstream out("BENCH_chaos.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
         return 0;

@@ -59,6 +59,9 @@ void PipelineContext::merge(const PipelineContext& other) {
     counters_.itscs_iterations += other.counters_.itscs_iterations;
     counters_.detect_passes += other.counters_.detect_passes;
     counters_.check_passes += other.counters_.check_passes;
+    counters_.guard_trips += other.counters_.guard_trips;
+    counters_.shard_retries += other.counters_.shard_retries;
+    counters_.shards_degraded += other.counters_.shards_degraded;
     for (const PhaseStat& stat : other.stats_) {
         PhaseStat& mine = stats_[stat_index(stat.name)];
         mine.calls += stat.calls;
@@ -90,6 +93,9 @@ Json PipelineContext::to_json() const {
     counters["itscs_iterations"] = counters_.itscs_iterations;
     counters["detect_passes"] = counters_.detect_passes;
     counters["check_passes"] = counters_.check_passes;
+    counters["guard_trips"] = counters_.guard_trips;
+    counters["shard_retries"] = counters_.shard_retries;
+    counters["shards_degraded"] = counters_.shards_degraded;
 
     Json phases = Json::array();
     for (const PhaseStat& stat : stats_) {

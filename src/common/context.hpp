@@ -38,6 +38,7 @@
 
 namespace mcs {
 
+class HealthMonitor;
 class Json;
 
 /// Monotonic event counters. Plain struct so the linalg layer can bump them
@@ -52,6 +53,9 @@ struct PipelineCounters {
     std::uint64_t itscs_iterations = 0;       ///< framework iterations
     std::uint64_t detect_passes = 0;          ///< TS_Detect axis passes
     std::uint64_t check_passes = 0;           ///< Check() axis passes
+    std::uint64_t guard_trips = 0;            ///< HealthMonitor failures
+    std::uint64_t shard_retries = 0;          ///< degradation-ladder retries
+    std::uint64_t shards_degraded = 0;        ///< shards below kNominal
 };
 
 /// Accumulated inclusive wall time for one named phase.
@@ -69,6 +73,15 @@ public:
     Rng& rng() { return rng_; }
     PipelineCounters& counters() { return counters_; }
     const PipelineCounters& counters() const { return counters_; }
+
+    /// Numeric health guard for the current solve attempt; null (the
+    /// default) means unguarded — guarded code must treat it exactly like
+    /// the nullable context itself. The monitor is borrowed, not owned:
+    /// the attaching caller (FleetRunner's ladder, a test) keeps it alive
+    /// for the duration of the attempt and detaches afterwards. Not
+    /// carried across merge().
+    void set_health(HealthMonitor* monitor) { health_ = monitor; }
+    HealthMonitor* health() { return health_; }
 
     /// Open/close a named timing phase. Phases nest; time is attributed
     /// inclusively to every open phase, keyed by name (first-seen order is
@@ -125,6 +138,7 @@ private:
 
     Rng rng_;
     PipelineCounters counters_;
+    HealthMonitor* health_ = nullptr;
     std::vector<PhaseStat> stats_;
     std::vector<OpenPhase> open_;
 #ifndef NDEBUG

@@ -1,0 +1,209 @@
+#include "common/failure.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace mcs {
+
+namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+const char* to_string(FailureKind kind) {
+    switch (kind) {
+        case FailureKind::kNone:
+            return "none";
+        case FailureKind::kNonFiniteInput:
+            return "non_finite_input";
+        case FailureKind::kNonFiniteValue:
+            return "non_finite_value";
+        case FailureKind::kObjectiveDivergence:
+            return "objective_divergence";
+        case FailureKind::kRankCollapse:
+            return "rank_collapse";
+        case FailureKind::kDeadlineExpired:
+            return "deadline_expired";
+        case FailureKind::kTaskException:
+            return "task_exception";
+    }
+    return "none";
+}
+
+FailureKind failure_kind_from_string(const std::string& name) {
+    for (const FailureKind kind :
+         {FailureKind::kNone, FailureKind::kNonFiniteInput,
+          FailureKind::kNonFiniteValue, FailureKind::kObjectiveDivergence,
+          FailureKind::kRankCollapse, FailureKind::kDeadlineExpired,
+          FailureKind::kTaskException}) {
+        if (name == to_string(kind)) {
+            return kind;
+        }
+    }
+    throw Error("unknown FailureKind name: " + name);
+}
+
+const char* to_string(DegradationLevel level) {
+    switch (level) {
+        case DegradationLevel::kNominal:
+            return "nominal";
+        case DegradationLevel::kConservative:
+            return "conservative";
+        case DegradationLevel::kInterpolation:
+            return "interpolation";
+        case DegradationLevel::kDetectOnly:
+            return "detect_only";
+    }
+    return "nominal";
+}
+
+DegradationLevel degradation_level_from_string(const std::string& name) {
+    for (const DegradationLevel level :
+         {DegradationLevel::kNominal, DegradationLevel::kConservative,
+          DegradationLevel::kInterpolation, DegradationLevel::kDetectOnly}) {
+        if (name == to_string(level)) {
+            return level;
+        }
+    }
+    throw Error("unknown DegradationLevel name: " + name);
+}
+
+Json FailureReport::to_json() const {
+    Json out = Json::object();
+    out["kind"] = to_string(kind);
+    out["phase"] = phase;
+    if (shard != kNoShard) {
+        out["shard"] = shard;
+    }
+    out["iteration"] = iteration;
+    out["detail"] = detail;
+    return out;
+}
+
+FailureReport FailureReport::from_json(const Json& value) {
+    FailureReport report;
+    report.kind = failure_kind_from_string(value.at("kind").as_string());
+    report.phase = value.string_or("phase", "");
+    if (value.contains("shard")) {
+        report.shard =
+            static_cast<std::size_t>(value.at("shard").as_number());
+    }
+    report.iteration = static_cast<std::size_t>(
+        value.number_or("iteration", 0.0));
+    report.detail = value.string_or("detail", "");
+    return report;
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+    MCS_CHECK_MSG(config_.divergence_patience >= 1,
+                  "HealthConfig: divergence_patience must be at least 1");
+    MCS_CHECK_MSG(config_.divergence_slack >= 0.0,
+                  "HealthConfig: negative divergence_slack");
+    MCS_CHECK_MSG(config_.deadline_seconds >= 0.0,
+                  "HealthConfig: negative deadline_seconds");
+}
+
+void HealthMonitor::arm(std::size_t shard) {
+    shard_ = shard;
+    report_ = FailureReport{};
+    best_objective_ = 0.0;
+    has_best_ = false;
+    strikes_ = 0;
+    observed_ = 0;
+    injected_ = FailureKind::kNone;
+    inject_after_ = 0;
+    clock_.restart();
+}
+
+void HealthMonitor::begin_solve() {
+    best_objective_ = 0.0;
+    has_best_ = false;
+    strikes_ = 0;
+}
+
+void HealthMonitor::fail(FailureKind kind, std::string phase,
+                         std::size_t iteration, std::string detail) {
+    if (tripped()) {
+        return;  // first failure wins
+    }
+    report_.kind = kind;
+    report_.phase = std::move(phase);
+    report_.shard = shard_;
+    report_.iteration = iteration;
+    report_.detail = std::move(detail);
+}
+
+bool HealthMonitor::guard_finite(double value, const char* phase,
+                                 std::size_t iteration) {
+    if (!tripped() && !std::isfinite(value)) {
+        fail(FailureKind::kNonFiniteValue, phase, iteration,
+             "non-finite value " + std::to_string(value));
+    }
+    return tripped();
+}
+
+bool HealthMonitor::observe_objective(double value, const char* phase,
+                                      std::size_t iteration) {
+    if (tripped()) {
+        return true;
+    }
+    ++observed_;
+    if (injected_ != FailureKind::kNone && observed_ > inject_after_) {
+        fail(injected_, phase, iteration, "chaos-injected failure");
+        return true;
+    }
+    if (guard_finite(value, phase, iteration)) {
+        return true;
+    }
+    // Divergence patience: the objective must keep (approximately) beating
+    // its best; a sustained rise means the solve has gone numerically bad.
+    if (!has_best_ || value <= best_objective_ *
+                                   (1.0 + config_.divergence_slack) +
+                               config_.divergence_slack) {
+        strikes_ = 0;
+    } else if (++strikes_ >= config_.divergence_patience) {
+        fail(FailureKind::kObjectiveDivergence, phase, iteration,
+             "objective rose from " + std::to_string(best_objective_) +
+                 " to " + std::to_string(value) + " over " +
+                 std::to_string(strikes_) + " iterations");
+        return true;
+    }
+    if (!has_best_ || value < best_objective_) {
+        best_objective_ = value;
+        has_best_ = true;
+    }
+    return check_deadline(phase, iteration);
+}
+
+bool HealthMonitor::guard_rank(double gram_trace, const char* phase,
+                               std::size_t iteration) {
+    if (!tripped() &&
+        (!std::isfinite(gram_trace) || gram_trace <= 0.0)) {
+        fail(FailureKind::kRankCollapse, phase, iteration,
+             "factor Gram trace " + std::to_string(gram_trace));
+    }
+    return tripped();
+}
+
+bool HealthMonitor::check_deadline(const char* phase,
+                                   std::size_t iteration) {
+    if (!tripped() && config_.deadline_seconds > 0.0 &&
+        clock_.elapsed_seconds() > config_.deadline_seconds) {
+        fail(FailureKind::kDeadlineExpired, phase, iteration,
+             "wall-clock budget of " +
+                 std::to_string(config_.deadline_seconds) + " s exhausted");
+    }
+    return tripped();
+}
+
+void HealthMonitor::inject_failure(FailureKind kind,
+                                   std::size_t after_iterations) {
+    injected_ = kind;
+    inject_after_ = after_iterations;
+}
+
+}  // namespace mcs

@@ -1,0 +1,167 @@
+// Failure model of the mcs library: error taxonomy, structured failure
+// reports, and the HealthMonitor numeric guard.
+//
+// The server ingests whatever the crowd uploads, so a production run needs
+// a failure mode between "perfect" and "crash". Precondition violations
+// (wrong shapes, invalid configs) keep throwing mcs::Error — they are
+// programming errors. *Data* failures (a NaN velocity, a diverging solve,
+// a rank-collapsed shard, a blown deadline) are instead recorded as a
+// FailureReport by a HealthMonitor threaded through the solve, which
+// aborts cooperatively: the solver returns early, the caller inspects
+// monitor.tripped() and engages its degradation ladder (see FleetRunner)
+// instead of unwinding a worker thread.
+//
+// The monitor observes but never perturbs: with a monitor attached and no
+// fault present, every guarded path computes bit-identical results to an
+// unguarded run — the contract the CLI bit-identity check enforces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/stopwatch.hpp"
+
+namespace mcs {
+
+class Json;
+
+/// Taxonomy of runtime data failures (not precondition violations).
+enum class FailureKind {
+    kNone = 0,
+    kNonFiniteInput,       ///< NaN/Inf in an observed input cell
+    kNonFiniteValue,       ///< NaN/Inf produced by a solve
+    kObjectiveDivergence,  ///< objective non-decreasing beyond patience
+    kRankCollapse,         ///< factor Gram degenerate (trace <= 0 or NaN)
+    kDeadlineExpired,      ///< per-shard wall-clock budget exhausted
+    kTaskException,        ///< exception escaped a pool task / attempt
+};
+
+/// Stable machine-readable name ("none", "non_finite_input", ...).
+const char* to_string(FailureKind kind);
+
+/// Parse a to_string(FailureKind) name; throws mcs::Error on unknown names.
+FailureKind failure_kind_from_string(const std::string& name);
+
+/// How far down the ladder a shard had to degrade to complete (see
+/// FleetRunner: each failed attempt moves one rung down).
+enum class DegradationLevel {
+    kNominal = 0,       ///< full I(TS,CS), first attempt
+    kConservative,      ///< retry: sanitized input + conservative CsConfig
+    kInterpolation,     ///< per-row linear interpolation, no detection
+    kDetectOnly,        ///< passthrough readings + one plain DETECT pass
+};
+
+/// Stable machine-readable name ("nominal", "conservative", ...).
+const char* to_string(DegradationLevel level);
+
+/// Parse a to_string(DegradationLevel) name; throws mcs::Error on unknown.
+DegradationLevel degradation_level_from_string(const std::string& name);
+
+/// Structured record of one failure: what went wrong and where. `shard` is
+/// SIZE_MAX for failures outside a sharded run; `iteration` is the solver
+/// or framework iteration that tripped the guard (0 when not applicable).
+struct FailureReport {
+    FailureKind kind = FailureKind::kNone;
+    std::string phase;        ///< guard site, e.g. "asd_minimize", "correct"
+    std::size_t shard = static_cast<std::size_t>(-1);
+    std::size_t iteration = 0;
+    std::string detail;       ///< human-readable specifics
+
+    /// {"kind", "phase", "shard" (omitted when unset), "iteration",
+    /// "detail"} — round-trips through from_json().
+    Json to_json() const;
+    static FailureReport from_json(const Json& value);
+};
+
+/// Guard thresholds; the zero-initialised defaults are production-safe.
+struct HealthConfig {
+    /// Consecutive ASD iterations whose objective fails to decrease
+    /// (beyond a relative slack) before the solve is declared divergent.
+    /// ASD with exact line search is monotone in exact arithmetic, so
+    /// sustained increase means the numerics have gone bad.
+    std::size_t divergence_patience = 3;
+
+    /// Relative objective increase tolerated as round-off before an
+    /// iteration counts as a divergence strike.
+    double divergence_slack = 1e-9;
+
+    /// Wall-clock budget per guarded attempt, enforced cooperatively at
+    /// iteration boundaries. 0 disables the deadline. NOTE: deadlines are
+    /// wall-clock and therefore machine-dependent — a deadline abort is
+    /// reported and deterministic in *effect* (the shard degrades) but not
+    /// in *timing*; leave at 0 whenever bit-reproducibility matters.
+    double deadline_seconds = 0.0;
+};
+
+/// Numeric health guard for one solve attempt. Hot loops probe it at
+/// iteration boundaries; the first failure wins, is recorded as a
+/// FailureReport, and every later probe returns true so the solve unwinds
+/// cooperatively (no exception crosses a thread-pool boundary).
+///
+/// Single-owner, like PipelineContext: one attempt, one thread. Attach to
+/// the attempt's context with PipelineContext::set_health().
+class HealthMonitor {
+public:
+    explicit HealthMonitor(HealthConfig config = {});
+
+    /// Bind shard provenance and start the deadline clock. Also resets any
+    /// previous trip and any injected chaos failure — call once per
+    /// attempt (schedule chaos with inject_failure() *after* arming).
+    void arm(std::size_t shard = static_cast<std::size_t>(-1));
+
+    /// Reset the divergence tracker (best objective + strike count) at the
+    /// start of one solver run. One monitored attempt spans many solves
+    /// (two axes x several framework iterations), each starting from its
+    /// own objective scale — without the reset, a fresh solve opening
+    /// above the previous solve's final objective would strike as
+    /// divergence. The trip state, deadline clock and chaos tick counter
+    /// deliberately survive: those are attempt-scoped.
+    void begin_solve();
+
+    bool tripped() const { return report_.kind != FailureKind::kNone; }
+    const FailureReport& report() const { return report_; }
+    const HealthConfig& config() const { return config_; }
+
+    /// Record a failure (first one wins; later calls are ignored).
+    void fail(FailureKind kind, std::string phase, std::size_t iteration,
+              std::string detail);
+
+    /// Guard probes. Each returns tripped() after the observation so call
+    /// sites read `if (hm->probe(...)) break;`.
+
+    /// Non-finite `value` trips kNonFiniteValue.
+    bool guard_finite(double value, const char* phase,
+                      std::size_t iteration);
+
+    /// Full objective observation: finiteness, divergence patience, the
+    /// deadline, and any injected chaos failure (one tick per call).
+    bool observe_objective(double value, const char* phase,
+                           std::size_t iteration);
+
+    /// Gram trace <= 0 or non-finite trips kRankCollapse.
+    bool guard_rank(double gram_trace, const char* phase,
+                    std::size_t iteration);
+
+    /// Deadline probe for loops with no objective to observe.
+    bool check_deadline(const char* phase, std::size_t iteration);
+
+    /// Chaos seam: trip `kind` after `after_iterations` further
+    /// observe_objective() calls (0 = on the next one). Deterministic —
+    /// the trip point depends on iteration count, not time.
+    void inject_failure(FailureKind kind, std::size_t after_iterations);
+
+private:
+    HealthConfig config_;
+    FailureReport report_;
+    std::size_t shard_ = static_cast<std::size_t>(-1);
+    Stopwatch clock_;
+    double best_objective_ = 0.0;
+    bool has_best_ = false;
+    std::size_t strikes_ = 0;
+    std::size_t observed_ = 0;
+    FailureKind injected_ = FailureKind::kNone;
+    std::size_t inject_after_ = 0;
+};
+
+}  // namespace mcs

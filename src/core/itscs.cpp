@@ -3,12 +3,30 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/failure.hpp"
 #include "detect/detection.hpp"
 #include "linalg/temporal.hpp"
 
 namespace mcs {
 
-void ItscsInput::validate() const {
+namespace {
+
+// Reject NaN/±Inf in observed cells with a precise row/col message. The
+// server must refuse poisoned uploads at the boundary: a single NaN that
+// reaches the solver contaminates every product it touches.
+void require_finite_observed(const Matrix& m, const Matrix& existence,
+                             const char* name) {
+    if (const auto hit = find_non_finite(m, existence)) {
+        throw Error(std::string(name) + ": non-finite value at row " +
+                    std::to_string(hit->first) + ", col " +
+                    std::to_string(hit->second) +
+                    " in an observed cell (ℰ = 1)");
+    }
+}
+
+}  // namespace
+
+void ItscsInput::validate_shapes() const {
     const std::size_t n = sx.rows();
     const std::size_t t = sx.cols();
     MCS_CHECK_MSG(n > 0 && t > 0, "ItscsInput: empty input");
@@ -24,6 +42,14 @@ void ItscsInput::validate() const {
     require_binary(existence, "ItscsInput: ℰ");
 }
 
+void ItscsInput::validate() const {
+    validate_shapes();
+    require_finite_observed(sx, existence, "ItscsInput: S_X");
+    require_finite_observed(sy, existence, "ItscsInput: S_Y");
+    require_finite_observed(vx, existence, "ItscsInput: Vx");
+    require_finite_observed(vy, existence, "ItscsInput: Vy");
+}
+
 void ItscsSingleInput::validate() const {
     const std::size_t n = s.rows();
     const std::size_t t = s.cols();
@@ -34,6 +60,8 @@ void ItscsSingleInput::validate() const {
                   "ItscsSingleInput: ℰ shape mismatch");
     MCS_CHECK_MSG(tau_s > 0.0, "ItscsSingleInput: tau must be positive");
     require_binary(existence, "ItscsSingleInput: ℰ");
+    require_finite_observed(s, existence, "ItscsSingleInput: S");
+    require_finite_observed(rate, existence, "ItscsSingleInput: rate");
 }
 
 namespace {
@@ -66,6 +94,7 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
     MCS_CHECK_MSG(!axes.empty(), "run_axes: no axes");
     const std::size_t n = existence.rows();
     const std::size_t t = existence.cols();
+    HealthMonitor* const hm = ctx != nullptr ? ctx->health() : nullptr;
 
     LoopOutcome out;
     // Algorithm 1's convention: 𝒟 starts all-ones; the DETECT pass only
@@ -110,6 +139,25 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
                 axis.last_objective = rec.final_objective;
             }
         }
+        if (hm != nullptr) {
+            // The solver guards its own objective; this catches the case
+            // where a finite objective still yields a non-finite estimate
+            // (e.g. poisoned cells outside ℬ folded in by the estimate's
+            // observed-cell passthrough).
+            for (const auto& axis : axes) {
+                if (const auto hit = find_non_finite(axis.reconstructed)) {
+                    hm->fail(FailureKind::kNonFiniteValue, "correct", iter,
+                             "non-finite reconstruction at row " +
+                                 std::to_string(hit->first) + ", col " +
+                                 std::to_string(hit->second));
+                    break;
+                }
+            }
+            if (hm->tripped()) {
+                out.iterations = iter;
+                break;
+            }
+        }
 
         // --- CHECK: per-axis reconciliation, then union. ---
         {
@@ -143,6 +191,9 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
             config.change_tolerance * static_cast<double>(n * t));
         if (!first && changes <= allowed) {
             out.converged = true;
+            break;
+        }
+        if (hm != nullptr && hm->check_deadline("itscs", iter)) {
             break;
         }
     }

@@ -37,8 +37,17 @@ struct ItscsInput {
     Matrix existence;  ///< ℰ
     double tau_s = 30.0;
 
-    /// Throws mcs::Error on inconsistent shapes / non-binary ℰ.
+    /// Throws mcs::Error on inconsistent shapes / non-binary ℰ, or on a
+    /// NaN/±Inf coordinate or velocity in any observed cell (ℰ = 1) — the
+    /// message names the offending matrix, row and column. Missing cells
+    /// (ℰ = 0) may hold anything; the framework never reads them.
     void validate() const;
+
+    /// The shape/ℰ/tau subset of validate() without the finite-value scan.
+    /// FleetRunner validates shapes fleet-wide up front but defers the
+    /// finite scan to each shard, so one poisoned cell faults one shard
+    /// instead of the whole fleet.
+    void validate_shapes() const;
 };
 
 /// Full framework configuration.
@@ -86,6 +95,13 @@ using ItscsObserver = std::function<void(
 /// non-null `ctx` accumulates phase timings ("detect"/"correct"/"check"),
 /// an itscs_iterations tick per DETECT→CORRECT→CHECK round, and everything
 /// the CS solver counts below it.
+///
+/// When `ctx` carries a HealthMonitor, the CORRECT output is scanned for
+/// non-finite values and the deadline is checked at every iteration
+/// boundary; a tripped monitor aborts the loop early and the returned
+/// result is partial (converged = false) — callers owning the monitor must
+/// inspect monitor.tripped() and discard or degrade accordingly
+/// (FleetRunner's degradation ladder does exactly that).
 ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
                       const ItscsObserver& observer = {},
                       PipelineContext* ctx = nullptr);

@@ -1,0 +1,190 @@
+#include "corruption/chaos.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mcs {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        throw Error("chaos spec: bad value '" + value + "' for key '" + key +
+                    "'");
+    }
+}
+
+std::uint64_t parse_seed(const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return static_cast<std::uint64_t>(parsed);
+    } catch (const std::exception&) {
+        throw Error("chaos spec: bad value '" + value + "' for key 'seed'");
+    }
+}
+
+// SplitMix64 finaliser: decorrelates consecutive shard indices so plan()
+// is a pure hash of (seed, shard) with no cross-shard stream sharing.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// Poison `fraction` of the observed cells of `m` with `value`, using rng's
+// stream. Always hits at least one observed cell (a plan that fired should
+// be visible) unless the shard has no observations at all.
+void poison_observed(Matrix& m, const Matrix& existence, double fraction,
+                     double value, Rng& rng) {
+    std::vector<std::pair<std::size_t, std::size_t>> observed;
+    for (std::size_t i = 0; i < existence.rows(); ++i) {
+        for (std::size_t j = 0; j < existence.cols(); ++j) {
+            if (existence(i, j) != 0.0) {
+                observed.emplace_back(i, j);
+            }
+        }
+    }
+    if (observed.empty()) {
+        return;
+    }
+    std::size_t hits = static_cast<std::size_t>(
+        fraction * static_cast<double>(observed.size()));
+    hits = std::max<std::size_t>(hits, 1);
+    hits = std::min(hits, observed.size());
+    const std::vector<std::size_t> picks =
+        rng.sample_without_replacement(observed.size(), hits);
+    for (const std::size_t k : picks) {
+        m(observed[k].first, observed[k].second) = value;
+    }
+}
+
+}  // namespace
+
+ChaosConfig ChaosConfig::parse(const std::string& spec) {
+    ChaosConfig config;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty()) {
+            continue;
+        }
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            throw Error("chaos spec: expected key=value, got '" + pair + "'");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "nan") {
+            config.nan_velocity = parse_double(key, value);
+        } else if (key == "inf") {
+            config.inf_coordinate = parse_double(key, value);
+        } else if (key == "dup") {
+            config.duplicate_rows = parse_double(key, value);
+        } else if (key == "diverge") {
+            config.force_divergence = parse_double(key, value);
+        } else if (key == "throw") {
+            config.task_throw = parse_double(key, value);
+        } else if (key == "cells") {
+            config.cell_fraction = parse_double(key, value);
+        } else if (key == "seed") {
+            config.seed = parse_seed(value);
+        } else {
+            throw Error("chaos spec: unknown key '" + key +
+                        "' (expected nan, inf, dup, diverge, throw, cells, "
+                        "seed)");
+        }
+    }
+    config.validate();
+    return config;
+}
+
+void ChaosConfig::validate() const {
+    const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+    MCS_CHECK_MSG(in_unit(nan_velocity) && in_unit(inf_coordinate) &&
+                      in_unit(duplicate_rows) && in_unit(force_divergence) &&
+                      in_unit(task_throw),
+                  "ChaosConfig: fault probabilities must lie in [0, 1]");
+    MCS_CHECK_MSG(in_unit(cell_fraction),
+                  "ChaosConfig: cell_fraction must lie in [0, 1]");
+}
+
+bool ChaosConfig::idle() const {
+    return nan_velocity == 0.0 && inf_coordinate == 0.0 &&
+           duplicate_rows == 0.0 && force_divergence == 0.0 &&
+           task_throw == 0.0;
+}
+
+ChaosInjector::ChaosInjector(ChaosConfig config) : config_(config) {
+    config_.validate();
+}
+
+ShardChaosPlan ChaosInjector::plan(std::size_t shard) const {
+    Rng rng(mix(config_.seed ^ mix(static_cast<std::uint64_t>(shard))));
+    ShardChaosPlan plan;
+    plan.poison_nan = rng.bernoulli(config_.nan_velocity);
+    plan.poison_inf = rng.bernoulli(config_.inf_coordinate);
+    plan.duplicate = rng.bernoulli(config_.duplicate_rows);
+    if (rng.bernoulli(config_.force_divergence)) {
+        // Let the solver make visible progress first, then trip: failures
+        // mid-flight exercise the abort path harder than failures at entry.
+        plan.diverge_after =
+            static_cast<std::size_t>(rng.uniform_int(2, 6));
+    }
+    plan.throw_task = rng.bernoulli(config_.task_throw);
+    plan.seed = rng.next_u64();
+    return plan;
+}
+
+void ChaosInjector::apply(const ShardChaosPlan& plan, Matrix& sx, Matrix& sy,
+                          Matrix& vx, Matrix& vy,
+                          const Matrix& existence) const {
+    if (!plan.poison_nan && !plan.poison_inf && !plan.duplicate) {
+        return;
+    }
+    Rng rng(plan.seed);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    if (plan.poison_nan) {
+        poison_observed(vx, existence, config_.cell_fraction, nan, rng);
+        poison_observed(vy, existence, config_.cell_fraction, nan, rng);
+    }
+    if (plan.poison_inf) {
+        poison_observed(sx, existence, config_.cell_fraction, inf, rng);
+        poison_observed(sy, existence, config_.cell_fraction, -inf, rng);
+    }
+    if (plan.duplicate && existence.rows() > 1) {
+        // A device re-uploading under a retry storm: one participant's row
+        // becomes a byte-copy of its neighbour across all four matrices.
+        const auto row = static_cast<std::size_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(existence.rows()) - 1));
+        for (Matrix* m : {&sx, &sy, &vx, &vy}) {
+            for (std::size_t j = 0; j < m->cols(); ++j) {
+                (*m)(row, j) = (*m)(row - 1, j);
+            }
+        }
+    }
+}
+
+}  // namespace mcs

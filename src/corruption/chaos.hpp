@@ -1,0 +1,90 @@
+// Chaos injection for the guarded fleet path (DESIGN.md §11).
+//
+// Unlike the corruption scenarios — which model *plausible* sensor faults
+// the detector is supposed to catch — chaos models the failures operations
+// actually sees: NaN velocities from a broken uploader, ±Inf coordinates
+// from an overflowed fixed-point conversion, duplicated rows from a retry
+// storm, a solver pushed into divergence, a worker task that throws. The
+// injector exists so runtime_chaos_test and `itscs clean --chaos=...` can
+// prove every such fault ends in a finite, reported, degraded result
+// instead of a crash.
+//
+// Determinism contract: the per-shard plan depends only on (config.seed,
+// shard_index) — never on thread count or execution order — so a chaos run
+// is as reproducible as a clean one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Fault probabilities for the chaos injector. Each probability is the
+/// per-shard chance that the corresponding fault fires on that shard.
+struct ChaosConfig {
+    double nan_velocity = 0.0;     ///< poison velocity cells with NaN
+    double inf_coordinate = 0.0;   ///< poison coordinate cells with ±Inf
+    double duplicate_rows = 0.0;   ///< overwrite a row with its neighbour
+    double force_divergence = 0.0; ///< trip the solver's divergence guard
+    double task_throw = 0.0;       ///< throw from inside the pool task
+    /// Fraction of a poisoned shard's observed cells that get hit.
+    double cell_fraction = 0.05;
+    std::uint64_t seed = 0x5eedULL;
+
+    /// Parse the CLI spec grammar: comma-separated `key=value` pairs with
+    /// keys nan, inf, dup, diverge, throw, cells, seed — e.g.
+    /// `nan=0.5,inf=0.25,seed=7`. Unset keys keep their defaults. Throws
+    /// mcs::Error on an unknown key or a malformed value.
+    static ChaosConfig parse(const std::string& spec);
+
+    /// Throws mcs::Error when a probability or cell_fraction leaves [0, 1].
+    void validate() const;
+
+    /// True when every fault probability is zero (injector is a no-op).
+    bool idle() const;
+};
+
+/// The faults chosen for one shard — fixed at plan() time, deterministic.
+struct ShardChaosPlan {
+    bool poison_nan = false;
+    bool poison_inf = false;
+    bool duplicate = false;
+    bool throw_task = false;
+    /// 0 = no forced divergence; otherwise trip the monitor after this many
+    /// objective observations (see HealthMonitor::inject_failure).
+    std::size_t diverge_after = 0;
+    /// Seed for the cell-selection stream used by apply().
+    std::uint64_t seed = 0;
+
+    /// Any fault scheduled for this shard?
+    bool any() const {
+        return poison_nan || poison_inf || duplicate || throw_task ||
+               diverge_after > 0;
+    }
+};
+
+/// Draws per-shard fault plans and poisons shard inputs in place.
+class ChaosInjector {
+public:
+    explicit ChaosInjector(ChaosConfig config);
+
+    const ChaosConfig& config() const { return config_; }
+
+    /// Decide this shard's faults. Pure function of (config.seed, shard) —
+    /// safe to call concurrently from pool workers.
+    ShardChaosPlan plan(std::size_t shard) const;
+
+    /// Poison the shard's matrices per the plan: NaN into observed velocity
+    /// cells, ±Inf into observed coordinate cells, one row overwritten with
+    /// its neighbour (duplicate-timestamp upload). Matrices must share the
+    /// existence shape. No-op when the plan carries no poisoning faults.
+    void apply(const ShardChaosPlan& plan, Matrix& sx, Matrix& sy, Matrix& vx,
+               Matrix& vy, const Matrix& existence) const;
+
+private:
+    ChaosConfig config_;
+};
+
+}  // namespace mcs

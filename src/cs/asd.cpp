@@ -1,6 +1,7 @@
 #include "cs/asd.hpp"
 
 #include "common/check.hpp"
+#include "common/failure.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
@@ -16,10 +17,11 @@ namespace {
 // minimised) and a trace-scaled safety ridge that keeps W invertible when
 // the factor is rank-deficient. With the default λ₁ = 1e-6 the λ₁ term is
 // numerically invisible next to metre-scale Grams; it matters exactly when
-// the caller turns regularisation up.
-void scaled_direction_into(Matrix& dir, const Matrix& grad,
-                           const Matrix& other_factor, double lambda1,
-                           double ridge, Workspace& ws) {
+// the caller turns regularisation up. Returns the raw Gram trace — the
+// rank-collapse signal the health guard watches.
+double scaled_direction_into(Matrix& dir, const Matrix& grad,
+                             const Matrix& other_factor, double lambda1,
+                             double ridge, Workspace& ws) {
     const std::size_t rank = other_factor.cols();
     Scratch gram(ws, rank, rank);
     gram_with_ridge_into(*gram, other_factor, lambda1, ws.counters());
@@ -39,6 +41,10 @@ void scaled_direction_into(Matrix& dir, const Matrix& grad,
     cholesky_in_place(*gram);
     cholesky_solve_in_place(*gram, *gt);
     transpose_into(dir, *gt);
+    // gram_with_ridge_into already folded λ₁I into the diagonal; subtract
+    // it back out so the caller sees the factor's own ‖F‖²_F (exactly 0
+    // for a collapsed factor, regardless of λ₁).
+    return trace - lambda1 * static_cast<double>(rank);
 }
 
 }  // namespace
@@ -58,6 +64,10 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
 
     PipelineContext::PhaseScope phase(ctx, "asd_minimize");
     Workspace ws(counters_of(ctx));
+    HealthMonitor* const hm = ctx != nullptr ? ctx->health() : nullptr;
+    if (hm != nullptr) {
+        hm->begin_solve();
+    }
 
     AsdResult result;
     result.l = std::move(l0);
@@ -84,6 +94,10 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
 
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
         const double previous = current;
+        // Raw Gram traces of the scaled half steps (1.0 = not computed):
+        // an exactly-zero trace is the rank-collapse signal.
+        double gram_trace_r = 1.0;
+        double gram_trace_l = 1.0;
         // Algorithm 2 lines 11–13: descent in R with L fixed.
         {
             objective.residuals_into(res, result.l, result.r, ws);
@@ -92,9 +106,10 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
                 if (!options.scaled) {
                     return *grad_r;
                 }
-                scaled_direction_into(*dir_r, *grad_r, result.l,
-                                      objective.lambda1(),
-                                      options.gram_ridge, ws);
+                gram_trace_r = scaled_direction_into(*dir_r, *grad_r,
+                                                     result.l,
+                                                     objective.lambda1(),
+                                                     options.gram_ridge, ws);
                 return *dir_r;
             }();
             const CsObjective::LineSearch step = objective.line_search_r(
@@ -110,9 +125,10 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
                 if (!options.scaled) {
                     return *grad_l;
                 }
-                scaled_direction_into(*dir_l, *grad_l, result.r,
-                                      objective.lambda1(),
-                                      options.gram_ridge, ws);
+                gram_trace_l = scaled_direction_into(*dir_l, *grad_l,
+                                                     result.r,
+                                                     objective.lambda1(),
+                                                     options.gram_ridge, ws);
                 return *dir_l;
             }();
             const CsObjective::LineSearch step = objective.line_search_l(
@@ -123,6 +139,23 @@ AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
 
         result.objective_history.push_back(current);
         ++result.iterations;
+
+        // Numeric health guards (observation only — a healthy solve takes
+        // the exact same arithmetic path with or without a monitor):
+        // rank collapse, non-finite / diverging objective, deadline.
+        if (hm != nullptr) {
+            if (options.scaled &&
+                (hm->guard_rank(gram_trace_r, "asd_minimize",
+                                result.iterations) ||
+                 hm->guard_rank(gram_trace_l, "asd_minimize",
+                                result.iterations))) {
+                break;
+            }
+            if (hm->observe_objective(current, "asd_minimize",
+                                      result.iterations)) {
+                break;
+            }
+        }
 
         // Exact line search guarantees non-increase; terminate on small
         // relative progress (Algorithm 2 line 18).

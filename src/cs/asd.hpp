@@ -51,6 +51,14 @@ struct AsdResult {
 /// linalg_kernels_test and reported by bench/perf_pipeline. When `ctx` is
 /// non-null it also receives ASD iteration counts, GEMM FLOPs and the
 /// "asd_minimize" phase time.
+///
+/// When `ctx` carries a HealthMonitor (PipelineContext::set_health), every
+/// iteration is guarded: a non-finite or persistently rising objective, a
+/// collapsed factor Gram, or an expired deadline trips the monitor and the
+/// solve returns early (converged = false, factors possibly unusable —
+/// callers must check monitor.tripped() before consuming the result). The
+/// guards observe only: a healthy solve is bit-identical with or without a
+/// monitor.
 AsdResult asd_minimize(const CsObjective& objective, Matrix l0, Matrix r0,
                        const AsdOptions& options = {},
                        PipelineContext* ctx = nullptr);

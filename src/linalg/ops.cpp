@@ -225,4 +225,22 @@ std::size_t count_flagged(const Matrix& detection) {
     return count;
 }
 
+std::optional<std::pair<std::size_t, std::size_t>> find_non_finite(
+    const Matrix& m, const Matrix& mask) {
+    if (!mask.empty()) {
+        check_same_shape(m, mask, "find_non_finite");
+    }
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        for (std::size_t j = 0; j < m.cols(); ++j) {
+            if (!mask.empty() && mask(i, j) == 0.0) {
+                continue;
+            }
+            if (!std::isfinite(m(i, j))) {
+                return std::make_pair(i, j);
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 }  // namespace mcs

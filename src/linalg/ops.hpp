@@ -6,6 +6,9 @@
 // loop and avoiding explicit transposes/temporaries keeps it simple and fast.
 #pragma once
 
+#include <optional>
+#include <utility>
+
 #include "linalg/matrix.hpp"
 
 namespace mcs {
@@ -69,5 +72,12 @@ std::size_t count_differences(const Matrix& a, const Matrix& b);
 
 /// Number of non-zero elements (ones, for a 0/1 detection matrix).
 std::size_t count_flagged(const Matrix& detection);
+
+/// Position of one cell with mask(i,j) != 0 whose value in `m` is NaN or
+/// ±Inf (row-major first hit), or std::nullopt when every such cell is
+/// finite. An empty `mask` scans every cell. The numeric health guards
+/// use this to localise a poisoned cell for the FailureReport.
+std::optional<std::pair<std::size_t, std::size_t>> find_non_finite(
+    const Matrix& m, const Matrix& mask = Matrix());
 
 }  // namespace mcs

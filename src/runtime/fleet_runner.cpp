@@ -1,10 +1,15 @@
 #include "runtime/fleet_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "corruption/chaos.hpp"
+#include "cs/interpolation.hpp"
+#include "detect/detection.hpp"
+#include "linalg/temporal.hpp"
 #include "runtime/kernel_parallel.hpp"
 
 namespace mcs {
@@ -16,6 +21,46 @@ std::size_t resolve_threads(std::size_t requested) {
         return requested;
     }
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// Ladder rung 1's solver settings: heavier regularisation, half the rank,
+// twice the iteration budget — trade reconstruction fidelity for the best
+// odds of a finite, convergent solve on data that already failed once.
+ItscsConfig conservative_config(const ItscsConfig& config, std::size_t rows,
+                                std::size_t cols) {
+    ItscsConfig c = config;
+    c.cs.lambda1 = std::max(config.cs.lambda1 * 100.0, 1e-3);
+    const std::size_t base = config.cs.rank > 0
+                                 ? config.cs.rank
+                                 : recommended_rank(rows, cols,
+                                                    config.cs.mode);
+    c.cs.rank = std::max<std::size_t>(2, base / 2);
+    c.cs.asd.max_iterations = config.cs.asd.max_iterations * 2;
+    return c;
+}
+
+// Clear ℰ on every observed cell where any of the four matrices is
+// non-finite and zero the cell everywhere, so the retry solves a strictly
+// smaller but well-posed problem. Returns the number of cells cleared.
+std::size_t sanitize_non_finite(ItscsInput& in) {
+    std::size_t cleared = 0;
+    for (std::size_t i = 0; i < in.existence.rows(); ++i) {
+        for (std::size_t j = 0; j < in.existence.cols(); ++j) {
+            if (in.existence(i, j) == 0.0) {
+                continue;
+            }
+            if (!std::isfinite(in.sx(i, j)) || !std::isfinite(in.sy(i, j)) ||
+                !std::isfinite(in.vx(i, j)) || !std::isfinite(in.vy(i, j))) {
+                in.existence(i, j) = 0.0;
+                in.sx(i, j) = 0.0;
+                in.sy(i, j) = 0.0;
+                in.vx(i, j) = 0.0;
+                in.vy(i, j) = 0.0;
+                ++cleared;
+            }
+        }
+    }
+    return cleared;
 }
 
 // Copy rows [shard.begin, shard.end) of `src` into the shard-sized `dst`.
@@ -66,7 +111,14 @@ ShardPlan FleetRunner::plan_for(std::size_t participants) const {
 FleetResult FleetRunner::run(const ItscsInput& input,
                              const ItscsConfig& config,
                              PipelineContext* ctx) {
-    input.validate();
+    // Guarded runs defer the finite-value scan to each shard's ladder so a
+    // poisoned cell faults one shard, not the fleet; unguarded runs keep
+    // the strict throw-at-the-boundary contract.
+    if (config_.guard) {
+        input.validate_shapes();
+    } else {
+        input.validate();
+    }
     const std::size_t n = input.sx.rows();
     const std::size_t t = input.sx.cols();
     const ShardPlan plan = plan_for(n);
@@ -120,15 +172,170 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         slice_rows(si.vy, input.vy, shard);
         slice_rows(si.existence, input.existence, shard);
 
-        ItscsResult result = run_itscs(si, config, {}, &contexts[s]);
+        ShardRunReport& report = out.shards[s];
+        report.shard = shard;
+        report.seed = seeds[s];
+
+        ItscsResult result;
+        if (!config_.guard) {
+            result = run_itscs(si, config, {}, &contexts[s]);
+            report.iterations = result.iterations;
+            report.converged = result.converged;
+        } else {
+            // Chaos strikes before the first attempt only: the ladder's
+            // lower rungs recover from the poisoned state, they are not
+            // re-poisoned.
+            ShardChaosPlan chaos_plan;
+            if (config_.chaos != nullptr) {
+                chaos_plan = config_.chaos->plan(s);
+                config_.chaos->apply(chaos_plan, si.sx, si.sy, si.vx, si.vy,
+                                     si.existence);
+            }
+
+            HealthMonitor monitor(config_.health);
+
+            // Strict per-shard input scan under the monitor (the fleet
+            // boundary only checked shapes).
+            auto scan_input = [&]() {
+                const struct {
+                    const Matrix* m;
+                    const char* name;
+                } mats[] = {{&si.sx, "S_X"},
+                            {&si.sy, "S_Y"},
+                            {&si.vx, "Vx"},
+                            {&si.vy, "Vy"}};
+                for (const auto& entry : mats) {
+                    const auto hit = find_non_finite(*entry.m, si.existence);
+                    if (hit.has_value()) {
+                        monitor.fail(FailureKind::kNonFiniteInput, "validate",
+                                     0,
+                                     std::string(entry.name) +
+                                         " non-finite at row " +
+                                         std::to_string(hit->first) +
+                                         ", col " +
+                                         std::to_string(hit->second));
+                        return false;
+                    }
+                }
+                return true;
+            };
+
+            // One guarded solver attempt. No exception leaves this lambda:
+            // anything thrown becomes a kTaskException report, so the pool
+            // worker never unwinds.
+            auto solve = [&](const ItscsConfig& cfg, bool first_attempt) {
+                monitor.arm(s);
+                if (first_attempt && chaos_plan.diverge_after > 0) {
+                    monitor.inject_failure(FailureKind::kObjectiveDivergence,
+                                           chaos_plan.diverge_after);
+                }
+                contexts[s].set_health(&monitor);
+                try {
+                    if (first_attempt && chaos_plan.throw_task) {
+                        throw Error("chaos: injected task failure");
+                    }
+                    if (scan_input()) {
+                        result = run_itscs(si, cfg, {}, &contexts[s]);
+                    }
+                } catch (const std::exception& e) {
+                    monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
+                                 e.what());
+                } catch (...) {
+                    monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
+                                 "non-standard exception");
+                }
+                contexts[s].set_health(nullptr);
+                return !monitor.tripped();
+            };
+
+            auto record_failure = [&]() {
+                report.failures.push_back(monitor.report());
+                contexts[s].counters().guard_trips += 1;
+            };
+
+            // Rung 2: no solver at all — per-row linear interpolation over
+            // the sanitized trusted cells, finite by construction.
+            auto interpolate_fallback = [&]() {
+                monitor.arm(s);
+                try {
+                    result = ItscsResult{};
+                    result.detection = Matrix(rows, t);
+                    result.reconstructed_x =
+                        linear_interpolate(si.sx, si.existence);
+                    result.reconstructed_y =
+                        linear_interpolate(si.sy, si.existence);
+                    return true;
+                } catch (const std::exception& e) {
+                    monitor.fail(FailureKind::kTaskException, "interpolate",
+                                 0, e.what());
+                    return false;
+                }
+            };
+
+            // Rung 3, cannot fail: pass the sanitized readings through
+            // untouched and salvage one plain DETECT pass if it runs.
+            auto detect_only_fallback = [&]() {
+                result = ItscsResult{};
+                result.reconstructed_x = si.sx;
+                result.reconstructed_y = si.sy;
+                try {
+                    const Matrix zeros(rows, t);
+                    Matrix dx = ts_detect(si.sx, zeros,
+                                          average_velocity(si.vx),
+                                          Matrix::constant(rows, t, 1.0),
+                                          si.existence, si.tau_s,
+                                          config.detector, true,
+                                          &contexts[s]);
+                    Matrix dy = ts_detect(si.sy, zeros,
+                                          average_velocity(si.vy),
+                                          Matrix::constant(rows, t, 1.0),
+                                          si.existence, si.tau_s,
+                                          config.detector, true,
+                                          &contexts[s]);
+                    result.detection = detection_union(dx, dy);
+                } catch (const std::exception&) {
+                    result.detection = Matrix(rows, t);
+                }
+            };
+
+            // Walk the ladder until a rung holds.
+            DegradationLevel level = DegradationLevel::kNominal;
+            bool ok = solve(config, true);
+            if (!ok) {
+                record_failure();
+                sanitize_non_finite(si);
+                contexts[s].counters().shard_retries += 1;
+                level = DegradationLevel::kConservative;
+                ++report.attempts;
+                ok = solve(conservative_config(config, rows, t), false);
+            }
+            if (!ok) {
+                record_failure();
+                level = DegradationLevel::kInterpolation;
+                ++report.attempts;
+                ok = interpolate_fallback();
+            }
+            if (!ok) {
+                record_failure();
+                level = DegradationLevel::kDetectOnly;
+                ++report.attempts;
+                detect_only_fallback();
+            }
+
+            if (level != DegradationLevel::kNominal) {
+                contexts[s].counters().shards_degraded += 1;
+            }
+            report.level = level;
+            report.iterations = result.iterations;
+            report.converged = level == DegradationLevel::kNominal &&
+                               result.converged;
+        }
 
         scatter_rows(out.aggregate.detection, result.detection, shard);
         scatter_rows(out.aggregate.reconstructed_x, result.reconstructed_x,
                      shard);
         scatter_rows(out.aggregate.reconstructed_y, result.reconstructed_y,
                      shard);
-        out.shards[s] = {shard, seeds[s], result.iterations,
-                         result.converged};
         histories[s] = std::move(result.history);
 
         ws.release(std::move(si.sx));

@@ -14,12 +14,23 @@
 // fixed RuntimeConfig (minus `threads`) the output is bit-identical at any
 // thread count, including 1, and identical to running run_itscs over each
 // shard sequentially.
+//
+// Fault isolation (DESIGN.md §11): with guards enabled (the default) each
+// shard attempt runs under its own HealthMonitor, and a failed shard walks
+// a degradation ladder instead of failing the fleet —
+//   nominal → conservative retry (sanitized ℰ, higher λ₁, lower rank,
+//   more ASD iterations) → per-row linear interpolation → detect-only
+//   passthrough
+// — so the merged result is always finite and fleet-shaped, with the
+// failure recorded per shard. Healthy shards are bit-identical to a
+// guards-off run.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/failure.hpp"
 #include "core/itscs.hpp"
 #include "core/streaming.hpp"
 #include "linalg/kernels.hpp"
@@ -27,6 +38,8 @@
 #include "runtime/thread_pool.hpp"
 
 namespace mcs {
+
+class ChaosInjector;
 
 /// Knobs of the runtime subsystem (CLI: --threads / --shard-size /
 /// --kernel-threads).
@@ -55,6 +68,21 @@ struct RuntimeConfig {
     /// Root seed; shard i's PipelineContext is seeded with the i-th draw
     /// of Rng(seed), independent of thread count.
     std::uint64_t seed = 0x17c5u;
+
+    /// Numeric health guards + the degradation ladder. When false the
+    /// pre-guard behaviour returns: no monitors, strict fleet-wide input
+    /// validation, and the first shard exception propagates out of run().
+    bool guard = true;
+
+    /// Guard thresholds (divergence patience/slack, per-shard deadline).
+    /// The deadline applies per *attempt* — a retried shard gets a fresh
+    /// budget for its conservative attempt.
+    HealthConfig health;
+
+    /// Optional fault injector (tests and `--chaos`); borrowed, must
+    /// outlive every run(). Chaos only strikes the nominal attempt, so the
+    /// ladder's lower rungs always see an injector-free world.
+    const ChaosInjector* chaos = nullptr;
 };
 
 /// Outcome of one shard's framework run.
@@ -62,7 +90,13 @@ struct ShardRunReport {
     Shard shard;
     std::uint64_t seed = 0;       ///< the shard context's derived seed
     std::size_t iterations = 0;
-    bool converged = false;
+    bool converged = false;       ///< false whenever the shard degraded
+    /// Rung of the degradation ladder that produced this shard's rows.
+    DegradationLevel level = DegradationLevel::kNominal;
+    /// Ladder rungs tried, including the one that succeeded (1 = nominal).
+    std::size_t attempts = 1;
+    /// One report per failed rung, in ladder order. Empty on a clean run.
+    std::vector<FailureReport> failures;
 };
 
 /// Fleet-level outcome: the stitched result plus per-shard diagnostics.
@@ -91,7 +125,12 @@ public:
     /// Run the framework shard-by-shard. A non-null `ctx` receives the
     /// merged counters and phase timers of every shard context (summed —
     /// phase seconds aggregate CPU-style across workers, so they can
-    /// exceed wall time), merged in shard order after the barrier.
+    /// exceed wall time), merged in shard order after the barrier,
+    /// including the guard counters (guard_trips / shard_retries /
+    /// shards_degraded). With guards on, input shapes are validated
+    /// fleet-wide but the finite-value scan runs per shard, so one
+    /// poisoned cell degrades one shard instead of throwing for the
+    /// whole fleet.
     FleetResult run(const ItscsInput& input, const ItscsConfig& config,
                     PipelineContext* ctx = nullptr);
 

@@ -47,7 +47,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(std::size_t index) {
     tls_worker_index = index;
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             not_empty_.wait(lock,
@@ -61,12 +61,11 @@ void ThreadPool::worker_loop(std::size_t index) {
         }
         not_full_.notify_one();
         try {
-            task();
+            task.fn();
         } catch (...) {
             std::unique_lock<std::mutex> lock(mutex_);
-            if (first_error_ == nullptr) {
-                first_error_ = std::current_exception();
-            }
+            errors_.push_back(
+                {std::move(task.label), std::current_exception()});
         }
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -78,7 +77,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()> task, std::string label) {
     MCS_CHECK_MSG(task != nullptr, "ThreadPool: null task");
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -86,26 +85,34 @@ void ThreadPool::submit(std::function<void()> task) {
             return stopping_ || queue_.size() < options_.queue_capacity;
         });
         MCS_CHECK_MSG(!stopping_, "ThreadPool: submit after shutdown");
-        queue_.push_back(std::move(task));
+        queue_.push_back({std::move(task), std::move(label)});
     }
     not_empty_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-    std::exception_ptr error;
+    std::vector<TaskError> errors;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-        error = std::exchange(first_error_, nullptr);
+        errors = std::exchange(errors_, {});
     }
-    if (error != nullptr) {
-        std::rethrow_exception(error);
+    if (!errors.empty()) {
+        std::rethrow_exception(errors.front().error);
     }
 }
 
 std::exception_ptr ThreadPool::take_error() {
     std::unique_lock<std::mutex> lock(mutex_);
-    return std::exchange(first_error_, nullptr);
+    const std::exception_ptr first =
+        errors_.empty() ? nullptr : errors_.front().error;
+    errors_.clear();
+    return first;
+}
+
+std::vector<ThreadPool::TaskError> ThreadPool::take_errors() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return std::exchange(errors_, {});
 }
 
 bool ThreadPool::on_worker_thread() {

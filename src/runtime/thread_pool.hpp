@@ -10,8 +10,11 @@
 // Contracts:
 //   * submit() blocks while the queue is at capacity (bounded — a runaway
 //     producer cannot OOM the server) and throws once shutdown began.
-//   * Task exceptions never kill a worker: the first one is captured and
-//     re-thrown from take_error() / wait_idle(); later ones are dropped.
+//   * Task exceptions never kill a worker: every one is captured with its
+//     task label (submission order) and drained via take_errors(); the
+//     first also re-throws from take_error() / wait_idle(). Nothing is
+//     silently dropped — a fleet where three shards fail reports three
+//     failures, not one.
 //   * parallel_for() blocks the caller until every chunk completed and
 //     re-throws the first exception thrown by a body. It must not be
 //     called from inside a pool worker (nested data-parallelism would
@@ -26,6 +29,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +37,12 @@ namespace mcs {
 
 class ThreadPool {
 public:
+    /// One captured task exception plus the label it was submitted under.
+    struct TaskError {
+        std::string label;         ///< submit() label; "" when unlabeled
+        std::exception_ptr error;  ///< never nullptr
+    };
+
     struct Options {
         std::size_t threads = 0;  ///< worker count; 0 = hardware_concurrency
         std::size_t queue_capacity = 1024;  ///< bound on queued (not running)
@@ -50,18 +60,26 @@ public:
 
     std::size_t size() const { return workers_.size(); }
 
-    /// Enqueue one task. Blocks while the queue is full; throws mcs::Error
-    /// after shutdown started.
-    void submit(std::function<void()> task);
+    /// Enqueue one task, optionally labeled for error attribution (e.g.
+    /// "shard 3"). Blocks while the queue is full; throws mcs::Error after
+    /// shutdown started.
+    void submit(std::function<void()> task, std::string label = {});
 
     /// Block until no task is queued or running, then re-throw the first
-    /// task exception captured since the last take_error() (if any).
+    /// task exception captured since the last take_error[s]() (all captured
+    /// errors are cleared — use take_errors() first to keep them).
     void wait_idle();
 
-    /// First exception thrown by a submitted task since the last call
-    /// (nullptr if none). parallel_for exceptions do not land here — they
-    /// re-throw at the parallel_for call site.
+    /// First exception thrown by a submitted task since the last drain
+    /// (nullptr if none). Clears ALL captured errors — a compatibility
+    /// wrapper over take_errors() for callers that only act on one.
+    /// parallel_for exceptions do not land here — they re-throw at the
+    /// parallel_for call site.
     std::exception_ptr take_error();
+
+    /// Every task exception captured since the last drain, in completion
+    /// order, each with its submit() label. Clears the captured set.
+    std::vector<TaskError> take_errors();
 
     /// Split [begin, end) into chunks of at least `grain` indices, run
     /// body(chunk_begin, chunk_end) across the pool, and block until all
@@ -86,6 +104,11 @@ public:
     static std::size_t worker_index();
 
 private:
+    struct QueuedTask {
+        std::function<void()> fn;
+        std::string label;
+    };
+
     void worker_loop(std::size_t index);
 
     Options options_;
@@ -93,10 +116,10 @@ private:
     std::condition_variable not_empty_;   // workers wait for tasks
     std::condition_variable not_full_;    // producers wait for capacity
     std::condition_variable idle_;        // wait_idle / destructor
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::size_t active_ = 0;              // tasks currently executing
     bool stopping_ = false;
-    std::exception_ptr first_error_;
+    std::vector<TaskError> errors_;       // every captured task exception
     std::vector<std::thread> workers_;
 };
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "common/check.hpp"
 #include "core/variants.hpp"
@@ -131,6 +133,50 @@ TEST(Itscs, InputValidation) {
     ItscsConfig config;
     config.max_iterations = 0;
     EXPECT_THROW(run_itscs(f.input, config), Error);
+}
+
+TEST(Itscs, ValidateRejectsNonFiniteObservedCells) {
+    Fixture f = make_fixture(0.1, 0.1, 10);
+    // Force cell (2, 5) observed, then poison each matrix in turn: the
+    // error must name the matrix, row and column.
+    ItscsInput bad = f.input;
+    bad.existence(2, 5) = 1.0;
+    bad.vx(2, 5) = std::numeric_limits<double>::quiet_NaN();
+    try {
+        bad.validate();
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("Vx"), std::string::npos) << message;
+        EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+        EXPECT_NE(message.find("col 5"), std::string::npos) << message;
+    }
+    EXPECT_THROW(run_itscs(bad, ItscsConfig{}), Error);
+
+    bad = f.input;
+    bad.existence(0, 0) = 1.0;
+    bad.sx(0, 0) = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(bad.validate(), Error);
+    bad = f.input;
+    bad.existence(1, 1) = 1.0;
+    bad.sy(1, 1) = -std::numeric_limits<double>::infinity();
+    EXPECT_THROW(bad.validate(), Error);
+    bad = f.input;
+    bad.existence(3, 3) = 1.0;
+    bad.vy(3, 3) = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(Itscs, ValidateIgnoresNonFiniteMissingCells) {
+    // ℰ = 0 cells may hold anything — the framework never reads them, so
+    // validation must not reject them (and validate_shapes never scans).
+    Fixture f = make_fixture(0.1, 0.1, 11);
+    ItscsInput garbage = f.input;
+    garbage.existence(4, 7) = 0.0;
+    garbage.sx(4, 7) = std::numeric_limits<double>::quiet_NaN();
+    garbage.vy(4, 7) = std::numeric_limits<double>::infinity();
+    EXPECT_NO_THROW(garbage.validate());
+    EXPECT_NO_THROW(garbage.validate_shapes());
 }
 
 TEST(Itscs, CsOnlyBaselineReconstructsButDetectsNothing) {

@@ -12,8 +12,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -156,6 +159,61 @@ TEST(ThreadPool, SubmittedTaskExceptionSurfacesViaTakeError) {
     pool.submit([] { throw Error("task failed"); });
     EXPECT_THROW(pool.wait_idle(), Error);
     EXPECT_EQ(pool.take_error(), nullptr);  // consumed by wait_idle
+}
+
+TEST(ThreadPool, TakeErrorsCollectsEveryLabeledFailure) {
+    ThreadPool pool(2);
+    for (int k = 0; k < 3; ++k) {
+        pool.submit([k] { throw Error("task " + std::to_string(k)); },
+                    "shard " + std::to_string(k));
+    }
+    pool.submit([] {});  // a healthy task must not register
+    try {
+        pool.wait_idle();
+    } catch (const Error&) {
+        // wait_idle re-throws the first failure but also cleared the set;
+        // take_errors() after a drain is empty.
+    }
+    EXPECT_TRUE(pool.take_errors().empty());
+
+    for (int k = 0; k < 3; ++k) {
+        pool.submit([k] { throw Error("task " + std::to_string(k)); },
+                    "shard " + std::to_string(k));
+    }
+    // Drain without wait_idle's rethrow: spin until the pool went idle.
+    std::vector<ThreadPool::TaskError> errors;
+    for (;;) {
+        auto batch = pool.take_errors();
+        errors.insert(errors.end(), batch.begin(), batch.end());
+        if (errors.size() == 3) {
+            break;
+        }
+        std::this_thread::yield();
+    }
+    std::vector<std::string> labels;
+    for (const ThreadPool::TaskError& error : errors) {
+        ASSERT_NE(error.error, nullptr);
+        labels.push_back(error.label);
+        EXPECT_THROW(std::rethrow_exception(error.error), Error);
+    }
+    std::sort(labels.begin(), labels.end());
+    EXPECT_EQ(labels,
+              (std::vector<std::string>{"shard 0", "shard 1", "shard 2"}));
+    EXPECT_EQ(pool.take_error(), nullptr);
+}
+
+TEST(ThreadPool, TakeErrorReturnsFirstAndClearsAll) {
+    ThreadPool pool(1);  // one worker: completion order == submission order
+    pool.submit([] { throw Error("first"); }, "a");
+    pool.submit([] { throw Error("second"); }, "b");
+    try {
+        pool.wait_idle();
+        FAIL() << "wait_idle should have re-thrown";
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+    EXPECT_EQ(pool.take_error(), nullptr);
+    EXPECT_TRUE(pool.take_errors().empty());
 }
 
 TEST(ThreadPool, BoundedQueueBlocksProducerWithoutDeadlock) {
@@ -469,6 +527,60 @@ TEST(ParallelStreaming, ShardedWindowsMatchInlineShardedWindows) {
                                   inline_run[w].reconstructed_y));
         EXPECT_EQ(parallel[w].iterations, inline_run[w].iterations);
     }
+}
+
+// ---- Degenerate shards through the guarded fleet path ------------------
+
+bool all_finite(const Matrix& m) {
+    return std::all_of(m.data().begin(), m.data().end(),
+                       [](double v) { return std::isfinite(v); });
+}
+
+TEST(FleetRunner, AllMissingShardCompletesAndIsolatesItsFailure) {
+    ItscsInput input = fleet_input(24, 40);
+    // Participants 8..15 never report: an entire shard with ℰ ≡ 0.
+    for (std::size_t i = 8; i < 16; ++i) {
+        for (std::size_t j = 0; j < 40; ++j) {
+            input.existence(i, j) = 0.0;
+            input.sx(i, j) = 0.0;
+            input.sy(i, j) = 0.0;
+            input.vx(i, j) = 0.0;
+            input.vy(i, j) = 0.0;
+        }
+    }
+    RuntimeConfig config;
+    config.threads = 2;
+    config.shard_size = 8;
+    FleetRunner runner(config);
+    const FleetResult fleet = runner.run(input, ItscsConfig{});
+
+    ASSERT_EQ(fleet.shards.size(), 3u);
+    EXPECT_TRUE(all_finite(fleet.aggregate.detection));
+    EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_x));
+    EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_y));
+    // Whatever the empty shard did, its neighbours must stay nominal.
+    EXPECT_EQ(fleet.shards[0].level, DegradationLevel::kNominal);
+    EXPECT_EQ(fleet.shards[2].level, DegradationLevel::kNominal);
+    if (fleet.shards[1].level != DegradationLevel::kNominal) {
+        EXPECT_FALSE(fleet.shards[1].failures.empty());
+        EXPECT_EQ(fleet.shards[1].failures.front().shard, 1u);
+    }
+}
+
+TEST(FleetRunner, SingleParticipantShardCompletes) {
+    const ItscsInput input = fleet_input(9, 40);
+    RuntimeConfig config;
+    config.threads = 2;
+    config.shard_size = 8;  // shards [0, 8) and the lone row [8, 9)
+    config.remainder = ShardRemainder::kTail;
+    FleetRunner runner(config);
+    const FleetResult fleet = runner.run(input, ItscsConfig{});
+
+    ASSERT_EQ(fleet.shards.size(), 2u);
+    EXPECT_EQ(fleet.shards[1].shard.size(), 1u);
+    EXPECT_TRUE(all_finite(fleet.aggregate.detection));
+    EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_x));
+    EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_y));
 }
 
 }  // namespace

@@ -17,6 +17,8 @@
 //   itscs clean    --in corrupted.csv --participants N --slots T
 //                  [--variant full|no-v|no-vt] [--estimate-velocity]
 //                  [--threads N] [--shard-size K] [--kernel-threads M]
+//                  [--chaos=SPEC] [--failure-report fr.json]
+//                  [--shard-deadline S]
 //                  --out cleaned.csv [--flags flags.csv]
 //                  [--report report.json] [--stats-json]
 //       Run the framework: write the reconstructed trace, the flagged
@@ -27,7 +29,12 @@
 //       shards detected/corrected concurrently; the per-shard contexts
 //       are merged so --stats-json stays a single document);
 //       --kernel-threads enables row-blocked kernel parallelism instead
-//       of (or alongside) sharding.
+//       of (or alongside) sharding. --chaos injects faults per the
+//       DESIGN.md §11 spec grammar (nan=p,inf=p,dup=p,diverge=p,throw=p,
+//       cells=q,seed=u); --failure-report writes the per-shard degradation
+//       outcomes (ladder level, attempts, structured failures) as JSON;
+//       --shard-deadline sets a per-shard wall-clock budget in seconds.
+//       Any of the three forces the FleetRunner path.
 //
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
 //                  [--stats-json]
@@ -39,16 +46,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/context.hpp"
+#include "common/failure.hpp"
 #include "common/format.hpp"
 #include "common/json.hpp"
 #include "core/itscs.hpp"
 #include "core/variants.hpp"
+#include "corruption/chaos.hpp"
 #include "corruption/scenario.hpp"
 #include "eval/methods.hpp"
 #include "runtime/fleet_runner.hpp"
@@ -71,8 +81,13 @@ public:
                 throw mcs::Error("unexpected argument: " + token);
             }
             token = token.substr(2);
-            if (k + 1 < argc &&
-                std::string(argv[k + 1]).rfind("--", 0) != 0) {
+            // --key=value form (needed for values that contain '=' or ','
+            // themselves, like --chaos=nan=0.5,seed=7).
+            const std::size_t eq = token.find('=');
+            if (eq != std::string::npos) {
+                values_[token.substr(0, eq)] = token.substr(eq + 1);
+            } else if (k + 1 < argc &&
+                       std::string(argv[k + 1]).rfind("--", 0) != 0) {
                 values_[token] = argv[++k];
             } else {
                 values_[token] = "";  // boolean flag
@@ -226,8 +241,15 @@ int cmd_clean(const Args& args) {
         args.has("shard-size") ? args.count("shard-size") : 0;
     const std::size_t kernel_threads =
         args.has("kernel-threads") ? args.count("kernel-threads") : 1;
-    const bool use_runner =
-        threads > 1 || shard_size > 0 || kernel_threads > 1;
+    std::optional<mcs::ChaosConfig> chaos_config;
+    if (args.has("chaos")) {
+        chaos_config = mcs::ChaosConfig::parse(args.get("chaos"));
+    }
+    const double shard_deadline = args.number("shard-deadline", 0.0);
+    const bool use_runner = threads > 1 || shard_size > 0 ||
+                            kernel_threads > 1 || chaos_config.has_value() ||
+                            shard_deadline > 0.0 ||
+                            args.has("failure-report");
 
     mcs::ItscsResult result;
     std::vector<mcs::ShardRunReport> shard_reports;
@@ -239,6 +261,12 @@ int cmd_clean(const Args& args) {
         // so the flags alone reproduce the numerics on any machine.
         runtime.shard_count = shard_size == 0 ? threads : 0;
         runtime.kernel_threads = kernel_threads;
+        runtime.health.deadline_seconds = shard_deadline;
+        std::unique_ptr<mcs::ChaosInjector> injector;
+        if (chaos_config.has_value()) {
+            injector = std::make_unique<mcs::ChaosInjector>(*chaos_config);
+            runtime.chaos = injector.get();
+        }
         mcs::FleetRunner runner(runtime);
         mcs::FleetResult fleet =
             runner.run(input, config, want_stats ? &ctx : nullptr);
@@ -295,6 +323,8 @@ int cmd_clean(const Args& args) {
                 row["end"] = s.shard.end;
                 row["iterations"] = s.iterations;
                 row["converged"] = s.converged;
+                row["level"] = mcs::to_string(s.level);
+                row["attempts"] = s.attempts;
                 shards.push_back(row);
             }
             runtime["shards"] = shards;
@@ -304,6 +334,39 @@ int cmd_clean(const Args& args) {
             report["stats"] = ctx.to_json();
         }
         mcs::write_json_file(args.get("report"), report);
+    }
+    if (args.has("failure-report")) {
+        mcs::Json fr = mcs::Json::object();
+        fr["shards"] = shard_reports.size();
+        if (chaos_config.has_value()) {
+            fr["chaos"] = args.get("chaos");
+        }
+        std::size_t by_level[4] = {0, 0, 0, 0};
+        mcs::Json per_shard = mcs::Json::array();
+        for (const auto& s : shard_reports) {
+            by_level[static_cast<std::size_t>(s.level)] += 1;
+            mcs::Json row = mcs::Json::object();
+            row["shard"] = s.shard.index;
+            row["begin"] = s.shard.begin;
+            row["end"] = s.shard.end;
+            row["level"] = mcs::to_string(s.level);
+            row["attempts"] = s.attempts;
+            row["converged"] = s.converged;
+            mcs::Json failures = mcs::Json::array();
+            for (const mcs::FailureReport& failure : s.failures) {
+                failures.push_back(failure.to_json());
+            }
+            row["failures"] = failures;
+            per_shard.push_back(row);
+        }
+        mcs::Json outcomes = mcs::Json::object();
+        outcomes["nominal"] = by_level[0];
+        outcomes["conservative"] = by_level[1];
+        outcomes["interpolation"] = by_level[2];
+        outcomes["detect_only"] = by_level[3];
+        fr["outcomes"] = outcomes;
+        fr["per_shard"] = per_shard;
+        mcs::write_json_file(args.get("failure-report"), fr);
     }
     if (want_stats) {
         std::cout << ctx.to_json().dump(2) << "\n";
@@ -377,6 +440,8 @@ int usage() {
            "[--variant full|no-v|no-vt]\n"
            "           [--estimate-velocity] [--threads N] "
            "[--shard-size K] [--kernel-threads M]\n"
+           "           [--chaos=SPEC] [--failure-report fr.json] "
+           "[--shard-deadline S]\n"
            "           --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"

@@ -66,9 +66,53 @@ echo "== sharded clean is bit-identical across thread counts =="
 "$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
     --threads 2 --shard-size 8 --out "$WORKDIR/cleaned_t2.csv" \
     --report "$WORKDIR/report_t2.json"
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --threads 4 --shard-size 8 --out "$WORKDIR/cleaned_t4.csv"
 cmp "$WORKDIR/cleaned_t1.csv" "$WORKDIR/cleaned_t2.csv"
+cmp "$WORKDIR/cleaned_t1.csv" "$WORKDIR/cleaned_t4.csv"
 grep -q '"runtime"' "$WORKDIR/report_t2.json"
 grep -q '"shards"' "$WORKDIR/report_t2.json"
+grep -q '"level": "nominal"' "$WORKDIR/report_t2.json"
+
+echo "== chaos run degrades but completes, failure report round-trips =="
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --threads 2 --shard-size 8 --chaos=nan=1,seed=5 \
+    --out "$WORKDIR/cleaned_chaos.csv" \
+    --failure-report "$WORKDIR/failure_report.json"
+test -s "$WORKDIR/cleaned_chaos.csv"
+test -s "$WORKDIR/failure_report.json"
+# Every shard degraded off nominal and each carries a structured failure.
+grep -q '"non_finite_input"' "$WORKDIR/failure_report.json"
+grep -q '"nominal": 0' "$WORKDIR/failure_report.json"
+grep -q '"outcomes"' "$WORKDIR/failure_report.json"
+# Per-shard outcomes must sum to the shard count (3 shards of size 8/8/4
+# under kSpread become 7/7/6 — count is 3 regardless).
+python3 - "$WORKDIR/failure_report.json" <<'EOF'
+import json, sys
+fr = json.load(open(sys.argv[1]))
+total = sum(fr["outcomes"].values())
+assert total == fr["shards"] == len(fr["per_shard"]), fr["outcomes"]
+for shard in fr["per_shard"]:
+    if shard["level"] != "nominal":
+        assert shard["failures"], shard
+        for failure in shard["failures"]:
+            assert failure["kind"] != "none" and failure["phase"], failure
+print("failure report OK: outcomes sum to", total)
+EOF
+
+echo "== zero-fault chaos spec is bit-identical to no chaos =="
+"$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 --slots 60 \
+    --threads 2 --shard-size 8 --chaos=seed=5 \
+    --out "$WORKDIR/cleaned_nochaos.csv" \
+    --failure-report "$WORKDIR/failure_report_clean.json"
+cmp "$WORKDIR/cleaned_t1.csv" "$WORKDIR/cleaned_nochaos.csv"
+grep -q '"nominal": 3' "$WORKDIR/failure_report_clean.json"
+
+echo "== bad chaos spec is a usage-style failure =="
+if "$ITSCS" clean --in "$WORKDIR/corrupted.csv" --participants 20 \
+    --slots 60 --chaos=bogus=1 --out "$WORKDIR/never.csv" 2>/dev/null; then
+    echo "expected chaos spec failure"; exit 1
+fi
 
 echo "== usage errors =="
 if "$ITSCS" frobnicate 2>/dev/null; then

@@ -5,8 +5,12 @@
 #   tools/verify.sh tsan     concurrency job: rebuild the runtime-facing
 #                            tests with -fsanitize=thread (MCS_SANITIZE,
 #                            see the `tsan` CMake preset) and run
-#                            runtime_test + core_streaming_test under TSan
-#   tools/verify.sh all      both, tier-1 first
+#                            runtime_test + runtime_chaos_test +
+#                            core_streaming_test under TSan
+#   tools/verify.sh asan     memory job: same runtime-facing tests plus
+#                            core_itscs_test with -fsanitize=address
+#                            (the `asan` CMake preset)
+#   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
 set -euo pipefail
@@ -27,16 +31,27 @@ tsan() {
     # Only the targets the tsan test preset runs; a full instrumented
     # build costs minutes and adds no coverage.
     cmake --build --preset tsan -j "$(nproc)" \
-        --target runtime_test core_streaming_test
-    echo "== tsan: runtime_test + core_streaming_test =="
+        --target runtime_test runtime_chaos_test core_streaming_test
+    echo "== tsan: runtime_test + runtime_chaos_test + core_streaming_test =="
     ctest --preset tsan
+}
+
+asan() {
+    echo "== asan: build (MCS_SANITIZE=address) =="
+    cmake --preset asan
+    cmake --build --preset asan -j "$(nproc)" \
+        --target runtime_test runtime_chaos_test core_streaming_test \
+        core_itscs_test
+    echo "== asan: runtime + chaos + streaming + itscs tests =="
+    ctest --preset asan
 }
 
 case "${1:-tier1}" in
     tier1) tier1 ;;
     tsan) tsan ;;
-    all) tier1; tsan ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|all]" >&2; exit 2 ;;
+    asan) asan ;;
+    all) tier1; tsan; asan ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
