@@ -21,11 +21,19 @@
 // chaos across fault probabilities — every run must end finite, with the
 // per-shard degradation-ladder outcomes tallied. Written to
 // BENCH_chaos.json (and stdout).
+//
+// Pass `--checkpoint-sweep` to measure the durable checkpoint layer
+// (DESIGN.md §12): per-shard journal commit overhead on an uninterrupted
+// fleet (checkpointing on vs. off at 1 and 4 workers, bit-identity
+// checked, target < 3%), plus the cost and fidelity of a full resume
+// (every shard restored from the journal, nothing re-run). Written to
+// BENCH_checkpoint.json (and stdout).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string_view>
@@ -448,12 +456,153 @@ mcs::Json chaos_sweep_report() {
     return report;
 }
 
+// ---- checkpoint sweep ----------------------------------------------------
+//
+// Commit overhead of the durable journal on a 320 x 120 fleet of eight
+// shards: each shard result is encoded, CRC-framed, appended and flushed
+// while the other workers keep computing, so the cost should vanish into
+// the compute time. Best-of-3 walls, checkpointing on vs. off, outputs
+// compared bit for bit, target < 3%. The resume block then replays the
+// journal of a completed run: all shards must restore (none re-run) and
+// the restored aggregate must equal the plain run byte for byte.
+mcs::Json checkpoint_sweep_report() {
+    constexpr std::size_t kShardSize = 40;
+    constexpr std::size_t kShards = 8;
+    constexpr std::size_t kSlots = 120;
+    const std::size_t participants = kShardSize * kShards;
+
+    std::cerr << "checkpoint sweep: simulating " << participants << "x"
+              << kSlots << " fleet...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, kSlots);
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.2;
+    corruption.seed = 5;
+    const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+    const mcs::ItscsInput input = mcs::to_itscs_input(data);
+
+    const std::filesystem::path dir = "BENCH_checkpoint.ckpt";
+    std::filesystem::remove_all(dir);
+
+    // Best-of-3 wall for one configuration. Non-resume runs reset the
+    // journal on begin(), so every checkpointed repetition pays the full
+    // commit cost for every shard.
+    const auto timed_run = [&](std::size_t threads, bool checkpoint,
+                               bool resume) {
+        mcs::RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = kShardSize;
+        config.remainder = mcs::ShardRemainder::kTail;
+        if (checkpoint) {
+            config.checkpoint_dir = dir.string();
+            config.resume = resume;
+        }
+        mcs::FleetRunner runner(config);
+        runner.run(input, mcs::ItscsConfig{});  // warm-up
+        double best_ms = 0.0;
+        mcs::FleetResult fleet;
+        for (int rep = 0; rep < 3; ++rep) {
+            const mcs::Stopwatch timer;
+            fleet = runner.run(input, mcs::ItscsConfig{});
+            const double wall_ms = timer.elapsed_seconds() * 1000.0;
+            best_ms = rep == 0 ? wall_ms : std::min(best_ms, wall_ms);
+        }
+        return std::make_pair(best_ms, std::move(fleet));
+    };
+
+    mcs::Json rows = mcs::Json::array();
+    bool all_within_target = true;
+    bool all_bitwise = true;
+    mcs::Matrix plain_x, plain_y, plain_detection;
+    for (const std::size_t threads : {1u, 4u}) {
+        std::cerr << "checkpoint sweep: threads=" << threads
+                  << ", checkpoint off\n";
+        auto [plain_ms, plain] = timed_run(threads, false, false);
+        std::cerr << "checkpoint sweep: threads=" << threads
+                  << ", checkpoint on\n";
+        auto [ck_ms, ck] = timed_run(threads, true, false);
+        const double overhead_percent =
+            plain_ms > 0.0 ? (ck_ms - plain_ms) / plain_ms * 100.0 : 0.0;
+        const bool equal =
+            bitwise_equal(plain.aggregate.detection,
+                          ck.aggregate.detection) &&
+            bitwise_equal(plain.aggregate.reconstructed_x,
+                          ck.aggregate.reconstructed_x) &&
+            bitwise_equal(plain.aggregate.reconstructed_y,
+                          ck.aggregate.reconstructed_y);
+        all_within_target = all_within_target && overhead_percent < 3.0;
+        all_bitwise = all_bitwise && equal;
+        plain_detection = plain.aggregate.detection;
+        plain_x = plain.aggregate.reconstructed_x;
+        plain_y = plain.aggregate.reconstructed_y;
+
+        mcs::Json row = mcs::Json::object();
+        row["threads"] = threads;
+        row["plain_ms"] = plain_ms;
+        row["checkpointed_ms"] = ck_ms;
+        row["overhead_percent"] = overhead_percent;
+        row["target_percent"] = 3.0;
+        row["within_target"] = overhead_percent < 3.0;
+        row["bitwise_equal"] = equal;
+        rows.push_back(row);
+    }
+    const std::uintmax_t journal_bytes =
+        std::filesystem::file_size(dir / "journal.bin");
+
+    // Resume fidelity: the journal left by the final checkpointed run
+    // holds all eight shards, so a --resume run restores everything and
+    // computes nothing.
+    std::cerr << "checkpoint sweep: resume from complete journal\n";
+    mcs::RuntimeConfig resume_config;
+    resume_config.threads = 4;
+    resume_config.shard_size = kShardSize;
+    resume_config.remainder = mcs::ShardRemainder::kTail;
+    resume_config.checkpoint_dir = dir.string();
+    resume_config.resume = true;
+    mcs::FleetRunner resume_runner(resume_config);
+    const mcs::Stopwatch resume_timer;
+    const mcs::FleetResult resumed =
+        resume_runner.run(input, mcs::ItscsConfig{});
+    const double resume_ms = resume_timer.elapsed_seconds() * 1000.0;
+    const bool resume_equal =
+        bitwise_equal(resumed.aggregate.detection, plain_detection) &&
+        bitwise_equal(resumed.aggregate.reconstructed_x, plain_x) &&
+        bitwise_equal(resumed.aggregate.reconstructed_y, plain_y);
+    all_bitwise = all_bitwise && resume_equal;
+
+    mcs::Json resume = mcs::Json::object();
+    resume["wall_ms"] = resume_ms;
+    resume["shards_loaded"] = resumed.checkpoint.shards_loaded;
+    resume["shards_run"] = resumed.checkpoint.shards_run;
+    resume["corrupt_frames"] = resumed.checkpoint.corrupt_frames;
+    resume["bitwise_equal_to_plain"] = resume_equal;
+
+    std::filesystem::remove_all(dir);
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = kSlots;
+    report["fleet"]["shard_size"] = kShardSize;
+    report["fleet"]["shards"] = kShards;
+    report["journal_bytes"] = static_cast<std::uint64_t>(journal_bytes);
+    report["journal_bytes_per_shard"] =
+        static_cast<std::uint64_t>(journal_bytes / kShards);
+    report["commit_overhead"] = rows;
+    report["resume"] = std::move(resume);
+    report["all_within_target"] = all_within_target;
+    report["all_bitwise_equal"] = all_bitwise;
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool stats_only = false;
     bool runtime_sweep = false;
     bool chaos_sweep = false;
+    bool checkpoint_sweep = false;
     std::vector<char*> args;
     args.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
@@ -469,6 +618,10 @@ int main(int argc, char** argv) {
             chaos_sweep = true;
             continue;
         }
+        if (std::string_view(argv[i]) == "--checkpoint-sweep") {
+            checkpoint_sweep = true;
+            continue;
+        }
         args.push_back(argv[i]);
     }
     if (runtime_sweep) {
@@ -481,6 +634,13 @@ int main(int argc, char** argv) {
     if (chaos_sweep) {
         const mcs::Json report = chaos_sweep_report();
         std::ofstream out("BENCH_chaos.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        return 0;
+    }
+    if (checkpoint_sweep) {
+        const mcs::Json report = checkpoint_sweep_report();
+        std::ofstream out("BENCH_checkpoint.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
         return 0;

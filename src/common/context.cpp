@@ -48,28 +48,40 @@ void PipelineContext::phase_end() {
 
 void PipelineContext::merge(const PipelineContext& other) {
     MCS_CHECK_MSG(&other != this, "PipelineContext: merge with itself");
-    MCS_CHECK_MSG(open_.empty() && other.open_.empty(),
+    MCS_CHECK_MSG(other.open_.empty(),
                   "PipelineContext: merge with phases still open");
-    counters_.workspace_allocations += other.counters_.workspace_allocations;
-    counters_.workspace_checkouts += other.counters_.workspace_checkouts;
-    counters_.gemm_flops += other.counters_.gemm_flops;
-    counters_.svd_sweeps += other.counters_.svd_sweeps;
-    counters_.asd_iterations += other.counters_.asd_iterations;
-    counters_.cs_solves += other.counters_.cs_solves;
-    counters_.itscs_iterations += other.counters_.itscs_iterations;
-    counters_.detect_passes += other.counters_.detect_passes;
-    counters_.check_passes += other.counters_.check_passes;
-    counters_.guard_trips += other.counters_.guard_trips;
-    counters_.shard_retries += other.counters_.shard_retries;
-    counters_.shards_degraded += other.counters_.shards_degraded;
-    for (const PhaseStat& stat : other.stats_) {
+    absorb(other.counters_, other.stats_);
+#ifndef NDEBUG
+    owner_ = std::thread::id{};  // ownership hand-off point
+#endif
+}
+
+void PipelineContext::absorb(const PipelineCounters& counters,
+                             const std::vector<PhaseStat>& phases) {
+    MCS_CHECK_MSG(open_.empty(),
+                  "PipelineContext: absorb with phases still open");
+    counters_.workspace_allocations += counters.workspace_allocations;
+    counters_.workspace_checkouts += counters.workspace_checkouts;
+    counters_.gemm_flops += counters.gemm_flops;
+    counters_.svd_sweeps += counters.svd_sweeps;
+    counters_.asd_iterations += counters.asd_iterations;
+    counters_.cs_solves += counters.cs_solves;
+    counters_.itscs_iterations += counters.itscs_iterations;
+    counters_.detect_passes += counters.detect_passes;
+    counters_.check_passes += counters.check_passes;
+    counters_.guard_trips += counters.guard_trips;
+    counters_.shard_retries += counters.shard_retries;
+    counters_.shards_degraded += counters.shards_degraded;
+    counters_.checkpoint_commits += counters.checkpoint_commits;
+    counters_.checkpoint_shards_resumed +=
+        counters.checkpoint_shards_resumed;
+    counters_.checkpoint_corrupt_frames +=
+        counters.checkpoint_corrupt_frames;
+    for (const PhaseStat& stat : phases) {
         PhaseStat& mine = stats_[stat_index(stat.name)];
         mine.calls += stat.calls;
         mine.seconds += stat.seconds;
     }
-#ifndef NDEBUG
-    owner_ = std::thread::id{};  // ownership hand-off point
-#endif
 }
 
 void PipelineContext::reset() {
@@ -96,6 +108,11 @@ Json PipelineContext::to_json() const {
     counters["guard_trips"] = counters_.guard_trips;
     counters["shard_retries"] = counters_.shard_retries;
     counters["shards_degraded"] = counters_.shards_degraded;
+    counters["checkpoint_commits"] = counters_.checkpoint_commits;
+    counters["checkpoint_shards_resumed"] =
+        counters_.checkpoint_shards_resumed;
+    counters["checkpoint_corrupt_frames"] =
+        counters_.checkpoint_corrupt_frames;
 
     Json phases = Json::array();
     for (const PhaseStat& stat : stats_) {

@@ -56,6 +56,9 @@ struct PipelineCounters {
     std::uint64_t guard_trips = 0;            ///< HealthMonitor failures
     std::uint64_t shard_retries = 0;          ///< degradation-ladder retries
     std::uint64_t shards_degraded = 0;        ///< shards below kNominal
+    std::uint64_t checkpoint_commits = 0;     ///< shard frames journaled
+    std::uint64_t checkpoint_shards_resumed = 0;  ///< shards restored, not run
+    std::uint64_t checkpoint_corrupt_frames = 0;  ///< journal frames lost
 };
 
 /// Accumulated inclusive wall time for one named phase.
@@ -120,6 +123,13 @@ public:
     /// merges by shard index) keeps the aggregate report deterministic.
     /// Also a thread-ownership release point in debug builds.
     void merge(const PipelineContext& other);
+
+    /// merge() for instrumentation that no longer has a live context: fold
+    /// externally recorded counter and phase deltas into this one (a
+    /// resumed shard's journaled totals — see persist/checkpoint.hpp).
+    /// Requires no open phases here; does not bind thread ownership.
+    void absorb(const PipelineCounters& counters,
+                const std::vector<PhaseStat>& phases);
 
     /// Zero all counters and phase totals (the RNG stream is untouched).
     void reset();

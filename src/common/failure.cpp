@@ -30,6 +30,8 @@ const char* to_string(FailureKind kind) {
             return "deadline_expired";
         case FailureKind::kTaskException:
             return "task_exception";
+        case FailureKind::kCheckpointCorrupt:
+            return "checkpoint_corrupt";
     }
     return "none";
 }
@@ -39,7 +41,7 @@ FailureKind failure_kind_from_string(const std::string& name) {
          {FailureKind::kNone, FailureKind::kNonFiniteInput,
           FailureKind::kNonFiniteValue, FailureKind::kObjectiveDivergence,
           FailureKind::kRankCollapse, FailureKind::kDeadlineExpired,
-          FailureKind::kTaskException}) {
+          FailureKind::kTaskException, FailureKind::kCheckpointCorrupt}) {
         if (name == to_string(kind)) {
             return kind;
         }

@@ -35,6 +35,7 @@ enum class FailureKind {
     kRankCollapse,         ///< factor Gram degenerate (trace <= 0 or NaN)
     kDeadlineExpired,      ///< per-shard wall-clock budget exhausted
     kTaskException,        ///< exception escaped a pool task / attempt
+    kCheckpointCorrupt,    ///< checkpoint journal frame torn or corrupt
 };
 
 /// Stable machine-readable name ("none", "non_finite_input", ...).

@@ -1,0 +1,38 @@
+// FNV-1a 64-bit streaming hash.
+//
+// Not cryptographic — it exists for cheap identity fingerprints (the
+// checkpoint resume handshake hashes inputs, configs and runtime knobs;
+// see persist/checkpoint.hpp). It only needs to make accidental reuse of
+// a checkpoint directory against different data vanishingly unlikely,
+// with no dependencies and a byte-order-stable definition that resume can
+// recompute on any build of the same binary format.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace mcs {
+
+class Fnv1a {
+public:
+    void mix_bytes(const void* data, std::size_t size) {
+        const auto* bytes = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+    void mix_u64(std::uint64_t value) { mix_bytes(&value, sizeof value); }
+    /// Bitwise: -0.0 and +0.0 hash differently, as do distinct NaNs —
+    /// exactly the inputs on which downstream numerics could differ.
+    void mix_f64(double value) {
+        mix_u64(std::bit_cast<std::uint64_t>(value));
+    }
+    std::uint64_t digest() const { return hash_; }
+
+private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace mcs

@@ -4,12 +4,19 @@
 
 #include "common/check.hpp"
 #include "common/failure.hpp"
+#include "common/hash.hpp"
 #include "detect/detection.hpp"
 #include "linalg/temporal.hpp"
 
 namespace mcs {
 
 namespace {
+
+void mix_matrix(Fnv1a& h, const Matrix& m) {
+    h.mix_u64(m.rows());
+    h.mix_u64(m.cols());
+    h.mix_bytes(m.data().data(), m.data().size() * sizeof(double));
+}
 
 // Reject NaN/±Inf in observed cells with a precise row/col message. The
 // server must refuse poisoned uploads at the boundary: a single NaN that
@@ -40,6 +47,38 @@ void ItscsInput::validate_shapes() const {
                   "ItscsInput: ℰ shape mismatch");
     MCS_CHECK_MSG(tau_s > 0.0, "ItscsInput: tau must be positive");
     require_binary(existence, "ItscsInput: ℰ");
+}
+
+std::uint64_t ItscsInput::fingerprint() const {
+    Fnv1a h;
+    h.mix_f64(tau_s);
+    mix_matrix(h, sx);
+    mix_matrix(h, sy);
+    mix_matrix(h, vx);
+    mix_matrix(h, vy);
+    mix_matrix(h, existence);
+    return h.digest();
+}
+
+std::uint64_t config_fingerprint(const ItscsConfig& config) {
+    Fnv1a h;
+    h.mix_u64(config.detector.window);
+    h.mix_f64(config.detector.xi);
+    h.mix_f64(config.detector.min_tolerance_m);
+    h.mix_u64(config.cs.rank);
+    h.mix_f64(config.cs.lambda1);
+    h.mix_f64(config.cs.lambda2);
+    h.mix_u64(static_cast<std::uint64_t>(config.cs.mode));
+    h.mix_u64(config.cs.asd.max_iterations);
+    h.mix_f64(config.cs.asd.relative_tolerance);
+    h.mix_u64(config.cs.asd.scaled ? 1 : 0);
+    h.mix_f64(config.cs.asd.gram_ridge);
+    h.mix_u64(config.cs.center_rows ? 1 : 0);
+    h.mix_f64(config.check.lower_m);
+    h.mix_f64(config.check.upper_m);
+    h.mix_u64(config.max_iterations);
+    h.mix_f64(config.change_tolerance);
+    return h.digest();
 }
 
 void ItscsInput::validate() const {

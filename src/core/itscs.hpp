@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -48,6 +49,13 @@ struct ItscsInput {
     /// finite scan to each shard, so one poisoned cell faults one shard
     /// instead of the whole fleet.
     void validate_shapes() const;
+
+    /// FNV-1a digest over the shapes, tau and raw bytes of all five
+    /// matrices. Used by the checkpoint layer to refuse resuming a journal
+    /// against different input data (see persist/checkpoint.hpp). Bitwise:
+    /// two inputs that differ only by -0.0 vs +0.0 or NaN payload hash
+    /// differently — exactly the cases where reconstructions could differ.
+    std::uint64_t fingerprint() const;
 };
 
 /// Full framework configuration.
@@ -64,6 +72,12 @@ struct ItscsConfig {
     /// measurable quality change.
     double change_tolerance = 0.0005;
 };
+
+/// FNV-1a digest over every ItscsConfig field that can change the solve
+/// (detector, CS, ASD, check thresholds, iteration bounds). Companion of
+/// ItscsInput::fingerprint() for the checkpoint resume handshake: a journal
+/// written under one config must not seed a run under another.
+std::uint64_t config_fingerprint(const ItscsConfig& config);
 
 /// Per-iteration diagnostics (drives the Fig. 8 convergence bench).
 struct ItscsIterationStats {

@@ -26,7 +26,7 @@ double parse_double(const std::string& key, const std::string& value) {
     }
 }
 
-std::uint64_t parse_seed(const std::string& value) {
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
     try {
         std::size_t used = 0;
         const unsigned long long parsed = std::stoull(value, &used);
@@ -35,7 +35,8 @@ std::uint64_t parse_seed(const std::string& value) {
         }
         return static_cast<std::uint64_t>(parsed);
     } catch (const std::exception&) {
-        throw Error("chaos spec: bad value '" + value + "' for key 'seed'");
+        throw Error("chaos spec: bad value '" + value + "' for key '" + key +
+                    "'");
     }
 }
 
@@ -109,11 +110,14 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
         } else if (key == "cells") {
             config.cell_fraction = parse_double(key, value);
         } else if (key == "seed") {
-            config.seed = parse_seed(value);
+            config.seed = parse_u64(key, value);
+        } else if (key == "crash") {
+            config.crash_after_commits =
+                static_cast<std::size_t>(parse_u64(key, value));
         } else {
             throw Error("chaos spec: unknown key '" + key +
                         "' (expected nan, inf, dup, diverge, throw, cells, "
-                        "seed)");
+                        "seed, crash)");
         }
     }
     config.validate();

@@ -14,6 +14,7 @@
 // is as reproducible as a clean one.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -33,16 +34,27 @@ struct ChaosConfig {
     double cell_fraction = 0.05;
     std::uint64_t seed = 0x5eedULL;
 
+    /// Crash seam for the checkpoint harness: abort the whole process
+    /// (std::abort, no cleanup — a real crash) immediately after the k-th
+    /// shard frame is committed to the journal. 0 disables. Not a fault
+    /// probability: it is exact and deterministic regardless of thread
+    /// count, because commits are serialised by the journal lock. Excluded
+    /// from idle() and from the checkpoint runtime fingerprint, so a
+    /// `--resume` without the crash key accepts the crashed run's manifest.
+    std::size_t crash_after_commits = 0;
+
     /// Parse the CLI spec grammar: comma-separated `key=value` pairs with
-    /// keys nan, inf, dup, diverge, throw, cells, seed — e.g.
-    /// `nan=0.5,inf=0.25,seed=7`. Unset keys keep their defaults. Throws
-    /// mcs::Error on an unknown key or a malformed value.
+    /// keys nan, inf, dup, diverge, throw, cells, seed, crash — e.g.
+    /// `nan=0.5,inf=0.25,seed=7` or `crash=2`. Unset keys keep their
+    /// defaults. Throws mcs::Error on an unknown key or a malformed value.
     static ChaosConfig parse(const std::string& spec);
 
     /// Throws mcs::Error when a probability or cell_fraction leaves [0, 1].
     void validate() const;
 
     /// True when every fault probability is zero (injector is a no-op).
+    /// Deliberately ignores crash_after_commits: a crash-only spec perturbs
+    /// no shard's data, and the runner may still skip per-shard planning.
     bool idle() const;
 };
 

@@ -1,0 +1,252 @@
+#include "persist/frame_io.hpp"
+
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+namespace {
+
+// "MCSJ" little-endian: the byte sequence 'M' 'C' 'S' 'J' on disk.
+constexpr std::uint32_t kFrameMagic = 0x4a53434dU;
+constexpr std::size_t kFrameHeaderSize = 4 + 8 + 4;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+    return static_cast<std::uint64_t>(read_u32le(p)) |
+           static_cast<std::uint64_t>(read_u32le(p + 4)) << 32;
+}
+
+void append_frame(std::FILE* file, const std::string& path,
+                  std::span<const std::uint8_t> payload) {
+    ByteWriter header;
+    header.put_u32(kFrameMagic);
+    header.put_u64(payload.size());
+    header.put_u32(crc32(payload.data(), payload.size()));
+    const auto& hb = header.bytes();
+    const bool ok =
+        std::fwrite(hb.data(), 1, hb.size(), file) == hb.size() &&
+        (payload.empty() ||
+         std::fwrite(payload.data(), 1, payload.size(), file) ==
+             payload.size()) &&
+        std::fflush(file) == 0;
+    MCS_CHECK_MSG(ok, "checkpoint journal: write failed: " + path + ": " +
+                          std::strerror(errno));
+}
+
+// Flush + fsync + close; returns false on any failure (with errno set).
+bool sync_and_close(std::FILE* file) {
+    const bool flushed =
+        std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+    return (std::fclose(file) == 0) && flushed;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    const auto& table = crc_table();
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+void ByteWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::put_u32(std::uint32_t v) {
+    for (int k = 0; k < 4; ++k) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+    }
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+    }
+}
+
+void ByteWriter::put_f64(double v) {
+    put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::put_string(const std::string& v) {
+    MCS_CHECK_MSG(v.size() <= 0xffffffffu,
+                  "checkpoint record: string too long to encode");
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+    MCS_CHECK_MSG(n <= remaining(),
+                  "checkpoint record truncated (needed " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()) + ")");
+}
+
+std::uint8_t ByteReader::get_u8() {
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint32_t ByteReader::get_u32() {
+    need(4);
+    const std::uint32_t v = read_u32le(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+    need(8);
+    const std::uint64_t v = read_u64le(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string ByteReader::get_string() {
+    const std::uint32_t size = get_u32();
+    need(size);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                    size);
+    pos_ += size;
+    return out;
+}
+
+FrameWriter::FrameWriter(const std::string& path, bool truncate) {
+    file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+    MCS_CHECK_MSG(file_ != nullptr,
+                  "checkpoint journal: cannot open " + path + ": " +
+                      std::strerror(errno));
+    path_ = path;
+}
+
+FrameWriter::~FrameWriter() {
+    if (file_ != nullptr) {
+        std::fclose(file_);
+    }
+}
+
+void FrameWriter::append(std::span<const std::uint8_t> payload) {
+    append_frame(file_, path_, payload);
+}
+
+FrameScan scan_frames(const std::string& path) {
+    FrameScan scan;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        return scan;  // no journal == empty journal
+    }
+    std::vector<std::uint8_t> bytes;
+    std::array<std::uint8_t, 1 << 16> chunk;
+    std::size_t got = 0;
+    while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+        bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+    }
+    const bool read_ok = std::ferror(file) == 0;
+    std::fclose(file);
+    MCS_CHECK_MSG(read_ok, "checkpoint journal: read failed: " + path);
+
+    std::size_t offset = 0;
+    while (bytes.size() - offset >= kFrameHeaderSize) {
+        const std::uint8_t* p = bytes.data() + offset;
+        const std::uint32_t magic = read_u32le(p);
+        if (magic != kFrameMagic) {
+            scan.torn_tail = true;
+            scan.errors.push_back("bad frame magic at offset " +
+                                  std::to_string(offset) +
+                                  "; dropping journal tail");
+            return scan;
+        }
+        const std::uint64_t length = read_u64le(p + 4);
+        const std::uint32_t stored_crc = read_u32le(p + 12);
+        if (length > bytes.size() - offset - kFrameHeaderSize) {
+            scan.torn_tail = true;
+            scan.errors.push_back(
+                "frame at offset " + std::to_string(offset) + " claims " +
+                std::to_string(length) + " payload bytes past end of file; "
+                "dropping journal tail");
+            return scan;
+        }
+        const std::uint8_t* payload = p + kFrameHeaderSize;
+        if (crc32(payload, length) != stored_crc) {
+            scan.corrupt_frames += 1;
+            scan.errors.push_back("frame at offset " +
+                                  std::to_string(offset) +
+                                  " failed its CRC; skipping frame");
+        } else {
+            scan.frames.emplace_back(payload, payload + length);
+        }
+        offset += kFrameHeaderSize + static_cast<std::size_t>(length);
+    }
+    if (offset != bytes.size()) {
+        scan.torn_tail = true;
+        scan.errors.push_back("partial frame header at offset " +
+                              std::to_string(offset) +
+                              "; dropping journal tail");
+    }
+    return scan;
+}
+
+void rewrite_frames(const std::string& path,
+                    const std::vector<std::vector<std::uint8_t>>& payloads) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    MCS_CHECK_MSG(file != nullptr,
+                  "checkpoint journal: cannot open " + tmp + ": " +
+                      std::strerror(errno));
+    for (const auto& payload : payloads) {
+        append_frame(file, tmp, payload);
+    }
+    MCS_CHECK_MSG(sync_and_close(file),
+                  "checkpoint journal: flush failed: " + tmp);
+    MCS_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "checkpoint journal: rename " + tmp + " -> " + path +
+                      " failed: " + std::strerror(errno));
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    MCS_CHECK_MSG(file != nullptr, "checkpoint: cannot open " + tmp + ": " +
+                                       std::strerror(errno));
+    const bool written =
+        content.empty() ||
+        std::fwrite(content.data(), 1, content.size(), file) ==
+            content.size();
+    const bool closed = sync_and_close(file);
+    MCS_CHECK_MSG(written && closed, "checkpoint: write failed: " + tmp);
+    MCS_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "checkpoint: rename " + tmp + " -> " + path +
+                      " failed: " + std::strerror(errno));
+}
+
+}  // namespace mcs

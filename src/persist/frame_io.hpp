@@ -1,0 +1,129 @@
+// Binary framing primitives for the durable checkpoint journal
+// (DESIGN.md §12).
+//
+// A journal is an append-only file of self-delimiting frames:
+//
+//   ┌─────────┬──────────────┬──────────────┬────────────────┐
+//   │ magic   │ payload_len  │ payload_crc  │ payload bytes  │
+//   │ u32 LE  │ u64 LE       │ u32 LE       │ payload_len    │
+//   └─────────┴──────────────┴──────────────┴────────────────┘
+//
+// The CRC (standard CRC-32, IEEE 802.3 reflected polynomial) covers the
+// payload only; the magic word delimits frames. A reader can therefore
+// classify every failure mode a crash can leave behind:
+//
+//   * payload CRC mismatch with a plausible header → the frame is
+//     *corrupt* (bit rot, torn overwrite): skip it, keep scanning — the
+//     next frame starts at a known offset.
+//   * bad magic, or a length that runs past end-of-file → the *tail is
+//     torn* (the process died mid-append): stop scanning; every byte from
+//     here on is unframed garbage.
+//
+// Appends flush to the OS after every frame, so a process crash (the chaos
+// `crash=<k>` abort, a SIGKILL) never loses an acknowledged frame; power
+// loss can — full durability would need an fsync per append, which the
+// checkpoint layer deliberately trades away (see DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcs {
+
+/// Standard CRC-32 (polynomial 0xEDB88320, reflected, init/xorout ~0).
+/// Check value: crc32 of "123456789" is 0xCBF43926. `seed` chains calls:
+/// crc32(ab) == crc32(b, crc32(a)).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Little-endian binary encoder for checkpoint record payloads.
+class ByteWriter {
+public:
+    void put_u8(std::uint8_t v);
+    void put_u32(std::uint32_t v);
+    void put_u64(std::uint64_t v);
+    /// Bit-exact: the double's IEEE-754 bits round-trip unchanged.
+    void put_f64(double v);
+    /// u32 length prefix + raw bytes.
+    void put_string(const std::string& v);
+
+    const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Little-endian decoder over a bounded buffer. Every read that would run
+/// past the end throws mcs::Error — a truncated or lying record can never
+/// read out of bounds.
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t get_u8();
+    std::uint32_t get_u32();
+    std::uint64_t get_u64();
+    double get_f64();
+    std::string get_string();
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool at_end() const { return pos_ == data_.size(); }
+
+private:
+    void need(std::size_t n) const;
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+/// Append-only frame writer. Every append() writes one complete frame and
+/// fflush()es it, so the frame survives any later process death.
+class FrameWriter {
+public:
+    /// Opens `path` for appending (`truncate` starts a fresh journal).
+    /// Throws mcs::Error when the file cannot be opened.
+    FrameWriter(const std::string& path, bool truncate);
+    ~FrameWriter();
+
+    FrameWriter(const FrameWriter&) = delete;
+    FrameWriter& operator=(const FrameWriter&) = delete;
+
+    void append(std::span<const std::uint8_t> payload);
+
+private:
+    std::FILE* file_ = nullptr;
+    std::string path_;  // for error messages
+};
+
+/// Outcome of scanning a journal file.
+struct FrameScan {
+    /// CRC-verified payloads, in file order.
+    std::vector<std::vector<std::uint8_t>> frames;
+    /// Structurally intact frames whose payload failed its CRC (skipped).
+    std::size_t corrupt_frames = 0;
+    /// The file ended mid-frame or in unframed bytes (everything from the
+    /// first such byte was dropped).
+    bool torn_tail = false;
+    /// One human-readable line per corrupt frame / torn tail, with offsets.
+    std::vector<std::string> errors;
+};
+
+/// Read and CRC-verify every frame of `path`. A missing file yields an
+/// empty scan (no error) — "no journal" and "empty journal" are the same
+/// resume state. Throws mcs::Error only on I/O errors for an existing file.
+FrameScan scan_frames(const std::string& path);
+
+/// Atomically replace `path` with exactly `payloads` framed in order:
+/// write to `path`.tmp, flush, fsync, rename. Used to compact a journal on
+/// resume (dropping corrupt frames and torn bytes) before appending.
+void rewrite_frames(const std::string& path,
+                    const std::vector<std::vector<std::uint8_t>>& payloads);
+
+/// Crash-safe whole-file write (tmp → flush → fsync → atomic rename); the
+/// manifest's write discipline.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace mcs

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/json.hpp"
 #include "corruption/chaos.hpp"
 #include "cs/interpolation.hpp"
 #include "detect/detection.hpp"
 #include "linalg/temporal.hpp"
+#include "persist/checkpoint.hpp"
 #include "runtime/kernel_parallel.hpp"
 
 namespace mcs {
@@ -21,6 +27,35 @@ std::size_t resolve_threads(std::size_t requested) {
         return requested;
     }
     return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// The runtime-knob half of the checkpoint resume handshake (the other two
+// fingerprints — input bytes and ItscsConfig — live in core). Covers every
+// RuntimeConfig field that can change the merged numerics or the failure
+// record. Deliberately excluded: threads / kernel_threads (never affect
+// results), shard_size / shard_count / remainder (the manifest stores the
+// *resolved* plan row ranges, which is the stronger check), checkpoint_dir
+// and resume themselves, health.deadline_seconds (wall-clock and therefore
+// machine-dependent; a deadline trip is already recorded in the journaled
+// shard record), and chaos crash_after_commits (the crash seam must not
+// stop a clean `--resume` from accepting the crashed run's manifest).
+std::uint64_t runtime_fingerprint(const RuntimeConfig& config) {
+    Fnv1a h;
+    h.mix_u64(config.seed);
+    h.mix_u64(config.guard ? 1 : 0);
+    h.mix_u64(config.health.divergence_patience);
+    h.mix_f64(config.health.divergence_slack);
+    if (config.chaos != nullptr && !config.chaos->config().idle()) {
+        const ChaosConfig& c = config.chaos->config();
+        h.mix_f64(c.nan_velocity);
+        h.mix_f64(c.inf_coordinate);
+        h.mix_f64(c.duplicate_rows);
+        h.mix_f64(c.force_divergence);
+        h.mix_f64(c.task_throw);
+        h.mix_f64(c.cell_fraction);
+        h.mix_u64(c.seed);
+    }
+    return h.digest();
 }
 
 // Ladder rung 1's solver settings: heavier regularisation, half the rank,
@@ -87,6 +122,16 @@ void scatter_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
 
 FleetRunner::FleetRunner(RuntimeConfig config)
     : config_(config), threads_(resolve_threads(config.threads)) {
+    if (config_.shard_size == 0 && config_.shard_count == 0) {
+        // The default decomposition is one shard per resolved worker — a
+        // machine property, so results move with the hardware. Loud enough
+        // to notice, quiet enough not to fail anything.
+        std::fprintf(stderr,
+                     "itscs: warning: shard plan defaulting to one shard "
+                     "per worker thread (%zu); set --shard-size or "
+                     "--shard-count for machine-independent results\n",
+                     threads_);
+    }
     if (threads_ > 1) {
         pool_ = std::make_unique<ThreadPool>(threads_);
     }
@@ -143,6 +188,114 @@ FleetResult FleetRunner::run(const ItscsInput& input,
     out.aggregate.reconstructed_y = Matrix(n, t);
     out.shards.resize(count);
     std::vector<std::vector<ItscsIterationStats>> histories(count);
+
+    // ---- durable checkpoint: open the store, restore what survived ----
+    CheckpointSummary& cp = out.checkpoint;
+    std::unique_ptr<CheckpointStore> store;
+    std::vector<bool> restored(count, false);
+    if (!config_.checkpoint_dir.empty()) {
+        cp.enabled = true;
+        store = std::make_unique<CheckpointStore>(config_.checkpoint_dir);
+
+        CheckpointManifest manifest;
+        manifest.participants = n;
+        manifest.slots = t;
+        manifest.input_fingerprint = input.fingerprint();
+        manifest.config_fingerprint = config_fingerprint(config);
+        manifest.runtime_fingerprint = runtime_fingerprint(config_);
+        for (const Shard& shard : plan.shards()) {
+            manifest.shards.emplace_back(shard.begin, shard.end);
+        }
+
+        if (config_.resume && store->has_manifest()) {
+            // Handshake: a fingerprint or plan mismatch means the journal
+            // belongs to a different run — resuming it would fabricate
+            // results, so refuse loudly instead of quietly starting over.
+            const std::string why = manifest.mismatch(store->read_manifest());
+            MCS_CHECK_MSG(why.empty(),
+                          "checkpoint resume refused (" + why +
+                              "); delete " + config_.checkpoint_dir +
+                              " or drop --resume to start over");
+
+            CheckpointLoad load = store->load();
+            cp.corrupt_frames = load.corrupt_frames;
+            cp.torn_tail = load.torn_tail;
+            cp.journal_failures = std::move(load.failures);
+
+            for (auto& [index, record] : load.shards) {
+                // The frame had a valid CRC and decoded, but its contents
+                // must still agree with the recomputed plan and seeds —
+                // anything else is treated exactly like a corrupt frame:
+                // dropped, reported, and the shard re-run.
+                const Shard* shard =
+                    index < count ? &plan.shards()[index] : nullptr;
+                const std::size_t rows =
+                    shard != nullptr ? shard->size() : 0;
+                const bool consistent =
+                    shard != nullptr && record.row_begin == shard->begin &&
+                    record.row_end == shard->end &&
+                    record.seed == seeds[index] &&
+                    record.detection.rows() == rows &&
+                    record.detection.cols() == t &&
+                    record.reconstructed_x.rows() == rows &&
+                    record.reconstructed_x.cols() == t &&
+                    record.reconstructed_y.rows() == rows &&
+                    record.reconstructed_y.cols() == t;
+                if (!consistent) {
+                    ++cp.corrupt_frames;
+                    FailureReport bad;
+                    bad.kind = FailureKind::kCheckpointCorrupt;
+                    bad.phase = "journal";
+                    bad.shard = index;
+                    bad.detail =
+                        "journaled record contradicts the recomputed "
+                        "shard plan/seed; shard will re-run";
+                    cp.journal_failures.push_back(std::move(bad));
+                    continue;
+                }
+
+                ShardRunReport& report = out.shards[index];
+                report.shard = *shard;
+                report.seed = record.seed;
+                report.iterations = record.iterations;
+                report.converged = record.converged;
+                report.level =
+                    static_cast<DegradationLevel>(record.level);
+                report.attempts = record.attempts;
+                report.failures = std::move(record.failures);
+
+                scatter_rows(out.aggregate.detection, record.detection,
+                             *shard);
+                scatter_rows(out.aggregate.reconstructed_x,
+                             record.reconstructed_x, *shard);
+                scatter_rows(out.aggregate.reconstructed_y,
+                             record.reconstructed_y, *shard);
+                histories[index] = std::move(record.history);
+
+                // Fold the original process's instrumentation into the
+                // shard's (otherwise untouched) context so the merged
+                // report still covers the work that was actually done.
+                contexts[index].absorb(record.counters, record.phases);
+                contexts[index].counters().checkpoint_shards_resumed += 1;
+
+                restored[index] = true;
+                ++cp.shards_loaded;
+            }
+        } else {
+            store->begin(manifest);
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        if (!restored[s]) {
+            pending.push_back(s);
+        }
+    }
+    if (cp.enabled) {
+        cp.shards_run = pending.size();
+    }
 
     // Opt-in row-blocked kernel parallelism for the duration of the run;
     // dormant underneath shard workers (they run kernels inline).
@@ -336,6 +489,44 @@ FleetResult FleetRunner::run(const ItscsInput& input,
                      shard);
         scatter_rows(out.aggregate.reconstructed_y, result.reconstructed_y,
                      shard);
+
+        if (store != nullptr) {
+            // Count the commit first so the journaled counter snapshot
+            // includes it — a resumed run then reports the commit the
+            // original process made.
+            contexts[s].counters().checkpoint_commits += 1;
+
+            ShardCheckpoint record;
+            record.shard_index = s;
+            record.row_begin = shard.begin;
+            record.row_end = shard.end;
+            record.seed = seeds[s];
+            record.iterations = report.iterations;
+            record.converged = report.converged;
+            record.level = static_cast<std::uint32_t>(report.level);
+            record.attempts = report.attempts;
+            record.failures = report.failures;
+            record.detection = result.detection;
+            record.reconstructed_x = result.reconstructed_x;
+            record.reconstructed_y = result.reconstructed_y;
+            record.history = result.history;
+            record.counters = contexts[s].counters();
+            record.phases = contexts[s].phase_stats();
+
+            const std::size_t crash_after =
+                config_.chaos != nullptr
+                    ? config_.chaos->config().crash_after_commits
+                    : 0;
+            store->commit(record, [crash_after](std::size_t ordinal) {
+                // Chaos crash seam: die *after* the k-th frame is flushed,
+                // while still holding the journal lock — the journal holds
+                // exactly k complete frames, at any thread count.
+                if (crash_after > 0 && ordinal == crash_after) {
+                    std::abort();
+                }
+            });
+        }
+
         histories[s] = std::move(result.history);
 
         ws.release(std::move(si.sx));
@@ -345,15 +536,15 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         ws.release(std::move(si.existence));
     };
 
-    if (pool_ != nullptr && count > 1) {
-        pool_->parallel_for(0, count, 1,
+    if (pool_ != nullptr && pending.size() > 1) {
+        pool_->parallel_for(0, pending.size(), 1,
                             [&](std::size_t lo, std::size_t hi) {
-                                for (std::size_t s = lo; s < hi; ++s) {
-                                    run_shard(s);
+                                for (std::size_t k = lo; k < hi; ++k) {
+                                    run_shard(pending[k]);
                                 }
                             });
     } else {
-        for (std::size_t s = 0; s < count; ++s) {
+        for (const std::size_t s : pending) {
             run_shard(s);
         }
     }
@@ -367,6 +558,8 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         for (const PipelineContext& shard_ctx : contexts) {
             ctx->merge(shard_ctx);
         }
+        // Frame losses belong to the run, not to any one shard's context.
+        ctx->counters().checkpoint_corrupt_frames += cp.corrupt_frames;
     }
     for (Workspace& ws : workspaces_) {
         ws.clear();

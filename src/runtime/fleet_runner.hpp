@@ -24,10 +24,18 @@
 // — so the merged result is always finite and fleet-shaped, with the
 // failure recorded per shard. Healthy shards are bit-identical to a
 // guards-off run.
+//
+// Crash safety (DESIGN.md §12): with RuntimeConfig::checkpoint_dir set,
+// every completed shard is committed to a durable journal as it finishes,
+// and `resume` restores intact shards instead of re-running them. The
+// shard-indexed seed derivation above is what makes this sound: a resumed
+// shard's would-be seed equals its journaled seed, so restored rows are
+// bit-identical to recomputed ones.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/failure.hpp"
@@ -83,6 +91,21 @@ struct RuntimeConfig {
     /// outlive every run(). Chaos only strikes the nominal attempt, so the
     /// ladder's lower rungs always see an injector-free world.
     const ChaosInjector* chaos = nullptr;
+
+    /// Directory for the durable checkpoint (manifest + shard journal, see
+    /// persist/checkpoint.hpp); empty = checkpointing off. Created on
+    /// first use. Each completed shard is committed as one CRC-framed
+    /// journal record, at whatever degradation level it finished.
+    std::string checkpoint_dir;
+
+    /// With checkpoint_dir set: verify the stored manifest against this
+    /// run (input/config/runtime fingerprints and the shard plan — any
+    /// mismatch throws), restore every intact journaled shard, and re-run
+    /// only the missing or corrupt ones. The combined result is
+    /// bit-identical to an uninterrupted run. When false (or when no
+    /// manifest exists yet) the directory is reset and a fresh journal
+    /// started.
+    bool resume = false;
 };
 
 /// Outcome of one shard's framework run.
@@ -99,6 +122,20 @@ struct ShardRunReport {
     std::vector<FailureReport> failures;
 };
 
+/// Checkpoint activity of one run (default state when checkpointing off).
+struct CheckpointSummary {
+    bool enabled = false;
+    std::size_t shards_loaded = 0;   ///< restored from the journal, not run
+    std::size_t shards_run = 0;      ///< executed (and committed) this run
+    /// Journal frames dropped: CRC failure, undecodable payload, or a
+    /// record contradicting the recomputed plan/seeds. Each costs a re-run
+    /// of its shard, never correctness.
+    std::size_t corrupt_frames = 0;
+    bool torn_tail = false;          ///< journal ended mid-frame (crash)
+    /// One kCheckpointCorrupt report per dropped frame / torn tail.
+    std::vector<FailureReport> journal_failures;
+};
+
 /// Fleet-level outcome: the stitched result plus per-shard diagnostics.
 struct FleetResult {
     /// detection / reconstructed_x / reconstructed_y are fleet-sized
@@ -107,6 +144,7 @@ struct FleetResult {
     /// sum over shards (flagged cells, changes, objectives).
     ItscsResult aggregate;
     std::vector<ShardRunReport> shards;
+    CheckpointSummary checkpoint;
 };
 
 /// Shard-parallel driver around run_itscs. Owns its worker pool and one

@@ -16,9 +16,11 @@
 //
 //   itscs clean    --in corrupted.csv --participants N --slots T
 //                  [--variant full|no-v|no-vt] [--estimate-velocity]
-//                  [--threads N] [--shard-size K] [--kernel-threads M]
+//                  [--threads N] [--shard-size K] [--shard-count C]
+//                  [--kernel-threads M]
 //                  [--chaos=SPEC] [--failure-report fr.json]
 //                  [--shard-deadline S]
+//                  [--checkpoint-dir D] [--resume] [--strict]
 //                  --out cleaned.csv [--flags flags.csv]
 //                  [--report report.json] [--stats-json]
 //       Run the framework: write the reconstructed trace, the flagged
@@ -31,10 +33,18 @@
 //       --kernel-threads enables row-blocked kernel parallelism instead
 //       of (or alongside) sharding. --chaos injects faults per the
 //       DESIGN.md §11 spec grammar (nan=p,inf=p,dup=p,diverge=p,throw=p,
-//       cells=q,seed=u); --failure-report writes the per-shard degradation
-//       outcomes (ladder level, attempts, structured failures) as JSON;
-//       --shard-deadline sets a per-shard wall-clock budget in seconds.
-//       Any of the three forces the FleetRunner path.
+//       cells=q,seed=u,crash=k); --failure-report writes the per-shard
+//       degradation outcomes (ladder level, attempts, structured
+//       failures) as JSON; --shard-deadline sets a per-shard wall-clock
+//       budget in seconds. Any of these forces the FleetRunner path.
+//
+//       --checkpoint-dir journals every completed shard durably
+//       (DESIGN.md §12); with --resume, intact journaled shards are
+//       restored instead of re-run and the combined output is
+//       bit-identical to an uninterrupted run (a mismatched manifest —
+//       different input, config or seed — is refused). --strict exits 3
+//       when any shard degraded below nominal or any checkpoint frame
+//       was corrupt.
 //
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
 //                  [--stats-json]
@@ -42,7 +52,8 @@
 //       --stats-json prints (or, with --json, merges as a "stats" member)
 //       the instrumentation counters of the run.
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
+// 3 when --strict finds degraded shards or corrupt checkpoint frames.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -239,6 +250,8 @@ int cmd_clean(const Args& args) {
         args.has("threads") ? args.count("threads") : 1;
     const std::size_t shard_size =
         args.has("shard-size") ? args.count("shard-size") : 0;
+    const std::size_t shard_count =
+        args.has("shard-count") ? args.count("shard-count") : 0;
     const std::size_t kernel_threads =
         args.has("kernel-threads") ? args.count("kernel-threads") : 1;
     std::optional<mcs::ChaosConfig> chaos_config;
@@ -247,21 +260,31 @@ int cmd_clean(const Args& args) {
     }
     const double shard_deadline = args.number("shard-deadline", 0.0);
     const bool use_runner = threads > 1 || shard_size > 0 ||
-                            kernel_threads > 1 || chaos_config.has_value() ||
+                            shard_count > 0 || kernel_threads > 1 ||
+                            chaos_config.has_value() ||
                             shard_deadline > 0.0 ||
-                            args.has("failure-report");
+                            args.has("failure-report") ||
+                            args.has("checkpoint-dir") ||
+                            args.has("strict");
 
     mcs::ItscsResult result;
     std::vector<mcs::ShardRunReport> shard_reports;
+    mcs::CheckpointSummary checkpoint;
+    std::size_t resolved_shard_count = 1;
     if (use_runner) {
         mcs::RuntimeConfig runtime;
         runtime.threads = threads;
         runtime.shard_size = shard_size;
-        // Without --shard-size, pin the decomposition to the thread count
-        // so the flags alone reproduce the numerics on any machine.
-        runtime.shard_count = shard_size == 0 ? threads : 0;
+        // Without --shard-size/--shard-count, pin the decomposition to the
+        // thread count so the flags alone reproduce the numerics on any
+        // machine (and FleetRunner's machine-default warning stays quiet).
+        runtime.shard_count =
+            shard_count > 0 ? shard_count
+                            : (shard_size == 0 ? threads : 0);
         runtime.kernel_threads = kernel_threads;
         runtime.health.deadline_seconds = shard_deadline;
+        runtime.checkpoint_dir = args.get_or("checkpoint-dir", "");
+        runtime.resume = args.has("resume");
         std::unique_ptr<mcs::ChaosInjector> injector;
         if (chaos_config.has_value()) {
             injector = std::make_unique<mcs::ChaosInjector>(*chaos_config);
@@ -272,6 +295,8 @@ int cmd_clean(const Args& args) {
             runner.run(input, config, want_stats ? &ctx : nullptr);
         result = std::move(fleet.aggregate);
         shard_reports = std::move(fleet.shards);
+        checkpoint = std::move(fleet.checkpoint);
+        resolved_shard_count = shard_reports.size();
     } else {
         result = mcs::run_itscs(input, config, {},
                                 want_stats ? &ctx : nullptr);
@@ -316,6 +341,26 @@ int cmd_clean(const Args& args) {
             mcs::Json runtime = mcs::Json::object();
             runtime["threads"] = threads;
             runtime["kernel_threads"] = kernel_threads;
+            // The *resolved* decomposition, so a report from a run that
+            // leaned on machine defaults still states what actually ran.
+            runtime["shard_size"] = shard_size;
+            runtime["shard_count"] = resolved_shard_count;
+            if (checkpoint.enabled) {
+                mcs::Json cp = mcs::Json::object();
+                cp["dir"] = args.get("checkpoint-dir");
+                cp["resume"] = args.has("resume");
+                cp["shards_loaded"] = checkpoint.shards_loaded;
+                cp["shards_run"] = checkpoint.shards_run;
+                cp["corrupt_frames"] = checkpoint.corrupt_frames;
+                cp["torn_tail"] = checkpoint.torn_tail;
+                mcs::Json journal_failures = mcs::Json::array();
+                for (const mcs::FailureReport& failure :
+                     checkpoint.journal_failures) {
+                    journal_failures.push_back(failure.to_json());
+                }
+                cp["journal_failures"] = journal_failures;
+                runtime["checkpoint"] = cp;
+            }
             mcs::Json shards = mcs::Json::array();
             for (const auto& s : shard_reports) {
                 mcs::Json row = mcs::Json::object();
@@ -371,9 +416,30 @@ int cmd_clean(const Args& args) {
     if (want_stats) {
         std::cout << ctx.to_json().dump(2) << "\n";
     }
+    if (checkpoint.enabled) {
+        std::cout << "checkpoint: " << checkpoint.shards_loaded
+                  << " shard(s) restored, " << checkpoint.shards_run
+                  << " run, " << checkpoint.corrupt_frames
+                  << " corrupt frame(s)"
+                  << (checkpoint.torn_tail ? ", torn tail" : "") << "\n";
+    }
     std::cout << "cleaned trace written to " << args.get("out") << " ("
               << flagged << " readings flagged, " << result.iterations
               << " iterations)\n";
+    if (args.has("strict")) {
+        std::size_t degraded = 0;
+        for (const auto& s : shard_reports) {
+            if (s.level != mcs::DegradationLevel::kNominal) {
+                ++degraded;
+            }
+        }
+        if (degraded > 0 || checkpoint.corrupt_frames > 0) {
+            std::cerr << "itscs clean: strict: " << degraded
+                      << " degraded shard(s), " << checkpoint.corrupt_frames
+                      << " corrupt checkpoint frame(s)\n";
+            return 3;
+        }
+    }
     return 0;
 }
 
@@ -439,9 +505,11 @@ int usage() {
            "  clean    --in c.csv --participants N --slots T "
            "[--variant full|no-v|no-vt]\n"
            "           [--estimate-velocity] [--threads N] "
-           "[--shard-size K] [--kernel-threads M]\n"
-           "           [--chaos=SPEC] [--failure-report fr.json] "
-           "[--shard-deadline S]\n"
+           "[--shard-size K] [--shard-count C]\n"
+           "           [--kernel-threads M] "
+           "[--chaos=SPEC] [--failure-report fr.json]\n"
+           "           [--shard-deadline S] [--checkpoint-dir D] "
+           "[--resume] [--strict]\n"
            "           --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Crash/resume end-to-end test (DESIGN.md §12): kill a checkpointed clean
+# run with a real process abort (--chaos=crash=k), resume it, and require
+# the resumed output to be byte-identical (cmp) to an uninterrupted run —
+# across thread counts, and after deliberately flipping a bit in the
+# journal. Exercises the real crash seam that the in-process
+# runtime_checkpoint_test can only simulate by truncating files.
+set -euo pipefail
+
+ITSCS="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+N=32
+T=48
+COMMON=(--in "$WORKDIR/corrupted.csv" --participants "$N" --slots "$T" \
+        --shard-size 4)
+
+echo "== prepare input =="
+"$ITSCS" simulate --participants "$N" --slots "$T" --seed 11 \
+    --out "$WORKDIR/truth.csv" > /dev/null
+"$ITSCS" corrupt --in "$WORKDIR/truth.csv" --participants "$N" \
+    --slots "$T" --alpha 0.2 --beta 0.2 --seed 4 \
+    --out "$WORKDIR/corrupted.csv" > /dev/null
+
+echo "== reference run (uninterrupted) =="
+"$ITSCS" clean "${COMMON[@]}" --threads 2 \
+    --out "$WORKDIR/ref.csv" --flags "$WORKDIR/ref_flags.csv" > /dev/null
+
+for THREADS in 1 2 7; do
+    echo "== crash after 3 commits, resume at $THREADS thread(s) =="
+    CK="$WORKDIR/ck_$THREADS"
+    rm -rf "$CK"
+    # The crash run must die by SIGABRT (exit 134), not finish.
+    set +e
+    "$ITSCS" clean "${COMMON[@]}" --threads "$THREADS" \
+        --checkpoint-dir "$CK" --chaos=crash=3 \
+        --out "$WORKDIR/crashed.csv" > /dev/null 2> /dev/null
+    STATUS=$?
+    set -e
+    test "$STATUS" -eq 134 || {
+        echo "expected SIGABRT exit 134, got $STATUS" >&2
+        exit 1
+    }
+    test -s "$CK/manifest.json"
+    test -s "$CK/journal.bin"
+
+    "$ITSCS" clean "${COMMON[@]}" --threads "$THREADS" \
+        --checkpoint-dir "$CK" --resume --strict \
+        --out "$WORKDIR/resumed.csv" --flags "$WORKDIR/resumed_flags.csv" \
+        --report "$WORKDIR/resumed_report.json" > "$WORKDIR/resume.out"
+    grep -q "3 shard(s) restored" "$WORKDIR/resume.out"
+    cmp "$WORKDIR/ref.csv" "$WORKDIR/resumed.csv"
+    cmp "$WORKDIR/ref_flags.csv" "$WORKDIR/resumed_flags.csv"
+    grep -q '"shards_loaded": 3' "$WORKDIR/resumed_report.json"
+done
+
+echo "== corrupt frame: detected, reported, recovered =="
+CK="$WORKDIR/ck_flip"
+rm -rf "$CK"
+"$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
+    --out "$WORKDIR/full.csv" > /dev/null
+# Flip one bit in the middle of the journal (payload territory — frames
+# here are kilobytes, headers 16 bytes).
+SIZE=$(wc -c < "$CK/journal.bin")
+MID=$((SIZE / 2))
+printf '\x40' | dd of="$CK/journal.bin" bs=1 seek="$MID" count=1 \
+    conv=notrunc status=none
+
+# Non-strict resume: recovers, reports the corruption, output identical.
+"$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
+    --out "$WORKDIR/flip.csv" --report "$WORKDIR/flip_report.json" \
+    > "$WORKDIR/flip.out"
+grep -Eq "[1-9][0-9]* corrupt frame" "$WORKDIR/flip.out"
+grep -q 'checkpoint_corrupt' "$WORKDIR/flip_report.json"
+cmp "$WORKDIR/ref.csv" "$WORKDIR/flip.csv"
+
+echo "== strict mode exits 3 on corruption =="
+rm -rf "$CK"
+"$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
+    --out "$WORKDIR/full.csv" > /dev/null
+SIZE=$(wc -c < "$CK/journal.bin")
+MID=$((SIZE / 2))
+printf '\x40' | dd of="$CK/journal.bin" bs=1 seek="$MID" count=1 \
+    conv=notrunc status=none
+set +e
+"$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
+    --strict --out "$WORKDIR/strict.csv" > /dev/null 2> /dev/null
+STATUS=$?
+set -e
+test "$STATUS" -eq 3 || {
+    echo "expected strict exit 3, got $STATUS" >&2
+    exit 1
+}
+cmp "$WORKDIR/ref.csv" "$WORKDIR/strict.csv"  # output still correct
+
+echo "== resume against different input is refused =="
+"$ITSCS" corrupt --in "$WORKDIR/truth.csv" --participants "$N" \
+    --slots "$T" --alpha 0.2 --beta 0.2 --seed 5 \
+    --out "$WORKDIR/other.csv" > /dev/null
+rm -rf "$CK"
+"$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
+    --out "$WORKDIR/full.csv" > /dev/null
+set +e
+"$ITSCS" clean --in "$WORKDIR/other.csv" --participants "$N" --slots "$T" \
+    --shard-size 4 --threads 2 --checkpoint-dir "$CK" --resume \
+    --out "$WORKDIR/refused.csv" > /dev/null 2> "$WORKDIR/refused.err"
+STATUS=$?
+set -e
+test "$STATUS" -eq 2 || {
+    echo "expected refusal exit 2, got $STATUS" >&2
+    exit 1
+}
+grep -q "resume refused" "$WORKDIR/refused.err"
+
+echo "crash/resume: all checks passed"
