@@ -8,12 +8,18 @@
 // check (0 buffer allocations per iteration after warm-up). Pass
 // `--stats-only` to skip the microbenchmarks and emit only the JSON.
 //
-// Pass `--runtime-sweep` to instead run the runtime-subsystem thread
-// sweep: a 1264 x 240 fleet (8 paper-scale shards of 158 participants)
-// executed by FleetRunner at 1/2/4/8 workers. Results are written to
-// BENCH_runtime.json in the working directory (and stdout): per worker
-// count {threads, shards, wall_ms, speedup, alloc_steady_state} plus a
-// bit-identity check of every parallel run against the 1-worker run.
+// Pass `--runtime-sweep` to instead run the runtime-subsystem sweep: a
+// 1264 x 240 fleet (8 paper-scale shards of 158 participants) executed by
+// FleetRunner at 1/2/4/8 workers under both kernel tiers (exact and
+// fast). Results are written to BENCH_runtime.json in the working
+// directory (and stdout): per {tier, worker count} {wall_ms, speedup vs.
+// that tier's 1-worker run, alloc_steady_state} plus a bit-identity check
+// of every parallel run against the same tier's sequential run, and the
+// fast-vs-exact sequential fleet speedup.
+//
+// `--repeat N` (default 1) makes every timed wall a median of N runs
+// after one warm-up; the repeat count and hardware_concurrency are
+// recorded in every BENCH_*.json this binary writes.
 //
 // Pass `--chaos-sweep` to measure the guard layer instead: (1) the health
 // guard's overhead on a fault-free fleet (guards on vs. off, bit-identity
@@ -33,6 +39,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -246,7 +253,12 @@ bool bitwise_equal(const mcs::Matrix& a, const mcs::Matrix& b) {
            std::equal(da.begin(), da.end(), db.begin());
 }
 
-mcs::Json runtime_sweep_report() {
+double median(std::vector<double> samples) {
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+mcs::Json runtime_sweep_report(std::size_t repeat) {
     constexpr std::size_t kShardSize = 158;
     constexpr std::size_t kShards = 8;
     constexpr std::size_t kSlots = 240;
@@ -264,52 +276,69 @@ mcs::Json runtime_sweep_report() {
     const mcs::ItscsInput input = mcs::to_itscs_input(data);
 
     mcs::Json rows = mcs::Json::array();
-    double sequential_ms = 0.0;
-    mcs::Matrix reference_detection, reference_x, reference_y;
     bool all_bitwise_equal = true;
+    double sequential_ms_by_tier[2] = {0.0, 0.0};
 
-    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-        mcs::RuntimeConfig config;
-        config.threads = threads;
-        config.shard_size = kShardSize;
-        config.remainder = mcs::ShardRemainder::kTail;
-        mcs::FleetRunner runner(config);
+    for (const mcs::KernelTier tier :
+         {mcs::KernelTier::kExact, mcs::KernelTier::kFast}) {
+        const auto tier_index = static_cast<std::size_t>(tier);
+        mcs::Matrix reference_detection, reference_x, reference_y;
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            mcs::RuntimeConfig config;
+            config.threads = threads;
+            config.shard_size = kShardSize;
+            config.remainder = mcs::ShardRemainder::kTail;
+            config.kernel_tier = tier;
+            mcs::FleetRunner runner(config);
 
-        std::cerr << "runtime sweep: threads=" << threads << " (cold)\n";
-        runner.run(input, mcs::ItscsConfig{});  // warm-up
-        std::cerr << "runtime sweep: threads=" << threads << " (timed)\n";
-        mcs::PipelineContext ctx;
-        const mcs::Stopwatch timer;
-        const mcs::FleetResult fleet =
-            runner.run(input, mcs::ItscsConfig{}, &ctx);
-        const double wall_ms = timer.elapsed_seconds() * 1000.0;
+            std::cerr << "runtime sweep: tier=" << to_string(tier)
+                      << " threads=" << threads << " (cold)\n";
+            runner.run(input, mcs::ItscsConfig{});  // warm-up
+            mcs::PipelineContext ctx;
+            mcs::FleetResult fleet;
+            std::vector<double> samples;
+            samples.reserve(repeat);
+            for (std::size_t rep = 0; rep < repeat; ++rep) {
+                std::cerr << "runtime sweep: tier=" << to_string(tier)
+                          << " threads=" << threads << " (timed "
+                          << (rep + 1) << "/" << repeat << ")\n";
+                const mcs::Stopwatch timer;
+                fleet = runner.run(input, mcs::ItscsConfig{},
+                                   rep == 0 ? &ctx : nullptr);
+                samples.push_back(timer.elapsed_seconds() * 1000.0);
+            }
+            const double wall_ms = median(std::move(samples));
 
-        bool equal_to_sequential = true;
-        if (threads == 1) {
-            sequential_ms = wall_ms;
-            reference_detection = fleet.aggregate.detection;
-            reference_x = fleet.aggregate.reconstructed_x;
-            reference_y = fleet.aggregate.reconstructed_y;
-        } else {
-            equal_to_sequential =
-                bitwise_equal(fleet.aggregate.detection,
-                              reference_detection) &&
-                bitwise_equal(fleet.aggregate.reconstructed_x,
-                              reference_x) &&
-                bitwise_equal(fleet.aggregate.reconstructed_y,
-                              reference_y);
-            all_bitwise_equal = all_bitwise_equal && equal_to_sequential;
+            bool equal_to_sequential = true;
+            if (threads == 1) {
+                sequential_ms_by_tier[tier_index] = wall_ms;
+                reference_detection = fleet.aggregate.detection;
+                reference_x = fleet.aggregate.reconstructed_x;
+                reference_y = fleet.aggregate.reconstructed_y;
+            } else {
+                equal_to_sequential =
+                    bitwise_equal(fleet.aggregate.detection,
+                                  reference_detection) &&
+                    bitwise_equal(fleet.aggregate.reconstructed_x,
+                                  reference_x) &&
+                    bitwise_equal(fleet.aggregate.reconstructed_y,
+                                  reference_y);
+                all_bitwise_equal = all_bitwise_equal && equal_to_sequential;
+            }
+
+            mcs::Json row = mcs::Json::object();
+            row["kernel_tier"] = std::string(to_string(tier));
+            row["threads"] = threads;
+            row["shards"] = fleet.shards.size();
+            row["wall_ms"] = wall_ms;
+            row["speedup"] = sequential_ms_by_tier[tier_index] > 0.0
+                                 ? sequential_ms_by_tier[tier_index] / wall_ms
+                                 : 1.0;
+            row["alloc_steady_state"] =
+                ctx.counters().workspace_allocations;
+            row["bitwise_equal_to_sequential"] = equal_to_sequential;
+            rows.push_back(row);
         }
-
-        mcs::Json row = mcs::Json::object();
-        row["threads"] = threads;
-        row["shards"] = fleet.shards.size();
-        row["wall_ms"] = wall_ms;
-        row["speedup"] = sequential_ms > 0.0 ? sequential_ms / wall_ms : 1.0;
-        row["alloc_steady_state"] =
-            ctx.counters().workspace_allocations;
-        row["bitwise_equal_to_sequential"] = equal_to_sequential;
-        rows.push_back(row);
     }
 
     mcs::Json report = mcs::Json::object();
@@ -318,10 +347,16 @@ mcs::Json runtime_sweep_report() {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
+    report["repeat"] = repeat;
+    report["warmup_runs"] = 1;
     report["hardware_concurrency"] =
         static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["sweep"] = rows;
     report["all_bitwise_equal_to_sequential"] = all_bitwise_equal;
+    report["fast_vs_exact_sequential_speedup"] =
+        sequential_ms_by_tier[1] > 0.0
+            ? sequential_ms_by_tier[0] / sequential_ms_by_tier[1]
+            : 1.0;
     return report;
 }
 
@@ -339,7 +374,7 @@ bool all_finite(const mcs::Matrix& m) {
                        [](double v) { return std::isfinite(v); });
 }
 
-mcs::Json chaos_sweep_report() {
+mcs::Json chaos_sweep_report(std::size_t repeat) {
     constexpr std::size_t kShardSize = 40;
     constexpr std::size_t kShards = 4;
     constexpr std::size_t kSlots = 120;
@@ -368,7 +403,7 @@ mcs::Json chaos_sweep_report() {
         runner.run(input, mcs::ItscsConfig{});  // warm-up
         double best_ms = 0.0;
         mcs::FleetResult fleet;
-        for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t rep = 0; rep < repeat; ++rep) {
             const mcs::Stopwatch timer;
             fleet = runner.run(input, mcs::ItscsConfig{},
                                rep == 0 ? ctx : nullptr);
@@ -450,6 +485,9 @@ mcs::Json chaos_sweep_report() {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
+    report["repeat_best_of"] = repeat;
+    report["hardware_concurrency"] =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["guard_overhead"] = std::move(overhead);
     report["fault_sweep"] = std::move(sweep);
     report["all_runs_finite"] = all_runs_finite;
@@ -465,7 +503,7 @@ mcs::Json chaos_sweep_report() {
 // compared bit for bit, target < 3%. The resume block then replays the
 // journal of a completed run: all shards must restore (none re-run) and
 // the restored aggregate must equal the plain run byte for byte.
-mcs::Json checkpoint_sweep_report() {
+mcs::Json checkpoint_sweep_report(std::size_t repeat) {
     constexpr std::size_t kShardSize = 40;
     constexpr std::size_t kShards = 8;
     constexpr std::size_t kSlots = 120;
@@ -485,7 +523,7 @@ mcs::Json checkpoint_sweep_report() {
     const std::filesystem::path dir = "BENCH_checkpoint.ckpt";
     std::filesystem::remove_all(dir);
 
-    // Best-of-3 wall for one configuration. Non-resume runs reset the
+    // Best-of-N wall for one configuration. Non-resume runs reset the
     // journal on begin(), so every checkpointed repetition pays the full
     // commit cost for every shard.
     const auto timed_run = [&](std::size_t threads, bool checkpoint,
@@ -502,7 +540,7 @@ mcs::Json checkpoint_sweep_report() {
         runner.run(input, mcs::ItscsConfig{});  // warm-up
         double best_ms = 0.0;
         mcs::FleetResult fleet;
-        for (int rep = 0; rep < 3; ++rep) {
+        for (std::size_t rep = 0; rep < repeat; ++rep) {
             const mcs::Stopwatch timer;
             fleet = runner.run(input, mcs::ItscsConfig{});
             const double wall_ms = timer.elapsed_seconds() * 1000.0;
@@ -586,6 +624,9 @@ mcs::Json checkpoint_sweep_report() {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
+    report["repeat_best_of"] = repeat;
+    report["hardware_concurrency"] =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["journal_bytes"] = static_cast<std::uint64_t>(journal_bytes);
     report["journal_bytes_per_shard"] =
         static_cast<std::uint64_t>(journal_bytes / kShards);
@@ -603,11 +644,17 @@ int main(int argc, char** argv) {
     bool runtime_sweep = false;
     bool chaos_sweep = false;
     bool checkpoint_sweep = false;
+    std::size_t repeat = 0;  // 0 = per-sweep default
     std::vector<char*> args;
     args.reserve(static_cast<std::size_t>(argc));
     for (int i = 0; i < argc; ++i) {
         if (std::string_view(argv[i]) == "--stats-only") {
             stats_only = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--repeat" && i + 1 < argc) {
+            repeat = static_cast<std::size_t>(
+                std::max(1L, std::atol(argv[++i])));
             continue;
         }
         if (std::string_view(argv[i]) == "--runtime-sweep") {
@@ -625,21 +672,24 @@ int main(int argc, char** argv) {
         args.push_back(argv[i]);
     }
     if (runtime_sweep) {
-        const mcs::Json report = runtime_sweep_report();
+        const mcs::Json report =
+            runtime_sweep_report(repeat == 0 ? 1 : repeat);
         std::ofstream out("BENCH_runtime.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
         return 0;
     }
     if (chaos_sweep) {
-        const mcs::Json report = chaos_sweep_report();
+        const mcs::Json report =
+            chaos_sweep_report(repeat == 0 ? 3 : repeat);
         std::ofstream out("BENCH_chaos.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
         return 0;
     }
     if (checkpoint_sweep) {
-        const mcs::Json report = checkpoint_sweep_report();
+        const mcs::Json report =
+            checkpoint_sweep_report(repeat == 0 ? 3 : repeat);
         std::ofstream out("BENCH_checkpoint.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";

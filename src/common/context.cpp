@@ -5,6 +5,21 @@
 
 namespace mcs {
 
+const char* to_string(KernelTier tier) {
+    return tier == KernelTier::kFast ? "fast" : "exact";
+}
+
+KernelTier parse_kernel_tier(const std::string& name) {
+    if (name == "exact") {
+        return KernelTier::kExact;
+    }
+    if (name == "fast") {
+        return KernelTier::kFast;
+    }
+    throw Error("unknown kernel tier '" + name +
+                "' (expected exact | fast)");
+}
+
 PipelineContext::PipelineContext(std::uint64_t seed) : rng_(seed) {}
 
 std::size_t PipelineContext::stat_index(const std::string& name) {
@@ -51,6 +66,9 @@ void PipelineContext::merge(const PipelineContext& other) {
     MCS_CHECK_MSG(other.open_.empty(),
                   "PipelineContext: merge with phases still open");
     absorb(other.counters_, other.stats_);
+    if (other.kernel_tier_ == KernelTier::kFast) {
+        kernel_tier_ = KernelTier::kFast;
+    }
 #ifndef NDEBUG
     owner_ = std::thread::id{};  // ownership hand-off point
 #endif
@@ -63,6 +81,10 @@ void PipelineContext::absorb(const PipelineCounters& counters,
     counters_.workspace_allocations += counters.workspace_allocations;
     counters_.workspace_checkouts += counters.workspace_checkouts;
     counters_.gemm_flops += counters.gemm_flops;
+    counters_.flops_multiply += counters.flops_multiply;
+    counters_.flops_multiply_transposed += counters.flops_multiply_transposed;
+    counters_.flops_transpose_multiply += counters.flops_transpose_multiply;
+    counters_.flops_masked_residual += counters.flops_masked_residual;
     counters_.svd_sweeps += counters.svd_sweeps;
     counters_.asd_iterations += counters.asd_iterations;
     counters_.cs_solves += counters.cs_solves;
@@ -99,6 +121,14 @@ Json PipelineContext::to_json() const {
     counters["workspace_allocations"] = counters_.workspace_allocations;
     counters["workspace_checkouts"] = counters_.workspace_checkouts;
     counters["gemm_flops"] = static_cast<double>(counters_.gemm_flops);
+    counters["flops_multiply"] =
+        static_cast<double>(counters_.flops_multiply);
+    counters["flops_multiply_transposed"] =
+        static_cast<double>(counters_.flops_multiply_transposed);
+    counters["flops_transpose_multiply"] =
+        static_cast<double>(counters_.flops_transpose_multiply);
+    counters["flops_masked_residual"] =
+        static_cast<double>(counters_.flops_masked_residual);
     counters["svd_sweeps"] = counters_.svd_sweeps;
     counters["asd_iterations"] = counters_.asd_iterations;
     counters["cs_solves"] = counters_.cs_solves;
@@ -124,6 +154,7 @@ Json PipelineContext::to_json() const {
     }
 
     Json out = Json::object();
+    out["kernel_tier"] = std::string(to_string(kernel_tier_));
     out["counters"] = counters;
     out["phases"] = phases;
     return out;

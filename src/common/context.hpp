@@ -41,12 +41,38 @@ namespace mcs {
 class HealthMonitor;
 class Json;
 
+/// Numerical kernel tier (DESIGN.md §13). The enum lives in common so the
+/// PipelineContext can carry the selection without the common layer seeing
+/// linalg; the dispatch machinery (scope, CPU detection, the fast paths
+/// themselves) is in linalg/kernel_tier.hpp.
+///
+///   * kExact — the seed scalar loops, bit-for-bit identical to the
+///     value-returning ops of linalg/ops.hpp. Default, and the reference
+///     every equivalence test compares against.
+///   * kFast — register-blocked, SIMD-vectorised kernels (AVX2/FMA, NEON,
+///     or a blocked-scalar fallback) with a fixed, thread-count-independent
+///     reduction order: deterministic run-to-run and across --threads on a
+///     given machine/path, but not bit-identical to kExact (FMA contraction
+///     and vector-lane reduction round differently; ≤1e-12 relative).
+enum class KernelTier : std::uint8_t { kExact = 0, kFast = 1 };
+
+/// "exact" / "fast".
+const char* to_string(KernelTier tier);
+/// Inverse of to_string; throws mcs::Error on anything else.
+KernelTier parse_kernel_tier(const std::string& name);
+
 /// Monotonic event counters. Plain struct so the linalg layer can bump them
 /// without seeing the full context (see Workspace).
 struct PipelineCounters {
     std::uint64_t workspace_allocations = 0;  ///< fresh buffers created
     std::uint64_t workspace_checkouts = 0;    ///< acquisitions (incl. reuse)
-    std::uint64_t gemm_flops = 0;             ///< 2·m·n·k per product
+    std::uint64_t gemm_flops = 0;             ///< 2·m·n·k per product (total)
+    /// Per-kernel splits of gemm_flops (the four GEMM-shaped kernels;
+    /// gram_with_ridge counts under transpose_multiply, its inner product).
+    std::uint64_t flops_multiply = 0;
+    std::uint64_t flops_multiply_transposed = 0;
+    std::uint64_t flops_transpose_multiply = 0;
+    std::uint64_t flops_masked_residual = 0;
     std::uint64_t svd_sweeps = 0;             ///< one-sided Jacobi sweeps
     std::uint64_t asd_iterations = 0;         ///< ASD outer iterations
     std::uint64_t cs_solves = 0;              ///< cs_reconstruct calls
@@ -85,6 +111,15 @@ public:
     /// carried across merge().
     void set_health(HealthMonitor* monitor) { health_ = monitor; }
     HealthMonitor* health() { return health_; }
+
+    /// Kernel tier this context's pipeline ran under. Recorded by the
+    /// pipeline entry points (run_itscs / cs_reconstruct observe the
+    /// ambient linalg tier; FleetRunner stamps its RuntimeConfig choice)
+    /// so --stats-json reports what actually executed. merge() keeps the
+    /// faster of the two records: a fleet that ran any shard fast is a
+    /// fast-tier run.
+    KernelTier kernel_tier() const { return kernel_tier_; }
+    void set_kernel_tier(KernelTier tier) { kernel_tier_ = tier; }
 
     /// Open/close a named timing phase. Phases nest; time is attributed
     /// inclusively to every open phase, keyed by name (first-seen order is
@@ -149,6 +184,7 @@ private:
     Rng rng_;
     PipelineCounters counters_;
     HealthMonitor* health_ = nullptr;
+    KernelTier kernel_tier_ = KernelTier::kExact;
     std::vector<PhaseStat> stats_;
     std::vector<OpenPhase> open_;
 #ifndef NDEBUG

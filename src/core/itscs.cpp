@@ -6,6 +6,7 @@
 #include "common/failure.hpp"
 #include "common/hash.hpp"
 #include "detect/detection.hpp"
+#include "linalg/kernel_tier.hpp"
 #include "linalg/temporal.hpp"
 
 namespace mcs {
@@ -244,6 +245,9 @@ LoopOutcome run_axes(std::vector<AxisState>& axes, const Matrix& existence,
 ItscsResult run_itscs(const ItscsInput& input, const ItscsConfig& config,
                       const ItscsObserver& observer, PipelineContext* ctx) {
     PipelineContext::PhaseScope phase(ctx, "run_itscs");
+    if (ctx != nullptr) {
+        ctx->set_kernel_tier(active_kernel_tier());
+    }
     input.validate();
     const std::size_t n = input.sx.rows();
     const std::size_t t = input.sx.cols();

@@ -55,9 +55,12 @@ FactorPair warm_start(const Matrix& s, const Matrix& mask, std::size_t rank,
     const Matrix filled = nearest_fill(s, mask);
     // Randomized truncated SVD: the warm start only needs the dominant
     // subspace, and the range finder is ~50x cheaper than a full Jacobi
-    // SVD at the paper's matrix sizes (deterministic: fixed seed).
-    return truncated_factors_randomized(filled, rank, 8, 2, 0x5eed,
-                                        counters_of(ctx));
+    // SVD at the paper's matrix sizes (deterministic: fixed seed). The
+    // blocked variant routes its GEMMs through the `_into` kernels, so the
+    // ambient KernelTier applies; under kExact it is bit-identical to
+    // truncated_factors_randomized.
+    return truncated_factors_randomized_blocked(filled, rank, 8, 2, 0x5eed,
+                                                counters_of(ctx));
 }
 
 }  // namespace mcs

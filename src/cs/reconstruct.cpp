@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "cs/init.hpp"
+#include "linalg/kernel_tier.hpp"
 #include "linalg/ops.hpp"
 
 namespace mcs {
@@ -50,6 +51,7 @@ CsReconstruction cs_reconstruct(const Matrix& s, const Matrix& gbim,
     PipelineContext::PhaseScope phase(ctx, "cs_reconstruct");
     if (ctx != nullptr) {
         ctx->counters().cs_solves += 1;
+        ctx->set_kernel_tier(active_kernel_tier());
     }
     CsConfig config = base_config;
     if (config.rank == 0) {

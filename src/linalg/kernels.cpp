@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "linalg/kernel_tier.hpp"
+#include "linalg/kernels_fast.hpp"
 
 namespace mcs {
 
@@ -16,16 +18,29 @@ void check_shape(const Matrix& m, std::size_t rows, std::size_t cols,
                       m.shape_string());
 }
 
-void add_gemm_flops(PipelineCounters* counters, std::size_t m, std::size_t n,
-                    std::size_t k) {
+// Matrices own their storage, so dst aliases an input exactly when they
+// share a buffer. Empty matrices share the null buffer harmlessly.
+void check_not_aliased(const Matrix& dst, const Matrix& in, const char* op) {
+    MCS_CHECK_MSG(dst.empty() || dst.data().data() != in.data().data(),
+                  std::string(op) + ": dst must not alias an input");
+}
+
+// Attribute 2·m·n·k FLOPs to the aggregate counter and the kernel's own
+// split (`slot`) so --stats-json can apportion arithmetic volume.
+void add_gemm_flops(PipelineCounters* counters,
+                    std::uint64_t PipelineCounters::* slot, std::size_t m,
+                    std::size_t n, std::size_t k) {
     if (counters != nullptr) {
-        counters->gemm_flops +=
+        const std::uint64_t flops =
             2ull * static_cast<std::uint64_t>(m) *
             static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+        counters->gemm_flops += flops;
+        counters->*slot += flops;
     }
 }
 
 RowExecutor* g_row_executor = nullptr;
+std::size_t g_row_block_threshold = kKernelRowBlockThreshold;
 
 // Run `body` over [0, rows): through the installed executor when the
 // destination is tall enough to amortise dispatch, serially otherwise.
@@ -35,12 +50,18 @@ void for_rows_maybe_parallel(
     std::size_t rows,
     const std::function<void(std::size_t, std::size_t)>& body) {
     RowExecutor* executor = g_row_executor;
-    if (executor == nullptr || rows < kKernelRowBlockThreshold) {
+    if (executor == nullptr || rows < g_row_block_threshold) {
         body(0, rows);
         return;
     }
     executor->for_rows(rows, body);
 }
+
+// Tier of the calling thread, read once at kernel entry — the row-block
+// bodies below capture the already-made choice, so RowExecutor pool
+// threads (whose own thread-local tier is untouched) still run the tier
+// the caller selected.
+bool use_fast_tier() { return active_kernel_tier() == KernelTier::kFast; }
 
 }  // namespace
 
@@ -49,6 +70,13 @@ void set_kernel_row_executor(RowExecutor* executor) {
 }
 
 RowExecutor* kernel_row_executor() { return g_row_executor; }
+
+std::size_t kernel_row_block_threshold() { return g_row_block_threshold; }
+
+void set_kernel_row_block_threshold(std::size_t threshold) {
+    g_row_block_threshold =
+        threshold == 0 ? kKernelRowBlockThreshold : threshold;
+}
 
 void copy_into(Matrix& dst, const Matrix& src) {
     check_shape(dst, src.rows(), src.cols(), "copy_into");
@@ -64,9 +92,16 @@ void subtract_into(Matrix& dst, const Matrix& a, const Matrix& b) {
                   "subtract_into: shape mismatch " + a.shape_string() +
                       " vs " + b.shape_string());
     check_shape(dst, a.rows(), a.cols(), "subtract_into");
+    check_not_aliased(dst, a, "subtract_into");
+    check_not_aliased(dst, b, "subtract_into");
     const auto da = a.data();
     const auto db = b.data();
     auto out = dst.data();
+    if (use_fast_tier()) {
+        fastk::fast_kernels().subtract(out.data(), da.data(), db.data(),
+                                       out.size());
+        return;
+    }
     for (std::size_t k = 0; k < da.size(); ++k) {
         out[k] = da[k] - db[k];
     }
@@ -77,9 +112,16 @@ void hadamard_into(Matrix& dst, const Matrix& a, const Matrix& b) {
                   "hadamard_into: shape mismatch " + a.shape_string() +
                       " vs " + b.shape_string());
     check_shape(dst, a.rows(), a.cols(), "hadamard_into");
+    check_not_aliased(dst, a, "hadamard_into");
+    check_not_aliased(dst, b, "hadamard_into");
     const auto da = a.data();
     const auto db = b.data();
     auto out = dst.data();
+    if (use_fast_tier()) {
+        fastk::fast_kernels().hadamard(out.data(), da.data(), db.data(),
+                                       out.size());
+        return;
+    }
     for (std::size_t k = 0; k < da.size(); ++k) {
         out[k] = da[k] * db[k];
     }
@@ -89,6 +131,10 @@ void axpy(Matrix& y, double alpha, const Matrix& x) {
     check_shape(y, x.rows(), x.cols(), "axpy");
     const auto dx = x.data();
     auto dy = y.data();
+    if (use_fast_tier()) {
+        fastk::fast_kernels().axpy(dy.data(), alpha, dx.data(), dy.size());
+        return;
+    }
     for (std::size_t k = 0; k < dx.size(); ++k) {
         dy[k] += alpha * dx[k];
     }
@@ -100,6 +146,23 @@ void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
                   "multiply_into: inner dimensions differ: " +
                       a.shape_string() + " * " + b.shape_string());
     check_shape(dst, a.rows(), b.cols(), "multiply_into");
+    check_not_aliased(dst, a, "multiply_into");
+    check_not_aliased(dst, b, "multiply_into");
+    if (use_fast_tier()) {
+        auto* fk = &fastk::fast_kernels();
+        const std::size_t kdim = a.cols();
+        const std::size_t n = b.cols();
+        double* out = dst.data().data();
+        const double* pa = a.data().data();
+        const double* pb = b.data().data();
+        for_rows_maybe_parallel(
+            a.rows(), [=](std::size_t lo, std::size_t hi) {
+                fk->multiply_rows(out, pa, pb, lo, hi, kdim, n);
+            });
+        add_gemm_flops(counters, &PipelineCounters::flops_multiply, a.rows(),
+                       b.cols(), a.cols());
+        return;
+    }
     // Same i-k-j order as ops.cpp multiply() so results match bit-for-bit;
     // each dst row is produced by exactly one block, so the row-parallel
     // path is bit-identical too.
@@ -120,7 +183,8 @@ void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
             }
         }
     });
-    add_gemm_flops(counters, a.rows(), b.cols(), a.cols());
+    add_gemm_flops(counters, &PipelineCounters::flops_multiply, a.rows(),
+                   b.cols(), a.cols());
 }
 
 void multiply_transposed_into(Matrix& dst, const Matrix& a, const Matrix& b,
@@ -129,6 +193,24 @@ void multiply_transposed_into(Matrix& dst, const Matrix& a, const Matrix& b,
                   "multiply_transposed_into: inner dimensions differ: " +
                       a.shape_string() + " * " + b.shape_string() + "ᵀ");
     check_shape(dst, a.rows(), b.rows(), "multiply_transposed_into");
+    check_not_aliased(dst, a, "multiply_transposed_into");
+    check_not_aliased(dst, b, "multiply_transposed_into");
+    if (use_fast_tier()) {
+        auto* fk = &fastk::fast_kernels();
+        const std::size_t kdim = a.cols();
+        const std::size_t n = b.rows();
+        double* out = dst.data().data();
+        const double* pa = a.data().data();
+        const double* pb = b.data().data();
+        for_rows_maybe_parallel(
+            a.rows(), [=](std::size_t lo, std::size_t hi) {
+                fk->multiply_transposed_rows(out, pa, pb, lo, hi, n, kdim);
+            });
+        add_gemm_flops(counters,
+                       &PipelineCounters::flops_multiply_transposed, a.rows(),
+                       b.rows(), a.cols());
+        return;
+    }
     for_rows_maybe_parallel(a.rows(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const auto ra = a.row(i);
@@ -142,7 +224,8 @@ void multiply_transposed_into(Matrix& dst, const Matrix& a, const Matrix& b,
             }
         }
     });
-    add_gemm_flops(counters, a.rows(), b.rows(), a.cols());
+    add_gemm_flops(counters, &PipelineCounters::flops_multiply_transposed,
+                   a.rows(), b.rows(), a.cols());
 }
 
 void transpose_multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
@@ -151,6 +234,17 @@ void transpose_multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
                   "transpose_multiply_into: inner dimensions differ: " +
                       a.shape_string() + "ᵀ * " + b.shape_string());
     check_shape(dst, a.cols(), b.cols(), "transpose_multiply_into");
+    check_not_aliased(dst, a, "transpose_multiply_into");
+    check_not_aliased(dst, b, "transpose_multiply_into");
+    if (use_fast_tier()) {
+        fastk::fast_kernels().transpose_multiply(
+            dst.data().data(), a.data().data(), b.data().data(), a.rows(),
+            a.cols(), b.cols());
+        add_gemm_flops(counters,
+                       &PipelineCounters::flops_transpose_multiply, a.cols(),
+                       b.cols(), a.rows());
+        return;
+    }
     dst.fill(0.0);
     for (std::size_t k = 0; k < a.rows(); ++k) {
         const auto ra = a.row(k);
@@ -165,11 +259,13 @@ void transpose_multiply_into(Matrix& dst, const Matrix& a, const Matrix& b,
             }
         }
     }
-    add_gemm_flops(counters, a.cols(), b.cols(), a.rows());
+    add_gemm_flops(counters, &PipelineCounters::flops_transpose_multiply,
+                   a.cols(), b.cols(), a.rows());
 }
 
 void transpose_into(Matrix& dst, const Matrix& a) {
     check_shape(dst, a.cols(), a.rows(), "transpose_into");
+    check_not_aliased(dst, a, "transpose_into");
     for (std::size_t i = 0; i < a.rows(); ++i) {
         for (std::size_t j = 0; j < a.cols(); ++j) {
             dst(j, i) = a(i, j);
@@ -188,6 +284,28 @@ void masked_residual_into(Matrix& dst, const Matrix& l, const Matrix& r,
     MCS_CHECK_MSG(mask.rows() == s.rows() && mask.cols() == s.cols(),
                   "masked_residual_into: mask/S shape mismatch");
     check_shape(dst, mask.rows(), mask.cols(), "masked_residual_into");
+    check_not_aliased(dst, l, "masked_residual_into");
+    check_not_aliased(dst, r, "masked_residual_into");
+    check_not_aliased(dst, mask, "masked_residual_into");
+    check_not_aliased(dst, s, "masked_residual_into");
+    if (use_fast_tier()) {
+        auto* fk = &fastk::fast_kernels();
+        const std::size_t n = mask.cols();
+        const std::size_t rank = l.cols();
+        double* out = dst.data().data();
+        const double* pl = l.data().data();
+        const double* pr = r.data().data();
+        const double* pm = mask.data().data();
+        const double* ps = s.data().data();
+        for_rows_maybe_parallel(
+            mask.rows(), [=](std::size_t lo, std::size_t hi) {
+                fk->masked_residual_rows(out, pl, pr, pm, ps, lo, hi, n,
+                                         rank);
+            });
+        add_gemm_flops(counters, &PipelineCounters::flops_masked_residual,
+                       mask.rows(), mask.cols(), l.cols());
+        return;
+    }
     for_rows_maybe_parallel(mask.rows(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const auto li = l.row(i);
@@ -205,7 +323,8 @@ void masked_residual_into(Matrix& dst, const Matrix& l, const Matrix& r,
             }
         }
     });
-    add_gemm_flops(counters, mask.rows(), mask.cols(), l.cols());
+    add_gemm_flops(counters, &PipelineCounters::flops_masked_residual,
+                   mask.rows(), mask.cols(), l.cols());
 }
 
 void gram_with_ridge_into(Matrix& dst, const Matrix& a, double ridge,
@@ -219,6 +338,7 @@ void gram_with_ridge_into(Matrix& dst, const Matrix& a, double ridge,
 
 void temporal_diff_into(Matrix& dst, const Matrix& x) {
     check_shape(dst, x.rows(), x.cols(), "temporal_diff_into");
+    check_not_aliased(dst, x, "temporal_diff_into");
     for (std::size_t i = 0; i < x.rows(); ++i) {
         dst(i, 0) = 0.0;
         for (std::size_t j = 1; j < x.cols(); ++j) {
@@ -229,6 +349,7 @@ void temporal_diff_into(Matrix& dst, const Matrix& x) {
 
 void temporal_diff_adjoint_into(Matrix& dst, const Matrix& e) {
     check_shape(dst, e.rows(), e.cols(), "temporal_diff_adjoint_into");
+    check_not_aliased(dst, e, "temporal_diff_adjoint_into");
     const std::size_t t = e.cols();
     for (std::size_t i = 0; i < e.rows(); ++i) {
         for (std::size_t j = 0; j < t; ++j) {

@@ -14,9 +14,13 @@
 //   * dst is fully overwritten, so stale contents of a recycled buffer
 //     never leak through;
 //   * dst must not alias any input (axpy's y and copy_into's trivial
-//     self-copy excepted);
-//   * results are bit-for-bit identical to the matching value-returning op
-//     (same loop order, same rounding) — asserted by linalg_kernels_test.
+//     self-copy excepted) — MCS_CHECK-rejected at entry;
+//   * under the default KernelTier::kExact, results are bit-for-bit
+//     identical to the matching value-returning op (same loop order, same
+//     rounding) — asserted by linalg_kernels_test. Under KernelTier::kFast
+//     (see linalg/kernel_tier.hpp) the GEMM-shaped kernels, hadamard_into
+//     and axpy dispatch to SIMD micro-kernels that agree to ≤1e-12
+//     relative and are deterministic run-to-run and across thread counts.
 //
 // GEMM-shaped kernels take an optional PipelineCounters* and add 2·m·n·k
 // FLOPs per product, so instrumented pipelines can report arithmetic volume.
@@ -68,7 +72,18 @@ RowExecutor* kernel_row_executor();
 
 /// Destinations with fewer rows run serially even when an executor is
 /// installed: below this, block-dispatch overhead beats the arithmetic.
+/// Compile-time default; tune at runtime with
+/// set_kernel_row_block_threshold (RuntimeConfig::kernel_row_block_threshold).
 constexpr std::size_t kKernelRowBlockThreshold = 64;
+
+/// The threshold the kernels actually consult (defaults to
+/// kKernelRowBlockThreshold). Same non-synchronised install contract as
+/// set_kernel_row_executor: change it only while no kernels are running.
+std::size_t kernel_row_block_threshold();
+
+/// Set the runtime row-block threshold; 0 restores the compile-time
+/// default.
+void set_kernel_row_block_threshold(std::size_t threshold);
 
 /// dst = src (same shape).
 void copy_into(Matrix& dst, const Matrix& src);

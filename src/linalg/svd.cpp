@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "linalg/qr.hpp"
 
@@ -223,6 +224,79 @@ FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
                 acc += q(i, j) * small.u(j, c);
             }
             out.l(i, c) = acc * root;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            out.r(j, c) = small.v(j, c) * root;
+        }
+    }
+    return out;
+}
+
+FactorPair truncated_factors_randomized_blocked(
+    const Matrix& a, std::size_t rank, std::size_t oversample,
+    std::size_t power_iterations, std::uint64_t seed,
+    PipelineCounters* counters, Workspace* workspace) {
+    MCS_CHECK_MSG(rank >= 1 && rank <= std::min(a.rows(), a.cols()),
+                  "truncated_factors_randomized_blocked: rank out of range "
+                  "for " +
+                      a.shape_string());
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    const std::size_t k = std::min(rank + oversample, std::min(m, n));
+
+    Workspace local(counters);
+    Workspace& ws = workspace != nullptr ? *workspace : local;
+
+    // Same Gaussian test matrix as the unblocked variant (same seed, same
+    // draw order), so the two agree bit-for-bit under KernelTier::kExact.
+    Rng rng(seed);
+    Matrix omega = ws.acquire(n, k);
+    for (auto& x : omega.data()) {
+        x = rng.normal();
+    }
+    Matrix y = ws.acquire(m, k);
+    multiply_into(y, a, omega, counters);
+    ws.release(std::move(omega));
+    // orthonormalize_columns takes its argument by value, so moving the
+    // scratch buffer in lets Q reuse it — no extra allocation.
+    Matrix q = orthonormalize_columns(std::move(y));  // m x k
+    for (std::size_t p = 0; p < power_iterations; ++p) {
+        // Subspace iteration sharpens the spectrum: Q <- orth(A·(Aᵀ·Q)).
+        Matrix z = ws.acquire(n, k);
+        transpose_multiply_into(z, a, q, counters);
+        Matrix zo = orthonormalize_columns(std::move(z));
+        Matrix y2 = ws.acquire(m, k);
+        multiply_into(y2, a, zo, counters);
+        ws.release(std::move(zo));
+        ws.release(std::move(q));
+        q = orthonormalize_columns(std::move(y2));
+    }
+
+    // Small projected problem: B = Qᵀ·A is k x n; its exact SVD is cheap.
+    Matrix b = ws.acquire(k, n);
+    transpose_multiply_into(b, q, a, counters);
+    const SvdResult small = svd(b);
+    ws.release(std::move(b));
+    if (counters != nullptr) {
+        counters->svd_sweeps += small.sweeps;
+    }
+
+    // L = Q·U_small(:, :rank)·√Σ — the m x rank x k product goes through
+    // multiply_into too (it dominates assembly cost at fleet sizes).
+    Matrix ut = ws.acquire(k, rank);
+    for (std::size_t j = 0; j < k; ++j) {
+        for (std::size_t c = 0; c < rank; ++c) {
+            ut(j, c) = small.u(j, c);
+        }
+    }
+    FactorPair out{Matrix(m, rank), Matrix(n, rank)};
+    multiply_into(out.l, q, ut, counters);
+    ws.release(std::move(ut));
+    ws.release(std::move(q));
+    for (std::size_t c = 0; c < rank; ++c) {
+        const double root = std::sqrt(small.singular_values[c]);
+        for (std::size_t i = 0; i < m; ++i) {
+            out.l(i, c) *= root;
         }
         for (std::size_t j = 0; j < n; ++j) {
             out.r(j, c) = small.v(j, c) * root;

@@ -65,6 +65,20 @@ FactorPair truncated_factors_randomized(const Matrix& a, std::size_t rank,
                                         std::uint64_t seed = 0x5eed,
                                         PipelineCounters* counters = nullptr);
 
+/// Blocked variant of truncated_factors_randomized: the same algorithm
+/// (same seed → same Gaussian test matrix, same subspace iteration), but
+/// every GEMM runs through the `_into` kernels — so the ambient KernelTier
+/// applies (SIMD micro-kernels under kFast) — and scratch is recycled
+/// through a Workspace (the caller's, or a local one when null). Under
+/// KernelTier::kExact the result is bit-identical to
+/// truncated_factors_randomized; under kFast it differs by kernel rounding
+/// only. Used by cs/init.cpp warm_start.
+class Workspace;
+FactorPair truncated_factors_randomized_blocked(
+    const Matrix& a, std::size_t rank, std::size_t oversample = 8,
+    std::size_t power_iterations = 2, std::uint64_t seed = 0x5eed,
+    PipelineCounters* counters = nullptr, Workspace* workspace = nullptr);
+
 /// Effective numerical rank: number of σᵢ > threshold · σ₁.
 std::size_t numerical_rank(const std::vector<double>& singular_values,
                            double relative_threshold = 1e-10);

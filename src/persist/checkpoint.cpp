@@ -49,6 +49,10 @@ void put_counters(ByteWriter& w, const PipelineCounters& c) {
     w.put_u64(c.workspace_allocations);
     w.put_u64(c.workspace_checkouts);
     w.put_u64(c.gemm_flops);
+    w.put_u64(c.flops_multiply);
+    w.put_u64(c.flops_multiply_transposed);
+    w.put_u64(c.flops_transpose_multiply);
+    w.put_u64(c.flops_masked_residual);
     w.put_u64(c.svd_sweeps);
     w.put_u64(c.asd_iterations);
     w.put_u64(c.cs_solves);
@@ -68,6 +72,10 @@ PipelineCounters get_counters(ByteReader& r) {
     c.workspace_allocations = r.get_u64();
     c.workspace_checkouts = r.get_u64();
     c.gemm_flops = r.get_u64();
+    c.flops_multiply = r.get_u64();
+    c.flops_multiply_transposed = r.get_u64();
+    c.flops_transpose_multiply = r.get_u64();
+    c.flops_masked_residual = r.get_u64();
     c.svd_sweeps = r.get_u64();
     c.asd_iterations = r.get_u64();
     c.cs_solves = r.get_u64();
@@ -220,6 +228,7 @@ Json CheckpointManifest::to_json() const {
     out["input_fingerprint"] = hex64(input_fingerprint);
     out["config_fingerprint"] = hex64(config_fingerprint);
     out["runtime_fingerprint"] = hex64(runtime_fingerprint);
+    out["kernel_tier"] = std::string(to_string(kernel_tier));
     Json plan = Json::array();
     for (const auto& [begin, end] : shards) {
         Json row = Json::object();
@@ -241,6 +250,18 @@ std::string CheckpointManifest::mismatch(const Json& stored) const {
             stored.at(key).as_number() != expected.at(key).as_number()) {
             return std::string(key) + " differs";
         }
+    }
+    // Check the tier before the fingerprints: a tier mix-up would also trip
+    // runtime_fingerprint, but "kernel tier differs (stored fast, this run
+    // exact)" tells the operator exactly what to change.
+    if (!stored.contains("kernel_tier") ||
+        stored.at("kernel_tier").as_string() !=
+            expected.at("kernel_tier").as_string()) {
+        return "kernel tier differs (stored " +
+               (stored.contains("kernel_tier")
+                    ? stored.at("kernel_tier").as_string()
+                    : "<missing>") +
+               ", this run " + expected.at("kernel_tier").as_string() + ")";
     }
     for (const char* key :
          {"input_fingerprint", "config_fingerprint", "runtime_fingerprint"}) {

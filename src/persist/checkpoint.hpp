@@ -46,7 +46,9 @@ class Json;
 
 /// Bump when the record or manifest layout changes; a mismatched version
 /// refuses to resume rather than guessing at old layouts.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2: per-kernel FLOP counters in PipelineCounters; kernel_tier in the
+/// manifest.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// One journal record: everything FleetRunner needs to stitch a completed
 /// shard into the fleet result without re-running it.
@@ -90,6 +92,10 @@ struct CheckpointManifest {
     std::uint64_t input_fingerprint = 0;
     std::uint64_t config_fingerprint = 0;
     std::uint64_t runtime_fingerprint = 0;
+    /// The kernel tier the run executed under. Also folded into
+    /// runtime_fingerprint; stored explicitly so a tier mix-up refuses
+    /// with a message naming the tier rather than a bare hash mismatch.
+    KernelTier kernel_tier = KernelTier::kExact;
     /// The shard plan as (begin, end) row ranges, in shard order.
     std::vector<std::pair<std::size_t, std::size_t>> shards;
 

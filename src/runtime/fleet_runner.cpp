@@ -14,6 +14,7 @@
 #include "corruption/chaos.hpp"
 #include "cs/interpolation.hpp"
 #include "detect/detection.hpp"
+#include "linalg/kernel_tier.hpp"
 #include "linalg/temporal.hpp"
 #include "persist/checkpoint.hpp"
 #include "runtime/kernel_parallel.hpp"
@@ -43,6 +44,10 @@ std::uint64_t runtime_fingerprint(const RuntimeConfig& config) {
     Fnv1a h;
     h.mix_u64(config.seed);
     h.mix_u64(config.guard ? 1 : 0);
+    // kernel_tier changes the numerics and is *also* stored as an explicit
+    // manifest field (clearer refusal message than a fingerprint mismatch);
+    // kernel_row_block_threshold is scheduling-only and excluded.
+    h.mix_u64(static_cast<std::uint64_t>(config.kernel_tier));
     h.mix_u64(config.health.divergence_patience);
     h.mix_f64(config.health.divergence_slack);
     if (config.chaos != nullptr && !config.chaos->config().idle()) {
@@ -97,6 +102,26 @@ std::size_t sanitize_non_finite(ItscsInput& in) {
     }
     return cleared;
 }
+
+// RAII application of RuntimeConfig::kernel_row_block_threshold for the
+// duration of a run (0 = leave the process default untouched). The knob is
+// a process global with the same install contract as the row executor, so
+// the scope lives where the executor scope does: around the whole run.
+class RowBlockThresholdScope {
+public:
+    explicit RowBlockThresholdScope(std::size_t threshold)
+        : previous_(kernel_row_block_threshold()) {
+        if (threshold != 0) {
+            set_kernel_row_block_threshold(threshold);
+        }
+    }
+    ~RowBlockThresholdScope() { set_kernel_row_block_threshold(previous_); }
+    RowBlockThresholdScope(const RowBlockThresholdScope&) = delete;
+    RowBlockThresholdScope& operator=(const RowBlockThresholdScope&) = delete;
+
+private:
+    std::size_t previous_;
+};
 
 // Copy rows [shard.begin, shard.end) of `src` into the shard-sized `dst`.
 void slice_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
@@ -180,6 +205,9 @@ FleetResult FleetRunner::run(const ItscsInput& input,
     contexts.reserve(count);
     for (std::size_t s = 0; s < count; ++s) {
         contexts.emplace_back(seeds[s]);
+        // Stamp the configured tier up front so even shards that never run
+        // (restored from a checkpoint) report the tier the run used.
+        contexts.back().set_kernel_tier(config_.kernel_tier);
     }
 
     FleetResult out;
@@ -203,6 +231,7 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         manifest.input_fingerprint = input.fingerprint();
         manifest.config_fingerprint = config_fingerprint(config);
         manifest.runtime_fingerprint = runtime_fingerprint(config_);
+        manifest.kernel_tier = config_.kernel_tier;
         for (const Shard& shard : plan.shards()) {
             manifest.shards.emplace_back(shard.begin, shard.end);
         }
@@ -300,8 +329,13 @@ FleetResult FleetRunner::run(const ItscsInput& input,
     // Opt-in row-blocked kernel parallelism for the duration of the run;
     // dormant underneath shard workers (they run kernels inline).
     KernelParallelScope kernel_scope(config_.kernel_threads);
+    RowBlockThresholdScope threshold_scope(config_.kernel_row_block_threshold);
 
     auto run_shard = [&](std::size_t s) {
+        // The tier is thread-local ambient state, so each worker installs
+        // it per shard — kernels read it once at entry on this thread
+        // before fanning rows out to any RowExecutor.
+        KernelTierScope tier_scope(config_.kernel_tier);
         const Shard& shard = plan.shards()[s];
         const std::size_t rows = shard.size();
         const std::size_t worker = ThreadPool::worker_index();

@@ -73,6 +73,19 @@ struct RuntimeConfig {
     /// tall shards; shard workers always run their kernels inline.
     std::size_t kernel_threads = 1;
 
+    /// Numerical kernel tier for every shard (CLI: --tier). kExact (the
+    /// default) keeps the bit-identical scalar loops; kFast dispatches the
+    /// GEMM-shaped kernels to SIMD micro-kernels (see
+    /// linalg/kernel_tier.hpp). Part of the numerics, so it is covered by
+    /// the checkpoint handshake: a --resume never mixes tiers.
+    KernelTier kernel_tier = KernelTier::kExact;
+
+    /// Runtime override of the kernel row-block threshold (CLI:
+    /// --row-block-threshold); 0 keeps kKernelRowBlockThreshold. Pure
+    /// scheduling — never affects results — so it is excluded from the
+    /// checkpoint fingerprint, like `threads`.
+    std::size_t kernel_row_block_threshold = 0;
+
     /// Root seed; shard i's PipelineContext is seeded with the i-th draw
     /// of Rng(seed), independent of thread count.
     std::uint64_t seed = 0x17c5u;

@@ -22,9 +22,10 @@ public:
             return;
         }
         // Grain keeps blocks at least half the serial threshold so the
-        // per-block dispatch cost stays amortised even on short kernels.
+        // per-block dispatch cost stays amortised even on short kernels
+        // (tracks the runtime knob, not just the compile-time default).
         const std::size_t grain = std::max<std::size_t>(
-            kKernelRowBlockThreshold / 2,
+            kernel_row_block_threshold() / 2,
             rows / (2 * std::max<std::size_t>(1, pool_.size())));
         pool_.parallel_for(0, rows, grain, block);
     }

@@ -9,9 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.hpp"
 #include "common/context.hpp"
 #include "common/rng.hpp"
+#include "linalg/kernel_tier.hpp"
+#include "linalg/svd.hpp"
 #include "cs/asd.hpp"
 #include "cs/init.hpp"
 #include "cs/objective.hpp"
@@ -262,6 +267,244 @@ TEST(AsdWorkspace, InstrumentationDoesNotChangeResults) {
     EXPECT_EQ(with_ctx.iterations, without_ctx.iterations);
     EXPECT_TRUE(with_ctx.l == without_ctx.l);
     EXPECT_TRUE(with_ctx.r == without_ctx.r);
+}
+
+// ---- Kernel tiers (DESIGN.md §13) --------------------------------------
+//
+// The fast tier's contract: agreement with the exact tier to <= 1e-12
+// relative, bitwise determinism run-to-run, and independence from how the
+// RowExecutor happens to split the destination rows. Shapes below are
+// deliberately not multiples of the SIMD widths so every tail path runs.
+
+double max_rel_dev(const Matrix& exact, const Matrix& fast) {
+    const auto de = exact.data();
+    const auto df = fast.data();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < de.size(); ++i) {
+        const double denom = std::max(std::abs(de[i]), 1.0);
+        worst = std::max(worst, std::abs(de[i] - df[i]) / denom);
+    }
+    return worst;
+}
+
+struct TierFixture {
+    Matrix a, b, l, r, mask, s, e1, e2;
+
+    TierFixture() {
+        Rng rng(55);
+        a = random_matrix(37, 29, rng);     // odd dims: all tails exercised
+        b = random_matrix(29, 18, rng);
+        l = random_matrix(37, 7, rng);
+        r = random_matrix(23, 7, rng);
+        mask = Matrix(37, 23);
+        for (auto& x : mask.data()) {
+            x = rng.uniform(0.0, 1.0) < 0.3 ? 0.0 : 1.0;
+        }
+        s = random_matrix(37, 23, rng);
+        e1 = random_matrix(37, 23, rng);
+        e2 = random_matrix(37, 23, rng);
+    }
+
+    /// Every dispatched kernel once, into fresh destinations.
+    struct Results {
+        Matrix mul, mul_t, t_mul, masked, had, sub, ax;
+    };
+    Results run_all() const {
+        Results out;
+        out.mul = garbage(37, 18);
+        multiply_into(out.mul, a, b);
+        out.mul_t = garbage(37, 23);
+        multiply_transposed_into(out.mul_t, l, r);
+        out.t_mul = garbage(29, 7);
+        transpose_multiply_into(out.t_mul, a, l);
+        out.masked = garbage(37, 23);
+        masked_residual_into(out.masked, l, r, mask, s);
+        out.had = garbage(37, 23);
+        hadamard_into(out.had, e1, e2);
+        out.sub = garbage(37, 23);
+        subtract_into(out.sub, e1, e2);
+        out.ax = Matrix(e1);
+        axpy(out.ax, -0.637, e2);
+        return out;
+    }
+};
+
+TEST(KernelTiers, FastAgreesWithExactWithinTolerance) {
+    const TierFixture f;
+    TierFixture::Results exact;
+    {
+        KernelTierScope tier(KernelTier::kExact);
+        exact = f.run_all();
+    }
+    TierFixture::Results fast;
+    {
+        KernelTierScope tier(KernelTier::kFast);
+        fast = f.run_all();
+    }
+    EXPECT_LE(max_rel_dev(exact.mul, fast.mul), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.mul_t, fast.mul_t), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.t_mul, fast.t_mul), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.masked, fast.masked), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.had, fast.had), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.sub, fast.sub), 1e-12);
+    EXPECT_LE(max_rel_dev(exact.ax, fast.ax), 1e-12);
+}
+
+TEST(KernelTiers, FastTierIsDeterministicAcrossRuns) {
+    const TierFixture f;
+    KernelTierScope tier(KernelTier::kFast);
+    const TierFixture::Results first = f.run_all();
+    const TierFixture::Results second = f.run_all();
+    EXPECT_TRUE(first.mul == second.mul);
+    EXPECT_TRUE(first.mul_t == second.mul_t);
+    EXPECT_TRUE(first.t_mul == second.t_mul);
+    EXPECT_TRUE(first.masked == second.masked);
+    EXPECT_TRUE(first.had == second.had);
+}
+
+// A deliberately lopsided row cover: [0,1) ∪ [1,cut) ∪ [cut,rows). If any
+// fast kernel's per-element reduction depended on its [lo,hi) grouping,
+// this split would change the bits relative to the serial pass.
+class LopsidedExecutor : public RowExecutor {
+public:
+    void for_rows(std::size_t rows,
+                  const std::function<void(std::size_t, std::size_t)>& block)
+        override {
+        const std::size_t cut = std::max<std::size_t>(1, rows / 3);
+        if (rows == 0) {
+            return;
+        }
+        block(0, std::min<std::size_t>(1, rows));
+        if (cut > 1) {
+            block(1, cut);
+        }
+        if (rows > cut) {
+            block(cut, rows);
+        }
+    }
+};
+
+TEST(KernelTiers, FastTierIndependentOfRowBlocking) {
+    const TierFixture f;
+    KernelTierScope tier(KernelTier::kFast);
+    const TierFixture::Results serial = f.run_all();
+
+    LopsidedExecutor executor;
+    set_kernel_row_executor(&executor);
+    set_kernel_row_block_threshold(1);  // dispatch even tiny destinations
+    const TierFixture::Results split = f.run_all();
+    set_kernel_row_executor(nullptr);
+    set_kernel_row_block_threshold(0);
+
+    EXPECT_TRUE(serial.mul == split.mul);
+    EXPECT_TRUE(serial.mul_t == split.mul_t);
+    EXPECT_TRUE(serial.masked == split.masked);
+}
+
+TEST(KernelTiers, RowBlockThresholdOverrideAndRestore) {
+    EXPECT_EQ(kernel_row_block_threshold(), kKernelRowBlockThreshold);
+    set_kernel_row_block_threshold(7);
+    EXPECT_EQ(kernel_row_block_threshold(), 7u);
+    set_kernel_row_block_threshold(0);  // 0 restores the compile-time value
+    EXPECT_EQ(kernel_row_block_threshold(), kKernelRowBlockThreshold);
+}
+
+TEST(KernelTiers, ScopeRestoresPreviousTier) {
+    EXPECT_EQ(active_kernel_tier(), KernelTier::kExact);
+    {
+        KernelTierScope fast(KernelTier::kFast);
+        EXPECT_EQ(active_kernel_tier(), KernelTier::kFast);
+        {
+            KernelTierScope exact(KernelTier::kExact);
+            EXPECT_EQ(active_kernel_tier(), KernelTier::kExact);
+        }
+        EXPECT_EQ(active_kernel_tier(), KernelTier::kFast);
+    }
+    EXPECT_EQ(active_kernel_tier(), KernelTier::kExact);
+}
+
+TEST(KernelTiers, AliasedDestinationThrows) {
+    Rng rng(56);
+    Matrix sq = random_matrix(6, 6, rng);
+    const Matrix other = random_matrix(6, 6, rng);
+
+    EXPECT_THROW(subtract_into(sq, sq, other), Error);
+    EXPECT_THROW(subtract_into(sq, other, sq), Error);
+    EXPECT_THROW(hadamard_into(sq, sq, other), Error);
+    EXPECT_THROW(multiply_into(sq, sq, other), Error);
+    EXPECT_THROW(multiply_into(sq, other, sq), Error);
+    EXPECT_THROW(multiply_transposed_into(sq, sq, other), Error);
+    EXPECT_THROW(transpose_multiply_into(sq, sq, other), Error);
+    EXPECT_THROW(transpose_into(sq, sq), Error);
+    EXPECT_THROW(temporal_diff_into(sq, sq), Error);
+    EXPECT_THROW(temporal_diff_adjoint_into(sq, sq), Error);
+
+    Matrix masked = random_matrix(6, 6, rng);
+    const Matrix lf = random_matrix(6, 2, rng);
+    const Matrix rf = random_matrix(6, 2, rng);
+    EXPECT_THROW(masked_residual_into(masked, lf, rf, sq, masked), Error);
+    EXPECT_THROW(masked_residual_into(masked, lf, rf, masked, sq), Error);
+
+    // The two documented exceptions stay legal: axpy updates y in place,
+    // copy_into tolerates the trivial self-copy.
+    EXPECT_NO_THROW(axpy(sq, 0.5, other));
+    EXPECT_NO_THROW(copy_into(sq, sq));
+}
+
+TEST(KernelTiers, PerKernelFlopCountersAttributed) {
+    Rng rng(57);
+    const Matrix a = random_matrix(5, 3, rng);
+    const Matrix b = random_matrix(3, 4, rng);
+    const Matrix c = random_matrix(6, 3, rng);
+    const Matrix d = random_matrix(5, 4, rng);
+
+    PipelineCounters counters;
+    Matrix ab(5, 4);
+    multiply_into(ab, a, b, &counters);
+    EXPECT_EQ(counters.flops_multiply, 2u * 5u * 4u * 3u);
+
+    Matrix act(5, 6);
+    multiply_transposed_into(act, a, c, &counters);
+    EXPECT_EQ(counters.flops_multiply_transposed, 2u * 5u * 6u * 3u);
+
+    Matrix atd(3, 4);
+    transpose_multiply_into(atd, a, d, &counters);
+    EXPECT_EQ(counters.flops_transpose_multiply, 2u * 3u * 4u * 5u);
+
+    const Matrix mask = Matrix::constant(5, 6, 1.0);
+    const Matrix s = random_matrix(5, 6, rng);
+    Matrix res(5, 6);
+    masked_residual_into(res, a, c, mask, s, &counters);
+    EXPECT_EQ(counters.flops_masked_residual, 2u * 5u * 6u * 3u);
+
+    // The slots sum to the total the pipeline already reported.
+    EXPECT_EQ(counters.gemm_flops,
+              counters.flops_multiply + counters.flops_multiply_transposed +
+                  counters.flops_transpose_multiply +
+                  counters.flops_masked_residual);
+}
+
+TEST(KernelTiers, BlockedRandomizedSvdBitIdenticalUnderExactTier) {
+    Rng rng(58);
+    const Matrix a = random_matrix(30, 22, rng);
+    const FactorPair plain = truncated_factors_randomized(a, 5, 8, 2, 777);
+    const FactorPair blocked =
+        truncated_factors_randomized_blocked(a, 5, 8, 2, 777);
+    EXPECT_TRUE(plain.l == blocked.l);
+    EXPECT_TRUE(plain.r == blocked.r);
+}
+
+TEST(KernelTiers, BlockedRandomizedSvdFastTierStaysClose) {
+    Rng rng(59);
+    const Matrix a = random_matrix(30, 22, rng);
+    const FactorPair exact = truncated_factors_randomized_blocked(a, 5);
+    KernelTierScope tier(KernelTier::kFast);
+    const FactorPair fast = truncated_factors_randomized_blocked(a, 5);
+    // The range finder feeds a warm start, not a final answer; kernel
+    // rounding perturbs the subspace slightly, so the bound here is the
+    // warm start's own tolerance, not the single-kernel 1e-12.
+    EXPECT_LE(max_rel_dev(exact.l, fast.l), 1e-6);
+    EXPECT_LE(max_rel_dev(exact.r, fast.r), 1e-6);
 }
 
 }  // namespace

@@ -301,6 +301,59 @@ TEST(RuntimeCheckpointTest, MismatchedPlanRefusesToResume) {
     EXPECT_THROW(second.run(input, ItscsConfig{}), Error);
 }
 
+TEST(RuntimeCheckpointTest, MismatchedKernelTierRefusesToResume) {
+    const ItscsInput input = fleet_input();
+    CheckpointDir dir;
+    {
+        FleetRunner first(runtime_config(2, dir.path()));  // exact tier
+        first.run(input, ItscsConfig{});
+    }
+    // The tier is part of the numerics: silently resuming an exact-tier
+    // journal under the fast tier would stitch two roundings into one
+    // result. The refusal names the tier, not just a hash.
+    RuntimeConfig changed = runtime_config(2, dir.path(), /*resume=*/true);
+    changed.kernel_tier = KernelTier::kFast;
+    FleetRunner second(changed);
+    try {
+        second.run(input, ItscsConfig{});
+        FAIL() << "expected the tier mismatch to throw";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("kernel tier"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(RuntimeCheckpointTest, FastTierResumeIsBitIdentical) {
+    const ItscsInput input = fleet_input();
+
+    RuntimeConfig plain_config = runtime_config(2);
+    plain_config.kernel_tier = KernelTier::kFast;
+    FleetRunner plain(plain_config);
+    const FleetResult reference = plain.run(input, ItscsConfig{});
+
+    CheckpointDir dir;
+    RuntimeConfig ck_config = runtime_config(2, dir.path());
+    ck_config.kernel_tier = KernelTier::kFast;
+    {
+        FleetRunner first(ck_config);
+        first.run(input, ItscsConfig{});
+    }
+    drop_frames_after(dir.journal(), 3);
+
+    ck_config.resume = true;
+    FleetRunner resumed_runner(ck_config);
+    const FleetResult resumed = resumed_runner.run(input, ItscsConfig{});
+    EXPECT_EQ(resumed.checkpoint.shards_loaded, 3u);
+    EXPECT_EQ(resumed.checkpoint.shards_run, resumed.shards.size() - 3u);
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.detection,
+                              reference.aggregate.detection));
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.reconstructed_x,
+                              reference.aggregate.reconstructed_x));
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.reconstructed_y,
+                              reference.aggregate.reconstructed_y));
+}
+
 TEST(RuntimeCheckpointTest, FreshRunWithoutResumeResetsTheJournal) {
     const ItscsInput input = fleet_input();
     CheckpointDir dir;

@@ -21,6 +21,7 @@
 
 #include "common/check.hpp"
 #include "corruption/scenario.hpp"
+#include "linalg/kernel_tier.hpp"
 #include "eval/methods.hpp"
 #include "runtime/kernel_parallel.hpp"
 #include "runtime/shard_plan.hpp"
@@ -432,6 +433,44 @@ TEST(FleetRunner, ThreadCountNeverChangesResults) {
                       reference->shards[s].iterations);
         }
     }
+}
+
+TEST(FleetRunner, FastTierDeterministicAcrossThreadCounts) {
+    // The fast tier is not bit-identical to exact, but it promises the
+    // same schedule-independence: a fixed RuntimeConfig (minus threads)
+    // gives one bit pattern at any worker count.
+    const ItscsInput input = fleet_input(35, 50);
+    const ItscsConfig framework;
+
+    std::unique_ptr<FleetResult> reference;
+    for (const std::size_t threads : {1u, 2u}) {
+        RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = 10;
+        config.kernel_tier = KernelTier::kFast;
+        FleetRunner runner(config);
+        PipelineContext ctx(99);
+        FleetResult fleet = runner.run(input, framework, &ctx);
+        // The merged context records the tier the shards ran under.
+        EXPECT_EQ(ctx.kernel_tier(), KernelTier::kFast);
+        if (reference == nullptr) {
+            reference = std::make_unique<FleetResult>(std::move(fleet));
+            continue;
+        }
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.detection,
+                                  reference->aggregate.detection))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_x,
+                                  reference->aggregate.reconstructed_x))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_y,
+                                  reference->aggregate.reconstructed_y))
+            << "threads=" << threads;
+    }
+
+    // And the tier never leaks: after the fast runs, this thread's
+    // ambient tier is still the exact default.
+    EXPECT_EQ(active_kernel_tier(), KernelTier::kExact);
 }
 
 TEST(FleetRunner, RunnerIsReusableAndClearsArenas) {

@@ -17,7 +17,8 @@
 //   itscs clean    --in corrupted.csv --participants N --slots T
 //                  [--variant full|no-v|no-vt] [--estimate-velocity]
 //                  [--threads N] [--shard-size K] [--shard-count C]
-//                  [--kernel-threads M]
+//                  [--kernel-threads M] [--tier exact|fast]
+//                  [--row-block-threshold K]
 //                  [--chaos=SPEC] [--failure-report fr.json]
 //                  [--shard-deadline S]
 //                  [--checkpoint-dir D] [--resume] [--strict]
@@ -31,7 +32,13 @@
 //       shards detected/corrected concurrently; the per-shard contexts
 //       are merged so --stats-json stays a single document);
 //       --kernel-threads enables row-blocked kernel parallelism instead
-//       of (or alongside) sharding. --chaos injects faults per the
+//       of (or alongside) sharding. --tier fast switches the GEMM-shaped
+//       kernels to the SIMD tier (linalg/kernel_tier.hpp) — deterministic,
+//       but not bit-identical to the default exact tier — and
+//       --row-block-threshold overrides the minimum destination rows for
+//       row-blocked dispatch; both are echoed (with the detected CPU
+//       features and per-kernel FLOP totals) in --report and --stats-json.
+//       --chaos injects faults per the
 //       DESIGN.md §11 spec grammar (nan=p,inf=p,dup=p,diverge=p,throw=p,
 //       cells=q,seed=u,crash=k); --failure-report writes the per-shard
 //       degradation outcomes (ladder level, attempts, structured
@@ -73,6 +80,8 @@
 #include "corruption/scenario.hpp"
 #include "eval/methods.hpp"
 #include "runtime/fleet_runner.hpp"
+#include "linalg/kernel_tier.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
 #include "metrics/confusion.hpp"
 #include "metrics/reconstruction_error.hpp"
@@ -80,6 +89,25 @@
 #include "trace/trace_io.hpp"
 
 namespace {
+
+// The kernel stack as it is configured right now: tier, resolved fast
+// path, CPU features, and the active row-block threshold. Attached to both
+// --report and --stats-json output so a perf number can always be traced
+// back to the code path that produced it.
+mcs::Json kernel_info(mcs::KernelTier tier) {
+    mcs::Json out = mcs::Json::object();
+    out["tier"] = std::string(mcs::to_string(tier));
+    out["fast_path"] = std::string(mcs::fast_kernel_path());
+    out["row_block_threshold"] = mcs::kernel_row_block_threshold();
+    const mcs::CpuFeatures& f = mcs::cpu_features();
+    mcs::Json cpu = mcs::Json::object();
+    cpu["avx2"] = f.avx2;
+    cpu["fma"] = f.fma;
+    cpu["avx512f"] = f.avx512f;
+    cpu["neon"] = f.neon;
+    out["cpu"] = cpu;
+    return out;
+}
 
 // ---- tiny flag parser ---------------------------------------------------
 
@@ -254,6 +282,18 @@ int cmd_clean(const Args& args) {
         args.has("shard-count") ? args.count("shard-count") : 0;
     const std::size_t kernel_threads =
         args.has("kernel-threads") ? args.count("kernel-threads") : 1;
+    const mcs::KernelTier tier =
+        mcs::parse_kernel_tier(args.get_or("tier", "exact"));
+    const std::size_t row_block_threshold =
+        args.has("row-block-threshold") ? args.count("row-block-threshold")
+                                        : 0;
+    // Ambient tier + threshold for the whole command: covers the
+    // single-run path directly; FleetRunner re-installs the same values
+    // per shard from its RuntimeConfig.
+    mcs::KernelTierScope tier_scope(tier);
+    if (row_block_threshold != 0) {
+        mcs::set_kernel_row_block_threshold(row_block_threshold);
+    }
     std::optional<mcs::ChaosConfig> chaos_config;
     if (args.has("chaos")) {
         chaos_config = mcs::ChaosConfig::parse(args.get("chaos"));
@@ -282,6 +322,8 @@ int cmd_clean(const Args& args) {
             shard_count > 0 ? shard_count
                             : (shard_size == 0 ? threads : 0);
         runtime.kernel_threads = kernel_threads;
+        runtime.kernel_tier = tier;
+        runtime.kernel_row_block_threshold = row_block_threshold;
         runtime.health.deadline_seconds = shard_deadline;
         runtime.checkpoint_dir = args.get_or("checkpoint-dir", "");
         runtime.resume = args.has("resume");
@@ -337,10 +379,14 @@ int cmd_clean(const Args& args) {
             history.push_back(row);
         }
         report["history"] = history;
+        report["kernel"] = kernel_info(tier);
         if (use_runner) {
             mcs::Json runtime = mcs::Json::object();
             runtime["threads"] = threads;
             runtime["kernel_threads"] = kernel_threads;
+            runtime["kernel_tier"] = std::string(mcs::to_string(tier));
+            runtime["row_block_threshold"] =
+                mcs::kernel_row_block_threshold();
             // The *resolved* decomposition, so a report from a run that
             // leaned on machine defaults still states what actually ran.
             runtime["shard_size"] = shard_size;
@@ -414,7 +460,9 @@ int cmd_clean(const Args& args) {
         mcs::write_json_file(args.get("failure-report"), fr);
     }
     if (want_stats) {
-        std::cout << ctx.to_json().dump(2) << "\n";
+        mcs::Json stats = ctx.to_json();
+        stats["kernel"] = kernel_info(tier);
+        std::cout << stats.dump(2) << "\n";
     }
     if (checkpoint.enabled) {
         std::cout << "checkpoint: " << checkpoint.shards_loaded
@@ -457,6 +505,9 @@ int cmd_demo(const Args& args) {
     const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
     mcs::PipelineContext ctx;
     const bool want_stats = args.has("stats-json");
+    const mcs::KernelTier tier =
+        mcs::parse_kernel_tier(args.get_or("tier", "exact"));
+    mcs::KernelTierScope tier_scope(tier);
     const mcs::ItscsResult result = mcs::run_itscs(
         mcs::to_itscs_input(data), mcs::make_config(mcs::ItscsVariant::kFull),
         {}, want_stats ? &ctx : nullptr);
@@ -476,11 +527,15 @@ int cmd_demo(const Args& args) {
         report["mae_m"] = mae;
         report["iterations"] = result.iterations;
         if (want_stats) {
-            report["stats"] = ctx.to_json();
+            mcs::Json stats = ctx.to_json();
+            stats["kernel"] = kernel_info(tier);
+            report["stats"] = stats;
         }
         std::cout << report.dump(2) << "\n";
     } else if (want_stats) {
-        std::cout << ctx.to_json().dump(2) << "\n";
+        mcs::Json stats = ctx.to_json();
+        stats["kernel"] = kernel_info(tier);
+        std::cout << stats.dump(2) << "\n";
     } else {
         std::cout << "demo (alpha=" << mcs::format_percent(alpha, 0)
                   << ", beta=" << mcs::format_percent(beta, 0)
@@ -506,15 +561,16 @@ int usage() {
            "[--variant full|no-v|no-vt]\n"
            "           [--estimate-velocity] [--threads N] "
            "[--shard-size K] [--shard-count C]\n"
-           "           [--kernel-threads M] "
-           "[--chaos=SPEC] [--failure-report fr.json]\n"
+           "           [--kernel-threads M] [--tier exact|fast] "
+           "[--row-block-threshold K]\n"
+           "           [--chaos=SPEC] [--failure-report fr.json]\n"
            "           [--shard-deadline S] [--checkpoint-dir D] "
            "[--resume] [--strict]\n"
            "           --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"
            "  demo     [--alpha A] [--beta B] [--seed S] [--json] "
-           "[--stats-json]\n";
+           "[--stats-json] [--tier exact|fast]\n";
     return 1;
 }
 

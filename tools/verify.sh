@@ -10,6 +10,11 @@
 #   tools/verify.sh asan     memory job: same runtime-facing tests plus
 #                            core_itscs_test with -fsanitize=address
 #                            (the `asan` CMake preset)
+#   tools/verify.sh perf     perf smoke: Release-build bench/perf_kernels,
+#                            run it in --quick mode against the committed
+#                            BENCH_kernels.json baseline, and fail when
+#                            any kernel's fast/exact speedup ratio drops
+#                            more than 20% below the baseline ratio
 #   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -46,12 +51,24 @@ asan() {
     ctest --preset asan
 }
 
+perf() {
+    echo "== perf: build (Release) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target perf_kernels
+    echo "== perf: kernel smoke vs committed baseline =="
+    ./build-release/bench/perf_kernels --quick \
+        --output BENCH_kernels_smoke.json \
+        --baseline BENCH_kernels.json
+    rm -f BENCH_kernels_smoke.json
+}
+
 case "${1:-tier1}" in
     tier1) tier1 ;;
     tsan) tsan ;;
     asan) asan ;;
-    all) tier1; tsan; asan ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|asan|all]" >&2; exit 2 ;;
+    perf) perf ;;
+    all) tier1; tsan; asan; perf ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
