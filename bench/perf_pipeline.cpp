@@ -34,6 +34,16 @@
 // checked, target < 3%), plus the cost and fidelity of a full resume
 // (every shard restored from the journal, nothing re-run). Written to
 // BENCH_checkpoint.json (and stdout).
+//
+// Pass `--backend-sweep` for the cross-backend shootout (DESIGN.md §14):
+// both recovery solvers (asd, lrsd) run the full fleet pipeline under
+// three fault regimes — i.i.d. bias, velocity faults (γ > 0), and
+// clustered drift bursts — and the report records quality (precision /
+// recall / F1 against ground-truth faults, reconstruction MAE) alongside
+// runtime (median wall, iteration/round counters) per {regime, backend}
+// cell. Written to BENCH_backends.json (and stdout). Exits nonzero when
+// any cell produced empty or non-finite results, so CI can gate on it;
+// `--quick` shrinks the fleet for the CI perf-smoke job.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -58,6 +68,8 @@
 #include "detect/tmm.hpp"
 #include "eval/methods.hpp"
 #include "linalg/temporal.hpp"
+#include "metrics/confusion.hpp"
+#include "metrics/reconstruction_error.hpp"
 #include "runtime/fleet_runner.hpp"
 #include "trace/simulator.hpp"
 
@@ -637,6 +649,173 @@ mcs::Json checkpoint_sweep_report(std::size_t repeat) {
     return report;
 }
 
+// ---- backend shootout ----------------------------------------------------
+//
+// Quality x runtime x fault regime for both SolverBackend implementations
+// (DESIGN.md §14). Each cell runs the whole fleet pipeline — FleetRunner,
+// guards, shard merge — with the solver selected through the runtime knob,
+// exactly as `itscs clean --solver` would. The three regimes pick at the
+// backends' different CHECK mechanisms: i.i.d. bias is the paper's §IV-A
+// model (threshold Check() is well matched), velocity faults poison the
+// side information ASD's objective leans on, and clustered drift bursts
+// let neighbouring faults vouch for each other — the case where the
+// LS-decomposition's sparse component plausibly beats a residual
+// threshold. A cell is *valid* when its matrices are non-empty, every
+// value (metrics included) is finite, and the solver actually ran; the
+// report's `all_valid` gates CI.
+struct BackendRegime {
+    const char* name;
+    const char* description;
+    mcs::CorruptionConfig corruption;
+};
+
+std::vector<BackendRegime> backend_regimes() {
+    mcs::CorruptionConfig iid;
+    iid.missing_ratio = 0.2;
+    iid.fault_ratio = 0.2;
+    iid.seed = 5;
+
+    mcs::CorruptionConfig velocity = iid;
+    velocity.velocity_fault_ratio = 0.2;
+
+    mcs::CorruptionConfig clustered = iid;
+    clustered.fault_model = mcs::FaultModel::kDrift;
+
+    return {
+        {"iid_bias", "independent per-cell biases (paper §IV-A)", iid},
+        {"velocity_faults", "γ = 0.2 of velocity uploads faulted too",
+         velocity},
+        {"clustered_drift", "contiguous drift bursts (FaultModel::kDrift)",
+         clustered},
+    };
+}
+
+mcs::Json backend_sweep_report(std::size_t repeat, bool quick,
+                               bool* all_valid_out) {
+    const std::size_t shard_size = 40;
+    const std::size_t shards = quick ? 2 : 4;
+    const std::size_t slots = quick ? 96 : 240;
+    const std::size_t participants = shard_size * shards;
+
+    std::cerr << "backend sweep: simulating " << participants << "x" << slots
+              << " fleet" << (quick ? " (quick)" : "") << "...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, slots);
+
+    mcs::Json rows = mcs::Json::array();
+    bool all_valid = true;
+    for (const BackendRegime& regime : backend_regimes()) {
+        const mcs::CorruptedDataset data = mcs::corrupt(truth,
+                                                        regime.corruption);
+        const mcs::ItscsInput input = mcs::to_itscs_input(data);
+        double asd_ms = 0.0;
+        for (const mcs::SolverKind solver :
+             {mcs::SolverKind::kAsd, mcs::SolverKind::kLrsd}) {
+            std::cerr << "backend sweep: regime=" << regime.name
+                      << " solver=" << to_string(solver) << "\n";
+            mcs::RuntimeConfig config;
+            config.threads = 4;
+            config.shard_size = shard_size;
+            config.remainder = mcs::ShardRemainder::kTail;
+            config.solver = solver;
+            mcs::FleetRunner runner(config);
+            runner.run(input, mcs::ItscsConfig{});  // warm-up
+            mcs::PipelineContext ctx;
+            mcs::FleetResult fleet;
+            std::vector<double> samples;
+            samples.reserve(repeat);
+            for (std::size_t rep = 0; rep < repeat; ++rep) {
+                const mcs::Stopwatch timer;
+                fleet = runner.run(input, mcs::ItscsConfig{},
+                                   rep == 0 ? &ctx : nullptr);
+                samples.push_back(timer.elapsed_seconds() * 1000.0);
+            }
+            const double wall_ms = median(std::move(samples));
+            if (solver == mcs::SolverKind::kAsd) {
+                asd_ms = wall_ms;
+            }
+
+            const mcs::ConfusionCounts confusion = mcs::evaluate_detection(
+                fleet.aggregate.detection, data.fault, data.existence);
+            const double mae = mcs::reconstruction_mae(
+                truth.x, truth.y, fleet.aggregate.reconstructed_x,
+                fleet.aggregate.reconstructed_y, data.existence,
+                fleet.aggregate.detection);
+            const mcs::PipelineCounters& counters = ctx.counters();
+
+            const bool non_empty =
+                !fleet.aggregate.detection.empty() &&
+                !fleet.aggregate.reconstructed_x.empty() &&
+                !fleet.aggregate.reconstructed_y.empty();
+            const bool finite =
+                non_empty && all_finite(fleet.aggregate.detection) &&
+                all_finite(fleet.aggregate.reconstructed_x) &&
+                all_finite(fleet.aggregate.reconstructed_y) &&
+                std::isfinite(confusion.precision()) &&
+                std::isfinite(confusion.recall()) &&
+                std::isfinite(confusion.f1()) && std::isfinite(mae) &&
+                std::isfinite(wall_ms);
+            const bool solver_ran =
+                solver == mcs::SolverKind::kLrsd
+                    ? counters.solves_lrsd > 0 && counters.lrsd_rounds > 0
+                    : counters.solves_asd > 0 && counters.asd_iterations > 0;
+            const bool valid = finite && solver_ran;
+            all_valid = all_valid && valid;
+
+            mcs::Json row = mcs::Json::object();
+            row["regime"] = std::string(regime.name);
+            row["solver"] = std::string(to_string(solver));
+            row["precision"] = confusion.precision();
+            row["recall"] = confusion.recall();
+            row["f1"] = confusion.f1();
+            row["false_positive_rate"] = confusion.false_positive_rate();
+            row["reconstruction_mae_m"] = mae;
+            row["wall_ms"] = wall_ms;
+            row["wall_vs_asd"] = asd_ms > 0.0 ? wall_ms / asd_ms : 1.0;
+            row["cs_solves"] = counters.cs_solves;
+            row["asd_iterations"] = counters.asd_iterations;
+            row["lrsd_rounds"] = counters.lrsd_rounds;
+            row["sparse_fault_cells"] = counters.sparse_fault_cells;
+            row["valid"] = valid;
+            rows.push_back(row);
+        }
+    }
+
+    mcs::Json regimes = mcs::Json::array();
+    for (const BackendRegime& regime : backend_regimes()) {
+        mcs::Json r = mcs::Json::object();
+        r["name"] = std::string(regime.name);
+        r["description"] = std::string(regime.description);
+        r["missing_ratio"] = regime.corruption.missing_ratio;
+        r["fault_ratio"] = regime.corruption.fault_ratio;
+        r["velocity_fault_ratio"] = regime.corruption.velocity_fault_ratio;
+        r["fault_model"] =
+            std::string(regime.corruption.fault_model ==
+                                mcs::FaultModel::kDrift
+                            ? "drift"
+                            : "bias");
+        regimes.push_back(r);
+    }
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = slots;
+    report["fleet"]["shard_size"] = shard_size;
+    report["fleet"]["shards"] = shards;
+    report["quick"] = quick;
+    report["repeat"] = repeat;
+    report["hardware_concurrency"] =
+        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+    report["regimes"] = std::move(regimes);
+    report["shootout"] = std::move(rows);
+    report["all_valid"] = all_valid;
+    if (all_valid_out != nullptr) {
+        *all_valid_out = all_valid;
+    }
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -644,6 +823,8 @@ int main(int argc, char** argv) {
     bool runtime_sweep = false;
     bool chaos_sweep = false;
     bool checkpoint_sweep = false;
+    bool backend_sweep = false;
+    bool quick = false;
     std::size_t repeat = 0;  // 0 = per-sweep default
     std::vector<char*> args;
     args.reserve(static_cast<std::size_t>(argc));
@@ -667,6 +848,14 @@ int main(int argc, char** argv) {
         }
         if (std::string_view(argv[i]) == "--checkpoint-sweep") {
             checkpoint_sweep = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--backend-sweep") {
+            backend_sweep = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--quick") {
+            quick = true;
             continue;
         }
         args.push_back(argv[i]);
@@ -693,6 +882,20 @@ int main(int argc, char** argv) {
         std::ofstream out("BENCH_checkpoint.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
+        return 0;
+    }
+    if (backend_sweep) {
+        bool all_valid = false;
+        const mcs::Json report = backend_sweep_report(
+            repeat == 0 ? 3 : repeat, quick, &all_valid);
+        std::ofstream out("BENCH_backends.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        if (!all_valid) {
+            std::cerr << "backend sweep: FAILED — empty or non-finite "
+                         "results in at least one cell\n";
+            return 1;
+        }
         return 0;
     }
     if (!stats_only) {

@@ -61,6 +61,23 @@ const char* to_string(KernelTier tier);
 /// Inverse of to_string; throws mcs::Error on anything else.
 KernelTier parse_kernel_tier(const std::string& name);
 
+/// Recovery-solver backend (DESIGN.md §14). Like KernelTier, the enum lives
+/// in common so the PipelineContext and the checkpoint manifest can carry
+/// the selection without seeing the cs layer; the SolverBackend interface
+/// and its implementations live in cs/solver_backend.hpp.
+///
+///   * kAsd  — the paper's CORRECT step: ASD on the Eq. (23) objective.
+///     Default, and bit-identical to the pre-seam pipeline.
+///   * kLrsd — LS-decomposition (low-rank + sparse, arXiv:1509.03723 /
+///     the paper's [18]): the sparse component *is* the fault estimate,
+///     so this backend feeds Check() directly.
+enum class SolverKind : std::uint8_t { kAsd = 0, kLrsd = 1 };
+
+/// "asd" / "lrsd".
+const char* to_string(SolverKind kind);
+/// Inverse of to_string; throws mcs::Error on anything else.
+SolverKind parse_solver_kind(const std::string& name);
+
 /// Monotonic event counters. Plain struct so the linalg layer can bump them
 /// without seeing the full context (see Workspace).
 struct PipelineCounters {
@@ -76,6 +93,12 @@ struct PipelineCounters {
     std::uint64_t svd_sweeps = 0;             ///< one-sided Jacobi sweeps
     std::uint64_t asd_iterations = 0;         ///< ASD outer iterations
     std::uint64_t cs_solves = 0;              ///< cs_reconstruct calls
+    /// Per-backend splits of cs_solves (which SolverBackend served each
+    /// axis solve) plus the LRSD backend's own outer loop.
+    std::uint64_t solves_asd = 0;             ///< solves served by kAsd
+    std::uint64_t solves_lrsd = 0;            ///< solves served by kLrsd
+    std::uint64_t lrsd_rounds = 0;            ///< LRSD complete+reclassify rounds
+    std::uint64_t sparse_fault_cells = 0;     ///< cells in sparse supports
     std::uint64_t itscs_iterations = 0;       ///< framework iterations
     std::uint64_t detect_passes = 0;          ///< TS_Detect axis passes
     std::uint64_t check_passes = 0;           ///< Check() axis passes
@@ -120,6 +143,14 @@ public:
     /// fast-tier run.
     KernelTier kernel_tier() const { return kernel_tier_; }
     void set_kernel_tier(KernelTier tier) { kernel_tier_ = tier; }
+
+    /// Solver backend this context's pipeline ran under, stamped by the
+    /// cs dispatch layer (solve_axis) and FleetRunner. merge() keeps any
+    /// non-default record: a run that dispatched any solve to LRSD is an
+    /// LRSD run for reporting purposes (the per-backend counters carry the
+    /// exact split).
+    SolverKind solver_backend() const { return solver_; }
+    void set_solver_backend(SolverKind kind) { solver_ = kind; }
 
     /// Open/close a named timing phase. Phases nest; time is attributed
     /// inclusively to every open phase, keyed by name (first-seen order is
@@ -185,6 +216,7 @@ private:
     PipelineCounters counters_;
     HealthMonitor* health_ = nullptr;
     KernelTier kernel_tier_ = KernelTier::kExact;
+    SolverKind solver_ = SolverKind::kAsd;
     std::vector<PhaseStat> stats_;
     std::vector<OpenPhase> open_;
 #ifndef NDEBUG

@@ -1,75 +1,40 @@
 #include "cs/lrsd.hpp"
 
-#include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
-#include "linalg/ops.hpp"
+#include "cs/solver_backend.hpp"
 
 namespace mcs {
 
 LrsdResult lrsd_decompose(const Matrix& s, const Matrix& existence,
-                          double tau_s, const LrsdConfig& config) {
-    MCS_CHECK_MSG(s.rows() == existence.rows() &&
-                      s.cols() == existence.cols(),
-                  "lrsd_decompose: shape mismatch");
-    MCS_CHECK_MSG(config.residual_threshold_m > 0.0,
-                  "lrsd_decompose: threshold must be positive");
-    MCS_CHECK_MSG(config.initial_threshold_m >= config.residual_threshold_m,
-                  "lrsd_decompose: initial threshold below the final one");
-    MCS_CHECK_MSG(config.threshold_decay > 0.0 &&
-                      config.threshold_decay <= 1.0,
-                  "lrsd_decompose: decay must be in (0, 1]");
-    MCS_CHECK_MSG(config.max_iterations >= 1,
-                  "lrsd_decompose: need at least one iteration");
-    require_binary(existence, "lrsd_decompose: existence");
+                          double tau_s, const LrsdConfig& config,
+                          PipelineContext* ctx) {
+    // The LS-decomposition model has no temporal term; a caller that set a
+    // temporal mode on the inner completion asked for something this
+    // baseline cannot honour, so refuse instead of silently overwriting.
+    MCS_CHECK_MSG(config.completion.mode == TemporalMode::kNone,
+                  "lrsd_decompose: completion.mode must be kNone — the "
+                  "LS-decomposition model of [18] has no temporal term");
 
-    const std::size_t n = s.rows();
-    const std::size_t t = s.cols();
-    CsConfig completion = config.completion;
-    completion.mode = TemporalMode::kNone;  // plain low-rank, per [18]
-    const Matrix no_velocity(n, t);
+    SolverProblem problem;
+    problem.s = &s;
+    problem.trusted = &existence;
+    problem.existence = &existence;
+    problem.tau_s = tau_s;
+    problem.config = config.completion;
+    problem.config.solver = SolverKind::kLrsd;
+    problem.config.lrsd.residual_threshold_m = config.residual_threshold_m;
+    problem.config.lrsd.initial_threshold_m = config.initial_threshold_m;
+    problem.config.lrsd.threshold_decay = config.threshold_decay;
+    problem.config.lrsd.max_rounds = config.max_iterations;
 
+    CsReconstruction solved = solve_axis(problem, nullptr, ctx);
     LrsdResult result;
-    result.outliers = Matrix(n, t);
-
-    double threshold = config.initial_threshold_m;
-    for (std::size_t iter = 1; iter <= config.max_iterations; ++iter) {
-        // Trusted cells: observed and not currently classified as error.
-        Matrix trusted(n, t);
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < t; ++j) {
-                trusted(i, j) = (existence(i, j) == 1.0 &&
-                                 result.outliers(i, j) == 0.0)
-                                    ? 1.0
-                                    : 0.0;
-            }
-        }
-        const CsReconstruction completion_result =
-            cs_reconstruct(s, trusted, no_velocity, tau_s, completion);
-        result.estimate = completion_result.estimate;
-
-        // Re-classify the sparse support from the residuals.
-        Matrix next_outliers(n, t);
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = 0; j < t; ++j) {
-                if (existence(i, j) == 1.0 &&
-                    std::abs(s(i, j) - result.estimate(i, j)) > threshold) {
-                    next_outliers(i, j) = 1.0;
-                }
-            }
-        }
-        result.iterations = iter;
-        const bool annealed = threshold <= config.residual_threshold_m;
-        const bool stable =
-            count_differences(result.outliers, next_outliers) == 0;
-        result.outliers = std::move(next_outliers);
-        if (annealed && stable && iter > 1) {
-            result.converged = true;
-            break;
-        }
-        threshold = std::max(config.residual_threshold_m,
-                             threshold * config.threshold_decay);
-    }
+    result.estimate = std::move(solved.estimate);
+    result.outliers = std::move(solved.sparse_faults);
+    result.iterations = solved.solver_rounds;
+    result.converged = solved.converged;
     return result;
 }
 

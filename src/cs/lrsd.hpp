@@ -12,6 +12,11 @@
 // missing piece, supplied so the baseline can compete on Problem 1 at all.
 // Unlike I(TS,CS) there is no time-series detector, no velocity term, and
 // no CHECK hysteresis.
+//
+// The alternating loop itself now lives in the LrsdBackend of
+// cs/solver_backend.hpp (where it also serves as a first-class CORRECT
+// backend inside I(TS,CS)); this header keeps the standalone baseline API
+// used by eval/methods and the comparison experiments.
 #pragma once
 
 #include "cs/reconstruct.hpp"
@@ -31,7 +36,11 @@ struct LrsdConfig {
     double initial_threshold_m = 6000.0;
     double threshold_decay = 0.5;
     std::size_t max_iterations = 8;
-    CsConfig completion;  ///< inner completion; mode forced to kNone
+    /// Inner completion. Must keep TemporalMode::kNone (the default set
+    /// here): the LS-decomposition model has no temporal term, and
+    /// lrsd_decompose() rejects a user-set mode rather than silently
+    /// overwriting it.
+    CsConfig completion;
 
     LrsdConfig() { completion.mode = TemporalMode::kNone; }
 };
@@ -45,8 +54,12 @@ struct LrsdResult {
 };
 
 /// Run the alternating decomposition on one axis. `s` is the sensory
-/// matrix (0 where missing), `existence` the 0/1 observation mask.
+/// matrix (0 where missing), `existence` the 0/1 observation mask. Throws
+/// mcs::Error on shape mismatches, invalid thresholds, or a non-kNone
+/// completion mode. A non-null `ctx` receives the "cs_reconstruct" phase
+/// time, a solves_lrsd tick, and per-round lrsd_rounds counts.
 LrsdResult lrsd_decompose(const Matrix& s, const Matrix& existence,
-                          double tau_s, const LrsdConfig& config = {});
+                          double tau_s, const LrsdConfig& config = {},
+                          PipelineContext* ctx = nullptr);
 
 }  // namespace mcs

@@ -1,0 +1,382 @@
+#include "cs/solver_backend.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "cs/init.hpp"
+#include "linalg/kernel_tier.hpp"
+#include "linalg/ops.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Per-row mean over trusted cells; 0 for rows with nothing trusted.
+std::vector<double> trusted_row_means(const Matrix& s, const Matrix& gbim) {
+    std::vector<double> means(s.rows(), 0.0);
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t j = 0; j < s.cols(); ++j) {
+            if (gbim(i, j) != 0.0) {
+                sum += s(i, j);
+                ++count;
+            }
+        }
+        if (count > 0) {
+            means[i] = sum / static_cast<double>(count);
+        }
+    }
+    return means;
+}
+
+}  // namespace
+
+CompletionSolve solve_centered_completion(const Matrix& s,
+                                          const Matrix& trusted,
+                                          const Matrix& avg_velocity,
+                                          double tau_s,
+                                          const CsConfig& config,
+                                          const FactorPair* warm,
+                                          PipelineContext* ctx) {
+    // Optional row centering (see CsConfig::center_rows). The temporal
+    // term is invariant to a per-row constant, so only S changes.
+    std::vector<double> means;
+    Matrix centered = s;
+    if (config.center_rows) {
+        means = trusted_row_means(s, trusted);
+        for (std::size_t i = 0; i < s.rows(); ++i) {
+            for (std::size_t j = 0; j < s.cols(); ++j) {
+                if (trusted(i, j) != 0.0) {
+                    centered(i, j) = s(i, j) - means[i];
+                }
+            }
+        }
+    }
+
+    const CsObjective objective(centered, trusted, avg_velocity, tau_s,
+                                config.lambda1, config.lambda2, config.mode);
+    // Start point: caller-provided factors (framework iterations ≥ 2, or
+    // the previous LRSD round), or the nearest-filled SVD of Algorithm 2
+    // lines 1–8. The fill uses the masked values so detected-faulty cells
+    // cannot seed the factors with km-scale outliers.
+    FactorPair start;
+    const bool warm_usable = warm != nullptr &&
+                             warm->l.rows() == s.rows() &&
+                             warm->r.rows() == s.cols() &&
+                             warm->l.cols() == config.rank &&
+                             warm->r.cols() == config.rank;
+    if (warm_usable) {
+        start = *warm;
+    } else {
+        start = warm_start(objective.masked_sensory(), trusted, config.rank,
+                           ctx);
+    }
+    AsdResult solved = asd_minimize(objective, std::move(start.l),
+                                    std::move(start.r), config.asd, ctx);
+
+    CompletionSolve out;
+    out.estimate = multiply_transposed(solved.l, solved.r);
+    if (config.center_rows) {
+        for (std::size_t i = 0; i < s.rows(); ++i) {
+            for (std::size_t j = 0; j < s.cols(); ++j) {
+                out.estimate(i, j) += means[i];
+            }
+        }
+    }
+    out.factors = {std::move(solved.l), std::move(solved.r)};
+    out.asd_iterations = solved.iterations;
+    out.objective = solved.objective_history.back();
+    out.converged = solved.converged;
+    return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AsdBackend — Algorithm 2, bit-identical to the pre-seam cs_reconstruct().
+// One outer round: the whole warm-start + ASD minimisation (its inner
+// iteration budget is AsdOptions::max_iterations).
+
+struct AsdState final : SolverState {
+    SolverProblem problem;   // borrowed matrices; see SolverProblem docs
+    CsConfig config;         // rank-resolved copy
+    const FactorPair* warm = nullptr;
+    CompletionSolve solved;
+    bool done = false;
+};
+
+class AsdBackend final : public SolverBackend {
+public:
+    SolverKind kind() const override { return SolverKind::kAsd; }
+    const char* name() const override { return to_string(SolverKind::kAsd); }
+    bool supports_sparse_faults() const override { return false; }
+
+    std::unique_ptr<SolverState> init(const SolverProblem& problem,
+                                      const FactorPair* warm,
+                                      PipelineContext*) const override {
+        MCS_CHECK_MSG(problem.avg_velocity != nullptr,
+                      "cs_reconstruct: velocity matrix required");
+        const Matrix& s = *problem.s;
+        auto state = std::make_unique<AsdState>();
+        state->problem = problem;
+        state->config = problem.config;
+        if (state->config.rank == 0) {
+            state->config.rank =
+                recommended_rank(s.rows(), s.cols(), state->config.mode);
+        }
+        MCS_CHECK_MSG(state->config.rank >= 1 &&
+                          state->config.rank <=
+                              std::min(s.rows(), s.cols()),
+                      "cs_reconstruct: rank out of range");
+        MCS_CHECK_MSG(s.rows() == problem.trusted->rows() &&
+                          s.cols() == problem.trusted->cols(),
+                      "cs_reconstruct: S/ℬ shape mismatch");
+        state->warm = warm;
+        return state;
+    }
+
+    bool iterate(SolverState& base, PipelineContext* ctx) const override {
+        auto& state = static_cast<AsdState&>(base);
+        if (state.done) {
+            return false;
+        }
+        state.solved = solve_centered_completion(
+            *state.problem.s, *state.problem.trusted,
+            *state.problem.avg_velocity, state.problem.tau_s, state.config,
+            state.warm, ctx);
+        state.done = true;
+        return false;
+    }
+
+    bool converged(const SolverState& base) const override {
+        const auto& state = static_cast<const AsdState&>(base);
+        return state.done && state.solved.converged;
+    }
+
+    CsReconstruction extract(SolverState& base,
+                             PipelineContext*) const override {
+        auto& state = static_cast<AsdState&>(base);
+        MCS_CHECK_MSG(state.done, "asd backend: extract before iterate");
+        CsReconstruction out;
+        out.estimate = std::move(state.solved.estimate);
+        out.factors = std::move(state.solved.factors);
+        out.asd_iterations = state.solved.asd_iterations;
+        out.final_objective = state.solved.objective;
+        out.converged = state.solved.converged;
+        out.solver = SolverKind::kAsd;
+        out.solver_rounds = 1;
+        return out;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// LrsdBackend — LS-decomposition ([18] / arXiv:1509.03723). Each outer
+// round: plain low-rank completion over trusted ∧ ¬outliers, then residual
+// re-classification over ℰ under an annealing threshold. The previous
+// round's factors warm-start the next completion (the support changes
+// little between rounds), so only round 1 pays the nearest-fill SVD.
+
+struct LrsdState final : SolverState {
+    SolverProblem problem;
+    CsConfig completion;   // mode kNone, rank resolved against kNone caps
+    LrsdOptions options;
+    Matrix no_velocity;    // the kNone objective still wants a matrix
+    Matrix outliers;       // current 0/1 sparse-error support
+    FactorPair factors;    // carried across rounds as the warm start
+    bool have_factors = false;
+    CompletionSolve last;
+    double threshold = 0.0;
+    std::size_t rounds = 0;
+    std::size_t asd_total = 0;
+    bool fixed_point = false;
+};
+
+class LrsdBackend final : public SolverBackend {
+public:
+    SolverKind kind() const override { return SolverKind::kLrsd; }
+    const char* name() const override {
+        return to_string(SolverKind::kLrsd);
+    }
+    bool supports_sparse_faults() const override { return true; }
+
+    std::unique_ptr<SolverState> init(const SolverProblem& problem,
+                                      const FactorPair*,
+                                      PipelineContext*) const override {
+        const Matrix& s = *problem.s;
+        const Matrix& trusted = *problem.trusted;
+        MCS_CHECK_MSG(s.rows() == trusted.rows() &&
+                          s.cols() == trusted.cols(),
+                      "lrsd backend: S/ℬ shape mismatch");
+        require_binary(trusted, "lrsd backend: trusted mask");
+        if (problem.existence != nullptr) {
+            MCS_CHECK_MSG(s.rows() == problem.existence->rows() &&
+                              s.cols() == problem.existence->cols(),
+                          "lrsd backend: S/ℰ shape mismatch");
+            require_binary(*problem.existence, "lrsd backend: existence");
+        }
+        const LrsdOptions& opt = problem.config.lrsd;
+        MCS_CHECK_MSG(opt.residual_threshold_m > 0.0,
+                      "lrsd backend: threshold must be positive");
+        MCS_CHECK_MSG(opt.initial_threshold_m >= opt.residual_threshold_m,
+                      "lrsd backend: initial threshold below the final one");
+        MCS_CHECK_MSG(opt.threshold_decay > 0.0 &&
+                          opt.threshold_decay <= 1.0,
+                      "lrsd backend: decay must be in (0, 1]");
+        MCS_CHECK_MSG(opt.max_rounds >= 1,
+                      "lrsd backend: need at least one round");
+
+        auto state = std::make_unique<LrsdState>();
+        state->problem = problem;
+        state->options = opt;
+        // Plain low-rank completion per [18]: no temporal term, and the
+        // tighter kNone rank cap (see recommended_rank).
+        state->completion = problem.config;
+        state->completion.mode = TemporalMode::kNone;
+        state->completion.solver = SolverKind::kAsd;
+        if (state->completion.rank == 0) {
+            state->completion.rank =
+                recommended_rank(s.rows(), s.cols(), TemporalMode::kNone);
+        }
+        MCS_CHECK_MSG(state->completion.rank >= 1 &&
+                          state->completion.rank <=
+                              std::min(s.rows(), s.cols()),
+                      "lrsd backend: rank out of range");
+        state->no_velocity = Matrix(s.rows(), s.cols());
+        state->outliers = Matrix(s.rows(), s.cols());
+        state->threshold = opt.initial_threshold_m;
+        // The framework's warm factors are ignored: they live in the
+        // velocity-regularised rank, not this backend's kNone rank, and
+        // round 1 must not inherit a fit that trusted cells now distrusted.
+        return state;
+    }
+
+    bool iterate(SolverState& base, PipelineContext* ctx) const override {
+        auto& state = static_cast<LrsdState&>(base);
+        if (state.fixed_point ||
+            state.rounds >= state.options.max_rounds) {
+            return false;
+        }
+        const Matrix& s = *state.problem.s;
+        const Matrix& fit_mask = *state.problem.trusted;
+        const Matrix& observed = state.problem.existence != nullptr
+                                     ? *state.problem.existence
+                                     : *state.problem.trusted;
+        const std::size_t n = s.rows();
+        const std::size_t t = s.cols();
+
+        // Fit support: trusted by the caller and not currently classified
+        // as a sparse error.
+        Matrix trusted(n, t);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < t; ++j) {
+                trusted(i, j) = (fit_mask(i, j) == 1.0 &&
+                                 state.outliers(i, j) == 0.0)
+                                    ? 1.0
+                                    : 0.0;
+            }
+        }
+        state.last = solve_centered_completion(
+            s, trusted, state.no_velocity, state.problem.tau_s,
+            state.completion,
+            state.have_factors ? &state.factors : nullptr, ctx);
+        state.factors = state.last.factors;
+        state.have_factors = true;
+        state.asd_total += state.last.asd_iterations;
+
+        // Re-classify the sparse support from the residuals, over every
+        // observed cell — including ones the caller distrusted, so a cell
+        // the completion now explains can leave the support.
+        Matrix next_outliers(n, t);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < t; ++j) {
+                if (observed(i, j) == 1.0 &&
+                    std::abs(s(i, j) - state.last.estimate(i, j)) >
+                        state.threshold) {
+                    next_outliers(i, j) = 1.0;
+                }
+            }
+        }
+        state.rounds += 1;
+        if (ctx != nullptr) {
+            ctx->counters().lrsd_rounds += 1;
+        }
+        const bool annealed =
+            state.threshold <= state.options.residual_threshold_m;
+        const bool stable =
+            count_differences(state.outliers, next_outliers) == 0;
+        state.outliers = std::move(next_outliers);
+        if (annealed && stable && state.rounds > 1) {
+            state.fixed_point = true;
+            return false;
+        }
+        state.threshold = std::max(state.options.residual_threshold_m,
+                                   state.threshold *
+                                       state.options.threshold_decay);
+        return state.rounds < state.options.max_rounds;
+    }
+
+    bool converged(const SolverState& base) const override {
+        return static_cast<const LrsdState&>(base).fixed_point;
+    }
+
+    CsReconstruction extract(SolverState& base,
+                             PipelineContext* ctx) const override {
+        auto& state = static_cast<LrsdState&>(base);
+        MCS_CHECK_MSG(state.rounds >= 1,
+                      "lrsd backend: extract before iterate");
+        CsReconstruction out;
+        out.estimate = std::move(state.last.estimate);
+        out.factors = std::move(state.factors);
+        out.asd_iterations = state.asd_total;
+        out.final_objective = state.last.objective;
+        out.converged = state.fixed_point;
+        out.solver = SolverKind::kLrsd;
+        out.solver_rounds = state.rounds;
+        out.sparse_faults = std::move(state.outliers);
+        if (ctx != nullptr) {
+            std::uint64_t cells = 0;
+            for (const double v : out.sparse_faults.data()) {
+                cells += v != 0.0 ? 1 : 0;
+            }
+            ctx->counters().sparse_fault_cells += cells;
+        }
+        return out;
+    }
+};
+
+}  // namespace
+
+const SolverBackend& solver_backend(SolverKind kind) {
+    static const AsdBackend asd;
+    static const LrsdBackend lrsd;
+    return kind == SolverKind::kLrsd
+               ? static_cast<const SolverBackend&>(lrsd)
+               : static_cast<const SolverBackend&>(asd);
+}
+
+CsReconstruction solve_axis(const SolverProblem& problem,
+                            const FactorPair* warm, PipelineContext* ctx) {
+    MCS_CHECK_MSG(problem.s != nullptr && problem.trusted != nullptr,
+                  "solve_axis: sensory matrix and trust mask required");
+    PipelineContext::PhaseScope phase(ctx, "cs_reconstruct");
+    const SolverBackend& backend = solver_backend(problem.config.solver);
+    if (ctx != nullptr) {
+        ctx->counters().cs_solves += 1;
+        if (backend.kind() == SolverKind::kLrsd) {
+            ctx->counters().solves_lrsd += 1;
+        } else {
+            ctx->counters().solves_asd += 1;
+        }
+        ctx->set_kernel_tier(active_kernel_tier());
+        ctx->set_solver_backend(backend.kind());
+    }
+    std::unique_ptr<SolverState> state = backend.init(problem, warm, ctx);
+    while (backend.iterate(*state, ctx)) {
+    }
+    return backend.extract(*state, ctx);
+}
+
+}  // namespace mcs

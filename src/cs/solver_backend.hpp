@@ -1,0 +1,142 @@
+// SolverBackend — the pluggable recovery-solver seam (DESIGN.md §14).
+//
+// The CORRECT step of I(TS,CS) is "complete this axis's matrix from its
+// trusted cells"; the paper does it with ASD on the Eq. (23) objective, but
+// nothing upstream depends on that choice. This seam makes the solver a
+// runtime value: every backend consumes the same SolverProblem (sensory
+// matrix, trust mask ℬ, observation mask ℰ, velocity matrix, CsConfig) and
+// produces the same backend-agnostic CsReconstruction, so the framework
+// loop, FleetRunner, the degradation ladder, checkpoints and the CLI treat
+// backends interchangeably.
+//
+// Two backends ship:
+//
+//   * AsdBackend (SolverKind::kAsd, the default) — Algorithm 2 verbatim:
+//     row centering, nearest-fill SVD warm start, ASD minimisation of
+//     Eq. (23). Bit-identical to the pre-seam cs_reconstruct().
+//   * LrsdBackend (SolverKind::kLrsd) — the LS-decomposition model of the
+//     paper's [18] / arXiv:1509.03723 promoted from baseline to first-class
+//     backend: alternate plain low-rank completion over currently-trusted
+//     cells with residual re-classification under an annealing threshold.
+//     The sparse component's 0/1 support is returned in
+//     CsReconstruction::sparse_faults, which Check() consumes directly —
+//     for this backend CORRECT and DETECT are one computation.
+//
+// The driver contract is init → iterate* → extract: init() validates the
+// problem and builds backend state, each iterate() runs one outer round and
+// returns whether another round could make progress (ASD has exactly one
+// round — its inner iteration budget is AsdOptions — while LRSD runs up to
+// LrsdOptions::max_rounds complete+reclassify passes), converged() reports
+// whether the backend reached its own fixed point, and extract() renders
+// the state into a CsReconstruction. solve_axis() packages the contract
+// plus the instrumentation preamble every solve shares (the
+// "cs_reconstruct" phase, cs_solves / per-backend ticks, kernel-tier and
+// solver stamps); cs_reconstruct() in reconstruct.hpp is now a thin
+// wrapper over it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/context.hpp"
+#include "cs/reconstruct.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace mcs {
+
+/// One axis-completion problem, backend-agnostic. All matrices are
+/// borrowed: they must outlive the SolverState built from the problem.
+struct SolverProblem {
+    const Matrix* s = nullptr;        ///< sensory matrix for this axis
+    /// 0/1 trust mask ℬ (Definition 7): the cells a backend may fit to.
+    const Matrix* trusted = nullptr;
+    /// 0/1 observation mask ℰ, the cells a sparse-fault support is defined
+    /// over. Null ⇒ `trusted` doubles as ℰ (standalone completion, where
+    /// nothing has been distrusted yet).
+    const Matrix* existence = nullptr;
+    /// Eq. (11) average-velocity matrix; required by kAsd under
+    /// TemporalMode::kVelocity, ignored by kLrsd (the LS-decomposition
+    /// model has no temporal term).
+    const Matrix* avg_velocity = nullptr;
+    double tau_s = 30.0;
+    CsConfig config;
+};
+
+/// Opaque per-solve state owned by the driver, produced by init() and
+/// threaded through iterate()/converged()/extract().
+struct SolverState {
+    virtual ~SolverState() = default;
+};
+
+/// A recovery-solver implementation. Backends are stateless singletons
+/// (all per-solve state lives in the SolverState), so the registry can
+/// hand out shared const references across threads.
+class SolverBackend {
+public:
+    virtual ~SolverBackend() = default;
+
+    virtual SolverKind kind() const = 0;
+    /// to_string(kind()), for messages and reports.
+    virtual const char* name() const = 0;
+    /// Whether extract() populates CsReconstruction::sparse_faults — i.e.
+    /// whether this backend produces its own fault estimate for Check().
+    virtual bool supports_sparse_faults() const = 0;
+
+    /// Validate the problem, resolve the rank, and build the initial
+    /// factor/estimate state. `warm` (nullable) carries the previous
+    /// framework iteration's factors; a backend uses it when the shapes
+    /// match its resolved rank. Throws mcs::Error on an invalid problem.
+    virtual std::unique_ptr<SolverState> init(const SolverProblem& problem,
+                                              const FactorPair* warm,
+                                              PipelineContext* ctx) const = 0;
+    /// Run one outer round. Returns true iff another round could still
+    /// make progress (budget left and no fixed point yet).
+    virtual bool iterate(SolverState& state,
+                         PipelineContext* ctx) const = 0;
+    /// Whether the backend reached its own convergence criterion (not
+    /// merely exhausted its round budget).
+    virtual bool converged(const SolverState& state) const = 0;
+    /// Render the state into the backend-agnostic result. Call once,
+    /// after iterate() has returned false.
+    virtual CsReconstruction extract(SolverState& state,
+                                     PipelineContext* ctx) const = 0;
+};
+
+/// The registry: a shared stateless instance per SolverKind.
+const SolverBackend& solver_backend(SolverKind kind);
+
+/// Dispatch one axis solve to the backend named by problem.config.solver,
+/// running the full init → iterate* → extract contract. Owns the
+/// instrumentation every backend shares: the "cs_reconstruct" phase, the
+/// cs_solves tick and its per-backend split (solves_asd / solves_lrsd),
+/// and the kernel-tier / solver-backend stamps on the context.
+CsReconstruction solve_axis(const SolverProblem& problem,
+                            const FactorPair* warm = nullptr,
+                            PipelineContext* ctx = nullptr);
+
+/// One centered low-rank completion — the row-centering + SVD-warm-start +
+/// ASD block previously duplicated between reconstruct.cpp and lrsd.cpp,
+/// hoisted behind the seam. Both backends call it: AsdBackend for its
+/// single round (with the caller's Eq. (23) configuration), LrsdBackend
+/// for every inner completion (TemporalMode::kNone, zero velocity).
+struct CompletionSolve {
+    Matrix estimate;     ///< Ŝ = L·Rᵀ, row means restored if centered
+    FactorPair factors;  ///< factors of the (centered) estimate
+    std::size_t asd_iterations = 0;
+    double objective = 0.0;  ///< final Eq. (23) value (centered frame)
+    bool converged = false;
+};
+
+/// `config.rank` must already be resolved (non-zero, within min(n, t)).
+/// If `warm` is non-null and matches the expected factor shapes it is used
+/// as the ASD start instead of the nearest-fill SVD of Algorithm 2.
+CompletionSolve solve_centered_completion(const Matrix& s,
+                                          const Matrix& trusted,
+                                          const Matrix& avg_velocity,
+                                          double tau_s,
+                                          const CsConfig& config,
+                                          const FactorPair* warm,
+                                          PipelineContext* ctx);
+
+}  // namespace mcs

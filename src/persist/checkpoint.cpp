@@ -56,6 +56,10 @@ void put_counters(ByteWriter& w, const PipelineCounters& c) {
     w.put_u64(c.svd_sweeps);
     w.put_u64(c.asd_iterations);
     w.put_u64(c.cs_solves);
+    w.put_u64(c.solves_asd);
+    w.put_u64(c.solves_lrsd);
+    w.put_u64(c.lrsd_rounds);
+    w.put_u64(c.sparse_fault_cells);
     w.put_u64(c.itscs_iterations);
     w.put_u64(c.detect_passes);
     w.put_u64(c.check_passes);
@@ -79,6 +83,10 @@ PipelineCounters get_counters(ByteReader& r) {
     c.svd_sweeps = r.get_u64();
     c.asd_iterations = r.get_u64();
     c.cs_solves = r.get_u64();
+    c.solves_asd = r.get_u64();
+    c.solves_lrsd = r.get_u64();
+    c.lrsd_rounds = r.get_u64();
+    c.sparse_fault_cells = r.get_u64();
     c.itscs_iterations = r.get_u64();
     c.detect_passes = r.get_u64();
     c.check_passes = r.get_u64();
@@ -229,6 +237,7 @@ Json CheckpointManifest::to_json() const {
     out["config_fingerprint"] = hex64(config_fingerprint);
     out["runtime_fingerprint"] = hex64(runtime_fingerprint);
     out["kernel_tier"] = std::string(to_string(kernel_tier));
+    out["solver_backend"] = std::string(to_string(solver));
     Json plan = Json::array();
     for (const auto& [begin, end] : shards) {
         Json row = Json::object();
@@ -262,6 +271,18 @@ std::string CheckpointManifest::mismatch(const Json& stored) const {
                     ? stored.at("kernel_tier").as_string()
                     : "<missing>") +
                ", this run " + expected.at("kernel_tier").as_string() + ")";
+    }
+    // Same reasoning for the solver backend: name both backends instead of
+    // surfacing a bare config_fingerprint mismatch.
+    if (!stored.contains("solver_backend") ||
+        stored.at("solver_backend").as_string() !=
+            expected.at("solver_backend").as_string()) {
+        return "solver backend differs (stored " +
+               (stored.contains("solver_backend")
+                    ? stored.at("solver_backend").as_string()
+                    : "<missing>") +
+               ", this run " + expected.at("solver_backend").as_string() +
+               ")";
     }
     for (const char* key :
          {"input_fingerprint", "config_fingerprint", "runtime_fingerprint"}) {

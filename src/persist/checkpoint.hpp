@@ -48,7 +48,9 @@ class Json;
 /// refuses to resume rather than guessing at old layouts.
 /// v2: per-kernel FLOP counters in PipelineCounters; kernel_tier in the
 /// manifest.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// v3: per-backend solver counters in PipelineCounters; solver_backend in
+/// the manifest.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// One journal record: everything FleetRunner needs to stitch a completed
 /// shard into the fleet result without re-running it.
@@ -96,6 +98,13 @@ struct CheckpointManifest {
     /// runtime_fingerprint; stored explicitly so a tier mix-up refuses
     /// with a message naming the tier rather than a bare hash mismatch.
     KernelTier kernel_tier = KernelTier::kExact;
+    /// The recovery-solver backend the run executed under. Folded into
+    /// config_fingerprint (via CsConfig::solver) but stored explicitly,
+    /// like kernel_tier, so a resume across backends refuses with a
+    /// message naming both backends — resuming an ASD journal under LRSD
+    /// (or vice versa) would stitch shards solved by different algorithms
+    /// into one result.
+    SolverKind solver = SolverKind::kAsd;
     /// The shard plan as (begin, end) row ranges, in shard order.
     std::vector<std::pair<std::size_t, std::size_t>> shards;
 

@@ -179,8 +179,18 @@ ShardPlan FleetRunner::plan_for(std::size_t participants) const {
 }
 
 FleetResult FleetRunner::run(const ItscsInput& input,
-                             const ItscsConfig& config,
+                             const ItscsConfig& base_config,
                              PipelineContext* ctx) {
+    // Resolve the effective solver backend: the RuntimeConfig knob applies
+    // when the core config keeps the default, so the backend can be chosen
+    // on either side (CLI --solver sets the runtime knob; programmatic
+    // callers may set cs.solver directly). Everything below — shards,
+    // ladder, manifest fingerprints — sees the effective config only.
+    ItscsConfig config = base_config;
+    if (config_.solver != SolverKind::kAsd &&
+        config.cs.solver == SolverKind::kAsd) {
+        config.cs.solver = config_.solver;
+    }
     // Guarded runs defer the finite-value scan to each shard's ladder so a
     // poisoned cell faults one shard, not the fleet; unguarded runs keep
     // the strict throw-at-the-boundary contract.
@@ -205,9 +215,11 @@ FleetResult FleetRunner::run(const ItscsInput& input,
     contexts.reserve(count);
     for (std::size_t s = 0; s < count; ++s) {
         contexts.emplace_back(seeds[s]);
-        // Stamp the configured tier up front so even shards that never run
-        // (restored from a checkpoint) report the tier the run used.
+        // Stamp the configured tier and backend up front so even shards
+        // that never run (restored from a checkpoint) report what the run
+        // used.
         contexts.back().set_kernel_tier(config_.kernel_tier);
+        contexts.back().set_solver_backend(config.cs.solver);
     }
 
     FleetResult out;
@@ -232,6 +244,7 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         manifest.config_fingerprint = config_fingerprint(config);
         manifest.runtime_fingerprint = runtime_fingerprint(config_);
         manifest.kernel_tier = config_.kernel_tier;
+        manifest.solver = config.cs.solver;
         for (const Shard& shard : plan.shards()) {
             manifest.shards.emplace_back(shard.begin, shard.end);
         }

@@ -80,6 +80,17 @@ struct RuntimeConfig {
     /// the checkpoint handshake: a --resume never mixes tiers.
     KernelTier kernel_tier = KernelTier::kExact;
 
+    /// Recovery-solver backend for every shard (CLI: --solver). Applied to
+    /// the ItscsConfig when the latter keeps the default backend, so the
+    /// knob can be set on either side. Part of the numerics and therefore
+    /// covered by the checkpoint handshake (an explicit manifest field,
+    /// like kernel_tier): a --resume never mixes backends. The health
+    /// guards, degradation ladder and chaos seams apply to any backend —
+    /// a failed LRSD shard walks the same conservative → interpolation →
+    /// detect-only rungs (the conservative rung's rank/λ₁/iteration
+    /// overrides bind to whichever backend is active).
+    SolverKind solver = SolverKind::kAsd;
+
     /// Runtime override of the kernel row-block threshold (CLI:
     /// --row-block-threshold); 0 keeps kKernelRowBlockThreshold. Pure
     /// scheduling — never affects results — so it is excluded from the

@@ -324,6 +324,63 @@ TEST(RuntimeCheckpointTest, MismatchedKernelTierRefusesToResume) {
     }
 }
 
+TEST(RuntimeCheckpointTest, MismatchedSolverBackendRefusesToResume) {
+    const ItscsInput input = fleet_input();
+    CheckpointDir dir;
+    {
+        FleetRunner first(runtime_config(2, dir.path()));  // ASD default
+        first.run(input, ItscsConfig{});
+    }
+    // Shards solved by different backends must never be stitched into one
+    // result; the refusal names both backends, not just a hash.
+    RuntimeConfig changed = runtime_config(2, dir.path(), /*resume=*/true);
+    changed.solver = SolverKind::kLrsd;
+    FleetRunner second(changed);
+    try {
+        second.run(input, ItscsConfig{});
+        FAIL() << "expected the solver mismatch to throw";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("solver backend"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(RuntimeCheckpointTest, LrsdResumeIsBitIdentical) {
+    // The checkpoint layer is backend-agnostic: an interrupted LRSD run
+    // resumes to the same bits as an uninterrupted one.
+    const ItscsInput input = fleet_input();
+
+    RuntimeConfig plain_config = runtime_config(2);
+    plain_config.solver = SolverKind::kLrsd;
+    FleetRunner plain(plain_config);
+    const FleetResult reference = plain.run(input, ItscsConfig{});
+
+    CheckpointDir dir;
+    RuntimeConfig ck_config = runtime_config(2, dir.path());
+    ck_config.solver = SolverKind::kLrsd;
+    {
+        FleetRunner first(ck_config);
+        first.run(input, ItscsConfig{});
+    }
+    drop_frames_after(dir.journal(), 3);
+
+    ck_config.resume = true;
+    FleetRunner resumed_runner(ck_config);
+    PipelineContext ctx;
+    const FleetResult resumed =
+        resumed_runner.run(input, ItscsConfig{}, &ctx);
+    EXPECT_EQ(resumed.checkpoint.shards_loaded, 3u);
+    EXPECT_EQ(resumed.checkpoint.shards_run, resumed.shards.size() - 3u);
+    EXPECT_EQ(ctx.solver_backend(), SolverKind::kLrsd);
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.detection,
+                              reference.aggregate.detection));
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.reconstructed_x,
+                              reference.aggregate.reconstructed_x));
+    EXPECT_TRUE(bitwise_equal(resumed.aggregate.reconstructed_y,
+                              reference.aggregate.reconstructed_y));
+}
+
 TEST(RuntimeCheckpointTest, FastTierResumeIsBitIdentical) {
     const ItscsInput input = fleet_input();
 

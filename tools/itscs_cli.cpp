@@ -15,7 +15,8 @@
 //       cells for later scoring.
 //
 //   itscs clean    --in corrupted.csv --participants N --slots T
-//                  [--variant full|no-v|no-vt] [--estimate-velocity]
+//                  [--variant full|no-v|no-vt] [--solver asd|lrsd]
+//                  [--estimate-velocity]
 //                  [--threads N] [--shard-size K] [--shard-count C]
 //                  [--kernel-threads M] [--tier exact|fast]
 //                  [--row-block-threshold K]
@@ -54,13 +55,24 @@
 //       was corrupt.
 //
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
-//                  [--stats-json]
+//                  [--stats-json] [--solver asd|lrsd]
 //       End-to-end in-memory pipeline with ground-truth scoring.
 //       --stats-json prints (or, with --json, merges as a "stats" member)
 //       the instrumentation counters of the run.
 //
+//   itscs help     (also --help / -h)
+//       Enumerate every subcommand's --key=value flags. Unknown keys on
+//       any subcommand error out naming the nearest valid flag.
+//
+//       --solver picks the CORRECT-step recovery backend (DESIGN.md §14):
+//       asd (the paper's Eq. 23 objective, the default) or lrsd (the
+//       LS-decomposition of [18], whose sparse component feeds Check()
+//       directly). Recorded in checkpoint manifests like the kernel tier,
+//       so a --resume never mixes backends.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
 // 3 when --strict finds degraded shards or corrupt checkpoint frames.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -109,6 +121,108 @@ mcs::Json kernel_info(mcs::KernelTier tier) {
     return out;
 }
 
+// ---- flag registry --------------------------------------------------------
+//
+// One row per --key the CLI understands, per subcommand. Single source of
+// truth for three consumers: `itscs help` (enumerates every flag with its
+// description), Args::validate (unknown keys error out with the nearest
+// valid name), and the usage sketch.
+
+struct FlagSpec {
+    const char* name;   // without the leading --
+    const char* value;  // value placeholder, "" for boolean flags
+    const char* help;
+};
+
+const std::vector<FlagSpec>& known_flags(const std::string& command) {
+    static const std::vector<FlagSpec> simulate = {
+        {"participants", "N", "fleet size (rows)"},
+        {"slots", "T", "time slots (columns)"},
+        {"seed", "S", "simulator seed (default 42)"},
+        {"extent-km", "E", "square road-network extent in km"},
+        {"out", "FILE", "ground-truth trace CSV to write"},
+    };
+    static const std::vector<FlagSpec> corrupt = {
+        {"in", "FILE", "ground-truth trace CSV"},
+        {"participants", "N", "fleet size (rows)"},
+        {"slots", "T", "time slots (columns)"},
+        {"alpha", "A", "missing ratio (default 0.2)"},
+        {"beta", "B", "fault ratio (default 0.2)"},
+        {"gamma", "G", "velocity-fault ratio (default 0)"},
+        {"seed", "S", "corruption seed (default 1)"},
+        {"drift", "", "contiguous drift bursts instead of i.i.d. bias"},
+        {"out", "FILE", "corrupted trace CSV to write"},
+        {"truth-faults", "FILE", "CSV of injected fault cells"},
+    };
+    static const std::vector<FlagSpec> clean = {
+        {"in", "FILE", "corrupted trace CSV"},
+        {"participants", "N", "fleet size (rows)"},
+        {"slots", "T", "time slots (columns)"},
+        {"variant", "V", "full | no-v | no-vt (default full)"},
+        {"estimate-velocity", "", "derive velocities from positions"},
+        {"solver", "B", "recovery backend: asd | lrsd (default asd)"},
+        {"threads", "N", "shard worker threads (FleetRunner)"},
+        {"shard-size", "K", "participants per shard"},
+        {"shard-count", "C", "shard count (when no --shard-size)"},
+        {"kernel-threads", "M", "row-blocked kernel parallelism"},
+        {"tier", "T", "kernel tier: exact | fast (default exact)"},
+        {"row-block-threshold", "K", "min rows for row-blocked dispatch"},
+        {"chaos", "SPEC", "fault injection per DESIGN.md §11 grammar"},
+        {"failure-report", "FILE", "per-shard degradation outcomes JSON"},
+        {"shard-deadline", "S", "per-shard wall-clock budget in seconds"},
+        {"checkpoint-dir", "DIR", "durable shard journal directory"},
+        {"resume", "", "restore intact journaled shards"},
+        {"strict", "", "exit 3 on degraded shards / corrupt frames"},
+        {"out", "FILE", "cleaned trace CSV to write"},
+        {"flags", "FILE", "CSV of flagged (participant, slot) cells"},
+        {"report", "FILE", "JSON run report"},
+        {"stats-json", "", "print instrumentation counters as JSON"},
+    };
+    static const std::vector<FlagSpec> demo = {
+        {"alpha", "A", "missing ratio (default 0.2)"},
+        {"beta", "B", "fault ratio (default 0.2)"},
+        {"seed", "S", "dataset seed (default 1)"},
+        {"solver", "B", "recovery backend: asd | lrsd (default asd)"},
+        {"tier", "T", "kernel tier: exact | fast (default exact)"},
+        {"json", "", "JSON report instead of prose"},
+        {"stats-json", "", "include instrumentation counters"},
+    };
+    static const std::vector<FlagSpec> none;
+    if (command == "simulate") {
+        return simulate;
+    }
+    if (command == "corrupt") {
+        return corrupt;
+    }
+    if (command == "clean") {
+        return clean;
+    }
+    if (command == "demo") {
+        return demo;
+    }
+    return none;
+}
+
+// Plain Levenshtein distance, for "did you mean --shard-size?" hints.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        row[j] = j;
+    }
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t next = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
 // ---- tiny flag parser ---------------------------------------------------
 
 class Args {
@@ -131,6 +245,40 @@ public:
             } else {
                 values_[token] = "";  // boolean flag
             }
+        }
+    }
+
+    /// Reject any parsed key the spec table does not list, suggesting the
+    /// nearest valid name when one is plausibly close.
+    void validate(const std::vector<FlagSpec>& known) const {
+        for (const auto& [key, value] : values_) {
+            bool found = false;
+            for (const FlagSpec& spec : known) {
+                if (key == spec.name) {
+                    found = true;
+                    break;
+                }
+            }
+            if (found) {
+                continue;
+            }
+            std::string nearest;
+            std::size_t best = key.size() + 1;
+            for (const FlagSpec& spec : known) {
+                const std::size_t d = edit_distance(key, spec.name);
+                if (d < best) {
+                    best = d;
+                    nearest = spec.name;
+                }
+            }
+            std::string message = "unknown flag --" + key;
+            // A hint further than ~half the flag away is noise, not help.
+            if (!nearest.empty() && best <= (nearest.size() + 1) / 2) {
+                message += " (did you mean --" + nearest + "?)";
+            } else {
+                message += " (see `itscs help`)";
+            }
+            throw mcs::Error(message);
         }
     }
 
@@ -268,8 +416,11 @@ int cmd_clean(const Args& args) {
         input.vy = mcs::estimate_velocity(imported.dataset.y,
                                           imported.existence, 30.0, 25.0);
     }
-    const mcs::ItscsConfig config =
+    mcs::ItscsConfig config =
         mcs::make_config(parse_variant(args.get_or("variant", "full")));
+    const mcs::SolverKind solver =
+        mcs::parse_solver_kind(args.get_or("solver", "asd"));
+    config.cs.solver = solver;
     mcs::PipelineContext ctx;
     const bool want_stats = args.has("stats-json");
 
@@ -323,6 +474,7 @@ int cmd_clean(const Args& args) {
                             : (shard_size == 0 ? threads : 0);
         runtime.kernel_threads = kernel_threads;
         runtime.kernel_tier = tier;
+        runtime.solver = solver;
         runtime.kernel_row_block_threshold = row_block_threshold;
         runtime.health.deadline_seconds = shard_deadline;
         runtime.checkpoint_dir = args.get_or("checkpoint-dir", "");
@@ -367,6 +519,7 @@ int cmd_clean(const Args& args) {
         report["participants"] = n;
         report["slots"] = t;
         report["variant"] = args.get_or("variant", "full");
+        report["solver"] = std::string(mcs::to_string(solver));
         report["iterations"] = result.iterations;
         report["converged"] = result.converged;
         report["flagged_readings"] = flagged;
@@ -385,6 +538,7 @@ int cmd_clean(const Args& args) {
             runtime["threads"] = threads;
             runtime["kernel_threads"] = kernel_threads;
             runtime["kernel_tier"] = std::string(mcs::to_string(tier));
+            runtime["solver"] = std::string(mcs::to_string(solver));
             runtime["row_block_threshold"] =
                 mcs::kernel_row_block_threshold();
             // The *resolved* decomposition, so a report from a run that
@@ -508,9 +662,10 @@ int cmd_demo(const Args& args) {
     const mcs::KernelTier tier =
         mcs::parse_kernel_tier(args.get_or("tier", "exact"));
     mcs::KernelTierScope tier_scope(tier);
+    mcs::ItscsConfig config = mcs::make_config(mcs::ItscsVariant::kFull);
+    config.cs.solver = mcs::parse_solver_kind(args.get_or("solver", "asd"));
     const mcs::ItscsResult result = mcs::run_itscs(
-        mcs::to_itscs_input(data), mcs::make_config(mcs::ItscsVariant::kFull),
-        {}, want_stats ? &ctx : nullptr);
+        mcs::to_itscs_input(data), config, {}, want_stats ? &ctx : nullptr);
     const mcs::ConfusionCounts counts = mcs::evaluate_detection(
         result.detection, data.fault, data.existence);
     const double mae = mcs::reconstruction_mae(
@@ -521,6 +676,8 @@ int cmd_demo(const Args& args) {
         mcs::Json report = mcs::Json::object();
         report["alpha"] = alpha;
         report["beta"] = beta;
+        report["solver"] =
+            std::string(mcs::to_string(config.cs.solver));
         report["precision"] = counts.precision();
         report["recall"] = counts.recall();
         report["f1"] = counts.f1();
@@ -548,9 +705,44 @@ int cmd_demo(const Args& args) {
     return 0;
 }
 
+// `itscs help`: the full flag enumeration, one row per --key, from the
+// same registry that validates them.
+int cmd_help() {
+    std::cout << "usage: itscs <simulate|corrupt|clean|demo|help> "
+                 "[--key value | --key=value ...]\n\n";
+    const struct {
+        const char* name;
+        const char* blurb;
+    } commands[] = {
+        {"simulate", "generate a synthetic ground-truth fleet trace"},
+        {"corrupt", "inject missing values and faults into a trace"},
+        {"clean", "run the I(TS,CS) framework over a corrupted trace"},
+        {"demo", "end-to-end in-memory pipeline with ground-truth scoring"},
+    };
+    for (const auto& command : commands) {
+        std::cout << command.name << " — " << command.blurb << "\n";
+        for (const FlagSpec& spec : known_flags(command.name)) {
+            std::string left = std::string("--") + spec.name;
+            if (spec.value[0] != '\0') {
+                left += "=";
+                left += spec.value;
+            }
+            std::cout << "  " << left
+                      << std::string(left.size() < 28 ? 28 - left.size() : 1,
+                                     ' ')
+                      << spec.help << "\n";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "Unknown --keys are rejected with the nearest valid "
+                 "name.\nExit status: 0 success, 1 usage, 2 runtime "
+                 "failure, 3 --strict violations.\n";
+    return 0;
+}
+
 int usage() {
     std::cerr
-        << "usage: itscs <simulate|corrupt|clean|demo> [--flags...]\n"
+        << "usage: itscs <simulate|corrupt|clean|demo|help> [--flags...]\n"
            "  simulate --participants N --slots T [--seed S] "
            "[--extent-km E] --out trace.csv\n"
            "  corrupt  --in trace.csv --participants N --slots T "
@@ -559,8 +751,9 @@ int usage() {
            "[--truth-faults f.csv]\n"
            "  clean    --in c.csv --participants N --slots T "
            "[--variant full|no-v|no-vt]\n"
-           "           [--estimate-velocity] [--threads N] "
-           "[--shard-size K] [--shard-count C]\n"
+           "           [--solver asd|lrsd] [--estimate-velocity] "
+           "[--threads N]\n"
+           "           [--shard-size K] [--shard-count C]\n"
            "           [--kernel-threads M] [--tier exact|fast] "
            "[--row-block-threshold K]\n"
            "           [--chaos=SPEC] [--failure-report fr.json]\n"
@@ -570,7 +763,9 @@ int usage() {
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"
            "  demo     [--alpha A] [--beta B] [--seed S] [--json] "
-           "[--stats-json] [--tier exact|fast]\n";
+           "[--stats-json]\n"
+           "           [--solver asd|lrsd] [--tier exact|fast]\n"
+           "  help     full flag reference (also --help / -h)\n";
     return 1;
 }
 
@@ -581,8 +776,12 @@ int main(int argc, char** argv) {
         return usage();
     }
     const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        return cmd_help();
+    }
     try {
         const Args args(argc, argv, 2);
+        args.validate(known_flags(command));
         if (command == "simulate") {
             return cmd_simulate(args);
         }

@@ -60,12 +60,19 @@ CK="$WORKDIR/ck_flip"
 rm -rf "$CK"
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
     --out "$WORKDIR/full.csv" > /dev/null
-# Flip one bit in the middle of the journal (payload territory — frames
-# here are kilobytes, headers 16 bytes).
-SIZE=$(wc -c < "$CK/journal.bin")
-MID=$((SIZE / 2))
-printf '\x40' | dd of="$CK/journal.bin" bs=1 seek="$MID" count=1 \
-    conv=notrunc status=none
+# Flip the byte in the middle of the journal (payload territory — frames
+# here are kilobytes, headers 16 bytes). XOR with 0xFF so the write always
+# changes the byte, whatever value commit order put there.
+flip_mid_byte() {
+    local file="$1" size mid byte
+    size=$(wc -c < "$file")
+    mid=$((size / 2))
+    byte=$(dd if="$file" bs=1 skip="$mid" count=1 status=none \
+        | od -An -tu1 | tr -d ' ')
+    printf "$(printf '\\%03o' $((byte ^ 255)))" \
+        | dd of="$file" bs=1 seek="$mid" count=1 conv=notrunc status=none
+}
+flip_mid_byte "$CK/journal.bin"
 
 # Non-strict resume: recovers, reports the corruption, output identical.
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
@@ -79,10 +86,7 @@ echo "== strict mode exits 3 on corruption =="
 rm -rf "$CK"
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
     --out "$WORKDIR/full.csv" > /dev/null
-SIZE=$(wc -c < "$CK/journal.bin")
-MID=$((SIZE / 2))
-printf '\x40' | dd of="$CK/journal.bin" bs=1 seek="$MID" count=1 \
-    conv=notrunc status=none
+flip_mid_byte "$CK/journal.bin"
 set +e
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
     --strict --out "$WORKDIR/strict.csv" > /dev/null 2> /dev/null

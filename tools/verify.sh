@@ -14,7 +14,11 @@
 #                            run it in --quick mode against the committed
 #                            BENCH_kernels.json baseline, and fail when
 #                            any kernel's fast/exact speedup ratio drops
-#                            more than 20% below the baseline ratio
+#                            more than 20% below the baseline ratio; then
+#                            run the cross-backend shootout (perf_pipeline
+#                            --backend-sweep --quick), which exits non-zero
+#                            on empty or non-finite results in any
+#                            {regime, solver} cell
 #   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -54,12 +58,22 @@ asan() {
 perf() {
     echo "== perf: build (Release) =="
     cmake --preset release
-    cmake --build --preset release -j "$(nproc)" --target perf_kernels
+    cmake --build --preset release -j "$(nproc)" \
+        --target perf_kernels perf_pipeline
     echo "== perf: kernel smoke vs committed baseline =="
     ./build-release/bench/perf_kernels --quick \
         --output BENCH_kernels_smoke.json \
         --baseline BENCH_kernels.json
     rm -f BENCH_kernels_smoke.json
+    echo "== perf: backend shootout smoke (asd vs lrsd) =="
+    # Writes BENCH_backends.json in cwd; run from a scratch dir so the
+    # committed full-sweep baseline isn't clobbered by quick numbers.
+    local scratch
+    scratch="$(mktemp -d)"
+    (cd "$scratch" &&
+        "$OLDPWD/build-release/bench/perf_pipeline" --backend-sweep --quick \
+            > /dev/null)
+    rm -rf "$scratch"
 }
 
 case "${1:-tier1}" in
