@@ -348,6 +348,8 @@ mcs::Json runtime_sweep_report(std::size_t repeat) {
                                  : 1.0;
             row["alloc_steady_state"] =
                 ctx.counters().workspace_allocations;
+            row["oversubscribed"] =
+                threads > std::thread::hardware_concurrency();
             row["bitwise_equal_to_sequential"] = equal_to_sequential;
             rows.push_back(row);
         }

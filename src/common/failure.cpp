@@ -32,6 +32,8 @@ const char* to_string(FailureKind kind) {
             return "task_exception";
         case FailureKind::kCheckpointCorrupt:
             return "checkpoint_corrupt";
+        case FailureKind::kRejectedUpload:
+            return "rejected_upload";
     }
     return "none";
 }
@@ -41,7 +43,8 @@ FailureKind failure_kind_from_string(const std::string& name) {
          {FailureKind::kNone, FailureKind::kNonFiniteInput,
           FailureKind::kNonFiniteValue, FailureKind::kObjectiveDivergence,
           FailureKind::kRankCollapse, FailureKind::kDeadlineExpired,
-          FailureKind::kTaskException, FailureKind::kCheckpointCorrupt}) {
+          FailureKind::kTaskException, FailureKind::kCheckpointCorrupt,
+          FailureKind::kRejectedUpload}) {
         if (name == to_string(kind)) {
             return kind;
         }

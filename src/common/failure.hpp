@@ -36,6 +36,7 @@ enum class FailureKind {
     kDeadlineExpired,      ///< per-shard wall-clock budget exhausted
     kTaskException,        ///< exception escaped a pool task / attempt
     kCheckpointCorrupt,    ///< checkpoint journal frame torn or corrupt
+    kRejectedUpload,       ///< streaming ingest refused a malformed upload
 };
 
 /// Stable machine-readable name ("none", "non_finite_input", ...).

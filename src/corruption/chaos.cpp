@@ -114,10 +114,13 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
         } else if (key == "crash") {
             config.crash_after_commits =
                 static_cast<std::size_t>(parse_u64(key, value));
+        } else if (key == "slotloss") {
+            config.slot_loss_every =
+                static_cast<std::size_t>(parse_u64(key, value));
         } else {
             throw Error("chaos spec: unknown key '" + key +
                         "' (expected nan, inf, dup, diverge, throw, cells, "
-                        "seed, crash)");
+                        "seed, crash, slotloss)");
         }
     }
     config.validate();

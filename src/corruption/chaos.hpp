@@ -43,9 +43,18 @@ struct ChaosConfig {
     /// `--resume` without the crash key accepts the crashed run's manifest.
     std::size_t crash_after_commits = 0;
 
+    /// Streaming fault for the serve daemon: drop every k-th slot upload
+    /// (1-based count over accepted uploads) and ingest an all-unobserved
+    /// slot in its place, so the window stays slot-aligned while the
+    /// evaluator sees the partial-window degradation path. 0 disables.
+    /// Exact and deterministic, like crash_after_commits, and likewise
+    /// excluded from idle() and the checkpoint runtime fingerprint — the
+    /// batch fleet path never consumes it.
+    std::size_t slot_loss_every = 0;
+
     /// Parse the CLI spec grammar: comma-separated `key=value` pairs with
-    /// keys nan, inf, dup, diverge, throw, cells, seed, crash — e.g.
-    /// `nan=0.5,inf=0.25,seed=7` or `crash=2`. Unset keys keep their
+    /// keys nan, inf, dup, diverge, throw, cells, seed, crash, slotloss —
+    /// e.g. `nan=0.5,inf=0.25,seed=7` or `crash=2`. Unset keys keep their
     /// defaults. Throws mcs::Error on an unknown key or a malformed value.
     static ChaosConfig parse(const std::string& spec);
 

@@ -11,8 +11,6 @@
 
 namespace mcs {
 
-namespace {
-
 // Per-row mean over trusted cells; 0 for rows with nothing trusted.
 std::vector<double> trusted_row_means(const Matrix& s, const Matrix& gbim) {
     std::vector<double> means(s.rows(), 0.0);
@@ -31,8 +29,6 @@ std::vector<double> trusted_row_means(const Matrix& s, const Matrix& gbim) {
     }
     return means;
 }
-
-}  // namespace
 
 CompletionSolve solve_centered_completion(const Matrix& s,
                                           const Matrix& trusted,

@@ -128,6 +128,10 @@ struct CompletionSolve {
     bool converged = false;
 };
 
+/// Per-row mean of `s` over cells where `trusted` is non-zero (0 for rows
+/// with nothing trusted) — the centering used by solve_centered_completion.
+std::vector<double> trusted_row_means(const Matrix& s, const Matrix& trusted);
+
 /// `config.rank` must already be resolved (non-zero, within min(n, t)).
 /// If `warm` is non-null and matches the expected factor shapes it is used
 /// as the ASD start instead of the nearest-fill SVD of Algorithm 2.

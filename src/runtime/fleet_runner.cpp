@@ -179,8 +179,14 @@ ShardPlan FleetRunner::plan_for(std::size_t participants) const {
 }
 
 FleetResult FleetRunner::run(const ItscsInput& input,
-                             const ItscsConfig& base_config,
+                             const ItscsConfig& config,
                              PipelineContext* ctx) {
+    return run(input, config, nullptr, ctx);
+}
+
+FleetResult FleetRunner::run(const ItscsInput& input,
+                             const ItscsConfig& base_config,
+                             WarmStartState* warm, PipelineContext* ctx) {
     // Resolve the effective solver backend: the RuntimeConfig knob applies
     // when the core config keeps the default, so the backend can be chosen
     // on either side (CLI --solver sets the runtime knob; programmatic
@@ -203,6 +209,20 @@ FleetResult FleetRunner::run(const ItscsInput& input,
     const std::size_t t = input.sx.cols();
     const ShardPlan plan = plan_for(n);
     const std::size_t count = plan.count();
+
+    if (warm != nullptr) {
+        // Journaled shard records carry no factors, so a resumed run could
+        // not reproduce the warm state — refuse the combination instead of
+        // silently diverging between crashed and uninterrupted runs.
+        MCS_CHECK_MSG(config_.checkpoint_dir.empty(),
+                      "FleetRunner: warm-start state cannot be combined "
+                      "with checkpoint_dir");
+        if (warm->shards.size() != count) {
+            // First window (or the shard plan changed): cold-start every
+            // shard and start recording factors at the new decomposition.
+            warm->shards.assign(count, ItscsWarmStart{});
+        }
+    }
 
     // Per-shard seeds drawn by index on this thread — the decomposition's
     // seeds never depend on which worker runs which shard.
@@ -376,9 +396,17 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         report.shard = shard;
         report.seed = seeds[s];
 
+        // Per-shard warm factors: entries are disjoint elements of a
+        // pre-sized vector, so workers touch disjoint memory.
+        ItscsWarmStart* shard_warm =
+            warm != nullptr ? &warm->shards[s] : nullptr;
+        const ItscsWarmStart* warm_seed =
+            shard_warm != nullptr && !shard_warm->empty() ? shard_warm
+                                                          : nullptr;
+
         ItscsResult result;
         if (!config_.guard) {
-            result = run_itscs(si, config, {}, &contexts[s]);
+            result = run_itscs(si, config, {}, &contexts[s], warm_seed);
             report.iterations = result.iterations;
             report.converged = result.converged;
         } else {
@@ -435,7 +463,12 @@ FleetResult FleetRunner::run(const ItscsInput& input,
                         throw Error("chaos: injected task failure");
                     }
                     if (scan_input()) {
-                        result = run_itscs(si, cfg, {}, &contexts[s]);
+                        // Warm factors seed the nominal attempt only: the
+                        // conservative rung runs at a different rank, so
+                        // they could not match anyway.
+                        result = run_itscs(si, cfg, {}, &contexts[s],
+                                           first_attempt ? warm_seed
+                                                         : nullptr);
                     }
                 } catch (const std::exception& e) {
                     monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
@@ -529,6 +562,17 @@ FleetResult FleetRunner::run(const ItscsInput& input,
             report.iterations = result.iterations;
             report.converged = level == DegradationLevel::kNominal &&
                                result.converged;
+        }
+
+        if (shard_warm != nullptr) {
+            if (report.level == DegradationLevel::kNominal) {
+                shard_warm->x = std::move(result.factors_x);
+                shard_warm->y = std::move(result.factors_y);
+            } else {
+                // A degraded window produced no trustworthy factors; the
+                // next window cold-starts this shard.
+                *shard_warm = ItscsWarmStart{};
+            }
         }
 
         scatter_rows(out.aggregate.detection, result.detection, shard);
@@ -640,8 +684,9 @@ FleetResult FleetRunner::run(const ItscsInput& input,
 
 WindowEvaluator FleetRunner::window_evaluator() {
     return [this](const ItscsInput& input, const ItscsConfig& config,
+                  WarmStartState* warm,
                   PipelineContext* ctx) -> ItscsResult {
-        return run(input, config, ctx).aggregate;
+        return run(input, config, warm, ctx).aggregate;
     };
 }
 

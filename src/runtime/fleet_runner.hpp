@@ -196,6 +196,20 @@ public:
     FleetResult run(const ItscsInput& input, const ItscsConfig& config,
                     PipelineContext* ctx = nullptr);
 
+    /// Same, with streaming warm-start state (DESIGN.md §15). A non-null
+    /// `warm` holds one ItscsWarmStart per shard (resized to the plan on
+    /// entry; a size mismatch simply cold-starts every shard): each
+    /// shard's nominal attempt seeds its CORRECT solves from its entry,
+    /// and after the barrier the entry is replaced by the shard's final
+    /// factors — or cleared when the shard degraded, so a degraded window
+    /// never seeds the next one. Factors are per-shard (shard-local L, own
+    /// R), so the aggregate's factors_x/factors_y stay empty — fleet-wide
+    /// factors cannot be stitched from per-shard decompositions.
+    /// Refused alongside checkpoint_dir: journaled shard records do not
+    /// carry warm factors, so a resumed run could not reproduce them.
+    FleetResult run(const ItscsInput& input, const ItscsConfig& config,
+                    WarmStartState* warm, PipelineContext* ctx = nullptr);
+
     /// The shard decomposition run() will use for a fleet of
     /// `participants` rows.
     ShardPlan plan_for(std::size_t participants) const;

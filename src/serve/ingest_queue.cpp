@@ -1,0 +1,59 @@
+#include "serve/ingest_queue.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mcs {
+
+IngestQueue::IngestQueue(std::size_t capacity) : capacity_(capacity) {
+    MCS_CHECK_MSG(capacity >= 1, "IngestQueue: capacity must be >= 1");
+}
+
+bool IngestQueue::push(SlotUpload upload) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+    });
+    if (closed_) {
+        return false;
+    }
+    items_.push_back(std::move(upload));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+std::optional<SlotUpload> IngestQueue::pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+        return std::nullopt;  // closed and drained
+    }
+    SlotUpload upload = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return upload;
+}
+
+void IngestQueue::close() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+std::size_t IngestQueue::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+bool IngestQueue::closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+}  // namespace mcs

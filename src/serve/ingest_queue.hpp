@@ -1,0 +1,55 @@
+// Bounded MPMC hand-off between upload producers and the ingestion
+// daemon's consumer thread (DESIGN.md §15).
+//
+// Producers block in push() while the queue is full — backpressure, not
+// drops: an overloaded daemon slows its clients down instead of silently
+// losing slots (loss is an explicit chaos fault, `slotloss=<k>`). close()
+// wakes everyone: pending push()es fail, pop() drains what is left and
+// then reports end-of-stream. The shape mirrors the runtime ThreadPool's
+// task queue, specialised to SlotUpload and with a capacity bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/streaming.hpp"
+
+namespace mcs {
+
+class IngestQueue {
+public:
+    /// `capacity` bounds the number of buffered uploads (>= 1).
+    explicit IngestQueue(std::size_t capacity);
+
+    IngestQueue(const IngestQueue&) = delete;
+    IngestQueue& operator=(const IngestQueue&) = delete;
+
+    /// Enqueue one upload; blocks while the queue is full. Returns false
+    /// (dropping the upload) when the queue is closed.
+    bool push(SlotUpload upload);
+
+    /// Dequeue the oldest upload; blocks while the queue is empty. Returns
+    /// nullopt once the queue is closed *and* drained.
+    std::optional<SlotUpload> pop();
+
+    /// End the stream: wake every blocked producer and consumer. Buffered
+    /// uploads remain poppable; further push()es fail.
+    void close();
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    bool closed() const;
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<SlotUpload> items_;
+    bool closed_ = false;
+};
+
+}  // namespace mcs

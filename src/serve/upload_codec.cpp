@@ -1,0 +1,121 @@
+#include "serve/upload_codec.hpp"
+
+#include "common/check.hpp"
+#include "persist/frame_io.hpp"
+
+namespace mcs {
+
+namespace {
+
+// One tag byte leads every payload so a scanner can classify frames
+// without attempting a full decode.
+constexpr std::uint8_t kHeaderTag = 'H';
+constexpr std::uint8_t kSlotTag = 'S';
+
+constexpr std::uint32_t kCodecVersion = 1;
+
+}  // namespace
+
+std::string StreamHeader::mismatch(const StreamHeader& other) const {
+    if (version != other.version) {
+        return "codec version differs (" + std::to_string(version) +
+               " vs " + std::to_string(other.version) + ")";
+    }
+    if (participants != other.participants) {
+        return "participants differ (" + std::to_string(participants) +
+               " vs " + std::to_string(other.participants) + ")";
+    }
+    if (tau_s != other.tau_s) {
+        return "tau differs";
+    }
+    if (window != other.window) {
+        return "window differs (" + std::to_string(window) + " vs " +
+               std::to_string(other.window) + ")";
+    }
+    if (stride != other.stride) {
+        return "stride differs (" + std::to_string(stride) + " vs " +
+               std::to_string(other.stride) + ")";
+    }
+    return "";
+}
+
+std::vector<std::uint8_t> encode_stream_header(const StreamHeader& header) {
+    ByteWriter w;
+    w.put_u8(kHeaderTag);
+    w.put_u32(header.version);
+    w.put_u64(header.participants);
+    w.put_f64(header.tau_s);
+    w.put_u64(header.window);
+    w.put_u64(header.stride);
+    return w.bytes();
+}
+
+StreamHeader decode_stream_header(std::span<const std::uint8_t> payload) {
+    ByteReader r(payload);
+    MCS_CHECK_MSG(r.get_u8() == kHeaderTag,
+                  "ingest journal: frame is not a stream header");
+    StreamHeader header;
+    header.version = r.get_u32();
+    MCS_CHECK_MSG(header.version == kCodecVersion,
+                  "ingest journal: unsupported codec version " +
+                      std::to_string(header.version));
+    header.participants = r.get_u64();
+    header.tau_s = r.get_f64();
+    header.window = r.get_u64();
+    header.stride = r.get_u64();
+    MCS_CHECK_MSG(r.at_end(), "ingest journal: trailing header bytes");
+    return header;
+}
+
+std::vector<std::uint8_t> encode_slot_upload(const SlotUpload& upload) {
+    const std::size_t n = upload.observed.size();
+    MCS_CHECK_MSG(upload.x.size() == n && upload.y.size() == n &&
+                      upload.vx.size() == n && upload.vy.size() == n,
+                  "encode_slot_upload: vector size mismatch");
+    ByteWriter w;
+    w.put_u8(kSlotTag);
+    w.put_u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w.put_u8(upload.observed[i]);
+    }
+    // All four series are stored for every participant — unobserved cells
+    // too — so the journal replays exactly the bytes that were ingested.
+    for (const std::vector<double>* series :
+         {&upload.x, &upload.y, &upload.vx, &upload.vy}) {
+        for (std::size_t i = 0; i < n; ++i) {
+            w.put_f64((*series)[i]);
+        }
+    }
+    return w.bytes();
+}
+
+SlotUpload decode_slot_upload(std::span<const std::uint8_t> payload) {
+    ByteReader r(payload);
+    MCS_CHECK_MSG(r.get_u8() == kSlotTag,
+                  "ingest journal: frame is not a slot upload");
+    const std::uint64_t n = r.get_u64();
+    SlotUpload upload;
+    upload.observed.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        upload.observed[i] = r.get_u8();
+    }
+    for (std::vector<double>* series :
+         {&upload.x, &upload.y, &upload.vx, &upload.vy}) {
+        series->resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            (*series)[i] = r.get_f64();
+        }
+    }
+    MCS_CHECK_MSG(r.at_end(), "ingest journal: trailing slot bytes");
+    return upload;
+}
+
+bool is_stream_header(std::span<const std::uint8_t> payload) {
+    return !payload.empty() && payload.front() == kHeaderTag;
+}
+
+bool is_slot_upload(std::span<const std::uint8_t> payload) {
+    return !payload.empty() && payload.front() == kSlotTag;
+}
+
+}  // namespace mcs

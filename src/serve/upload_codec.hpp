@@ -1,0 +1,49 @@
+// Wire codec for the ingest journal (DESIGN.md §15): SlotUploads encoded
+// as CRC-framed payloads of the persist/frame_io journal.
+//
+// Frame 0 is a StreamHeader — the resume handshake, playing the role the
+// CheckpointManifest plays for batch checkpoints: a journal written for
+// one fleet shape must not seed a daemon configured for another. Every
+// further frame is one slot, readings stored as bit-exact IEEE-754
+// doubles, so a replayed stream reproduces the original run's windows
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/streaming.hpp"
+
+namespace mcs {
+
+/// Identity of an ingest stream. Mirrors the ServeConfig fields that
+/// change what a replayed journal would compute.
+struct StreamHeader {
+    std::uint32_t version = 1;       ///< codec version (bumped on change)
+    std::uint64_t participants = 0;  ///< fleet size (vector lengths)
+    double tau_s = 0.0;              ///< slot duration
+    std::uint64_t window = 0;        ///< detector window (slots)
+    std::uint64_t stride = 0;        ///< detector stride (slots)
+
+    /// Empty string when `other` describes the same stream; otherwise the
+    /// first mismatching field, human-readable (the refusal message).
+    std::string mismatch(const StreamHeader& other) const;
+};
+
+/// Encode / decode the header frame. decode throws mcs::Error on a
+/// malformed or non-header payload.
+std::vector<std::uint8_t> encode_stream_header(const StreamHeader& header);
+StreamHeader decode_stream_header(std::span<const std::uint8_t> payload);
+
+/// Encode / decode one slot frame. decode throws mcs::Error on a
+/// malformed or non-slot payload; the upload round-trips bit-exactly.
+std::vector<std::uint8_t> encode_slot_upload(const SlotUpload& upload);
+SlotUpload decode_slot_upload(std::span<const std::uint8_t> payload);
+
+/// Tag dispatch: does this payload carry a StreamHeader / a SlotUpload?
+bool is_stream_header(std::span<const std::uint8_t> payload);
+bool is_slot_upload(std::span<const std::uint8_t> payload);
+
+}  // namespace mcs

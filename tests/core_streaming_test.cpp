@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/context.hpp"
 #include "corruption/scenario.hpp"
 #include "metrics/confusion.hpp"
 #include "trace/simulator.hpp"
@@ -155,6 +160,133 @@ TEST(Streaming, Validation) {
 TEST(Streaming, PollOnEmptyReturnsNullopt) {
     StreamingDetector detector(4, 30.0);
     EXPECT_FALSE(detector.poll().has_value());
+}
+
+TEST(Streaming, FlushEvaluatesPartialTail) {
+    const TraceDataset truth = make_small_dataset(3, 10, 50);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.1;
+    corruption.fault_ratio = 0.1;
+    const CorruptedDataset data = corrupt(truth, corruption);
+
+    StreamingDetector::Config config;
+    config.window = 24;
+    config.stride = 12;
+    StreamingDetector detector(10, truth.tau_s, config);
+    for (std::size_t j = 0; j < truth.slots(); ++j) {
+        detector.push_slot(slot_of(data, j));
+    }
+    // 50 slots: boundaries at 24, 36, 48; slots 48–49 are uncovered.
+    EXPECT_EQ(detector.reports_pending(), 3u);
+    EXPECT_EQ(detector.flush(), 1u);
+    EXPECT_EQ(detector.flush(), 0u);  // second flush has nothing new
+
+    std::size_t reports = 0;
+    std::optional<WindowReport> last;
+    while (auto report = detector.poll()) {
+        ++reports;
+        last = std::move(report);
+    }
+    ASSERT_EQ(reports, 4u);
+    // The tail evaluation re-reads the full buffer: slots 26..49.
+    EXPECT_EQ(last->first_slot, 26u);
+    EXPECT_EQ(last->detection.cols(), 24u);
+
+    // A detector whose every slot is already covered has nothing to flush.
+    StreamingDetector aligned(10, truth.tau_s, config);
+    for (std::size_t j = 0; j < 48; ++j) {
+        aligned.push_slot(slot_of(data, j));
+    }
+    EXPECT_EQ(aligned.flush(), 0u);
+
+    // A stream shorter than the detector's median window cannot evaluate.
+    StreamingDetector tiny(10, truth.tau_s, config);
+    for (std::size_t j = 0; j < 3; ++j) {
+        tiny.push_slot(slot_of(data, j));
+    }
+    EXPECT_EQ(tiny.flush(), 0u);
+}
+
+// The acceptance bar for cross-window warm starts: same detections as a
+// cold run (F1 within 0.01), measurably fewer ASD iterations (counters).
+TEST(Streaming, WarmStartMatchesColdAndSavesAsdIterations) {
+    const TraceDataset truth = make_small_dataset(7, 16, 100);
+    CorruptionConfig corruption;
+    corruption.missing_ratio = 0.15;
+    corruption.fault_ratio = 0.15;
+    const CorruptedDataset data = corrupt(truth, corruption);
+
+    StreamingDetector::Config config;
+    config.window = 40;
+    config.stride = 15;
+
+    struct Run {
+        std::vector<WindowReport> reports;
+        std::uint64_t asd_iterations = 0;
+        std::size_t warm_windows = 0;
+    };
+    const auto run = [&](bool warm) {
+        StreamingDetector::Config c = config;
+        c.warm_start = warm;
+        PipelineContext ctx;
+        StreamingDetector detector(16, truth.tau_s, c);
+        detector.attach_context(&ctx);
+        Run out;
+        for (std::size_t j = 0; j < truth.slots(); ++j) {
+            detector.push_slot(slot_of(data, j));
+            while (auto report = detector.poll()) {
+                out.reports.push_back(std::move(*report));
+            }
+        }
+        out.asd_iterations = ctx.counters().asd_iterations;
+        out.warm_windows = detector.warm_windows();
+        return out;
+    };
+    const Run cold = run(false);
+    const Run warm = run(true);
+
+    ASSERT_EQ(cold.reports.size(), warm.reports.size());
+    ASSERT_GT(cold.reports.size(), 1u);
+    EXPECT_EQ(cold.warm_windows, 0u);
+    EXPECT_EQ(warm.warm_windows, warm.reports.size() - 1);
+
+    // Warm seeding must pay for itself: strictly fewer ASD iterations
+    // across the stream (the first window is identical; every later one
+    // starts from the refreshed previous factors).
+    EXPECT_LT(warm.asd_iterations, cold.asd_iterations)
+        << "warm " << warm.asd_iterations << " vs cold "
+        << cold.asd_iterations;
+
+    // ...and must not change what gets detected: per-window F1 of warm
+    // and cold against ground truth within 0.01 of each other.
+    const auto f1_of = [&](const WindowReport& report) {
+        ConfusionCounts counts;
+        for (std::size_t i = 0; i < 16; ++i) {
+            for (std::size_t k = 0; k < report.detection.cols(); ++k) {
+                const std::size_t column = report.first_slot + k;
+                if (data.existence(i, column) == 0.0) {
+                    continue;
+                }
+                const bool flagged = report.detection(i, k) != 0.0;
+                const bool faulty = data.fault(i, column) != 0.0;
+                if (flagged && faulty) {
+                    ++counts.true_positive;
+                } else if (flagged) {
+                    ++counts.false_positive;
+                } else if (faulty) {
+                    ++counts.false_negative;
+                } else {
+                    ++counts.true_negative;
+                }
+            }
+        }
+        return counts.f1();
+    };
+    for (std::size_t k = 0; k < cold.reports.size(); ++k) {
+        EXPECT_EQ(cold.reports[k].first_slot, warm.reports[k].first_slot);
+        EXPECT_NEAR(f1_of(cold.reports[k]), f1_of(warm.reports[k]), 0.01)
+            << "window at slot " << cold.reports[k].first_slot;
+    }
 }
 
 }  // namespace

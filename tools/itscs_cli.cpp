@@ -54,6 +54,27 @@
 //       when any shard degraded below nominal or any checkpoint frame
 //       was corrupt.
 //
+//   itscs serve    --in corrupted.csv --participants N --slots T
+//                  [--window W] [--stride K] [--variant V] [--solver B]
+//                  [--threads N] [--shard-size K] [--shard-count C]
+//                  [--tier exact|fast] [--chaos=SPEC]
+//                  [--journal FILE] [--resume] [--no-warm-start]
+//                  [--warm-verify-every K] [--warm-verify-tolerance T]
+//                  [--queue-capacity Q] [--report r.json] [--stats-json]
+//       Replay the trace through the online ingestion daemon
+//       (DESIGN.md §15): slots stream through a bounded queue into a
+//       sliding-window detector that evaluates every --stride slots,
+//       warm-starting each window's CS solve from the previous window's
+//       factors (disable with --no-warm-start; --warm-verify-every k
+//       re-checks every k-th warm window against a cold solve). --journal
+//       appends every accepted slot to a CRC-framed ingest log; with
+//       --resume the journal is replayed first and the trace feed
+//       continues after the replayed slots, so a killed serve run picks
+//       up exactly where it stopped. --chaos adds slotloss=k to the §11
+//       grammar: every k-th upload is lost and an all-missing slot is
+//       ingested in its place. Malformed uploads are rejected with
+//       structured FailureReports, not crashes.
+//
 //   itscs demo     [--alpha A] [--beta B] [--seed S] [--json]
 //                  [--stats-json] [--solver asd|lrsd]
 //       End-to-end in-memory pipeline with ground-truth scoring.
@@ -92,6 +113,7 @@
 #include "corruption/scenario.hpp"
 #include "eval/methods.hpp"
 #include "runtime/fleet_runner.hpp"
+#include "serve/daemon.hpp"
 #include "linalg/kernel_tier.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/ops.hpp"
@@ -178,6 +200,28 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"report", "FILE", "JSON run report"},
         {"stats-json", "", "print instrumentation counters as JSON"},
     };
+    static const std::vector<FlagSpec> serve = {
+        {"in", "FILE", "corrupted trace CSV to replay as a stream"},
+        {"participants", "N", "fleet size (rows)"},
+        {"slots", "T", "time slots (columns)"},
+        {"window", "W", "slots per evaluation window (default 60)"},
+        {"stride", "K", "slots between evaluations (default 20)"},
+        {"variant", "V", "full | no-v | no-vt (default full)"},
+        {"solver", "B", "recovery backend: asd | lrsd (default asd)"},
+        {"threads", "N", "shard worker threads (FleetRunner)"},
+        {"shard-size", "K", "participants per shard"},
+        {"shard-count", "C", "shard count (when no --shard-size)"},
+        {"tier", "T", "kernel tier: exact | fast (default exact)"},
+        {"chaos", "SPEC", "§11 grammar incl. slotloss=k"},
+        {"journal", "FILE", "CRC-framed ingest journal"},
+        {"resume", "", "replay the journal, then continue the feed"},
+        {"no-warm-start", "", "cold-start every window's CS solve"},
+        {"warm-verify-every", "K", "cold-check every k-th warm window"},
+        {"warm-verify-tolerance", "T", "relative gate (default 1e-2)"},
+        {"queue-capacity", "Q", "bounded upload queue (default 256)"},
+        {"report", "FILE", "JSON run report (per-window rows)"},
+        {"stats-json", "", "print instrumentation counters as JSON"},
+    };
     static const std::vector<FlagSpec> demo = {
         {"alpha", "A", "missing ratio (default 0.2)"},
         {"beta", "B", "fault ratio (default 0.2)"},
@@ -196,6 +240,9 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
     }
     if (command == "clean") {
         return clean;
+    }
+    if (command == "serve") {
+        return serve;
     }
     if (command == "demo") {
         return demo;
@@ -645,6 +692,161 @@ int cmd_clean(const Args& args) {
     return 0;
 }
 
+// Percentile over a copy (nearest-rank on the sorted sample); 0 when the
+// sample is empty so a replay with zero live slots still reports cleanly.
+double percentile_ms(std::vector<double> sample, double p) {
+    if (sample.empty()) {
+        return 0.0;
+    }
+    std::sort(sample.begin(), sample.end());
+    const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+    return sample[static_cast<std::size_t>(rank + 0.5)];
+}
+
+int cmd_serve(const Args& args) {
+    const std::size_t n = args.count("participants");
+    const std::size_t t = args.count("slots");
+    const mcs::ImportedTrace imported =
+        mcs::read_trace_csv_file(args.get("in"), n, t, 30.0);
+
+    mcs::ServeConfig serve;
+    serve.participants = n;
+    serve.tau_s = imported.dataset.tau_s;
+    serve.window = args.has("window") ? args.count("window") : 60;
+    serve.stride = args.has("stride") ? args.count("stride") : 20;
+    serve.framework =
+        mcs::make_config(parse_variant(args.get_or("variant", "full")));
+    const mcs::SolverKind solver =
+        mcs::parse_solver_kind(args.get_or("solver", "asd"));
+    serve.framework.cs.solver = solver;
+
+    const std::size_t threads =
+        args.has("threads") ? args.count("threads") : 1;
+    const std::size_t shard_size =
+        args.has("shard-size") ? args.count("shard-size") : 0;
+    const std::size_t shard_count =
+        args.has("shard-count") ? args.count("shard-count") : 0;
+    const mcs::KernelTier tier =
+        mcs::parse_kernel_tier(args.get_or("tier", "exact"));
+    mcs::KernelTierScope tier_scope(tier);
+    serve.runtime.threads = threads;
+    serve.runtime.shard_size = shard_size;
+    serve.runtime.shard_count =
+        shard_count > 0 ? shard_count : (shard_size == 0 ? threads : 0);
+    serve.runtime.kernel_tier = tier;
+    serve.runtime.solver = solver;
+    std::unique_ptr<mcs::ChaosInjector> injector;
+    if (args.has("chaos")) {
+        injector = std::make_unique<mcs::ChaosInjector>(
+            mcs::ChaosConfig::parse(args.get("chaos")));
+        serve.runtime.chaos = injector.get();
+    }
+    serve.journal_path = args.get_or("journal", "");
+    serve.resume = args.has("resume");
+    serve.warm_start = !args.has("no-warm-start");
+    serve.warm_verify_every = args.has("warm-verify-every")
+                                  ? args.count("warm-verify-every")
+                                  : 0;
+    serve.warm_verify_tolerance =
+        args.number("warm-verify-tolerance", 1e-2);
+    serve.queue_capacity = args.has("queue-capacity")
+                               ? args.count("queue-capacity")
+                               : 256;
+
+    mcs::IngestDaemon daemon(serve);
+    daemon.start();
+    // With --resume the journal already re-ingested a prefix of this
+    // stream; the feed continues after it, so an interrupted serve run
+    // plus this one sees each slot exactly once.
+    const std::size_t skip = daemon.stats().slots_replayed;
+    for (std::size_t j = skip; j < t; ++j) {
+        mcs::SlotUpload upload;
+        upload.x.resize(n);
+        upload.y.resize(n);
+        upload.vx.resize(n);
+        upload.vy.resize(n);
+        upload.observed.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            upload.x[i] = imported.dataset.x(i, j);
+            upload.y[i] = imported.dataset.y(i, j);
+            upload.vx[i] = imported.dataset.vx(i, j);
+            upload.vy[i] = imported.dataset.vy(i, j);
+            upload.observed[i] =
+                imported.existence(i, j) == 1.0 ? 1 : 0;
+        }
+        daemon.submit(std::move(upload));
+    }
+    daemon.finish();
+
+    const std::vector<mcs::WindowReport> reports = daemon.drain();
+    const std::vector<mcs::FailureReport> failures =
+        daemon.drain_failures();
+    const mcs::ServeStats stats = daemon.stats();
+
+    if (args.has("report")) {
+        mcs::Json report = mcs::Json::object();
+        report["input"] = args.get("in");
+        report["participants"] = n;
+        report["slots"] = t;
+        report["window"] = serve.window;
+        report["stride"] = serve.stride;
+        report["solver"] = std::string(mcs::to_string(solver));
+        report["warm_start"] = serve.warm_start;
+        report["threads"] = threads;
+        report["uploads_accepted"] = stats.uploads_accepted;
+        report["uploads_rejected"] = stats.uploads_rejected;
+        report["slots_dropped"] = stats.slots_dropped;
+        report["slots_replayed"] = stats.slots_replayed;
+        report["windows_evaluated"] = stats.windows_evaluated;
+        report["windows_warm"] = stats.windows_warm;
+        report["warm_resets"] = stats.warm_resets;
+        report["journal_corrupt_frames"] = stats.journal_corrupt_frames;
+        report["journal_torn_tail"] = stats.journal_torn_tail;
+        report["slot_latency_p50_ms"] =
+            percentile_ms(stats.slot_latency_ms, 50.0);
+        report["slot_latency_p99_ms"] =
+            percentile_ms(stats.slot_latency_ms, 99.0);
+        mcs::Json windows = mcs::Json::array();
+        for (const mcs::WindowReport& w : reports) {
+            mcs::Json row = mcs::Json::object();
+            row["first_slot"] = w.first_slot;
+            row["width"] = w.detection.cols();
+            row["iterations"] = w.iterations;
+            row["converged"] = w.converged;
+            row["warm_started"] = w.warm_started;
+            row["warm_verified"] = w.warm_verified;
+            row["warm_reset"] = w.warm_reset;
+            row["warm_deviation"] = w.warm_deviation;
+            row["flagged"] = mcs::count_equal(w.detection, 1.0);
+            windows.push_back(row);
+        }
+        report["windows"] = windows;
+        mcs::Json failure_rows = mcs::Json::array();
+        for (const mcs::FailureReport& failure : failures) {
+            failure_rows.push_back(failure.to_json());
+        }
+        report["failures"] = failure_rows;
+        report["kernel"] = kernel_info(tier);
+        mcs::write_json_file(args.get("report"), report);
+    }
+    if (args.has("stats-json")) {
+        mcs::Json stats_json = daemon.context().to_json();
+        stats_json["kernel"] = kernel_info(tier);
+        std::cout << stats_json.dump(2) << "\n";
+    }
+    std::cout << "served " << stats.uploads_accepted << " slot(s) ("
+              << stats.slots_replayed << " replayed, "
+              << stats.uploads_rejected << " rejected, "
+              << stats.slots_dropped << " lost): "
+              << stats.windows_evaluated << " window(s), "
+              << stats.windows_warm << " warm, " << stats.warm_resets
+              << " reset(s), p99 "
+              << mcs::format_fixed(
+                     percentile_ms(stats.slot_latency_ms, 99.0), 2)
+              << " ms\n";
+    return 0;
+}
+
 int cmd_demo(const Args& args) {
     const double alpha = args.number("alpha", 0.2);
     const double beta = args.number("beta", 0.2);
@@ -708,7 +910,7 @@ int cmd_demo(const Args& args) {
 // `itscs help`: the full flag enumeration, one row per --key, from the
 // same registry that validates them.
 int cmd_help() {
-    std::cout << "usage: itscs <simulate|corrupt|clean|demo|help> "
+    std::cout << "usage: itscs <simulate|corrupt|clean|serve|demo|help> "
                  "[--key value | --key=value ...]\n\n";
     const struct {
         const char* name;
@@ -717,6 +919,7 @@ int cmd_help() {
         {"simulate", "generate a synthetic ground-truth fleet trace"},
         {"corrupt", "inject missing values and faults into a trace"},
         {"clean", "run the I(TS,CS) framework over a corrupted trace"},
+        {"serve", "replay a trace through the online ingestion daemon"},
         {"demo", "end-to-end in-memory pipeline with ground-truth scoring"},
     };
     for (const auto& command : commands) {
@@ -742,7 +945,8 @@ int cmd_help() {
 
 int usage() {
     std::cerr
-        << "usage: itscs <simulate|corrupt|clean|demo|help> [--flags...]\n"
+        << "usage: itscs <simulate|corrupt|clean|serve|demo|help> "
+           "[--flags...]\n"
            "  simulate --participants N --slots T [--seed S] "
            "[--extent-km E] --out trace.csv\n"
            "  corrupt  --in trace.csv --participants N --slots T "
@@ -762,6 +966,16 @@ int usage() {
            "           --out cleaned.csv "
            "[--flags flags.csv] [--report r.json]\n"
            "           [--stats-json]\n"
+           "  serve    --in c.csv --participants N --slots T [--window W] "
+           "[--stride K]\n"
+           "           [--variant V] [--solver asd|lrsd] [--threads N] "
+           "[--shard-size K]\n"
+           "           [--shard-count C] [--tier exact|fast] "
+           "[--chaos=SPEC]\n"
+           "           [--journal j.bin] [--resume] [--no-warm-start]\n"
+           "           [--warm-verify-every K] [--warm-verify-tolerance T]\n"
+           "           [--queue-capacity Q] [--report r.json] "
+           "[--stats-json]\n"
            "  demo     [--alpha A] [--beta B] [--seed S] [--json] "
            "[--stats-json]\n"
            "           [--solver asd|lrsd] [--tier exact|fast]\n"
@@ -790,6 +1004,9 @@ int main(int argc, char** argv) {
         }
         if (command == "clean") {
             return cmd_clean(args);
+        }
+        if (command == "serve") {
+            return cmd_serve(args);
         }
         if (command == "demo") {
             return cmd_demo(args);

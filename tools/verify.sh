@@ -19,6 +19,14 @@
 #                            --backend-sweep --quick), which exits non-zero
 #                            on empty or non-finite results in any
 #                            {regime, solver} cell
+#   tools/verify.sh stream   streaming smoke: Release-build the ingestion
+#                            daemon's trace-replay load generator
+#                            (bench/perf_streaming) and run it in --quick
+#                            mode; the binary itself exits non-zero when
+#                            the replay is invalid — no windows, empty or
+#                            non-finite report cells, warm start not
+#                            cheaper than cold, or a warm/cold F1 gap
+#                            above 0.01
 #   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -76,13 +84,29 @@ perf() {
     rm -rf "$scratch"
 }
 
+stream() {
+    echo "== stream: build (Release) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target perf_streaming
+    echo "== stream: daemon trace-replay smoke (warm vs cold) =="
+    # Writes BENCH_streaming.json in cwd; run from a scratch dir so the
+    # committed full-replay baseline isn't clobbered by quick numbers.
+    local scratch
+    scratch="$(mktemp -d)"
+    (cd "$scratch" &&
+        "$OLDPWD/build-release/bench/perf_streaming" --quick --repeat 1 \
+            > /dev/null)
+    rm -rf "$scratch"
+}
+
 case "${1:-tier1}" in
     tier1) tier1 ;;
     tsan) tsan ;;
     asan) asan ;;
     perf) perf ;;
-    all) tier1; tsan; asan; perf ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|all]" >&2; exit 2 ;;
+    stream) stream ;;
+    all) tier1; tsan; asan; perf; stream ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|stream|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
