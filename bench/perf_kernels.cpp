@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_stamp.hpp"
 #include "common/context.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -423,11 +424,9 @@ int main(int argc, char** argv) {
 
     mcs::Json report = mcs::Json::object();
     report["benchmark"] = "kernel_tiers";
-    report["repeat"] = repeat;
+    // Kernel micro-benches are strictly single-threaded by design.
+    mcs::stamp_environment(report, repeat, /*threads_used=*/1, quick);
     report["warmup_runs"] = 1;
-    report["quick"] = quick;
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["cpu"] = cpu_json();
     report["fast_path"] = std::string(mcs::fast_kernel_path());
     report["kernels"] = bench_kernels(repeat, quick);

@@ -44,6 +44,17 @@
 // cell. Written to BENCH_backends.json (and stdout). Exits nonzero when
 // any cell produced empty or non-finite results, so CI can gate on it;
 // `--quick` shrinks the fleet for the CI perf-smoke job.
+//
+// Pass `--adversary-sweep` for the structured-adversary degradation
+// curves (DESIGN.md §16): detection quality (precision / recall / F1
+// against the adversary-aware fault mask, adversary-cell recall,
+// reconstruction MAE, and the ground-truth-free quality score) vs.
+// collusion size, regional-outage extent, and fraud-replay count, for
+// both solver backends, plus a cross-layer identity block proving the
+// corruption-path and RuntimeConfig-path injections agree and that an
+// adversarial fleet run is bit-identical at 1/2/7 worker threads.
+// Written to BENCH_adversary.json (and stdout); exits nonzero on empty
+// or non-finite cells or broken identities, like the backend shootout.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -57,16 +68,20 @@
 #include <thread>
 #include <vector>
 
+#include "bench_stamp.hpp"
 #include "common/context.hpp"
 #include "common/failure.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "core/itscs.hpp"
+#include "corruption/adversary.hpp"
 #include "corruption/chaos.hpp"
 #include "corruption/scenario.hpp"
 #include "detect/local_median.hpp"
 #include "detect/tmm.hpp"
 #include "eval/methods.hpp"
+#include "eval/quality.hpp"
+#include "linalg/ops.hpp"
 #include "linalg/temporal.hpp"
 #include "metrics/confusion.hpp"
 #include "metrics/reconstruction_error.hpp"
@@ -361,10 +376,8 @@ mcs::Json runtime_sweep_report(std::size_t repeat) {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
-    report["repeat"] = repeat;
+    mcs::stamp_environment(report, repeat, /*threads_used=*/8);
     report["warmup_runs"] = 1;
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["sweep"] = rows;
     report["all_bitwise_equal_to_sequential"] = all_bitwise_equal;
     report["fast_vs_exact_sequential_speedup"] =
@@ -499,9 +512,8 @@ mcs::Json chaos_sweep_report(std::size_t repeat) {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
+    mcs::stamp_environment(report, repeat, /*threads_used=*/4);
     report["repeat_best_of"] = repeat;
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["guard_overhead"] = std::move(overhead);
     report["fault_sweep"] = std::move(sweep);
     report["all_runs_finite"] = all_runs_finite;
@@ -638,9 +650,8 @@ mcs::Json checkpoint_sweep_report(std::size_t repeat) {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
+    mcs::stamp_environment(report, repeat, /*threads_used=*/4);
     report["repeat_best_of"] = repeat;
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
     report["journal_bytes"] = static_cast<std::uint64_t>(journal_bytes);
     report["journal_bytes_per_shard"] =
         static_cast<std::uint64_t>(journal_bytes / kShards);
@@ -805,12 +816,306 @@ mcs::Json backend_sweep_report(std::size_t repeat, bool quick,
     report["fleet"]["slots"] = slots;
     report["fleet"]["shard_size"] = shard_size;
     report["fleet"]["shards"] = shards;
-    report["quick"] = quick;
-    report["repeat"] = repeat;
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+    mcs::stamp_environment(report, repeat, /*threads_used=*/4, quick);
     report["regimes"] = std::move(regimes);
     report["shootout"] = std::move(rows);
+    report["all_valid"] = all_valid;
+    if (all_valid_out != nullptr) {
+        *all_valid_out = all_valid;
+    }
+    return report;
+}
+
+// ---- adversary sweep -----------------------------------------------------
+//
+// The paper-breaking-point experiment (DESIGN.md §16): how detection
+// quality degrades as a structured adversary grows. Three families on a
+// 160 x 120 fleet of four shards over a light i.i.d. background
+// (α = 0.2, β = 0.05 — low enough that the adversary, not the background,
+// dominates the fault mass):
+//
+//   collusion k ∈ {4 … 48}: k participants replaced by a smooth simulated
+//     sub-fleet. Per-colluder seeds make the fake sets nested, so the F1
+//     curve over k measures the adversary growing, not RNG reshuffling —
+//     the report calls out the k where F1 first drops below 0.5.
+//   regional outage r ∈ {20 … 80} rows x span/4 slots: a contiguous
+//     spatio-temporal block goes dark (exercises the degradation ladder).
+//   fraud replay c ∈ {4 … 16}: c participants re-upload another's
+//     time-shifted trajectory.
+//
+// Every cell records precision/recall/F1 against the adversary-aware
+// fault mask, recall restricted to adversarial cells, reconstruction MAE,
+// the ground-truth-free quality score (the eval axis for regimes with no
+// clean reference), ladder outcomes and median wall — for both solver
+// backends. An identity block then proves the corruption-path and
+// RuntimeConfig-path injections produce identical fleet results and that
+// the runtime path is bit-identical at 1/2/7 workers.
+double adversary_recall(const mcs::Matrix& detection,
+                        const mcs::Matrix& mask) {
+    std::size_t hit = 0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < mask.rows(); ++i) {
+        for (std::size_t j = 0; j < mask.cols(); ++j) {
+            if (mask(i, j) == 0.0) {
+                continue;
+            }
+            ++total;
+            if (detection(i, j) != 0.0) {
+                ++hit;
+            }
+        }
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(hit) /
+                            static_cast<double>(total);
+}
+
+mcs::Json adversary_sweep_report(std::size_t repeat, bool quick,
+                                 bool* all_valid_out) {
+    const std::size_t shard_size = 40;
+    const std::size_t shards = quick ? 2 : 4;
+    const std::size_t slots = quick ? 60 : 120;
+    const std::size_t participants = shard_size * shards;
+
+    std::cerr << "adversary sweep: simulating " << participants << "x"
+              << slots << " fleet" << (quick ? " (quick)" : "") << "...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, slots);
+    mcs::CorruptionConfig base;
+    base.missing_ratio = 0.2;
+    base.fault_ratio = 0.05;
+    base.seed = 5;
+
+    struct Cell {
+        const char* family;
+        std::size_t level;   // k colluders / outage rows / replay count
+        std::string spec;
+    };
+    std::vector<Cell> cells;
+    cells.push_back({"baseline", 0, ""});
+    const std::vector<std::size_t> collusion_sizes =
+        quick ? std::vector<std::size_t>{8, 16}
+              : std::vector<std::size_t>{4, 8, 16, 24, 32, 48};
+    for (const std::size_t k : collusion_sizes) {
+        cells.push_back({"collusion", k,
+                         "collude=" + std::to_string(k) + ",seed=9"});
+    }
+    const std::vector<std::size_t> outage_rows =
+        quick ? std::vector<std::size_t>{20}
+              : std::vector<std::size_t>{20, 40, 80};
+    for (const std::size_t r : outage_rows) {
+        cells.push_back({"outage", r,
+                         "outage=" + std::to_string(r) + ",seed=9"});
+    }
+    const std::vector<std::size_t> replay_counts =
+        quick ? std::vector<std::size_t>{4}
+              : std::vector<std::size_t>{4, 8, 16};
+    for (const std::size_t c : replay_counts) {
+        cells.push_back({"replay", c,
+                         "replay=" + std::to_string(c) +
+                             ",replayshift=5,seed=9"});
+    }
+
+    mcs::Json rows = mcs::Json::array();
+    bool all_valid = true;
+    // F1 per collusion size per solver, for the breaking-point call-out.
+    std::vector<std::pair<std::size_t, double>> collusion_f1_asd;
+    std::vector<std::pair<std::size_t, double>> collusion_f1_lrsd;
+    double baseline_f1[2] = {0.0, 0.0};
+
+    for (const Cell& cell : cells) {
+        mcs::CorruptionConfig corruption = base;
+        if (!cell.spec.empty()) {
+            corruption.adversary = mcs::AdversarySpec::parse(cell.spec);
+        }
+        const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+        const mcs::ItscsInput input = mcs::to_itscs_input(data);
+        for (const mcs::SolverKind solver :
+             {mcs::SolverKind::kAsd, mcs::SolverKind::kLrsd}) {
+            std::cerr << "adversary sweep: "
+                      << (cell.spec.empty() ? "baseline" : cell.spec)
+                      << " solver=" << to_string(solver) << "\n";
+            mcs::RuntimeConfig config;
+            config.threads = 4;
+            config.shard_size = shard_size;
+            config.remainder = mcs::ShardRemainder::kTail;
+            config.solver = solver;
+            mcs::FleetRunner runner(config);
+            runner.run(input, mcs::ItscsConfig{});  // warm-up
+            mcs::FleetResult fleet;
+            std::vector<double> samples;
+            samples.reserve(repeat);
+            for (std::size_t rep = 0; rep < repeat; ++rep) {
+                const mcs::Stopwatch timer;
+                fleet = runner.run(input, mcs::ItscsConfig{});
+                samples.push_back(timer.elapsed_seconds() * 1000.0);
+            }
+            const double wall_ms = median(std::move(samples));
+
+            const mcs::ConfusionCounts confusion = mcs::evaluate_detection(
+                fleet.aggregate.detection, data.fault, data.existence);
+            const double adv_recall = adversary_recall(
+                fleet.aggregate.detection, data.adversary.mask);
+            const double mae = mcs::reconstruction_mae(
+                truth.x, truth.y, fleet.aggregate.reconstructed_x,
+                fleet.aggregate.reconstructed_y, data.existence,
+                fleet.aggregate.detection);
+            const mcs::QualityScore quality = mcs::evaluate_quality(
+                data.sx, data.sy, data.existence,
+                fleet.aggregate.detection, fleet.aggregate.reconstructed_x,
+                fleet.aggregate.reconstructed_y, data.tau_s);
+
+            std::size_t by_level[4] = {0, 0, 0, 0};
+            for (const mcs::ShardRunReport& s : fleet.shards) {
+                by_level[static_cast<std::size_t>(s.level)] += 1;
+            }
+
+            const bool finite =
+                !fleet.aggregate.detection.empty() &&
+                all_finite(fleet.aggregate.detection) &&
+                all_finite(fleet.aggregate.reconstructed_x) &&
+                all_finite(fleet.aggregate.reconstructed_y) &&
+                std::isfinite(confusion.f1()) && std::isfinite(mae) &&
+                std::isfinite(quality.composite) && std::isfinite(wall_ms);
+            all_valid = all_valid && finite;
+
+            const auto solver_index =
+                solver == mcs::SolverKind::kAsd ? 0 : 1;
+            if (std::string_view(cell.family) == "collusion") {
+                (solver_index == 0 ? collusion_f1_asd : collusion_f1_lrsd)
+                    .emplace_back(cell.level, confusion.f1());
+            } else if (std::string_view(cell.family) == "baseline") {
+                baseline_f1[solver_index] = confusion.f1();
+            }
+
+            mcs::Json outcomes = mcs::Json::object();
+            outcomes["nominal"] = by_level[0];
+            outcomes["conservative"] = by_level[1];
+            outcomes["interpolation"] = by_level[2];
+            outcomes["detect_only"] = by_level[3];
+
+            mcs::Json row = mcs::Json::object();
+            row["family"] = std::string(cell.family);
+            row["level"] = cell.level;
+            row["spec"] = cell.spec;
+            row["solver"] = std::string(to_string(solver));
+            row["adversarial_cells"] =
+                mcs::count_equal(data.adversary.mask, 1.0);
+            row["precision"] = confusion.precision();
+            row["recall"] = confusion.recall();
+            row["f1"] = confusion.f1();
+            row["false_positive_rate"] = confusion.false_positive_rate();
+            row["adversary_recall"] = adv_recall;
+            row["reconstruction_mae_m"] = mae;
+            row["quality_composite"] = quality.composite;
+            row["quality_residual_consistency"] =
+                quality.residual_consistency;
+            row["quality_velocity_plausibility"] =
+                quality.velocity_plausibility;
+            row["quality_detection_load"] = quality.detection_load;
+            row["outcomes"] = outcomes;
+            row["wall_ms"] = wall_ms;
+            row["valid"] = finite;
+            rows.push_back(row);
+        }
+    }
+
+    // Breaking point: smallest collusion size whose F1 fell below 0.5.
+    const auto breaking_point =
+        [](const std::vector<std::pair<std::size_t, double>>& curve) {
+            for (const auto& [k, f1] : curve) {
+                if (f1 < 0.5) {
+                    return mcs::Json(k);
+                }
+            }
+            return mcs::Json(nullptr);
+        };
+    // Monotone degradation along the nested-colluder curve (small numeric
+    // jitter tolerated; the trend is the claim).
+    const auto monotone =
+        [](const std::vector<std::pair<std::size_t, double>>& curve) {
+            for (std::size_t i = 1; i < curve.size(); ++i) {
+                if (curve[i].second > curve[i - 1].second + 0.02) {
+                    return false;
+                }
+            }
+            return true;
+        };
+
+    // ---- cross-layer / thread identity ------------------------------
+    // The same spec injected through CorruptionConfig (bench path above)
+    // and through RuntimeConfig (the `itscs clean --adversary` path) must
+    // yield the same fleet result, and the runtime path must stay
+    // bit-identical across worker counts.
+    std::cerr << "adversary sweep: identity checks\n";
+    const std::string identity_spec =
+        "collude=8,outage=20,replay=4,seed=9";
+    mcs::CorruptionConfig with_adv = base;
+    with_adv.adversary = mcs::AdversarySpec::parse(identity_spec);
+    const mcs::CorruptedDataset adv_data = mcs::corrupt(truth, with_adv);
+    const mcs::CorruptedDataset plain_data = mcs::corrupt(truth, base);
+    const mcs::ItscsInput adv_input = mcs::to_itscs_input(adv_data);
+    const mcs::ItscsInput plain_input = mcs::to_itscs_input(plain_data);
+    const mcs::AdversaryInjector injector(
+        mcs::AdversarySpec::parse(identity_spec));
+
+    const auto run_with = [&](const mcs::ItscsInput& in, std::size_t threads,
+                              const mcs::AdversaryInjector* adversary) {
+        mcs::RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = shard_size;
+        config.remainder = mcs::ShardRemainder::kTail;
+        config.adversary = adversary;
+        mcs::FleetRunner runner(config);
+        return runner.run(in, mcs::ItscsConfig{});
+    };
+    const mcs::FleetResult corruption_path = run_with(adv_input, 1, nullptr);
+    const mcs::FleetResult runtime_1 = run_with(plain_input, 1, &injector);
+    const mcs::FleetResult runtime_2 = run_with(plain_input, 2, &injector);
+    const mcs::FleetResult runtime_7 = run_with(plain_input, 7, &injector);
+    const auto same = [](const mcs::FleetResult& a,
+                         const mcs::FleetResult& b) {
+        return bitwise_equal(a.aggregate.detection, b.aggregate.detection) &&
+               bitwise_equal(a.aggregate.reconstructed_x,
+                             b.aggregate.reconstructed_x) &&
+               bitwise_equal(a.aggregate.reconstructed_y,
+                             b.aggregate.reconstructed_y);
+    };
+    const bool paths_agree = same(corruption_path, runtime_1);
+    const bool threads_agree =
+        same(runtime_1, runtime_2) && same(runtime_1, runtime_7);
+    const bool mask_agrees =
+        bitwise_equal(runtime_1.adversary.mask, adv_data.adversary.mask);
+    all_valid = all_valid && paths_agree && threads_agree && mask_agrees;
+
+    mcs::Json identity = mcs::Json::object();
+    identity["spec"] = identity_spec;
+    identity["corruption_vs_runtime_path"] = paths_agree;
+    identity["bit_identical_at_1_2_7_threads"] = threads_agree;
+    identity["mask_identical_across_paths"] = mask_agrees;
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = slots;
+    report["fleet"]["shard_size"] = shard_size;
+    report["fleet"]["shards"] = shards;
+    report["background"] = mcs::Json::object();
+    report["background"]["missing_ratio"] = base.missing_ratio;
+    report["background"]["fault_ratio"] = base.fault_ratio;
+    mcs::stamp_environment(report, repeat, /*threads_used=*/4, quick);
+    report["sweep"] = std::move(rows);
+    mcs::Json breaking = mcs::Json::object();
+    breaking["baseline_f1_asd"] = baseline_f1[0];
+    breaking["baseline_f1_lrsd"] = baseline_f1[1];
+    breaking["f1_below_half_collusion_asd"] =
+        breaking_point(collusion_f1_asd);
+    breaking["f1_below_half_collusion_lrsd"] =
+        breaking_point(collusion_f1_lrsd);
+    breaking["monotone_degradation_asd"] = monotone(collusion_f1_asd);
+    breaking["monotone_degradation_lrsd"] = monotone(collusion_f1_lrsd);
+    report["collusion_breaking_point"] = std::move(breaking);
+    report["identity"] = std::move(identity);
     report["all_valid"] = all_valid;
     if (all_valid_out != nullptr) {
         *all_valid_out = all_valid;
@@ -826,6 +1131,7 @@ int main(int argc, char** argv) {
     bool chaos_sweep = false;
     bool checkpoint_sweep = false;
     bool backend_sweep = false;
+    bool adversary_sweep = false;
     bool quick = false;
     std::size_t repeat = 0;  // 0 = per-sweep default
     std::vector<char*> args;
@@ -854,6 +1160,10 @@ int main(int argc, char** argv) {
         }
         if (std::string_view(argv[i]) == "--backend-sweep") {
             backend_sweep = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--adversary-sweep") {
+            adversary_sweep = true;
             continue;
         }
         if (std::string_view(argv[i]) == "--quick") {
@@ -896,6 +1206,20 @@ int main(int argc, char** argv) {
         if (!all_valid) {
             std::cerr << "backend sweep: FAILED — empty or non-finite "
                          "results in at least one cell\n";
+            return 1;
+        }
+        return 0;
+    }
+    if (adversary_sweep) {
+        bool all_valid = false;
+        const mcs::Json report = adversary_sweep_report(
+            repeat == 0 ? 3 : repeat, quick, &all_valid);
+        std::ofstream out("BENCH_adversary.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        if (!all_valid) {
+            std::cerr << "adversary sweep: FAILED — empty, non-finite, or "
+                         "non-reproducible results in at least one cell\n";
             return 1;
         }
         return 0;

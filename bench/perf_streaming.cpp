@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_stamp.hpp"
 #include "common/context.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
@@ -271,14 +272,8 @@ int main(int argc, char** argv) {
         std::max(1u, std::thread::hardware_concurrency());
 
     mcs::Json report = mcs::Json::object();
-    report["quick"] = quick;
-    report["repeat"] = repeat;
+    mcs::stamp_environment(report, repeat, threads, quick);
     report["warmup_runs"] = std::size_t{1};
-    report["hardware_concurrency"] =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
-    report["threads"] = threads;
-    report["oversubscribed"] =
-        threads > std::thread::hardware_concurrency();
     mcs::Json fleet = mcs::Json::object();
     fleet["participants"] = scenario.participants;
     fleet["slots"] = scenario.slots;

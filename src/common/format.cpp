@@ -1,5 +1,6 @@
 #include "common/format.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -76,6 +77,43 @@ long parse_long(const std::string& s) {
     MCS_CHECK_MSG(end == s.c_str() + s.size(),
                   "parse_long: invalid integer: '" + s + "'");
     return value;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        row[j] = j;
+    }
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t next =
+                std::min({row[j] + 1, row[j - 1] + 1,
+                          diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+std::string nearest_candidate(const std::string& word,
+                              const std::vector<std::string>& candidates) {
+    std::string nearest;
+    std::size_t best = word.size() + 1;
+    for (const std::string& candidate : candidates) {
+        const std::size_t d = edit_distance(word, candidate);
+        if (d < best) {
+            best = d;
+            nearest = candidate;
+        }
+    }
+    // A hint further than ~half the candidate away is noise, not help.
+    if (nearest.empty() || best > (nearest.size() + 1) / 2) {
+        return "";
+    }
+    return nearest;
 }
 
 }  // namespace mcs

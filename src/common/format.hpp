@@ -31,4 +31,13 @@ double parse_double(const std::string& s);
 /// Parse a long; throws mcs::Error if the whole string is not consumed.
 long parse_long(const std::string& s);
 
+/// Plain Levenshtein distance, for "did you mean ...?" hints.
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// Nearest candidate to `word` by edit distance, or "" when none is close
+/// enough to plausibly be a typo (further than ~half the candidate away).
+/// Shared by the CLI flag validator and the spec-grammar parsers.
+std::string nearest_candidate(const std::string& word,
+                              const std::vector<std::string>& candidates);
+
 }  // namespace mcs

@@ -1,0 +1,299 @@
+#include "corruption/adversary.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+
+namespace {
+
+double parse_spec_double(const std::string& key, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        throw Error("adversary spec: bad value '" + value + "' for key '" +
+                    key + "'");
+    }
+}
+
+std::uint64_t parse_spec_u64(const std::string& key,
+                             const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return static_cast<std::uint64_t>(parsed);
+    } catch (const std::exception&) {
+        throw Error("adversary spec: bad value '" + value + "' for key '" +
+                    key + "'");
+    }
+}
+
+// SplitMix64 finaliser (same as the chaos planner): per-colluder seeds are
+// a pure hash of (spec.seed, colluder position), so colluder i's fake
+// trajectory is identical whether the spec says collude=i+1 or collude=64.
+std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// One colluder's fake trajectory: a single vehicle simulated on a compact
+// working area. Small enough to be cheap per colluder, large enough that
+// the trajectory looks like a busy urban taxi.
+TraceDataset simulate_fake_vehicle(std::uint64_t seed, std::size_t slots,
+                                   double tau_s) {
+    SimulatorConfig config;
+    config.participants = 1;
+    config.slots = slots;
+    config.tau_s = tau_s;
+    config.seed = seed;
+    config.network.width_m = 8000.0;
+    config.network.height_m = 8000.0;
+    config.network.block_m = 1000.0;
+    config.trips.min_trip_m = 1500.0;
+    config.trips.max_trip_m = 6000.0;
+    return simulate_fleet(config);
+}
+
+const std::vector<std::string>& spec_keys() {
+    static const std::vector<std::string> keys = {
+        "collude", "outage",      "outagespan", "outagenoise",
+        "replay",  "replayshift", "seed"};
+    return keys;
+}
+
+}  // namespace
+
+AdversarySpec AdversarySpec::parse(const std::string& spec) {
+    AdversarySpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty()) {
+            continue;
+        }
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            throw Error("adversary spec: expected key=value, got '" + pair +
+                        "'");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "collude") {
+            out.collude =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "outage") {
+            out.outage =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "outagespan") {
+            out.outage_span =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "outagenoise") {
+            out.outage_noise_m = parse_spec_double(key, value);
+        } else if (key == "replay") {
+            out.replay =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "replayshift") {
+            out.replay_shift =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "seed") {
+            out.seed = parse_spec_u64(key, value);
+        } else {
+            std::string message =
+                "adversary spec: unknown key '" + key + "'";
+            const std::string nearest = nearest_candidate(key, spec_keys());
+            if (!nearest.empty()) {
+                message += " (did you mean '" + nearest + "'?)";
+            } else {
+                message += " (expected " + join(spec_keys(), ", ") + ")";
+            }
+            throw Error(message);
+        }
+    }
+    out.validate();
+    return out;
+}
+
+void AdversarySpec::validate() const {
+    MCS_CHECK_MSG(outage_noise_m >= 0.0,
+                  "AdversarySpec: outagenoise must be >= 0");
+    MCS_CHECK_MSG(replay == 0 || replay_shift > 0,
+                  "AdversarySpec: replay requires replayshift > 0");
+}
+
+AdversaryInjector::AdversaryInjector(AdversarySpec spec) : spec_(spec) {
+    spec_.validate();
+}
+
+AdversaryInjection AdversaryInjector::apply(Matrix& sx, Matrix& sy,
+                                            Matrix& vx, Matrix& vy,
+                                            Matrix& existence, double tau_s,
+                                            Matrix* fault) const {
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    for (const Matrix* m : {&sx, &sy, &vx, &vy}) {
+        MCS_CHECK_MSG(m->rows() == n && m->cols() == t,
+                      "AdversaryInjector: matrix shape mismatch");
+    }
+    if (fault != nullptr) {
+        MCS_CHECK_MSG(fault->rows() == n && fault->cols() == t,
+                      "AdversaryInjector: fault shape mismatch");
+    }
+    MCS_CHECK_MSG(spec_.collude + 2 * spec_.replay <= n,
+                  "AdversaryInjector: collude + 2*replay exceeds the fleet "
+                  "(each replayed row needs an honest victim)");
+    MCS_CHECK_MSG(spec_.outage <= n,
+                  "AdversaryInjector: outage block exceeds the fleet");
+
+    AdversaryInjection out;
+    out.mask = Matrix(n, t);
+    if (spec_.idle() || n == 0 || t == 0) {
+        return out;
+    }
+
+    Rng master(spec_.seed);
+    Rng role_rng = master.split();
+    Rng outage_rng = master.split();
+    Rng noise_rng = master.split();
+
+    // One fixed role permutation per seed: colluders are its first k
+    // entries, fraud rows the next `replay`, and each fraud's victim comes
+    // from the honest tail — so growing k only *adds* adversarial rows.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    role_rng.shuffle(perm);
+
+    // --- collusion: replace rows with a simulated fake sub-fleet --------
+    if (spec_.collude > 0) {
+        const std::size_t k = std::min(spec_.collude, n);
+        // Drop the fake working area onto the centroid of the host fleet's
+        // observed positions, so fakes sit inside the city rather than at
+        // the projection origin. Computed before any row is overwritten.
+        double sum_x = 0.0;
+        double sum_y = 0.0;
+        std::size_t observed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < t; ++j) {
+                if (existence(i, j) != 0.0) {
+                    sum_x += sx(i, j);
+                    sum_y += sy(i, j);
+                    ++observed;
+                }
+            }
+        }
+        const double center_x = observed > 0 ? sum_x / observed : 0.0;
+        const double center_y = observed > 0 ? sum_y / observed : 0.0;
+        const double offset_x = center_x - 4000.0;  // fake network centre
+        const double offset_y = center_y - 4000.0;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t row = perm[i];
+            const TraceDataset fake = simulate_fake_vehicle(
+                mix(spec_.seed ^ mix(static_cast<std::uint64_t>(i) + 1)), t,
+                tau_s);
+            out.colluders.push_back(row);
+            for (std::size_t j = 0; j < t; ++j) {
+                if (existence(row, j) == 0.0) {
+                    continue;  // keep the row's upload pattern
+                }
+                sx(row, j) = fake.x(0, j) + offset_x;
+                sy(row, j) = fake.y(0, j) + offset_y;
+                vx(row, j) = fake.vx(0, j);
+                vy(row, j) = fake.vy(0, j);
+                out.mask(row, j) = 1.0;
+                if (fault != nullptr) {
+                    (*fault)(row, j) = 1.0;
+                }
+            }
+        }
+    }
+
+    // --- fraud replay: row f re-uploads row v shifted by `shift` slots --
+    if (spec_.replay > 0) {
+        const std::size_t shift = spec_.replay_shift % std::max<
+            std::size_t>(t, 1);
+        for (std::size_t i = 0; i < spec_.replay; ++i) {
+            const std::size_t f = perm[spec_.collude + i];
+            const std::size_t v = perm[n - 1 - i];
+            out.replays.emplace_back(f, v);
+            for (std::size_t j = 0; j < t; ++j) {
+                const std::size_t js = (j + t - shift) % t;
+                const bool seen = existence(v, js) != 0.0;
+                existence(f, j) = seen ? 1.0 : 0.0;
+                sx(f, j) = seen ? sx(v, js) : 0.0;
+                sy(f, j) = seen ? sy(v, js) : 0.0;
+                vx(f, j) = seen ? vx(v, js) : 0.0;
+                vy(f, j) = seen ? vy(v, js) : 0.0;
+                out.mask(f, j) = seen ? 1.0 : 0.0;
+                if (fault != nullptr) {
+                    (*fault)(f, j) = seen ? 1.0 : 0.0;
+                }
+            }
+        }
+    }
+
+    // --- correlated regional outage: contiguous rows × contiguous slots -
+    if (spec_.outage > 0) {
+        const std::size_t rows = std::min(spec_.outage, n);
+        std::size_t span = spec_.outage_span > 0 ? spec_.outage_span : t / 4;
+        span = std::min(std::max<std::size_t>(span, 1), t);
+        out.outage_rows = rows;
+        out.outage_slots = span;
+        out.outage_first_row = static_cast<std::size_t>(
+            outage_rng.uniform_int(0, static_cast<std::int64_t>(n - rows)));
+        out.outage_first_slot = static_cast<std::size_t>(
+            outage_rng.uniform_int(0, static_cast<std::int64_t>(t - span)));
+        const bool degrade = spec_.outage_noise_m > 0.0;
+        for (std::size_t i = out.outage_first_row;
+             i < out.outage_first_row + rows; ++i) {
+            for (std::size_t j = out.outage_first_slot;
+                 j < out.outage_first_slot + span; ++j) {
+                if (existence(i, j) == 0.0) {
+                    continue;
+                }
+                ++out.outage_cells;
+                if (degrade) {
+                    sx(i, j) += noise_rng.normal(0.0, spec_.outage_noise_m);
+                    sy(i, j) += noise_rng.normal(0.0, spec_.outage_noise_m);
+                    out.mask(i, j) = 1.0;
+                    if (fault != nullptr) {
+                        (*fault)(i, j) = 1.0;
+                    }
+                } else {
+                    existence(i, j) = 0.0;
+                    sx(i, j) = 0.0;
+                    sy(i, j) = 0.0;
+                    vx(i, j) = 0.0;
+                    vy(i, j) = 0.0;
+                    // The reading is gone: nothing left to detect or miss.
+                    out.mask(i, j) = 0.0;
+                    if (fault != nullptr) {
+                        (*fault)(i, j) = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mcs

@@ -1,0 +1,116 @@
+// Structured-adversary fault injection (DESIGN.md §16).
+//
+// The §IV-A corruption model and the §11 chaos grammar both perturb cells
+// independently; a real MCS deployment also faces *structured* adversaries
+// whose faults are mutually consistent:
+//
+//   collusion — k participants replaced by a jointly smooth fake sub-fleet
+//     simulated on the road network (src/trace). Each fake row is a
+//     physically plausible trajectory, so per-cell magnitude tests pass and
+//     the fault block itself is low-rank — exactly the structure the CS
+//     completion step is built to *preserve*, which is why I(TS,CS) must
+//     eventually break as k grows (quantified by `--adversary-sweep`).
+//
+//   correlated regional outage — a contiguous block of participants loses
+//     (or degrades) its observations over a contiguous span of slots:
+//     urban canyon, GPS jamming, a dead uplink. Exercises the FleetRunner
+//     degradation ladder rather than the detector alone.
+//
+//   fraud replay — a participant re-uploads another participant's
+//     time-shifted trajectory ("Detecting Location Fraud in Indoor Mobile
+//     Crowdsensing", arXiv:1708.06308). Every individual reading is a real
+//     reading; only its provenance is a lie.
+//
+// Determinism contract (same as ChaosConfig): the injection is a pure
+// function of (spec, fleet shape, input data) — never of thread count or
+// execution order. Colluder trajectories are simulated one vehicle per
+// colluder with per-colluder seeds, so the set of fake rows for collude=k
+// is a strict subset of the set for collude=k+1: degradation curves over k
+// measure the adversary growing, not the RNG reshuffling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Parsed `--adversary` spec. Grammar: comma-separated `key=value` pairs
+/// with keys collude, outage, outagespan, outagenoise, replay, replayshift,
+/// seed — e.g. `collude=16,seed=7` or `outage=40,outagespan=30`.
+struct AdversarySpec {
+    /// Participants replaced by simulated fake trajectories (collusion).
+    std::size_t collude = 0;
+
+    /// Participants inside the correlated regional outage block.
+    std::size_t outage = 0;
+    /// Outage length in slots; 0 = a quarter of the horizon.
+    std::size_t outage_span = 0;
+    /// 0 = total outage (observations dropped); > 0 = degraded mode, the
+    /// block keeps reporting with N(0, σ²) position noise of this σ in
+    /// metres (multipath in an urban canyon rather than a dead uplink).
+    double outage_noise_m = 0.0;
+
+    /// Participants re-uploading another participant's shifted trajectory.
+    std::size_t replay = 0;
+    /// Slots the replayed trajectory lags its victim by (circular).
+    std::size_t replay_shift = 5;
+
+    std::uint64_t seed = 0xadd5ULL;
+
+    /// Parse the spec grammar. Unset keys keep their defaults. Throws
+    /// mcs::Error on a malformed value or an unknown key — with a
+    /// nearest-key "did you mean" suggestion, like the CLI flag validator.
+    static AdversarySpec parse(const std::string& spec);
+
+    /// Throws mcs::Error on an invalid combination (negative noise,
+    /// replay without a shift).
+    void validate() const;
+
+    /// True when no adversary is configured (injector is a no-op).
+    bool idle() const { return collude == 0 && outage == 0 && replay == 0; }
+};
+
+/// Ground truth of one injection: which cells the adversary touched and
+/// which roles the participants played. `mask` marks every observed cell
+/// whose *reading* is adversarial (colluded and replayed rows, degraded
+/// outage cells) — cells the outage removed outright are not in the mask,
+/// because an unobserved cell can be neither detected nor missed.
+struct AdversaryInjection {
+    Matrix mask;                        ///< rows × slots, 1 = adversarial
+    std::vector<std::size_t> colluders; ///< rows replaced by the fake fleet
+    /// Replayed rows as (fraud row, victim row) pairs.
+    std::vector<std::pair<std::size_t, std::size_t>> replays;
+    std::size_t outage_first_row = 0;
+    std::size_t outage_rows = 0;
+    std::size_t outage_first_slot = 0;
+    std::size_t outage_slots = 0;
+    /// Observed cells the outage removed (total mode) or degraded.
+    std::size_t outage_cells = 0;
+};
+
+/// Applies an AdversarySpec to a fleet's sensory matrices in place.
+class AdversaryInjector {
+public:
+    explicit AdversaryInjector(AdversarySpec spec);
+
+    const AdversarySpec& spec() const { return spec_; }
+
+    /// Transform the fleet in place and return the injection ground truth.
+    /// All five matrices must share their shape; `tau_s` is the slot
+    /// duration used to simulate colluder trajectories. A non-null `fault`
+    /// is kept in sync with the mask: adversarial readings are marked 1,
+    /// and pre-existing fault marks inside dropped outage cells are
+    /// cleared (the reading is gone, so there is nothing to detect).
+    AdversaryInjection apply(Matrix& sx, Matrix& sy, Matrix& vx, Matrix& vy,
+                             Matrix& existence, double tau_s,
+                             Matrix* fault = nullptr) const;
+
+private:
+    AdversarySpec spec_;
+};
+
+}  // namespace mcs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/format.hpp"
 #include "common/rng.hpp"
 
 namespace mcs {
@@ -118,9 +119,17 @@ ChaosConfig ChaosConfig::parse(const std::string& spec) {
             config.slot_loss_every =
                 static_cast<std::size_t>(parse_u64(key, value));
         } else {
-            throw Error("chaos spec: unknown key '" + key +
-                        "' (expected nan, inf, dup, diverge, throw, cells, "
-                        "seed, crash, slotloss)");
+            static const std::vector<std::string> keys = {
+                "nan",   "inf",  "dup",   "diverge", "throw",
+                "cells", "seed", "crash", "slotloss"};
+            std::string message = "chaos spec: unknown key '" + key + "'";
+            const std::string nearest = nearest_candidate(key, keys);
+            if (!nearest.empty()) {
+                message += " (did you mean '" + nearest + "'?)";
+            } else {
+                message += " (expected " + join(keys, ", ") + ")";
+            }
+            throw Error(message);
         }
     }
     config.validate();

@@ -24,6 +24,7 @@ void CorruptionConfig::validate() const {
                   "CorruptionConfig: noise sigma negative");
     MCS_CHECK_MSG(drift_mean_slots >= 1.0,
                   "CorruptionConfig: drift bursts must average >= 1 slot");
+    adversary.validate();
 }
 
 CorruptedDataset corrupt(const TraceDataset& truth,
@@ -60,6 +61,17 @@ CorruptedDataset corrupt(const TraceDataset& truth,
         truth.vx, truth.vy, config.velocity_fault_ratio, velocity_rng);
     out.vx = std::move(velocity.vx);
     out.vy = std::move(velocity.vy);
+
+    // Structured adversary last, over the already-corrupted upload — the
+    // server-side view is "plausible noise plus an adversary", and the
+    // injection keeps ℱ in sync so the confusion counts stay meaningful.
+    if (!config.adversary.idle()) {
+        const AdversaryInjector injector(config.adversary);
+        out.adversary = injector.apply(out.sx, out.sy, out.vx, out.vy,
+                                       out.existence, out.tau_s, &out.fault);
+    } else {
+        out.adversary.mask = Matrix(truth.participants(), truth.slots());
+    }
     return out;
 }
 

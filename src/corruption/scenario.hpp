@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "corruption/adversary.hpp"
 #include "linalg/matrix.hpp"
 #include "trace/dataset.hpp"
 
@@ -44,6 +45,12 @@ struct CorruptionConfig {
 
     std::uint64_t seed = 1;
 
+    /// Structured adversary applied *after* the per-cell corruption above
+    /// (DESIGN.md §16): collusion, correlated regional outage, fraud
+    /// replay. Idle by default. Uses its own seed, so enabling it never
+    /// perturbs the base corruption's RNG streams.
+    AdversarySpec adversary;
+
     /// Throws mcs::Error on invalid parameters (ratios outside [0,1],
     /// α + β > 1, inverted bias range, negative noise).
     void validate() const;
@@ -56,7 +63,12 @@ struct CorruptedDataset {
     Matrix vx;         ///< uploaded x velocity (faulted when γ > 0)
     Matrix vy;         ///< uploaded y velocity (faulted when γ > 0)
     Matrix existence;  ///< ℰ: 1 observed, 0 missing
-    Matrix fault;      ///< ℱ: ground-truth fault indicator
+    Matrix fault;      ///< ℱ: ground-truth fault indicator (adversarial
+                       ///< readings included, so precision/recall stay
+                       ///< well-defined under an adversary)
+    /// Adversarial-cell mask and role assignments; an all-zero mask (and
+    /// empty role lists) when CorruptionConfig::adversary is idle.
+    AdversaryInjection adversary;
     double tau_s = 30.0;
 
     std::size_t participants() const { return sx.rows(); }

@@ -1,0 +1,81 @@
+#include "eval/quality.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/stats.hpp"
+
+namespace mcs {
+
+QualityScore evaluate_quality(const Matrix& sx, const Matrix& sy,
+                              const Matrix& existence,
+                              const Matrix& detection, const Matrix& rx,
+                              const Matrix& ry, double tau_s,
+                              const QualityConfig& config) {
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    for (const Matrix* m : {&sx, &sy, &detection, &rx, &ry}) {
+        MCS_CHECK_MSG(m->rows() == n && m->cols() == t,
+                      "evaluate_quality: matrix shape mismatch");
+    }
+    MCS_CHECK_MSG(tau_s > 0.0, "evaluate_quality: tau_s must be positive");
+    MCS_CHECK_MSG(config.residual_scale_m > 0.0 &&
+                      config.speed_cap_mps > 0.0,
+                  "evaluate_quality: scales must be positive");
+
+    QualityScore out;
+    std::vector<double> residuals;
+    std::size_t flagged = 0;
+    std::size_t plausible = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t prev = t;  // last retained slot of this row, t = none
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) == 0.0) {
+                continue;
+            }
+            ++out.observed_cells;
+            if (detection(i, j) != 0.0) {
+                ++flagged;
+                continue;
+            }
+            residuals.push_back(
+                std::hypot(sx(i, j) - rx(i, j), sy(i, j) - ry(i, j)));
+            if (prev == j - 1) {
+                // Slot-adjacent retained pair: the implied speed between
+                // consecutive uploads must be drivable.
+                ++out.adjacent_pairs;
+                const double speed =
+                    std::hypot(sx(i, j) - sx(i, j - 1),
+                               sy(i, j) - sy(i, j - 1)) /
+                    tau_s;
+                if (speed <= config.speed_cap_mps) {
+                    ++plausible;
+                }
+            }
+            prev = j;
+        }
+    }
+    out.retained_cells = residuals.size();
+
+    if (!residuals.empty()) {
+        out.residual_consistency =
+            std::exp(-median(residuals) / config.residual_scale_m);
+    }
+    if (out.adjacent_pairs > 0) {
+        out.velocity_plausibility =
+            static_cast<double>(plausible) /
+            static_cast<double>(out.adjacent_pairs);
+    }
+    if (out.observed_cells > 0) {
+        out.detection_load = 1.0 - static_cast<double>(flagged) /
+                                       static_cast<double>(
+                                           out.observed_cells);
+    }
+    out.composite = std::cbrt(out.residual_consistency *
+                              out.velocity_plausibility *
+                              out.detection_load);
+    return out;
+}
+
+}  // namespace mcs

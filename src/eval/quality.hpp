@@ -1,0 +1,63 @@
+// Ground-truth-free quality scoring (motivated by arXiv:2405.18725).
+//
+// Precision/recall/MAE all need the injected fault mask — a luxury a
+// production deployment does not have. This score judges a run from what
+// the server actually holds: the uploads, the framework's own
+// reconstruction, and its flags. Three components, each in [0, 1]:
+//
+//   residual_consistency — exp(−median residual / scale) over *retained*
+//     observed cells (flagged cells excluded: the framework itself says
+//     their readings are wrong). A clean, internally consistent fleet has
+//     residuals at sensor-noise scale and scores near 1; an adversary the
+//     detector half-catches leaves km-scale residuals behind.
+//
+//   velocity_plausibility — fraction of slot-adjacent retained reading
+//     pairs whose implied speed (displacement / tau) is physically
+//     drivable. Fraud replay and teleporting fakes break this without
+//     touching any single reading's magnitude.
+//
+//   detection_load — 1 − flagged fraction of observed cells. A detector
+//     discarding half the fleet "explains" any residual; weighting by the
+//     kept fraction stops flag-everything from gaming the other two.
+//
+// composite = geometric mean: every component must hold up, and a zero in
+// any one zeroes the score. Conventions for vacuous cases mirror
+// ConfusionCounts (no evidence of a problem scores 1).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+struct QualityConfig {
+    /// Residual scale (metres): the residual at which consistency decays
+    /// to 1/e. Default is a few sensor-noise sigmas.
+    double residual_scale_m = 50.0;
+    /// Maximum drivable speed (m/s) for the plausibility component;
+    /// default ~144 km/h, comfortably above any arterial limit.
+    double speed_cap_mps = 40.0;
+};
+
+struct QualityScore {
+    double residual_consistency = 1.0;
+    double velocity_plausibility = 1.0;
+    double detection_load = 1.0;
+    double composite = 1.0;
+    /// Evidence sizes behind the components (0 ⇒ that component is
+    /// vacuous and reported as 1).
+    std::size_t retained_cells = 0;
+    std::size_t adjacent_pairs = 0;
+    std::size_t observed_cells = 0;
+};
+
+/// Score a run without ground truth. `sx`/`sy` are the uploaded positions,
+/// `existence` the observation mask, `detection` the framework's flags,
+/// `rx`/`ry` its reconstruction; all five matrices share the fleet shape.
+/// Deterministic, no hidden randomness.
+QualityScore evaluate_quality(const Matrix& sx, const Matrix& sy,
+                              const Matrix& existence,
+                              const Matrix& detection, const Matrix& rx,
+                              const Matrix& ry, double tau_s,
+                              const QualityConfig& config = {});
+
+}  // namespace mcs

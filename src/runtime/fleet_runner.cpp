@@ -60,6 +60,20 @@ std::uint64_t runtime_fingerprint(const RuntimeConfig& config) {
         h.mix_f64(c.cell_fraction);
         h.mix_u64(c.seed);
     }
+    // The adversary rewrites the fleet input before sharding, so the input
+    // fingerprint already covers its *effect* — but mixing the spec too
+    // gives a resume refusal that names the real cause (a changed spec)
+    // instead of a generic input mismatch.
+    if (config.adversary != nullptr && !config.adversary->spec().idle()) {
+        const AdversarySpec& a = config.adversary->spec();
+        h.mix_u64(a.collude);
+        h.mix_u64(a.outage);
+        h.mix_u64(a.outage_span);
+        h.mix_f64(a.outage_noise_m);
+        h.mix_u64(a.replay);
+        h.mix_u64(a.replay_shift);
+        h.mix_u64(a.seed);
+    }
     return h.digest();
 }
 
@@ -187,6 +201,28 @@ FleetResult FleetRunner::run(const ItscsInput& input,
 FleetResult FleetRunner::run(const ItscsInput& input,
                              const ItscsConfig& base_config,
                              WarmStartState* warm, PipelineContext* ctx) {
+    // Structured adversary: transform the fleet once, on the calling
+    // thread, before any shard boundary exists — collusion and replay are
+    // cross-participant, so applying them per shard would change the
+    // numerics with the decomposition. The downstream input fingerprint
+    // is computed over the transformed matrices, keeping checkpoint
+    // resume sound (the same spec re-produces the same bytes).
+    if (config_.adversary != nullptr && !config_.adversary->spec().idle()) {
+        ItscsInput transformed = input;
+        AdversaryInjection injection = config_.adversary->apply(
+            transformed.sx, transformed.sy, transformed.vx, transformed.vy,
+            transformed.existence, transformed.tau_s);
+        FleetResult out = run_sharded(transformed, base_config, warm, ctx);
+        out.adversary = std::move(injection);
+        return out;
+    }
+    return run_sharded(input, base_config, warm, ctx);
+}
+
+FleetResult FleetRunner::run_sharded(const ItscsInput& input,
+                                     const ItscsConfig& base_config,
+                                     WarmStartState* warm,
+                                     PipelineContext* ctx) {
     // Resolve the effective solver backend: the RuntimeConfig knob applies
     // when the core config keeps the default, so the backend can be chosen
     // on either side (CLI --solver sets the runtime knob; programmatic

@@ -41,6 +41,7 @@
 #include "common/failure.hpp"
 #include "core/itscs.hpp"
 #include "core/streaming.hpp"
+#include "corruption/adversary.hpp"
 #include "linalg/kernels.hpp"
 #include "runtime/shard_plan.hpp"
 #include "runtime/thread_pool.hpp"
@@ -116,6 +117,16 @@ struct RuntimeConfig {
     /// ladder's lower rungs always see an injector-free world.
     const ChaosInjector* chaos = nullptr;
 
+    /// Optional structured adversary (tests and `--adversary`, DESIGN.md
+    /// §16); borrowed, must outlive every run(). Unlike chaos — which
+    /// strikes per shard, inside the workers — the adversary transforms
+    /// the *fleet* input once, on the calling thread, before sharding:
+    /// collusion and replay are cross-participant by construction and must
+    /// not depend on shard boundaries. Part of the numerics, so it is
+    /// mixed into the checkpoint runtime fingerprint when non-idle; a
+    /// null or idle injector leaves the run bit-identical to before.
+    const AdversaryInjector* adversary = nullptr;
+
     /// Directory for the durable checkpoint (manifest + shard journal, see
     /// persist/checkpoint.hpp); empty = checkpointing off. Created on
     /// first use. Each completed shard is committed as one CRC-framed
@@ -169,6 +180,10 @@ struct FleetResult {
     ItscsResult aggregate;
     std::vector<ShardRunReport> shards;
     CheckpointSummary checkpoint;
+    /// Ground truth of the adversary injection (empty mask when
+    /// RuntimeConfig::adversary is null or idle). The aggregate's
+    /// detection can be scored against this mask directly.
+    AdversaryInjection adversary;
 };
 
 /// Shard-parallel driver around run_itscs. Owns its worker pool and one
@@ -225,6 +240,11 @@ public:
     WindowEvaluator window_evaluator();
 
 private:
+    /// The sharded execution itself; `input` is post-adversary.
+    FleetResult run_sharded(const ItscsInput& input,
+                            const ItscsConfig& base_config,
+                            WarmStartState* warm, PipelineContext* ctx);
+
     RuntimeConfig config_;
     std::size_t threads_ = 1;
     std::unique_ptr<ThreadPool> pool_;        // null when threads_ == 1

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
 
@@ -72,6 +75,28 @@ TEST(Stopwatch, MeasuresElapsedTime) {
     EXPECT_GE(sw.elapsed_seconds(), 0.005);
     sw.restart();
     EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+TEST(Format, EditDistance) {
+    EXPECT_EQ(edit_distance("", ""), 0u);
+    EXPECT_EQ(edit_distance("abc", ""), 3u);
+    EXPECT_EQ(edit_distance("", "abc"), 3u);
+    EXPECT_EQ(edit_distance("collude", "collude"), 0u);
+    EXPECT_EQ(edit_distance("colude", "collude"), 1u);   // insertion
+    EXPECT_EQ(edit_distance("colludee", "collude"), 1u); // deletion
+    EXPECT_EQ(edit_distance("collide", "collude"), 1u);  // substitution
+    EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(Format, NearestCandidatePicksWithinThreshold) {
+    const std::vector<std::string> keys = {"collude", "outage", "replay",
+                                           "seed"};
+    EXPECT_EQ(nearest_candidate("colude", keys), "collude");
+    EXPECT_EQ(nearest_candidate("outge", keys), "outage");
+    EXPECT_EQ(nearest_candidate("sede", keys), "seed");
+    // Too far from everything: no suggestion rather than a wild guess.
+    EXPECT_EQ(nearest_candidate("zzzzzzzz", keys), "");
+    EXPECT_EQ(nearest_candidate("x", {}), "");
 }
 
 }  // namespace

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "linalg/ops.hpp"
+#include "corruption/adversary.hpp"
 #include "corruption/existence.hpp"
 #include "corruption/fault_injector.hpp"
 #include "corruption/velocity_faults.hpp"
@@ -278,6 +283,252 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ScenarioProperty,
     ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.5),
                        ::testing::Values(0.0, 0.1, 0.3, 0.5)));
+
+// ---- Structured adversary (DESIGN.md §16) ------------------------------
+
+bool same_cells(const Matrix& a, const Matrix& b) {
+    const auto da = a.data();
+    const auto db = b.data();
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::equal(da.begin(), da.end(), db.begin());
+}
+
+CorruptedDataset adversary_base(std::uint64_t seed = 3) {
+    const TraceDataset truth = make_small_dataset(seed, 24, 40);
+    CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    config.fault_ratio = 0.1;
+    config.seed = 7;
+    return corrupt(truth, config);
+}
+
+AdversaryInjection apply_to(CorruptedDataset& data,
+                            const AdversarySpec& spec) {
+    const AdversaryInjector injector(spec);
+    return injector.apply(data.sx, data.sy, data.vx, data.vy,
+                          data.existence, data.tau_s, &data.fault);
+}
+
+TEST(AdversarySpec, ParsesTheFullGrammar) {
+    const AdversarySpec spec = AdversarySpec::parse(
+        "collude=8,outage=12,outagespan=20,outagenoise=35.5,replay=3,"
+        "replayshift=7,seed=99");
+    EXPECT_EQ(spec.collude, 8u);
+    EXPECT_EQ(spec.outage, 12u);
+    EXPECT_EQ(spec.outage_span, 20u);
+    EXPECT_DOUBLE_EQ(spec.outage_noise_m, 35.5);
+    EXPECT_EQ(spec.replay, 3u);
+    EXPECT_EQ(spec.replay_shift, 7u);
+    EXPECT_EQ(spec.seed, 99u);
+    EXPECT_FALSE(spec.idle());
+    EXPECT_TRUE(AdversarySpec::parse("").idle());
+    EXPECT_TRUE(AdversarySpec::parse("seed=4").idle());
+}
+
+TEST(AdversarySpec, UnknownKeySuggestsTheNearestOne) {
+    try {
+        AdversarySpec::parse("colude=8");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("did you mean 'collude'"),
+                  std::string::npos)
+            << error.what();
+    }
+    // Nothing close: the message enumerates the grammar instead.
+    try {
+        AdversarySpec::parse("zzzzzzzz=1");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("expected collude"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(AdversarySpec, RejectsMalformedSpecs) {
+    EXPECT_THROW(AdversarySpec::parse("collude"), Error);
+    EXPECT_THROW(AdversarySpec::parse("collude=abc"), Error);
+    EXPECT_THROW(AdversarySpec::parse("collude=4x"), Error);
+    EXPECT_THROW(AdversarySpec::parse("outagenoise=-3"), Error);
+    EXPECT_THROW(AdversarySpec::parse("replay=2,replayshift=0"), Error);
+}
+
+TEST(Adversary, ApplyIsDeterministicInSpecAndSeed) {
+    CorruptedDataset a = adversary_base();
+    CorruptedDataset b = adversary_base();
+    const AdversarySpec spec =
+        AdversarySpec::parse("collude=4,outage=6,replay=2,seed=21");
+    const AdversaryInjection ia = apply_to(a, spec);
+    const AdversaryInjection ib = apply_to(b, spec);
+    EXPECT_TRUE(same_cells(a.sx, b.sx));
+    EXPECT_TRUE(same_cells(a.sy, b.sy));
+    EXPECT_TRUE(same_cells(a.existence, b.existence));
+    EXPECT_TRUE(same_cells(a.fault, b.fault));
+    EXPECT_TRUE(same_cells(ia.mask, ib.mask));
+    EXPECT_EQ(ia.colluders, ib.colluders);
+    EXPECT_EQ(ia.replays, ib.replays);
+    EXPECT_EQ(ia.outage_first_row, ib.outage_first_row);
+    EXPECT_EQ(ia.outage_first_slot, ib.outage_first_slot);
+}
+
+TEST(Adversary, CollusionKeepsUploadPatternAndMarksEveryObservedCell) {
+    CorruptedDataset data = adversary_base();
+    const CorruptedDataset before = data;
+    const AdversaryInjection injection =
+        apply_to(data, AdversarySpec::parse("collude=5,seed=11"));
+    ASSERT_EQ(injection.colluders.size(), 5u);
+    EXPECT_TRUE(same_cells(data.existence, before.existence));
+    std::size_t expected_marks = 0;
+    for (const std::size_t row : injection.colluders) {
+        for (std::size_t j = 0; j < data.slots(); ++j) {
+            if (before.existence(row, j) == 0.0) {
+                EXPECT_EQ(injection.mask(row, j), 0.0);
+                continue;
+            }
+            ++expected_marks;
+            EXPECT_EQ(injection.mask(row, j), 1.0);
+            EXPECT_EQ(data.fault(row, j), 1.0);
+        }
+    }
+    EXPECT_EQ(count_equal(injection.mask, 1.0), expected_marks);
+}
+
+TEST(Adversary, ColluderSetsAreNestedAcrossGrowingK) {
+    // The collude=4 fake rows must reappear verbatim inside collude=8:
+    // the degradation curve over k measures the adversary growing, not
+    // the RNG reshuffling.
+    CorruptedDataset small = adversary_base();
+    CorruptedDataset large = adversary_base();
+    const AdversaryInjection is =
+        apply_to(small, AdversarySpec::parse("collude=4,seed=11"));
+    const AdversaryInjection il =
+        apply_to(large, AdversarySpec::parse("collude=8,seed=11"));
+    ASSERT_EQ(is.colluders,
+              std::vector<std::size_t>(il.colluders.begin(),
+                                       il.colluders.begin() + 4));
+    for (const std::size_t row : is.colluders) {
+        for (std::size_t j = 0; j < small.slots(); ++j) {
+            EXPECT_EQ(small.sx(row, j), large.sx(row, j));
+            EXPECT_EQ(small.sy(row, j), large.sy(row, j));
+        }
+    }
+}
+
+TEST(Adversary, ReplayCopiesTheVictimShiftedCircularly) {
+    CorruptedDataset data = adversary_base();
+    const CorruptedDataset before = data;
+    const AdversarySpec spec =
+        AdversarySpec::parse("replay=2,replayshift=5,seed=13");
+    const AdversaryInjection injection = apply_to(data, spec);
+    ASSERT_EQ(injection.replays.size(), 2u);
+    const std::size_t t = data.slots();
+    for (const auto& [fraud, victim] : injection.replays) {
+        EXPECT_NE(fraud, victim);
+        for (std::size_t j = 0; j < t; ++j) {
+            const std::size_t js = (j + t - 5) % t;
+            if (before.existence(victim, js) == 0.0) {
+                EXPECT_EQ(data.existence(fraud, j), 0.0);
+                EXPECT_EQ(injection.mask(fraud, j), 0.0);
+                continue;
+            }
+            EXPECT_EQ(data.existence(fraud, j), 1.0);
+            EXPECT_EQ(data.sx(fraud, j), before.sx(victim, js));
+            EXPECT_EQ(data.sy(fraud, j), before.sy(victim, js));
+            EXPECT_EQ(injection.mask(fraud, j), 1.0);
+            EXPECT_EQ(data.fault(fraud, j), 1.0);
+            // The victim's own row is untouched.
+            EXPECT_EQ(data.sx(victim, js), before.sx(victim, js));
+        }
+    }
+}
+
+TEST(Adversary, TotalOutageRemovesTheBlockAndClearsFaultMarks) {
+    CorruptedDataset data = adversary_base();
+    const CorruptedDataset before = data;
+    const AdversaryInjection injection =
+        apply_to(data, AdversarySpec::parse("outage=6,outagespan=10,seed=5"));
+    EXPECT_EQ(injection.outage_rows, 6u);
+    EXPECT_EQ(injection.outage_slots, 10u);
+    EXPECT_GT(injection.outage_cells, 0u);
+    // Dropped cells can be neither detected nor missed: no mask marks at
+    // all in total-outage mode.
+    EXPECT_EQ(count_equal(injection.mask, 1.0), 0u);
+    std::size_t removed = 0;
+    for (std::size_t i = injection.outage_first_row;
+         i < injection.outage_first_row + injection.outage_rows; ++i) {
+        for (std::size_t j = injection.outage_first_slot;
+             j < injection.outage_first_slot + injection.outage_slots; ++j) {
+            EXPECT_EQ(data.existence(i, j), 0.0);
+            EXPECT_EQ(data.fault(i, j), 0.0);
+            if (before.existence(i, j) != 0.0) {
+                ++removed;
+            }
+        }
+    }
+    EXPECT_EQ(removed, injection.outage_cells);
+}
+
+TEST(Adversary, DegradedOutageKeepsObservationsAndMarksThem) {
+    CorruptedDataset data = adversary_base();
+    const CorruptedDataset before = data;
+    const AdversaryInjection injection = apply_to(
+        data, AdversarySpec::parse("outage=6,outagenoise=40,seed=5"));
+    EXPECT_TRUE(same_cells(data.existence, before.existence));
+    EXPECT_EQ(count_equal(injection.mask, 1.0), injection.outage_cells);
+    bool any_moved = false;
+    for (std::size_t i = injection.outage_first_row;
+         i < injection.outage_first_row + injection.outage_rows; ++i) {
+        for (std::size_t j = injection.outage_first_slot;
+             j < injection.outage_first_slot + injection.outage_slots; ++j) {
+            if (before.existence(i, j) == 0.0) {
+                continue;
+            }
+            EXPECT_EQ(injection.mask(i, j), 1.0);
+            EXPECT_EQ(data.fault(i, j), 1.0);
+            any_moved = any_moved || data.sx(i, j) != before.sx(i, j);
+        }
+    }
+    EXPECT_TRUE(any_moved);
+}
+
+TEST(Adversary, OversizedRolesAreRejected) {
+    CorruptedDataset data = adversary_base();  // 24 participants
+    AdversarySpec spec;
+    spec.collude = 20;
+    spec.replay = 3;  // 20 + 2*3 > 24
+    EXPECT_THROW(apply_to(data, spec), Error);
+    AdversarySpec outage;
+    outage.outage = 25;
+    EXPECT_THROW(apply_to(data, outage), Error);
+}
+
+TEST(Adversary, ScenarioIntegrationCarriesTheInjection) {
+    const TraceDataset truth = make_small_dataset(3, 24, 40);
+    CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    config.fault_ratio = 0.1;
+    config.seed = 7;
+    const CorruptedDataset plain = corrupt(truth, config);
+    ASSERT_EQ(plain.adversary.mask.rows(), 24u);
+    EXPECT_EQ(count_equal(plain.adversary.mask, 1.0), 0u);
+
+    config.adversary = AdversarySpec::parse("collude=4,seed=21");
+    const CorruptedDataset hostile = corrupt(truth, config);
+    EXPECT_EQ(hostile.adversary.colluders.size(), 4u);
+    const std::size_t marks = count_equal(hostile.adversary.mask, 1.0);
+    EXPECT_GT(marks, 0u);
+    // Every masked cell is also a fault-mask cell: precision/recall stay
+    // defined against the combined ground truth.
+    for (std::size_t i = 0; i < hostile.participants(); ++i) {
+        for (std::size_t j = 0; j < hostile.slots(); ++j) {
+            if (hostile.adversary.mask(i, j) == 1.0) {
+                EXPECT_EQ(hostile.fault(i, j), 1.0);
+            }
+        }
+    }
+    // The i.i.d. background is untouched outside adversarial rows.
+    EXPECT_EQ(hostile.tau_s, plain.tau_s);
+}
 
 }  // namespace
 }  // namespace mcs

@@ -10,6 +10,7 @@
 #include "common/format.hpp"
 #include "detect/detection.hpp"
 #include "eval/heatmap.hpp"
+#include "eval/quality.hpp"
 #include "eval/table.hpp"
 #include "trace/simulator.hpp"
 
@@ -170,6 +171,94 @@ TEST(Heatmap, IndicatorValidatesBinary) {
     EXPECT_THROW(render_indicator_heatmap(out, Matrix(2, 2, 0.5)), Error);
     EXPECT_NO_THROW(render_indicator_heatmap(out, Matrix(2, 2, 1.0)));
     EXPECT_THROW(render_heatmap(out, Matrix()), Error);
+}
+
+// ---- Ground-truth-free quality score -----------------------------------
+
+TEST(Quality, PerfectRunScoresOne) {
+    // Reconstruction equals the uploads, all cells observed, nothing
+    // flagged, stationary fleet: every component is exactly 1.
+    const Matrix pos(3, 5, 100.0);
+    const Matrix ones(3, 5, 1.0);
+    const Matrix zeros(3, 5, 0.0);
+    const QualityScore score =
+        evaluate_quality(pos, pos, ones, zeros, pos, pos, 30.0);
+    EXPECT_DOUBLE_EQ(score.residual_consistency, 1.0);
+    EXPECT_DOUBLE_EQ(score.velocity_plausibility, 1.0);
+    EXPECT_DOUBLE_EQ(score.detection_load, 1.0);
+    EXPECT_DOUBLE_EQ(score.composite, 1.0);
+    EXPECT_EQ(score.observed_cells, 15u);
+    EXPECT_EQ(score.retained_cells, 15u);
+    EXPECT_EQ(score.adjacent_pairs, 12u);
+}
+
+TEST(Quality, VacuousEvidenceScoresOne) {
+    // Nothing observed at all: no evidence of a problem, score 1 by the
+    // same convention ConfusionCounts uses.
+    const Matrix m(2, 4, 0.0);
+    const QualityScore score =
+        evaluate_quality(m, m, m, m, m, m, 30.0);
+    EXPECT_DOUBLE_EQ(score.composite, 1.0);
+    EXPECT_EQ(score.observed_cells, 0u);
+    EXPECT_EQ(score.adjacent_pairs, 0u);
+}
+
+TEST(Quality, ResidualsAgainstReconstructionLowerConsistency) {
+    const Matrix pos(2, 4, 100.0);
+    const Matrix ones(2, 4, 1.0);
+    const Matrix zeros(2, 4, 0.0);
+    Matrix rx = pos;
+    for (std::size_t j = 0; j < 4; ++j) {
+        rx(0, j) = 150.0;  // 50 m residual on row 0 = the decay scale
+    }
+    const QualityScore score =
+        evaluate_quality(pos, pos, ones, zeros, rx, pos, 30.0);
+    EXPECT_LT(score.residual_consistency, 1.0);
+    EXPECT_DOUBLE_EQ(score.velocity_plausibility, 1.0);
+    EXPECT_LT(score.composite, 1.0);
+}
+
+TEST(Quality, TeleportingPairLowersPlausibility) {
+    Matrix sx(1, 3, 0.0);
+    sx(0, 1) = 10000.0;  // 10 km in one 30 s slot: not drivable
+    sx(0, 2) = 10000.0;
+    const Matrix sy(1, 3, 0.0);
+    const Matrix ones(1, 3, 1.0);
+    const Matrix zeros(1, 3, 0.0);
+    const QualityScore score =
+        evaluate_quality(sx, sy, ones, zeros, sx, sy, 30.0);
+    EXPECT_EQ(score.adjacent_pairs, 2u);
+    EXPECT_DOUBLE_EQ(score.velocity_plausibility, 0.5);
+}
+
+TEST(Quality, FlagsReduceDetectionLoadAndSkipResiduals) {
+    const Matrix pos(2, 4, 100.0);
+    const Matrix ones(2, 4, 1.0);
+    Matrix detection(2, 4, 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+        detection(1, j) = 1.0;  // half the fleet flagged
+    }
+    Matrix rx = pos;
+    for (std::size_t j = 0; j < 4; ++j) {
+        rx(1, j) = 9999.0;  // huge residuals, but on flagged cells only
+    }
+    const QualityScore score =
+        evaluate_quality(pos, pos, ones, detection, rx, pos, 30.0);
+    EXPECT_DOUBLE_EQ(score.detection_load, 0.5);
+    // Flagged cells are excluded from the residual pool: the framework
+    // already disowned those readings.
+    EXPECT_DOUBLE_EQ(score.residual_consistency, 1.0);
+    EXPECT_EQ(score.retained_cells, 4u);
+}
+
+TEST(Quality, ValidatesShapesAndScales) {
+    const Matrix a(2, 3, 0.0);
+    const Matrix b(3, 2, 0.0);
+    EXPECT_THROW(evaluate_quality(a, a, a, a, a, b, 30.0), Error);
+    EXPECT_THROW(evaluate_quality(a, a, a, a, a, a, 0.0), Error);
+    QualityConfig config;
+    config.residual_scale_m = 0.0;
+    EXPECT_THROW(evaluate_quality(a, a, a, a, a, a, 30.0, config), Error);
 }
 
 }  // namespace

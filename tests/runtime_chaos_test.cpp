@@ -299,6 +299,25 @@ TEST(ChaosConfig, RejectsMalformedSpecs) {
     EXPECT_THROW(ChaosConfig::parse("seed=-1x"), Error);
 }
 
+TEST(ChaosConfig, UnknownKeySuggestsTheNearestOne) {
+    try {
+        ChaosConfig::parse("nang=0.5");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("did you mean 'nan'"),
+                  std::string::npos)
+            << error.what();
+    }
+    try {
+        ChaosConfig::parse("slotlos=3");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("did you mean 'slotloss'"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(ChaosInjector, PlansArePureFunctionsOfSeedAndShard) {
     ChaosConfig config;
     config.nan_velocity = 0.5;

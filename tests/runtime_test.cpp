@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "corruption/adversary.hpp"
 #include "corruption/scenario.hpp"
 #include "linalg/kernel_tier.hpp"
 #include "eval/methods.hpp"
@@ -675,6 +676,88 @@ TEST(FleetRunner, SingleParticipantShardCompletes) {
     EXPECT_TRUE(all_finite(fleet.aggregate.detection));
     EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_x));
     EXPECT_TRUE(all_finite(fleet.aggregate.reconstructed_y));
+}
+
+// ---- Structured adversary through the runtime seam ---------------------
+
+TEST(FleetRunner, AdversaryRunIsBitIdenticalAcrossThreadCounts) {
+    const ItscsInput input = fleet_input(30, 40);
+    const AdversaryInjector adversary(
+        AdversarySpec::parse("collude=4,outage=6,replay=2,seed=21"));
+
+    std::unique_ptr<FleetResult> reference;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = 10;
+        config.adversary = &adversary;
+        FleetRunner runner(config);
+        FleetResult fleet = runner.run(input, ItscsConfig{});
+        EXPECT_EQ(fleet.adversary.colluders.size(), 4u);
+        EXPECT_EQ(fleet.adversary.replays.size(), 2u);
+        if (reference == nullptr) {
+            reference = std::make_unique<FleetResult>(std::move(fleet));
+            continue;
+        }
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.detection,
+                                  reference->aggregate.detection))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_x,
+                                  reference->aggregate.reconstructed_x))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_y,
+                                  reference->aggregate.reconstructed_y))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.adversary.mask,
+                                  reference->adversary.mask))
+            << "threads=" << threads;
+    }
+}
+
+TEST(FleetRunner, AdversaryMustNotDependOnShardBoundaries) {
+    // Cross-participant faults are applied fleet-wide before sharding:
+    // re-sharding the same hostile fleet must not move the injection.
+    const ItscsInput input = fleet_input(30, 40);
+    const AdversaryInjector adversary(
+        AdversarySpec::parse("collude=4,replay=2,seed=21"));
+    std::unique_ptr<FleetResult> reference;
+    for (const std::size_t shard_size : {6u, 15u, 30u}) {
+        RuntimeConfig config;
+        config.threads = 2;
+        config.shard_size = shard_size;
+        config.adversary = &adversary;
+        FleetRunner runner(config);
+        FleetResult fleet = runner.run(input, ItscsConfig{});
+        if (reference == nullptr) {
+            reference = std::make_unique<FleetResult>(std::move(fleet));
+            continue;
+        }
+        EXPECT_EQ(fleet.adversary.colluders,
+                  reference->adversary.colluders);
+        EXPECT_TRUE(bitwise_equal(fleet.adversary.mask,
+                                  reference->adversary.mask));
+    }
+}
+
+TEST(FleetRunner, IdleAdversaryLeavesTheCleanPathBitIdentical) {
+    const ItscsInput input = fleet_input(30, 40);
+    RuntimeConfig plain;
+    plain.threads = 2;
+    plain.shard_size = 10;
+    FleetRunner plain_runner(plain);
+    const FleetResult want = plain_runner.run(input, ItscsConfig{});
+
+    const AdversaryInjector idle(AdversarySpec::parse("seed=77"));
+    RuntimeConfig config = plain;
+    config.adversary = &idle;
+    FleetRunner runner(config);
+    const FleetResult got = runner.run(input, ItscsConfig{});
+    EXPECT_TRUE(bitwise_equal(got.aggregate.detection,
+                              want.aggregate.detection));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_x,
+                              want.aggregate.reconstructed_x));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_y,
+                              want.aggregate.reconstructed_y));
 }
 
 }  // namespace

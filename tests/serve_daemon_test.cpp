@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "corruption/adversary.hpp"
 #include "corruption/chaos.hpp"
 #include "corruption/scenario.hpp"
 #include "serve/ingest_queue.hpp"
@@ -391,6 +392,78 @@ TEST(IngestDaemon, JournalReplayReproducesUninterruptedRun) {
         ASSERT_EQ(got[k].detection.cols(), want[k].detection.cols());
         const auto got_cells = got[k].detection.data();
         const auto want_cells = want[k].detection.data();
+        for (std::size_t c = 0; c < got_cells.size(); ++c) {
+            ASSERT_EQ(got_cells[c], want_cells[c])
+                << "window " << k << " cell " << c;
+        }
+        const auto got_x = got[k].reconstructed_x.data();
+        const auto want_x = want[k].reconstructed_x.data();
+        for (std::size_t c = 0; c < got_x.size(); ++c) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(got_x[c]),
+                      std::bit_cast<std::uint64_t>(want_x[c]))
+                << "window " << k << " cell " << c;
+        }
+    }
+}
+
+TEST(IngestDaemon, AdversarialStreamReplaysBitIdenticallyAfterResume) {
+    // The adversary acts client-side: colluded and replayed rows arrive
+    // through the normal ingest path as valid-looking uploads, so the
+    // daemon journals them like any other reading — and a crash/resume
+    // must reproduce the hostile run's reports bit for bit.
+    const std::size_t kSlots = 60;
+    const std::size_t kCrashAt = 29;
+    CorruptedDataset data = make_stream(31, 10, kSlots);
+    const AdversaryInjector adversary(
+        AdversarySpec::parse("collude=2,replay=1,seed=17"));
+    adversary.apply(data.sx, data.sy, data.vx, data.vy, data.existence,
+                    data.tau_s, &data.fault);
+
+    ServeConfig config = small_config(10);
+    config.tau_s = data.tau_s;
+    config.flush_tail = false;
+
+    std::vector<WindowReport> want;
+    {
+        IngestDaemon daemon(config);
+        daemon.start();
+        for (std::size_t j = 0; j < kSlots; ++j) {
+            daemon.submit(slot_of(data, j));
+        }
+        daemon.finish();
+        want = daemon.drain();
+    }
+    ASSERT_FALSE(want.empty());
+
+    JournalDir dir;
+    ServeConfig journaled = config;
+    journaled.journal_path = dir.journal();
+    {
+        IngestDaemon daemon(journaled);
+        daemon.start();
+        for (std::size_t j = 0; j < kCrashAt; ++j) {
+            daemon.submit(slot_of(data, j));
+        }
+        daemon.finish();  // simulated kill mid-window
+    }
+
+    ServeConfig resumed = journaled;
+    resumed.resume = true;
+    IngestDaemon daemon(resumed);
+    daemon.start();
+    EXPECT_EQ(daemon.stats().slots_replayed, kCrashAt);
+    for (std::size_t j = kCrashAt; j < kSlots; ++j) {
+        daemon.submit(slot_of(data, j));
+    }
+    daemon.finish();
+
+    const auto got = daemon.drain();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t k = 0; k < want.size(); ++k) {
+        EXPECT_EQ(got[k].first_slot, want[k].first_slot);
+        const auto got_cells = got[k].detection.data();
+        const auto want_cells = want[k].detection.data();
+        ASSERT_EQ(got_cells.size(), want_cells.size());
         for (std::size_t c = 0; c < got_cells.size(); ++c) {
             ASSERT_EQ(got_cells[c], want_cells[c])
                 << "window " << k << " cell " << c;

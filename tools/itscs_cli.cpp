@@ -20,7 +20,8 @@
 //                  [--threads N] [--shard-size K] [--shard-count C]
 //                  [--kernel-threads M] [--tier exact|fast]
 //                  [--row-block-threshold K]
-//                  [--chaos=SPEC] [--failure-report fr.json]
+//                  [--chaos=SPEC] [--adversary=SPEC]
+//                  [--failure-report fr.json]
 //                  [--shard-deadline S]
 //                  [--checkpoint-dir D] [--resume] [--strict]
 //                  --out cleaned.csv [--flags flags.csv]
@@ -41,7 +42,11 @@
 //       features and per-kernel FLOP totals) in --report and --stats-json.
 //       --chaos injects faults per the
 //       DESIGN.md §11 spec grammar (nan=p,inf=p,dup=p,diverge=p,throw=p,
-//       cells=q,seed=u,crash=k); --failure-report writes the per-shard
+//       cells=q,seed=u,crash=k); --adversary injects structured faults per
+//       the §16 grammar (collude=k,outage=r,outagespan=w,outagenoise=m,
+//       replay=k,replayshift=d,seed=u) fleet-wide before sharding, with
+//       the injection's role assignments echoed in --report;
+//       --failure-report writes the per-shard
 //       degradation outcomes (ladder level, attempts, structured
 //       failures) as JSON; --shard-deadline sets a per-shard wall-clock
 //       budget in seconds. Any of these forces the FleetRunner path.
@@ -143,6 +148,21 @@ mcs::Json kernel_info(mcs::KernelTier tier) {
     return out;
 }
 
+// Role assignments and touched-cell counts of one adversary injection,
+// echoed in --report so a detection score can be traced to the attack.
+mcs::Json adversary_info(const std::string& spec,
+                         const mcs::AdversaryInjection& injection) {
+    mcs::Json out = mcs::Json::object();
+    out["spec"] = spec;
+    out["colluders"] = injection.colluders.size();
+    out["replays"] = injection.replays.size();
+    out["outage_rows"] = injection.outage_rows;
+    out["outage_slots"] = injection.outage_slots;
+    out["outage_cells"] = injection.outage_cells;
+    out["adversarial_cells"] = mcs::count_equal(injection.mask, 1.0);
+    return out;
+}
+
 // ---- flag registry --------------------------------------------------------
 //
 // One row per --key the CLI understands, per subcommand. Single source of
@@ -173,6 +193,7 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"gamma", "G", "velocity-fault ratio (default 0)"},
         {"seed", "S", "corruption seed (default 1)"},
         {"drift", "", "contiguous drift bursts instead of i.i.d. bias"},
+        {"adversary", "SPEC", "structured adversary per DESIGN.md §16"},
         {"out", "FILE", "corrupted trace CSV to write"},
         {"truth-faults", "FILE", "CSV of injected fault cells"},
     };
@@ -190,6 +211,7 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"tier", "T", "kernel tier: exact | fast (default exact)"},
         {"row-block-threshold", "K", "min rows for row-blocked dispatch"},
         {"chaos", "SPEC", "fault injection per DESIGN.md §11 grammar"},
+        {"adversary", "SPEC", "structured adversary per DESIGN.md §16"},
         {"failure-report", "FILE", "per-shard degradation outcomes JSON"},
         {"shard-deadline", "S", "per-shard wall-clock budget in seconds"},
         {"checkpoint-dir", "DIR", "durable shard journal directory"},
@@ -213,6 +235,7 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"shard-count", "C", "shard count (when no --shard-size)"},
         {"tier", "T", "kernel tier: exact | fast (default exact)"},
         {"chaos", "SPEC", "§11 grammar incl. slotloss=k"},
+        {"adversary", "SPEC", "§16 adversary applied to the upload stream"},
         {"journal", "FILE", "CRC-framed ingest journal"},
         {"resume", "", "replay the journal, then continue the feed"},
         {"no-warm-start", "", "cold-start every window's CS solve"},
@@ -248,26 +271,6 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         return demo;
     }
     return none;
-}
-
-// Plain Levenshtein distance, for "did you mean --shard-size?" hints.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) {
-        row[j] = j;
-    }
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t next = std::min(
-                {row[j] + 1, row[j - 1] + 1,
-                 diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = row[j];
-            row[j] = next;
-        }
-    }
-    return row[b.size()];
 }
 
 // ---- tiny flag parser ---------------------------------------------------
@@ -309,18 +312,14 @@ public:
             if (found) {
                 continue;
             }
-            std::string nearest;
-            std::size_t best = key.size() + 1;
+            std::vector<std::string> names;
+            names.reserve(known.size());
             for (const FlagSpec& spec : known) {
-                const std::size_t d = edit_distance(key, spec.name);
-                if (d < best) {
-                    best = d;
-                    nearest = spec.name;
-                }
+                names.emplace_back(spec.name);
             }
             std::string message = "unknown flag --" + key;
-            // A hint further than ~half the flag away is noise, not help.
-            if (!nearest.empty() && best <= (nearest.size() + 1) / 2) {
+            const std::string nearest = mcs::nearest_candidate(key, names);
+            if (!nearest.empty()) {
                 message += " (did you mean --" + nearest + "?)";
             } else {
                 message += " (see `itscs help`)";
@@ -414,6 +413,9 @@ int cmd_corrupt(const Args& args) {
     if (args.has("drift")) {
         config.fault_model = mcs::FaultModel::kDrift;
     }
+    if (args.has("adversary")) {
+        config.adversary = mcs::AdversarySpec::parse(args.get("adversary"));
+    }
     const mcs::CorruptedDataset corrupted =
         mcs::corrupt(imported.dataset, config);
 
@@ -429,6 +431,14 @@ int cmd_corrupt(const Args& args) {
               << mcs::format_percent(config.fault_ratio, 0) << " faulty"
               << (args.has("drift") ? ", drift bursts" : "") << ") to "
               << args.get("out") << "\n";
+    if (args.has("adversary")) {
+        const mcs::AdversaryInjection& adv = corrupted.adversary;
+        std::cout << "adversary: " << adv.colluders.size()
+                  << " colluder(s), " << adv.replays.size()
+                  << " replayed row(s), outage " << adv.outage_rows << "x"
+                  << adv.outage_slots << " (" << adv.outage_cells
+                  << " cell(s))\n";
+    }
     return 0;
 }
 
@@ -496,10 +506,15 @@ int cmd_clean(const Args& args) {
     if (args.has("chaos")) {
         chaos_config = mcs::ChaosConfig::parse(args.get("chaos"));
     }
+    std::optional<mcs::AdversarySpec> adversary_spec;
+    if (args.has("adversary")) {
+        adversary_spec = mcs::AdversarySpec::parse(args.get("adversary"));
+    }
     const double shard_deadline = args.number("shard-deadline", 0.0);
     const bool use_runner = threads > 1 || shard_size > 0 ||
                             shard_count > 0 || kernel_threads > 1 ||
                             chaos_config.has_value() ||
+                            adversary_spec.has_value() ||
                             shard_deadline > 0.0 ||
                             args.has("failure-report") ||
                             args.has("checkpoint-dir") ||
@@ -508,6 +523,7 @@ int cmd_clean(const Args& args) {
     mcs::ItscsResult result;
     std::vector<mcs::ShardRunReport> shard_reports;
     mcs::CheckpointSummary checkpoint;
+    mcs::AdversaryInjection adversary_result;
     std::size_t resolved_shard_count = 1;
     if (use_runner) {
         mcs::RuntimeConfig runtime;
@@ -531,12 +547,19 @@ int cmd_clean(const Args& args) {
             injector = std::make_unique<mcs::ChaosInjector>(*chaos_config);
             runtime.chaos = injector.get();
         }
+        std::unique_ptr<mcs::AdversaryInjector> adversary;
+        if (adversary_spec.has_value()) {
+            adversary =
+                std::make_unique<mcs::AdversaryInjector>(*adversary_spec);
+            runtime.adversary = adversary.get();
+        }
         mcs::FleetRunner runner(runtime);
         mcs::FleetResult fleet =
             runner.run(input, config, want_stats ? &ctx : nullptr);
         result = std::move(fleet.aggregate);
         shard_reports = std::move(fleet.shards);
         checkpoint = std::move(fleet.checkpoint);
+        adversary_result = std::move(fleet.adversary);
         resolved_shard_count = shard_reports.size();
     } else {
         result = mcs::run_itscs(input, config, {},
@@ -580,6 +603,10 @@ int cmd_clean(const Args& args) {
         }
         report["history"] = history;
         report["kernel"] = kernel_info(tier);
+        if (adversary_spec.has_value()) {
+            report["adversary"] =
+                adversary_info(args.get("adversary"), adversary_result);
+        }
         if (use_runner) {
             mcs::Json runtime = mcs::Json::object();
             runtime["threads"] = threads;
@@ -709,6 +736,24 @@ int cmd_serve(const Args& args) {
     const mcs::ImportedTrace imported =
         mcs::read_trace_csv_file(args.get("in"), n, t, 30.0);
 
+    // Structured adversary (§16), applied on the *client* side of the
+    // daemon: colluded, replayed and degraded rows arrive through the
+    // ingest path as individually valid-looking uploads, so boundary
+    // validation cannot reject them — only the detector can.
+    mcs::Matrix stream_x = imported.dataset.x;
+    mcs::Matrix stream_y = imported.dataset.y;
+    mcs::Matrix stream_vx = imported.dataset.vx;
+    mcs::Matrix stream_vy = imported.dataset.vy;
+    mcs::Matrix stream_existence = imported.existence;
+    mcs::AdversaryInjection adversary_result;
+    if (args.has("adversary")) {
+        const mcs::AdversaryInjector adversary(
+            mcs::AdversarySpec::parse(args.get("adversary")));
+        adversary_result = adversary.apply(stream_x, stream_y, stream_vx,
+                                           stream_vy, stream_existence,
+                                           imported.dataset.tau_s);
+    }
+
     mcs::ServeConfig serve;
     serve.participants = n;
     serve.tau_s = imported.dataset.tau_s;
@@ -767,12 +812,11 @@ int cmd_serve(const Args& args) {
         upload.vy.resize(n);
         upload.observed.resize(n);
         for (std::size_t i = 0; i < n; ++i) {
-            upload.x[i] = imported.dataset.x(i, j);
-            upload.y[i] = imported.dataset.y(i, j);
-            upload.vx[i] = imported.dataset.vx(i, j);
-            upload.vy[i] = imported.dataset.vy(i, j);
-            upload.observed[i] =
-                imported.existence(i, j) == 1.0 ? 1 : 0;
+            upload.x[i] = stream_x(i, j);
+            upload.y[i] = stream_y(i, j);
+            upload.vx[i] = stream_vx(i, j);
+            upload.vy[i] = stream_vy(i, j);
+            upload.observed[i] = stream_existence(i, j) == 1.0 ? 1 : 0;
         }
         daemon.submit(std::move(upload));
     }
@@ -826,6 +870,10 @@ int cmd_serve(const Args& args) {
             failure_rows.push_back(failure.to_json());
         }
         report["failures"] = failure_rows;
+        if (args.has("adversary")) {
+            report["adversary"] =
+                adversary_info(args.get("adversary"), adversary_result);
+        }
         report["kernel"] = kernel_info(tier);
         mcs::write_json_file(args.get("report"), report);
     }
@@ -951,8 +999,8 @@ int usage() {
            "[--extent-km E] --out trace.csv\n"
            "  corrupt  --in trace.csv --participants N --slots T "
            "[--alpha A] [--beta B]\n"
-           "           [--gamma G] [--seed S] [--drift] --out c.csv "
-           "[--truth-faults f.csv]\n"
+           "           [--gamma G] [--seed S] [--drift] [--adversary=SPEC]\n"
+           "           --out c.csv [--truth-faults f.csv]\n"
            "  clean    --in c.csv --participants N --slots T "
            "[--variant full|no-v|no-vt]\n"
            "           [--solver asd|lrsd] [--estimate-velocity] "
@@ -960,7 +1008,8 @@ int usage() {
            "           [--shard-size K] [--shard-count C]\n"
            "           [--kernel-threads M] [--tier exact|fast] "
            "[--row-block-threshold K]\n"
-           "           [--chaos=SPEC] [--failure-report fr.json]\n"
+           "           [--chaos=SPEC] [--adversary=SPEC] "
+           "[--failure-report fr.json]\n"
            "           [--shard-deadline S] [--checkpoint-dir D] "
            "[--resume] [--strict]\n"
            "           --out cleaned.csv "
@@ -971,7 +1020,7 @@ int usage() {
            "           [--variant V] [--solver asd|lrsd] [--threads N] "
            "[--shard-size K]\n"
            "           [--shard-count C] [--tier exact|fast] "
-           "[--chaos=SPEC]\n"
+           "[--chaos=SPEC] [--adversary=SPEC]\n"
            "           [--journal j.bin] [--resume] [--no-warm-start]\n"
            "           [--warm-verify-every K] [--warm-verify-tolerance T]\n"
            "           [--queue-capacity Q] [--report r.json] "

@@ -19,6 +19,13 @@
 #                            --backend-sweep --quick), which exits non-zero
 #                            on empty or non-finite results in any
 #                            {regime, solver} cell
+#   tools/verify.sh adv      adversary smoke: Release-build perf_pipeline
+#                            and run the structured-adversary degradation
+#                            sweep (--adversary-sweep --quick); the binary
+#                            exits non-zero on empty or non-finite cells,
+#                            or when the corruption-path and runtime-path
+#                            injections disagree, or when the hostile run
+#                            is not bit-identical across 1/2/7 workers
 #   tools/verify.sh stream   streaming smoke: Release-build the ingestion
 #                            daemon's trace-replay load generator
 #                            (bench/perf_streaming) and run it in --quick
@@ -84,6 +91,21 @@ perf() {
     rm -rf "$scratch"
 }
 
+adv() {
+    echo "== adv: build (Release) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target perf_pipeline
+    echo "== adv: structured-adversary degradation smoke =="
+    # Writes BENCH_adversary.json in cwd; run from a scratch dir so the
+    # committed full-sweep baseline isn't clobbered by quick numbers.
+    local scratch
+    scratch="$(mktemp -d)"
+    (cd "$scratch" &&
+        "$OLDPWD/build-release/bench/perf_pipeline" --adversary-sweep \
+            --quick --repeat 1 > /dev/null)
+    rm -rf "$scratch"
+}
+
 stream() {
     echo "== stream: build (Release) =="
     cmake --preset release
@@ -104,9 +126,10 @@ case "${1:-tier1}" in
     tsan) tsan ;;
     asan) asan ;;
     perf) perf ;;
+    adv) adv ;;
     stream) stream ;;
-    all) tier1; tsan; asan; perf; stream ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|stream|all]" >&2; exit 2 ;;
+    all) tier1; tsan; asan; perf; adv; stream ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|adv|stream|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
