@@ -55,6 +55,13 @@
 // adversarial fleet run is bit-identical at 1/2/7 worker threads.
 // Written to BENCH_adversary.json (and stdout); exits nonzero on empty
 // or non-finite cells or broken identities, like the backend shootout.
+//
+// Pass `--defense-sweep` for the adversary defence curves (DESIGN.md
+// §17): the nested-collusion sweep run defence-off and defence-on, the
+// k=24 breaking-point claim, quarantine outcomes, the clean-path
+// bit-identity and overhead guarantees, and the idle-suite identity at
+// 1/2/7 threads. Written to BENCH_defense.json (and stdout); exits
+// nonzero on invalid cells, clean-path deviations, or an unmet claim.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -1123,6 +1130,312 @@ mcs::Json adversary_sweep_report(std::size_t repeat, bool quick,
     return report;
 }
 
+// ---- defence sweep -----------------------------------------------------
+// The §16 adversary sweep established the blind spot: per-cell residual
+// detection collapses against colluding sub-fleets (F1 below 0.5 by
+// k=24). This sweep runs the same nested collusion curve twice — defence
+// off and defence on (the armed DefenseSpec default) — and records where
+// each curve breaks, plus adversary-cell recall, quarantine outcomes, the
+// provenance-aware quality score, and the two clean-path guarantees the
+// defence ships with: an armed suite on an honest fleet is bit-identical
+// to no defence at all, and its overhead is one analyze() pass.
+//
+// The fleet stays 160x120 even under --quick (fewer k points instead):
+// location corroboration needs operating density, and the suite
+// deliberately abstains on sub-critical fleets like the 80x60 quick
+// fleet of the adversary sweep — a quick cell there would measure the
+// abstention guard, not the defence.
+//
+// Written to BENCH_defense.json (and stdout); exits nonzero on a
+// non-finite cell, a defence-induced deviation on the clean fleet, an
+// idle-suite deviation at any thread count, clean overhead >= 2%, or an
+// unmet breaking-point claim (defence-off must fail at k=24, defence-on
+// must hold F1 >= 0.5 with adversary-cell recall >= 0.5 there).
+mcs::Json defense_sweep_report(std::size_t repeat, bool quick,
+                               bool* all_valid_out) {
+    const std::size_t shard_size = 40;
+    const std::size_t shards = 4;
+    const std::size_t slots = 120;
+    const std::size_t participants = shard_size * shards;
+
+    std::cerr << "defense sweep: simulating " << participants << "x"
+              << slots << " fleet" << (quick ? " (quick)" : "") << "...\n";
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(11, participants, slots);
+    mcs::CorruptionConfig base;
+    base.missing_ratio = 0.2;
+    base.fault_ratio = 0.05;
+    base.seed = 5;
+
+    const mcs::DefenseSuite armed{mcs::DefenseSpec{}};
+
+    struct Cell {
+        const char* family;
+        std::size_t level;
+        std::string spec;
+    };
+    std::vector<Cell> cells;
+    cells.push_back({"baseline", 0, ""});
+    const std::vector<std::size_t> collusion_sizes =
+        quick ? std::vector<std::size_t>{24}
+              : std::vector<std::size_t>{8, 16, 24, 32};
+    for (const std::size_t k : collusion_sizes) {
+        cells.push_back({"collusion", k,
+                         "collude=" + std::to_string(k) + ",seed=9"});
+    }
+    if (!quick) {
+        cells.push_back({"replay", 8, "replay=8,replayshift=5,seed=9"});
+    }
+
+    mcs::Json rows = mcs::Json::array();
+    bool all_valid = true;
+    std::vector<std::pair<std::size_t, double>> collusion_f1_off;
+    std::vector<std::pair<std::size_t, double>> collusion_f1_on;
+    std::vector<std::pair<std::size_t, double>> collusion_recall_on;
+    double clean_f1[2] = {0.0, 0.0};  // [off, on]
+    double clean_wall_ms[2] = {0.0, 0.0};
+    bool armed_clean_identical = true;
+
+    for (const Cell& cell : cells) {
+        mcs::CorruptionConfig corruption = base;
+        if (!cell.spec.empty()) {
+            corruption.adversary = mcs::AdversarySpec::parse(cell.spec);
+        }
+        const mcs::CorruptedDataset data = mcs::corrupt(truth, corruption);
+        const mcs::ItscsInput input = mcs::to_itscs_input(data);
+        mcs::FleetResult clean_runs[2];
+        for (const bool defended : {false, true}) {
+            std::cerr << "defense sweep: "
+                      << (cell.spec.empty() ? "baseline" : cell.spec)
+                      << " defense=" << (defended ? "on" : "off") << "\n";
+            mcs::RuntimeConfig config;
+            config.threads = 4;
+            config.shard_size = shard_size;
+            config.remainder = mcs::ShardRemainder::kTail;
+            config.solver = mcs::SolverKind::kAsd;
+            if (defended) {
+                config.defense = &armed;
+            }
+            mcs::FleetRunner runner(config);
+            runner.run(input, mcs::ItscsConfig{});  // warm-up
+            mcs::FleetResult fleet;
+            std::vector<double> samples;
+            samples.reserve(repeat);
+            for (std::size_t rep = 0; rep < repeat; ++rep) {
+                const mcs::Stopwatch timer;
+                fleet = runner.run(input, mcs::ItscsConfig{});
+                samples.push_back(timer.elapsed_seconds() * 1000.0);
+            }
+            const double wall_ms = median(std::move(samples));
+
+            const mcs::ConfusionCounts confusion = mcs::evaluate_detection(
+                fleet.aggregate.detection, data.fault, data.existence);
+            const double adv_recall = adversary_recall(
+                fleet.aggregate.detection, data.adversary.mask);
+            const double mae = mcs::reconstruction_mae(
+                truth.x, truth.y, fleet.aggregate.reconstructed_x,
+                fleet.aggregate.reconstructed_y, data.existence,
+                fleet.aggregate.detection);
+            // Provenance-aware quality (DESIGN.md §17): the collusion
+            // term sees the colluders the three self-consistency terms
+            // are blind to, defence or no defence.
+            mcs::QualityConfig quality_config;
+            quality_config.collusion_ratio = armed.spec().collusion;
+            const mcs::QualityScore quality = mcs::evaluate_quality(
+                data.sx, data.sy, data.existence,
+                fleet.aggregate.detection, fleet.aggregate.reconstructed_x,
+                fleet.aggregate.reconstructed_y, data.tau_s,
+                quality_config);
+
+            const bool finite =
+                !fleet.aggregate.detection.empty() &&
+                all_finite(fleet.aggregate.detection) &&
+                all_finite(fleet.aggregate.reconstructed_x) &&
+                all_finite(fleet.aggregate.reconstructed_y) &&
+                std::isfinite(confusion.f1()) && std::isfinite(mae) &&
+                std::isfinite(quality.composite) && std::isfinite(wall_ms);
+            all_valid = all_valid && finite;
+
+            const std::size_t index = defended ? 1 : 0;
+            if (std::string_view(cell.family) == "collusion") {
+                (defended ? collusion_f1_on : collusion_f1_off)
+                    .emplace_back(cell.level, confusion.f1());
+                if (defended) {
+                    collusion_recall_on.emplace_back(cell.level,
+                                                     adv_recall);
+                }
+            } else if (std::string_view(cell.family) == "baseline") {
+                clean_f1[index] = confusion.f1();
+                clean_wall_ms[index] = wall_ms;
+            }
+
+            mcs::Json row = mcs::Json::object();
+            row["family"] = std::string(cell.family);
+            row["level"] = cell.level;
+            row["spec"] = cell.spec;
+            row["defense"] = std::string(defended ? "on" : "off");
+            row["adversarial_cells"] =
+                mcs::count_equal(data.adversary.mask, 1.0);
+            row["precision"] = confusion.precision();
+            row["recall"] = confusion.recall();
+            row["f1"] = confusion.f1();
+            row["false_positive_rate"] = confusion.false_positive_rate();
+            row["adversary_recall"] = adv_recall;
+            row["reconstruction_mae_m"] = mae;
+            row["quality_composite"] = quality.composite;
+            row["quality_provenance_integrity"] =
+                quality.provenance_integrity;
+            row["participants_quarantined"] =
+                fleet.defense.quarantined.size();
+            row["quarantine_confirmed"] = fleet.defense.confirmed.size();
+            row["quarantine_reinstated"] =
+                fleet.defense.reinstated.size();
+            row["defense_trips"] = fleet.defense.trips;
+            row["wall_ms"] = wall_ms;
+            row["valid"] = finite;
+            rows.push_back(row);
+
+            if (std::string_view(cell.family) == "baseline") {
+                clean_runs[index] = std::move(fleet);
+            }
+        }
+        if (std::string_view(cell.family) == "baseline") {
+            // Clean-path guarantee #1: an armed suite that quarantines
+            // nobody must leave the output bit-identical.
+            armed_clean_identical =
+                clean_runs[1].defense.quarantined.empty() &&
+                bitwise_equal(clean_runs[0].aggregate.detection,
+                              clean_runs[1].aggregate.detection) &&
+                bitwise_equal(clean_runs[0].aggregate.reconstructed_x,
+                              clean_runs[1].aggregate.reconstructed_x) &&
+                bitwise_equal(clean_runs[0].aggregate.reconstructed_y,
+                              clean_runs[1].aggregate.reconstructed_y);
+        }
+    }
+    all_valid = all_valid && armed_clean_identical;
+
+    // Clean-path guarantee #2: the armed suite's whole cost on an honest
+    // fleet is one analyze() pass (empty quarantine leaves the single
+    // solve untouched), so the overhead is that pass against the clean
+    // solve wall. The difference of two full-run medians would gate the
+    // CI on scheduler noise, not on the defence.
+    const mcs::CorruptedDataset clean_data = mcs::corrupt(truth, base);
+    const mcs::ItscsInput clean_input = mcs::to_itscs_input(clean_data);
+    std::vector<double> analyze_samples;
+    for (std::size_t rep = 0; rep < std::max<std::size_t>(repeat, 3); ++rep) {
+        const mcs::Stopwatch timer;
+        const mcs::DefenseReport probe = armed.analyze(
+            clean_input.sx, clean_input.sy, clean_input.existence);
+        analyze_samples.push_back(timer.elapsed_seconds() * 1000.0);
+        all_valid = all_valid && probe.quarantined.empty();
+    }
+    const double analyze_ms = median(std::move(analyze_samples));
+    const double overhead_pct =
+        clean_wall_ms[0] > 0.0 ? 100.0 * analyze_ms / clean_wall_ms[0]
+                               : 0.0;
+    const bool overhead_ok =
+        std::isfinite(overhead_pct) && overhead_pct < 2.0;
+    all_valid = all_valid && overhead_ok;
+
+    // Idle-suite identity: `--defense collusion=0,replay=0,outage=0` must
+    // be indistinguishable from no --defense at all, at any thread count.
+    std::cerr << "defense sweep: idle identity checks\n";
+    const mcs::DefenseSuite idle(
+        mcs::DefenseSpec::parse("collusion=0,replay=0,outage=0"));
+    const auto run_with = [&](std::size_t threads,
+                              const mcs::DefenseSuite* defense) {
+        mcs::RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = shard_size;
+        config.remainder = mcs::ShardRemainder::kTail;
+        config.solver = mcs::SolverKind::kAsd;
+        config.defense = defense;
+        mcs::FleetRunner runner(config);
+        return runner.run(clean_input, mcs::ItscsConfig{});
+    };
+    const mcs::FleetResult plain = run_with(1, nullptr);
+    const auto same = [](const mcs::FleetResult& a,
+                         const mcs::FleetResult& b) {
+        return bitwise_equal(a.aggregate.detection, b.aggregate.detection) &&
+               bitwise_equal(a.aggregate.reconstructed_x,
+                             b.aggregate.reconstructed_x) &&
+               bitwise_equal(a.aggregate.reconstructed_y,
+                             b.aggregate.reconstructed_y);
+    };
+    bool idle_identical = true;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        idle_identical = idle_identical && same(plain, run_with(threads, &idle));
+    }
+    all_valid = all_valid && idle_identical;
+
+    // Breaking-point claim at k=24 (present in quick and full sweeps):
+    // the undefended detector has collapsed there, the defended one holds.
+    const auto at_level =
+        [](const std::vector<std::pair<std::size_t, double>>& curve,
+           std::size_t level) {
+            for (const auto& [k, value] : curve) {
+                if (k == level) {
+                    return value;
+                }
+            }
+            return -1.0;
+        };
+    const double off_f1_24 = at_level(collusion_f1_off, 24);
+    const double on_f1_24 = at_level(collusion_f1_on, 24);
+    const double on_recall_24 = at_level(collusion_recall_on, 24);
+    const bool claim_ok =
+        off_f1_24 >= 0.0 && off_f1_24 < 0.5 && on_f1_24 >= 0.5 &&
+        on_recall_24 >= 0.5;
+    all_valid = all_valid && claim_ok;
+
+    const auto breaking_point =
+        [](const std::vector<std::pair<std::size_t, double>>& curve) {
+            for (const auto& [k, f1] : curve) {
+                if (f1 < 0.5) {
+                    return mcs::Json(k);
+                }
+            }
+            return mcs::Json(nullptr);
+        };
+
+    mcs::Json report = mcs::Json::object();
+    report["fleet"] = mcs::Json::object();
+    report["fleet"]["participants"] = participants;
+    report["fleet"]["slots"] = slots;
+    report["fleet"]["shard_size"] = shard_size;
+    report["fleet"]["shards"] = shards;
+    report["background"] = mcs::Json::object();
+    report["background"]["missing_ratio"] = base.missing_ratio;
+    report["background"]["fault_ratio"] = base.fault_ratio;
+    mcs::stamp_environment(report, repeat, /*threads_used=*/4, quick);
+    report["sweep"] = std::move(rows);
+    mcs::Json breaking = mcs::Json::object();
+    breaking["clean_f1_defense_off"] = clean_f1[0];
+    breaking["clean_f1_defense_on"] = clean_f1[1];
+    breaking["f1_below_half_defense_off"] =
+        breaking_point(collusion_f1_off);
+    breaking["f1_below_half_defense_on"] = breaking_point(collusion_f1_on);
+    breaking["defense_off_f1_at_k24"] = off_f1_24;
+    breaking["defense_on_f1_at_k24"] = on_f1_24;
+    breaking["defense_on_adversary_recall_at_k24"] = on_recall_24;
+    breaking["claim_holds"] = claim_ok;
+    report["collusion_breaking_point"] = std::move(breaking);
+    mcs::Json clean_path = mcs::Json::object();
+    clean_path["armed_clean_bit_identical"] = armed_clean_identical;
+    clean_path["idle_bit_identical_at_1_2_7_threads"] = idle_identical;
+    clean_path["clean_wall_ms_defense_off"] = clean_wall_ms[0];
+    clean_path["clean_wall_ms_defense_on"] = clean_wall_ms[1];
+    clean_path["analyze_ms"] = analyze_ms;
+    clean_path["overhead_pct"] = overhead_pct;
+    clean_path["overhead_below_2pct"] = overhead_ok;
+    report["clean_path"] = std::move(clean_path);
+    report["all_valid"] = all_valid;
+    if (all_valid_out != nullptr) {
+        *all_valid_out = all_valid;
+    }
+    return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1132,6 +1445,7 @@ int main(int argc, char** argv) {
     bool checkpoint_sweep = false;
     bool backend_sweep = false;
     bool adversary_sweep = false;
+    bool defense_sweep = false;
     bool quick = false;
     std::size_t repeat = 0;  // 0 = per-sweep default
     std::vector<char*> args;
@@ -1164,6 +1478,10 @@ int main(int argc, char** argv) {
         }
         if (std::string_view(argv[i]) == "--adversary-sweep") {
             adversary_sweep = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--defense-sweep") {
+            defense_sweep = true;
             continue;
         }
         if (std::string_view(argv[i]) == "--quick") {
@@ -1220,6 +1538,21 @@ int main(int argc, char** argv) {
         if (!all_valid) {
             std::cerr << "adversary sweep: FAILED — empty, non-finite, or "
                          "non-reproducible results in at least one cell\n";
+            return 1;
+        }
+        return 0;
+    }
+    if (defense_sweep) {
+        bool all_valid = false;
+        const mcs::Json report = defense_sweep_report(
+            repeat == 0 ? 3 : repeat, quick, &all_valid);
+        std::ofstream out("BENCH_defense.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        if (!all_valid) {
+            std::cerr << "defense sweep: FAILED — a non-finite cell, a "
+                         "clean-path deviation or overhead regression, or "
+                         "an unmet k=24 breaking-point claim\n";
             return 1;
         }
         return 0;

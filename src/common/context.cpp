@@ -121,6 +121,9 @@ void PipelineContext::absorb(const PipelineCounters& counters,
         counters.checkpoint_shards_resumed;
     counters_.checkpoint_corrupt_frames +=
         counters.checkpoint_corrupt_frames;
+    counters_.participants_quarantined += counters.participants_quarantined;
+    counters_.defense_trips += counters.defense_trips;
+    counters_.quarantine_reinstated += counters.quarantine_reinstated;
     for (const PhaseStat& stat : phases) {
         PhaseStat& mine = stats_[stat_index(stat.name)];
         mine.calls += stat.calls;
@@ -169,6 +172,10 @@ Json PipelineContext::to_json() const {
         counters_.checkpoint_shards_resumed;
     counters["checkpoint_corrupt_frames"] =
         counters_.checkpoint_corrupt_frames;
+    counters["participants_quarantined"] =
+        counters_.participants_quarantined;
+    counters["defense_trips"] = counters_.defense_trips;
+    counters["quarantine_reinstated"] = counters_.quarantine_reinstated;
 
     Json phases = Json::array();
     for (const PhaseStat& stat : stats_) {

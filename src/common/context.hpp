@@ -108,6 +108,9 @@ struct PipelineCounters {
     std::uint64_t checkpoint_commits = 0;     ///< shard frames journaled
     std::uint64_t checkpoint_shards_resumed = 0;  ///< shards restored, not run
     std::uint64_t checkpoint_corrupt_frames = 0;  ///< journal frames lost
+    std::uint64_t participants_quarantined = 0;   ///< rows entering quarantine
+    std::uint64_t defense_trips = 0;          ///< defence tests that fired
+    std::uint64_t quarantine_reinstated = 0;  ///< rows cleared by the re-test
 };
 
 /// Accumulated inclusive wall time for one named phase.

@@ -118,6 +118,12 @@ struct ItscsResult {
     /// Empty when the run never completed a CORRECT pass.
     FactorPair factors_x;
     FactorPair factors_y;
+    /// Participants the runtime defence layer confirmed in quarantine
+    /// (sorted row indices). run_itscs itself never fills this — the core
+    /// loop knows nothing of the defence — but FleetRunner's quarantine
+    /// ladder stamps its aggregate result here so streaming callers (the
+    /// serve daemon) see the decisions through the WindowEvaluator seam.
+    std::vector<std::size_t> quarantined;
 };
 
 /// Observer invoked after each full DETECT→CORRECT→CHECK iteration with the

@@ -216,6 +216,7 @@ void StreamingDetector::evaluate_window() {
     report.reconstructed_y = std::move(result.reconstructed_y);
     report.iterations = result.iterations;
     report.converged = result.converged;
+    report.quarantined = std::move(result.quarantined);
     last_eval_slot_ = slots_received_;
     reports_.push_back(std::move(report));
 }

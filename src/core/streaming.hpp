@@ -84,6 +84,9 @@ struct WindowReport {
     bool warm_verified = false;  ///< the cold verification gate ran
     bool warm_reset = false;     ///< gate tripped; cold result substituted
     double warm_deviation = 0.0; ///< relative Frobenius warm-vs-cold gap
+    /// Participants the evaluator's defence layer confirmed in quarantine
+    /// for this window (sorted; empty when no defence is wired in).
+    std::vector<std::size_t> quarantined;
 };
 
 /// Sliding-window online wrapper around run_itscs().

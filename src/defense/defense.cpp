@@ -1,0 +1,1289 @@
+#include "defense/defense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "linalg/stats.hpp"
+
+namespace mcs {
+
+namespace {
+
+// Replayed readings are byte-exact copies; the tolerance only absorbs the
+// round-trip through any serialisation a deployment might add.
+constexpr double kMatchTolM = 1e-6;
+// A replay preserves its victim's observed mean exactly, so the pairwise
+// scan only runs on pairs whose means agree to within this many metres.
+constexpr double kMeanPrescreenM = 1.0;
+// Leave-group-out peeling: rows below this fraction of the trusted-set
+// median leave the trusted set for the next round. Deliberately softer
+// than the final flag threshold (median / ratio): peeling only has to
+// evict the clique so its mutual support stops counting; the final
+// threshold then re-admits honest loners the peel swept up.
+constexpr double kPeelFraction = 0.75;
+// Peel/flag/re-test iterations.
+constexpr std::size_t kMaxRounds = 4;
+// Corroboration has no convicting power below a minimum fleet density: in
+// a sparse fleet most *honest* readings go uncorroborated, and a low
+// support fraction measures sparsity, not fraud. The guard statistic is
+// the *lower quartile* of first-round support, and the whole collusion
+// scan abstains when it is under this floor. The lower quartile, not the
+// median, for adversarial robustness in both directions: a clique's
+// mutual support always sits at the top of the distribution, so it can
+// inflate the median of a sub-critical fleet past any floor (and the
+// colluders cannot *drag* the quartile down — extra readings only ever
+// add support). Sub-critical fleets sit <= ~0.4 on this statistic,
+// operating density >= ~0.55.
+constexpr double kMinCorroborationQuartile = 0.5;
+// Rows with fewer observed cells than this are not scoreable: too little
+// evidence to convict (protects mostly-dark rows), and too little to
+// serve as a replay candidate.
+constexpr std::size_t kMinEvidenceCells = 8;
+// Dense-clique side of the leave-group-out scan. A *large* colluding
+// sub-fleet corroborates itself more densely than the honest city — its
+// fake network is small and busy — so every member sails over a
+// low-support threshold; the clique must be removed as a group before its
+// members can be scored honestly. Candidate groups are the connected
+// components of the mutual-corroboration graph at this ladder of edge
+// weights (fraction of one row's cells the other corroborates), from
+// clique-tight down to city-loose; per-member flagging makes an impure
+// component harmless, so the ladder only has to capture the full clique
+// at *some* rung.
+constexpr double kGroupEdgeThresholds[] = {0.25, 0.15, 0.08, 0.04};
+// A group member is flagged when its support from the remnant fleet
+// (everyone outside the group) falls below this fraction of the remnant's
+// own median — the "collapse" that defines a clique whose corroboration
+// was all mutual.
+constexpr double kGroupCollapse = 0.5;
+// Two mutually-corroborating rows are replay territory, not a community.
+constexpr std::size_t kGroupMinSize = 3;
+// Group conviction is held to stricter floors than the low-support side.
+// In a small fleet every row's support concentrates in a handful of
+// peers, so removing *any* community guts its own honest members; and a
+// remnant that only just corroborates itself cannot speak for roads it
+// rarely drives. Below either floor the community side stays silent and
+// the peel side alone decides.
+constexpr std::size_t kGroupMinFleet = 64;
+constexpr double kGroupRemnantMedian = 0.6;
+
+double parse_spec_double(const std::string& key, const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return parsed;
+    } catch (const std::exception&) {
+        throw Error("defense spec: bad value '" + value + "' for key '" +
+                    key + "'");
+    }
+}
+
+std::uint64_t parse_spec_u64(const std::string& key,
+                             const std::string& value) {
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used != value.size()) {
+            throw Error("");
+        }
+        return static_cast<std::uint64_t>(parsed);
+    } catch (const std::exception&) {
+        throw Error("defense spec: bad value '" + value + "' for key '" +
+                    key + "'");
+    }
+}
+
+const std::vector<std::string>& spec_keys() {
+    static const std::vector<std::string> keys = {
+        "collusion", "radius",     "replay",    "replayspan",
+        "outage",    "outagespan", "reinstate", "maxquarantine"};
+    return keys;
+}
+
+// Spatial hash over readings at bucket size `radius`: supported(x, y,
+// self) asks whether any *other* participant ever reported within
+// `radius` of (x, y). Membership queries only — bucket iteration order
+// never reaches a result, so unordered_map keeps the determinism
+// contract.
+class SupportField {
+public:
+    explicit SupportField(double radius)
+        : radius_(radius), radius_sq_(radius * radius) {}
+
+    void add(std::size_t row, double x, double y) {
+        buckets_[key_of(x, y)].push_back({row, x, y});
+    }
+
+    bool supported(double x, double y, std::size_t self) const {
+        const std::int64_t gx = grid(x);
+        const std::int64_t gy = grid(y);
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+            for (std::int64_t dy = -1; dy <= 1; ++dy) {
+                const auto it = buckets_.find(pack(gx + dx, gy + dy));
+                if (it == buckets_.end()) {
+                    continue;
+                }
+                for (const Point& p : it->second) {
+                    const double ex = p.x - x;
+                    const double ey = p.y - y;
+                    if (p.row != self && ex * ex + ey * ey <= radius_sq_) {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+
+    /// Calls `fn(row)` once per in-range point (rows repeat across
+    /// points). Visit order never reaches a result — callers aggregate
+    /// into per-row counts.
+    template <class Fn>
+    void visit(double x, double y, Fn&& fn) const {
+        const std::int64_t gx = grid(x);
+        const std::int64_t gy = grid(y);
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+            for (std::int64_t dy = -1; dy <= 1; ++dy) {
+                const auto it = buckets_.find(pack(gx + dx, gy + dy));
+                if (it == buckets_.end()) {
+                    continue;
+                }
+                for (const Point& p : it->second) {
+                    const double ex = p.x - x;
+                    const double ey = p.y - y;
+                    if (ex * ex + ey * ey <= radius_sq_) {
+                        fn(p.row);
+                    }
+                }
+            }
+        }
+    }
+
+private:
+    struct Point {
+        std::size_t row;
+        double x;
+        double y;
+    };
+
+    std::int64_t grid(double v) const {
+        return static_cast<std::int64_t>(std::floor(v / radius_));
+    }
+    static std::uint64_t pack(std::int64_t gx, std::int64_t gy) {
+        return (static_cast<std::uint64_t>(gx) << 32) ^
+               static_cast<std::uint64_t>(gy & 0xffffffff);
+    }
+    std::uint64_t key_of(double x, double y) const {
+        return pack(grid(x), grid(y));
+    }
+
+    double radius_;
+    double radius_sq_;
+    std::unordered_map<std::uint64_t, std::vector<Point>> buckets_;
+};
+
+// Corroborated fraction of row i's observed cells against `field`.
+double support_fraction(const SupportField& field, const Matrix& sx,
+                        const Matrix& sy, const Matrix& existence,
+                        std::size_t i) {
+    const std::size_t t = existence.cols();
+    std::size_t observed = 0;
+    std::size_t corroborated = 0;
+    for (std::size_t j = 0; j < t; ++j) {
+        if (existence(i, j) == 0.0) {
+            continue;
+        }
+        ++observed;
+        if (field.supported(sx(i, j), sy(i, j), i)) {
+            ++corroborated;
+        }
+    }
+    return observed > 0
+               ? static_cast<double>(corroborated) /
+                     static_cast<double>(observed)
+               : 0.0;
+}
+
+std::size_t observed_count(const Matrix& existence, std::size_t i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < existence.cols(); ++j) {
+        if (existence(i, j) != 0.0) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+// Cell-level corroboration index over the candidate set. For every
+// observed cell of every candidate it stores the deduplicated list of
+// *other* candidates with a reading in range — built from one pass over
+// the spatial hash. The collusion scan re-scores rows against shifting
+// reference sets (peel rounds, confirmation rounds, one leave-group-out
+// per candidate group per ladder rung); with the index each re-score is
+// a pure membership filter over these lists, so the whole scan pays the
+// distance work exactly once. Every consumer is order-insensitive
+// (first-match existence tests and per-slot counts), so supporter list
+// order never reaches a result.
+struct SupportIndex {
+    /// Candidate fleet rows, ascending; slot a below means rows[a].
+    std::vector<std::size_t> rows;
+    /// flat[a]: supporter slots of row a's observed cells, concatenated
+    /// in slot order per cell (self excluded, deduplicated per cell).
+    std::vector<std::vector<std::uint32_t>> flat;
+    /// cell_end[a][c]: end offset of cell c's supporters in flat[a];
+    /// cell_end[a].size() is row a's observed-cell count.
+    std::vector<std::vector<std::uint32_t>> cell_end;
+
+    /// Fraction of slot a's observed cells with at least one supporter
+    /// satisfying `pred` — support_fraction against the virtual field of
+    /// exactly the candidates `pred` admits.
+    template <class Pred>
+    double fraction(std::size_t a, Pred&& pred) const {
+        const std::vector<std::uint32_t>& ends = cell_end[a];
+        if (ends.empty()) {
+            return 0.0;
+        }
+        const std::vector<std::uint32_t>& row = flat[a];
+        std::size_t hit = 0;
+        std::size_t begin = 0;
+        for (const std::uint32_t end : ends) {
+            for (std::size_t k = begin; k < end; ++k) {
+                if (pred(row[k])) {
+                    ++hit;
+                    break;
+                }
+            }
+            begin = end;
+        }
+        return static_cast<double>(hit) / static_cast<double>(ends.size());
+    }
+};
+
+SupportIndex build_support_index(const Matrix& sx, const Matrix& sy,
+                                 const Matrix& existence,
+                                 std::vector<std::size_t> candidates,
+                                 double radius) {
+    SupportIndex idx;
+    idx.rows = std::move(candidates);
+    const std::size_t m = idx.rows.size();
+    const std::size_t t = existence.cols();
+    idx.flat.resize(m);
+    idx.cell_end.resize(m);
+
+    struct Point {
+        std::uint32_t slot;
+        double x;
+        double y;
+    };
+    std::vector<Point> pts;
+    std::vector<std::uint32_t> cells_of_row(m, 0);
+    for (std::size_t a = 0; a < m; ++a) {
+        const std::size_t row = idx.rows[a];
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(row, j) != 0.0) {
+                pts.push_back({static_cast<std::uint32_t>(a), sx(row, j),
+                               sy(row, j)});
+                ++cells_of_row[a];
+            }
+        }
+    }
+    if (pts.empty()) {
+        for (std::size_t a = 0; a < m; ++a) {
+            idx.cell_end[a].assign(observed_count(existence, idx.rows[a]),
+                                   0u);
+        }
+        return idx;
+    }
+
+    // One dedup pass per observed cell over whatever bucket structure
+    // `visit_fn(x, y, cb)` exposes; cb receives candidate slots (repeats
+    // allowed — deduplicated here).
+    const double radius_sq = radius * radius;
+    const auto scan_cells = [&](auto&& visit_fn) {
+        std::vector<char> seen(m, 0);
+        for (std::size_t a = 0; a < m; ++a) {
+            const std::size_t row = idx.rows[a];
+            std::vector<std::uint32_t>& flat = idx.flat[a];
+            std::vector<std::uint32_t>& ends = idx.cell_end[a];
+            for (std::size_t j = 0; j < t; ++j) {
+                if (existence(row, j) == 0.0) {
+                    continue;
+                }
+                const std::size_t begin = flat.size();
+                visit_fn(sx(row, j), sy(row, j), [&](std::uint32_t b) {
+                    if (b == a || seen[b] != 0) {
+                        return;
+                    }
+                    seen[b] = 1;
+                    flat.push_back(b);
+                });
+                for (std::size_t k = begin; k < flat.size(); ++k) {
+                    seen[flat[k]] = 0;
+                }
+                ends.push_back(static_cast<std::uint32_t>(flat.size()));
+            }
+        }
+    };
+
+    // The observed cells being scored ARE the points in the field, so
+    // the supporter relation is a symmetric property of near point
+    // pairs: every in-range pair (p, q) of distinct rows makes q's row a
+    // supporter of p's cell and vice versa. The hot pass is therefore a
+    // plane sweep that enumerates each near pair ONCE: points sort into
+    // half-radius horizontal strips (x-ordered within a strip), and each
+    // point scans forward in its own strip plus the exact [x - r, x + r]
+    // span of the two strips above, found by rolling pointers — no
+    // hashing, no binary searches, half the distance tests of a per-cell
+    // window walk. Pairs further apart than two strips differ by more
+    // than r in y alone. Faulty readings can scatter far outside the
+    // city, so a blown-up strip count falls back to the hash field —
+    // same results (the supporter sets are order-insensitive), slower.
+    double min_y = pts[0].y, max_y = pts[0].y;
+    for (const Point& p : pts) {
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double strip_height = 0.5 * radius;
+    const double strip_span = (max_y - min_y) / strip_height;
+    constexpr double kStripCap = 4.0 * 1024.0 * 1024.0;
+    if (strip_span < kStripCap) {
+        const std::size_t total = pts.size();
+        const std::int64_t h = static_cast<std::int64_t>(strip_span) + 1;
+        const auto strip_of = [&](double y) {
+            return static_cast<std::int64_t>((y - min_y) / strip_height);
+        };
+        // Sort (strip, x, original index) — the index tiebreak keeps the
+        // order canonical when a stationary row repeats a coordinate.
+        std::vector<std::uint32_t> strip(total);
+        for (std::size_t k = 0; k < total; ++k) {
+            strip[k] = static_cast<std::uint32_t>(strip_of(pts[k].y));
+        }
+        std::vector<std::uint32_t> ord(total);
+        for (std::size_t k = 0; k < total; ++k) {
+            ord[k] = static_cast<std::uint32_t>(k);
+        }
+        std::sort(ord.begin(), ord.end(),
+                  [&](std::uint32_t lhs, std::uint32_t rhs) {
+                      if (strip[lhs] != strip[rhs]) {
+                          return strip[lhs] < strip[rhs];
+                      }
+                      if (pts[lhs].x != pts[rhs].x) {
+                          return pts[lhs].x < pts[rhs].x;
+                      }
+                      return lhs < rhs;
+                  });
+        std::vector<std::uint32_t> offset(static_cast<std::size_t>(h) + 1,
+                                          0);
+        for (std::size_t k = 0; k < total; ++k) {
+            ++offset[strip[k] + 1];
+        }
+        for (std::size_t b = 1; b < offset.size(); ++b) {
+            offset[b] += offset[b - 1];
+        }
+        std::vector<double> px(total);
+        std::vector<double> py(total);
+        std::vector<std::uint32_t> ps(total);
+        std::vector<std::uint32_t> pc(total);  // original cell ordinal
+        for (std::size_t k = 0; k < total; ++k) {
+            const Point& p = pts[ord[k]];
+            px[k] = p.x;
+            py[k] = p.y;
+            ps[k] = p.slot;
+            pc[k] = ord[k];
+        }
+        // (cell ordinal, supporter slot) emissions, two per near pair.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> emitted;
+        emitted.reserve(total * 24);
+        const auto check = [&](std::size_t i, std::size_t j) {
+            const double ex = px[j] - px[i];
+            const double ey = py[j] - py[i];
+            if (ex * ex + ey * ey <= radius_sq && ps[i] != ps[j]) {
+                emitted.emplace_back(pc[i], ps[j]);
+                emitted.emplace_back(pc[j], ps[i]);
+            }
+        };
+        for (std::int64_t s = 0; s < h; ++s) {
+            const std::size_t own_end =
+                offset[static_cast<std::size_t>(s) + 1];
+            const std::size_t up1_end =
+                s + 1 < h ? offset[static_cast<std::size_t>(s) + 2]
+                          : own_end;
+            const std::size_t up2_end =
+                s + 2 < h ? offset[static_cast<std::size_t>(s) + 3]
+                          : up1_end;
+            std::size_t ptr1 = own_end;   // rolling x - r bound, strip s+1
+            std::size_t ptr2 = up1_end;   // rolling x - r bound, strip s+2
+            for (std::size_t i = offset[static_cast<std::size_t>(s)];
+                 i < own_end; ++i) {
+                const double x_lo = px[i] - radius;
+                const double x_hi = px[i] + radius;
+                for (std::size_t j = i + 1; j < own_end && px[j] <= x_hi;
+                     ++j) {
+                    check(i, j);
+                }
+                while (ptr1 < up1_end && px[ptr1] < x_lo) {
+                    ++ptr1;
+                }
+                for (std::size_t j = ptr1; j < up1_end && px[j] <= x_hi;
+                     ++j) {
+                    check(i, j);
+                }
+                while (ptr2 < up2_end && px[ptr2] < x_lo) {
+                    ++ptr2;
+                }
+                for (std::size_t j = ptr2; j < up2_end && px[j] <= x_hi;
+                     ++j) {
+                    check(i, j);
+                }
+            }
+        }
+        // Counting-sort emissions by cell, then deduplicate each cell's
+        // supporter list into the per-row CSR arrays (cell ordinals are
+        // row-major, so rows assemble in order).
+        std::vector<std::uint32_t> cell_off(total + 1, 0);
+        for (const auto& e : emitted) {
+            ++cell_off[e.first + 1];
+        }
+        for (std::size_t c = 1; c < cell_off.size(); ++c) {
+            cell_off[c] += cell_off[c - 1];
+        }
+        std::vector<std::uint32_t> by_cell(emitted.size());
+        {
+            std::vector<std::uint32_t> cursor(cell_off.begin(),
+                                              cell_off.end() - 1);
+            for (const auto& e : emitted) {
+                by_cell[cursor[e.first]++] = e.second;
+            }
+        }
+        std::vector<char> seen(m, 0);
+        std::size_t c = 0;
+        for (std::size_t a = 0; a < m; ++a) {
+            std::vector<std::uint32_t>& flat = idx.flat[a];
+            std::vector<std::uint32_t>& ends = idx.cell_end[a];
+            for (std::uint32_t cc = 0; cc < cells_of_row[a]; ++cc, ++c) {
+                const std::size_t begin = flat.size();
+                for (std::uint32_t k = cell_off[c]; k < cell_off[c + 1];
+                     ++k) {
+                    const std::uint32_t b = by_cell[k];
+                    if (seen[b] == 0) {
+                        seen[b] = 1;
+                        flat.push_back(b);
+                    }
+                }
+                for (std::size_t k = begin; k < flat.size(); ++k) {
+                    seen[flat[k]] = 0;
+                }
+                ends.push_back(static_cast<std::uint32_t>(flat.size()));
+            }
+        }
+    } else {
+        SupportField field(radius);
+        for (const Point& p : pts) {
+            field.add(p.slot, p.x, p.y);
+        }
+        scan_cells([&](double x, double y, auto&& cb) {
+            field.visit(x, y, [&](std::size_t slot) {
+                cb(static_cast<std::uint32_t>(slot));
+            });
+        });
+    }
+    return idx;
+}
+
+// Dense-clique leave-group-out: the second side of the collusion scan.
+// Builds the mutual-corroboration graph over the index slots `member`
+// admits (scoreable candidates minus replay pre-suspects), takes its
+// connected components at each rung of kGroupEdgeThresholds as candidate
+// groups, and for every group whose complement (the "remnant") is large
+// and dense enough to judge, flags the members whose support *collapses*
+// once the whole group is removed. Returns (fleet row, external-support)
+// pairs, ascending by row. Deterministic: component discovery is
+// index-ordered BFS and every statistic is a count.
+std::vector<std::pair<std::size_t, double>> community_scan(
+    const SupportIndex& idx, const std::vector<char>& member) {
+    std::vector<std::pair<std::size_t, double>> flagged;
+    const std::size_t slots_total = idx.rows.size();
+    std::vector<std::size_t> slots;
+    for (std::size_t a = 0; a < slots_total; ++a) {
+        if (member[a] != 0) {
+            slots.push_back(a);
+        }
+    }
+    const std::size_t m = slots.size();
+    if (m < kGroupMinFleet) {
+        return flagged;  // fleet too small for honest support diversity
+    }
+    std::vector<std::size_t> pos_of(slots_total, m);  // slot -> position
+    for (std::size_t p = 0; p < m; ++p) {
+        pos_of[slots[p]] = p;
+    }
+
+    // w[p][q]: fraction of slots[p]'s observed cells that slots[q]
+    // corroborates (asymmetric; symmetrized for the graph below).
+    std::vector<std::vector<double>> w(m, std::vector<double>(m, 0.0));
+    for (std::size_t p = 0; p < m; ++p) {
+        const std::size_t a = slots[p];
+        for (const std::uint32_t s : idx.flat[a]) {
+            const std::size_t q = pos_of[s];
+            if (q != m) {
+                w[p][q] += 1.0;
+            }
+        }
+        const std::size_t observed = idx.cell_end[a].size();
+        if (observed > 0) {
+            for (std::size_t q = 0; q < m; ++q) {
+                w[p][q] /= static_cast<double>(observed);
+            }
+        }
+    }
+
+    std::vector<char> already(slots_total, 0);
+    std::vector<char> in_group(slots_total, 0);
+    std::vector<std::size_t> component(m);
+    std::vector<std::size_t> stack;
+    const auto outside_group = [&](std::uint32_t s) {
+        return member[s] != 0 && in_group[s] == 0;
+    };
+    for (const double edge : kGroupEdgeThresholds) {
+        std::fill(component.begin(), component.end(), m);
+        std::size_t components = 0;
+        for (std::size_t p = 0; p < m; ++p) {
+            if (component[p] != m) {
+                continue;
+            }
+            component[p] = components;
+            stack.assign(1, p);
+            while (!stack.empty()) {
+                const std::size_t u = stack.back();
+                stack.pop_back();
+                for (std::size_t v = 0; v < m; ++v) {
+                    if (component[v] == m &&
+                        0.5 * (w[u][v] + w[v][u]) >= edge) {
+                        component[v] = components;
+                        stack.push_back(v);
+                    }
+                }
+            }
+            ++components;
+        }
+        for (std::size_t id = 0; id < components; ++id) {
+            std::vector<std::size_t> group;  // member slots of this group
+            std::size_t remnant_size = 0;
+            for (std::size_t p = 0; p < m; ++p) {
+                if (component[p] == id) {
+                    group.push_back(slots[p]);
+                } else {
+                    ++remnant_size;
+                }
+            }
+            // A minority attacker: the group may not swallow half the
+            // fleet, and what is left must be able to corroborate itself
+            // before it can convict anyone.
+            if (group.size() < kGroupMinSize || group.size() > m / 2 ||
+                remnant_size < 4) {
+                continue;
+            }
+            for (const std::size_t g : group) {
+                in_group[g] = 1;
+            }
+            // Reference validity: the remnant must corroborate the fleet
+            // *at large* — median support of every candidate against the
+            // remnant field. Judging the remnant only by itself is
+            // gameable: a clique dense enough to end up in the remnant
+            // inflates the remnant's self-median and turns the collapse
+            // test against honest rows. The fleet-wide median is
+            // majority-honest by assumption, so a reference that fails
+            // the fleet fails the test.
+            std::vector<double> reference_stats;
+            reference_stats.reserve(m);
+            for (const std::size_t a : slots) {
+                reference_stats.push_back(idx.fraction(a, outside_group));
+            }
+            const double reference_median = median(reference_stats);
+            if (reference_median >= kGroupRemnantMedian) {
+                // Collapse purity: a clique collapses *collectively* —
+                // every member's support was mutual, so group removal
+                // strands them all. An honest neighbourhood component (at
+                // city scale the 0.25 rung can connect half the fleet)
+                // strands only its edge rows: most members keep support
+                // from the rest of the city. A group where fewer than
+                // half the members collapse is the city's road topology,
+                // not a clique, and convicts nobody.
+                const double collapse = kGroupCollapse * reference_median;
+                std::vector<std::pair<std::size_t, double>> collapsed;
+                for (const std::size_t g : group) {
+                    const double ext = idx.fraction(g, outside_group);
+                    if (ext < collapse) {
+                        collapsed.emplace_back(g, ext);
+                    }
+                }
+                if (collapsed.size() * 2 >= group.size()) {
+                    for (const auto& [g, ext] : collapsed) {
+                        if (already[g] == 0) {
+                            already[g] = 1;
+                            flagged.emplace_back(idx.rows[g], ext);
+                        }
+                    }
+                }
+            }
+            for (const std::size_t g : group) {
+                in_group[g] = 0;
+            }
+        }
+    }
+    std::sort(flagged.begin(), flagged.end());
+    return flagged;
+}
+
+// One full leave-group-out collusion scan. `pre_suspects` rows (replay
+// frauds) are excluded from every trusted set — a duplicate would lend
+// its victim's corroboration to the field twice — but never reported as
+// collusion flags themselves.
+struct CollusionScan {
+    struct Flag {
+        std::size_t row;
+        double stat;
+        bool grouped;  // dense-clique side, not the low-support side
+    };
+    std::vector<Flag> flagged;
+    std::size_t scoreable = 0;
+};
+
+CollusionScan collusion_scan(const Matrix& sx, const Matrix& sy,
+                             const Matrix& existence, double ratio,
+                             double radius,
+                             const std::vector<bool>& pre_suspects) {
+    CollusionScan scan;
+    const std::size_t n = existence.rows();
+
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (observed_count(existence, i) >= kMinEvidenceCells) {
+            candidates.push_back(i);
+        }
+    }
+    scan.scoreable = candidates.size();
+    if (candidates.size() < 4) {
+        return scan;  // too few peers for corroboration to mean anything
+    }
+
+    // Pay the distance work once: every reference set below (trusted
+    // core, non-suspects, fleet minus a candidate group) is a subset of
+    // the candidates, so each re-score is a membership filter over the
+    // index — no field rebuilds.
+    const SupportIndex idx =
+        build_support_index(sx, sy, existence, candidates, radius);
+    const std::size_t m = candidates.size();
+
+    std::vector<char> trusted(m, 0);
+    for (std::size_t a = 0; a < m; ++a) {
+        trusted[a] =
+            (pre_suspects.empty() || !pre_suspects[candidates[a]]) ? 1 : 0;
+    }
+    const auto trusted_pred = [&](std::uint32_t s) { return trusted[s] != 0; };
+
+    std::vector<double> stats(n, 0.0);
+    double trusted_median = 0.0;
+    double density_quartile = 0.0;  // first-round lower quartile, pre-peel
+    // The low-support side only holds under an honest-majority trusted
+    // core. A clique dense enough to out-corroborate the honest median
+    // inverts the peel — honest rows get evicted and the clique becomes
+    // the reference. If peeling ever takes the core below half the
+    // candidates, that inversion is in progress: the low-support side
+    // abstains and leaves the verdict to the community side.
+    bool peel_valid = true;
+    std::size_t trusted_count = candidates.size();
+    for (std::size_t round = 0; round < kMaxRounds; ++round) {
+        std::vector<double> trusted_stats;
+        for (std::size_t a = 0; a < m; ++a) {
+            stats[candidates[a]] = idx.fraction(a, trusted_pred);
+            if (trusted[a] != 0) {
+                trusted_stats.push_back(stats[candidates[a]]);
+            }
+        }
+        if (trusted_stats.size() < 4) {
+            return scan;  // peeled down to nothing: no verdict
+        }
+        trusted_median = median(trusted_stats);
+        if (round == 0) {
+            std::vector<double> sorted = trusted_stats;
+            std::sort(sorted.begin(), sorted.end());
+            density_quartile = sorted[sorted.size() / 4];
+        }
+        const double peel = kPeelFraction * trusted_median;
+        bool changed = false;
+        for (std::size_t a = 0; a < m; ++a) {
+            if (trusted[a] != 0 && stats[candidates[a]] < peel) {
+                trusted[a] = 0;
+                --trusted_count;
+                changed = true;
+            }
+        }
+        if (trusted_count * 2 < candidates.size()) {
+            peel_valid = false;
+            break;
+        }
+        if (!changed) {
+            break;
+        }
+    }
+
+    if (density_quartile < kMinCorroborationQuartile) {
+        return scan;  // fleet too sparse for corroboration to convict
+    }
+
+    // Dense-clique side: a clique large enough to out-corroborate the
+    // honest median never drops below any low-support bar, so it is
+    // discovered as a community and convicted by group removal.
+    std::vector<char> member(m, 0);
+    for (std::size_t a = 0; a < m; ++a) {
+        member[a] =
+            (pre_suspects.empty() || !pre_suspects[candidates[a]]) ? 1 : 0;
+    }
+    const auto group_flags = community_scan(idx, member);
+    std::vector<bool> in_group(n, false);
+    std::vector<double> group_score(n, 0.0);
+    for (const auto& [row, ext] : group_flags) {
+        in_group[row] = true;
+        group_score[row] = ext;
+    }
+
+    // Provisional suspects: below trusted-median / ratio against the
+    // surviving trusted core. The core alone is too harsh a reference for
+    // honest loners, though — two vehicles working the same outskirts
+    // corroborate *each other*, not the downtown core, and peeling took
+    // both out. The confirmation pass therefore re-scores each suspect
+    // against every non-suspect candidate: a loner regains its peers'
+    // support and walks; a clique member's support came only from fellow
+    // suspects, so excluding the clique leaves it stranded. Re-admission
+    // only ever shrinks the suspect set, so the loop converges. Group
+    // flags are already their own leave-group-out confirmation and are
+    // never re-admitted here.
+    const double threshold = trusted_median / ratio;
+    std::vector<char> suspect(m, 0);
+    for (std::size_t a = 0; a < m; ++a) {
+        const std::size_t i = candidates[a];
+        suspect[a] = ((peel_valid && stats[i] < threshold) || in_group[i] ||
+                      (!pre_suspects.empty() && pre_suspects[i]))
+                         ? 1
+                         : 0;
+    }
+    for (std::size_t round = 0; round < kMaxRounds; ++round) {
+        // Snapshot: rows re-admitted this round only join the reference
+        // set next round, exactly as when the field was rebuilt once per
+        // round.
+        const std::vector<char> frozen = suspect;
+        const auto nonsuspect_pred = [&](std::uint32_t s) {
+            return frozen[s] == 0;
+        };
+        bool changed = false;
+        for (std::size_t a = 0; a < m; ++a) {
+            const std::size_t i = candidates[a];
+            if (suspect[a] == 0 || in_group[i] ||
+                (!pre_suspects.empty() && pre_suspects[i])) {
+                continue;
+            }
+            stats[i] = idx.fraction(a, nonsuspect_pred);
+            if (stats[i] >= threshold) {
+                suspect[a] = 0;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            break;
+        }
+    }
+    for (std::size_t a = 0; a < m; ++a) {
+        const std::size_t i = candidates[a];
+        if (!pre_suspects.empty() && pre_suspects[i]) {
+            continue;  // replay frauds keep their own flag
+        }
+        if (suspect[a] != 0) {
+            scan.flagged.push_back(
+                {i, in_group[i] ? group_score[i] : stats[i], in_group[i]});
+        }
+    }
+    return scan;
+}
+
+// Pairwise circular-shift duplicate scan. For a matched pair at shift
+// s > 0 the *lagging* row (whose slot k equals the other's slot k - s) is
+// the fraud; an exact duplicate (s = 0) deterministically flags the higher
+// index.
+std::vector<DefenseFlag> replay_scan(const Matrix& sx, const Matrix& sy,
+                                     const Matrix& existence,
+                                     double min_fraction,
+                                     std::size_t span) {
+    std::vector<DefenseFlag> flags;
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    if (t == 0) {
+        return flags;
+    }
+    span = std::min(span, t - 1);
+
+    std::vector<std::size_t> counts(n, 0);
+    std::vector<double> mean_x(n, 0.0);
+    std::vector<double> mean_y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(i, j) != 0.0) {
+                ++counts[i];
+                mean_x[i] += sx(i, j);
+                mean_y[i] += sy(i, j);
+            }
+        }
+        if (counts[i] > 0) {
+            mean_x[i] /= static_cast<double>(counts[i]);
+            mean_y[i] /= static_cast<double>(counts[i]);
+        }
+    }
+
+    // Fraction of `lag`'s observed cells matching `lead` shifted s slots.
+    const auto match_fraction = [&](std::size_t lag, std::size_t lead,
+                                    std::size_t s) {
+        std::size_t matched = 0;
+        for (std::size_t j = 0; j < t; ++j) {
+            if (existence(lag, j) == 0.0) {
+                continue;
+            }
+            const std::size_t js = (j + t - s) % t;
+            if (existence(lead, js) == 0.0) {
+                continue;
+            }
+            if (std::abs(sx(lag, j) - sx(lead, js)) <= kMatchTolM &&
+                std::abs(sy(lag, j) - sy(lead, js)) <= kMatchTolM) {
+                ++matched;
+            }
+        }
+        return static_cast<double>(matched) /
+               static_cast<double>(counts[lag]);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (counts[i] < kMinEvidenceCells) {
+            continue;
+        }
+        for (std::size_t j = i + 1; j < n; ++j) {
+            // A replay copies its victim's observed cells verbatim, so
+            // counts and means agree exactly — honest pairs almost never
+            // pass this O(1) gate, which keeps the shift scan O(n) in
+            // practice.
+            if (counts[j] != counts[i] ||
+                std::abs(mean_x[i] - mean_x[j]) > kMeanPrescreenM ||
+                std::abs(mean_y[i] - mean_y[j]) > kMeanPrescreenM) {
+                continue;
+            }
+            bool matched = false;
+            for (std::size_t s = 0; s <= span && !matched; ++s) {
+                for (const auto& [lag, lead] :
+                     {std::pair<std::size_t, std::size_t>{i, j},
+                      std::pair<std::size_t, std::size_t>{j, i}}) {
+                    if (s == 0 && lag != std::max(i, j)) {
+                        continue;  // test an exact duplicate once
+                    }
+                    const double fraction = match_fraction(lag, lead, s);
+                    if (fraction >= min_fraction) {
+                        DefenseFlag flag;
+                        flag.participant = lag;
+                        flag.test = DefenseTest::kReplay;
+                        flag.score = fraction;
+                        flag.partner = lead;
+                        flag.shift = s;
+                        flags.push_back(flag);
+                        matched = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    std::sort(flags.begin(), flags.end(),
+              [](const DefenseFlag& a, const DefenseFlag& b) {
+                  return a.participant < b.participant;
+              });
+    return flags;
+}
+
+// Contiguous dark row-bands x slot-spans. A cell is "deep dark" when it
+// sits inside a horizontal all-missing run of at least `min_span` slots;
+// a block cell additionally sits inside a vertical run of at least
+// `min_rows` deep-dark rows. Connected block cells are reported as one
+// bounding box.
+std::vector<OutageBlock> classify_outages(const Matrix& existence,
+                                          std::size_t min_rows,
+                                          std::size_t min_span,
+                                          std::size_t* cells_out) {
+    std::vector<OutageBlock> blocks;
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    if (n == 0 || t == 0) {
+        return blocks;
+    }
+    min_span = std::clamp<std::size_t>(
+        min_span > 0 ? min_span : t / 4, 1, t);
+
+    Matrix deep(n, t);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t run = 0;
+        for (std::size_t j = 0; j <= t; ++j) {
+            if (j < t && existence(i, j) == 0.0) {
+                ++run;
+                continue;
+            }
+            if (run >= min_span) {
+                for (std::size_t k = j - run; k < j; ++k) {
+                    deep(i, k) = 1.0;
+                }
+            }
+            run = 0;
+        }
+    }
+    Matrix block(n, t);
+    for (std::size_t j = 0; j < t; ++j) {
+        std::size_t run = 0;
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i < n && deep(i, j) != 0.0) {
+                ++run;
+                continue;
+            }
+            if (run >= min_rows) {
+                for (std::size_t k = i - run; k < i; ++k) {
+                    block(k, j) = 1.0;
+                }
+            }
+            run = 0;
+        }
+    }
+
+    // Bounding boxes of 4-connected block components, in scan order.
+    Matrix seen(n, t);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < t; ++j) {
+            if (block(i, j) == 0.0 || seen(i, j) != 0.0) {
+                continue;
+            }
+            OutageBlock box;
+            std::size_t row_lo = i, row_hi = i, col_lo = j, col_hi = j;
+            stack.assign(1, {i, j});
+            seen(i, j) = 1.0;
+            while (!stack.empty()) {
+                const auto [r, c] = stack.back();
+                stack.pop_back();
+                ++box.dark_cells;
+                row_lo = std::min(row_lo, r);
+                row_hi = std::max(row_hi, r);
+                col_lo = std::min(col_lo, c);
+                col_hi = std::max(col_hi, c);
+                const std::pair<std::size_t, std::size_t> next[4] = {
+                    {r + 1, c}, {r, c + 1},
+                    {r == 0 ? n : r - 1, c}, {r, c == 0 ? t : c - 1}};
+                for (const auto& [nr, nc] : next) {
+                    if (nr < n && nc < t && block(nr, nc) != 0.0 &&
+                        seen(nr, nc) == 0.0) {
+                        seen(nr, nc) = 1.0;
+                        stack.push_back({nr, nc});
+                    }
+                }
+            }
+            box.first_row = row_lo;
+            box.rows = row_hi - row_lo + 1;
+            box.first_slot = col_lo;
+            box.slots = col_hi - col_lo + 1;
+            total += box.dark_cells;
+            blocks.push_back(box);
+        }
+    }
+    if (cells_out != nullptr) {
+        *cells_out = total;
+    }
+    return blocks;
+}
+
+}  // namespace
+
+const char* to_string(DefenseTest test) {
+    return test == DefenseTest::kReplay ? "replay" : "collusion";
+}
+
+DefenseSpec DefenseSpec::parse(const std::string& spec) {
+    DefenseSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty()) {
+            continue;
+        }
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            throw Error("defense spec: expected key=value, got '" + pair +
+                        "'");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "collusion") {
+            out.collusion = parse_spec_double(key, value);
+        } else if (key == "radius") {
+            out.radius = parse_spec_double(key, value);
+        } else if (key == "replay") {
+            out.replay = parse_spec_double(key, value);
+        } else if (key == "replayspan") {
+            out.replay_span =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "outage") {
+            out.outage =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "outagespan") {
+            out.outage_span =
+                static_cast<std::size_t>(parse_spec_u64(key, value));
+        } else if (key == "reinstate") {
+            out.reinstate = parse_spec_double(key, value);
+        } else if (key == "maxquarantine") {
+            out.max_quarantine = parse_spec_double(key, value);
+        } else {
+            std::string message = "defense spec: unknown key '" + key + "'";
+            const std::string nearest = nearest_candidate(key, spec_keys());
+            if (!nearest.empty()) {
+                message += " (did you mean '" + nearest + "'?)";
+            } else {
+                message += " (expected " + join(spec_keys(), ", ") + ")";
+            }
+            throw Error(message);
+        }
+    }
+    out.validate();
+    return out;
+}
+
+void DefenseSpec::validate() const {
+    MCS_CHECK_MSG(collusion == 0.0 || collusion >= 1.0,
+                  "DefenseSpec: collusion ratio must be 0 (off) or >= 1");
+    MCS_CHECK_MSG(radius > 0.0, "DefenseSpec: radius must be positive");
+    MCS_CHECK_MSG(replay == 0.0 || (replay > 0.0 && replay <= 1.0),
+                  "DefenseSpec: replay match fraction must be in (0, 1] "
+                  "or 0 (off)");
+    MCS_CHECK_MSG(replay == 0.0 || replay_span > 0,
+                  "DefenseSpec: replay requires replayspan > 0");
+    MCS_CHECK_MSG(reinstate >= 1.0,
+                  "DefenseSpec: reinstate ratio must be >= 1");
+    MCS_CHECK_MSG(max_quarantine > 0.0 && max_quarantine <= 1.0,
+                  "DefenseSpec: maxquarantine must be in (0, 1]");
+}
+
+DefenseSuite::DefenseSuite(DefenseSpec spec) : spec_(spec) {
+    spec_.validate();
+}
+
+DefenseReport DefenseSuite::analyze(const Matrix& sx, const Matrix& sy,
+                                    const Matrix& existence) const {
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    for (const Matrix* m : {&sx, &sy}) {
+        MCS_CHECK_MSG(m->rows() == n && m->cols() == t,
+                      "DefenseSuite: matrix shape mismatch");
+    }
+    DefenseReport report;
+    if (spec_.idle() || n == 0 || t == 0) {
+        return report;
+    }
+
+    if (spec_.outage > 0) {
+        report.outages =
+            classify_outages(existence, spec_.outage, spec_.outage_span,
+                             &report.missing_not_faulty_cells);
+        if (!report.outages.empty()) {
+            ++report.trips;
+        }
+    }
+
+    std::vector<DefenseFlag> replay_flags;
+    if (spec_.replay > 0.0) {
+        replay_flags =
+            replay_scan(sx, sy, existence, spec_.replay, spec_.replay_span);
+        if (!replay_flags.empty()) {
+            ++report.trips;
+        }
+    }
+
+    CollusionScan collusion;
+    if (spec_.collusion > 0.0) {
+        std::vector<bool> pre(n, false);
+        for (const DefenseFlag& flag : replay_flags) {
+            pre[flag.participant] = true;
+        }
+        collusion = collusion_scan(sx, sy, existence, spec_.collusion,
+                                   spec_.radius, pre);
+        if (!collusion.flagged.empty()) {
+            ++report.trips;
+        }
+    }
+
+    // Quarantine order under the cap: replay flags first (a byte-exact
+    // duplicate is the strongest evidence), then collusion flags by
+    // ascending corroboration (least-supported first), index as the
+    // tie-break.
+    std::vector<CollusionScan::Flag> ranked = collusion.flagged;
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  return a.stat != b.stat ? a.stat < b.stat
+                                          : a.row < b.row;
+              });
+    const std::size_t cap = std::max<std::size_t>(
+        1, static_cast<std::size_t>(spec_.max_quarantine *
+                                    static_cast<double>(n)));
+    std::vector<bool> in_quarantine(n, false);
+    std::size_t taken = 0;
+    for (const DefenseFlag& flag : replay_flags) {
+        if (taken >= cap) {
+            break;
+        }
+        if (!in_quarantine[flag.participant]) {
+            in_quarantine[flag.participant] = true;
+            ++taken;
+        }
+    }
+    for (const CollusionScan::Flag& entry : ranked) {
+        if (taken >= cap) {
+            break;
+        }
+        if (!in_quarantine[entry.row]) {
+            in_quarantine[entry.row] = true;
+            ++taken;
+        }
+    }
+
+    report.flags = std::move(replay_flags);
+    for (const CollusionScan::Flag& entry : collusion.flagged) {
+        DefenseFlag flag;
+        flag.participant = entry.row;
+        flag.test = DefenseTest::kCollusion;
+        flag.score = entry.stat;
+        flag.grouped = entry.grouped;
+        report.flags.push_back(flag);
+    }
+    std::sort(report.flags.begin(), report.flags.end(),
+              [](const DefenseFlag& a, const DefenseFlag& b) {
+                  if (a.participant != b.participant) {
+                      return a.participant < b.participant;
+                  }
+                  return static_cast<int>(a.test) > static_cast<int>(b.test);
+              });
+    for (std::size_t i = 0; i < n; ++i) {
+        if (in_quarantine[i]) {
+            report.quarantined.push_back(i);
+        }
+    }
+    return report;
+}
+
+void DefenseSuite::retest(const Matrix& sx, const Matrix& sy,
+                          const Matrix& existence, const Matrix& honest_rx,
+                          const Matrix& honest_ry,
+                          DefenseReport& report) const {
+    report.reinstated.clear();
+    report.confirmed.clear();
+    if (report.quarantined.empty()) {
+        return;
+    }
+    const std::size_t n = existence.rows();
+    const std::size_t t = existence.cols();
+    for (const Matrix* m : {&sx, &sy, &honest_rx, &honest_ry}) {
+        MCS_CHECK_MSG(m->rows() == n && m->cols() == t,
+                      "DefenseSuite: retest shape mismatch");
+    }
+
+    std::vector<bool> quarantined(n, false);
+    for (const std::size_t q : report.quarantined) {
+        quarantined[q] = true;
+    }
+    // Replay matches and dense-clique members are confirmed outright: a
+    // duplicate sits exactly on honest trajectories by construction, and
+    // a clique member's leave-group-out collapse *is* the corroboration
+    // verdict — re-scoring either against the complete (hence dense,
+    // easily saturated) honest reconstruction would launder it back in.
+    std::vector<bool> confirmed_outright(n, false);
+    for (const DefenseFlag& flag : report.flags) {
+        if (flag.test == DefenseTest::kReplay ||
+            (flag.test == DefenseTest::kCollusion && flag.grouped)) {
+            confirmed_outright[flag.participant] = true;
+        }
+    }
+
+    std::vector<std::size_t> honest_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!quarantined[i] &&
+            observed_count(existence, i) >= kMinEvidenceCells) {
+            honest_rows.push_back(i);
+        }
+    }
+    if (honest_rows.size() < 4) {
+        // Too little honest evidence for a second opinion — stand by the
+        // first-pass decision.
+        report.confirmed = report.quarantined;
+        return;
+    }
+
+    // Support field from the honest-only *reconstruction*: complete by
+    // construction (every slot of every honest row), and with the
+    // quarantined rows' influence removed by the honest re-solve.
+    SupportField field(spec_.radius);
+    for (const std::size_t i : honest_rows) {
+        for (std::size_t j = 0; j < t; ++j) {
+            field.add(i, honest_rx(i, j), honest_ry(i, j));
+        }
+    }
+    std::vector<double> honest_stats;
+    honest_stats.reserve(honest_rows.size());
+    for (const std::size_t i : honest_rows) {
+        honest_stats.push_back(
+            support_fraction(field, sx, sy, existence, i));
+    }
+    const double honest_median = median(honest_stats);
+    const double threshold = honest_median / spec_.reinstate;
+
+    for (const std::size_t q : report.quarantined) {
+        if (confirmed_outright[q]) {
+            report.confirmed.push_back(q);
+            continue;
+        }
+        const double stat = support_fraction(field, sx, sy, existence, q);
+        if (observed_count(existence, q) >= kMinEvidenceCells &&
+            stat >= threshold) {
+            report.reinstated.push_back(q);
+        } else {
+            report.confirmed.push_back(q);
+        }
+    }
+}
+
+double collusion_suspect_fraction(const Matrix& sx, const Matrix& sy,
+                                  const Matrix& existence, double ratio,
+                                  double radius) {
+    MCS_CHECK_MSG(ratio >= 1.0,
+                  "collusion_suspect_fraction: ratio must be >= 1");
+    if (radius <= 0.0) {
+        radius = DefenseSpec{}.radius;
+    }
+    const CollusionScan scan = collusion_scan(
+        sx, sy, existence, ratio, radius, std::vector<bool>{});
+    if (scan.scoreable == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(scan.flagged.size()) /
+           static_cast<double>(scan.scoreable);
+}
+
+}  // namespace mcs

@@ -1,0 +1,206 @@
+// Adversary defence layer (DESIGN.md §17): cross-participant consistency
+// tests + the quarantine rung of the FleetRunner degradation ladder.
+//
+// The §16 adversary sweep quantified the blind spot of per-cell residual
+// detection: a colluding sub-fleet uploads *individually plausible*
+// trajectories, so every test that compares a reading against its own
+// row's reconstruction passes (ASD adversary-cell recall <1% at the k=24
+// breaking point). The only signals left are cross-participant ones, and
+// that is what this suite tests, fleet-wide, before recovery runs:
+//
+//   collusion — leave-group-out location corroboration ("Detecting
+//     Location Fraud in Indoor Mobile Crowdsensing", arXiv:1708.06308,
+//     ported from witness co-location to fleet scale). Honest readings
+//     concentrate on the road network the whole fleet shares, so almost
+//     every honest cell lies within `radius` of another participant's
+//     reading; a colluding sub-fleet drives a *fabricated* road map, so
+//     its support comes only from fellow colluders. The scan iteratively
+//     peels the least-corroborated rows out of the trusted set and
+//     re-scores — once the clique is outside, its mutual support vanishes
+//     and its corroborated fraction collapses (the leave-group-out
+//     inflation), while an honest loner keeps whatever honest support it
+//     had and is re-admitted by the final threshold.
+//
+//   replay — pairwise circular-shift trajectory comparison (same paper's
+//     fraud model). A replayed row equals its victim shifted by s slots,
+//     cell for cell; an O(n) mean/count prescreen keeps the O(n²·span)
+//     scan off honest pairs. The *lagging* row of a matched pair is the
+//     fraud: it uploads its victim's past.
+//
+//   outage classifier — contiguous dark row-bands × slot-spans are labeled
+//     missing-not-faulty: a regional outage is an availability incident,
+//     not an integrity one. Downstream, the runner clears detection marks
+//     inside classified blocks instead of letting recovery score absent
+//     cells as faults.
+//
+// Determinism contract (same as AdversaryInjector): analyze()/retest() are
+// pure functions of (spec, matrices) — no RNG at all, no dependence on
+// thread count or shard boundaries (the spatial hash is only ever queried
+// for membership, never iterated). FleetRunner calls them on the calling
+// thread before any shard exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace mcs {
+
+/// Parsed `--defense` spec. Grammar: comma-separated `key=value` pairs
+/// with keys collusion, radius, replay, replayspan, outage, outagespan,
+/// reinstate, maxquarantine — e.g. `collusion=4,replay=0.99` or
+/// `outage=8,outagespan=20`. Unlike AdversarySpec, the defaults are *on*:
+/// constructing (or parsing an empty spec) arms all three tests, and a
+/// test is disabled by zeroing its key (`collusion=0`).
+struct DefenseSpec {
+    /// Collusion test: flag a row whose corroborated fraction falls below
+    /// the trusted-fleet median divided by this ratio. 0 disables the
+    /// test; larger values are more lenient.
+    double collusion = 4.0;
+    /// Corroboration radius (metres): a reading is supported when another
+    /// participant ever reported within this distance.
+    double radius = 100.0;
+
+    /// Replay test: minimum fraction of a row's observed cells that must
+    /// match another row under some circular shift. 0 disables the test.
+    double replay = 0.995;
+    /// Largest circular shift (slots) the replay scan tests.
+    std::size_t replay_span = 8;
+
+    /// Outage classifier: minimum contiguous dark rows of a block. 0
+    /// disables the classifier.
+    std::size_t outage = 4;
+    /// Minimum dark slots of a block; 0 = a quarter of the horizon.
+    std::size_t outage_span = 0;
+
+    /// Re-test: reinstate a quarantined row whose corroboration against
+    /// the honest-only re-solve is within this divisor of the honest
+    /// median. Larger values are stricter (harder to get back in).
+    double reinstate = 2.5;
+    /// Safety cap: never quarantine more than this fraction of the fleet
+    /// (protects clean-fleet F1 against a runaway threshold).
+    double max_quarantine = 0.5;
+
+    /// Parse the spec grammar. Unset keys keep their defaults. Throws
+    /// mcs::Error on a malformed value or an unknown key — with a
+    /// nearest-key "did you mean" suggestion, like `--chaos`/`--adversary`.
+    static DefenseSpec parse(const std::string& spec);
+
+    /// Throws mcs::Error on invalid values (ratios below 1, match
+    /// fraction outside (0, 1], cap outside (0, 1], replay without span,
+    /// non-positive radius).
+    void validate() const;
+
+    /// True when every test is disabled (the suite is a no-op and the
+    /// runner's clean path is taken unconditionally).
+    bool idle() const {
+        return collusion == 0.0 && replay == 0.0 && outage == 0;
+    }
+};
+
+/// Which consistency test flagged a participant.
+enum class DefenseTest : std::uint8_t { kCollusion = 0, kReplay = 1 };
+
+/// "collusion" / "replay".
+const char* to_string(DefenseTest test);
+
+/// One flagged participant.
+struct DefenseFlag {
+    std::size_t participant = 0;
+    DefenseTest test = DefenseTest::kCollusion;
+    /// Collusion: corroborated fraction of the row's observed cells (low
+    /// is bad). Replay: match fraction against the partner (high is bad).
+    double score = 0.0;
+    /// Replay only: the row this one duplicates (its victim).
+    std::size_t partner = 0;
+    /// Replay only: the circular shift (slots) the match was found at.
+    std::size_t shift = 0;
+    /// Collusion only: raised by the dense-clique (community) side — the
+    /// row corroborates with its clique and collapses without it. That
+    /// leave-group-out evidence is self-contained, so the re-test
+    /// confirms it outright (like a replay match): scoring it against
+    /// the honest re-solve cannot help, because the re-solve's complete
+    /// reconstruction saturates corroboration on a dense fleet and
+    /// would launder the clique back in.
+    bool grouped = false;
+};
+
+/// One contiguous dark spatio-temporal block (missing-not-faulty).
+struct OutageBlock {
+    std::size_t first_row = 0;
+    std::size_t rows = 0;
+    std::size_t first_slot = 0;
+    std::size_t slots = 0;
+    std::size_t dark_cells = 0;
+};
+
+/// Outcome of one defence pass. analyze() fills flags / quarantined /
+/// outages; retest() splits quarantined into reinstated + confirmed.
+struct DefenseReport {
+    /// Every flag raised, ordered by participant (replay before collusion
+    /// for a row both tests hit).
+    std::vector<DefenseFlag> flags;
+    /// Participants entering quarantine, sorted ascending (the flag list
+    /// after the max_quarantine cap).
+    std::vector<std::size_t> quarantined;
+    /// Quarantined rows the re-test cleared (sorted; empty until retest()).
+    std::vector<std::size_t> reinstated;
+    /// Quarantined rows the re-test confirmed (sorted; empty until
+    /// retest()).
+    std::vector<std::size_t> confirmed;
+    /// Dark blocks the outage classifier labeled missing-not-faulty.
+    std::vector<OutageBlock> outages;
+    /// Total cells inside classified outage blocks.
+    std::size_t missing_not_faulty_cells = 0;
+    /// Tests that fired (0–3): one per test with at least one flag/block.
+    std::size_t trips = 0;
+
+    bool empty_quarantine() const { return quarantined.empty(); }
+};
+
+/// The fleet-wide defence suite. Stateless apart from its spec; analyze()
+/// and retest() may be called concurrently from different fleets.
+class DefenseSuite {
+public:
+    explicit DefenseSuite(DefenseSpec spec);
+
+    const DefenseSpec& spec() const { return spec_; }
+
+    /// Run the three consistency tests over a fleet's sensory matrices
+    /// (post-adversary, pre-recovery). All three matrices share the fleet
+    /// shape; rows of `existence` are the participants.
+    DefenseReport analyze(const Matrix& sx, const Matrix& sy,
+                          const Matrix& existence) const;
+
+    /// Quarantine re-test: score each quarantined row's raw uploads
+    /// against the honest-only re-solve (`honest_rx`/`honest_ry` —
+    /// reconstructions computed with the quarantined rows' observations
+    /// removed; complete matrices, so the support field is denser than
+    /// the raw one) and split the quarantine into reinstated
+    /// (corroboration within spec.reinstate of the honest median) and
+    /// confirmed. Replay flags and grouped (dense-clique) collusion
+    /// flags are confirmed outright: a duplicate sits exactly on honest
+    /// trajectories by construction, and a clique member's
+    /// leave-group-out collapse is itself the corroboration verdict —
+    /// neither can be cleared by support from the complete (dense,
+    /// easily saturated) honest reconstruction.
+    void retest(const Matrix& sx, const Matrix& sy, const Matrix& existence,
+                const Matrix& honest_rx, const Matrix& honest_ry,
+                DefenseReport& report) const;
+
+private:
+    DefenseSpec spec_;
+};
+
+/// Fraction of scoreable participants the collusion test would flag —
+/// the evidence behind eval/quality's provenance-integrity term. `ratio`
+/// and `radius` as in DefenseSpec (ratio must be >= 1, radius > 0; pass
+/// radius 0 for the spec default); deterministic.
+double collusion_suspect_fraction(const Matrix& sx, const Matrix& sy,
+                                  const Matrix& existence, double ratio,
+                                  double radius);
+
+}  // namespace mcs

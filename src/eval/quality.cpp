@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "defense/defense.hpp"
 #include "linalg/stats.hpp"
 
 namespace mcs {
@@ -72,9 +73,25 @@ QualityScore evaluate_quality(const Matrix& sx, const Matrix& sy,
                                        static_cast<double>(
                                            out.observed_cells);
     }
-    out.composite = std::cbrt(out.residual_consistency *
-                              out.velocity_plausibility *
-                              out.detection_load);
+    if (config.collusion_ratio > 0.0) {
+        // Provenance term: cross-participant collusion evidence the three
+        // self-consistency components cannot see. Only entering the
+        // geometric mean when enabled keeps the legacy three-component
+        // score bit-identical.
+        out.provenance_integrity =
+            1.0 - collusion_suspect_fraction(sx, sy, existence,
+                                             config.collusion_ratio,
+                                             config.collusion_radius);
+        out.composite = std::pow(out.residual_consistency *
+                                     out.velocity_plausibility *
+                                     out.detection_load *
+                                     out.provenance_integrity,
+                                 0.25);
+    } else {
+        out.composite = std::cbrt(out.residual_consistency *
+                                  out.velocity_plausibility *
+                                  out.detection_load);
+    }
     return out;
 }
 

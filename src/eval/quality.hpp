@@ -20,10 +20,21 @@
 //     discarding half the fleet "explains" any residual; weighting by the
 //     kept fraction stops flag-everything from gaming the other two.
 //
+//   provenance_integrity (opt-in, DESIGN.md §17) — 1 − the defence
+//     layer's collusion-suspect fraction. The adversary sweep proved the
+//     three components above are blind to collusion *by construction*: a
+//     colluding sub-fleet is internally consistent, physically drivable,
+//     and sparsely flagged, yet it drives roads no honest participant
+//     ever corroborates. Enabling QualityConfig::collusion_ratio folds
+//     that cross-participant evidence in, closing the documented blind
+//     spot.
+//
 // composite = geometric mean: every component must hold up, and a zero in
 // any one zeroes the score. Conventions for vacuous cases mirror
 // ConfusionCounts (no evidence of a problem scores 1).
 #pragma once
+
+#include <cstddef>
 
 #include "linalg/matrix.hpp"
 
@@ -36,12 +47,22 @@ struct QualityConfig {
     /// Maximum drivable speed (m/s) for the plausibility component;
     /// default ~144 km/h, comfortably above any arterial limit.
     double speed_cap_mps = 40.0;
+    /// Collusion-aware provenance term: > 0 runs the defence layer's
+    /// subspace collusion test at this flag ratio (DefenseSpec::collusion)
+    /// and scores 1 − suspect fraction; 0 (the default) keeps the original
+    /// three-component score bit-identical.
+    double collusion_ratio = 0.0;
+    /// Corroboration radius (metres) of the provenance term's collusion
+    /// test; 0 = the DefenseSpec default.
+    double collusion_radius = 0.0;
 };
 
 struct QualityScore {
     double residual_consistency = 1.0;
     double velocity_plausibility = 1.0;
     double detection_load = 1.0;
+    /// 1 when the provenance term is disabled (collusion_ratio == 0).
+    double provenance_integrity = 1.0;
     double composite = 1.0;
     /// Evidence sizes behind the components (0 ⇒ that component is
     /// vacuous and reported as 1).

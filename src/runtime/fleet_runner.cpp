@@ -74,6 +74,22 @@ std::uint64_t runtime_fingerprint(const RuntimeConfig& config) {
         h.mix_u64(a.replay_shift);
         h.mix_u64(a.seed);
     }
+    // The defence decides which rows' observations reach the final solve,
+    // so a journal written under one spec must not seed a run under
+    // another — resume recomputes analyze() + the honest solve and then
+    // restores the final solve's shards, which is only sound when the
+    // recomputed quarantine matches the journaled one.
+    if (config.defense != nullptr && !config.defense->spec().idle()) {
+        const DefenseSpec& d = config.defense->spec();
+        h.mix_f64(d.collusion);
+        h.mix_f64(d.radius);
+        h.mix_f64(d.replay);
+        h.mix_u64(d.replay_span);
+        h.mix_u64(d.outage);
+        h.mix_u64(d.outage_span);
+        h.mix_f64(d.reinstate);
+        h.mix_f64(d.max_quarantine);
+    }
     return h.digest();
 }
 
@@ -157,6 +173,41 @@ void scatter_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
     }
 }
 
+// Remove the listed participants' observations: their rows stay in the
+// fleet (the shard plan must not move) but contribute no trusted cells to
+// any solve.
+void mask_rows(ItscsInput& input, const std::vector<std::size_t>& rows) {
+    for (const std::size_t i : rows) {
+        for (std::size_t j = 0; j < input.existence.cols(); ++j) {
+            input.existence(i, j) = 0.0;
+            input.sx(i, j) = 0.0;
+            input.sy(i, j) = 0.0;
+            input.vx(i, j) = 0.0;
+            input.vy(i, j) = 0.0;
+        }
+    }
+}
+
+// Missing-not-faulty: clear detection flags on the dark cells of every
+// classified outage block, so an availability incident is never charged
+// against detection precision.
+void apply_outage_labels(Matrix& detection, const Matrix& existence,
+                         const DefenseReport& report) {
+    for (const OutageBlock& block : report.outages) {
+        const std::size_t row_end =
+            std::min(detection.rows(), block.first_row + block.rows);
+        const std::size_t col_end =
+            std::min(detection.cols(), block.first_slot + block.slots);
+        for (std::size_t i = block.first_row; i < row_end; ++i) {
+            for (std::size_t j = block.first_slot; j < col_end; ++j) {
+                if (existence(i, j) == 0.0) {
+                    detection(i, j) = 0.0;
+                }
+            }
+        }
+    }
+}
+
 }  // namespace
 
 FleetRunner::FleetRunner(RuntimeConfig config)
@@ -212,17 +263,109 @@ FleetResult FleetRunner::run(const ItscsInput& input,
         AdversaryInjection injection = config_.adversary->apply(
             transformed.sx, transformed.sy, transformed.vx, transformed.vy,
             transformed.existence, transformed.tau_s);
-        FleetResult out = run_sharded(transformed, base_config, warm, ctx);
+        FleetResult out = run_defended(transformed, base_config, warm, ctx);
         out.adversary = std::move(injection);
         return out;
     }
-    return run_sharded(input, base_config, warm, ctx);
+    return run_defended(input, base_config, warm, ctx);
+}
+
+FleetResult FleetRunner::run_defended(const ItscsInput& input,
+                                      const ItscsConfig& base_config,
+                                      WarmStartState* warm,
+                                      PipelineContext* ctx) {
+    if (config_.defense == nullptr || config_.defense->spec().idle()) {
+        // No defence, no deviation: this is the exact pre-defence path.
+        return run_sharded(input, base_config, warm, ctx,
+                           /*allow_checkpoint=*/true);
+    }
+    const DefenseSuite& defense = *config_.defense;
+
+    // Like the adversary, the defence sees the whole fleet on the calling
+    // thread before any shard boundary exists: its tests are
+    // cross-participant, and its decisions must not depend on the
+    // decomposition or the thread count.
+    DefenseReport report;
+    {
+        PipelineContext::PhaseScope scope(ctx, "defense");
+        report = defense.analyze(input.sx, input.sy, input.existence);
+    }
+
+    const auto charge = [&](const DefenseReport& r) {
+        if (ctx != nullptr) {
+            ctx->counters().defense_trips += r.trips;
+            ctx->counters().participants_quarantined += r.quarantined.size();
+            ctx->counters().quarantine_reinstated += r.reinstated.size();
+        }
+    };
+
+    if (report.empty_quarantine()) {
+        // Nothing to quarantine: one plain sharded run, bit-identical to
+        // a defence-off run apart from the outage relabel (which is a
+        // no-op unless a dark block was classified).
+        FleetResult out = run_sharded(input, base_config, warm, ctx,
+                                      /*allow_checkpoint=*/true);
+        apply_outage_labels(out.aggregate.detection, input.existence, report);
+        charge(report);
+        out.defense = std::move(report);
+        return out;
+    }
+
+    // Quarantine rung of the degradation ladder: re-solve with the flagged
+    // rows' observations removed, re-test every flagged row against the
+    // honest-only reconstruction, then run the final (checkpointable)
+    // solve without the confirmed rows.
+    ItscsInput honest = input;
+    mask_rows(honest, report.quarantined);
+    FleetResult honest_run = run_sharded(honest, base_config, nullptr, ctx,
+                                         /*allow_checkpoint=*/false);
+    {
+        PipelineContext::PhaseScope scope(ctx, "defense");
+        defense.retest(input.sx, input.sy, input.existence,
+                       honest_run.aggregate.reconstructed_x,
+                       honest_run.aggregate.reconstructed_y, report);
+    }
+
+    FleetResult out;
+    if (report.confirmed.size() == report.quarantined.size() &&
+        config_.checkpoint_dir.empty() && warm == nullptr) {
+        // Every flagged row was confirmed, so the final input equals the
+        // honest input — reuse that solve instead of repeating it.
+        out = std::move(honest_run);
+    } else if (report.confirmed.empty()) {
+        out = run_sharded(input, base_config, warm, ctx,
+                          /*allow_checkpoint=*/true);
+    } else {
+        ItscsInput final_input = input;
+        mask_rows(final_input, report.confirmed);
+        out = run_sharded(final_input, base_config, warm, ctx,
+                          /*allow_checkpoint=*/true);
+    }
+
+    // Confirmed frauds: every cell they uploaded is flagged faulty, and
+    // their reconstruction rows pass the uploads through untouched — the
+    // solve must not launder fraud into plausible-looking clean data.
+    const std::size_t t = input.existence.cols();
+    for (const std::size_t q : report.confirmed) {
+        for (std::size_t j = 0; j < t; ++j) {
+            const bool observed = input.existence(q, j) != 0.0;
+            out.aggregate.detection(q, j) = observed ? 1.0 : 0.0;
+            out.aggregate.reconstructed_x(q, j) = input.sx(q, j);
+            out.aggregate.reconstructed_y(q, j) = input.sy(q, j);
+        }
+    }
+    apply_outage_labels(out.aggregate.detection, input.existence, report);
+    out.aggregate.quarantined = report.confirmed;
+    charge(report);
+    out.defense = std::move(report);
+    return out;
 }
 
 FleetResult FleetRunner::run_sharded(const ItscsInput& input,
                                      const ItscsConfig& base_config,
                                      WarmStartState* warm,
-                                     PipelineContext* ctx) {
+                                     PipelineContext* ctx,
+                                     bool allow_checkpoint) {
     // Resolve the effective solver backend: the RuntimeConfig knob applies
     // when the core config keeps the default, so the backend can be chosen
     // on either side (CLI --solver sets the runtime knob; programmatic
@@ -289,7 +432,7 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
     CheckpointSummary& cp = out.checkpoint;
     std::unique_ptr<CheckpointStore> store;
     std::vector<bool> restored(count, false);
-    if (!config_.checkpoint_dir.empty()) {
+    if (allow_checkpoint && !config_.checkpoint_dir.empty()) {
         cp.enabled = true;
         store = std::make_unique<CheckpointStore>(config_.checkpoint_dir);
 

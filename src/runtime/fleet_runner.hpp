@@ -42,6 +42,7 @@
 #include "core/itscs.hpp"
 #include "core/streaming.hpp"
 #include "corruption/adversary.hpp"
+#include "defense/defense.hpp"
 #include "linalg/kernels.hpp"
 #include "runtime/shard_plan.hpp"
 #include "runtime/thread_pool.hpp"
@@ -127,6 +128,18 @@ struct RuntimeConfig {
     /// null or idle injector leaves the run bit-identical to before.
     const AdversaryInjector* adversary = nullptr;
 
+    /// Optional defence suite (tests and `--defense`, DESIGN.md §17);
+    /// borrowed, must outlive every run(). Like the adversary — and unlike
+    /// chaos — it sees the *fleet*, on the calling thread, before
+    /// sharding: its consistency tests are cross-participant by
+    /// construction. A non-empty quarantine extends the degradation
+    /// ladder with a fleet-level rung: quarantine → re-solve without the
+    /// flagged rows → re-test against the honest reconstruction →
+    /// reinstate or confirm. Part of the numerics, so the spec is mixed
+    /// into the checkpoint runtime fingerprint when non-idle; a null or
+    /// idle suite leaves the run bit-identical to before.
+    const DefenseSuite* defense = nullptr;
+
     /// Directory for the durable checkpoint (manifest + shard journal, see
     /// persist/checkpoint.hpp); empty = checkpointing off. Created on
     /// first use. Each completed shard is committed as one CRC-framed
@@ -184,6 +197,11 @@ struct FleetResult {
     /// RuntimeConfig::adversary is null or idle). The aggregate's
     /// detection can be scored against this mask directly.
     AdversaryInjection adversary;
+    /// Outcome of the defence pass (default state when
+    /// RuntimeConfig::defense is null or idle): flags, quarantine and its
+    /// reinstate/confirm split, classified outage blocks. The aggregate's
+    /// `quarantined` holds the confirmed subset.
+    DefenseReport defense;
 };
 
 /// Shard-parallel driver around run_itscs. Owns its worker pool and one
@@ -240,10 +258,23 @@ public:
     WindowEvaluator window_evaluator();
 
 private:
-    /// The sharded execution itself; `input` is post-adversary.
+    /// The defence rung around run_sharded: analyze → (when the quarantine
+    /// is non-empty) honest re-solve → re-test → final solve without the
+    /// confirmed rows. `input` is post-adversary. With a null/idle defence
+    /// this is exactly one run_sharded call — the clean path is untouched.
+    FleetResult run_defended(const ItscsInput& input,
+                             const ItscsConfig& base_config,
+                             WarmStartState* warm, PipelineContext* ctx);
+
+    /// The sharded execution itself; `input` is post-adversary and
+    /// post-quarantine. `allow_checkpoint` gates the durable journal: only
+    /// the *final* solve of a defended run checkpoints (the intermediate
+    /// honest solve is recomputed on resume — it is deterministic, and
+    /// journaling it would double the store for no recovery value).
     FleetResult run_sharded(const ItscsInput& input,
                             const ItscsConfig& base_config,
-                            WarmStartState* warm, PipelineContext* ctx);
+                            WarmStartState* warm, PipelineContext* ctx,
+                            bool allow_checkpoint);
 
     RuntimeConfig config_;
     std::size_t threads_ = 1;

@@ -98,7 +98,8 @@ IngestDaemon::IngestDaemon(ServeConfig config)
       runner_(config_.runtime),
       detector_(config_.participants, config_.tau_s,
                 build_detector(config_, runner_)),
-      queue_(config_.queue_capacity) {
+      queue_(config_.queue_capacity),
+      quarantine_(config_.participants, 0) {
     detector_.attach_context(&ctx_);
 }
 
@@ -168,6 +169,17 @@ std::vector<FailureReport> IngestDaemon::drain_failures() {
 ServeStats IngestDaemon::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+std::vector<std::size_t> IngestDaemon::quarantined() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < quarantine_.size(); ++i) {
+        if (quarantine_[i] != 0) {
+            out.push_back(i);
+        }
+    }
+    return out;
 }
 
 // Journal recovery: scan, report and drop what a crash left behind, refuse
@@ -284,6 +296,34 @@ void IngestDaemon::process(SlotUpload upload) {
         failures_.push_back(std::move(report));
         return;
     }
+    // Client-side quarantine enforcement: a confirmed participant may keep
+    // uploading, but its readings are refused at the boundary — the slot
+    // ingests with those cells dark and each refusal is reported. Runs
+    // *before* the journal append, so the journal records the enforced
+    // stream and a resume replay reproduces every window bit-identically
+    // without re-enforcing.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < quarantine_.size(); ++i) {
+            if (quarantine_[i] == 0 || upload.observed[i] == 0) {
+                continue;
+            }
+            upload.observed[i] = 0;
+            upload.x[i] = 0.0;
+            upload.y[i] = 0.0;
+            upload.vx[i] = 0.0;
+            upload.vy[i] = 0.0;
+            ++stats_.readings_quarantined;
+            FailureReport report;
+            report.kind = FailureKind::kRejectedUpload;
+            report.phase = "quarantine";
+            report.iteration = ordinal;
+            report.shard = i;
+            report.detail = "participant " + std::to_string(i) +
+                            " is quarantined; reading refused";
+            failures_.push_back(std::move(report));
+        }
+    }
     if (writer_ != nullptr) {
         writer_->append(encode_slot_upload(upload));
     }
@@ -304,6 +344,15 @@ void IngestDaemon::pump_reports() {
     while (auto report = detector_.poll()) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.windows_evaluated;
+        // Union this window's confirmed quarantine into the sticky
+        // enforcement set; later slots from these participants are
+        // refused at the ingest boundary.
+        for (const std::size_t q : report->quarantined) {
+            if (q < quarantine_.size() && quarantine_[q] == 0) {
+                quarantine_[q] = 1;
+                ++stats_.participants_quarantined;
+            }
+        }
         pending_.push_back(std::move(*report));
     }
     std::lock_guard<std::mutex> lock(mutex_);

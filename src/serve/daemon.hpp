@@ -76,6 +76,14 @@ struct ServeStats {
     std::size_t windows_evaluated = 0;
     std::size_t windows_warm = 0;      ///< evaluated with a warm seed
     std::size_t warm_resets = 0;       ///< verification-gate trips
+    /// Participants the defence confirmed in quarantine (sticky for the
+    /// daemon's lifetime — an enforced participant uploads nothing, so it
+    /// can never demonstrate innocence to a later window).
+    std::size_t participants_quarantined = 0;
+    /// Observed readings refused at the boundary because their
+    /// participant was quarantined (each becomes a kRejectedUpload
+    /// FailureReport with phase "quarantine").
+    std::size_t readings_quarantined = 0;
     std::size_t journal_corrupt_frames = 0;
     bool journal_torn_tail = false;
     /// Wall time of each live push_slot (ms); stride-boundary slots carry
@@ -119,6 +127,11 @@ public:
     /// Snapshot of the run's statistics.
     ServeStats stats() const;
 
+    /// Participants currently under client-side quarantine enforcement
+    /// (sorted). Filled by window evaluations when the runner carries a
+    /// non-idle DefenseSuite; empty otherwise.
+    std::vector<std::size_t> quarantined() const;
+
     /// Merged instrumentation of every window evaluation. Single-owner:
     /// read it only after finish().
     PipelineContext& context() { return ctx_; }
@@ -147,6 +160,11 @@ private:
     std::vector<WindowReport> pending_;
     std::vector<FailureReport> failures_;
     std::size_t ordinal_ = 0;  // accepted-upload counter (slotloss phase)
+    /// Sticky per-participant quarantine flags (union of every window's
+    /// confirmed quarantine). Enforced at the ingest boundary *before*
+    /// journaling, so the journal records the enforced stream and a
+    /// resume replay reproduces decisions without re-enforcing.
+    std::vector<std::uint8_t> quarantine_;
 };
 
 }  // namespace mcs

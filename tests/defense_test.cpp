@@ -1,0 +1,349 @@
+// Tests for the adversary defence layer (DESIGN.md §17): the --defense
+// spec grammar, the three cross-participant consistency tests (collusion,
+// replay, outage), the quarantine cap, the re-test split, and the
+// determinism contract the FleetRunner integration relies on.
+#include "defense/defense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "corruption/adversary.hpp"
+#include "corruption/scenario.hpp"
+#include "trace/simulator.hpp"
+
+namespace mcs {
+namespace {
+
+CorruptedDataset defense_base(std::uint64_t seed = 3) {
+    const TraceDataset truth = make_small_dataset(seed, 24, 40);
+    CorruptionConfig config;
+    config.missing_ratio = 0.2;
+    config.fault_ratio = 0.05;
+    config.seed = 7;
+    return corrupt(truth, config);
+}
+
+// The corroboration statistic needs honest traffic dense enough that
+// honest readings actually witness each other: a tighter city than
+// make_small_dataset's, with more rows and slots.
+CorruptedDataset dense_base(std::uint64_t seed = 3) {
+    SimulatorConfig sim;
+    sim.participants = 36;
+    sim.slots = 72;
+    sim.seed = seed;
+    sim.network.width_m = 10000.0;
+    sim.network.height_m = 10000.0;
+    sim.network.block_m = 1000.0;
+    sim.trips.min_trip_m = 1500.0;
+    sim.trips.max_trip_m = 6000.0;
+    const TraceDataset truth = simulate_fleet(sim);
+    CorruptionConfig config;
+    config.missing_ratio = 0.1;
+    config.fault_ratio = 0.05;
+    config.seed = 7;
+    return corrupt(truth, config);
+}
+
+AdversaryInjection attack(CorruptedDataset& data, const std::string& spec) {
+    const AdversaryInjector injector(AdversarySpec::parse(spec));
+    return injector.apply(data.sx, data.sy, data.vx, data.vy,
+                          data.existence, data.tau_s, &data.fault);
+}
+
+bool contains(const std::vector<std::size_t>& haystack, std::size_t needle) {
+    return std::find(haystack.begin(), haystack.end(), needle) !=
+           haystack.end();
+}
+
+// ---- Spec grammar ------------------------------------------------------
+
+TEST(DefenseSpec, ParsesTheFullGrammar) {
+    const DefenseSpec spec = DefenseSpec::parse(
+        "collusion=6.5,radius=150,replay=0.9,replayspan=12,outage=5,"
+        "outagespan=15,reinstate=3,maxquarantine=0.25");
+    EXPECT_DOUBLE_EQ(spec.collusion, 6.5);
+    EXPECT_DOUBLE_EQ(spec.radius, 150.0);
+    EXPECT_DOUBLE_EQ(spec.replay, 0.9);
+    EXPECT_EQ(spec.replay_span, 12u);
+    EXPECT_EQ(spec.outage, 5u);
+    EXPECT_EQ(spec.outage_span, 15u);
+    EXPECT_DOUBLE_EQ(spec.reinstate, 3.0);
+    EXPECT_DOUBLE_EQ(spec.max_quarantine, 0.25);
+}
+
+TEST(DefenseSpec, DefaultsAreArmedAndZeroingDisarms) {
+    // Unlike AdversarySpec, the empty spec is *on* — the defence defaults
+    // to defending.
+    EXPECT_FALSE(DefenseSpec::parse("").idle());
+    EXPECT_FALSE(DefenseSpec{}.idle());
+    EXPECT_FALSE(DefenseSpec::parse("collusion=0,replay=0").idle());
+    EXPECT_TRUE(DefenseSpec::parse("collusion=0,replay=0,outage=0").idle());
+}
+
+TEST(DefenseSpec, UnknownKeySuggestsTheNearestOne) {
+    try {
+        DefenseSpec::parse("colusion=4");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(
+            std::string(error.what()).find("did you mean 'collusion'"),
+            std::string::npos)
+            << error.what();
+    }
+    try {
+        DefenseSpec::parse("zzzzzzzzzzzz=1");
+        FAIL() << "expected mcs::Error";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("expected collusion"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(DefenseSpec, RejectsMalformedSpecs) {
+    EXPECT_THROW(DefenseSpec::parse("collusion"), Error);
+    EXPECT_THROW(DefenseSpec::parse("collusion=abc"), Error);
+    EXPECT_THROW(DefenseSpec::parse("collusion=4x"), Error);
+    EXPECT_THROW(DefenseSpec::parse("collusion=0.5"), Error);   // (0, 1)
+    EXPECT_THROW(DefenseSpec::parse("radius=0"), Error);
+    EXPECT_THROW(DefenseSpec::parse("replay=1.5"), Error);
+    EXPECT_THROW(DefenseSpec::parse("replay=0.9,replayspan=0"), Error);
+    EXPECT_THROW(DefenseSpec::parse("reinstate=0.5"), Error);
+    EXPECT_THROW(DefenseSpec::parse("maxquarantine=0"), Error);
+    EXPECT_THROW(DefenseSpec::parse("maxquarantine=1.5"), Error);
+}
+
+// ---- Replay test -------------------------------------------------------
+
+TEST(DefenseReplay, FlagsTheLaggingCopyWithItsShiftAndVictim) {
+    CorruptedDataset data = defense_base();
+    const AdversaryInjection injection =
+        attack(data, "replay=2,replayshift=5,seed=13");
+    ASSERT_EQ(injection.replays.size(), 2u);
+
+    // Collusion off: this test isolates the pairwise duplicate scan.
+    const DefenseSuite suite(DefenseSpec::parse("collusion=0,outage=0"));
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+
+    ASSERT_EQ(report.flags.size(), 2u);
+    EXPECT_EQ(report.trips, 1u);
+    for (const auto& [fraud, victim] : injection.replays) {
+        const auto flag = std::find_if(
+            report.flags.begin(), report.flags.end(),
+            [&](const DefenseFlag& f) { return f.participant == fraud; });
+        ASSERT_NE(flag, report.flags.end())
+            << "fraud " << fraud << " not flagged";
+        EXPECT_EQ(flag->test, DefenseTest::kReplay);
+        EXPECT_EQ(flag->partner, victim);
+        EXPECT_EQ(flag->shift, 5u);
+        EXPECT_GE(flag->score, 0.995);
+        // The victim is the honest party: never quarantined.
+        EXPECT_FALSE(contains(report.quarantined, victim));
+        EXPECT_TRUE(contains(report.quarantined, fraud));
+    }
+}
+
+TEST(DefenseReplay, CleanFleetRaisesNoReplayFlags) {
+    CorruptedDataset data = defense_base();
+    const DefenseSuite suite(DefenseSpec::parse("collusion=0,outage=0"));
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+    EXPECT_TRUE(report.flags.empty());
+    EXPECT_TRUE(report.empty_quarantine());
+    EXPECT_EQ(report.trips, 0u);
+}
+
+// ---- Collusion test ----------------------------------------------------
+
+TEST(DefenseCollusion, FlagsTheColludingSubFleetAndNobodyElse) {
+    CorruptedDataset data = dense_base();
+    const AdversaryInjection injection = attack(data, "collude=6,seed=11");
+    ASSERT_EQ(injection.colluders.size(), 6u);
+
+    const DefenseSuite suite(DefenseSpec::parse("replay=0,outage=0"));
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+
+    EXPECT_EQ(report.trips, 1u);
+    for (const std::size_t colluder : injection.colluders) {
+        EXPECT_TRUE(contains(report.quarantined, colluder))
+            << "colluder " << colluder << " escaped";
+    }
+    for (const DefenseFlag& flag : report.flags) {
+        EXPECT_EQ(flag.test, DefenseTest::kCollusion);
+        EXPECT_TRUE(contains(injection.colluders, flag.participant))
+            << "honest row " << flag.participant << " falsely flagged";
+    }
+}
+
+TEST(DefenseCollusion, CleanFleetSurvivesTheLeaveGroupOutScan) {
+    CorruptedDataset data = dense_base();
+    const DefenseSuite suite(DefenseSpec{});
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+    EXPECT_TRUE(report.empty_quarantine())
+        << report.quarantined.size() << " honest rows quarantined";
+}
+
+TEST(DefenseCollusion, SuspectFractionSeparatesAttackedFromClean) {
+    CorruptedDataset clean = dense_base();
+    EXPECT_DOUBLE_EQ(collusion_suspect_fraction(clean.sx, clean.sy,
+                                                clean.existence, 4.0, 0.0),
+                     0.0);
+    CorruptedDataset hostile = dense_base();
+    attack(hostile, "collude=8,seed=11");
+    const double fraction = collusion_suspect_fraction(
+        hostile.sx, hostile.sy, hostile.existence, 4.0, 0.0);
+    EXPECT_GE(fraction, 8.0 / 36.0 - 1e-12);
+    EXPECT_THROW(collusion_suspect_fraction(clean.sx, clean.sy,
+                                            clean.existence, 0.5, 0.0),
+                 Error);
+}
+
+// ---- Outage classifier -------------------------------------------------
+
+TEST(DefenseOutage, DarkBlockIsLabeledMissingNotFaulty) {
+    CorruptedDataset data = defense_base();
+    const AdversaryInjection injection =
+        attack(data, "outage=6,outagespan=10,seed=5");
+    ASSERT_EQ(injection.outage_rows, 6u);
+    ASSERT_EQ(injection.outage_slots, 10u);
+
+    const DefenseSuite suite(DefenseSpec::parse("collusion=0,replay=0"));
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+
+    ASSERT_FALSE(report.outages.empty());
+    EXPECT_EQ(report.trips, 1u);
+    // One classified block must cover the injected rectangle.
+    const auto block = std::find_if(
+        report.outages.begin(), report.outages.end(),
+        [&](const OutageBlock& b) {
+            return b.first_row <= injection.outage_first_row &&
+                   b.first_row + b.rows >=
+                       injection.outage_first_row + injection.outage_rows &&
+                   b.first_slot <= injection.outage_first_slot &&
+                   b.first_slot + b.slots >= injection.outage_first_slot +
+                                                 injection.outage_slots;
+        });
+    ASSERT_NE(block, report.outages.end());
+    EXPECT_GE(report.missing_not_faulty_cells, 60u);  // the 6 x 10 block
+    // An availability incident quarantines nobody.
+    EXPECT_TRUE(report.empty_quarantine());
+}
+
+TEST(DefenseOutage, ScatteredMissingCellsAreNotAnOutage) {
+    CorruptedDataset data = defense_base();
+    const DefenseSuite suite(DefenseSpec::parse("collusion=0,replay=0"));
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+    EXPECT_TRUE(report.outages.empty());
+    EXPECT_EQ(report.missing_not_faulty_cells, 0u);
+}
+
+// ---- Quarantine cap ----------------------------------------------------
+
+TEST(DefenseCap, MaxQuarantineBoundsTheFlagListReplayFirst) {
+    CorruptedDataset data = defense_base();
+    const AdversaryInjection injection =
+        attack(data, "collude=8,replay=2,replayshift=5,seed=21");
+
+    DefenseSpec spec;
+    spec.max_quarantine = 0.125;  // cap = floor(0.125 * 24) = 3
+    const DefenseSuite suite(spec);
+    const DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+
+    EXPECT_LE(report.quarantined.size(), 3u);
+    // Replay evidence outranks collusion evidence under the cap.
+    for (const auto& [fraud, victim] : injection.replays) {
+        EXPECT_TRUE(contains(report.quarantined, fraud));
+        (void)victim;
+    }
+}
+
+// ---- Re-test (the quarantine ladder's second opinion) ------------------
+
+TEST(DefenseRetest, HonestRowIsReinstatedReplayIsConfirmed) {
+    CorruptedDataset data = dense_base();
+
+    const DefenseSuite suite(DefenseSpec{});
+    DefenseReport report;
+    // Quarantine an honest row by hand, and mark another as a replay
+    // fraud: the re-test must clear the first and refuse the second.
+    report.quarantined = {2, 5};
+    DefenseFlag replay;
+    replay.participant = 5;
+    replay.test = DefenseTest::kReplay;
+    report.flags.push_back(replay);
+
+    // Honest reconstruction stand-in: the raw uploads themselves (clean
+    // fleet, so they *are* drawn from the honest subspace).
+    suite.retest(data.sx, data.sy, data.existence, data.sx, data.sy,
+                 report);
+    EXPECT_EQ(report.reinstated, (std::vector<std::size_t>{2}));
+    EXPECT_EQ(report.confirmed, (std::vector<std::size_t>{5}));
+}
+
+TEST(DefenseRetest, ColluderStaysConfirmedAgainstTheHonestBasis) {
+    CorruptedDataset data = dense_base();
+    const AdversaryInjection injection = attack(data, "collude=6,seed=11");
+
+    const DefenseSuite suite(DefenseSpec{});
+    DefenseReport report =
+        suite.analyze(data.sx, data.sy, data.existence);
+    for (const std::size_t colluder : injection.colluders) {
+        ASSERT_TRUE(contains(report.quarantined, colluder));
+    }
+    suite.retest(data.sx, data.sy, data.existence, data.sx, data.sy,
+                 report);
+    for (const std::size_t colluder : injection.colluders) {
+        EXPECT_TRUE(contains(report.confirmed, colluder))
+            << "colluder " << colluder << " talked itself back in";
+    }
+    // reinstated + confirmed is a partition of quarantined.
+    EXPECT_EQ(report.reinstated.size() + report.confirmed.size(),
+              report.quarantined.size());
+}
+
+// ---- Determinism -------------------------------------------------------
+
+TEST(DefenseSuiteTest, AnalyzeAndRetestAreDeterministic) {
+    CorruptedDataset a = defense_base();
+    CorruptedDataset b = defense_base();
+    attack(a, "collude=5,replay=2,outage=6,outagespan=10,seed=21");
+    attack(b, "collude=5,replay=2,outage=6,outagespan=10,seed=21");
+
+    const DefenseSuite suite(DefenseSpec{});
+    DefenseReport ra = suite.analyze(a.sx, a.sy, a.existence);
+    DefenseReport rb = suite.analyze(b.sx, b.sy, b.existence);
+    EXPECT_EQ(ra.quarantined, rb.quarantined);
+    EXPECT_EQ(ra.missing_not_faulty_cells, rb.missing_not_faulty_cells);
+    EXPECT_EQ(ra.trips, rb.trips);
+    ASSERT_EQ(ra.flags.size(), rb.flags.size());
+    for (std::size_t k = 0; k < ra.flags.size(); ++k) {
+        EXPECT_EQ(ra.flags[k].participant, rb.flags[k].participant);
+        EXPECT_EQ(ra.flags[k].test, rb.flags[k].test);
+        EXPECT_DOUBLE_EQ(ra.flags[k].score, rb.flags[k].score);
+    }
+    suite.retest(a.sx, a.sy, a.existence, a.sx, a.sy, ra);
+    suite.retest(b.sx, b.sy, b.existence, b.sx, b.sy, rb);
+    EXPECT_EQ(ra.reinstated, rb.reinstated);
+    EXPECT_EQ(ra.confirmed, rb.confirmed);
+}
+
+TEST(DefenseSuiteTest, ShapeMismatchIsRejected) {
+    const DefenseSuite suite(DefenseSpec{});
+    const Matrix good(4, 10);
+    const Matrix bad(4, 9);
+    EXPECT_THROW(suite.analyze(good, bad, good), Error);
+}
+
+}  // namespace
+}  // namespace mcs

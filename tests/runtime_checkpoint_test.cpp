@@ -346,6 +346,42 @@ TEST(RuntimeCheckpointTest, MismatchedSolverBackendRefusesToResume) {
     }
 }
 
+TEST(RuntimeCheckpointTest, MismatchedDefenseSpecRefusesToResume) {
+    // The defence spec shapes the final solve's input (quarantined rows
+    // are masked out), so it is folded into the runtime fingerprint:
+    // resuming a journal written under a different spec must refuse
+    // rather than stitch two quarantine policies into one result.
+    const ItscsInput input = fleet_input();
+    const DefenseSuite armed{DefenseSpec{}};
+    CheckpointDir dir;
+    {
+        RuntimeConfig config = runtime_config(2, dir.path());
+        config.defense = &armed;
+        FleetRunner first(config);
+        first.run(input, ItscsConfig{});
+    }
+    const DefenseSuite stricter(DefenseSpec::parse("collusion=2,replay=0.9"));
+    RuntimeConfig changed = runtime_config(2, dir.path(), /*resume=*/true);
+    changed.defense = &stricter;
+    FleetRunner second(changed);
+    try {
+        second.run(input, ItscsConfig{});
+        FAIL() << "expected the defence spec mismatch to throw";
+    } catch (const Error& error) {
+        EXPECT_NE(std::string(error.what()).find("runtime_fingerprint"),
+                  std::string::npos)
+            << error.what();
+    }
+
+    // The same spec resumes cleanly: the refusal keys on the spec, not on
+    // the mere presence of a defence suite.
+    RuntimeConfig same = runtime_config(2, dir.path(), /*resume=*/true);
+    same.defense = &armed;
+    FleetRunner third(same);
+    const FleetResult resumed = third.run(input, ItscsConfig{});
+    EXPECT_EQ(resumed.checkpoint.shards_loaded, resumed.shards.size());
+}
+
 TEST(RuntimeCheckpointTest, LrsdResumeIsBitIdentical) {
     // The checkpoint layer is backend-agnostic: an interrupted LRSD run
     // resumes to the same bits as an uninterrupted one.

@@ -760,5 +760,147 @@ TEST(FleetRunner, IdleAdversaryLeavesTheCleanPathBitIdentical) {
                               want.aggregate.reconstructed_y));
 }
 
+// ---- Defence suite through the runtime seam ----------------------------
+
+TEST(FleetRunner, DefendedRunIsBitIdenticalAcrossThreadCounts) {
+    const ItscsInput input = fleet_input(30, 40);
+    const AdversaryInjector adversary(
+        AdversarySpec::parse("replay=2,collude=4,seed=21"));
+    const DefenseSuite defense{DefenseSpec{}};
+
+    std::unique_ptr<FleetResult> reference;
+    std::vector<std::uint64_t> reference_counters;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        RuntimeConfig config;
+        config.threads = threads;
+        config.shard_size = 10;
+        config.adversary = &adversary;
+        config.defense = &defense;
+        FleetRunner runner(config);
+        PipelineContext ctx;
+        FleetResult fleet = runner.run(input, ItscsConfig{}, &ctx);
+
+        // A replayed row is its victim circularly shifted — a bit-exact
+        // duplicate the pairwise scan must catch at any thread count, and
+        // one the re-test confirms outright.
+        EXPECT_FALSE(fleet.defense.quarantined.empty());
+        EXPECT_FALSE(fleet.defense.confirmed.empty());
+        EXPECT_GT(ctx.counters().defense_trips, 0u);
+        EXPECT_EQ(ctx.counters().participants_quarantined,
+                  fleet.defense.quarantined.size());
+        EXPECT_EQ(ctx.counters().quarantine_reinstated,
+                  fleet.defense.reinstated.size());
+        const std::vector<std::uint64_t> counters = {
+            ctx.counters().defense_trips,
+            ctx.counters().participants_quarantined,
+            ctx.counters().quarantine_reinstated};
+
+        if (reference == nullptr) {
+            reference = std::make_unique<FleetResult>(std::move(fleet));
+            reference_counters = counters;
+            continue;
+        }
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.detection,
+                                  reference->aggregate.detection))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_x,
+                                  reference->aggregate.reconstructed_x))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(fleet.aggregate.reconstructed_y,
+                                  reference->aggregate.reconstructed_y))
+            << "threads=" << threads;
+        EXPECT_EQ(fleet.defense.quarantined,
+                  reference->defense.quarantined);
+        EXPECT_EQ(fleet.defense.confirmed, reference->defense.confirmed);
+        EXPECT_EQ(fleet.defense.reinstated,
+                  reference->defense.reinstated);
+        EXPECT_EQ(fleet.aggregate.quarantined,
+                  reference->aggregate.quarantined);
+        EXPECT_EQ(counters, reference_counters) << "threads=" << threads;
+    }
+}
+
+TEST(FleetRunner, DefenseMustNotDependOnShardBoundaries) {
+    // The defence runs fleet-wide before sharding: re-sharding the same
+    // hostile fleet must not move a single quarantine decision.
+    const ItscsInput input = fleet_input(30, 40);
+    const AdversaryInjector adversary(
+        AdversarySpec::parse("replay=2,collude=4,seed=21"));
+    const DefenseSuite defense{DefenseSpec{}};
+    std::unique_ptr<FleetResult> reference;
+    for (const std::size_t shard_size : {6u, 15u, 30u}) {
+        RuntimeConfig config;
+        config.threads = 2;
+        config.shard_size = shard_size;
+        config.adversary = &adversary;
+        config.defense = &defense;
+        FleetRunner runner(config);
+        FleetResult fleet = runner.run(input, ItscsConfig{});
+        if (reference == nullptr) {
+            reference = std::make_unique<FleetResult>(std::move(fleet));
+            continue;
+        }
+        // Decisions only: the per-shard solve numerics legitimately vary
+        // with the decomposition (each shard solves independently), but
+        // the quarantine must not.
+        EXPECT_EQ(fleet.defense.quarantined,
+                  reference->defense.quarantined);
+        EXPECT_EQ(fleet.defense.confirmed, reference->defense.confirmed);
+        EXPECT_EQ(fleet.aggregate.quarantined,
+                  reference->aggregate.quarantined);
+    }
+}
+
+TEST(FleetRunner, IdleDefenseLeavesTheCleanPathBitIdentical) {
+    const ItscsInput input = fleet_input(30, 40);
+    RuntimeConfig plain;
+    plain.threads = 2;
+    plain.shard_size = 10;
+    FleetRunner plain_runner(plain);
+    const FleetResult want = plain_runner.run(input, ItscsConfig{});
+
+    const DefenseSuite idle(
+        DefenseSpec::parse("collusion=0,replay=0,outage=0"));
+    RuntimeConfig config = plain;
+    config.defense = &idle;
+    FleetRunner runner(config);
+    const FleetResult got = runner.run(input, ItscsConfig{});
+    EXPECT_TRUE(got.defense.quarantined.empty());
+    EXPECT_TRUE(bitwise_equal(got.aggregate.detection,
+                              want.aggregate.detection));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_x,
+                              want.aggregate.reconstructed_x));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_y,
+                              want.aggregate.reconstructed_y));
+}
+
+TEST(FleetRunner, ArmedDefenseOnACleanFleetQuarantinesNobody) {
+    // Default (armed) defence on an honest fleet: no quarantine, and the
+    // output stays bit-identical to a no-defence run — clean-path safety
+    // of the whole ladder.
+    const ItscsInput input = fleet_input(30, 40);
+    RuntimeConfig plain;
+    plain.threads = 2;
+    plain.shard_size = 10;
+    FleetRunner plain_runner(plain);
+    const FleetResult want = plain_runner.run(input, ItscsConfig{});
+
+    const DefenseSuite defense{DefenseSpec{}};
+    RuntimeConfig config = plain;
+    config.defense = &defense;
+    FleetRunner runner(config);
+    PipelineContext ctx;
+    const FleetResult got = runner.run(input, ItscsConfig{}, &ctx);
+    EXPECT_TRUE(got.defense.quarantined.empty());
+    EXPECT_TRUE(got.defense.flags.empty());
+    EXPECT_EQ(ctx.counters().participants_quarantined, 0u);
+    EXPECT_TRUE(bitwise_equal(got.aggregate.detection,
+                              want.aggregate.detection));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_x,
+                              want.aggregate.reconstructed_x));
+    EXPECT_TRUE(bitwise_equal(got.aggregate.reconstructed_y,
+                              want.aggregate.reconstructed_y));
+}
+
 }  // namespace
 }  // namespace mcs

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <filesystem>
@@ -461,6 +462,114 @@ TEST(IngestDaemon, AdversarialStreamReplaysBitIdenticallyAfterResume) {
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t k = 0; k < want.size(); ++k) {
         EXPECT_EQ(got[k].first_slot, want[k].first_slot);
+        const auto got_cells = got[k].detection.data();
+        const auto want_cells = want[k].detection.data();
+        ASSERT_EQ(got_cells.size(), want_cells.size());
+        for (std::size_t c = 0; c < got_cells.size(); ++c) {
+            ASSERT_EQ(got_cells[c], want_cells[c])
+                << "window " << k << " cell " << c;
+        }
+        const auto got_x = got[k].reconstructed_x.data();
+        const auto want_x = want[k].reconstructed_x.data();
+        for (std::size_t c = 0; c < got_x.size(); ++c) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(got_x[c]),
+                      std::bit_cast<std::uint64_t>(want_x[c]))
+                << "window " << k << " cell " << c;
+        }
+    }
+}
+
+TEST(IngestDaemon, QuarantineEnforcementSurvivesResumeBitIdentically) {
+    // A fraudster mirrors another participant's live uploads slot for
+    // slot — an exact duplicate the defence's replay scan catches in the
+    // first evaluated window. From then on the daemon refuses the
+    // fraudster's readings at the ingest boundary, and because
+    // enforcement runs *before* the journal append, a killed daemon
+    // resumes to the same sticky quarantine and bit-identical windows.
+    const std::size_t kSlots = 60;
+    const std::size_t kCrashAt = 29;  // first window (24) evaluated
+    const std::size_t kVictim = 3;
+    const std::size_t kFraud = 7;
+    CorruptedDataset data = make_stream(31, 10, kSlots);
+    for (std::size_t j = 0; j < kSlots; ++j) {
+        data.sx(kFraud, j) = data.sx(kVictim, j);
+        data.sy(kFraud, j) = data.sy(kVictim, j);
+        data.vx(kFraud, j) = data.vx(kVictim, j);
+        data.vy(kFraud, j) = data.vy(kVictim, j);
+        data.existence(kFraud, j) = data.existence(kVictim, j);
+    }
+
+    const DefenseSuite defense{DefenseSpec{}};
+    ServeConfig config = small_config(10);
+    config.tau_s = data.tau_s;
+    config.flush_tail = false;
+    config.runtime.defense = &defense;
+
+    std::vector<WindowReport> want;
+    std::vector<std::size_t> want_quarantined;
+    ServeStats want_stats;
+    {
+        IngestDaemon daemon(config);
+        daemon.start();
+        for (std::size_t j = 0; j < kSlots; ++j) {
+            daemon.submit(slot_of(data, j));
+        }
+        daemon.finish();
+        want = daemon.drain();
+        want_quarantined = daemon.quarantined();
+        want_stats = daemon.stats();
+        const auto failures = daemon.drain_failures();
+        const bool enforced = std::any_of(
+            failures.begin(), failures.end(), [](const FailureReport& f) {
+                return f.kind == FailureKind::kRejectedUpload &&
+                       f.phase == "quarantine";
+            });
+        EXPECT_TRUE(enforced);
+    }
+    ASSERT_EQ(want_quarantined, std::vector<std::size_t>{kFraud});
+    EXPECT_EQ(want_stats.participants_quarantined, 1u);
+    EXPECT_GT(want_stats.readings_quarantined, 0u);
+
+    JournalDir dir;
+    ServeConfig journaled = config;
+    journaled.journal_path = dir.journal();
+    {
+        IngestDaemon daemon(journaled);
+        daemon.start();
+        for (std::size_t j = 0; j < kCrashAt; ++j) {
+            daemon.submit(slot_of(data, j));
+        }
+        daemon.finish();  // simulated kill mid-window
+    }
+
+    ServeConfig resumed = journaled;
+    resumed.resume = true;
+    IngestDaemon daemon(resumed);
+    daemon.start();
+    // The replayed journal holds the *enforced* stream: the sticky
+    // quarantine is rebuilt from the re-evaluated windows, not
+    // re-enforced per reading.
+    EXPECT_EQ(daemon.stats().slots_replayed, kCrashAt);
+    EXPECT_EQ(daemon.quarantined(), want_quarantined);
+    for (std::size_t j = kCrashAt; j < kSlots; ++j) {
+        daemon.submit(slot_of(data, j));
+    }
+    daemon.finish();
+
+    EXPECT_EQ(daemon.quarantined(), want_quarantined);
+    const ServeStats stats = daemon.stats();
+    EXPECT_EQ(stats.participants_quarantined,
+              want_stats.participants_quarantined);
+    // Slots enforced before the crash live in the journal as dark cells,
+    // so the resumed run only re-enforces the live tail.
+    EXPECT_GT(stats.readings_quarantined, 0u);
+    EXPECT_LE(stats.readings_quarantined, want_stats.readings_quarantined);
+
+    const auto got = daemon.drain();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t k = 0; k < want.size(); ++k) {
+        EXPECT_EQ(got[k].first_slot, want[k].first_slot);
+        EXPECT_EQ(got[k].quarantined, want[k].quarantined);
         const auto got_cells = got[k].detection.data();
         const auto want_cells = want[k].detection.data();
         ASSERT_EQ(got_cells.size(), want_cells.size());

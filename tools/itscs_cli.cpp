@@ -20,7 +20,7 @@
 //                  [--threads N] [--shard-size K] [--shard-count C]
 //                  [--kernel-threads M] [--tier exact|fast]
 //                  [--row-block-threshold K]
-//                  [--chaos=SPEC] [--adversary=SPEC]
+//                  [--chaos=SPEC] [--adversary=SPEC] [--defense=SPEC]
 //                  [--failure-report fr.json]
 //                  [--shard-deadline S]
 //                  [--checkpoint-dir D] [--resume] [--strict]
@@ -46,6 +46,12 @@
 //       the §16 grammar (collude=k,outage=r,outagespan=w,outagenoise=m,
 //       replay=k,replayshift=d,seed=u) fleet-wide before sharding, with
 //       the injection's role assignments echoed in --report;
+//       --defense arms the §17 defence suite (collusion=r,radius=m,
+//       replay=f,replayspan=s,outage=k,outagespan=w,reinstate=r,
+//       maxquarantine=q — an empty spec takes every default) fleet-wide
+//       before recovery: flagged participants walk the quarantine ladder
+//       (quarantine → re-solve without them → re-test → reinstate or
+//       confirm) and the decisions are echoed in --report;
 //       --failure-report writes the per-shard
 //       degradation outcomes (ladder level, attempts, structured
 //       failures) as JSON; --shard-deadline sets a per-shard wall-clock
@@ -163,6 +169,52 @@ mcs::Json adversary_info(const std::string& spec,
     return out;
 }
 
+// Outcome of one defence pass (DESIGN.md §17): every flag with its test
+// and score, the quarantine ladder's reinstate/confirm split, and the
+// classified outage blocks.
+mcs::Json defense_info(const std::string& spec,
+                       const mcs::DefenseReport& report) {
+    mcs::Json out = mcs::Json::object();
+    out["spec"] = spec;
+    mcs::Json flags = mcs::Json::array();
+    for (const mcs::DefenseFlag& flag : report.flags) {
+        mcs::Json row = mcs::Json::object();
+        row["participant"] = flag.participant;
+        row["test"] = std::string(mcs::to_string(flag.test));
+        row["score"] = flag.score;
+        if (flag.test == mcs::DefenseTest::kReplay) {
+            row["partner"] = flag.partner;
+            row["shift"] = flag.shift;
+        }
+        flags.push_back(row);
+    }
+    out["flags"] = flags;
+    const auto indices = [](const std::vector<std::size_t>& rows) {
+        mcs::Json list = mcs::Json::array();
+        for (const std::size_t r : rows) {
+            list.push_back(r);
+        }
+        return list;
+    };
+    out["quarantined"] = indices(report.quarantined);
+    out["reinstated"] = indices(report.reinstated);
+    out["confirmed"] = indices(report.confirmed);
+    mcs::Json outages = mcs::Json::array();
+    for (const mcs::OutageBlock& block : report.outages) {
+        mcs::Json row = mcs::Json::object();
+        row["first_row"] = block.first_row;
+        row["rows"] = block.rows;
+        row["first_slot"] = block.first_slot;
+        row["slots"] = block.slots;
+        row["dark_cells"] = block.dark_cells;
+        outages.push_back(row);
+    }
+    out["outages"] = outages;
+    out["missing_not_faulty_cells"] = report.missing_not_faulty_cells;
+    out["trips"] = report.trips;
+    return out;
+}
+
 // ---- flag registry --------------------------------------------------------
 //
 // One row per --key the CLI understands, per subcommand. Single source of
@@ -212,6 +264,7 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"row-block-threshold", "K", "min rows for row-blocked dispatch"},
         {"chaos", "SPEC", "fault injection per DESIGN.md §11 grammar"},
         {"adversary", "SPEC", "structured adversary per DESIGN.md §16"},
+        {"defense", "SPEC", "defence suite per DESIGN.md §17"},
         {"failure-report", "FILE", "per-shard degradation outcomes JSON"},
         {"shard-deadline", "S", "per-shard wall-clock budget in seconds"},
         {"checkpoint-dir", "DIR", "durable shard journal directory"},
@@ -236,6 +289,7 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"tier", "T", "kernel tier: exact | fast (default exact)"},
         {"chaos", "SPEC", "§11 grammar incl. slotloss=k"},
         {"adversary", "SPEC", "§16 adversary applied to the upload stream"},
+        {"defense", "SPEC", "§17 defence; quarantined uploads refused"},
         {"journal", "FILE", "CRC-framed ingest journal"},
         {"resume", "", "replay the journal, then continue the feed"},
         {"no-warm-start", "", "cold-start every window's CS solve"},
@@ -510,11 +564,16 @@ int cmd_clean(const Args& args) {
     if (args.has("adversary")) {
         adversary_spec = mcs::AdversarySpec::parse(args.get("adversary"));
     }
+    std::optional<mcs::DefenseSpec> defense_spec;
+    if (args.has("defense")) {
+        defense_spec = mcs::DefenseSpec::parse(args.get_or("defense", ""));
+    }
     const double shard_deadline = args.number("shard-deadline", 0.0);
     const bool use_runner = threads > 1 || shard_size > 0 ||
                             shard_count > 0 || kernel_threads > 1 ||
                             chaos_config.has_value() ||
                             adversary_spec.has_value() ||
+                            defense_spec.has_value() ||
                             shard_deadline > 0.0 ||
                             args.has("failure-report") ||
                             args.has("checkpoint-dir") ||
@@ -524,6 +583,7 @@ int cmd_clean(const Args& args) {
     std::vector<mcs::ShardRunReport> shard_reports;
     mcs::CheckpointSummary checkpoint;
     mcs::AdversaryInjection adversary_result;
+    mcs::DefenseReport defense_result;
     std::size_t resolved_shard_count = 1;
     if (use_runner) {
         mcs::RuntimeConfig runtime;
@@ -553,6 +613,11 @@ int cmd_clean(const Args& args) {
                 std::make_unique<mcs::AdversaryInjector>(*adversary_spec);
             runtime.adversary = adversary.get();
         }
+        std::unique_ptr<mcs::DefenseSuite> defense;
+        if (defense_spec.has_value()) {
+            defense = std::make_unique<mcs::DefenseSuite>(*defense_spec);
+            runtime.defense = defense.get();
+        }
         mcs::FleetRunner runner(runtime);
         mcs::FleetResult fleet =
             runner.run(input, config, want_stats ? &ctx : nullptr);
@@ -560,6 +625,7 @@ int cmd_clean(const Args& args) {
         shard_reports = std::move(fleet.shards);
         checkpoint = std::move(fleet.checkpoint);
         adversary_result = std::move(fleet.adversary);
+        defense_result = std::move(fleet.defense);
         resolved_shard_count = shard_reports.size();
     } else {
         result = mcs::run_itscs(input, config, {},
@@ -606,6 +672,10 @@ int cmd_clean(const Args& args) {
         if (adversary_spec.has_value()) {
             report["adversary"] =
                 adversary_info(args.get("adversary"), adversary_result);
+        }
+        if (defense_spec.has_value()) {
+            report["defense"] =
+                defense_info(args.get_or("defense", ""), defense_result);
         }
         if (use_runner) {
             mcs::Json runtime = mcs::Json::object();
@@ -699,6 +769,13 @@ int cmd_clean(const Args& args) {
                   << " corrupt frame(s)"
                   << (checkpoint.torn_tail ? ", torn tail" : "") << "\n";
     }
+    if (defense_spec.has_value()) {
+        std::cout << "defense: " << defense_result.quarantined.size()
+                  << " quarantined (" << defense_result.reinstated.size()
+                  << " reinstated, " << defense_result.confirmed.size()
+                  << " confirmed), " << defense_result.outages.size()
+                  << " outage block(s)\n";
+    }
     std::cout << "cleaned trace written to " << args.get("out") << " ("
               << flagged << " readings flagged, " << result.iterations
               << " iterations)\n";
@@ -786,6 +863,15 @@ int cmd_serve(const Args& args) {
             mcs::ChaosConfig::parse(args.get("chaos")));
         serve.runtime.chaos = injector.get();
     }
+    // Defence (§17): the suite rides the daemon's per-window fleet runs;
+    // confirmed participants enter the daemon's sticky quarantine and
+    // their later uploads are refused at the ingest boundary.
+    std::unique_ptr<mcs::DefenseSuite> defense;
+    if (args.has("defense")) {
+        defense = std::make_unique<mcs::DefenseSuite>(
+            mcs::DefenseSpec::parse(args.get_or("defense", "")));
+        serve.runtime.defense = defense.get();
+    }
     serve.journal_path = args.get_or("journal", "");
     serve.resume = args.has("resume");
     serve.warm_start = !args.has("no-warm-start");
@@ -846,6 +932,8 @@ int cmd_serve(const Args& args) {
         report["warm_resets"] = stats.warm_resets;
         report["journal_corrupt_frames"] = stats.journal_corrupt_frames;
         report["journal_torn_tail"] = stats.journal_torn_tail;
+        report["participants_quarantined"] = stats.participants_quarantined;
+        report["readings_quarantined"] = stats.readings_quarantined;
         report["slot_latency_p50_ms"] =
             percentile_ms(stats.slot_latency_ms, 50.0);
         report["slot_latency_p99_ms"] =
@@ -862,6 +950,7 @@ int cmd_serve(const Args& args) {
             row["warm_reset"] = w.warm_reset;
             row["warm_deviation"] = w.warm_deviation;
             row["flagged"] = mcs::count_equal(w.detection, 1.0);
+            row["quarantined"] = w.quarantined.size();
             windows.push_back(row);
         }
         report["windows"] = windows;
@@ -874,6 +963,16 @@ int cmd_serve(const Args& args) {
             report["adversary"] =
                 adversary_info(args.get("adversary"), adversary_result);
         }
+        if (args.has("defense")) {
+            mcs::Json quarantined = mcs::Json::array();
+            for (const std::size_t q : daemon.quarantined()) {
+                quarantined.push_back(q);
+            }
+            mcs::Json d = mcs::Json::object();
+            d["spec"] = args.get_or("defense", "");
+            d["quarantined"] = quarantined;
+            report["defense"] = d;
+        }
         report["kernel"] = kernel_info(tier);
         mcs::write_json_file(args.get("report"), report);
     }
@@ -885,7 +984,9 @@ int cmd_serve(const Args& args) {
     std::cout << "served " << stats.uploads_accepted << " slot(s) ("
               << stats.slots_replayed << " replayed, "
               << stats.uploads_rejected << " rejected, "
-              << stats.slots_dropped << " lost): "
+              << stats.slots_dropped << " lost, "
+              << stats.readings_quarantined << " quarantined reading(s) of "
+              << stats.participants_quarantined << " participant(s)): "
               << stats.windows_evaluated << " window(s), "
               << stats.windows_warm << " warm, " << stats.warm_resets
               << " reset(s), p99 "
@@ -1008,7 +1109,7 @@ int usage() {
            "           [--shard-size K] [--shard-count C]\n"
            "           [--kernel-threads M] [--tier exact|fast] "
            "[--row-block-threshold K]\n"
-           "           [--chaos=SPEC] [--adversary=SPEC] "
+           "           [--chaos=SPEC] [--adversary=SPEC] [--defense=SPEC] "
            "[--failure-report fr.json]\n"
            "           [--shard-deadline S] [--checkpoint-dir D] "
            "[--resume] [--strict]\n"
@@ -1021,7 +1122,8 @@ int usage() {
            "[--shard-size K]\n"
            "           [--shard-count C] [--tier exact|fast] "
            "[--chaos=SPEC] [--adversary=SPEC]\n"
-           "           [--journal j.bin] [--resume] [--no-warm-start]\n"
+           "           [--defense=SPEC] [--journal j.bin] [--resume] "
+           "[--no-warm-start]\n"
            "           [--warm-verify-every K] [--warm-verify-tolerance T]\n"
            "           [--queue-capacity Q] [--report r.json] "
            "[--stats-json]\n"

@@ -34,6 +34,14 @@
 #                            non-finite report cells, warm start not
 #                            cheaper than cold, or a warm/cold F1 gap
 #                            above 0.01
+#   tools/verify.sh defense  defence smoke: Release-build perf_pipeline and
+#                            run the defence sweep (--defense-sweep
+#                            --quick); the binary exits non-zero on a
+#                            non-finite cell, a clean-path deviation (armed
+#                            suite on a clean fleet must be bit-identical
+#                            to no defence), an analyze() overhead above 2%
+#                            of the clean solve, or an unmet k=24
+#                            collusion breaking-point claim
 #   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -121,6 +129,21 @@ stream() {
     rm -rf "$scratch"
 }
 
+defense() {
+    echo "== defense: build (Release) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target perf_pipeline
+    echo "== defense: adversary defence quarantine smoke =="
+    # Writes BENCH_defense.json in cwd; run from a scratch dir so the
+    # committed full-sweep baseline isn't clobbered by quick numbers.
+    local scratch
+    scratch="$(mktemp -d)"
+    (cd "$scratch" &&
+        "$OLDPWD/build-release/bench/perf_pipeline" --defense-sweep \
+            --quick --repeat 1 > /dev/null)
+    rm -rf "$scratch"
+}
+
 case "${1:-tier1}" in
     tier1) tier1 ;;
     tsan) tsan ;;
@@ -128,8 +151,9 @@ case "${1:-tier1}" in
     perf) perf ;;
     adv) adv ;;
     stream) stream ;;
-    all) tier1; tsan; asan; perf; adv; stream ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|adv|stream|all]" >&2; exit 2 ;;
+    defense) defense ;;
+    all) tier1; tsan; asan; perf; adv; stream; defense ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|adv|stream|defense|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
