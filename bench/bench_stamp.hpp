@@ -2,18 +2,21 @@
 //
 // A bench number is only comparable when the recording conditions ride
 // along with it. Every harness in bench/ funnels its report through
-// stamp_environment() so the same four facts are always present under the
-// same keys: the repeat count behind each timed wall, whether the run was
-// the shrunk CI --quick variant, the machine's hardware_concurrency, and
-// whether the sweep's worker count oversubscribed it (thread-scaling
-// numbers from an oversubscribed box measure scheduling, not speedup —
-// see the ROADMAP note on the hardware_concurrency=1 baseline machine).
+// stamp_environment() so the same facts are always present under the same
+// keys: the repeat count behind each timed wall, whether the run was the
+// shrunk CI --quick variant, the machine's hardware_concurrency, the
+// *effective* CPU count the process may actually use (sched_getaffinity —
+// a pinned container can report 96 hardware CPUs and 1 effective), and
+// whether the sweep's worker count oversubscribed the effective count
+// (thread-scaling numbers from an oversubscribed box measure scheduling,
+// not speedup — see the ROADMAP note on the hardware_concurrency=1
+// baseline machine).
 #pragma once
 
 #include <cstdint>
-#include <thread>
 
 #include "common/json.hpp"
+#include "common/topology.hpp"
 
 namespace mcs {
 
@@ -21,12 +24,12 @@ inline void stamp_environment(Json& report, std::size_t repeat,
                               std::size_t threads_used, bool quick = false) {
     report["repeat"] = repeat;
     report["quick"] = quick;
-    const auto concurrency =
-        static_cast<std::uint64_t>(std::thread::hardware_concurrency());
-    report["hardware_concurrency"] = concurrency;
+    report["hardware_concurrency"] =
+        static_cast<std::uint64_t>(hardware_cpu_count());
+    report["effective_cpus"] =
+        static_cast<std::uint64_t>(effective_cpu_count());
     report["threads"] = threads_used;
-    report["oversubscribed"] =
-        static_cast<std::uint64_t>(threads_used) > concurrency;
+    report["oversubscribed"] = threads_used > effective_cpu_count();
 }
 
 }  // namespace mcs

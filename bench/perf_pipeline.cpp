@@ -13,9 +13,22 @@
 // FleetRunner at 1/2/4/8 workers under both kernel tiers (exact and
 // fast). Results are written to BENCH_runtime.json in the working
 // directory (and stdout): per {tier, worker count} {wall_ms, speedup vs.
-// that tier's 1-worker run, alloc_steady_state} plus a bit-identity check
-// of every parallel run against the same tier's sequential run, and the
-// fast-vs-exact sequential fleet speedup.
+// that tier's 1-worker run, alloc_steady_state, shards stolen} plus a
+// bit-identity check of every parallel run against the same tier's
+// sequential run, and the fast-vs-exact sequential fleet speedup. Worker
+// counts above the effective CPU count (sched_getaffinity) are skipped by
+// default — an oversubscribed "speedup" measures the kernel scheduler —
+// and recorded under skipped_oversubscribed_threads; pass
+// `--include-oversubscribed` to sweep them anyway.
+//
+// Pass `--scale-sweep` for the out-of-core data plane's headline claims
+// (DESIGN.md §18): a synthetic ≥100k-participant fleet streamed through
+// the mmap slab store under a fixed memory budget several times smaller
+// than the in-core footprint (peak RSS stamped and checked), streamed vs
+// in-core bit-identity at a cross-checkable scale, work-stealing
+// bit-identity at 1/2/7 threads, and the f32 storage tier's ≤ 1e-3 F1
+// contract. Written to BENCH_scale.json (and stdout); exits nonzero when
+// any claim fails; `--quick` shrinks the fleet for CI.
 //
 // `--repeat N` (default 1) makes every timed wall a median of N runs
 // after one warm-up; the repeat count and hardware_concurrency are
@@ -71,6 +84,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -292,11 +306,28 @@ double median(std::vector<double> samples) {
     return samples[samples.size() / 2];
 }
 
-mcs::Json runtime_sweep_report(std::size_t repeat) {
+mcs::Json runtime_sweep_report(std::size_t repeat,
+                               bool include_oversubscribed) {
     constexpr std::size_t kShardSize = 158;
     constexpr std::size_t kShards = 8;
     constexpr std::size_t kSlots = 240;
     const std::size_t participants = kShardSize * kShards;
+
+    // A worker count above the effective CPU count measures the kernel
+    // scheduler, not this runner — on a 1-core container the committed
+    // "speedup" curve was pure oversubscription noise. Skip those counts
+    // by default (the skips are recorded) and keep them opt-in for
+    // scheduler-behaviour studies.
+    const std::size_t effective = mcs::effective_cpu_count();
+    std::vector<std::size_t> thread_counts;
+    std::vector<std::size_t> skipped_counts;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        if (threads <= effective || include_oversubscribed) {
+            thread_counts.push_back(threads);
+        } else {
+            skipped_counts.push_back(threads);
+        }
+    }
 
     std::cerr << "runtime sweep: simulating " << participants << "x"
               << kSlots << " fleet...\n";
@@ -317,7 +348,7 @@ mcs::Json runtime_sweep_report(std::size_t repeat) {
          {mcs::KernelTier::kExact, mcs::KernelTier::kFast}) {
         const auto tier_index = static_cast<std::size_t>(tier);
         mcs::Matrix reference_detection, reference_x, reference_y;
-        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        for (const std::size_t threads : thread_counts) {
             mcs::RuntimeConfig config;
             config.threads = threads;
             config.shard_size = kShardSize;
@@ -370,8 +401,8 @@ mcs::Json runtime_sweep_report(std::size_t repeat) {
                                  : 1.0;
             row["alloc_steady_state"] =
                 ctx.counters().workspace_allocations;
-            row["oversubscribed"] =
-                threads > std::thread::hardware_concurrency();
+            row["oversubscribed"] = threads > effective;
+            row["shards_stolen"] = fleet.steals.stolen_items;
             row["bitwise_equal_to_sequential"] = equal_to_sequential;
             rows.push_back(row);
         }
@@ -383,14 +414,371 @@ mcs::Json runtime_sweep_report(std::size_t repeat) {
     report["fleet"]["slots"] = kSlots;
     report["fleet"]["shard_size"] = kShardSize;
     report["fleet"]["shards"] = kShards;
-    mcs::stamp_environment(report, repeat, /*threads_used=*/8);
+    mcs::stamp_environment(report, repeat,
+                           /*threads_used=*/thread_counts.back());
     report["warmup_runs"] = 1;
+    mcs::Json skipped = mcs::Json::array();
+    for (const std::size_t threads : skipped_counts) {
+        skipped.push_back(threads);
+    }
+    report["skipped_oversubscribed_threads"] = skipped;
     report["sweep"] = rows;
     report["all_bitwise_equal_to_sequential"] = all_bitwise_equal;
     report["fast_vs_exact_sequential_speedup"] =
         sequential_ms_by_tier[1] > 0.0
             ? sequential_ms_by_tier[0] / sequential_ms_by_tier[1]
             : 1.0;
+    return report;
+}
+
+// ---- scale sweep ---------------------------------------------------------
+//
+// The out-of-core data plane's headline measurement (DESIGN.md §18): a
+// synthetic ≥100k-participant city runs end to end through the mmap slab
+// store under a fixed --memory-budget several times smaller than the
+// fleet's in-core footprint. The fleet is never materialised: every
+// 2000-row block is a pure function of (base seed, shard index), so
+// ingestion synthesises one block at a time into the store and the F1
+// scorer regenerates the same block's ground truth while reading the
+// output slabs back. Peak RSS (VmHWM) is recorded right after the big
+// run, before the small-scale cross-checks, so the stamp is the big run's
+// high-water mark.
+//
+// Three claims are verified, and the binary exits nonzero if any fails:
+//   1. the ≥100k streamed run completes converged with peak RSS under the
+//      memory budget;
+//   2. at a cross-checkable scale, the streamed run is bit-identical to
+//      the in-core run, and the work-stealing scheduler is bit-identical
+//      across 1/2/7 worker threads (compared via output-slab CRCs);
+//   3. the float32 storage tier under the mixed kernel tier moves
+//      detection F1 by ≤ 1e-3 relative to f64/exact storage.
+
+std::size_t peak_rss_bytes() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            return static_cast<std::size_t>(std::atol(line.c_str() + 6)) *
+                   1024;
+        }
+    }
+    return 0;
+}
+
+// One deterministic block of the synthetic city. Blocks are independent
+// across shard indices, so any consumer — the ingester, the scorer, a
+// resumed run — regenerates exactly the bytes the others saw without any
+// party ever holding more than one block.
+mcs::CorruptedDataset make_scale_block(std::uint64_t base_seed,
+                                       std::size_t index, std::size_t rows,
+                                       std::size_t slots) {
+    const mcs::TraceDataset truth =
+        mcs::make_small_dataset(base_seed + 1009 * index + 7, rows, slots);
+    mcs::CorruptionConfig corruption;
+    corruption.missing_ratio = 0.2;
+    corruption.fault_ratio = 0.2;
+    corruption.seed = base_seed + 2003 * index + 13;
+    return mcs::corrupt(truth, corruption);
+}
+
+std::unique_ptr<mcs::SlabStore> build_scale_store(const std::string& dir,
+                                                  const mcs::ShardPlan& plan,
+                                                  std::size_t slots,
+                                                  std::uint64_t base_seed,
+                                                  mcs::StorageTier tier) {
+    mcs::SlabGeometry geometry;
+    geometry.participants = plan.rows();
+    geometry.slots = slots;
+    geometry.shard_count = plan.count();
+    geometry.tier = tier;
+    geometry.tau_s = 30.0;
+    geometry.planner_mode = static_cast<std::uint32_t>(plan.mode());
+    geometry.plan_fingerprint = plan.fingerprint();
+    std::vector<mcs::SlabShardInfo> infos;
+    infos.reserve(plan.count());
+    for (const mcs::Shard& shard : plan.shards()) {
+        geometry.max_shard_rows =
+            std::max(geometry.max_shard_rows, shard.size());
+        mcs::SlabShardInfo info;
+        info.begin = shard.begin;
+        info.end = shard.end;
+        infos.push_back(info);
+    }
+    auto store =
+        std::make_unique<mcs::SlabStore>(dir, geometry, std::move(infos));
+    for (const mcs::Shard& shard : plan.shards()) {
+        const mcs::CorruptedDataset block =
+            make_scale_block(base_seed, shard.index, shard.size(), slots);
+        const double* mats[mcs::kSlabInputMatrices] = {
+            block.sx.data().data(), block.sy.data().data(),
+            block.vx.data().data(), block.vy.data().data(),
+            block.existence.data().data()};
+        store->write_inputs(shard.index, mats);
+        store->evict(shard.index);  // keep ingestion's resident set bounded
+    }
+    return store;
+}
+
+// Score the store's output slabs against the regenerated ground truth,
+// one shard resident at a time. Confusion counts are additive, so the
+// fleet-wide F1 never needs fleet-wide matrices.
+mcs::ConfusionCounts scale_confusion(const mcs::SlabStore& store,
+                                     std::uint64_t base_seed) {
+    const mcs::SlabGeometry& geometry = store.geometry();
+    mcs::ConfusionCounts total;
+    for (std::size_t s = 0; s < store.shards().size(); ++s) {
+        const std::size_t rows = store.shards()[s].size();
+        const mcs::CorruptedDataset block =
+            make_scale_block(base_seed, s, rows, geometry.slots);
+        mcs::Matrix det(rows, geometry.slots);
+        mcs::Matrix rx(rows, geometry.slots);
+        mcs::Matrix ry(rows, geometry.slots);
+        double* mats[mcs::kSlabOutputMatrices] = {
+            det.data().data(), rx.data().data(), ry.data().data()};
+        store.read_outputs(s, mats);
+        const mcs::ConfusionCounts c =
+            mcs::evaluate_detection(det, block.fault, block.existence);
+        total.true_positive += c.true_positive;
+        total.false_positive += c.false_positive;
+        total.true_negative += c.true_negative;
+        total.false_negative += c.false_negative;
+        store.evict(s);
+    }
+    return total;
+}
+
+mcs::Json scale_sweep_report(std::size_t repeat, bool quick, bool* ok_out) {
+    const std::size_t participants = quick ? 8000 : 100000;
+    const std::size_t slots = quick ? 32 : 48;
+    const std::size_t shard_rows = quick ? 1000 : 2000;
+    const std::size_t budget_mb = quick ? 48 : 64;
+    const std::uint64_t base_seed = 77;
+    const std::string root =
+        (std::filesystem::temp_directory_path() / "mcs_scale_sweep")
+            .string();
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+
+    bool ok = true;
+    mcs::Json report = mcs::Json::object();
+    report["rss_baseline_bytes"] = peak_rss_bytes();
+
+    // -- claim 1: the big streamed run, first, so VmHWM is *its* peak ----
+    {
+        mcs::RuntimeConfig rcfg;
+        rcfg.threads = mcs::effective_cpu_count();
+        rcfg.shard_size = shard_rows;
+        rcfg.remainder = mcs::ShardRemainder::kTail;
+        rcfg.memory_budget_mb = budget_mb;
+        mcs::FleetRunner runner(rcfg);
+        const mcs::ShardPlan plan = runner.plan_for(participants);
+
+        std::cerr << "scale sweep: ingesting " << participants << "x"
+                  << slots << " fleet into " << plan.count()
+                  << " slabs...\n";
+        auto store = build_scale_store(root + "/big", plan, slots,
+                                       base_seed, mcs::StorageTier::kF64);
+        const std::size_t rss_after_ingest = peak_rss_bytes();
+
+        std::cerr << "scale sweep: streaming under " << budget_mb
+                  << " MiB budget...\n";
+        mcs::PipelineContext ctx;
+        const mcs::Stopwatch timer;
+        const mcs::FleetResult fleet =
+            runner.run_streamed(*store, mcs::ItscsConfig{}, &ctx);
+        const double wall = timer.elapsed_seconds();
+        const std::size_t peak_rss = peak_rss_bytes();
+        const mcs::ConfusionCounts counts =
+            scale_confusion(*store, base_seed);
+
+        const std::size_t in_core_bytes =
+            participants * slots * sizeof(double) *
+            (mcs::kSlabInputMatrices + mcs::kSlabOutputMatrices);
+        const std::size_t budget_bytes =
+            budget_mb * std::size_t(1024) * 1024;
+        const bool under_budget = peak_rss <= budget_bytes;
+        ok = ok && under_budget && fleet.aggregate.converged;
+
+        mcs::Json big = mcs::Json::object();
+        big["participants"] = participants;
+        big["slots"] = slots;
+        big["shards"] = plan.count();
+        big["shard_rows"] = shard_rows;
+        big["threads"] = rcfg.threads;
+        big["wall_seconds"] = wall;
+        big["converged"] = fleet.aggregate.converged;
+        big["f1"] = counts.f1();
+        big["memory_budget_mb"] = budget_mb;
+        big["in_core_bytes"] = in_core_bytes;
+        big["slab_file_bytes"] = store->geometry().file_size();
+        big["resident_window_bytes"] =
+            runner.resident_window_bytes(store->geometry());
+        big["rss_after_ingest_bytes"] = rss_after_ingest;
+        big["peak_rss_bytes"] = peak_rss;
+        big["in_core_over_budget"] =
+            static_cast<double>(in_core_bytes) /
+            static_cast<double>(budget_bytes);
+        big["peak_rss_under_budget"] = under_budget;
+        big["shards_stolen"] = fleet.steals.stolen_items;
+        big["shards_streamed"] =
+            ctx.counters().slab_shards_streamed;
+        report["out_of_core"] = big;
+        store.reset();
+        std::filesystem::remove_all(root + "/big");
+    }
+
+    // -- claims 2 + 3: cross-checkable scale ------------------------------
+    const std::size_t n_small = quick ? 2000 : 4000;
+    const std::size_t small_rows = 500;
+    mcs::RuntimeConfig seq_cfg;
+    seq_cfg.threads = 1;
+    seq_cfg.shard_size = small_rows;
+    seq_cfg.remainder = mcs::ShardRemainder::kTail;
+    mcs::FleetRunner seq_runner(seq_cfg);
+    const mcs::ShardPlan small_plan = seq_runner.plan_for(n_small);
+
+    // Assemble the same blocks into one in-core fleet for the reference.
+    mcs::ItscsInput in;
+    in.sx = mcs::Matrix(n_small, slots);
+    in.sy = mcs::Matrix(n_small, slots);
+    in.vx = mcs::Matrix(n_small, slots);
+    in.vy = mcs::Matrix(n_small, slots);
+    in.existence = mcs::Matrix(n_small, slots);
+    in.tau_s = 30.0;
+    for (const mcs::Shard& shard : small_plan.shards()) {
+        const mcs::CorruptedDataset block =
+            make_scale_block(base_seed, shard.index, shard.size(), slots);
+        const mcs::Matrix* sources[mcs::kSlabInputMatrices] = {
+            &block.sx, &block.sy, &block.vx, &block.vy, &block.existence};
+        mcs::Matrix* targets[mcs::kSlabInputMatrices] = {
+            &in.sx, &in.sy, &in.vx, &in.vy, &in.existence};
+        for (std::size_t m = 0; m < mcs::kSlabInputMatrices; ++m) {
+            for (std::size_t k = 0; k < shard.size(); ++k) {
+                for (std::size_t j = 0; j < slots; ++j) {
+                    (*targets[m])(shard.begin + k, j) =
+                        (*sources[m])(k, j);
+                }
+            }
+        }
+    }
+    std::cerr << "scale sweep: in-core reference (" << n_small << "x"
+              << slots << ")...\n";
+    const mcs::FleetResult in_core =
+        seq_runner.run(in, mcs::ItscsConfig{});
+
+    bool streamed_equals_in_core = true;
+    bool threads_identical = true;
+    std::vector<std::uint32_t> reference_crcs;
+    mcs::Json identity_rows = mcs::Json::array();
+    double f1_f64 = 0.0;
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+        std::cerr << "scale sweep: streamed identity at " << threads
+                  << " threads...\n";
+        mcs::RuntimeConfig rcfg;
+        rcfg.threads = threads;
+        rcfg.shard_size = small_rows;
+        rcfg.remainder = mcs::ShardRemainder::kTail;
+        mcs::FleetRunner runner(rcfg);
+        auto store =
+            build_scale_store(root + "/small", small_plan, slots,
+                              base_seed, mcs::StorageTier::kF64);
+        const mcs::FleetResult fleet =
+            runner.run_streamed(*store, mcs::ItscsConfig{});
+
+        std::vector<std::uint32_t> crcs;
+        bool equal = true;
+        for (std::size_t s = 0; s < store->shards().size(); ++s) {
+            crcs.push_back(store->output_crc(s));
+            const std::size_t rows = store->shards()[s].size();
+            mcs::Matrix det(rows, slots);
+            mcs::Matrix rx(rows, slots);
+            mcs::Matrix ry(rows, slots);
+            double* mats[mcs::kSlabOutputMatrices] = {
+                det.data().data(), rx.data().data(), ry.data().data()};
+            store->read_outputs(s, mats);
+            const std::size_t begin = small_plan.shards()[s].begin;
+            for (std::size_t k = 0; equal && k < rows; ++k) {
+                for (std::size_t j = 0; j < slots; ++j) {
+                    if (in_core.aggregate.detection(begin + k, j) !=
+                            det(k, j) ||
+                        in_core.aggregate.reconstructed_x(begin + k, j) !=
+                            rx(k, j) ||
+                        in_core.aggregate.reconstructed_y(begin + k, j) !=
+                            ry(k, j)) {
+                        equal = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if (threads == 1) {
+            reference_crcs = crcs;
+            f1_f64 = scale_confusion(*store, base_seed).f1();
+        }
+        const bool same_as_one_thread = crcs == reference_crcs;
+        streamed_equals_in_core = streamed_equals_in_core && equal;
+        threads_identical = threads_identical && same_as_one_thread;
+
+        mcs::Json row = mcs::Json::object();
+        row["threads"] = threads;
+        row["bitwise_equal_to_in_core"] = equal;
+        row["output_crcs_equal_to_one_thread"] = same_as_one_thread;
+        row["shards_stolen"] = fleet.steals.stolen_items;
+        identity_rows.push_back(row);
+    }
+    ok = ok && streamed_equals_in_core && threads_identical;
+
+    // -- claim 3: f32 storage + mixed kernels move F1 by ≤ 1e-3 ----------
+    std::cerr << "scale sweep: f32/mixed tier...\n";
+    double f1_f32 = 0.0;
+    mcs::Json mixed = mcs::Json::object();
+    {
+        mcs::RuntimeConfig rcfg;
+        rcfg.threads = 2;
+        rcfg.shard_size = small_rows;
+        rcfg.remainder = mcs::ShardRemainder::kTail;
+        rcfg.storage = mcs::StorageTier::kF32;
+        rcfg.kernel_tier = mcs::KernelTier::kMixed;
+        mcs::FleetRunner runner(rcfg);
+        auto store =
+            build_scale_store(root + "/f32", small_plan, slots, base_seed,
+                              mcs::StorageTier::kF32);
+        mcs::PipelineContext ctx;
+        const mcs::FleetResult fleet =
+            runner.run_streamed(*store, mcs::ItscsConfig{}, &ctx);
+        f1_f32 = scale_confusion(*store, base_seed).f1();
+        mixed["slab_file_bytes"] = store->geometry().file_size();
+        mixed["converged"] = fleet.aggregate.converged;
+        mixed["gate_checks"] = ctx.counters().mixed_gate_checks;
+        mixed["gate_trips"] = ctx.counters().mixed_gate_trips;
+    }
+    const double f1_delta = std::abs(f1_f32 - f1_f64);
+    ok = ok && f1_delta <= 1e-3;
+    mixed["f1_f64"] = f1_f64;
+    mixed["f1_f32"] = f1_f32;
+    mixed["f1_delta"] = f1_delta;
+    mixed["f1_delta_within_1e3"] = f1_delta <= 1e-3;
+
+    mcs::Json identity = mcs::Json::object();
+    identity["fleet"] = mcs::Json::object();
+    identity["fleet"]["participants"] = n_small;
+    identity["fleet"]["slots"] = slots;
+    identity["fleet"]["shard_rows"] = small_rows;
+    identity["streamed_bitwise_equal_to_in_core"] =
+        streamed_equals_in_core;
+    identity["bitwise_identical_across_1_2_7_threads"] = threads_identical;
+    identity["runs"] = identity_rows;
+    report["identity"] = identity;
+    report["mixed_precision"] = mixed;
+    mcs::stamp_environment(report, repeat,
+                           /*threads_used=*/mcs::effective_cpu_count(),
+                           quick);
+    report["all_claims_hold"] = ok;
+
+    std::filesystem::remove_all(root);
+    if (ok_out != nullptr) {
+        *ok_out = ok;
+    }
     return report;
 }
 
@@ -1441,6 +1829,8 @@ mcs::Json defense_sweep_report(std::size_t repeat, bool quick,
 int main(int argc, char** argv) {
     bool stats_only = false;
     bool runtime_sweep = false;
+    bool include_oversubscribed = false;
+    bool scale_sweep = false;
     bool chaos_sweep = false;
     bool checkpoint_sweep = false;
     bool backend_sweep = false;
@@ -1462,6 +1852,14 @@ int main(int argc, char** argv) {
         }
         if (std::string_view(argv[i]) == "--runtime-sweep") {
             runtime_sweep = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--include-oversubscribed") {
+            include_oversubscribed = true;
+            continue;
+        }
+        if (std::string_view(argv[i]) == "--scale-sweep") {
+            scale_sweep = true;
             continue;
         }
         if (std::string_view(argv[i]) == "--chaos-sweep") {
@@ -1491,11 +1889,26 @@ int main(int argc, char** argv) {
         args.push_back(argv[i]);
     }
     if (runtime_sweep) {
-        const mcs::Json report =
-            runtime_sweep_report(repeat == 0 ? 1 : repeat);
+        const mcs::Json report = runtime_sweep_report(
+            repeat == 0 ? 1 : repeat, include_oversubscribed);
         std::ofstream out("BENCH_runtime.json");
         out << report.dump(2) << "\n";
         std::cout << report.dump(2) << "\n";
+        return 0;
+    }
+    if (scale_sweep) {
+        bool all_claims = false;
+        const mcs::Json report =
+            scale_sweep_report(repeat == 0 ? 1 : repeat, quick,
+                               &all_claims);
+        std::ofstream out("BENCH_scale.json");
+        out << report.dump(2) << "\n";
+        std::cout << report.dump(2) << "\n";
+        if (!all_claims) {
+            std::cerr << "scale sweep: FAILED — over budget, an identity "
+                         "break, or an f32 F1 drift beyond 1e-3\n";
+            return 1;
+        }
         return 0;
     }
     if (chaos_sweep) {

@@ -6,7 +6,15 @@
 namespace mcs {
 
 const char* to_string(KernelTier tier) {
-    return tier == KernelTier::kFast ? "fast" : "exact";
+    switch (tier) {
+        case KernelTier::kFast:
+            return "fast";
+        case KernelTier::kMixed:
+            return "mixed";
+        case KernelTier::kExact:
+            break;
+    }
+    return "exact";
 }
 
 KernelTier parse_kernel_tier(const std::string& name) {
@@ -16,8 +24,11 @@ KernelTier parse_kernel_tier(const std::string& name) {
     if (name == "fast") {
         return KernelTier::kFast;
     }
+    if (name == "mixed") {
+        return KernelTier::kMixed;
+    }
     throw Error("unknown kernel tier '" + name +
-                "' (expected exact | fast)");
+                "' (expected exact | fast | mixed)");
 }
 
 const char* to_string(SolverKind kind) {
@@ -81,8 +92,8 @@ void PipelineContext::merge(const PipelineContext& other) {
     MCS_CHECK_MSG(other.open_.empty(),
                   "PipelineContext: merge with phases still open");
     absorb(other.counters_, other.stats_);
-    if (other.kernel_tier_ == KernelTier::kFast) {
-        kernel_tier_ = KernelTier::kFast;
+    if (other.kernel_tier_ != KernelTier::kExact) {
+        kernel_tier_ = other.kernel_tier_;
     }
     if (other.solver_ != SolverKind::kAsd) {
         solver_ = other.solver_;
@@ -124,6 +135,10 @@ void PipelineContext::absorb(const PipelineCounters& counters,
     counters_.participants_quarantined += counters.participants_quarantined;
     counters_.defense_trips += counters.defense_trips;
     counters_.quarantine_reinstated += counters.quarantine_reinstated;
+    counters_.mixed_gate_checks += counters.mixed_gate_checks;
+    counters_.mixed_gate_trips += counters.mixed_gate_trips;
+    counters_.shards_stolen += counters.shards_stolen;
+    counters_.slab_shards_streamed += counters.slab_shards_streamed;
     for (const PhaseStat& stat : phases) {
         PhaseStat& mine = stats_[stat_index(stat.name)];
         mine.calls += stat.calls;
@@ -176,6 +191,10 @@ Json PipelineContext::to_json() const {
         counters_.participants_quarantined;
     counters["defense_trips"] = counters_.defense_trips;
     counters["quarantine_reinstated"] = counters_.quarantine_reinstated;
+    counters["mixed_gate_checks"] = counters_.mixed_gate_checks;
+    counters["mixed_gate_trips"] = counters_.mixed_gate_trips;
+    counters["shards_stolen"] = counters_.shards_stolen;
+    counters["slab_shards_streamed"] = counters_.slab_shards_streamed;
 
     Json phases = Json::array();
     for (const PhaseStat& stat : stats_) {

@@ -54,9 +54,18 @@ class Json;
 ///     reduction order: deterministic run-to-run and across --threads on a
 ///     given machine/path, but not bit-identical to kExact (FMA contraction
 ///     and vector-lane reduction round differently; ≤1e-12 relative).
-enum class KernelTier : std::uint8_t { kExact = 0, kFast = 1 };
+///   * kMixed — mixed-precision (DESIGN.md §18): the GEMM-shaped data
+///     products run in float32 (operands demoted once per call, fixed
+///     reduction order, double the SIMD lanes of kFast) while the Gram
+///     formation, ridge, and Cholesky stay in float64 — the float32
+///     counterpart of mixed-precision ASD. Deterministic at any thread
+///     count like the other tiers, but only ~1e-5 relative per kernel, so
+///     FleetRunner arms a sampled exact-tier verification gate
+///     (mixed_verify_every / mixed_verify_tolerance) that re-solves
+///     selected shards under kExact and falls back when the results drift.
+enum class KernelTier : std::uint8_t { kExact = 0, kFast = 1, kMixed = 2 };
 
-/// "exact" / "fast".
+/// "exact" / "fast" / "mixed".
 const char* to_string(KernelTier tier);
 /// Inverse of to_string; throws mcs::Error on anything else.
 KernelTier parse_kernel_tier(const std::string& name);
@@ -111,6 +120,10 @@ struct PipelineCounters {
     std::uint64_t participants_quarantined = 0;   ///< rows entering quarantine
     std::uint64_t defense_trips = 0;          ///< defence tests that fired
     std::uint64_t quarantine_reinstated = 0;  ///< rows cleared by the re-test
+    std::uint64_t mixed_gate_checks = 0;      ///< sampled exact re-solves
+    std::uint64_t mixed_gate_trips = 0;       ///< mixed result rejected
+    std::uint64_t shards_stolen = 0;          ///< shards run off-owner deque
+    std::uint64_t slab_shards_streamed = 0;   ///< shards staged from slabs
 };
 
 /// Accumulated inclusive wall time for one named phase.
@@ -141,9 +154,9 @@ public:
     /// Kernel tier this context's pipeline ran under. Recorded by the
     /// pipeline entry points (run_itscs / cs_reconstruct observe the
     /// ambient linalg tier; FleetRunner stamps its RuntimeConfig choice)
-    /// so --stats-json reports what actually executed. merge() keeps the
-    /// faster of the two records: a fleet that ran any shard fast is a
-    /// fast-tier run.
+    /// so --stats-json reports what actually executed. merge() keeps any
+    /// non-exact record: a fleet that ran any shard on an accelerated tier
+    /// reports that tier.
     KernelTier kernel_tier() const { return kernel_tier_; }
     void set_kernel_tier(KernelTier tier) { kernel_tier_ = tier; }
 

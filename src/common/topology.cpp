@@ -1,0 +1,30 @@
+#include "common/topology.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace mcs {
+
+std::size_t hardware_cpu_count() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t effective_cpu_count() {
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        const int n = CPU_COUNT(&mask);
+        if (n > 0) {
+            return static_cast<std::size_t>(n);
+        }
+    }
+#endif
+    return hardware_cpu_count();
+}
+
+}  // namespace mcs

@@ -1,0 +1,341 @@
+#include "linalg/kernels_mixed.hpp"
+
+#include <cmath>
+
+#include "linalg/kernel_tier.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define MCS_HAVE_X86_DISPATCH 1
+// Per-function code generation, same scheme as kernels_fast.cpp: the TU is
+// compiled for the baseline ISA and the dispatcher only selects the AVX2
+// functions on CPUs that have it.
+#define MCS_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#endif
+
+namespace mcs::mixedk {
+
+namespace {
+
+// ---- Portable blocked-scalar fallback ----------------------------------
+//
+// Float32 twin of the fast tier's blocked namespace: 4 independent
+// accumulators over ascending k, combined ((a0+a1)+(a2+a3)), tail in
+// ascending order — deterministic under the same contract.
+namespace blocked {
+
+float dot(const float* x, const float* y, std::size_t n) {
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        a0 += x[k] * y[k];
+        a1 += x[k + 1] * y[k + 1];
+        a2 += x[k + 2] * y[k + 2];
+        a3 += x[k + 3] * y[k + 3];
+    }
+    float acc = (a0 + a1) + (a2 + a3);
+    for (; k < n; ++k) {
+        acc += x[k] * y[k];
+    }
+    return acc;
+}
+
+void multiply_rows(float* dst, const float* a, const float* b,
+                   std::size_t lo, std::size_t hi, std::size_t kdim,
+                   std::size_t n) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        float* out = dst + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            out[j] = 0.0f;
+        }
+        const float* ai = a + i * kdim;
+        for (std::size_t k = 0; k < kdim; ++k) {
+            const float aik = ai[k];
+            if (aik == 0.0f) {
+                continue;
+            }
+            const float* bk = b + k * n;
+            std::size_t j = 0;
+            for (; j + 4 <= n; j += 4) {
+                out[j] += aik * bk[j];
+                out[j + 1] += aik * bk[j + 1];
+                out[j + 2] += aik * bk[j + 2];
+                out[j + 3] += aik * bk[j + 3];
+            }
+            for (; j < n; ++j) {
+                out[j] += aik * bk[j];
+            }
+        }
+    }
+}
+
+void multiply_transposed_rows(float* dst, const float* a, const float* b,
+                              std::size_t lo, std::size_t hi, std::size_t n,
+                              std::size_t kdim) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        const float* ai = a + i * kdim;
+        float* out = dst + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            out[j] = dot(ai, b + j * kdim, kdim);
+        }
+    }
+}
+
+void masked_residual_rows(float* dst, const float* l, const float* r,
+                          const float* mask, const float* s, std::size_t lo,
+                          std::size_t hi, std::size_t n, std::size_t rank) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        const float* li = l + i * rank;
+        float* out = dst + i * n;
+        const float* mi = mask + i * n;
+        const float* si = s + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (mi[j] != 0.0f) {
+                out[j] = dot(li, r + j * rank, rank) * mi[j] - si[j];
+            } else {
+                out[j] = -si[j];
+            }
+        }
+    }
+}
+
+}  // namespace blocked
+
+// ---- AVX2 + FMA, 8-lane float32 ----------------------------------------
+#if defined(MCS_HAVE_X86_DISPATCH)
+namespace avx2 {
+
+// Fixed-order horizontal sum of 8 lanes: low half + high half pairwise,
+// then the 4-lane tree (l0+l1)+(l2+l3). Part of the determinism contract.
+MCS_TARGET_AVX2 inline float hsum(__m256 v) {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    const __m128 pair = _mm_add_ps(lo, hi);
+    const __m128 shuf = _mm_movehdup_ps(pair);
+    const __m128 sums = _mm_add_ps(pair, shuf);
+    return _mm_cvtss_f32(_mm_add_ss(sums, _mm_movehl_ps(shuf, sums)));
+}
+
+// dot over ascending k: 4 accumulator registers (32 floats/iteration),
+// combined ((acc0+acc1)+(acc2+acc3)), remaining 8-wide chunks into acc0,
+// scalar tail folded last in ascending order.
+MCS_TARGET_AVX2 float dot(const float* x, const float* y, std::size_t n) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t k = 0;
+    for (; k + 32 <= n; k += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + k),
+                               _mm256_loadu_ps(y + k), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + k + 8),
+                               _mm256_loadu_ps(y + k + 8), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + k + 16),
+                               _mm256_loadu_ps(y + k + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + k + 24),
+                               _mm256_loadu_ps(y + k + 24), acc3);
+    }
+    for (; k + 8 <= n; k += 8) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + k),
+                               _mm256_loadu_ps(y + k), acc0);
+    }
+    float acc = hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                   _mm256_add_ps(acc2, acc3)));
+    for (; k < n; ++k) {
+        acc = std::fma(x[k], y[k], acc);
+    }
+    return acc;
+}
+
+// Register-resident GEMM row block, float32 twin of kernels_fast.cpp's
+// gemm_rows: rows in pairs, j blocked 32-wide (4 registers), every dst
+// element one ascending k-chain so neither pairing nor blocking changes
+// the bits.
+MCS_TARGET_AVX2
+void gemm_rows(float* dst, const float* a, std::size_t ri, std::size_t rk,
+               const float* b, std::size_t lo, std::size_t hi,
+               std::size_t kdim, std::size_t n) {
+    std::size_t i = lo;
+    for (; i + 2 <= hi; i += 2) {
+        const float* a0 = a + i * ri;
+        const float* a1 = a0 + ri;
+        float* out0 = dst + i * n;
+        float* out1 = out0 + n;
+        std::size_t j = 0;
+        for (; j + 32 <= n; j += 32) {
+            __m256 c00 = _mm256_setzero_ps();
+            __m256 c01 = _mm256_setzero_ps();
+            __m256 c02 = _mm256_setzero_ps();
+            __m256 c03 = _mm256_setzero_ps();
+            __m256 c10 = _mm256_setzero_ps();
+            __m256 c11 = _mm256_setzero_ps();
+            __m256 c12 = _mm256_setzero_ps();
+            __m256 c13 = _mm256_setzero_ps();
+            const float* pa0 = a0;
+            const float* pa1 = a1;
+            const float* bk = b + j;
+            for (std::size_t k = 0; k < kdim;
+                 ++k, pa0 += rk, pa1 += rk, bk += n) {
+                const __m256 va0 = _mm256_set1_ps(*pa0);
+                const __m256 va1 = _mm256_set1_ps(*pa1);
+                const __m256 b0 = _mm256_loadu_ps(bk);
+                const __m256 b1 = _mm256_loadu_ps(bk + 8);
+                const __m256 b2 = _mm256_loadu_ps(bk + 16);
+                const __m256 b3 = _mm256_loadu_ps(bk + 24);
+                c00 = _mm256_fmadd_ps(va0, b0, c00);
+                c01 = _mm256_fmadd_ps(va0, b1, c01);
+                c02 = _mm256_fmadd_ps(va0, b2, c02);
+                c03 = _mm256_fmadd_ps(va0, b3, c03);
+                c10 = _mm256_fmadd_ps(va1, b0, c10);
+                c11 = _mm256_fmadd_ps(va1, b1, c11);
+                c12 = _mm256_fmadd_ps(va1, b2, c12);
+                c13 = _mm256_fmadd_ps(va1, b3, c13);
+            }
+            _mm256_storeu_ps(out0 + j, c00);
+            _mm256_storeu_ps(out0 + j + 8, c01);
+            _mm256_storeu_ps(out0 + j + 16, c02);
+            _mm256_storeu_ps(out0 + j + 24, c03);
+            _mm256_storeu_ps(out1 + j, c10);
+            _mm256_storeu_ps(out1 + j + 8, c11);
+            _mm256_storeu_ps(out1 + j + 16, c12);
+            _mm256_storeu_ps(out1 + j + 24, c13);
+        }
+        for (; j + 8 <= n; j += 8) {
+            __m256 c0 = _mm256_setzero_ps();
+            __m256 c1 = _mm256_setzero_ps();
+            const float* pa0 = a0;
+            const float* pa1 = a1;
+            const float* bk = b + j;
+            for (std::size_t k = 0; k < kdim;
+                 ++k, pa0 += rk, pa1 += rk, bk += n) {
+                const __m256 bv = _mm256_loadu_ps(bk);
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(*pa0), bv, c0);
+                c1 = _mm256_fmadd_ps(_mm256_set1_ps(*pa1), bv, c1);
+            }
+            _mm256_storeu_ps(out0 + j, c0);
+            _mm256_storeu_ps(out1 + j, c1);
+        }
+        for (; j < n; ++j) {
+            float s0 = 0.0f;
+            float s1 = 0.0f;
+            const float* pa0 = a0;
+            const float* pa1 = a1;
+            const float* bk = b + j;
+            for (std::size_t k = 0; k < kdim;
+                 ++k, pa0 += rk, pa1 += rk, bk += n) {
+                s0 = std::fma(*pa0, *bk, s0);
+                s1 = std::fma(*pa1, *bk, s1);
+            }
+            out0[j] = s0;
+            out1[j] = s1;
+        }
+    }
+    for (; i < hi; ++i) {
+        const float* a0 = a + i * ri;
+        float* out0 = dst + i * n;
+        std::size_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+            __m256 c0 = _mm256_setzero_ps();
+            const float* pa0 = a0;
+            const float* bk = b + j;
+            for (std::size_t k = 0; k < kdim; ++k, pa0 += rk, bk += n) {
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(*pa0),
+                                     _mm256_loadu_ps(bk), c0);
+            }
+            _mm256_storeu_ps(out0 + j, c0);
+        }
+        for (; j < n; ++j) {
+            float s0 = 0.0f;
+            const float* pa0 = a0;
+            const float* bk = b + j;
+            for (std::size_t k = 0; k < kdim; ++k, pa0 += rk, bk += n) {
+                s0 = std::fma(*pa0, *bk, s0);
+            }
+            out0[j] = s0;
+        }
+    }
+}
+
+MCS_TARGET_AVX2
+void multiply_rows(float* dst, const float* a, const float* b,
+                   std::size_t lo, std::size_t hi, std::size_t kdim,
+                   std::size_t n) {
+    gemm_rows(dst, a, kdim, 1, b, lo, hi, kdim, n);
+}
+
+MCS_TARGET_AVX2
+void multiply_transposed_rows(float* dst, const float* a, const float* b,
+                              std::size_t lo, std::size_t hi, std::size_t n,
+                              std::size_t kdim) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        const float* ai = a + i * kdim;
+        float* out = dst + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            out[j] = dot(ai, b + j * kdim, kdim);
+        }
+    }
+}
+
+MCS_TARGET_AVX2
+void masked_residual_rows(float* dst, const float* l, const float* r,
+                          const float* mask, const float* s, std::size_t lo,
+                          std::size_t hi, std::size_t n, std::size_t rank) {
+    for (std::size_t i = lo; i < hi; ++i) {
+        const float* li = l + i * rank;
+        float* out = dst + i * n;
+        const float* mi = mask + i * n;
+        const float* si = s + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (mi[j] != 0.0f) {
+                out[j] = dot(li, r + j * rank, rank) * mi[j] - si[j];
+            } else {
+                out[j] = -si[j];
+            }
+        }
+    }
+}
+
+}  // namespace avx2
+#endif  // MCS_HAVE_X86_DISPATCH
+
+MixedKernels resolve_table() {
+    MixedKernels t{"scalar-blocked-f32",
+                   &blocked::multiply_rows,
+                   &blocked::multiply_transposed_rows,
+                   &blocked::masked_residual_rows};
+#if defined(MCS_HAVE_X86_DISPATCH)
+    if (cpu_features().avx2 && cpu_features().fma) {
+        t = MixedKernels{"avx2+fma-f32",
+                         &avx2::multiply_rows,
+                         &avx2::multiply_transposed_rows,
+                         &avx2::masked_residual_rows};
+    }
+#endif
+    return t;
+}
+
+}  // namespace
+
+const MixedKernels& mixed_kernels() {
+    static const MixedKernels table = resolve_table();
+    return table;
+}
+
+MixedStaging& mixed_staging() {
+    thread_local MixedStaging staging;
+    return staging;
+}
+
+void demote(const double* src, float* dst, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        dst[k] = static_cast<float>(src[k]);
+    }
+}
+
+void promote(const float* src, double* dst, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        dst[k] = static_cast<double>(src[k]);
+    }
+}
+
+}  // namespace mcs::mixedk

@@ -1,0 +1,74 @@
+// Mixed-tier micro-kernels: float32 row-range GEMM primitives behind a
+// function-pointer table resolved once per process (AVX2+FMA on x86-64, a
+// blocked-scalar fallback elsewhere).
+//
+// The mixed tier (DESIGN.md §18) is the kernel half of mixed-precision
+// ASD: the three data-sized products (a·b, a·bᵀ, and the masked residual)
+// run in float32 — operands demoted once per call into thread-local
+// staging buffers, eight lanes per AVX2 register instead of four — while
+// the Gram formation (transpose_multiply, the input to the ridge +
+// Cholesky solve) and every element-wise op stay on the float64 fast
+// tier. kernels.cpp owns that split; this header only provides the f32
+// primitives and the demote/promote staging.
+//
+// Determinism contract: identical to the fast tier's — the arithmetic for
+// any single destination element depends only on operand shapes, never on
+// the [lo, hi) row grouping, and each reduction uses a fixed tree (4
+// accumulators over ascending k, combined ((a0+a1)+(a2+a3)), scalar tail
+// last). So mixed results are bit-identical run-to-run and across
+// RowExecutor splits / --threads, but carry float32 rounding (~1e-6
+// relative per kernel vs exact; asserted ≤1e-4 in linalg_kernels_test).
+// End-to-end drift through an iterative solve is larger and data-
+// dependent, which is why FleetRunner arms a sampled exact-tier
+// verification gate on top (mixed_verify_every / mixed_verify_tolerance).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcs::mixedk {
+
+/// Resolved mixed-tier kernel table. All pointers are non-null.
+struct MixedKernels {
+    /// Dispatcher-chosen code path: "avx2+fma-f32", "scalar-blocked-f32".
+    const char* path;
+
+    /// Rows [lo, hi) of dst(m x n) = a(m x kdim) · b(kdim x n).
+    void (*multiply_rows)(float* dst, const float* a, const float* b,
+                          std::size_t lo, std::size_t hi, std::size_t kdim,
+                          std::size_t n);
+
+    /// Rows [lo, hi) of dst(m x n) = a(m x kdim) · b(n x kdim)ᵀ.
+    void (*multiply_transposed_rows)(float* dst, const float* a,
+                                     const float* b, std::size_t lo,
+                                     std::size_t hi, std::size_t n,
+                                     std::size_t kdim);
+
+    /// Rows [lo, hi) of dst(m x n) = (l·rᵀ) ∘ mask − s, with
+    /// l(m x rank), r(n x rank), mask/s(m x n).
+    void (*masked_residual_rows)(float* dst, const float* l, const float* r,
+                                 const float* mask, const float* s,
+                                 std::size_t lo, std::size_t hi,
+                                 std::size_t n, std::size_t rank);
+};
+
+/// The table for this CPU, resolved on first call and fixed thereafter.
+const MixedKernels& mixed_kernels();
+
+/// Thread-local float32 staging area for the demote-once-per-call pattern.
+/// Buffers are reused call-to-call (no steady-state allocation after
+/// warm-up, matching the Workspace ethos — though these live outside the
+/// workspace counters). Slots are stable within one kernel call; a nested
+/// kernel call on the same thread would clobber them, which never happens:
+/// kernels do not call kernels.
+struct MixedStaging {
+    std::vector<float> a, b, c, d, out;
+};
+MixedStaging& mixed_staging();
+
+/// dst[i] = float(src[i]) for i in [0, n).
+void demote(const double* src, float* dst, std::size_t n);
+/// dst[i] = double(src[i]) for i in [0, n).
+void promote(const float* src, double* dst, std::size_t n);
+
+}  // namespace mcs::mixedk

@@ -69,6 +69,10 @@ void put_counters(ByteWriter& w, const PipelineCounters& c) {
     w.put_u64(c.checkpoint_commits);
     w.put_u64(c.checkpoint_shards_resumed);
     w.put_u64(c.checkpoint_corrupt_frames);
+    w.put_u64(c.mixed_gate_checks);
+    w.put_u64(c.mixed_gate_trips);
+    w.put_u64(c.shards_stolen);
+    w.put_u64(c.slab_shards_streamed);
 }
 
 PipelineCounters get_counters(ByteReader& r) {
@@ -96,6 +100,10 @@ PipelineCounters get_counters(ByteReader& r) {
     c.checkpoint_commits = r.get_u64();
     c.checkpoint_shards_resumed = r.get_u64();
     c.checkpoint_corrupt_frames = r.get_u64();
+    c.mixed_gate_checks = r.get_u64();
+    c.mixed_gate_trips = r.get_u64();
+    c.shards_stolen = r.get_u64();
+    c.slab_shards_streamed = r.get_u64();
     return c;
 }
 
@@ -126,6 +134,7 @@ std::vector<std::uint8_t> encode_shard_checkpoint(const ShardCheckpoint& r) {
     w.put_u64(r.shard_index);
     w.put_u64(r.row_begin);
     w.put_u64(r.row_end);
+    w.put_u64(r.members_fingerprint);
     w.put_u64(r.seed);
     w.put_u64(r.iterations);
     w.put_u8(r.converged ? 1 : 0);
@@ -139,6 +148,8 @@ std::vector<std::uint8_t> encode_shard_checkpoint(const ShardCheckpoint& r) {
         w.put_u64(f.iteration);
         w.put_string(f.detail);
     }
+    w.put_u8(r.outputs_in_slab ? 1 : 0);
+    w.put_u32(r.output_slab_crc);
     put_matrix(w, r.detection);
     put_matrix(w, r.reconstructed_x);
     put_matrix(w, r.reconstructed_y);
@@ -172,6 +183,7 @@ ShardCheckpoint decode_shard_checkpoint(
     rec.shard_index = r.get_u64();
     rec.row_begin = r.get_u64();
     rec.row_end = r.get_u64();
+    rec.members_fingerprint = r.get_u64();
     rec.seed = r.get_u64();
     rec.iterations = r.get_u64();
     rec.converged = r.get_u8() != 0;
@@ -196,6 +208,8 @@ ShardCheckpoint decode_shard_checkpoint(
         f.detail = r.get_string();
         rec.failures.push_back(std::move(f));
     }
+    rec.outputs_in_slab = r.get_u8() != 0;
+    rec.output_slab_crc = r.get_u32();
     rec.detection = get_matrix(r);
     rec.reconstructed_x = get_matrix(r);
     rec.reconstructed_y = get_matrix(r);
@@ -238,11 +252,18 @@ Json CheckpointManifest::to_json() const {
     out["runtime_fingerprint"] = hex64(runtime_fingerprint);
     out["kernel_tier"] = std::string(to_string(kernel_tier));
     out["solver_backend"] = std::string(to_string(solver));
+    out["planner"] = planner;
+    out["plan_fingerprint"] = hex64(plan_fingerprint);
+    out["storage"] = storage;
+    out["slab_max_rows"] = static_cast<double>(slab_max_rows);
     Json plan = Json::array();
-    for (const auto& [begin, end] : shards) {
+    for (std::size_t k = 0; k < shards.size(); ++k) {
         Json row = Json::object();
-        row["begin"] = begin;
-        row["end"] = end;
+        row["begin"] = shards[k].first;
+        row["end"] = shards[k].second;
+        if (k < shard_members.size()) {
+            row["members"] = hex64(shard_members[k]);
+        }
         plan.push_back(row);
     }
     out["shards"] = plan;
@@ -284,8 +305,24 @@ std::string CheckpointManifest::mismatch(const Json& stored) const {
                ", this run " + expected.at("solver_backend").as_string() +
                ")";
     }
-    for (const char* key :
-         {"input_fingerprint", "config_fingerprint", "runtime_fingerprint"}) {
+    // Planner / storage refusals likewise name the human-settable knob
+    // before the fingerprints get their turn.
+    for (const char* key : {"planner", "storage"}) {
+        if (!stored.contains(key) ||
+            stored.at(key).as_string() != expected.at(key).as_string()) {
+            return std::string(key) + " differs (stored " +
+                   (stored.contains(key) ? stored.at(key).as_string()
+                                         : "<missing>") +
+                   ", this run " + expected.at(key).as_string() + ")";
+        }
+    }
+    if (!stored.contains("slab_max_rows") ||
+        stored.at("slab_max_rows").as_number() !=
+            expected.at("slab_max_rows").as_number()) {
+        return "slab geometry differs";
+    }
+    for (const char* key : {"input_fingerprint", "config_fingerprint",
+                            "runtime_fingerprint", "plan_fingerprint"}) {
         if (!stored.contains(key) ||
             stored.at(key).as_string() != expected.at(key).as_string()) {
             return std::string(key) + " differs (stored " +

@@ -50,7 +50,14 @@ class Json;
 /// manifest.
 /// v3: per-backend solver counters in PipelineCounters; solver_backend in
 /// the manifest.
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// v4 (DESIGN.md §18): mixed-tier / work-steal / slab counters in
+/// PipelineCounters; per-record shard member fingerprints (by_cell shards
+/// are not identified by begin/end alone); metadata-only records for
+/// out-of-core runs (outputs_in_slab + output_slab_crc — the result bytes
+/// live in the slab store, the journal holds their CRC); planner,
+/// plan_fingerprint and slab storage/geometry in the manifest, so a
+/// resume refuses a changed planner, storage tier or slab layout.
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// One journal record: everything FleetRunner needs to stitch a completed
 /// shard into the fleet result without re-running it.
@@ -58,6 +65,9 @@ struct ShardCheckpoint {
     std::uint64_t shard_index = 0;
     std::uint64_t row_begin = 0;
     std::uint64_t row_end = 0;
+    /// Shard::members_fingerprint() of the rows this record covers —
+    /// begin/end alone cannot identify a non-contiguous by_cell shard.
+    std::uint64_t members_fingerprint = 0;
     std::uint64_t seed = 0;  ///< the shard context's derived seed
 
     std::uint64_t iterations = 0;
@@ -66,7 +76,15 @@ struct ShardCheckpoint {
     std::uint64_t attempts = 1;
     std::vector<FailureReport> failures;
 
-    /// Shard-sized ((row_end − row_begin) × slots) result rows.
+    /// True for out-of-core runs: the result matrices below are empty and
+    /// the shard's rows live in its slab-store output slab, whose used
+    /// bytes must CRC to output_slab_crc for the record to count on
+    /// resume (a torn slab fails the check and the shard re-runs).
+    bool outputs_in_slab = false;
+    std::uint32_t output_slab_crc = 0;
+
+    /// Shard-sized (size() × slots) result rows; empty when
+    /// outputs_in_slab.
     Matrix detection;
     Matrix reconstructed_x;
     Matrix reconstructed_y;
@@ -105,8 +123,22 @@ struct CheckpointManifest {
     /// (or vice versa) would stitch shards solved by different algorithms
     /// into one result.
     SolverKind solver = SolverKind::kAsd;
+    /// Planner mode behind the plan ("rows" / "cell") and the plan's
+    /// member-level fingerprint (ShardPlan::fingerprint()) — begin/end
+    /// ranges alone cannot identify a by_cell decomposition.
+    std::string planner = "rows";
+    std::uint64_t plan_fingerprint = 0;
+    /// Slab storage backing the run: "none" for in-core runs (results in
+    /// the journal), "f64"/"f32" for out-of-core runs (results in the
+    /// slab store, CRCs in the journal). A resume never mixes storage
+    /// tiers or slab geometries — the stored bytes would not line up.
+    std::string storage = "none";
+    std::size_t slab_max_rows = 0;  ///< stride driver; 0 when in-core
     /// The shard plan as (begin, end) row ranges, in shard order.
     std::vector<std::pair<std::size_t, std::size_t>> shards;
+    /// Shard::members_fingerprint() per shard, same order (may be empty
+    /// for legacy callers; then only ranges are compared).
+    std::vector<std::uint64_t> shard_members;
 
     Json to_json() const;
 

@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <cstdlib>
 #include <map>
-#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/hash.hpp"
 #include "common/json.hpp"
+#include "common/topology.hpp"
 #include "corruption/chaos.hpp"
 #include "cs/interpolation.hpp"
 #include "detect/detection.hpp"
@@ -27,7 +28,10 @@ std::size_t resolve_threads(std::size_t requested) {
     if (requested != 0) {
         return requested;
     }
-    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    // Effective CPUs (the sched_getaffinity mask), not
+    // hardware_concurrency: a pinned or containerised process sizing
+    // itself to the machine oversubscribes its own allowance.
+    return effective_cpu_count();
 }
 
 // The runtime-knob half of the checkpoint resume handshake (the other two
@@ -48,6 +52,12 @@ std::uint64_t runtime_fingerprint(const RuntimeConfig& config) {
     // manifest field (clearer refusal message than a fingerprint mismatch);
     // kernel_row_block_threshold is scheduling-only and excluded.
     h.mix_u64(static_cast<std::uint64_t>(config.kernel_tier));
+    if (config.kernel_tier == KernelTier::kMixed) {
+        // The gate can swap a shard's result for the exact tier's, so its
+        // sampling cadence and tolerance are part of the numerics.
+        h.mix_u64(config.mixed_verify_every);
+        h.mix_f64(config.mixed_verify_tolerance);
+    }
     h.mix_u64(config.health.divergence_patience);
     h.mix_f64(config.health.divergence_slack);
     if (config.chaos != nullptr && !config.chaos->config().idle()) {
@@ -153,22 +163,26 @@ private:
     std::size_t previous_;
 };
 
-// Copy rows [shard.begin, shard.end) of `src` into the shard-sized `dst`.
+// Copy the shard's member rows of `src` into the shard-sized `dst` —
+// contiguous [begin, end) for row plans, the explicit member list for
+// by_cell shards.
 void slice_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
-    for (std::size_t i = shard.begin; i < shard.end; ++i) {
-        const auto in = src.row(i);
-        auto out = dst.row(i - shard.begin);
+    const std::size_t rows = shard.size();
+    for (std::size_t k = 0; k < rows; ++k) {
+        const auto in = src.row(shard.row_at(k));
+        auto out = dst.row(k);
         std::copy(in.begin(), in.end(), out.begin());
     }
 }
 
-// Copy the shard-sized `src` back into rows [shard.begin, shard.end) of
-// the fleet-sized `dst`. Shards are disjoint row ranges, so concurrent
-// scatters from different workers touch disjoint memory.
+// Copy the shard-sized `src` back into the shard's member rows of the
+// fleet-sized `dst`. Shards are disjoint row sets, so concurrent scatters
+// from different workers touch disjoint memory.
 void scatter_rows(Matrix& dst, const Matrix& src, const Shard& shard) {
-    for (std::size_t i = shard.begin; i < shard.end; ++i) {
-        const auto in = src.row(i - shard.begin);
-        auto out = dst.row(i);
+    const std::size_t rows = shard.size();
+    for (std::size_t k = 0; k < rows; ++k) {
+        const auto in = src.row(k);
+        auto out = dst.row(shard.row_at(k));
         std::copy(in.begin(), in.end(), out.begin());
     }
 }
@@ -208,6 +222,233 @@ void apply_outage_labels(Matrix& detection, const Matrix& existence,
     }
 }
 
+// Everything between "staged shard input ready" and "shard result ready":
+// the unguarded single solve, or the guarded degradation ladder of
+// DESIGN.md §11 (nominal → conservative → interpolation → detect-only).
+// Shared verbatim by the in-core (run_sharded) and out-of-core
+// (run_streamed) paths so the two are bit-identical by construction. `si`
+// is the shard's staged input — mutated by chaos and sanitisation — and
+// `sctx` its private context.
+void run_shard_ladder(const RuntimeConfig& rcfg, const ItscsConfig& config,
+                      std::size_t s, ItscsInput& si, PipelineContext& sctx,
+                      const ItscsWarmStart* warm_seed,
+                      ShardRunReport& report, ItscsResult& result) {
+    const std::size_t rows = si.sx.rows();
+    const std::size_t t = si.sx.cols();
+
+    if (!rcfg.guard) {
+        result = run_itscs(si, config, {}, &sctx, warm_seed);
+        report.iterations = result.iterations;
+        report.converged = result.converged;
+        return;
+    }
+
+    // Chaos strikes before the first attempt only: the ladder's lower
+    // rungs recover from the poisoned state, they are not re-poisoned.
+    ShardChaosPlan chaos_plan;
+    if (rcfg.chaos != nullptr) {
+        chaos_plan = rcfg.chaos->plan(s);
+        rcfg.chaos->apply(chaos_plan, si.sx, si.sy, si.vx, si.vy,
+                          si.existence);
+    }
+
+    HealthMonitor monitor(rcfg.health);
+
+    // Strict per-shard input scan under the monitor (the fleet boundary
+    // only checked shapes).
+    auto scan_input = [&]() {
+        const struct {
+            const Matrix* m;
+            const char* name;
+        } mats[] = {{&si.sx, "S_X"},
+                    {&si.sy, "S_Y"},
+                    {&si.vx, "Vx"},
+                    {&si.vy, "Vy"}};
+        for (const auto& entry : mats) {
+            const auto hit = find_non_finite(*entry.m, si.existence);
+            if (hit.has_value()) {
+                monitor.fail(FailureKind::kNonFiniteInput, "validate", 0,
+                             std::string(entry.name) +
+                                 " non-finite at row " +
+                                 std::to_string(hit->first) + ", col " +
+                                 std::to_string(hit->second));
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // One guarded solver attempt. No exception leaves this lambda:
+    // anything thrown becomes a kTaskException report, so the pool
+    // worker never unwinds.
+    auto solve = [&](const ItscsConfig& cfg, bool first_attempt) {
+        monitor.arm(s);
+        if (first_attempt && chaos_plan.diverge_after > 0) {
+            monitor.inject_failure(FailureKind::kObjectiveDivergence,
+                                   chaos_plan.diverge_after);
+        }
+        sctx.set_health(&monitor);
+        try {
+            if (first_attempt && chaos_plan.throw_task) {
+                throw Error("chaos: injected task failure");
+            }
+            if (scan_input()) {
+                // Warm factors seed the nominal attempt only: the
+                // conservative rung runs at a different rank, so they
+                // could not match anyway.
+                result = run_itscs(si, cfg, {}, &sctx,
+                                   first_attempt ? warm_seed : nullptr);
+            }
+        } catch (const std::exception& e) {
+            monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
+                         e.what());
+        } catch (...) {
+            monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
+                         "non-standard exception");
+        }
+        sctx.set_health(nullptr);
+        return !monitor.tripped();
+    };
+
+    auto record_failure = [&]() {
+        report.failures.push_back(monitor.report());
+        sctx.counters().guard_trips += 1;
+    };
+
+    // Rung 2: no solver at all — per-row linear interpolation over the
+    // sanitized trusted cells, finite by construction.
+    auto interpolate_fallback = [&]() {
+        monitor.arm(s);
+        try {
+            result = ItscsResult{};
+            result.detection = Matrix(rows, t);
+            result.reconstructed_x = linear_interpolate(si.sx, si.existence);
+            result.reconstructed_y = linear_interpolate(si.sy, si.existence);
+            return true;
+        } catch (const std::exception& e) {
+            monitor.fail(FailureKind::kTaskException, "interpolate", 0,
+                         e.what());
+            return false;
+        }
+    };
+
+    // Rung 3, cannot fail: pass the sanitized readings through untouched
+    // and salvage one plain DETECT pass if it runs.
+    auto detect_only_fallback = [&]() {
+        result = ItscsResult{};
+        result.reconstructed_x = si.sx;
+        result.reconstructed_y = si.sy;
+        try {
+            const Matrix zeros(rows, t);
+            Matrix dx = ts_detect(si.sx, zeros, average_velocity(si.vx),
+                                  Matrix::constant(rows, t, 1.0),
+                                  si.existence, si.tau_s, config.detector,
+                                  true, &sctx);
+            Matrix dy = ts_detect(si.sy, zeros, average_velocity(si.vy),
+                                  Matrix::constant(rows, t, 1.0),
+                                  si.existence, si.tau_s, config.detector,
+                                  true, &sctx);
+            result.detection = detection_union(dx, dy);
+        } catch (const std::exception&) {
+            result.detection = Matrix(rows, t);
+        }
+    };
+
+    // Walk the ladder until a rung holds.
+    DegradationLevel level = DegradationLevel::kNominal;
+    bool ok = solve(config, true);
+    if (!ok) {
+        record_failure();
+        sanitize_non_finite(si);
+        sctx.counters().shard_retries += 1;
+        level = DegradationLevel::kConservative;
+        ++report.attempts;
+        ok = solve(conservative_config(config, rows, t), false);
+    }
+    if (!ok) {
+        record_failure();
+        level = DegradationLevel::kInterpolation;
+        ++report.attempts;
+        ok = interpolate_fallback();
+    }
+    if (!ok) {
+        record_failure();
+        level = DegradationLevel::kDetectOnly;
+        ++report.attempts;
+        detect_only_fallback();
+    }
+
+    if (level != DegradationLevel::kNominal) {
+        sctx.counters().shards_degraded += 1;
+    }
+    report.level = level;
+    report.iterations = result.iterations;
+    report.converged =
+        level == DegradationLevel::kNominal && result.converged;
+}
+
+// Relative Frobenius deviation of `got` from the `want` reference.
+double relative_deviation(const Matrix& got, const Matrix& want) {
+    double num = 0.0;
+    double den = 0.0;
+    const auto g = got.data();
+    const auto w = want.data();
+    for (std::size_t k = 0; k < w.size(); ++k) {
+        const double d = g[k] - w[k];
+        num += d * d;
+        den += w[k] * w[k];
+    }
+    if (den == 0.0) {
+        return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return std::sqrt(num / den);
+}
+
+// The mixed tier's verification gate (RuntimeConfig::mixed_verify_every):
+// re-solve the sampled shard at the exact tier from a FRESH context
+// seeded with the shard's own seed — the shard context's RNG has already
+// advanced through the mixed solve, and the gate's promise is that an
+// adopted exact result is bit-identical to what a pure exact run would
+// have produced. The exact context's instrumentation is absorbed into the
+// shard context either way (the work was done).
+void verify_mixed_shard(const RuntimeConfig& rcfg, const ItscsConfig& config,
+                        std::size_t s, std::uint64_t seed,
+                        const ItscsInput& si,
+                        const ItscsWarmStart* warm_seed,
+                        PipelineContext& sctx, ShardRunReport& report,
+                        ItscsResult& result) {
+    if (rcfg.kernel_tier != KernelTier::kMixed ||
+        rcfg.mixed_verify_every == 0 || s % rcfg.mixed_verify_every != 0 ||
+        report.level != DegradationLevel::kNominal) {
+        return;
+    }
+    sctx.counters().mixed_gate_checks += 1;
+    PipelineContext vctx(seed);
+    vctx.set_kernel_tier(KernelTier::kExact);
+    vctx.set_solver_backend(config.cs.solver);
+    ItscsResult exact;
+    try {
+        KernelTierScope exact_scope(KernelTier::kExact);
+        exact = run_itscs(si, config, {}, &vctx, warm_seed);
+    } catch (const std::exception&) {
+        // The exact reference itself failed — nothing to compare against;
+        // the mixed result stands (the ladder already vetted it).
+        return;
+    }
+    sctx.absorb(vctx.counters(), vctx.phase_stats());
+    const double deviation =
+        std::max(relative_deviation(result.reconstructed_x,
+                                    exact.reconstructed_x),
+                 relative_deviation(result.reconstructed_y,
+                                    exact.reconstructed_y));
+    if (deviation > rcfg.mixed_verify_tolerance) {
+        sctx.counters().mixed_gate_trips += 1;
+        report.iterations = exact.iterations;
+        report.converged = exact.converged;
+        result = std::move(exact);
+    }
+}
+
 }  // namespace
 
 FleetRunner::FleetRunner(RuntimeConfig config)
@@ -234,6 +475,9 @@ FleetRunner::FleetRunner(RuntimeConfig config)
 FleetRunner::~FleetRunner() = default;
 
 ShardPlan FleetRunner::plan_for(std::size_t participants) const {
+    MCS_CHECK_MSG(config_.planner == PlannerMode::kRows,
+                  "FleetRunner::plan_for: the cell planner needs the input "
+                  "positions — use the ItscsInput overload");
     if (config_.shard_size > 0) {
         return ShardPlan::by_size(participants, config_.shard_size,
                                   config_.remainder);
@@ -241,6 +485,23 @@ ShardPlan FleetRunner::plan_for(std::size_t participants) const {
     const std::size_t count =
         config_.shard_count > 0 ? config_.shard_count : threads_;
     return ShardPlan::by_count(participants, count, config_.remainder);
+}
+
+ShardPlan FleetRunner::plan_for(const ItscsInput& input) const {
+    if (config_.planner == PlannerMode::kCell) {
+        // The cell planner's target size is the resolved shard size: the
+        // explicit knob when set, else the by_count-equivalent balance.
+        const std::size_t n = input.sx.rows();
+        std::size_t target = config_.shard_size;
+        if (target == 0) {
+            const std::size_t count =
+                config_.shard_count > 0 ? config_.shard_count : threads_;
+            target = std::max<std::size_t>(1, (n + count - 1) / count);
+        }
+        return ShardPlan::by_cell(input.sx, input.sy, input.existence,
+                                  target);
+    }
+    return plan_for(input.sx.rows());
 }
 
 FleetResult FleetRunner::run(const ItscsInput& input,
@@ -386,7 +647,7 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
     }
     const std::size_t n = input.sx.rows();
     const std::size_t t = input.sx.cols();
-    const ShardPlan plan = plan_for(n);
+    const ShardPlan plan = plan_for(input);
     const std::size_t count = plan.count();
 
     if (warm != nullptr) {
@@ -444,8 +705,11 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
         manifest.runtime_fingerprint = runtime_fingerprint(config_);
         manifest.kernel_tier = config_.kernel_tier;
         manifest.solver = config.cs.solver;
+        manifest.planner = to_string(plan.mode());
+        manifest.plan_fingerprint = plan.fingerprint();
         for (const Shard& shard : plan.shards()) {
             manifest.shards.emplace_back(shard.begin, shard.end);
+            manifest.shard_members.push_back(shard.members_fingerprint());
         }
 
         if (config_.resume && store->has_manifest()) {
@@ -475,7 +739,10 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
                 const bool consistent =
                     shard != nullptr && record.row_begin == shard->begin &&
                     record.row_end == shard->end &&
+                    record.members_fingerprint ==
+                        shard->members_fingerprint() &&
                     record.seed == seeds[index] &&
+                    !record.outputs_in_slab &&
                     record.detection.rows() == rows &&
                     record.detection.cols() == t &&
                     record.reconstructed_x.rows() == rows &&
@@ -584,164 +851,10 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
                                                           : nullptr;
 
         ItscsResult result;
-        if (!config_.guard) {
-            result = run_itscs(si, config, {}, &contexts[s], warm_seed);
-            report.iterations = result.iterations;
-            report.converged = result.converged;
-        } else {
-            // Chaos strikes before the first attempt only: the ladder's
-            // lower rungs recover from the poisoned state, they are not
-            // re-poisoned.
-            ShardChaosPlan chaos_plan;
-            if (config_.chaos != nullptr) {
-                chaos_plan = config_.chaos->plan(s);
-                config_.chaos->apply(chaos_plan, si.sx, si.sy, si.vx, si.vy,
-                                     si.existence);
-            }
-
-            HealthMonitor monitor(config_.health);
-
-            // Strict per-shard input scan under the monitor (the fleet
-            // boundary only checked shapes).
-            auto scan_input = [&]() {
-                const struct {
-                    const Matrix* m;
-                    const char* name;
-                } mats[] = {{&si.sx, "S_X"},
-                            {&si.sy, "S_Y"},
-                            {&si.vx, "Vx"},
-                            {&si.vy, "Vy"}};
-                for (const auto& entry : mats) {
-                    const auto hit = find_non_finite(*entry.m, si.existence);
-                    if (hit.has_value()) {
-                        monitor.fail(FailureKind::kNonFiniteInput, "validate",
-                                     0,
-                                     std::string(entry.name) +
-                                         " non-finite at row " +
-                                         std::to_string(hit->first) +
-                                         ", col " +
-                                         std::to_string(hit->second));
-                        return false;
-                    }
-                }
-                return true;
-            };
-
-            // One guarded solver attempt. No exception leaves this lambda:
-            // anything thrown becomes a kTaskException report, so the pool
-            // worker never unwinds.
-            auto solve = [&](const ItscsConfig& cfg, bool first_attempt) {
-                monitor.arm(s);
-                if (first_attempt && chaos_plan.diverge_after > 0) {
-                    monitor.inject_failure(FailureKind::kObjectiveDivergence,
-                                           chaos_plan.diverge_after);
-                }
-                contexts[s].set_health(&monitor);
-                try {
-                    if (first_attempt && chaos_plan.throw_task) {
-                        throw Error("chaos: injected task failure");
-                    }
-                    if (scan_input()) {
-                        // Warm factors seed the nominal attempt only: the
-                        // conservative rung runs at a different rank, so
-                        // they could not match anyway.
-                        result = run_itscs(si, cfg, {}, &contexts[s],
-                                           first_attempt ? warm_seed
-                                                         : nullptr);
-                    }
-                } catch (const std::exception& e) {
-                    monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
-                                 e.what());
-                } catch (...) {
-                    monitor.fail(FailureKind::kTaskException, "run_itscs", 0,
-                                 "non-standard exception");
-                }
-                contexts[s].set_health(nullptr);
-                return !monitor.tripped();
-            };
-
-            auto record_failure = [&]() {
-                report.failures.push_back(monitor.report());
-                contexts[s].counters().guard_trips += 1;
-            };
-
-            // Rung 2: no solver at all — per-row linear interpolation over
-            // the sanitized trusted cells, finite by construction.
-            auto interpolate_fallback = [&]() {
-                monitor.arm(s);
-                try {
-                    result = ItscsResult{};
-                    result.detection = Matrix(rows, t);
-                    result.reconstructed_x =
-                        linear_interpolate(si.sx, si.existence);
-                    result.reconstructed_y =
-                        linear_interpolate(si.sy, si.existence);
-                    return true;
-                } catch (const std::exception& e) {
-                    monitor.fail(FailureKind::kTaskException, "interpolate",
-                                 0, e.what());
-                    return false;
-                }
-            };
-
-            // Rung 3, cannot fail: pass the sanitized readings through
-            // untouched and salvage one plain DETECT pass if it runs.
-            auto detect_only_fallback = [&]() {
-                result = ItscsResult{};
-                result.reconstructed_x = si.sx;
-                result.reconstructed_y = si.sy;
-                try {
-                    const Matrix zeros(rows, t);
-                    Matrix dx = ts_detect(si.sx, zeros,
-                                          average_velocity(si.vx),
-                                          Matrix::constant(rows, t, 1.0),
-                                          si.existence, si.tau_s,
-                                          config.detector, true,
-                                          &contexts[s]);
-                    Matrix dy = ts_detect(si.sy, zeros,
-                                          average_velocity(si.vy),
-                                          Matrix::constant(rows, t, 1.0),
-                                          si.existence, si.tau_s,
-                                          config.detector, true,
-                                          &contexts[s]);
-                    result.detection = detection_union(dx, dy);
-                } catch (const std::exception&) {
-                    result.detection = Matrix(rows, t);
-                }
-            };
-
-            // Walk the ladder until a rung holds.
-            DegradationLevel level = DegradationLevel::kNominal;
-            bool ok = solve(config, true);
-            if (!ok) {
-                record_failure();
-                sanitize_non_finite(si);
-                contexts[s].counters().shard_retries += 1;
-                level = DegradationLevel::kConservative;
-                ++report.attempts;
-                ok = solve(conservative_config(config, rows, t), false);
-            }
-            if (!ok) {
-                record_failure();
-                level = DegradationLevel::kInterpolation;
-                ++report.attempts;
-                ok = interpolate_fallback();
-            }
-            if (!ok) {
-                record_failure();
-                level = DegradationLevel::kDetectOnly;
-                ++report.attempts;
-                detect_only_fallback();
-            }
-
-            if (level != DegradationLevel::kNominal) {
-                contexts[s].counters().shards_degraded += 1;
-            }
-            report.level = level;
-            report.iterations = result.iterations;
-            report.converged = level == DegradationLevel::kNominal &&
-                               result.converged;
-        }
+        run_shard_ladder(config_, config, s, si, contexts[s], warm_seed,
+                         report, result);
+        verify_mixed_shard(config_, config, s, seeds[s], si, warm_seed,
+                           contexts[s], report, result);
 
         if (shard_warm != nullptr) {
             if (report.level == DegradationLevel::kNominal) {
@@ -770,6 +883,7 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
             record.shard_index = s;
             record.row_begin = shard.begin;
             record.row_end = shard.end;
+            record.members_fingerprint = shard.members_fingerprint();
             record.seed = seeds[s];
             record.iterations = report.iterations;
             record.converged = report.converged;
@@ -806,13 +920,14 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
         ws.release(std::move(si.existence));
     };
 
+    // Work-stealing schedule (runtime/work_steal.hpp): scheduling decides
+    // where a shard runs, never what it computes — the merge below stays
+    // in shard order, so output is bit-identical at any thread count.
     if (pool_ != nullptr && pending.size() > 1) {
-        pool_->parallel_for(0, pending.size(), 1,
-                            [&](std::size_t lo, std::size_t hi) {
-                                for (std::size_t k = lo; k < hi; ++k) {
-                                    run_shard(pending[k]);
-                                }
-                            });
+        out.steals = steal_run(pool_.get(), threads_, pending.size(),
+                               [&](std::size_t k, std::size_t /*next*/) {
+                                   run_shard(pending[k]);
+                               });
     } else {
         for (const std::size_t s : pending) {
             run_shard(s);
@@ -828,8 +943,10 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
         for (const PipelineContext& shard_ctx : contexts) {
             ctx->merge(shard_ctx);
         }
-        // Frame losses belong to the run, not to any one shard's context.
+        // Frame losses and steal totals belong to the run, not to any one
+        // shard's context.
         ctx->counters().checkpoint_corrupt_frames += cp.corrupt_frames;
+        ctx->counters().shards_stolen += out.steals.stolen_items;
     }
     for (Workspace& ws : workspaces_) {
         ws.clear();
@@ -838,6 +955,387 @@ FleetResult FleetRunner::run_sharded(const ItscsInput& input,
     // Aggregate diagnostics: iterations is the slowest shard, converged
     // the conjunction, history the per-iteration sum over shards (shards
     // already converged contribute nothing to later iterations).
+    out.aggregate.converged = true;
+    for (const ShardRunReport& report : out.shards) {
+        out.aggregate.iterations =
+            std::max(out.aggregate.iterations, report.iterations);
+        out.aggregate.converged =
+            out.aggregate.converged && report.converged;
+    }
+    out.aggregate.history.resize(out.aggregate.iterations);
+    for (std::size_t k = 0; k < out.aggregate.iterations; ++k) {
+        ItscsIterationStats& merged = out.aggregate.history[k];
+        merged.iteration = k + 1;
+        for (const auto& history : histories) {
+            if (k < history.size()) {
+                merged.flagged += history[k].flagged;
+                merged.detection_changes += history[k].detection_changes;
+                merged.cs_objective_x += history[k].cs_objective_x;
+                merged.cs_objective_y += history[k].cs_objective_y;
+            }
+        }
+    }
+    return out;
+}
+
+std::unique_ptr<SlabStore> FleetRunner::create_slab_store(
+    const std::string& dir, const ItscsInput& input) const {
+    input.validate_shapes();
+    const ShardPlan plan = plan_for(input);
+    const std::size_t t = input.sx.cols();
+
+    SlabGeometry geometry;
+    geometry.participants = plan.rows();
+    geometry.slots = t;
+    geometry.shard_count = plan.count();
+    geometry.tier = config_.storage;
+    geometry.tau_s = input.tau_s;
+    geometry.planner_mode = static_cast<std::uint32_t>(plan.mode());
+    geometry.plan_fingerprint = plan.fingerprint();
+    geometry.input_fingerprint = input.fingerprint();
+    std::vector<SlabShardInfo> infos;
+    infos.reserve(plan.count());
+    for (const Shard& shard : plan.shards()) {
+        geometry.max_shard_rows =
+            std::max(geometry.max_shard_rows, shard.size());
+        SlabShardInfo info;
+        info.begin = shard.begin;
+        info.end = shard.end;
+        info.rows = shard.rows;
+        infos.push_back(std::move(info));
+    }
+
+    auto store =
+        std::make_unique<SlabStore>(dir, geometry, std::move(infos));
+
+    // Ingest shard by shard through one reused staging buffer — the
+    // store, not this loop, is what unlocks fleets beyond RAM (the scale
+    // harness ingests synthetic shards directly, never holding the
+    // fleet; this overload is the convenience for inputs already loaded).
+    Matrix stage[kSlabInputMatrices];
+    for (const Shard& shard : plan.shards()) {
+        const std::size_t rows = shard.size();
+        const Matrix* sources[kSlabInputMatrices] = {
+            &input.sx, &input.sy, &input.vx, &input.vy, &input.existence};
+        const double* mats[kSlabInputMatrices];
+        for (std::size_t m = 0; m < kSlabInputMatrices; ++m) {
+            stage[m] = Matrix(rows, t);
+            slice_rows(stage[m], *sources[m], shard);
+            mats[m] = stage[m].data().data();
+        }
+        store->write_inputs(shard.index, mats);
+    }
+    return store;
+}
+
+std::size_t FleetRunner::resident_window_bytes(
+    const SlabGeometry& geometry) const {
+    // Per worker: the computing shard's input and output slabs, the
+    // prefetched next input slab, and the f64 staging arena (five inputs
+    // plus three results at double precision, whatever the storage tier).
+    const std::size_t staged =
+        geometry.max_shard_rows * geometry.slots * sizeof(double) *
+        (kSlabInputMatrices + kSlabOutputMatrices);
+    const std::size_t per_worker = 2 * geometry.input_stride() +
+                                   geometry.output_stride() + staged;
+    return std::max<std::size_t>(1, threads_) * per_worker;
+}
+
+FleetResult FleetRunner::run_streamed(SlabStore& store,
+                                      const ItscsConfig& base_config,
+                                      PipelineContext* ctx) {
+    MCS_CHECK_MSG(
+        config_.adversary == nullptr || config_.adversary->spec().idle(),
+        "run_streamed: the structured adversary transforms the fleet in "
+        "memory — ingest post-adversary data instead");
+    MCS_CHECK_MSG(
+        config_.defense == nullptr || config_.defense->spec().idle(),
+        "run_streamed: the defence suite's consistency tests need "
+        "fleet-wide matrices — run the defence in-core");
+
+    ItscsConfig config = base_config;
+    if (config_.solver != SolverKind::kAsd &&
+        config.cs.solver == SolverKind::kAsd) {
+        config.cs.solver = config_.solver;
+    }
+
+    const SlabGeometry& geometry = store.geometry();
+    const std::size_t t = geometry.slots;
+    const std::size_t count = store.shards().size();
+    MCS_CHECK_MSG(count > 0, "run_streamed: empty slab store");
+
+    // The store's plan is authoritative — the runner's planner knobs
+    // shaped it at ingest time.
+    std::vector<Shard> shards(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        shards[s].index = s;
+        shards[s].begin = store.shards()[s].begin;
+        shards[s].end = store.shards()[s].end;
+        shards[s].rows = store.shards()[s].rows;
+    }
+
+    if (config_.memory_budget_mb > 0) {
+        const std::size_t window = resident_window_bytes(geometry);
+        const std::size_t budget =
+            config_.memory_budget_mb * std::size_t(1024) * 1024;
+        MCS_CHECK_MSG(
+            window <= budget,
+            "run_streamed: memory budget " +
+                std::to_string(config_.memory_budget_mb) +
+                " MiB is below the minimum resident window (" +
+                std::to_string((window + 1024 * 1024 - 1) / (1024 * 1024)) +
+                " MiB for " + std::to_string(threads_) +
+                " workers at this slab geometry) — raise the budget or "
+                "lower --threads / the shard size");
+    }
+
+    // Per-shard seeds by index, exactly as in run_sharded — streamed and
+    // in-core runs of the same plan share their seed derivation, which is
+    // what makes them bit-comparable.
+    Rng root(config_.seed);
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        seeds[s] = root.next_u64();
+    }
+    std::vector<PipelineContext> contexts;
+    contexts.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        contexts.emplace_back(seeds[s]);
+        contexts.back().set_kernel_tier(config_.kernel_tier);
+        contexts.back().set_solver_backend(config.cs.solver);
+    }
+
+    FleetResult out;
+    // Aggregate matrices stay EMPTY: fleet-sized results live in the
+    // store's output slabs — materialising them here would defeat the
+    // bounded resident window.
+    out.shards.resize(count);
+    std::vector<std::vector<ItscsIterationStats>> histories(count);
+
+    CheckpointSummary& cp = out.checkpoint;
+    std::unique_ptr<CheckpointStore> cp_store;
+    std::vector<bool> restored(count, false);
+    if (!config_.checkpoint_dir.empty()) {
+        cp.enabled = true;
+        cp_store = std::make_unique<CheckpointStore>(config_.checkpoint_dir);
+
+        CheckpointManifest manifest;
+        manifest.participants = geometry.participants;
+        manifest.slots = t;
+        manifest.input_fingerprint = geometry.input_fingerprint;
+        manifest.config_fingerprint = config_fingerprint(config);
+        manifest.runtime_fingerprint = runtime_fingerprint(config_);
+        manifest.kernel_tier = config_.kernel_tier;
+        manifest.solver = config.cs.solver;
+        manifest.planner = to_string(
+            static_cast<PlannerMode>(geometry.planner_mode));
+        manifest.plan_fingerprint = geometry.plan_fingerprint;
+        manifest.storage = to_string(geometry.tier);
+        manifest.slab_max_rows = geometry.max_shard_rows;
+        for (const Shard& shard : shards) {
+            manifest.shards.emplace_back(shard.begin, shard.end);
+            manifest.shard_members.push_back(shard.members_fingerprint());
+        }
+
+        if (config_.resume && cp_store->has_manifest()) {
+            const std::string why =
+                manifest.mismatch(cp_store->read_manifest());
+            MCS_CHECK_MSG(why.empty(),
+                          "checkpoint resume refused (" + why +
+                              "); delete " + config_.checkpoint_dir +
+                              " or drop --resume to start over");
+
+            CheckpointLoad load = cp_store->load();
+            cp.corrupt_frames = load.corrupt_frames;
+            cp.torn_tail = load.torn_tail;
+            cp.journal_failures = std::move(load.failures);
+
+            for (auto& [index, record] : load.shards) {
+                // A streamed record is metadata plus the output slab's
+                // CRC: the slab itself must still hold the committed
+                // bytes. A torn or lost slab (open() zero-extends) fails
+                // the CRC and the shard simply re-runs — exactly the
+                // corrupt-frame discipline, one layer down.
+                const Shard* shard =
+                    index < count ? &shards[index] : nullptr;
+                const bool consistent =
+                    shard != nullptr && record.row_begin == shard->begin &&
+                    record.row_end == shard->end &&
+                    record.members_fingerprint ==
+                        shard->members_fingerprint() &&
+                    record.seed == seeds[index] &&
+                    record.outputs_in_slab &&
+                    record.output_slab_crc == store.output_crc(index);
+                if (!consistent) {
+                    ++cp.corrupt_frames;
+                    FailureReport bad;
+                    bad.kind = FailureKind::kCheckpointCorrupt;
+                    bad.phase = "journal";
+                    bad.shard = index;
+                    bad.detail =
+                        "journaled record contradicts the recomputed plan/"
+                        "seed or its output slab failed CRC; shard will "
+                        "re-run";
+                    cp.journal_failures.push_back(std::move(bad));
+                    continue;
+                }
+
+                ShardRunReport& report = out.shards[index];
+                report.shard = *shard;
+                report.seed = record.seed;
+                report.iterations = record.iterations;
+                report.converged = record.converged;
+                report.level = static_cast<DegradationLevel>(record.level);
+                report.attempts = record.attempts;
+                report.failures = std::move(record.failures);
+                histories[index] = std::move(record.history);
+                contexts[index].absorb(record.counters, record.phases);
+                contexts[index].counters().checkpoint_shards_resumed += 1;
+                restored[index] = true;
+                ++cp.shards_loaded;
+            }
+        } else {
+            cp_store->begin(manifest);
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        if (!restored[s]) {
+            pending.push_back(s);
+        }
+    }
+    if (cp.enabled) {
+        cp.shards_run = pending.size();
+    }
+
+    KernelParallelScope kernel_scope(config_.kernel_threads);
+    RowBlockThresholdScope threshold_scope(
+        config_.kernel_row_block_threshold);
+
+    auto run_shard = [&](std::size_t s, std::size_t next) {
+        KernelTierScope tier_scope(config_.kernel_tier);
+        const Shard& shard = shards[s];
+        const std::size_t rows = shard.size();
+        const std::size_t worker = ThreadPool::worker_index();
+        Workspace& ws = workspaces_[worker == static_cast<std::size_t>(-1)
+                                        ? 0
+                                        : worker];
+
+        // Overlap the next scheduled shard's page-in with this shard's
+        // compute: the steal scheduler tells us what this worker will
+        // run next (its own deque front), and madvise does the rest.
+        if (next != static_cast<std::size_t>(-1)) {
+            store.prefetch_inputs(next);
+        }
+
+        ItscsInput si;
+        si.sx = ws.acquire(rows, t);
+        si.sy = ws.acquire(rows, t);
+        si.vx = ws.acquire(rows, t);
+        si.vy = ws.acquire(rows, t);
+        si.existence = ws.acquire(rows, t);
+        si.tau_s = geometry.tau_s;
+        {
+            double* mats[kSlabInputMatrices] = {
+                si.sx.data().data(), si.sy.data().data(),
+                si.vx.data().data(), si.vy.data().data(),
+                si.existence.data().data()};
+            store.read_inputs(s, mats);
+        }
+
+        ShardRunReport& report = out.shards[s];
+        report.shard = shard;
+        report.seed = seeds[s];
+
+        ItscsResult result;
+        run_shard_ladder(config_, config, s, si, contexts[s], nullptr,
+                         report, result);
+        verify_mixed_shard(config_, config, s, seeds[s], si, nullptr,
+                           contexts[s], report, result);
+        contexts[s].counters().slab_shards_streamed += 1;
+
+        {
+            const double* mats[kSlabOutputMatrices] = {
+                result.detection.data().data(),
+                result.reconstructed_x.data().data(),
+                result.reconstructed_y.data().data()};
+            store.write_outputs(s, mats);
+        }
+
+        if (cp_store != nullptr) {
+            contexts[s].counters().checkpoint_commits += 1;
+
+            ShardCheckpoint record;
+            record.shard_index = s;
+            record.row_begin = shard.begin;
+            record.row_end = shard.end;
+            record.members_fingerprint = shard.members_fingerprint();
+            record.seed = seeds[s];
+            record.iterations = report.iterations;
+            record.converged = report.converged;
+            record.level = static_cast<std::uint32_t>(report.level);
+            record.attempts = report.attempts;
+            record.failures = report.failures;
+            record.outputs_in_slab = true;
+            record.output_slab_crc = store.output_crc(s);
+            record.history = result.history;
+            record.counters = contexts[s].counters();
+            record.phases = contexts[s].phase_stats();
+
+            const std::size_t crash_after =
+                config_.chaos != nullptr
+                    ? config_.chaos->config().crash_after_commits
+                    : 0;
+            cp_store->commit(record, [crash_after](std::size_t ordinal) {
+                if (crash_after > 0 && ordinal == crash_after) {
+                    std::abort();
+                }
+            });
+        }
+
+        histories[s] = std::move(result.history);
+
+        ws.release(std::move(si.sx));
+        ws.release(std::move(si.sy));
+        ws.release(std::move(si.vx));
+        ws.release(std::move(si.vy));
+        ws.release(std::move(si.existence));
+
+        // Committed: this shard's pages leave the resident window.
+        store.evict(s);
+    };
+
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    if (pool_ != nullptr && pending.size() > 1) {
+        out.steals =
+            steal_run(pool_.get(), threads_, pending.size(),
+                      [&](std::size_t k, std::size_t next_k) {
+                          run_shard(pending[k], next_k == kNone
+                                                    ? kNone
+                                                    : pending[next_k]);
+                      });
+    } else {
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            run_shard(pending[k],
+                      k + 1 < pending.size() ? pending[k + 1] : kNone);
+        }
+    }
+
+    // ---- joining barrier passed: single-threaded from here on ----
+
+    if (ctx != nullptr) {
+        for (const PipelineContext& shard_ctx : contexts) {
+            ctx->merge(shard_ctx);
+        }
+        ctx->counters().checkpoint_corrupt_frames += cp.corrupt_frames;
+        ctx->counters().shards_stolen += out.steals.stolen_items;
+    }
+    for (Workspace& ws : workspaces_) {
+        ws.clear();
+    }
+
     out.aggregate.converged = true;
     for (const ShardRunReport& report : out.shards) {
         out.aggregate.iterations =

@@ -44,8 +44,10 @@
 #include "corruption/adversary.hpp"
 #include "defense/defense.hpp"
 #include "linalg/kernels.hpp"
+#include "persist/slab_store.hpp"
 #include "runtime/shard_plan.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/work_steal.hpp"
 
 namespace mcs {
 
@@ -54,8 +56,10 @@ class ChaosInjector;
 /// Knobs of the runtime subsystem (CLI: --threads / --shard-size /
 /// --kernel-threads).
 struct RuntimeConfig {
-    /// Shard worker threads. 0 = hardware concurrency; 1 = run shards
-    /// inline on the caller (no pool). Never affects results.
+    /// Shard worker threads. 0 = effective CPUs (the sched_getaffinity
+    /// mask via common/topology.hpp — not hardware_concurrency, which
+    /// overcounts when the process is pinned); 1 = run shards inline on
+    /// the caller (no pool). Never affects results.
     std::size_t threads = 1;
 
     /// Participants per shard (0 = derive from shard_count). Part of the
@@ -69,6 +73,16 @@ struct RuntimeConfig {
     std::size_t shard_count = 0;
 
     ShardRemainder remainder = ShardRemainder::kSpread;
+
+    /// Shard decomposition mode (CLI: --planner). kRows keeps the
+    /// contiguous row planners above; kCell groups participants by the
+    /// spatial cell of their mean observed position
+    /// (ShardPlan::by_cell, target size = the resolved shard size), so
+    /// neighbouring shards are spatial neighbours and a city decomposes
+    /// along its geography. Part of the numerics — a different planner
+    /// is a different block decomposition — so it is named in the
+    /// checkpoint manifest and refused on resume mismatch.
+    PlannerMode planner = PlannerMode::kRows;
 
     /// Row-blocked kernel parallelism (KernelParallelScope) during run():
     /// <= 1 is off. Pays off on the sequential path (threads == 1) with
@@ -92,6 +106,34 @@ struct RuntimeConfig {
     /// detect-only rungs (the conservative rung's rank/λ₁/iteration
     /// overrides bind to whichever backend is active).
     SolverKind solver = SolverKind::kAsd;
+
+    /// Mixed-tier verification gate (kernel_tier == kMixed only): every
+    /// `mixed_verify_every`-th shard by shard index (0 = gate off) whose
+    /// nominal solve succeeded is re-solved at the exact tier, from a
+    /// fresh context seeded with the shard's own seed, and the two
+    /// reconstructions compared. A relative (Frobenius) deviation beyond
+    /// mixed_verify_tolerance trips the gate: the shard adopts the exact
+    /// result — bit-identical to what a pure exact run computes — and the
+    /// trip is counted (PipelineCounters::mixed_gate_trips). The sample
+    /// set depends on shard index alone, so gated runs stay deterministic
+    /// at any thread count. This is the kMixed analogue of the fast
+    /// tier's ≤1e-12 kernel contract: f32 staging cannot promise 1e-12,
+    /// so the contract moves from per-kernel to per-shard-result.
+    std::size_t mixed_verify_every = 8;
+    double mixed_verify_tolerance = 1e-3;
+
+    /// Element representation of the out-of-core slab store
+    /// (create_slab_store; CLI: --storage). kF32 halves slab bytes; pair
+    /// it with kernel_tier == kMixed for the full mixed-precision path.
+    /// Part of the numerics (one rounding per ingested element), named in
+    /// the checkpoint manifest and refused on resume mismatch.
+    StorageTier storage = StorageTier::kF64;
+
+    /// Resident-memory budget in MiB for run_streamed (CLI:
+    /// --memory-budget); 0 = unchecked. The streamer refuses a budget
+    /// smaller than its minimum window (roughly two slabs plus the f64
+    /// staging arena per worker) instead of quietly thrashing.
+    std::size_t memory_budget_mb = 0;
 
     /// Runtime override of the kernel row-block threshold (CLI:
     /// --row-block-threshold); 0 keeps kKernelRowBlockThreshold. Pure
@@ -202,6 +244,9 @@ struct FleetResult {
     /// reinstate/confirm split, classified outage blocks. The aggregate's
     /// `quarantined` holds the confirmed subset.
     DefenseReport defense;
+    /// Work-stealing totals of the final solve — diagnostic only
+    /// (scheduling-dependent; never part of the bit-identity contract).
+    StealStats steals;
 };
 
 /// Shard-parallel driver around run_itscs. Owns its worker pool and one
@@ -243,9 +288,50 @@ public:
     FleetResult run(const ItscsInput& input, const ItscsConfig& config,
                     WarmStartState* warm, PipelineContext* ctx = nullptr);
 
+    /// Stream every shard of an out-of-core slab store through the
+    /// I(TS,CS) pipeline (DESIGN.md §18): inputs are staged per shard
+    /// from the store's mmap, results written back to the store's output
+    /// slabs, and each shard's pages dropped after its commit — resident
+    /// memory is the in-flight window, not the fleet. The returned
+    /// FleetResult carries per-shard reports, checkpoint and steal
+    /// diagnostics but EMPTY aggregate matrices: fleet-sized results
+    /// stay in the store (SlabStore::read_outputs per shard).
+    ///
+    /// The store's own plan is authoritative (the runner's planner knobs
+    /// shaped it at create_slab_store time). Checkpointing works as in
+    /// run(): records are metadata-only (outputs_in_slab), carrying the
+    /// output slab's CRC, and resume re-verifies each CRC against the
+    /// slab — a torn slab re-runs its shard. Refuses a non-idle
+    /// adversary or defence (both are fleet-in-memory transforms) and a
+    /// memory budget smaller than the minimum resident window.
+    /// Bit-identity: with StorageTier::kF64 the streamed result equals
+    /// the in-core run of the same plan at any thread count.
+    FleetResult run_streamed(SlabStore& store, const ItscsConfig& config,
+                             PipelineContext* ctx = nullptr);
+
     /// The shard decomposition run() will use for a fleet of
-    /// `participants` rows.
+    /// `participants` rows. PlannerMode::kCell needs the input positions
+    /// — use the input-aware overload; this one throws under kCell.
     ShardPlan plan_for(std::size_t participants) const;
+
+    /// Input-aware decomposition: ShardPlan::by_cell under
+    /// PlannerMode::kCell (target size = resolved shard size), the row
+    /// planners otherwise.
+    ShardPlan plan_for(const ItscsInput& input) const;
+
+    /// Lay out and ingest a slab store for `input` under this runner's
+    /// plan and RuntimeConfig::storage tier, shard by shard. The in-core
+    /// input here is a convenience for CLI/test scale; the scale
+    /// harness ingests synthetic shards directly through SlabStore so
+    /// the fleet never materialises.
+    std::unique_ptr<SlabStore> create_slab_store(
+        const std::string& dir, const ItscsInput& input) const;
+
+    /// Bytes run_streamed keeps resident per the geometry: per worker,
+    /// the computing slab pair, the prefetched next input slab, and the
+    /// f64 staging arena. The value --memory-budget is checked against
+    /// (and the CLI report's resident-window line).
+    std::size_t resident_window_bytes(const SlabGeometry& geometry) const;
 
     /// Worker threads the runner resolved (>= 1).
     std::size_t threads() const { return threads_; }

@@ -1,12 +1,25 @@
 #include "runtime/shard_plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
+#include "linalg/matrix.hpp"
 
 namespace mcs {
 
 namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (b * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
 
 // Emit `count` shards over `rows`, sizes balanced to within one row (the
 // first rows % count shards get the extra row).
@@ -18,7 +31,11 @@ std::vector<Shard> spread(std::size_t rows, std::size_t count) {
     std::size_t begin = 0;
     for (std::size_t k = 0; k < count; ++k) {
         const std::size_t size = base + (k < extra ? 1 : 0);
-        shards.push_back({k, begin, begin + size});
+        Shard s;
+        s.index = k;
+        s.begin = begin;
+        s.end = begin + size;
+        shards.push_back(std::move(s));
         begin += size;
     }
     return shards;
@@ -31,13 +48,48 @@ std::vector<Shard> tail(std::size_t rows, std::size_t size) {
     std::size_t begin = 0;
     while (begin < rows) {
         const std::size_t end = std::min(rows, begin + size);
-        shards.push_back({shards.size(), begin, end});
+        Shard s;
+        s.index = shards.size();
+        s.begin = begin;
+        s.end = end;
+        shards.push_back(std::move(s));
         begin = end;
     }
     return shards;
 }
 
 }  // namespace
+
+std::uint64_t Shard::members_fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    if (contiguous()) {
+        h = fnv_mix(h, 1);  // contiguity marker keeps the domains disjoint
+        h = fnv_mix(h, begin);
+        h = fnv_mix(h, end);
+        return h;
+    }
+    h = fnv_mix(h, 2);
+    h = fnv_mix(h, rows.size());
+    for (const std::uint32_t r : rows) {
+        h = fnv_mix(h, r);
+    }
+    return h;
+}
+
+const char* to_string(PlannerMode mode) {
+    return mode == PlannerMode::kCell ? "cell" : "rows";
+}
+
+PlannerMode parse_planner_mode(const std::string& name) {
+    if (name == "rows") {
+        return PlannerMode::kRows;
+    }
+    if (name == "cell") {
+        return PlannerMode::kCell;
+    }
+    throw Error("unknown planner mode '" + name +
+                "' (expected rows | cell)");
+}
 
 ShardPlan ShardPlan::by_size(std::size_t rows, std::size_t shard_size,
                              ShardRemainder policy) {
@@ -63,7 +115,192 @@ ShardPlan ShardPlan::by_count(std::size_t rows, std::size_t shard_count,
 
 ShardPlan ShardPlan::whole(std::size_t rows) {
     MCS_CHECK_MSG(rows > 0, "ShardPlan::whole: no rows");
-    return ShardPlan(rows, {Shard{0, 0, rows}});
+    Shard s;
+    s.end = rows;
+    std::vector<Shard> shards;
+    shards.push_back(std::move(s));
+    return ShardPlan(rows, std::move(shards));
+}
+
+ShardPlan ShardPlan::by_cell(const Matrix& sx, const Matrix& sy,
+                             const Matrix& existence,
+                             std::size_t target_size) {
+    const std::size_t n = sx.rows();
+    MCS_CHECK_MSG(n > 0, "ShardPlan::by_cell: no rows");
+    MCS_CHECK_MSG(target_size > 0, "ShardPlan::by_cell: zero target size");
+    MCS_CHECK_MSG(sy.rows() == n && existence.rows() == n &&
+                      sy.cols() == sx.cols() &&
+                      existence.cols() == sx.cols(),
+                  "ShardPlan::by_cell: sx/sy/existence shapes differ");
+
+    // Mean observed position per participant; rows with no observations
+    // are set aside and packed after every located cell.
+    std::vector<double> cx(n, 0.0);
+    std::vector<double> cy(n, 0.0);
+    std::vector<bool> located(n, false);
+    double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum_x = 0.0, sum_y = 0.0;
+        std::size_t seen = 0;
+        for (std::size_t j = 0; j < sx.cols(); ++j) {
+            if (existence(i, j) != 0.0) {
+                sum_x += sx(i, j);
+                sum_y += sy(i, j);
+                ++seen;
+            }
+        }
+        if (seen == 0) {
+            continue;
+        }
+        located[i] = true;
+        cx[i] = sum_x / static_cast<double>(seen);
+        cy[i] = sum_y / static_cast<double>(seen);
+        if (!any) {
+            min_x = max_x = cx[i];
+            min_y = max_y = cy[i];
+            any = true;
+        } else {
+            min_x = std::min(min_x, cx[i]);
+            max_x = std::max(max_x, cx[i]);
+            min_y = std::min(min_y, cy[i]);
+            max_y = std::max(max_y, cy[i]);
+        }
+    }
+
+    // g×g grid sized for mean occupancy ≈ target_size. A degenerate
+    // bounding box (all centroids coincide, or no located rows) collapses
+    // to one cell.
+    const std::size_t g = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(std::sqrt(
+               static_cast<double>(n) / static_cast<double>(target_size)))));
+    const double span_x = max_x - min_x;
+    const double span_y = max_y - min_y;
+    auto grid_index = [&](double v, double lo, double span) -> std::size_t {
+        if (span <= 0.0) {
+            return 0;
+        }
+        const double t = (v - lo) / span * static_cast<double>(g);
+        const auto k = static_cast<std::size_t>(t < 0.0 ? 0.0 : t);
+        return std::min(k, g - 1);
+    };
+
+    // Bucket rows by cell id (row-major: gy*g + gx); ascending row order
+    // within a cell falls out of the i loop. The unlocated bucket sorts
+    // after every real cell.
+    const std::size_t unlocated_cell = g * g;
+    std::vector<std::vector<std::uint32_t>> buckets(g * g + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c =
+            located[i] ? grid_index(cy[i], min_y, span_y) * g +
+                             grid_index(cx[i], min_x, span_x)
+                       : unlocated_cell;
+        buckets[c].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Greedy pack consecutive cells under the balance contract: flush at
+    // target, never exceed 2*target, split oversized cells into balanced
+    // chunks ≤ target (each chunk then ≥ target/2 by balance).
+    const std::size_t cap = 2 * target_size;
+    const std::size_t floor_size = std::max<std::size_t>(1, target_size / 2);
+    std::vector<Shard> shards;
+    std::vector<std::uint32_t> current;
+    std::size_t current_cell = static_cast<std::size_t>(-1);
+    std::size_t nonempty_cells = 0;
+
+    auto flush = [&]() {
+        if (current.empty()) {
+            return;
+        }
+        Shard s;
+        s.index = shards.size();
+        s.rows = std::move(current);
+        s.begin = s.rows.front();
+        s.end = static_cast<std::size_t>(s.rows.back()) + 1;
+        s.cell = current_cell;
+        shards.push_back(std::move(s));
+        current.clear();
+        current_cell = static_cast<std::size_t>(-1);
+    };
+
+    for (std::size_t c = 0; c < buckets.size(); ++c) {
+        std::vector<std::uint32_t>& cell = buckets[c];
+        if (cell.empty()) {
+            continue;
+        }
+        if (c != unlocated_cell) {
+            ++nonempty_cells;
+        }
+        if (!current.empty() && current.size() + cell.size() > cap &&
+            current.size() >= floor_size) {
+            flush();
+        }
+        if (current.size() + cell.size() > cap) {
+            // Still over the cap after the flush opportunity above, so
+            // either the cell alone exceeds it or a sub-floor remnant is
+            // pending. Split remnant + cell together into balanced chunks
+            // of at most target_size rows — balance puts every chunk at
+            // floor(total/chunks) or above, which is ≥ target_size/2.
+            const std::size_t first_cell =
+                current.empty() ? c : current_cell;
+            current.insert(current.end(), cell.begin(), cell.end());
+            std::vector<std::uint32_t> combined = std::move(current);
+            current.clear();
+            const std::size_t chunks =
+                (combined.size() + target_size - 1) / target_size;
+            const std::size_t base = combined.size() / chunks;
+            const std::size_t extra = combined.size() % chunks;
+            std::size_t at = 0;
+            for (std::size_t k = 0; k < chunks; ++k) {
+                const std::size_t len = base + (k < extra ? 1 : 0);
+                current.assign(
+                    combined.begin() + static_cast<std::ptrdiff_t>(at),
+                    combined.begin() + static_cast<std::ptrdiff_t>(at + len));
+                current_cell = k == 0 ? first_cell : c;
+                flush();
+                at += len;
+            }
+            continue;
+        }
+        if (current.empty()) {
+            current_cell = c;
+        }
+        current.insert(current.end(), cell.begin(), cell.end());
+        if (current.size() >= target_size) {
+            flush();
+        }
+    }
+    if (!current.empty()) {
+        // Undersized trailing remainder: merge into the previous shard
+        // when that stays under the cap, else let it stand alone (the "at
+        // most one undersized shard" escape hatch).
+        if (current.size() < floor_size && !shards.empty() &&
+            shards.back().rows.size() + current.size() <= cap) {
+            Shard& prev = shards.back();
+            prev.rows.insert(prev.rows.end(), current.begin(),
+                             current.end());
+            std::sort(prev.rows.begin(), prev.rows.end());
+            prev.begin = prev.rows.front();
+            prev.end = static_cast<std::size_t>(prev.rows.back()) + 1;
+            current.clear();
+        } else {
+            flush();
+        }
+    }
+
+    return ShardPlan(n, std::move(shards), PlannerMode::kCell,
+                     nonempty_cells);
+}
+
+std::uint64_t ShardPlan::fingerprint() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv_mix(h, static_cast<std::uint64_t>(mode_));
+    h = fnv_mix(h, rows_);
+    h = fnv_mix(h, shards_.size());
+    for (const Shard& s : shards_) {
+        h = fnv_mix(h, s.members_fingerprint());
+    }
+    return h;
 }
 
 }  // namespace mcs

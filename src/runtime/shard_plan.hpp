@@ -3,30 +3,54 @@
 // A city-scale fleet matrix (participants x slots) decomposes by rows:
 // every participant's readings live in one row, DETECT is row-local, and
 // the low-rank CORRECT model holds within any participant subset large
-// enough to span the shared mobility structure. A shard is therefore a
-// contiguous row range [begin, end); a plan is a disjoint cover of
+// enough to span the shared mobility structure. A shard is a set of rows —
+// contiguous [begin, end) for the row planners, an explicit sorted member
+// list for the geographic planner — and a plan is a disjoint cover of
 // [0, rows).
 //
 // Shard boundaries are part of the numerics contract: two runs of the same
 // plan produce bit-identical results at any thread count, but two
 // *different* plans are different block decompositions and legitimately
-// differ in the reconstruction. Plans depend only on (rows, knobs) — never
-// on thread count or scheduling — so results are reproducible from the
-// config alone.
+// differ in the reconstruction. Plans depend only on (rows, knobs) — and,
+// for by_cell, on the input positions — never on thread count or
+// scheduling — so results are reproducible from the config + input alone.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mcs {
 
-/// One contiguous participant range [begin, end).
+class Matrix;
+
+/// One shard: either a contiguous participant range [begin, end) (rows
+/// empty) or an explicit ascending member-row list (rows non-empty, with
+/// begin/end then holding min and max+1 for reporting).
 struct Shard {
     std::size_t index = 0;  ///< position within the plan
     std::size_t begin = 0;  ///< first row (inclusive)
     std::size_t end = 0;    ///< one past the last row
+    /// Explicit members (ascending, duplicate-free) for non-contiguous
+    /// shards; empty means the shard is exactly [begin, end).
+    std::vector<std::uint32_t> rows;
+    /// Source spatial cell ordinal for by_cell shards (first contributing
+    /// cell when a shard packs several); SIZE_MAX for row planners.
+    std::size_t cell = static_cast<std::size_t>(-1);
 
-    std::size_t size() const { return end - begin; }
+    bool contiguous() const { return rows.empty(); }
+    std::size_t size() const {
+        return rows.empty() ? end - begin : rows.size();
+    }
+    /// k-th member row, k in [0, size()).
+    std::size_t row_at(std::size_t k) const {
+        return rows.empty() ? begin + k : static_cast<std::size_t>(rows[k]);
+    }
+    /// FNV-1a over the member set (and contiguity), so a checkpoint can
+    /// verify a journaled shard covers the same rows as the current plan
+    /// even when begin/end alone are ambiguous (by_cell shards).
+    std::uint64_t members_fingerprint() const;
 };
 
 /// What to do when `rows` does not divide evenly.
@@ -40,36 +64,89 @@ enum class ShardRemainder {
     kTail,
 };
 
+/// How a fleet decomposes into shards (RuntimeConfig::planner).
+enum class PlannerMode {
+    /// Row-index planners (by_size / by_count / whole): contiguous ranges,
+    /// independent of the data. The default.
+    kRows,
+    /// Geographic planner (by_cell): participants grouped by the spatial
+    /// cell of their mean observed position, cells packed in row-major
+    /// grid order so neighbouring shards are spatial neighbours.
+    kCell,
+};
+
+/// "rows" / "cell".
+const char* to_string(PlannerMode mode);
+/// Inverse of to_string; throws mcs::Error on anything else.
+PlannerMode parse_planner_mode(const std::string& name);
+
 /// A disjoint, ordered, complete cover of [0, rows) by shards.
 class ShardPlan {
 public:
     /// Partition `rows` into shards of (nominally) `shard_size` rows.
-    /// kSpread rebalances to ceil(rows/shard_size) near-equal shards;
-    /// kTail emits full shards plus one short tail. Throws on rows == 0 or
-    /// shard_size == 0.
+    /// kSpread rebalances to exactly ceil(rows/shard_size) near-equal
+    /// shards (sizes within one of each other, so a shard can run one row
+    /// short of nominal); kTail emits full shards plus one short tail.
+    /// Throws on rows == 0 or shard_size == 0.
     static ShardPlan by_size(std::size_t rows, std::size_t shard_size,
                              ShardRemainder policy = ShardRemainder::kSpread);
 
-    /// Partition `rows` into exactly min(shard_count, rows) shards.
-    /// kSpread balances sizes to within one row; kTail gives the leading
-    /// shards ceil(rows/count) rows each. Throws on rows == 0 or
-    /// shard_count == 0.
+    /// Partition `rows` into (about) min(shard_count, rows) shards.
+    /// kSpread gives exactly that many, sizes balanced to within one row.
+    /// kTail gives every shard ceil(rows/count) rows and stops when the
+    /// rows run out — which can be *fewer* shards than requested (9 rows
+    /// across 4 shards packs as 3+3+3): tail keeps the size nominal, not
+    /// the count. Throws on rows == 0 or shard_count == 0.
     static ShardPlan by_count(std::size_t rows, std::size_t shard_count,
                               ShardRemainder policy = ShardRemainder::kSpread);
 
     /// Trivial single-shard plan covering [0, rows).
     static ShardPlan whole(std::size_t rows);
 
+    /// Geographic decomposition (DESIGN.md §18). Each participant maps to
+    /// the cell of a g×g grid over the bounding box of the fleet's mean
+    /// observed positions (g = ceil(sqrt(rows / target_size)), so mean
+    /// occupancy ≈ target_size); cells are visited in row-major order and
+    /// greedily packed into shards under the balance contract:
+    ///
+    ///   every shard holds between max(1, target_size/2) and
+    ///   2*target_size rows, except at most one undersized shard when the
+    ///   trailing remainder cannot merge into its neighbour without
+    ///   overflowing the cap.
+    ///
+    /// A single cell larger than the cap is split into balanced chunks of
+    /// at most target_size rows. Participants with no observed positions
+    /// are packed last, after the located cells. Deterministic in
+    /// (sx, sy, existence, target_size) alone. Throws on empty input or
+    /// target_size == 0.
+    static ShardPlan by_cell(const Matrix& sx, const Matrix& sy,
+                             const Matrix& existence,
+                             std::size_t target_size);
+
     const std::vector<Shard>& shards() const { return shards_; }
     std::size_t count() const { return shards_.size(); }
     std::size_t rows() const { return rows_; }
+    PlannerMode mode() const { return mode_; }
+    /// Non-empty spatial cells behind a by_cell plan (0 for row planners).
+    std::size_t cells() const { return cells_; }
+
+    /// FNV-1a over (mode, rows, every shard's member fingerprint) — the
+    /// identity the checkpoint manifest stores so a resume refuses a
+    /// changed decomposition (slab geometry is keyed on the same value).
+    std::uint64_t fingerprint() const;
 
 private:
-    ShardPlan(std::size_t rows, std::vector<Shard> shards)
-        : rows_(rows), shards_(std::move(shards)) {}
+    ShardPlan(std::size_t rows, std::vector<Shard> shards,
+              PlannerMode mode = PlannerMode::kRows, std::size_t cells = 0)
+        : rows_(rows),
+          shards_(std::move(shards)),
+          mode_(mode),
+          cells_(cells) {}
 
     std::size_t rows_ = 0;
     std::vector<Shard> shards_;
+    PlannerMode mode_ = PlannerMode::kRows;
+    std::size_t cells_ = 0;
 };
 
 }  // namespace mcs

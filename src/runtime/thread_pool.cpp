@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/topology.hpp"
 
 namespace mcs {
 
@@ -19,7 +20,9 @@ thread_local std::size_t tls_worker_index = static_cast<std::size_t>(-1);
 ThreadPool::ThreadPool(Options options) : options_(options) {
     std::size_t threads = options.threads;
     if (threads == 0) {
-        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+        // Effective CPUs, not hardware_concurrency: a pool sized past the
+        // process's affinity mask oversubscribes by construction.
+        threads = effective_cpu_count();
     }
     MCS_CHECK_MSG(options.queue_capacity >= 1,
                   "ThreadPool: queue capacity must be at least 1");

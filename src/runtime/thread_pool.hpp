@@ -44,7 +44,8 @@ public:
     };
 
     struct Options {
-        std::size_t threads = 0;  ///< worker count; 0 = hardware_concurrency
+        std::size_t threads = 0;  ///< worker count; 0 = effective CPUs
+                                  ///< (sched_getaffinity, common/topology.hpp)
         std::size_t queue_capacity = 1024;  ///< bound on queued (not running)
     };
 

@@ -21,6 +21,11 @@ ServeConfig validated(ServeConfig config) {
                   "daemon's durable state is its ingest journal");
     MCS_CHECK_MSG(!config.resume || !config.journal_path.empty(),
                   "ServeConfig: resume requires a journal_path");
+    MCS_CHECK_MSG(config.runtime.memory_budget_mb == 0 &&
+                      config.runtime.storage == StorageTier::kF64,
+                  "ServeConfig: the out-of-core slab store is a batch-run "
+                  "feature; a serving window fits in memory by construction "
+                  "(size it with `window`/`stride` instead)");
     return config;
 }
 
@@ -358,6 +363,7 @@ void IngestDaemon::pump_reports() {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.windows_warm = detector_.warm_windows();
     stats_.warm_resets = detector_.warm_resets();
+    stats_.shards_stolen = ctx_.counters().shards_stolen;
 }
 
 }  // namespace mcs

@@ -84,6 +84,10 @@ struct ServeStats {
     /// participant was quarantined (each becomes a kRejectedUpload
     /// FailureReport with phase "quarantine").
     std::size_t readings_quarantined = 0;
+    /// Shards executed by a thief worker across all window evaluations —
+    /// the work-stealing scheduler's load-balance signal (results are
+    /// bit-identical either way; this is purely diagnostic).
+    std::size_t shards_stolen = 0;
     std::size_t journal_corrupt_frames = 0;
     bool journal_torn_tail = false;
     /// Wall time of each live push_slot (ms); stride-boundary slots carry

@@ -105,6 +105,7 @@
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures,
 // 3 when --strict finds degraded shards or corrupt checkpoint frames.
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -259,8 +260,12 @@ const std::vector<FlagSpec>& known_flags(const std::string& command) {
         {"threads", "N", "shard worker threads (FleetRunner)"},
         {"shard-size", "K", "participants per shard"},
         {"shard-count", "C", "shard count (when no --shard-size)"},
+        {"planner", "P", "shard planner: rows | cell (default rows)"},
         {"kernel-threads", "M", "row-blocked kernel parallelism"},
-        {"tier", "T", "kernel tier: exact | fast (default exact)"},
+        {"tier", "T", "kernel tier: exact | fast | mixed (default exact)"},
+        {"slab-dir", "DIR", "out-of-core slab store; stream shards via mmap"},
+        {"storage", "S", "slab storage tier: f64 | f32 (with --slab-dir)"},
+        {"memory-budget", "MB", "resident-window ceiling for --slab-dir"},
         {"row-block-threshold", "K", "min rows for row-blocked dispatch"},
         {"chaos", "SPEC", "fault injection per DESIGN.md §11 grammar"},
         {"adversary", "SPEC", "structured adversary per DESIGN.md §16"},
@@ -569,6 +574,13 @@ int cmd_clean(const Args& args) {
         defense_spec = mcs::DefenseSpec::parse(args.get_or("defense", ""));
     }
     const double shard_deadline = args.number("shard-deadline", 0.0);
+    const mcs::PlannerMode planner =
+        mcs::parse_planner_mode(args.get_or("planner", "rows"));
+    const mcs::StorageTier storage =
+        mcs::parse_storage_tier(args.get_or("storage", "f64"));
+    const std::string slab_dir = args.get_or("slab-dir", "");
+    const std::size_t memory_budget =
+        args.has("memory-budget") ? args.count("memory-budget") : 0;
     const bool use_runner = threads > 1 || shard_size > 0 ||
                             shard_count > 0 || kernel_threads > 1 ||
                             chaos_config.has_value() ||
@@ -577,7 +589,11 @@ int cmd_clean(const Args& args) {
                             shard_deadline > 0.0 ||
                             args.has("failure-report") ||
                             args.has("checkpoint-dir") ||
-                            args.has("strict");
+                            args.has("strict") ||
+                            planner != mcs::PlannerMode::kRows ||
+                            !slab_dir.empty() ||
+                            storage != mcs::StorageTier::kF64 ||
+                            memory_budget > 0;
 
     mcs::ItscsResult result;
     std::vector<mcs::ShardRunReport> shard_reports;
@@ -585,6 +601,9 @@ int cmd_clean(const Args& args) {
     mcs::AdversaryInjection adversary_result;
     mcs::DefenseReport defense_result;
     std::size_t resolved_shard_count = 1;
+    std::size_t plan_cells = 0;
+    std::size_t plan_window_bytes = 0;
+    mcs::StealStats steal_stats;
     if (use_runner) {
         mcs::RuntimeConfig runtime;
         runtime.threads = threads;
@@ -595,9 +614,12 @@ int cmd_clean(const Args& args) {
         runtime.shard_count =
             shard_count > 0 ? shard_count
                             : (shard_size == 0 ? threads : 0);
+        runtime.planner = planner;
         runtime.kernel_threads = kernel_threads;
         runtime.kernel_tier = tier;
         runtime.solver = solver;
+        runtime.storage = storage;
+        runtime.memory_budget_mb = memory_budget;
         runtime.kernel_row_block_threshold = row_block_threshold;
         runtime.health.deadline_seconds = shard_deadline;
         runtime.checkpoint_dir = args.get_or("checkpoint-dir", "");
@@ -619,8 +641,54 @@ int cmd_clean(const Args& args) {
             runtime.defense = defense.get();
         }
         mcs::FleetRunner runner(runtime);
-        mcs::FleetResult fleet =
-            runner.run(input, config, want_stats ? &ctx : nullptr);
+        mcs::FleetResult fleet;
+        if (!slab_dir.empty()) {
+            // --resume re-opens the store the interrupted run laid out
+            // (so torn slabs re-run); otherwise lay it out fresh from the
+            // imported fleet.
+            std::unique_ptr<mcs::SlabStore> store;
+            if (runtime.resume &&
+                std::filesystem::exists(slab_dir + "/slabs.meta")) {
+                store = std::make_unique<mcs::SlabStore>(slab_dir);
+            } else {
+                store = runner.create_slab_store(slab_dir, input);
+            }
+            plan_window_bytes =
+                runner.resident_window_bytes(store->geometry());
+            fleet = runner.run_streamed(*store, config,
+                                        want_stats ? &ctx : nullptr);
+            // The CLI's CSV/metrics outputs are fleet-shaped, so
+            // materialise the aggregate from the output slabs here — the
+            // scale harness, not the CLI, is the keep-it-on-disk path.
+            fleet.aggregate.detection = mcs::Matrix(n, t);
+            fleet.aggregate.reconstructed_x = mcs::Matrix(n, t);
+            fleet.aggregate.reconstructed_y = mcs::Matrix(n, t);
+            const auto& infos = store->shards();
+            for (std::size_t s = 0; s < infos.size(); ++s) {
+                const std::size_t rows = infos[s].size();
+                mcs::Matrix det(rows, t);
+                mcs::Matrix rx(rows, t);
+                mcs::Matrix ry(rows, t);
+                double* mats[mcs::kSlabOutputMatrices] = {
+                    det.data().data(), rx.data().data(), ry.data().data()};
+                store->read_outputs(s, mats);
+                for (std::size_t k = 0; k < rows; ++k) {
+                    const std::size_t row =
+                        infos[s].rows.empty()
+                            ? static_cast<std::size_t>(infos[s].begin) + k
+                            : infos[s].rows[k];
+                    for (std::size_t j = 0; j < t; ++j) {
+                        fleet.aggregate.detection(row, j) = det(k, j);
+                        fleet.aggregate.reconstructed_x(row, j) = rx(k, j);
+                        fleet.aggregate.reconstructed_y(row, j) = ry(k, j);
+                    }
+                }
+            }
+        } else {
+            fleet = runner.run(input, config, want_stats ? &ctx : nullptr);
+        }
+        plan_cells = runner.plan_for(input).cells();
+        steal_stats = fleet.steals;
         result = std::move(fleet.aggregate);
         shard_reports = std::move(fleet.shards);
         checkpoint = std::move(fleet.checkpoint);
@@ -678,6 +746,29 @@ int cmd_clean(const Args& args) {
                 defense_info(args.get_or("defense", ""), defense_result);
         }
         if (use_runner) {
+            // The plan line: how the fleet was decomposed and how much of
+            // it is ever resident, so degraded locality (row-planned
+            // geographic data, a window close to the in-core footprint)
+            // is visible at a glance.
+            mcs::Json plan_line = mcs::Json::object();
+            plan_line["planner"] = std::string(mcs::to_string(planner));
+            plan_line["shards"] = resolved_shard_count;
+            plan_line["cells"] = plan_cells;
+            plan_line["mode"] =
+                slab_dir.empty() ? "in-core" : "streamed";
+            const std::size_t in_core_bytes =
+                n * t * sizeof(double) *
+                (mcs::kSlabInputMatrices + mcs::kSlabOutputMatrices);
+            plan_line["in_core_bytes"] = in_core_bytes;
+            plan_line["resident_window_bytes"] =
+                slab_dir.empty() ? in_core_bytes : plan_window_bytes;
+            if (!slab_dir.empty()) {
+                plan_line["slab_dir"] = slab_dir;
+                plan_line["storage"] =
+                    std::string(mcs::to_string(storage));
+                plan_line["memory_budget_mb"] = memory_budget;
+            }
+            report["plan"] = plan_line;
             mcs::Json runtime = mcs::Json::object();
             runtime["threads"] = threads;
             runtime["kernel_threads"] = kernel_threads;
@@ -689,6 +780,7 @@ int cmd_clean(const Args& args) {
             // leaned on machine defaults still states what actually ran.
             runtime["shard_size"] = shard_size;
             runtime["shard_count"] = resolved_shard_count;
+            runtime["shards_stolen"] = steal_stats.stolen_items;
             if (checkpoint.enabled) {
                 mcs::Json cp = mcs::Json::object();
                 cp["dir"] = args.get("checkpoint-dir");

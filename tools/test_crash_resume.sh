@@ -60,19 +60,22 @@ CK="$WORKDIR/ck_flip"
 rm -rf "$CK"
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
     --out "$WORKDIR/full.csv" > /dev/null
-# Flip the byte in the middle of the journal (payload territory — frames
-# here are kilobytes, headers 16 bytes). XOR with 0xFF so the write always
-# changes the byte, whatever value commit order put there.
-flip_mid_byte() {
-    local file="$1" size mid byte
-    size=$(wc -c < "$file")
-    mid=$((size / 2))
-    byte=$(dd if="$file" bs=1 skip="$mid" count=1 status=none \
+# Flip a byte at a fixed offset inside the FIRST frame's payload (headers
+# are 16 bytes, frames kilobytes, so offset 200 is payload whatever commit
+# order wrote the frame). A fixed payload offset keeps the outcome
+# deterministic: exactly one frame fails its CRC and is skipped. Flipping
+# a *header* byte instead would corrupt a length field and turn the rest
+# of the journal into a torn tail — recovered identically, but reported
+# as truncation, not a corrupt frame, which is not what this block
+# asserts. XOR with 0xFF so the write always changes the byte.
+flip_payload_byte() {
+    local file="$1" off=200 byte
+    byte=$(dd if="$file" bs=1 skip="$off" count=1 status=none \
         | od -An -tu1 | tr -d ' ')
     printf "$(printf '\\%03o' $((byte ^ 255)))" \
-        | dd of="$file" bs=1 seek="$mid" count=1 conv=notrunc status=none
+        | dd of="$file" bs=1 seek="$off" count=1 conv=notrunc status=none
 }
-flip_mid_byte "$CK/journal.bin"
+flip_payload_byte "$CK/journal.bin"
 
 # Non-strict resume: recovers, reports the corruption, output identical.
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
@@ -86,7 +89,7 @@ echo "== strict mode exits 3 on corruption =="
 rm -rf "$CK"
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" \
     --out "$WORKDIR/full.csv" > /dev/null
-flip_mid_byte "$CK/journal.bin"
+flip_payload_byte "$CK/journal.bin"
 set +e
 "$ITSCS" clean "${COMMON[@]}" --threads 2 --checkpoint-dir "$CK" --resume \
     --strict --out "$WORKDIR/strict.csv" > /dev/null 2> /dev/null

@@ -42,6 +42,13 @@
 #                            to no defence), an analyze() overhead above 2%
 #                            of the clean solve, or an unmet k=24
 #                            collusion breaking-point claim
+#   tools/verify.sh scale    out-of-core smoke: Release-build perf_pipeline
+#                            and run the scale sweep (--scale-sweep
+#                            --quick) — streamed run under the memory
+#                            budget, streamed-vs-in-core and 1/2/7-thread
+#                            bit-identity, f32 tier F1 drift ≤ 1e-3 — then
+#                            rebuild the work-stealing scheduler tests
+#                            (runtime_scale_test) under TSan and run them
 #   tools/verify.sh all      everything, tier-1 first
 #
 # Run from the repository root. Exits non-zero on the first failure.
@@ -144,6 +151,25 @@ defense() {
     rm -rf "$scratch"
 }
 
+scale() {
+    echo "== scale: build (Release) =="
+    cmake --preset release
+    cmake --build --preset release -j "$(nproc)" --target perf_pipeline
+    echo "== scale: out-of-core data-plane smoke =="
+    # Writes BENCH_scale.json in cwd; run from a scratch dir so the
+    # committed full-sweep baseline isn't clobbered by quick numbers.
+    local scratch
+    scratch="$(mktemp -d)"
+    (cd "$scratch" &&
+        "$OLDPWD/build-release/bench/perf_pipeline" --scale-sweep --quick \
+            > /dev/null)
+    rm -rf "$scratch"
+    echo "== scale: work-stealing scheduler under TSan =="
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" --target runtime_scale_test
+    (cd build-tsan/tests && ./runtime_scale_test)
+}
+
 case "${1:-tier1}" in
     tier1) tier1 ;;
     tsan) tsan ;;
@@ -152,8 +178,9 @@ case "${1:-tier1}" in
     adv) adv ;;
     stream) stream ;;
     defense) defense ;;
-    all) tier1; tsan; asan; perf; adv; stream; defense ;;
-    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|adv|stream|defense|all]" >&2; exit 2 ;;
+    scale) scale ;;
+    all) tier1; tsan; asan; perf; adv; stream; defense; scale ;;
+    *) echo "usage: tools/verify.sh [tier1|tsan|asan|perf|adv|stream|defense|scale|all]" >&2; exit 2 ;;
 esac
 
 echo "verify: OK (${1:-tier1})"
